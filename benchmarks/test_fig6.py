@@ -1,0 +1,27 @@
+"""Bench: regenerate Figure 6 (misprediction distance distributions).
+
+Checks §5.2's claim that the distributions are consistent across the
+non-numeric programs, with the bulk of mispredictions within ~100
+instructions — the reason SP parallelism is capped.
+"""
+
+from repro.bench import NON_NUMERIC
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark, warm_runner):
+    result = benchmark.pedantic(
+        lambda: fig6.run(warm_runner), rounds=1, iterations=1
+    )
+    for name, cdf in result.distributions.items():
+        assert cdf == sorted(cdf)
+    # Paper: over 80% within 100 instructions (non-numeric pooled).
+    assert result.non_numeric_within_100 > 0.70
+    # Consistency: every non-numeric program has most mispredictions
+    # within 500 instructions.
+    points = list(result.points)
+    idx_500 = points.index(500)
+    for name in NON_NUMERIC:
+        assert result.distributions[name][idx_500] > 0.6
+    print()
+    print(result.render())

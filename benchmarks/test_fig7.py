@@ -1,0 +1,28 @@
+"""Bench: regenerate Figure 7 (segment parallelism vs. distance).
+
+Checks §5.2's explanation of the SP limit: short inter-misprediction
+segments are data-dependence-bound (little parallelism), longer segments
+hold more independent instructions, and long segments are rare — so SP's
+overall limit is an average dominated by low-parallelism short segments.
+"""
+
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark, warm_runner):
+    result = benchmark.pedantic(
+        lambda: fig7.run(warm_runner), rounds=1, iterations=1
+    )
+    populated = [
+        (low, high, mean, count) for low, high, mean, count in result.rows if count
+    ]
+    assert len(populated) >= 5
+    # Short segments: little parallelism.
+    assert populated[0][2] < 5.0
+    # Parallelism grows with distance (first to last populated bin).
+    assert populated[-1][2] > 2.0 * populated[0][2]
+    # Long distances are rare: the top bin holds a small share.
+    total = sum(count for *_, count in populated)
+    assert populated[-1][3] / total < 0.15
+    print()
+    print(result.render())

@@ -1,0 +1,21 @@
+"""Bench: dynamic instruction-mix characterization (extension).
+
+Times the per-class classification pass over every benchmark trace and
+checks the suite has benchmark-like profiles: integer-only non-numeric
+codes, FP-heavy numeric codes, and branch densities consistent with
+Table 2.
+"""
+
+from repro.bench import NON_NUMERIC, NUMERIC
+from repro.experiments import mix
+
+
+def test_mix(benchmark, warm_runner):
+    result = benchmark.pedantic(lambda: mix.run(warm_runner), rounds=1, iterations=1)
+    for name in NUMERIC:
+        assert result.rows[name]["fpu"] > 5.0
+    for name in NON_NUMERIC:
+        assert result.rows[name]["fpu"] < 1.0
+        assert result.rows[name]["branch"] > 5.0
+    print()
+    print(result.render())

@@ -1,0 +1,32 @@
+"""Bench: regenerate Table 2 (branch statistics).
+
+Times the trace+profile pipeline per benchmark and checks the reproduced
+statistics hold the paper's shape: high static-profile prediction rates,
+branches every handful of instructions for non-numeric code, sparser
+branches for the numeric codes.
+"""
+
+import pytest
+
+from repro.bench import NON_NUMERIC, NUMERIC, SUITE
+from repro.experiments import table2
+
+
+def test_table2(benchmark, warm_runner):
+    result = benchmark.pedantic(
+        lambda: table2.run(warm_runner), rounds=1, iterations=1
+    )
+    rows = {row.program: row for row in result.rows}
+    assert set(rows) == set(SUITE)
+    # Profile prediction works: every benchmark above 70%.
+    for row in rows.values():
+        assert row.prediction_rate > 70.0
+    # Non-numeric codes branch frequently (paper: every 3.4-9.4 instrs;
+    # our ISA is a little coarser).
+    for name in NON_NUMERIC:
+        assert rows[name].instructions_between_branches < 20.0
+    # Numeric codes have the sparsest branches of the suite (paper: 13-59).
+    sparsest = max(rows.values(), key=lambda r: r.instructions_between_branches)
+    assert sparsest.program in NUMERIC
+    print()
+    print(result.render())

@@ -1,0 +1,29 @@
+"""Bench: regenerate Table 4 (% change due to perfect loop unrolling).
+
+Times the rolled-vs-unrolled double analysis and checks the paper's §5.4
+findings: unrolling transforms the numeric codes' BASE/SP numbers, has
+small effect on the loop-poor non-numeric codes, and can cut both ways.
+"""
+
+from repro.core import MachineModel as M
+from repro.experiments import table4
+
+
+def test_table4(benchmark, warm_runner):
+    result = benchmark.pedantic(
+        lambda: table4.run(warm_runner), rounds=1, iterations=1
+    )
+    change = result.percent_change
+    # Counted-loop-dominated numeric codes gain enormously at BASE/SP
+    # (paper: matrix300 +2911% BASE, +182136% SP; tomcatv +47%/+149%).
+    assert change["matrix300"][M.BASE] > 100.0
+    assert change["matrix300"][M.SP] > 100.0
+    assert change["tomcatv"][M.SP] > 20.0
+    # ccom is the paper's "almost no change" row (-1..+3 across models).
+    assert abs(change["ccom"][M.BASE]) < 25.0
+    # Mixed effects: some entries must be negative (unrolling removes
+    # overlappable instructions, §5.4's competing effect).
+    all_changes = [change[n][m] for n in change for m in change[n]]
+    assert any(value < 0 for value in all_changes)
+    print()
+    print(result.render())

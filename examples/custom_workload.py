@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Data-dependent vs. data-independent control flow (paper §5.3).
+
+The paper's closing insight: the useful predictor of a program's
+parallelism is not its source language or arithmetic type, but whether its
+*control flow depends on its data*.  This example pits two MiniC programs
+with identical arithmetic volume against each other:
+
+* ``REGULAR`` — a blocked array sweep whose every branch is a counted-loop
+  branch (perfect unrolling removes them all);
+* ``IRREGULAR`` — a binary-search workload whose every branch direction is
+  decided by loaded data.
+
+On the regular program, control flow constrains *nothing*: all seven
+machines collapse to the same (large) parallelism.  On the irregular one
+the machines fan out across more than an order of magnitude — a serial
+machine (BASE) crawls, speculation alone (SP) only helps while predictions
+hold, and it takes control dependence analysis plus multiple flows of
+control to reach the data-dependence limit.
+"""
+
+from repro import compile_minic, trace_program
+from repro.core import ALL_MODELS, LimitAnalyzer
+
+REGULAR = """
+float a[1024];
+float b[1024];
+int main() {
+    for (int i = 0; i < 1024; i++) a[i] = (float)(i % 37) * 0.5;
+    for (int rep = 0; rep < 8; rep++)
+        for (int i = 2; i < 1022; i++)
+            b[i] = (a[i - 2] + a[i - 1] + a[i] + a[i + 1] + a[i + 2]) * 0.2;
+    float total = 0.0;
+    for (int i = 0; i < 1024; i++) total += b[i];
+    return (int)total;
+}
+"""
+
+IRREGULAR = """
+int keys[1024];
+int hits[16];
+
+int mix(int x) {
+    x = x * 2654435761;
+    x = x ^ ((x >> 15) & 131071);
+    if (x < 0) x = -x;
+    return x;
+}
+
+int bsearch_count(int key) {
+    int lo = 0;
+    int hi = 1023;
+    int probes = 0;
+    while (lo <= hi) {
+        int mid = (lo + hi) / 2;
+        probes++;
+        if (keys[mid] == key) return probes;
+        if (keys[mid] < key) lo = mid + 1;
+        else hi = mid - 1;
+    }
+    return probes;
+}
+
+int main() {
+    for (int i = 0; i < 1024; i++) keys[i] = i * 3;   // sorted
+    for (int q = 0; q < 600; q++) {
+        int probes = bsearch_count(mix(q) % 3200);
+        hits[probes & 15] += 1;
+    }
+    int total = 0;
+    for (int i = 0; i < 16; i++) total += hits[i] * i;
+    return total;
+}
+"""
+
+
+def analyze(name: str, source: str) -> None:
+    program = compile_minic(source, name=name)
+    run = trace_program(program, max_steps=400_000)
+    result = LimitAnalyzer(program).analyze(run.trace)
+    print(f"\n{name}: {run.steps} instructions traced")
+    print(f"{'machine':>10s} {'parallelism':>12s}")
+    for model in ALL_MODELS:
+        print(f"{model.label:>10s} {result[model].parallelism:12.2f}")
+    cd_mf, oracle = result[ALL_MODELS[2]], result[ALL_MODELS[-1]]
+    share = 100.0 * cd_mf.parallelism / oracle.parallelism
+    print(f"CD-MF achieves {share:.0f}% of ORACLE")
+
+
+def main() -> None:
+    print(__doc__)
+    analyze("regular-stencil", REGULAR)
+    analyze("irregular-bsearch", IRREGULAR)
+
+
+if __name__ == "__main__":
+    main()

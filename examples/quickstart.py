@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: measure the parallelism limits of a small C program.
+
+Compiles a MiniC program, traces it on the VM, and reports the available
+instruction-level parallelism under each of the paper's seven abstract
+machine models.  Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import compile_minic, trace_program
+from repro.core import ALL_MODELS, LimitAnalyzer
+
+SOURCE = """
+// A histogram + lookup workload: the first loop has data-independent
+// control flow; the second is full of data-dependent branches.
+int data[256];
+int hist[16];
+
+int mix(int x) {
+    x = x * 2654435761;
+    x = x ^ ((x >> 15) & 131071);
+    if (x < 0) x = -x;
+    return x;
+}
+
+int main() {
+    for (int i = 0; i < 256; i++) data[i] = mix(i) % 100;
+
+    for (int i = 0; i < 256; i++) {
+        int v = data[i];
+        if (v < 50) {
+            if (v % 2 == 0) hist[v % 16] += 2;
+            else hist[(v + 1) % 16] += 1;
+        } else if (v < 90) {
+            hist[v % 16] += 3;
+        }
+    }
+
+    int total = 0;
+    for (int i = 0; i < 16; i++) total += hist[i] * (i + 1);
+    return total;
+}
+"""
+
+
+def main() -> None:
+    program = compile_minic(SOURCE, name="quickstart")
+    print(f"compiled to {len(program)} instructions")
+
+    run = trace_program(program, max_steps=500_000)
+    print(f"traced {run.steps} dynamic instructions; exit value {run.exit_value}")
+
+    analyzer = LimitAnalyzer(program)
+    result = analyzer.analyze(run.trace)
+
+    print()
+    print(f"{'machine':>10s} {'parallelism':>12s} {'cycles':>8s}")
+    for model in ALL_MODELS:
+        model_result = result[model]
+        print(
+            f"{model.label:>10s} {model_result.parallelism:12.2f} "
+            f"{model_result.parallel_time:8d}"
+        )
+    print()
+    print(
+        "Reading the table: BASE waits for every branch; CD waits only for "
+        "true control\ndependences; -MF lifts the one-flow-of-control "
+        "restriction; SP machines only wait\nfor mispredicted branches; "
+        "ORACLE has perfect branch prediction."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy-install shim.
+
+This environment has setuptools but no `wheel`, so PEP 517 editable installs
+(`pip install -e .`) cannot build a wheel.  With this shim,
+`pip install -e . --no-build-isolation --no-use-pep517` (or plain
+`python setup.py develop`) works offline.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

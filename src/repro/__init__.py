@@ -1,0 +1,58 @@
+"""repro — a reproduction of Lam & Wilson, *Limits of Control Flow on
+Parallelism* (ISCA 1992).
+
+The package is a complete, self-contained ILP limit-study toolkit:
+
+* :mod:`repro.isa` — a MIPS-like RISC instruction set.
+* :mod:`repro.asm` — a two-pass assembler and a disassembler.
+* :mod:`repro.lang` — MiniC, a small C-like compiler targeting the ISA.
+* :mod:`repro.vm` — a tracing interpreter (the study's ``pixie`` equivalent).
+* :mod:`repro.analysis` — CFGs, dominance, control dependence, loop and
+  induction-variable analysis on object code.
+* :mod:`repro.prediction` — profile-based static branch prediction plus
+  several dynamic predictors used in ablations.
+* :mod:`repro.core` — the paper's contribution: the seven abstract machine
+  models and the trace-driven parallelism limit analyzer.
+* :mod:`repro.bench` — ten benchmark programs mirroring the paper's Table 1.
+* :mod:`repro.experiments` — one module per table and figure of the paper.
+
+Quickstart::
+
+    from repro import compile_and_analyze
+    from repro.core import MachineModel
+
+    results = compile_and_analyze('''
+        int data[64];
+        int main() {
+            int i; int total;
+            total = 0;
+            for (i = 0; i < 64; i = i + 1) data[i] = i * 3;
+            for (i = 0; i < 64; i = i + 1) total = total + data[i];
+            return total;
+        }
+    ''')
+    print(results.parallelism[MachineModel.ORACLE])
+"""
+
+from repro._version import __version__
+
+__all__ = [
+    "__version__",
+    "analyze_program",
+    "analyze_source",
+    "compile_and_analyze",
+    "compile_minic",
+    "trace_program",
+]
+
+_API_NAMES = frozenset(__all__) - {"__version__"}
+
+
+def __getattr__(name: str):
+    # The convenience API pulls in every subpackage; import it lazily so the
+    # leaf packages (isa, asm, vm, ...) stay importable in isolation.
+    if name in _API_NAMES:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,64 @@
+"""Static analyses on object code: CFGs, dominance, control dependence,
+natural loops, induction variables, and a small dataflow framework."""
+
+from repro.analysis.cfg import (
+    EXIT_BLOCK,
+    BasicBlock,
+    FunctionCFG,
+    build_cfgs,
+    build_function_cfg,
+)
+from repro.analysis.control_dependence import (
+    ControlDependence,
+    compute_control_dependence,
+)
+from repro.analysis.dataflow import (
+    DataflowResult,
+    live_registers,
+    reaching_definitions,
+    solve_backward,
+    solve_forward,
+)
+from repro.analysis.dominance import (
+    UNDEFINED,
+    dominance_frontiers,
+    dominates,
+    dominator_tree_children,
+    immediate_dominators,
+    reverse_postorder,
+)
+from repro.analysis.induction import (
+    LoopInductionInfo,
+    analyze_loop,
+    loop_overhead_pcs,
+)
+from repro.analysis.loops import NaturalLoop, find_loops
+from repro.analysis.summary import ProgramAnalysis, analyze_program
+
+__all__ = [
+    "BasicBlock",
+    "ControlDependence",
+    "DataflowResult",
+    "EXIT_BLOCK",
+    "FunctionCFG",
+    "LoopInductionInfo",
+    "NaturalLoop",
+    "ProgramAnalysis",
+    "UNDEFINED",
+    "analyze_loop",
+    "analyze_program",
+    "build_cfgs",
+    "build_function_cfg",
+    "compute_control_dependence",
+    "dominance_frontiers",
+    "dominates",
+    "dominator_tree_children",
+    "find_loops",
+    "immediate_dominators",
+    "live_registers",
+    "loop_overhead_pcs",
+    "reaching_definitions",
+    "reverse_postorder",
+    "solve_backward",
+    "solve_forward",
+]

@@ -1,0 +1,215 @@
+"""Control-flow graph construction on object code.
+
+The paper builds per-procedure flow graphs from the MIPS object file (basic
+block boundaries from ``pixie``, successors from decoding the instructions);
+we do the same directly on the :class:`~repro.isa.Program`.
+
+Conventions:
+
+* Calls (``jal``/``jalr``) do **not** end a basic block for control-flow
+  purposes — within the caller, control always continues at the next
+  instruction.  (Interprocedural control dependence is handled dynamically
+  by the limit analyzer, exactly as in the paper, §4.4.1.)  They do start a
+  new *block boundary* in neither pixie nor here.
+* ``jr $ra`` is a return: its block's successor is the virtual exit node.
+* A computed jump (``jr`` through another register) gets its real successor
+  set when the jump table is declared (``.jumptable``, which the MiniC
+  compiler emits for every ``switch`` dispatch): the builder recognizes the
+  ``lw target, TABLE(index); jr target`` idiom — the same jump-table
+  decoding the paper's tooling performed on MIPS object files.  Undeclared
+  computed jumps conservatively target the virtual exit node; either way
+  the limit analyzer treats the jump as an always-mispredicted transfer.
+* ``halt`` also flows to the virtual exit.
+
+Code outside any declared ``.func`` region is grouped into synthetic
+anonymous functions so that every instruction belongs to exactly one CFG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa import FunctionSymbol, OpKind, Program
+
+EXIT_BLOCK = -1
+"""Virtual exit node id used in successor lists."""
+
+
+@dataclass
+class BasicBlock:
+    """Half-open instruction range ``[start, end)`` with CFG edges.
+
+    ``succs``/``preds`` contain block ids local to the owning
+    :class:`FunctionCFG`; :data:`EXIT_BLOCK` denotes the virtual exit.
+    """
+
+    id: int
+    start: int
+    end: int
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    @property
+    def terminator_pc(self) -> int:
+        return self.end - 1
+
+    def __contains__(self, pc: int) -> bool:
+        return self.start <= pc < self.end
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class FunctionCFG:
+    """The control-flow graph of one function."""
+
+    function: FunctionSymbol
+    blocks: list[BasicBlock]
+    entry: int = 0  # block id of the entry block
+
+    def block_at(self, pc: int) -> BasicBlock:
+        for block in self.blocks:
+            if pc in block:
+                return block
+        raise KeyError(f"pc {pc} not in function {self.function.name}")
+
+    @property
+    def exit_preds(self) -> list[int]:
+        """Block ids whose successor set includes the virtual exit."""
+        return [b.id for b in self.blocks if EXIT_BLOCK in b.succs]
+
+
+def _computed_jump_targets(program: Program, pc: int) -> tuple[int, ...]:
+    """Possible targets of the computed jump at *pc*, from jump-table
+    metadata.
+
+    Recognizes the dispatch idiom the compiler emits: a ``lw`` into the
+    jump register, displaced by a declared table's base address, within
+    the few instructions preceding the ``jr``.  Returns () when the jump
+    cannot be matched to a declared table (e.g. a return).
+    """
+    instr = program.instructions[pc]
+    if not instr.is_computed_jump or not program.jump_tables:
+        return ()
+    jump_reg = instr.rs
+    for back in range(1, 4):
+        if pc - back < 0:
+            break
+        candidate = program.instructions[pc - back]
+        if candidate.is_load and candidate.rd == jump_reg:
+            targets = program.jump_tables.get(candidate.imm)
+            if targets is not None:
+                return targets
+            break
+        if jump_reg in candidate.writes:
+            break
+    return ()
+
+
+def _covering_functions(program: Program) -> list[FunctionSymbol]:
+    """Return function symbols covering all code, synthesizing anonymous
+    functions for instruction ranges outside every declared ``.func``."""
+    declared = sorted(program.functions, key=lambda f: f.start)
+    covering: list[FunctionSymbol] = []
+    cursor = 0
+    anon = 0
+    for func in declared:
+        if cursor < func.start:
+            covering.append(FunctionSymbol(f"__anon{anon}", cursor, func.start))
+            anon += 1
+        covering.append(func)
+        cursor = func.end
+    if cursor < len(program):
+        covering.append(FunctionSymbol(f"__anon{anon}", cursor, len(program)))
+    return covering
+
+
+def build_function_cfg(program: Program, function: FunctionSymbol) -> FunctionCFG:
+    """Construct the CFG of *function* from the object code."""
+    start, end = function.start, function.end
+    instructions = program.instructions
+
+    # -- find leaders -----------------------------------------------------
+    leaders = {start}
+    for pc in range(start, end):
+        instr = instructions[pc]
+        kind = instr.kind
+        if kind in (OpKind.BRANCH, OpKind.JUMP, OpKind.JR, OpKind.HALT):
+            if pc + 1 < end:
+                leaders.add(pc + 1)
+            if instr.target is not None and start <= instr.target < end:
+                leaders.add(instr.target)
+            if kind is OpKind.JR:
+                for target in _computed_jump_targets(program, pc):
+                    if start <= target < end:
+                        leaders.add(target)
+        elif instr.target is not None and start <= instr.target < end:
+            # e.g. an intra-function jal target (unusual but legal)
+            leaders.add(instr.target)
+
+    ordered = sorted(leaders)
+    blocks = [
+        BasicBlock(id=i, start=leader, end=(ordered[i + 1] if i + 1 < len(ordered) else end))
+        for i, leader in enumerate(ordered)
+    ]
+    block_of = {block.start: block.id for block in blocks}
+
+    # -- wire successors -----------------------------------------------------
+    def block_id_of_pc(pc: int) -> int:
+        # pc is always a leader here.
+        return block_of[pc]
+
+    for block in blocks:
+        instr = instructions[block.terminator_pc]
+        kind = instr.kind
+        succs: list[int] = []
+        if kind is OpKind.BRANCH:
+            if start <= instr.target < end:  # type: ignore[operator]
+                succs.append(block_id_of_pc(instr.target))  # type: ignore[arg-type]
+            else:
+                succs.append(EXIT_BLOCK)
+            if block.end < end:
+                succs.append(block_id_of_pc(block.end))
+            else:
+                succs.append(EXIT_BLOCK)
+        elif kind is OpKind.JUMP:
+            if start <= instr.target < end:  # type: ignore[operator]
+                succs.append(block_id_of_pc(instr.target))  # type: ignore[arg-type]
+            else:
+                succs.append(EXIT_BLOCK)
+        elif kind is OpKind.JR:
+            targets = _computed_jump_targets(program, block.terminator_pc)
+            in_function = sorted(
+                {t for t in targets if start <= t < end}
+            )
+            if in_function:
+                succs.extend(block_id_of_pc(t) for t in in_function)
+            else:
+                succs.append(EXIT_BLOCK)  # return or unknown computed jump
+        elif kind is OpKind.HALT:
+            succs.append(EXIT_BLOCK)
+        else:
+            # Fall-through (includes calls: control resumes after the call).
+            if block.end < end:
+                succs.append(block_id_of_pc(block.end))
+            else:
+                succs.append(EXIT_BLOCK)
+        # De-duplicate (a branch whose target is its own fall-through).
+        seen: set[int] = set()
+        for succ in succs:
+            if succ not in seen:
+                seen.add(succ)
+                block.succs.append(succ)
+
+    for block in blocks:
+        for succ in block.succs:
+            if succ != EXIT_BLOCK:
+                blocks[succ].preds.append(block.id)
+
+    return FunctionCFG(function=function, blocks=blocks)
+
+
+def build_cfgs(program: Program) -> list[FunctionCFG]:
+    """Build one CFG per (declared or synthesized) function, covering all code."""
+    return [build_function_cfg(program, func) for func in _covering_functions(program)]

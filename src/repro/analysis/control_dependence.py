@@ -1,0 +1,76 @@
+"""Intraprocedural control dependence via reverse dominance frontiers.
+
+Following the paper (§4.4.1): *all of the instructions within a basic block
+are immediately control dependent on the branches in the reverse dominance
+frontier of the block.*  We compute, for every basic block of every function
+CFG, the set of **branch pcs** (conditional branches and computed jumps —
+block terminators with more than one successor or an unknown target) on
+which the block is immediately control dependent.
+
+Interprocedural control dependence is *not* computed here: following the
+paper it is resolved dynamically by the limit analyzer using a stack of
+active procedures (see :mod:`repro.core.cdstack`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import EXIT_BLOCK, FunctionCFG
+from repro.analysis.dominance import dominance_frontiers, immediate_dominators
+from repro.isa import OpKind, Program
+
+
+@dataclass(frozen=True)
+class ControlDependence:
+    """Immediate control dependences of one function's blocks.
+
+    ``block_deps[b]`` is the tuple of terminator pcs of the blocks in the
+    reverse dominance frontier of block *b*.
+    """
+
+    cfg: FunctionCFG
+    block_deps: tuple[tuple[int, ...], ...]
+
+    def deps_of_pc(self, pc: int) -> tuple[int, ...]:
+        return self.block_deps[self.cfg.block_at(pc).id]
+
+
+def _reverse_graph(cfg: FunctionCFG) -> tuple[int, list[list[int]], int]:
+    """Build the reverse CFG with a real node for the virtual exit.
+
+    Returns ``(n, succs, exit_node)`` where the reverse graph's entry is the
+    exit node.
+    """
+    n = len(cfg.blocks) + 1
+    exit_node = len(cfg.blocks)
+    succs: list[list[int]] = [[] for _ in range(n)]
+    for block in cfg.blocks:
+        for succ in block.succs:
+            target = exit_node if succ == EXIT_BLOCK else succ
+            succs[target].append(block.id)
+    return n, succs, exit_node
+
+
+def compute_control_dependence(program: Program, cfg: FunctionCFG) -> ControlDependence:
+    """Compute immediate control dependences for every block of *cfg*."""
+    n, rsuccs, exit_node = _reverse_graph(cfg)
+    ipostdom = immediate_dominators(n, rsuccs, exit_node)
+    rdf = dominance_frontiers(n, rsuccs, ipostdom, exit_node)
+
+    block_deps: list[tuple[int, ...]] = []
+    for block in cfg.blocks:
+        deps: list[int] = []
+        for controller in sorted(rdf[block.id]):
+            if controller == exit_node:
+                continue
+            terminator = cfg.blocks[controller].terminator_pc
+            instr = program.instructions[terminator]
+            # Only data-dependent control transfers act as control
+            # dependence branches.  (A block can appear in an RDF only if it
+            # has multiple CFG successors, which our CFGs give exclusively
+            # to conditional branches — the check is defensive.)
+            if instr.kind is OpKind.BRANCH or instr.is_computed_jump:
+                deps.append(terminator)
+        block_deps.append(tuple(deps))
+    return ControlDependence(cfg=cfg, block_deps=tuple(block_deps))

@@ -1,0 +1,144 @@
+"""A small iterative dataflow framework over function CFGs.
+
+The paper's object-code analyses are classic bit-vector problems; this
+module provides a generic round-robin solver plus the two canonical
+instances used elsewhere in the toolkit and in tests: reaching definitions
+and live registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.cfg import EXIT_BLOCK, FunctionCFG
+from repro.isa import Program
+
+
+@dataclass
+class DataflowResult:
+    """Per-block IN/OUT sets of a solved dataflow problem."""
+
+    block_in: list[frozenset]
+    block_out: list[frozenset]
+
+
+def solve_forward(
+    cfg: FunctionCFG,
+    gen: list[set],
+    kill: list[set],
+    entry_fact: frozenset = frozenset(),
+) -> DataflowResult:
+    """Forward may-analysis: OUT[b] = gen[b] ∪ (IN[b] − kill[b]),
+    IN[b] = ∪ OUT[p] over predecessors."""
+    n = len(cfg.blocks)
+    block_in: list[set] = [set() for _ in range(n)]
+    block_out: list[set] = [set(gen[b]) for b in range(n)]
+    block_in[cfg.entry] |= entry_fact
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            new_in = set(entry_fact) if block.id == cfg.entry else set()
+            for pred in block.preds:
+                new_in |= block_out[pred]
+            new_out = gen[block.id] | (new_in - kill[block.id])
+            if new_in != block_in[block.id] or new_out != block_out[block.id]:
+                block_in[block.id] = new_in
+                block_out[block.id] = new_out
+                changed = True
+    return DataflowResult(
+        block_in=[frozenset(s) for s in block_in],
+        block_out=[frozenset(s) for s in block_out],
+    )
+
+
+def solve_backward(
+    cfg: FunctionCFG,
+    gen: list[set],
+    kill: list[set],
+    exit_fact: frozenset = frozenset(),
+) -> DataflowResult:
+    """Backward may-analysis: IN[b] = gen[b] ∪ (OUT[b] − kill[b]),
+    OUT[b] = ∪ IN[s] over successors (exit blocks take *exit_fact*)."""
+    n = len(cfg.blocks)
+    block_out: list[set] = [set() for _ in range(n)]
+    block_in: list[set] = [set(gen[b]) for b in range(n)]
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            new_out: set = set()
+            for succ in block.succs:
+                if succ == EXIT_BLOCK:
+                    new_out |= exit_fact
+                else:
+                    new_out |= block_in[succ]
+            new_in = gen[block.id] | (new_out - kill[block.id])
+            if new_out != block_out[block.id] or new_in != block_in[block.id]:
+                block_out[block.id] = new_out
+                block_in[block.id] = new_in
+                changed = True
+    return DataflowResult(
+        block_in=[frozenset(s) for s in block_in],
+        block_out=[frozenset(s) for s in block_out],
+    )
+
+
+def reaching_definitions(program: Program, cfg: FunctionCFG) -> DataflowResult:
+    """Reaching definitions; facts are defining pcs."""
+    instructions = program.instructions
+    def_pcs_of_reg: dict[int, set[int]] = {}
+    for block in cfg.blocks:
+        for pc in range(block.start, block.end):
+            for reg in instructions[pc].writes:
+                def_pcs_of_reg.setdefault(reg, set()).add(pc)
+
+    gen: list[set] = []
+    kill: list[set] = []
+    for block in cfg.blocks:
+        block_gen: dict[int, int] = {}  # register -> last defining pc in block
+        for pc in range(block.start, block.end):
+            for reg in instructions[pc].writes:
+                block_gen[reg] = pc
+        gen.append(set(block_gen.values()))
+        block_kill: set[int] = set()
+        for reg, last_pc in block_gen.items():
+            block_kill |= def_pcs_of_reg[reg] - {last_pc}
+        kill.append(block_kill)
+    return solve_forward(cfg, gen, kill)
+
+
+def live_registers(program: Program, cfg: FunctionCFG, live_out_exit: frozenset = frozenset()) -> DataflowResult:
+    """Live registers; facts are register ids.  *live_out_exit* seeds the
+    registers considered live when the function returns (e.g. ``$v0``)."""
+    instructions = program.instructions
+    gen: list[set] = []
+    kill: list[set] = []
+    for block in cfg.blocks:
+        use: set[int] = set()
+        define: set[int] = set()
+        for pc in range(block.start, block.end):
+            instr = instructions[pc]
+            use |= set(instr.reads) - define
+            define |= set(instr.writes)
+        gen.append(use)
+        kill.append(define)
+    return solve_backward(cfg, gen, kill, exit_fact=live_out_exit)
+
+
+def transfer_per_instruction(
+    program: Program,
+    cfg: FunctionCFG,
+    block_in: list[frozenset],
+    step: Callable[[frozenset, int], frozenset],
+) -> dict[int, frozenset]:
+    """Propagate block IN facts instruction-by-instruction with *step*,
+    returning the fact holding just before each pc."""
+    facts: dict[int, frozenset] = {}
+    for block in cfg.blocks:
+        fact = block_in[block.id]
+        for pc in range(block.start, block.end):
+            facts[pc] = fact
+            fact = step(fact, pc)
+    return facts

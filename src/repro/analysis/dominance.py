@@ -1,0 +1,126 @@
+"""Dominator trees and dominance frontiers.
+
+Implements the Cooper–Harvey–Kennedy "engineered" dominance algorithm and
+the Cytron et al. dominance-frontier computation over plain adjacency lists,
+so the same code serves forward dominance (loop detection) and reverse
+dominance (control dependence): postdominators are dominators of the reverse
+graph, and the *reverse dominance frontier* used by the paper (§2.2, §4.4.1)
+is the dominance frontier computed on the reverse graph.
+"""
+
+from __future__ import annotations
+
+UNDEFINED = -2
+"""Marker for nodes unreachable from the entry (no dominator information)."""
+
+
+def reverse_postorder(n: int, succs: list[list[int]], entry: int) -> list[int]:
+    """Reverse postorder over the nodes reachable from *entry*.
+
+    Iterative DFS (benchmark CFGs can be deep enough to overflow Python's
+    recursion limit).
+    """
+    visited = [False] * n
+    postorder: list[int] = []
+    # Stack of (node, iterator state) pairs.
+    stack: list[tuple[int, int]] = [(entry, 0)]
+    visited[entry] = True
+    while stack:
+        node, idx = stack.pop()
+        node_succs = succs[node]
+        while idx < len(node_succs) and visited[node_succs[idx]]:
+            idx += 1
+        if idx < len(node_succs):
+            stack.append((node, idx + 1))
+            child = node_succs[idx]
+            visited[child] = True
+            stack.append((child, 0))
+        else:
+            postorder.append(node)
+    postorder.reverse()
+    return postorder
+
+
+def immediate_dominators(n: int, succs: list[list[int]], entry: int) -> list[int]:
+    """Immediate dominator of each node (entry's idom is itself).
+
+    Unreachable nodes get :data:`UNDEFINED`.
+    """
+    preds: list[list[int]] = [[] for _ in range(n)]
+    for node in range(n):
+        for succ in succs[node]:
+            preds[succ].append(node)
+
+    order = reverse_postorder(n, succs, entry)
+    rpo_number = {node: i for i, node in enumerate(order)}
+    idom = [UNDEFINED] * n
+    idom[entry] = entry
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while rpo_number[a] > rpo_number[b]:
+                a = idom[a]
+            while rpo_number[b] > rpo_number[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == entry:
+                continue
+            new_idom = UNDEFINED
+            for pred in preds[node]:
+                if idom[pred] == UNDEFINED:
+                    continue
+                new_idom = pred if new_idom == UNDEFINED else intersect(pred, new_idom)
+            if new_idom != UNDEFINED and idom[node] != new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+def dominates(idom: list[int], a: int, b: int, entry: int) -> bool:
+    """True if *a* dominates *b* (reflexive), per the idom tree."""
+    node = b
+    while True:
+        if node == a:
+            return True
+        if node == entry or idom[node] == UNDEFINED:
+            return False
+        node = idom[node]
+
+
+def dominance_frontiers(
+    n: int, succs: list[list[int]], idom: list[int], entry: int
+) -> list[set[int]]:
+    """Cytron et al. dominance frontiers from an idom array."""
+    preds: list[list[int]] = [[] for _ in range(n)]
+    for node in range(n):
+        for succ in succs[node]:
+            preds[succ].append(node)
+
+    frontiers: list[set[int]] = [set() for _ in range(n)]
+    for node in range(n):
+        if idom[node] == UNDEFINED or len(preds[node]) < 2:
+            continue
+        for pred in preds[node]:
+            if idom[pred] == UNDEFINED:
+                continue
+            runner = pred
+            while runner != idom[node] and runner != UNDEFINED:
+                frontiers[runner].add(node)
+                if runner == entry and idom[node] != entry:
+                    break  # malformed idom chain; stay safe
+                runner = idom[runner]
+    return frontiers
+
+
+def dominator_tree_children(idom: list[int], entry: int) -> list[list[int]]:
+    """Children lists of the dominator tree."""
+    children: list[list[int]] = [[] for _ in idom]
+    for node, dom in enumerate(idom):
+        if node != entry and dom != UNDEFINED:
+            children[dom].append(node)
+    return children

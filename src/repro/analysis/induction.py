@@ -1,0 +1,179 @@
+"""Induction-variable analysis and perfect-unrolling overhead marking.
+
+The paper (§4.2) simulates *perfect and complete loop unrolling* by removing
+from the trace every instruction that exists only to drive the loop:
+
+1. instructions that increment a loop index / induction register by a
+   constant exactly once per loop iteration;
+2. comparisons of loop indices with loop-invariant values;
+3. branches based on the results of such comparisons.
+
+This module finds those static instructions.  A register qualifies as a
+*basic induction register* of a loop when:
+
+* exactly one instruction in the loop writes it, of the self-increment form
+  ``addi r, r, imm``;
+* that instruction executes exactly once per iteration — its block dominates
+  every back-edge tail and is not inside a nested loop.
+
+A value is *loop-invariant* when it is an immediate, ``$zero``, or a
+register with no definition inside the loop.  Comparisons are matched to the
+branches they feed by local (within-block) def-use chains, which is how the
+code generators of interest always lay them out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import FunctionCFG
+from repro.analysis.dominance import UNDEFINED, dominates
+from repro.analysis.loops import NaturalLoop, find_loops, loop_dominator_info
+from repro.isa import Instruction, Opcode, OpKind, Program, registers
+
+_COMPARE_OPS = frozenset(
+    {
+        Opcode.SLT, Opcode.SLE, Opcode.SEQ, Opcode.SNE, Opcode.SGT, Opcode.SGE,
+        Opcode.SLTI, Opcode.SLEI, Opcode.SEQI, Opcode.SNEI, Opcode.SGTI,
+        Opcode.SGEI, Opcode.SUB,
+    }
+)
+# `sub` appears because some code generators branch on `i - n` directly.
+
+
+@dataclass(frozen=True)
+class LoopInductionInfo:
+    """Per-loop result: the induction registers and the overhead pcs."""
+
+    loop: NaturalLoop
+    induction_regs: frozenset[int]
+    overhead_pcs: frozenset[int]
+
+
+def _instructions_in(loop: NaturalLoop, cfg: FunctionCFG):
+    for block_id in sorted(loop.body):
+        block = cfg.blocks[block_id]
+        for pc in range(block.start, block.end):
+            yield block_id, pc
+
+
+def _nested_blocks(loop: NaturalLoop, all_loops: list[NaturalLoop]) -> frozenset[int]:
+    """Blocks of *loop* that belong to some strictly nested loop."""
+    nested: set[int] = set()
+    for other in all_loops:
+        if other is loop:
+            continue
+        if other.body < loop.body:
+            nested |= other.body
+    return frozenset(nested)
+
+
+def analyze_loop(
+    program: Program,
+    cfg: FunctionCFG,
+    loop: NaturalLoop,
+    all_loops: list[NaturalLoop],
+    idom: list[int],
+) -> LoopInductionInfo:
+    """Find induction registers and unroll-overhead instructions of *loop*."""
+    instructions = program.instructions
+    nested = _nested_blocks(loop, all_loops)
+
+    # Map register -> pcs that define it anywhere in the loop.
+    defs: dict[int, list[int]] = {}
+    for _, pc in _instructions_in(loop, cfg):
+        for reg in instructions[pc].writes:
+            defs.setdefault(reg, []).append(pc)
+
+    def executes_once_per_iteration(block_id: int) -> bool:
+        if block_id in nested:
+            return False
+        if idom[block_id] == UNDEFINED:
+            return False
+        return all(
+            dominates(idom, block_id, tail, cfg.entry) for tail in loop.tails
+        )
+
+    # -- 1. basic induction registers -------------------------------------
+    induction: set[int] = set()
+    increments: dict[int, int] = {}  # register -> incrementing pc
+    for block_id, pc in _instructions_in(loop, cfg):
+        instr = instructions[pc]
+        if (
+            instr.opcode is Opcode.ADDI
+            and instr.rd == instr.rs
+            and instr.rd != registers.ZERO
+            and len(defs.get(instr.rd, ())) == 1
+            and executes_once_per_iteration(block_id)
+        ):
+            induction.add(instr.rd)
+            increments[instr.rd] = pc
+
+    def invariant(reg: int) -> bool:
+        return reg == registers.ZERO or reg not in defs
+
+    def index_comparison(instr: Instruction) -> bool:
+        """True for a comparison of induction register(s) with invariants."""
+        if instr.opcode not in _COMPARE_OPS:
+            return False
+        sources = instr.reads
+        if not any(reg in induction for reg in sources):
+            return False
+        return all(reg in induction or invariant(reg) for reg in sources)
+
+    # -- 2 & 3. comparisons and the branches they feed ----------------------
+    overhead: set[int] = set(increments.values())
+    for block_id in sorted(loop.body):
+        block = cfg.blocks[block_id]
+        terminator_pc = block.terminator_pc
+        terminator = instructions[terminator_pc]
+        if terminator.kind is not OpKind.BRANCH:
+            continue
+        sources = terminator.reads
+        # Case A: the branch tests induction/invariant registers directly.
+        if any(reg in induction for reg in sources) and all(
+            reg in induction or invariant(reg) for reg in sources
+        ):
+            overhead.add(terminator_pc)
+            continue
+        # Case B: the branch tests the result of an index comparison defined
+        # earlier in the same block (local def-use walk).
+        marked_compare: list[int] = []
+        feeds_branch = True
+        for reg in sources:
+            if reg == registers.ZERO:
+                continue
+            def_pc = _local_def(instructions, block.start, terminator_pc, reg)
+            if def_pc is None or not index_comparison(instructions[def_pc]):
+                feeds_branch = False
+                break
+            marked_compare.append(def_pc)
+        if feeds_branch and marked_compare:
+            overhead.add(terminator_pc)
+            overhead.update(marked_compare)
+
+    return LoopInductionInfo(
+        loop=loop,
+        induction_regs=frozenset(induction),
+        overhead_pcs=frozenset(overhead),
+    )
+
+
+def _local_def(instructions, start: int, before: int, reg: int) -> int | None:
+    """The pc defining *reg* last before *before* within [start, before)."""
+    for pc in range(before - 1, start - 1, -1):
+        if reg in instructions[pc].writes:
+            return pc
+    return None
+
+
+def loop_overhead_pcs(program: Program, cfg: FunctionCFG) -> frozenset[int]:
+    """Union of unroll-overhead pcs over every natural loop of *cfg*."""
+    loops = find_loops(cfg)
+    if not loops:
+        return frozenset()
+    idom = loop_dominator_info(cfg)
+    overhead: set[int] = set()
+    for loop in loops:
+        overhead |= analyze_loop(program, cfg, loop, loops, idom).overhead_pcs
+    return frozenset(overhead)

@@ -1,0 +1,80 @@
+"""Natural-loop detection on function CFGs.
+
+A back edge is a CFG edge ``tail -> header`` whose header dominates its
+tail; the natural loop of a header is the union of the header and all nodes
+that reach some back-edge tail without passing through the header.  Loops
+sharing a header are merged, as usual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import EXIT_BLOCK, FunctionCFG
+from repro.analysis.dominance import UNDEFINED, dominates, immediate_dominators
+
+
+@dataclass(frozen=True)
+class NaturalLoop:
+    """One natural loop: header block, body blocks (incl. header), back edges."""
+
+    header: int
+    body: frozenset[int]
+    back_edges: tuple[tuple[int, int], ...]
+
+    @property
+    def tails(self) -> tuple[int, ...]:
+        return tuple(tail for tail, _ in self.back_edges)
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self.body
+
+
+def _forward_graph(cfg: FunctionCFG) -> list[list[int]]:
+    return [
+        [succ for succ in block.succs if succ != EXIT_BLOCK]
+        for block in cfg.blocks
+    ]
+
+
+def find_loops(cfg: FunctionCFG) -> list[NaturalLoop]:
+    """All natural loops of *cfg*, outermost-first by body size."""
+    succs = _forward_graph(cfg)
+    n = len(cfg.blocks)
+    if n == 0:
+        return []
+    idom = immediate_dominators(n, succs, cfg.entry)
+
+    back_edges_by_header: dict[int, list[tuple[int, int]]] = {}
+    for tail in range(n):
+        if idom[tail] == UNDEFINED:
+            continue  # unreachable code cannot form a (meaningful) loop
+        for head in succs[tail]:
+            if dominates(idom, head, tail, cfg.entry):
+                back_edges_by_header.setdefault(head, []).append((tail, head))
+
+    preds: list[list[int]] = [[] for _ in range(n)]
+    for node in range(n):
+        for succ in succs[node]:
+            preds[succ].append(node)
+
+    loops: list[NaturalLoop] = []
+    for header, edges in sorted(back_edges_by_header.items()):
+        body = {header}
+        stack = [tail for tail, _ in edges if tail != header]
+        while stack:
+            node = stack.pop()
+            if node in body:
+                continue
+            body.add(node)
+            stack.extend(pred for pred in preds[node] if pred not in body)
+        loops.append(
+            NaturalLoop(header=header, body=frozenset(body), back_edges=tuple(edges))
+        )
+    loops.sort(key=lambda loop: -len(loop.body))
+    return loops
+
+
+def loop_dominator_info(cfg: FunctionCFG) -> list[int]:
+    """Forward immediate dominators of *cfg* (shared by induction analysis)."""
+    return immediate_dominators(len(cfg.blocks), _forward_graph(cfg), cfg.entry)

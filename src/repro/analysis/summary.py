@@ -1,0 +1,90 @@
+"""Whole-program static analysis summary consumed by the limit analyzer.
+
+One :func:`analyze_program` call runs every static analysis the limit study
+needs and flattens the results into per-pc arrays, so the hot trace loop in
+:mod:`repro.core.analyzer` does plain list indexing:
+
+* ``block_of_pc``  — global basic-block id of each instruction;
+* ``cd_of_pc``     — immediate control-dependence branch pcs of each
+  instruction (intraprocedural, from the reverse dominance frontier);
+* ``func_of_pc``   — covering function index;
+* ``loop_overhead``— pcs removed from traces by *perfect loop unrolling*.
+
+Global block ids number the blocks of all function CFGs consecutively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import FunctionCFG, build_cfgs
+from repro.analysis.control_dependence import (
+    ControlDependence,
+    compute_control_dependence,
+)
+from repro.analysis.induction import loop_overhead_pcs
+from repro.analysis.loops import NaturalLoop, find_loops
+from repro.isa import Program
+
+
+@dataclass(frozen=True)
+class ProgramAnalysis:
+    """Aggregated static analysis of one program."""
+
+    program: Program
+    cfgs: tuple[FunctionCFG, ...]
+    control_dependence: tuple[ControlDependence, ...]
+    loops: tuple[tuple[int, NaturalLoop], ...]  # (function index, loop)
+    n_blocks: int
+    block_of_pc: tuple[int, ...]
+    block_start: tuple[int, ...]  # per global block id
+    cd_of_pc: tuple[tuple[int, ...], ...]
+    func_of_pc: tuple[int, ...]
+    loop_overhead: frozenset[int]
+
+    def is_block_leader(self, pc: int) -> bool:
+        return self.block_start[self.block_of_pc[pc]] == pc
+
+
+def analyze_program(program: Program) -> ProgramAnalysis:
+    """Run CFG construction, control dependence, and loop/induction analysis."""
+    cfgs = tuple(build_cfgs(program))
+    n = len(program)
+
+    block_of_pc = [0] * n
+    func_of_pc = [0] * n
+    block_start: list[int] = []
+    cd_of_pc: list[tuple[int, ...]] = [()] * n
+    control_deps: list[ControlDependence] = []
+    loops: list[tuple[int, NaturalLoop]] = []
+    overhead: set[int] = set()
+
+    next_block = 0
+    for func_idx, cfg in enumerate(cfgs):
+        cd = compute_control_dependence(program, cfg)
+        control_deps.append(cd)
+        for loop in find_loops(cfg):
+            loops.append((func_idx, loop))
+        overhead |= loop_overhead_pcs(program, cfg)
+        for block in cfg.blocks:
+            global_id = next_block + block.id
+            block_start.append(block.start)
+            deps = cd.block_deps[block.id]
+            for pc in range(block.start, block.end):
+                block_of_pc[pc] = global_id
+                func_of_pc[pc] = func_idx
+                cd_of_pc[pc] = deps
+        next_block += len(cfg.blocks)
+
+    return ProgramAnalysis(
+        program=program,
+        cfgs=cfgs,
+        control_dependence=tuple(control_deps),
+        loops=tuple(loops),
+        n_blocks=next_block,
+        block_of_pc=tuple(block_of_pc),
+        block_start=tuple(block_start),
+        cd_of_pc=tuple(cd_of_pc),
+        func_of_pc=tuple(func_of_pc),
+        loop_overhead=frozenset(overhead),
+    )

@@ -1,0 +1,7 @@
+"""Assembler and disassembler for the repro ISA."""
+
+from repro.asm.assembler import assemble
+from repro.asm.disassembler import disassemble
+from repro.asm.errors import AsmError
+
+__all__ = ["AsmError", "assemble", "disassemble"]

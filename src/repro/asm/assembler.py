@@ -1,0 +1,526 @@
+"""A two-pass assembler for the repro ISA.
+
+Syntax summary (MIPS-flavoured)::
+
+    # comment           ; also a comment
+    .data
+    vec:    .word 1, 2, 3
+    pi:     .float 3.14159
+    buf:    .space 32           # 32 zero words
+    msg:    .asciiz "hi\\n"      # one word per character + NUL
+    .text
+    .func main                  # function symbols delimit CFG regions
+    main:
+        li   $t0, 10
+        la   $t1, vec
+        lw   $t2, 0($t1)
+    loop:
+        addi $t0, $t0, -1
+        bgtz $t0, loop
+        jr   $ra
+    .endfunc
+
+Pseudo-instructions expanded by the assembler:
+
+=============================  =========================================
+``la rd, label``               ``li rd, <address of label>``
+``beqz rs, l`` / ``bnez``      ``beq/bne rs, $zero, l``
+``blt/ble/bgt/bge rs, rt, l``  ``slt/sle/sgt/sge $at, rs, rt`` + ``bnez``
+``neg rd, rs``                 ``sub rd, $zero, rs``
+``not rd, rs``                 ``nor rd, rs, $zero``
+``ret``                        ``jr $ra``
+``b l``                        ``j l``
+=============================  =========================================
+
+The entry point is the ``__start`` label if present, else ``main``, else
+instruction 0.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.asm.errors import AsmError
+from repro.isa import registers
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import MNEMONICS, Opcode, info
+from repro.isa.program import GLOBALS_BASE, FunctionSymbol, Program
+
+_MEM_RE = re.compile(r"^(?P<disp>[^()]*)\((?P<base>[^()]+)\)$")
+_LABEL_REF_RE = re.compile(r"^(?P<name>[A-Za-z_.$][\w.$]*)(?P<off>[+-]\d+)?$")
+
+
+@dataclass
+class _PendingInstr:
+    """An instruction awaiting label resolution."""
+
+    opcode: Opcode
+    rd: int | None = None
+    rs: int | None = None
+    rt: int | None = None
+    imm: int | float | None = None
+    label: str | None = None  # code-label operand
+    imm_label: str | None = None  # label used as an address immediate (la)
+    imm_offset: int = 0
+    line: int = 0
+    text: str = ""
+
+
+@dataclass
+class _State:
+    code: list[_PendingInstr] = field(default_factory=list)
+    code_labels: dict[str, int] = field(default_factory=dict)
+    functions: list[FunctionSymbol] = field(default_factory=list)
+    data: dict[int, int | float] = field(default_factory=dict)
+    data_labels: dict[str, int] = field(default_factory=dict)
+    # Deferred `.word label` references (jump tables name code labels that
+    # are defined later): (data address, label, offset, line, text).
+    data_fixups: list[tuple[int, str, int, int, str]] = field(default_factory=list)
+    # `.jumptable label, count` declarations: (label, count, line, text).
+    jump_table_decls: list[tuple[str, int, int, str]] = field(default_factory=list)
+    data_cursor: int = GLOBALS_BASE
+    in_data: bool = False
+    open_func: tuple[str, int] | None = None
+
+
+def assemble(source: str, name: str = "a.out") -> Program:
+    """Assemble *source* text into a :class:`Program`."""
+    state = _State()
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        _assemble_line(state, raw, lineno)
+    if state.open_func is not None:
+        raise AsmError(f"unterminated .func {state.open_func[0]}")
+    for address, label, offset, lineno, raw in state.data_fixups:
+        target = state.data_labels.get(label)
+        if target is None:
+            target = state.code_labels.get(label)
+        if target is None:
+            raise AsmError(f".word references undefined label {label!r}", lineno, raw)
+        state.data[address] = target + offset
+    instructions = tuple(_resolve(state, pending) for pending in state.code)
+    jump_tables: dict[int, tuple[int, ...]] = {}
+    for label, count, lineno, raw in state.jump_table_decls:
+        base = state.data_labels.get(label)
+        if base is None:
+            raise AsmError(f".jumptable references unknown label {label!r}", lineno, raw)
+        targets = []
+        for i in range(count):
+            value = state.data.get(base + i)
+            if not isinstance(value, int):
+                raise AsmError(
+                    f".jumptable {label!r} entry {i} is not an integer", lineno, raw
+                )
+            targets.append(value)
+        jump_tables[base] = tuple(targets)
+    entry = state.code_labels.get("__start", state.code_labels.get("main", 0))
+    return Program(
+        instructions=instructions,
+        functions=tuple(state.functions),
+        code_labels=dict(state.code_labels),
+        data=dict(state.data),
+        data_labels=dict(state.data_labels),
+        data_break=state.data_cursor,
+        entry=entry,
+        name=name,
+        jump_tables=jump_tables,
+    )
+
+
+# ---------------------------------------------------------------------------
+# line handling
+
+
+def _assemble_line(state: _State, raw: str, lineno: int) -> None:
+    text = _strip_comment(raw).strip()
+    while text:
+        match = re.match(r"^([A-Za-z_.$][\w.$]*)\s*:\s*", text)
+        if not match:
+            break
+        _define_label(state, match.group(1), lineno, raw)
+        text = text[match.end():]
+    if not text:
+        return
+    if text.startswith("."):
+        _directive(state, text, lineno, raw)
+    else:
+        if state.in_data:
+            raise AsmError("instruction in .data section", lineno, raw)
+        _instruction(state, text, lineno, raw)
+
+
+def _strip_comment(line: str) -> str:
+    out: list[str] = []
+    in_str = False
+    for ch in line:
+        if ch == '"':
+            in_str = not in_str
+        if not in_str and ch in "#;":
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def _define_label(state: _State, label: str, lineno: int, raw: str) -> None:
+    table = state.data_labels if state.in_data else state.code_labels
+    other = state.code_labels if state.in_data else state.data_labels
+    if label in table or label in other:
+        raise AsmError(f"duplicate label {label!r}", lineno, raw)
+    table[label] = state.data_cursor if state.in_data else len(state.code)
+
+
+def _directive(state: _State, text: str, lineno: int, raw: str) -> None:
+    parts = text.split(None, 1)
+    directive = parts[0]
+    rest = parts[1] if len(parts) > 1 else ""
+    if directive == ".data":
+        state.in_data = True
+    elif directive == ".text":
+        state.in_data = False
+    elif directive == ".globl":
+        pass  # accepted for MIPS compatibility; symbols are always visible
+    elif directive == ".func":
+        if state.open_func is not None:
+            raise AsmError(
+                f"nested .func (still inside {state.open_func[0]})", lineno, raw
+            )
+        if not rest:
+            raise AsmError(".func needs a name", lineno, raw)
+        state.open_func = (rest.strip(), len(state.code))
+    elif directive == ".endfunc":
+        if state.open_func is None:
+            raise AsmError(".endfunc without .func", lineno, raw)
+        func_name, start = state.open_func
+        if len(state.code) == start:
+            raise AsmError(f"empty function {func_name}", lineno, raw)
+        state.functions.append(FunctionSymbol(func_name, start, len(state.code)))
+        state.open_func = None
+    elif directive == ".word":
+        for item in _split_operands(rest):
+            state.data[state.data_cursor] = _word_value(state, item, lineno, raw)
+            state.data_cursor += 1
+    elif directive == ".float":
+        for item in _split_operands(rest):
+            state.data[state.data_cursor] = float(item)
+            state.data_cursor += 1
+    elif directive == ".space":
+        count = _parse_int(rest, lineno, raw)
+        if count < 0:
+            raise AsmError(".space needs a non-negative count", lineno, raw)
+        for _ in range(count):
+            state.data[state.data_cursor] = 0
+            state.data_cursor += 1
+    elif directive == ".jumptable":
+        parts = _split_operands(rest)
+        if len(parts) != 2:
+            raise AsmError(".jumptable needs `label, count`", lineno, raw)
+        count = _parse_int(parts[1], lineno, raw)
+        if count <= 0:
+            raise AsmError(".jumptable count must be positive", lineno, raw)
+        state.jump_table_decls.append((parts[0].strip(), count, lineno, raw))
+    elif directive == ".asciiz":
+        for ch in _parse_string(rest, lineno, raw):
+            state.data[state.data_cursor] = ord(ch)
+            state.data_cursor += 1
+        state.data[state.data_cursor] = 0
+        state.data_cursor += 1
+    else:
+        raise AsmError(f"unknown directive {directive}", lineno, raw)
+
+
+def _word_value(state: _State, item: str, lineno: int, raw: str):
+    try:
+        return _parse_int(item, lineno, raw)
+    except AsmError:
+        pass
+    match = _LABEL_REF_RE.match(item)
+    if match:
+        name = match.group("name")
+        offset = int(match.group("off") or 0)
+        if name in state.data_labels:
+            return state.data_labels[name] + offset
+        # Forward reference (e.g. a jump-table entry naming a code label):
+        # emit a placeholder and fix it up after both symbol tables exist.
+        state.data_fixups.append((state.data_cursor, name, offset, lineno, raw))
+        return 0
+    raise AsmError(f"bad .word value {item!r}", lineno, raw)
+
+
+# ---------------------------------------------------------------------------
+# instructions
+
+
+def _instruction(state: _State, text: str, lineno: int, raw: str) -> None:
+    parts = text.split(None, 1)
+    mnemonic = parts[0].lower()
+    operands = _split_operands(parts[1]) if len(parts) > 1 else []
+    for pending in _expand(mnemonic, operands, lineno, raw):
+        state.code.append(pending)
+
+
+def _expand(
+    mnemonic: str, ops: list[str], lineno: int, raw: str
+) -> list[_PendingInstr]:
+    """Expand pseudo-instructions and parse real ones."""
+    if mnemonic == "la":
+        _expect(len(ops) == 2, "la needs 2 operands", lineno, raw)
+        rd = _reg(ops[0], lineno, raw)
+        match = _LABEL_REF_RE.match(ops[1])
+        _expect(match is not None, f"bad address operand {ops[1]!r}", lineno, raw)
+        assert match is not None
+        return [
+            _PendingInstr(
+                Opcode.LI,
+                rd=rd,
+                imm_label=match.group("name"),
+                imm_offset=int(match.group("off") or 0),
+                line=lineno,
+                text=raw,
+            )
+        ]
+    if mnemonic in ("beqz", "bnez"):
+        _expect(len(ops) == 2, f"{mnemonic} needs 2 operands", lineno, raw)
+        opcode = Opcode.BEQ if mnemonic == "beqz" else Opcode.BNE
+        return [
+            _PendingInstr(
+                opcode,
+                rs=_reg(ops[0], lineno, raw),
+                rt=registers.ZERO,
+                label=ops[1],
+                line=lineno,
+                text=raw,
+            )
+        ]
+    if mnemonic in ("blt", "ble", "bgt", "bge"):
+        _expect(len(ops) == 3, f"{mnemonic} needs 3 operands", lineno, raw)
+        compare = {
+            "blt": Opcode.SLT, "ble": Opcode.SLE,
+            "bgt": Opcode.SGT, "bge": Opcode.SGE,
+        }[mnemonic]
+        return [
+            _PendingInstr(
+                compare,
+                rd=registers.AT,
+                rs=_reg(ops[0], lineno, raw),
+                rt=_reg(ops[1], lineno, raw),
+                line=lineno,
+                text=raw,
+            ),
+            _PendingInstr(
+                Opcode.BNE,
+                rs=registers.AT,
+                rt=registers.ZERO,
+                label=ops[2],
+                line=lineno,
+                text=raw,
+            ),
+        ]
+    if mnemonic == "neg":
+        _expect(len(ops) == 2, "neg needs 2 operands", lineno, raw)
+        return [
+            _PendingInstr(
+                Opcode.SUB,
+                rd=_reg(ops[0], lineno, raw),
+                rs=registers.ZERO,
+                rt=_reg(ops[1], lineno, raw),
+                line=lineno,
+                text=raw,
+            )
+        ]
+    if mnemonic == "not":
+        _expect(len(ops) == 2, "not needs 2 operands", lineno, raw)
+        return [
+            _PendingInstr(
+                Opcode.NOR,
+                rd=_reg(ops[0], lineno, raw),
+                rs=_reg(ops[1], lineno, raw),
+                rt=registers.ZERO,
+                line=lineno,
+                text=raw,
+            )
+        ]
+    if mnemonic == "ret":
+        _expect(not ops, "ret takes no operands", lineno, raw)
+        return [_PendingInstr(Opcode.JR, rs=registers.RA, line=lineno, text=raw)]
+    if mnemonic == "b":
+        _expect(len(ops) == 1, "b needs 1 operand", lineno, raw)
+        return [_PendingInstr(Opcode.J, label=ops[0], line=lineno, text=raw)]
+    # -- a real opcode ----------------------------------------------------
+    opcode = MNEMONICS.get(mnemonic)
+    if opcode is None:
+        raise AsmError(f"unknown mnemonic {mnemonic!r}", lineno, raw)
+    return [_parse_real(opcode, ops, lineno, raw)]
+
+
+def _parse_real(
+    opcode: Opcode, ops: list[str], lineno: int, raw: str
+) -> _PendingInstr:
+    spec = info(opcode)
+    _expect(
+        len(ops) == len(spec.operands),
+        f"{opcode.value} needs {len(spec.operands)} operands, got {len(ops)}",
+        lineno,
+        raw,
+    )
+    pending = _PendingInstr(opcode, line=lineno, text=raw)
+    for code, text in zip(spec.operands, ops):
+        if code in ("rd", "fd", "rd!", "fd!"):
+            pending.rd = _reg(text, lineno, raw, fp=code.startswith("fd"))
+        elif code in ("rs", "fs"):
+            pending.rs = _reg(text, lineno, raw, fp=code == "fs")
+        elif code in ("rt", "ft"):
+            pending.rt = _reg(text, lineno, raw, fp=code == "ft")
+        elif code == "imm":
+            pending.imm = _parse_int(text, lineno, raw)
+        elif code == "fimm":
+            try:
+                pending.imm = float(text)
+            except ValueError:
+                raise AsmError(f"bad float immediate {text!r}", lineno, raw) from None
+        elif code == "mem":
+            base, disp, disp_label, disp_offset = _parse_mem(text, lineno, raw)
+            pending.rs = base
+            if disp_label is not None:
+                pending.imm_label = disp_label
+                pending.imm_offset = disp_offset
+            else:
+                pending.imm = disp
+        elif code == "label":
+            pending.label = text
+    return pending
+
+
+def _resolve(state: _State, pending: _PendingInstr) -> Instruction:
+    imm = pending.imm
+    if pending.imm_label is not None:
+        address = state.data_labels.get(pending.imm_label)
+        if address is None:
+            address = state.code_labels.get(pending.imm_label)
+        if address is None:
+            raise AsmError(
+                f"undefined label {pending.imm_label!r}", pending.line, pending.text
+            )
+        imm = address + pending.imm_offset
+    target = None
+    if pending.label is not None:
+        target = state.code_labels.get(pending.label)
+        if target is None:
+            raise AsmError(
+                f"undefined code label {pending.label!r}", pending.line, pending.text
+            )
+        if target >= len(state.code):
+            raise AsmError(
+                f"label {pending.label!r} points past the end of code",
+                pending.line,
+                pending.text,
+            )
+    try:
+        return Instruction(
+            opcode=pending.opcode,
+            rd=pending.rd,
+            rs=pending.rs,
+            rt=pending.rt,
+            imm=imm,
+            target=target,
+            label=pending.label,
+        )
+    except ValueError as exc:
+        raise AsmError(str(exc), pending.line, pending.text) from None
+
+
+# ---------------------------------------------------------------------------
+# lexical helpers
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand list on commas, respecting parentheses and quotes."""
+    items: list[str] = []
+    depth = 0
+    in_str = False
+    current: list[str] = []
+    for ch in text:
+        if ch == '"':
+            in_str = not in_str
+        if ch == "(" and not in_str:
+            depth += 1
+        elif ch == ")" and not in_str:
+            depth -= 1
+        if ch == "," and depth == 0 and not in_str:
+            items.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        items.append(tail)
+    return items
+
+
+def _expect(cond: bool, message: str, lineno: int, raw: str) -> None:
+    if not cond:
+        raise AsmError(message, lineno, raw)
+
+
+def _reg(text: str, lineno: int, raw: str, fp: bool | None = None) -> int:
+    try:
+        reg = registers.parse_reg(text)
+    except ValueError as exc:
+        raise AsmError(str(exc), lineno, raw) from None
+    if fp is True and not registers.is_fp_reg(reg):
+        raise AsmError(f"expected FP register, got {text!r}", lineno, raw)
+    if fp is False and registers.is_fp_reg(reg):
+        raise AsmError(f"expected integer register, got {text!r}", lineno, raw)
+    return reg
+
+
+def _parse_mem(
+    text: str, lineno: int, raw: str
+) -> tuple[int, int | None, str | None, int]:
+    """Parse a ``disp(base)`` memory operand.
+
+    The displacement may be an integer, a data label, or ``label+offset``
+    (resolved to the label's address), enabling single-instruction absolute
+    global accesses like ``lw $t0, g_total($zero)``.
+
+    Returns ``(base_register, disp, disp_label, disp_label_offset)`` where
+    exactly one of ``disp`` / ``disp_label`` is meaningful.
+    """
+    match = _MEM_RE.match(text.strip())
+    if not match:
+        raise AsmError(f"bad memory operand {text!r}", lineno, raw)
+    base = _reg(match.group("base"), lineno, raw, fp=False)
+    disp_text = match.group("disp").strip()
+    if not disp_text:
+        return base, 0, None, 0
+    try:
+        return base, _parse_int(disp_text, lineno, raw), None, 0
+    except AsmError:
+        label_match = _LABEL_REF_RE.match(disp_text)
+        if label_match:
+            return (
+                base,
+                None,
+                label_match.group("name"),
+                int(label_match.group("off") or 0),
+            )
+        raise
+
+
+def _parse_int(text: str, lineno: int, raw: str) -> int:
+    text = text.strip()
+    if len(text) >= 3 and text.startswith("'") and text.endswith("'"):
+        body = text[1:-1].encode().decode("unicode_escape")
+        if len(body) != 1:
+            raise AsmError(f"bad character literal {text!r}", lineno, raw)
+        return ord(body)
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AsmError(f"bad integer {text!r}", lineno, raw) from None
+
+
+def _parse_string(text: str, lineno: int, raw: str) -> str:
+    text = text.strip()
+    if len(text) < 2 or not (text.startswith('"') and text.endswith('"')):
+        raise AsmError(f"bad string literal {text!r}", lineno, raw)
+    return text[1:-1].encode().decode("unicode_escape")

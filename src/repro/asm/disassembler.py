@@ -1,0 +1,58 @@
+"""Disassembler: render a :class:`~repro.isa.Program` back to readable text.
+
+The output round-trips through the assembler (labels are regenerated from
+resolved targets), which the test suite uses as a consistency check.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+
+
+def disassemble(program: Program) -> str:
+    """Render *program* as assembly text that re-assembles equivalently."""
+    # Collect every referenced code position so each gets a label.
+    targets = {
+        instr.target
+        for instr in program.instructions
+        if instr.target is not None
+    }
+    names: dict[int, str] = {}
+    for label, pc in program.code_labels.items():
+        names.setdefault(pc, label)
+    for target in sorted(targets):
+        names.setdefault(target, f"L{target}")
+
+    func_starts = {func.start: func for func in program.functions}
+    func_ends = {func.end for func in program.functions}
+
+    lines: list[str] = []
+    if program.data or program.data_labels:
+        lines.append(".data")
+        address_names = {addr: label for label, addr in program.data_labels.items()}
+        for addr in sorted(program.data):
+            prefix = f"{address_names[addr]}: " if addr in address_names else ""
+            value = program.data[addr]
+            directive = ".float" if isinstance(value, float) else ".word"
+            lines.append(f"{prefix}{directive} {value}")
+        for base, targets in sorted(program.jump_tables.items()):
+            if base in address_names:
+                lines.append(f".jumptable {address_names[base]}, {len(targets)}")
+        lines.append("")
+    lines.append(".text")
+    for pc, instr in enumerate(program.instructions):
+        if pc in func_ends:
+            lines.append(".endfunc")
+        if pc in func_starts:
+            lines.append(f".func {func_starts[pc].name}")
+        if pc in names:
+            lines.append(f"{names[pc]}:")
+        rendered = instr.render()
+        if instr.target is not None:
+            # Re-point the symbolic operand at the regenerated label name.
+            shown = instr.label if instr.label is not None else f"@{instr.target}"
+            rendered = rendered.replace(shown, names[instr.target])
+        lines.append(f"    {rendered}")
+    if len(program.instructions) in func_ends:
+        lines.append(".endfunc")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,14 @@
+"""Assembler error type with source positions."""
+
+from __future__ import annotations
+
+
+class AsmError(Exception):
+    """Raised on any assembly-time problem, carrying the source line."""
+
+    def __init__(self, message: str, line: int | None = None, text: str | None = None):
+        self.line = line
+        self.text = text
+        location = f"line {line}: " if line is not None else ""
+        detail = f"\n    {text.strip()}" if text else ""
+        super().__init__(f"{location}{message}{detail}")

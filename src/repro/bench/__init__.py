@@ -1,0 +1,13 @@
+"""Benchmark analogues of the paper's Table 1 suite.
+
+Seven non-numeric C programs (awk, ccom, eqntott, espresso, gcc, irsim,
+latex) and three FORTRAN-style numeric programs (matrix300, spice2g6,
+tomcatv), written in MiniC with deterministic generated workloads.  See
+DESIGN.md §2 for why each analogue preserves the control-flow behaviour
+the study measures.
+"""
+
+from repro.bench.spec import BenchmarkSpec
+from repro.bench.suite import NON_NUMERIC, NUMERIC, SUITE, get
+
+__all__ = ["BenchmarkSpec", "NON_NUMERIC", "NUMERIC", "SUITE", "get"]

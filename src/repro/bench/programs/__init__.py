@@ -1,0 +1,29 @@
+"""The ten benchmark programs, one module per paper Table 1 row."""
+
+from repro.bench.programs import (
+    awk,
+    ccom,
+    eqntott,
+    espresso,
+    gcc,
+    irsim,
+    latex,
+    matrix300,
+    spice2g6,
+    tomcatv,
+)
+
+ALL_SPECS = (
+    awk.SPEC,
+    ccom.SPEC,
+    eqntott.SPEC,
+    espresso.SPEC,
+    gcc.SPEC,
+    irsim.SPEC,
+    latex.SPEC,
+    matrix300.SPEC,
+    spice2g6.SPEC,
+    tomcatv.SPEC,
+)
+
+__all__ = ["ALL_SPECS"]

@@ -1,0 +1,146 @@
+"""``awk`` analogue — pattern scanning and text processing (C).
+
+The original benchmark runs awk scripts over text: field splitting,
+pattern matching, and per-line accumulation.  This analogue generates a
+deterministic pseudo-random "document" (words of letters ``a..f`` separated
+by spaces and newlines), then makes three awk-like passes:
+
+1. ``wc``: count characters, words, and lines;
+2. pattern matching: a hand-rolled substring scan for two patterns plus a
+   three-state tokenizer, accumulating the numbers of matching lines;
+3. field arithmetic: split each line into fields and sum a hash of the
+   second field of every line that matches a character-class test.
+
+All control flow is data dependent, mirroring the original's behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.bench.spec import BenchmarkSpec
+
+_TEMPLATE = """
+// awk analogue: pattern scanning over generated text
+int text[@BUF@];
+int textlen;
+
+// Position hash: models reading an input file -- each character is
+// independent of the others, exactly like the original's fread data.
+int mix(int x) {
+    x = x * 2654435761;
+    x = x ^ ((x >> 13) & 262143);
+    x = x * 1103515245 + 12345;
+    x = x ^ ((x >> 16) & 65535);
+    if (x < 0) x = -x;
+    return x;
+}
+
+void make_text(int n, int salt) {
+    for (int i = 0; i < n - 1; i++) {
+        int h = mix(i + salt * 131071);
+        int r = h % 41;
+        if (r < 5) text[i] = '\\n';
+        else if (r < 12) text[i] = ' ';
+        else text[i] = 'a' + h % 6;
+    }
+    text[n - 1] = 0;
+    textlen = n - 1;
+}
+
+// naive substring search: occurrences of pat (NUL terminated) in text
+int count_pattern(int *pat) {
+    int count = 0;
+    int i = 0;
+    while (text[i]) {
+        int j = 0;
+        while (pat[j] && text[i + j] == pat[j]) j++;
+        if (!pat[j]) count++;
+        i++;
+    }
+    return count;
+}
+
+int wc_chars; int wc_words; int wc_lines;
+
+void word_count() {
+    int in_word = 0;
+    int i = 0;
+    wc_chars = 0; wc_words = 0; wc_lines = 0;
+    while (text[i]) {
+        wc_chars++;
+        int c = text[i];
+        if (c == '\\n') wc_lines++;
+        if (c == ' ' || c == '\\n') in_word = 0;
+        else {
+            if (!in_word) wc_words++;
+            in_word = 1;
+        }
+        i++;
+    }
+}
+
+// sum a hash of field 2 on lines whose field 1 contains a 'c'
+int field_pass() {
+    int total = 0;
+    int i = 0;
+    while (text[i]) {
+        // start of a line
+        int field = 1;
+        int has_c = 0;
+        int hash = 0;
+        while (text[i] && text[i] != '\\n') {
+            int c = text[i];
+            if (c == ' ') {
+                field++;
+            } else {
+                if (field == 1 && c == 'c') has_c = 1;
+                if (field == 2) hash = hash * 31 + c;
+            }
+            i++;
+        }
+        if (has_c) total += hash;
+        if (text[i]) i++;  // skip newline
+    }
+    return total;
+}
+
+int pat1[4];
+int pat2[5];
+int sig[8];
+
+int main() {
+    int reps = @REPS@;
+    pat1[0] = 'a'; pat1[1] = 'b'; pat1[2] = 'c'; pat1[3] = 0;
+    pat2[0] = 'f'; pat2[1] = 'a'; pat2[2] = 'd'; pat2[3] = 'e'; pat2[4] = 0;
+    for (int r = 0; r < reps; r++) {
+        make_text(@N@, r);  // slack keeps pattern lookahead in bounds
+        word_count();
+        sig[r & 7] += wc_chars + wc_words * 3 + wc_lines * 7;
+        sig[(r + 1) & 7] += count_pattern(pat1) * 11;
+        sig[(r + 2) & 7] += count_pattern(pat2) * 13;
+        sig[(r + 3) & 7] += field_pass();
+    }
+    int checksum = 0;
+    for (int i = 0; i < 8; i++) checksum = checksum * 31 + sig[i];
+    return checksum;
+}
+"""
+
+
+def source(scale: int) -> str:
+    buf = 2000
+    reps = max(1, scale)
+    return (
+        _TEMPLATE.replace("@BUF@", str(buf))
+        .replace("@N@", str(buf - 8))
+        .replace("@REPS@", str(reps))
+    )
+
+
+SPEC = BenchmarkSpec(
+    name="awk",
+    language="C",
+    description="pattern scanning",
+    numeric=False,
+    source=source,
+    default_scale=5,
+)

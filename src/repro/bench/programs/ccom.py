@@ -1,0 +1,201 @@
+"""``ccom`` analogue — C compiler front end (C).
+
+The original is the MIPS C compiler's front end.  This analogue implements
+a miniature expression-language front end and runs it over generated
+sources: a recursive expression *generator* writes text into a buffer, a
+*lexer* tokenizes it, a recursive-descent *parser* with two precedence
+levels simultaneously evaluates the expression and *emits* stack-machine
+code, and a tiny VM executes that code as a consistency check.  The mix —
+character dispatch, deep recursion, table lookups — mirrors a compiler
+front end's data-dependent control flow.
+"""
+
+from __future__ import annotations
+
+from repro.bench.spec import BenchmarkSpec
+
+_TEMPLATE = """
+// ccom analogue: generate -> lex -> parse/emit -> execute, repeatedly
+int src[@BUF@];
+int srclen;
+int toks[@BUF@];      // token kinds
+int tokvals[@BUF@];   // token values
+int ntoks;
+int code_op[@BUF@];   // 0 push, 1 add, 2 sub, 3 mul, 4 div
+int code_arg[@BUF@];
+int ncode;
+int stack[256];
+int seed = 777;
+
+int rnd(int n) {
+    seed = seed * 1103515245 + 12345;
+    int v = seed >> 16;
+    if (v < 0) v = -v;
+    return v % n;
+}
+
+// ---- source generator -------------------------------------------------
+void put(int c) { src[srclen] = c; srclen++; }
+
+void gen_expr(int depth) {
+    int choice = rnd(10);
+    if (depth >= 6 || choice < 4) {
+        put('1' + rnd(9));
+        return;
+    }
+    if (choice < 6) {
+        put('(');
+        gen_expr(depth + 1);
+        put(')');
+        return;
+    }
+    gen_expr(depth + 1);
+    int op = rnd(4);
+    if (op == 0) put('+');
+    else if (op == 1) put('-');
+    else if (op == 2) put('*');
+    else put('/');
+    gen_expr(depth + 1);
+}
+
+// ---- lexer -----------------------------------------------------------
+// token kinds: 0 number, 1 '+', 2 '-', 3 '*', 4 '/', 5 '(', 6 ')', 7 eof
+void lex() {
+    int i = 0;
+    ntoks = 0;
+    while (i < srclen) {
+        int c = src[i];
+        if (c >= '0' && c <= '9') {
+            int value = 0;
+            while (i < srclen && src[i] >= '0' && src[i] <= '9') {
+                value = value * 10 + (src[i] - '0');
+                i++;
+            }
+            toks[ntoks] = 0;
+            tokvals[ntoks] = value;
+            ntoks++;
+        } else {
+            // operator dispatch through a jump table, like a real lexer
+            int kind;
+            switch (c) {
+                case '+': kind = 1; break;
+                case '-': kind = 2; break;
+                case '*': kind = 3; break;
+                case '/': kind = 4; break;
+                case '(': kind = 5; break;
+                case ')': kind = 6; break;
+                default:  kind = 7;
+            }
+            toks[ntoks] = kind;
+            tokvals[ntoks] = 0;
+            ntoks++;
+            i++;
+        }
+    }
+    toks[ntoks] = 7;
+    tokvals[ntoks] = 0;
+}
+
+// ---- parser + code emitter -----------------------------------------------
+int pos;
+
+void emit(int op, int arg) {
+    code_op[ncode] = op;
+    code_arg[ncode] = arg;
+    ncode++;
+}
+
+int parse_factor() {
+    if (toks[pos] == 5) {         // '('
+        pos++;
+        int value = parse_sum();
+        pos++;                    // ')'
+        return value;
+    }
+    int value = tokvals[pos];
+    emit(0, value);
+    pos++;
+    return value;
+}
+
+int parse_term() {
+    int value = parse_factor();
+    while (toks[pos] == 3 || toks[pos] == 4) {
+        int op = toks[pos];
+        pos++;
+        int rhs = parse_factor();
+        if (op == 3) { value = value * rhs; emit(3, 0); }
+        else {
+            if (rhs != 0) value = value / rhs;
+            emit(4, 0);
+        }
+    }
+    return value;
+}
+
+int parse_sum() {
+    int value = parse_term();
+    while (toks[pos] == 1 || toks[pos] == 2) {
+        int op = toks[pos];
+        pos++;
+        int rhs = parse_term();
+        if (op == 1) { value = value + rhs; emit(1, 0); }
+        else { value = value - rhs; emit(2, 0); }
+    }
+    return value;
+}
+
+// ---- stack machine ------------------------------------------------------
+int execute() {
+    int sp = 0;
+    for (int i = 0; i < ncode; i++) {
+        int op = code_op[i];
+        if (op == 0) { stack[sp] = code_arg[i]; sp++; }
+        else {
+            int b = stack[sp - 1];
+            int a = stack[sp - 2];
+            sp--;
+            if (op == 1) stack[sp - 1] = a + b;
+            else if (op == 2) stack[sp - 1] = a - b;
+            else if (op == 3) stack[sp - 1] = a * b;
+            else { if (b != 0) stack[sp - 1] = a / b; else stack[sp - 1] = a; }
+        }
+    }
+    return stack[0];
+}
+
+int main() {
+    int checksum = 0;
+    for (int unit = 0; unit < @UNITS@; unit++) {
+        srclen = 0;
+        ncode = 0;
+        seed = unit * 2654435761 + 777;  // independent compilation units
+        gen_expr(0);
+        lex();
+        pos = 0;
+        int parsed = parse_sum();
+        int executed = execute();
+        // parser folds with C division-by-zero guard; the stack machine
+        // guards differently, so only the parsed value feeds the checksum
+        // deterministically -- but both paths must run.
+        checksum = checksum * 31 + parsed + (executed & 15) + ntoks;
+    }
+    return checksum;
+}
+"""
+
+
+def source(scale: int) -> str:
+    return _TEMPLATE.replace("@BUF@", "2048").replace(
+        "@UNITS@", str(220 * max(1, scale))
+    )
+
+
+SPEC = BenchmarkSpec(
+    name="ccom",
+    language="C",
+    description="C compiler front-end",
+    numeric=False,
+    source=source,
+    default_scale=3,
+)

@@ -1,0 +1,115 @@
+"""``eqntott`` analogue — truth table generation (C).
+
+The original converts boolean equations into truth tables; the paper notes
+it "primarily executes a quicksort function which contains few data
+dependences".  This analogue builds the truth table of a randomly generated
+multi-output boolean function (one row per input assignment, valued by
+evaluating a sum-of-products form), then quicksorts the rows — recursively,
+as in the original — and finally scans for duplicate adjacent rows to build
+the output "PLA" signature.
+"""
+
+from __future__ import annotations
+
+from repro.bench.spec import BenchmarkSpec
+
+_TEMPLATE = """
+// eqntott analogue: truth table generation + quicksort
+int table[@ROWS@];
+int index_of[@ROWS@];
+int terms_and[@NTERMS@];
+int terms_xor[@NTERMS@];
+int sig[16];
+
+int mix(int x) {
+    x = x * 2654435761;
+    x = x ^ ((x >> 13) & 262143);
+    x = x * 1103515245 + 12345;
+    x = x ^ ((x >> 16) & 65535);
+    if (x < 0) x = -x;
+    return x;
+}
+
+void make_function(int salt) {
+    for (int t = 0; t < @NTERMS@; t++) {
+        terms_and[t] = mix(t * 2 + salt * 8191) % @ROWS@;
+        terms_xor[t] = mix(t * 2 + 1 + salt * 8191) % @ROWS@;
+    }
+}
+
+int eval_row(int assignment) {
+    // sum-of-products-ish evaluation with data-dependent short cuts
+    int value = 0;
+    for (int t = 0; t < @NTERMS@; t++) {
+        int masked = assignment & terms_and[t];
+        if (masked == terms_and[t]) value = value * 2 + 1;
+        else if (masked ^ terms_xor[t]) value = value * 3 + (masked & 7);
+        else value = value + 1;
+    }
+    return value;
+}
+
+void fill_table() {
+    for (int row = 0; row < @ROWS@; row++) {
+        table[row] = eval_row(row);
+        index_of[row] = row;
+    }
+}
+
+void quicksort(int lo, int hi) {
+    if (lo >= hi) return;
+    int pivot = table[(lo + hi) / 2];
+    int i = lo;
+    int j = hi;
+    while (i <= j) {
+        while (table[i] < pivot) i++;
+        while (table[j] > pivot) j--;
+        if (i <= j) {
+            int tmp = table[i]; table[i] = table[j]; table[j] = tmp;
+            tmp = index_of[i]; index_of[i] = index_of[j]; index_of[j] = tmp;
+            i++;
+            j--;
+        }
+    }
+    quicksort(lo, j);
+    quicksort(i, hi);
+}
+
+int main() {
+    for (int rep = 0; rep < @REPS@; rep++) {
+        make_function(rep);
+        fill_table();
+        quicksort(0, @ROWS@ - 1);
+        // signature: distinct-value count and a permutation hash, binned so
+        // the output pass has independent accumulation chains (the original
+        // writes its PLA rows out instead of folding them)
+        for (int row = 1; row < @ROWS@; row++) {
+            int bin = row & 15;
+            if (table[row] != table[row - 1]) sig[bin] += 1009;
+            sig[bin] += index_of[row] * 17 + (table[row] & 255);
+        }
+    }
+    int checksum = 0;
+    for (int i = 0; i < 16; i++) checksum = checksum * 31 + sig[i];
+    return checksum;
+}
+"""
+
+
+def source(scale: int) -> str:
+    rows = 1024
+    return (
+        _TEMPLATE.replace("@ROWS@", str(rows))
+        .replace("@NTERMS@", "12")
+        .replace("@REPS@", str(max(1, scale)))
+    )
+
+
+SPEC = BenchmarkSpec(
+    name="eqntott",
+    language="C",
+    description="truth table generation",
+    numeric=False,
+    source=source,
+    default_scale=3,
+)

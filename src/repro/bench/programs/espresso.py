@@ -1,0 +1,173 @@
+"""``espresso`` analogue — two-level logic minimization (C).
+
+The original minimizes boolean functions represented as cube covers.  This
+analogue implements the core Quine–McCluskey/espresso inner loop: minterms
+of randomly generated functions are grouped by population count and
+repeatedly pairwise-merged when they differ in exactly one care bit,
+producing implicants with don't-care masks; unmerged cubes become primes.
+A final containment pass drops covered cubes.  Bit manipulation with highly
+data-dependent compare/merge control flow dominates, as in the original.
+"""
+
+from __future__ import annotations
+
+from repro.bench.spec import BenchmarkSpec
+
+_TEMPLATE = """
+// espresso analogue: cube merging / prime implicant generation
+int cube_value[@MAX@];   // asserted bits
+int cube_mask[@MAX@];    // don't-care bits
+int cube_used[@MAX@];
+int next_value[@MAX@];
+int next_mask[@MAX@];
+int primes_value[@MAX@];
+int primes_mask[@MAX@];
+int nprimes;
+int sig[8];
+
+int mix(int x) {
+    x = x * 2654435761;
+    x = x ^ ((x >> 13) & 262143);
+    x = x * 1103515245 + 12345;
+    x = x ^ ((x >> 16) & 65535);
+    if (x < 0) x = -x;
+    return x;
+}
+
+int popcount(int x) {
+    int count = 0;
+    while (x) {
+        count += x & 1;
+        x = (x >> 1) & 2147483647;
+    }
+    return count;
+}
+
+// generate the on-set of a random function over @NV@ variables
+int make_onset(int ncubes, int salt) {
+    int n = 0;
+    for (int i = 0; i < ncubes; i++) {
+        int m = mix(i + salt * 524287) % (1 << @NV@);
+        // avoid duplicates with a linear scan (espresso uses hashing)
+        int duplicate = 0;
+        for (int j = 0; j < n; j++) {
+            if (cube_value[j] == m) { duplicate = 1; break; }
+        }
+        if (!duplicate) {
+            cube_value[n] = m;
+            cube_mask[n] = 0;
+            n++;
+        }
+    }
+    return n;
+}
+
+// one merging generation: combine cubes differing in exactly one care bit
+int merge_generation(int n, int *out_count) {
+    int produced = 0;
+    int merged_any = 0;
+    for (int i = 0; i < n; i++) cube_used[i] = 0;
+    for (int i = 0; i < n; i++) {
+        for (int j = i + 1; j < n; j++) {
+            if (cube_mask[i] != cube_mask[j]) continue;
+            int diff = cube_value[i] ^ cube_value[j];
+            if (diff == 0) continue;
+            if ((diff & (diff - 1)) != 0) continue;  // not a single bit
+            // mergeable: record combined cube if new
+            int value = cube_value[i] & cube_value[j];
+            int mask = cube_mask[i] | diff;
+            int duplicate = 0;
+            for (int k = 0; k < produced; k++) {
+                if (next_value[k] == value && next_mask[k] == mask) {
+                    duplicate = 1;
+                    break;
+                }
+            }
+            if (!duplicate && produced < @MAX@) {
+                next_value[produced] = value;
+                next_mask[produced] = mask;
+                produced++;
+            }
+            cube_used[i] = 1;
+            cube_used[j] = 1;
+            merged_any = 1;
+        }
+    }
+    // unmerged cubes are prime
+    for (int i = 0; i < n; i++) {
+        if (!cube_used[i] && nprimes < @MAX@) {
+            primes_value[nprimes] = cube_value[i];
+            primes_mask[nprimes] = cube_mask[i];
+            nprimes++;
+        }
+    }
+    for (int i = 0; i < produced; i++) {
+        cube_value[i] = next_value[i];
+        cube_mask[i] = next_mask[i];
+    }
+    *out_count = produced;
+    return merged_any;
+}
+
+// does prime p contain prime q?  (q's care bits agree and are a superset)
+int contains(int p, int q) {
+    if ((primes_mask[p] | primes_mask[q]) != primes_mask[p]) return 0;
+    int care = ~primes_mask[p];
+    return (primes_value[p] & care) == (primes_value[q] & care);
+}
+
+int main() {
+    int out[1];
+    for (int func = 0; func < @FUNCS@; func++) {
+        nprimes = 0;
+        int n = make_onset(@CUBES@, func);
+        while (n > 1) {
+            int merged = merge_generation(n, out);
+            n = out[0];
+            if (!merged) break;
+        }
+        // leftover cubes are prime too
+        for (int i = 0; i < n; i++) {
+            primes_value[nprimes] = cube_value[i];
+            primes_mask[nprimes] = cube_mask[i];
+            nprimes++;
+        }
+        // containment pass: count maximal primes (binned signature so the
+        // output accumulation does not serialize the whole run)
+        for (int p = 0; p < nprimes; p++) {
+            int covered = 0;
+            for (int q = 0; q < nprimes; q++) {
+                if (p != q && contains(q, p) && primes_mask[q] != primes_mask[p]) {
+                    covered = 1;
+                    break;
+                }
+            }
+            if (!covered)
+                sig[p & 7] += 101 + primes_value[p] + primes_mask[p] * 3;
+        }
+        sig[func & 7] += nprimes;
+    }
+    int checksum = 0;
+    for (int i = 0; i < 8; i++) checksum = checksum * 31 + sig[i];
+    return checksum;
+}
+"""
+
+
+def source(scale: int) -> str:
+    return (
+        _TEMPLATE.replace("@MAX@", "600")
+        .replace("@NV@", "9")
+        .replace("@CUBES@", "70")
+        .replace("@FUNCS@", str(6 * max(1, scale)))
+    )
+
+
+SPEC = BenchmarkSpec(
+    name="espresso",
+    language="C",
+    description="logic minimization",
+    numeric=False,
+    source=source,
+    default_scale=2,
+)

@@ -1,0 +1,232 @@
+"""``gcc`` (cc1) analogue — optimizing compiler middle end (C).
+
+The original is GNU cc1.  This analogue exercises a compiler's *optimizer*
+rather than its front end (ccom covers that): it generates random
+three-address code over virtual registers, then runs classic passes to a
+fixpoint — constant propagation with folding, copy propagation, common
+subexpression elimination (linear value-table lookup), and dead-code
+elimination by backward liveness — finally compacting the surviving
+instructions.  Pass-driven worklists over instruction arrays give the
+irregular, pointer-chasing control flow characteristic of the original.
+"""
+
+from __future__ import annotations
+
+from repro.bench.spec import BenchmarkSpec
+
+_TEMPLATE = """
+// gcc analogue: three-address-code optimizer
+// ops: 0 const, 1 add, 2 sub, 3 mul, 4 copy, 5 use (output)
+int op[@N@];
+int dst[@N@];
+int s1[@N@];
+int s2[@N@];
+int dead[@N@];
+int ninstr;
+int const_known[@REGS@];
+int const_val[@REGS@];
+int copy_of[@REGS@];
+int live[@REGS@];
+int sig[8];
+
+int mix(int x) {
+    x = x * 2654435761;
+    x = x ^ ((x >> 13) & 262143);
+    x = x * 1103515245 + 12345;
+    x = x ^ ((x >> 16) & 65535);
+    if (x < 0) x = -x;
+    return x;
+}
+
+void gen_code(int n, int salt) {
+    // position-hashed input program: models parsing an independent source
+    // file rather than chaining a sequential RNG through the whole run
+    ninstr = n;
+    for (int i = 0; i < n; i++) {
+        int h = mix(i + salt * 1048573);
+        int kind = h % 10;
+        dead[i] = 0;
+        if (kind < 3) {
+            op[i] = 0;                       // const
+            dst[i] = (h >> 4) % @REGS@;
+            s1[i] = (h >> 9) % 64;
+            s2[i] = 0;
+        } else if (kind < 5) {
+            op[i] = 4;                       // copy
+            dst[i] = (h >> 4) % @REGS@;
+            s1[i] = (h >> 9) % @REGS@;
+            s2[i] = 0;
+        } else if (kind < 9) {
+            op[i] = 1 + h % 3;               // add/sub/mul
+            dst[i] = (h >> 4) % @REGS@;
+            s1[i] = (h >> 9) % @REGS@;
+            s2[i] = (h >> 14) % @REGS@;
+        } else {
+            op[i] = 5;                       // use: keeps its source alive
+            dst[i] = 0;
+            s1[i] = (h >> 9) % @REGS@;
+            s2[i] = 0;
+        }
+    }
+}
+
+int fold(int kind, int a, int b) {
+    if (kind == 1) return a + b;
+    if (kind == 2) return a - b;
+    return a * b;
+}
+
+// constant + copy propagation; returns number of instructions rewritten
+int propagate() {
+    int changed = 0;
+    for (int r = 0; r < @REGS@; r++) {
+        const_known[r] = 0;
+        copy_of[r] = r;
+    }
+    for (int i = 0; i < ninstr; i++) {
+        int kind = op[i];
+        if (dead[i]) continue;
+        if (kind == 0) {
+            const_known[dst[i]] = 1;
+            const_val[dst[i]] = s1[i];
+            copy_of[dst[i]] = dst[i];
+        } else if (kind == 4) {
+            int src = copy_of[s1[i]];
+            if (src != s1[i]) { s1[i] = src; changed++; }
+            if (const_known[s1[i]]) {
+                op[i] = 0;                   // copy of constant -> const
+                s1[i] = const_val[s1[i]];
+                const_known[dst[i]] = 1;
+                const_val[dst[i]] = s1[i];
+                copy_of[dst[i]] = dst[i];
+                changed++;
+            } else {
+                const_known[dst[i]] = 0;
+                copy_of[dst[i]] = s1[i];
+            }
+        } else if (kind >= 1 && kind <= 3) {
+            int a = copy_of[s1[i]];
+            int b = copy_of[s2[i]];
+            if (a != s1[i]) { s1[i] = a; changed++; }
+            if (b != s2[i]) { s2[i] = b; changed++; }
+            if (const_known[s1[i]] && const_known[s2[i]]) {
+                int value = fold(kind, const_val[s1[i]], const_val[s2[i]]);
+                op[i] = 0;
+                s1[i] = value;
+                s2[i] = 0;
+                const_known[dst[i]] = 1;
+                const_val[dst[i]] = value;
+                copy_of[dst[i]] = dst[i];
+                changed++;
+            } else {
+                const_known[dst[i]] = 0;
+                copy_of[dst[i]] = dst[i];
+            }
+        }
+        // any redefinition invalidates copies pointing at dst
+        if (kind != 5) {
+            for (int r = 0; r < @REGS@; r++) {
+                if (r != dst[i] && copy_of[r] == dst[i]) copy_of[r] = r;
+            }
+        }
+    }
+    return changed;
+}
+
+// common subexpression elimination within the straight-line block
+int cse() {
+    int changed = 0;
+    for (int i = 0; i < ninstr; i++) {
+        if (dead[i] || op[i] < 1 || op[i] > 3) continue;
+        for (int j = i + 1; j < ninstr; j++) {
+            if (dead[j]) continue;
+            // stop if any input is redefined
+            if (op[j] >= 1 && op[j] <= 3 && op[j] == op[i]
+                && s1[j] == s1[i] && s2[j] == s2[i]) {
+                op[j] = 4;                  // replace with copy
+                s1[j] = dst[i];
+                s2[j] = 0;
+                changed++;
+            }
+            if (op[j] != 5 && (dst[j] == s1[i] || dst[j] == s2[i] || dst[j] == dst[i]))
+                break;
+        }
+    }
+    return changed;
+}
+
+// dead code elimination: backward liveness with a per-opcode jump table
+// (compilers dispatch on opcodes through switches; the computed jumps
+// were part of the original gcc's control-flow profile)
+int dce() {
+    int removed = 0;
+    for (int r = 0; r < @REGS@; r++) live[r] = 0;
+    for (int i = ninstr - 1; i >= 0; i--) {
+        if (dead[i]) continue;
+        switch (op[i]) {
+            case 5:
+                live[s1[i]] = 1;
+                break;
+            case 0:
+                if (!live[dst[i]]) { dead[i] = 1; removed++; }
+                else live[dst[i]] = 0;
+                break;
+            case 4:
+                if (!live[dst[i]]) { dead[i] = 1; removed++; }
+                else { live[dst[i]] = 0; live[s1[i]] = 1; }
+                break;
+            case 1:
+            case 2:
+            case 3:
+                if (!live[dst[i]]) { dead[i] = 1; removed++; }
+                else { live[dst[i]] = 0; live[s1[i]] = 1; live[s2[i]] = 1; }
+                break;
+        }
+    }
+    return removed;
+}
+
+int main() {
+    for (int unit = 0; unit < @UNITS@; unit++) {
+        gen_code(@N@, unit);
+        int rounds = 0;
+        while (rounds < 10) {
+            int changed = propagate();
+            changed += cse();
+            changed += dce();
+            rounds++;
+            if (!changed) break;
+        }
+        // "emit" the surviving program: binned signature models writing
+        // the output instructions out one by one
+        for (int i = 0; i < ninstr; i++) {
+            if (!dead[i]) {
+                sig[i & 7] += op[i] * 97 + dst[i] * 13 + s1[i] * 3 + s2[i];
+                sig[(i + 1) & 7] += 1009;
+            }
+        }
+        sig[unit & 7] += rounds * 31;
+    }
+    int checksum = 0;
+    for (int i = 0; i < 8; i++) checksum = checksum * 31 + sig[i];
+    return checksum;
+}
+"""
+
+
+def source(scale: int) -> str:
+    return (
+        _TEMPLATE.replace("@N@", "400")
+        .replace("@REGS@", "24")
+        .replace("@UNITS@", str(max(1, scale)))
+    )
+
+
+SPEC = BenchmarkSpec(
+    name="gcc",
+    language="C",
+    description="optimizing C compiler (cc1)",
+    numeric=False,
+    source=source,
+    default_scale=4,
+)

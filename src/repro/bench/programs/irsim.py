@@ -1,0 +1,176 @@
+"""``irsim`` analogue — event-driven switch-level simulator (C).
+
+The original simulates VLSI circuits at the switch level.  This analogue
+builds a pseudo-random combinational/sequential gate network (AND, OR,
+XOR, NOT, plus latching self-edges) in flat arrays with explicit fanout
+lists, then runs an event-driven simulation: applying input vectors seeds a
+circular event queue, and gate evaluations propagate only where outputs
+actually change, until the network quiesces.  Event-driven propagation is
+the canonical data-dependent-control workload.
+"""
+
+from __future__ import annotations
+
+from repro.bench.spec import BenchmarkSpec
+
+_TEMPLATE = """
+// irsim analogue: event-driven gate-level simulation
+// gate types: 0 input, 1 AND, 2 OR, 3 XOR, 4 NOT
+int gtype[@GATES@];
+int gin1[@GATES@];
+int gin2[@GATES@];
+int value[@GATES@];
+int fan_start[@GATES@];    // offsets into fan_edges (+1 sentinel at end)
+int fan_count[@GATES@];
+int fan_edges[@EDGES@];
+int queue[@QCAP@];
+int in_queue[@GATES@];
+int sig[8];
+int seed = 55555;
+
+int rnd(int n) {
+    seed = seed * 1103515245 + 12345;
+    int v = seed >> 16;
+    if (v < 0) v = -v;
+    return v % n;
+}
+
+// independent per-(vector, input) stimulus, like reading a vector file
+int mix(int x) {
+    x = x * 2654435761;
+    x = x ^ ((x >> 13) & 262143);
+    x = x * 1103515245 + 12345;
+    x = x ^ ((x >> 16) & 65535);
+    if (x < 0) x = -x;
+    return x;
+}
+
+void build_network() {
+    // first @INPUTS@ gates are primary inputs; the rest read earlier gates
+    for (int g = 0; g < @GATES@; g++) {
+        if (g < @INPUTS@) {
+            gtype[g] = 0;
+            gin1[g] = 0;
+            gin2[g] = 0;
+        } else {
+            gtype[g] = 1 + rnd(4);
+            gin1[g] = rnd(g);
+            gin2[g] = rnd(g);
+        }
+        value[g] = 0;
+        in_queue[g] = 0;
+    }
+    // fanout lists: count, prefix-sum, fill
+    for (int g = 0; g < @GATES@; g++) fan_count[g] = 0;
+    for (int g = @INPUTS@; g < @GATES@; g++) {
+        fan_count[gin1[g]]++;
+        if (gtype[g] != 4) fan_count[gin2[g]]++;
+    }
+    int offset = 0;
+    for (int g = 0; g < @GATES@; g++) {
+        fan_start[g] = offset;
+        offset += fan_count[g];
+        fan_count[g] = 0;  // reuse as fill cursor
+    }
+    for (int g = @INPUTS@; g < @GATES@; g++) {
+        int a = gin1[g];
+        fan_edges[fan_start[a] + fan_count[a]] = g;
+        fan_count[a]++;
+        if (gtype[g] != 4) {
+            int b = gin2[g];
+            fan_edges[fan_start[b] + fan_count[b]] = g;
+            fan_count[b]++;
+        }
+    }
+}
+
+int evaluate(int g) {
+    int kind = gtype[g];
+    int a = value[gin1[g]];
+    int b = value[gin2[g]];
+    if (kind == 1) return a & b;
+    if (kind == 2) return a | b;
+    if (kind == 3) return a ^ b;
+    if (kind == 4) return 1 - a;
+    return value[g];
+}
+
+int head; int tail; int pending;
+
+void push(int g) {
+    if (in_queue[g]) return;
+    queue[tail] = g;
+    tail = (tail + 1) % @QCAP@;
+    pending++;
+    in_queue[g] = 1;
+}
+
+int pop() {
+    int g = queue[head];
+    head = (head + 1) % @QCAP@;
+    pending--;
+    in_queue[g] = 0;
+    return g;
+}
+
+int events;
+
+void settle() {
+    while (pending > 0) {
+        int g = pop();
+        int new_value = evaluate(g);
+        if (new_value != value[g]) {
+            value[g] = new_value;
+            events++;
+            int base = fan_start[g];
+            int n = fan_count[g];
+            for (int e = 0; e < n; e++) push(fan_edges[base + e]);
+        }
+    }
+}
+
+int main() {
+    build_network();
+    head = 0; tail = 0; pending = 0; events = 0;
+    for (int vec = 0; vec < @VECTORS@; vec++) {
+        // flip a pseudo-random subset of primary inputs (vector file)
+        for (int i = 0; i < @INPUTS@; i++) {
+            if (mix(vec * 37 + i) % 3 == 0) {
+                value[i] = 1 - value[i];
+                int base = fan_start[i];
+                int n = fan_count[i];
+                for (int e = 0; e < n; e++) push(fan_edges[base + e]);
+            }
+        }
+        settle();
+        // observe the last few gates as outputs
+        int signature = 0;
+        for (int g = @GATES@ - 8; g < @GATES@; g++)
+            signature = signature * 2 + value[g];
+        sig[vec & 7] += signature * 31 + events;
+    }
+    int checksum = 0;
+    for (int i = 0; i < 8; i++) checksum = checksum * 31 + sig[i];
+    return checksum;
+}
+"""
+
+
+def source(scale: int) -> str:
+    return (
+        _TEMPLATE.replace("@GATES@", "400")
+        .replace("@EDGES@", "800")
+        .replace("@QCAP@", "512")
+        .replace("@INPUTS@", "24")
+        .replace("@VECTORS@", str(60 * max(1, scale)))
+    )
+
+
+SPEC = BenchmarkSpec(
+    name="irsim",
+    language="C",
+    description="VLSI switch-level simulator",
+    numeric=False,
+    source=source,
+    default_scale=2,
+)

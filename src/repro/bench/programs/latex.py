@@ -1,0 +1,188 @@
+"""``latex`` analogue — document preparation (C).
+
+The original typesets documents.  This analogue implements the heart of a
+paragraph typesetter: it generates a stream of words with deterministic
+pseudo-random lengths and occasional markup tokens, performs greedy line
+breaking against a fixed measure with penalties (badness = squared slack),
+hyphenates words that overflow the line, justifies each line by
+distributing the slack into inter-word glue, and finally paginates with
+widow/club-line handling.  Character- and word-level loops with
+data-dependent breaks mirror the original's behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.bench.spec import BenchmarkSpec
+
+_TEMPLATE = """
+// latex analogue: paragraph filling, justification, pagination
+int wordlen[@WORDS@];
+int is_break[@WORDS@];    // paragraph break markers
+int linelen[@LINES@];
+int linewords[@LINES@];
+int sig[8];
+
+// independent per-word "input document", like reading a .tex file
+int mix(int x) {
+    x = x * 2654435761;
+    x = x ^ ((x >> 13) & 262143);
+    x = x * 1103515245 + 12345;
+    x = x ^ ((x >> 16) & 65535);
+    if (x < 0) x = -x;
+    return x;
+}
+
+void make_words(int n, int salt) {
+    for (int i = 0; i < n; i++) {
+        int h = mix(i + salt * 262139);
+        if (h % 100 < 4) {
+            is_break[i] = 1;      // paragraph boundary
+            wordlen[i] = 0;
+        } else {
+            is_break[i] = 0;
+            // Zipf-ish word lengths 1..14
+            wordlen[i] = 1 + h % 5 + (h >> 7) % 5 + (h >> 13) % 6;
+        }
+    }
+}
+
+int badness(int slack) {
+    if (slack < 0) slack = -slack;
+    return slack * slack;
+}
+
+// split an overlong word at a "hyphenation point" (2/3 of the way in)
+int hyphenate(int len, int room) {
+    int cut = room - 1;           // leave space for the hyphen
+    if (cut < 2) return 0;        // refuse tiny fragments
+    if (cut > len - 2) cut = len - 2;
+    return cut;
+}
+
+int nlines;
+int total_badness;
+
+// greedy fill of one paragraph starting at word *start*; returns the index
+// one past the paragraph end
+int fill_paragraph(int start, int nwords) {
+    int width = @WIDTH@;
+    int cursor = start;
+    int used = 0;
+    int count = 0;
+    while (cursor < nwords && !is_break[cursor]) {
+        int len = wordlen[cursor];
+        int need = len;
+        if (count > 0) need++;    // leading space
+        if (used + need <= width) {
+            used += need;
+            count++;
+            cursor++;
+        } else {
+            int room = width - used - 1;
+            if (len > 9 && room >= 4) {
+                int cut = hyphenate(len, room);
+                if (cut > 0) {
+                    used += cut + 2;  // fragment + space + hyphen
+                    count++;
+                    wordlen[cursor] = len - cut;  // rest moves to next line
+                }
+            }
+            // close the line
+            if (nlines < @LINES@) {
+                linelen[nlines] = used;
+                linewords[nlines] = count;
+                total_badness += badness(width - used);
+                nlines++;
+            }
+            used = 0;
+            count = 0;
+        }
+    }
+    if (count > 0 && nlines < @LINES@) {
+        linelen[nlines] = used;
+        linewords[nlines] = count;
+        // last line of a paragraph is set ragged: no badness charge
+        nlines++;
+    }
+    while (cursor < nwords && is_break[cursor]) cursor++;
+    return cursor;
+}
+
+// justification: distribute slack over the inter-word gaps of each line
+// (lines are independent of each other, as in a real typesetter's output
+// stage, so the signature is accumulated per line bin)
+int justify() {
+    for (int line = 0; line < nlines; line++) {
+        int gaps = linewords[line] - 1;
+        if (gaps <= 0) continue;
+        int slack = @WIDTH@ - linelen[line];
+        if (slack < 0) slack = 0;
+        int base = slack / gaps;
+        int extra = slack % gaps;
+        int line_sig = 0;
+        for (int gap = 0; gap < gaps; gap++) {
+            int glue = 1 + base;
+            if (gap < extra) glue++;
+            line_sig = line_sig * 3 + glue;
+        }
+        sig[line & 7] += line_sig;
+    }
+    return 0;
+}
+
+// pagination with club/widow avoidance
+int paginate() {
+    int page_lines = 0;
+    int pages = 1;
+    int penalties = 0;
+    for (int line = 0; line < nlines; line++) {
+        page_lines++;
+        if (page_lines == @PAGE@) {
+            // widow check: avoid breaking right before a short line
+            if (line + 1 < nlines && linewords[line + 1] <= 2) penalties += 50;
+            pages++;
+            page_lines = 0;
+        }
+    }
+    return pages * 1000 + penalties;
+}
+
+int main() {
+    for (int doc = 0; doc < @DOCS@; doc++) {
+        make_words(@WORDS@, doc);
+        nlines = 0;
+        total_badness = 0;
+        int cursor = 0;
+        while (cursor < @WORDS@ && nlines < @LINES@) {
+            cursor = fill_paragraph(cursor, @WORDS@);
+            if (cursor < @WORDS@ && !is_break[cursor] && nlines >= @LINES@) break;
+        }
+        sig[doc & 7] += total_badness + nlines * 7;
+        justify();
+        sig[(doc + 1) & 7] += paginate();
+    }
+    int checksum = 0;
+    for (int i = 0; i < 8; i++) checksum = checksum * 31 + sig[i];
+    return checksum;
+}
+"""
+
+
+def source(scale: int) -> str:
+    return (
+        _TEMPLATE.replace("@WORDS@", "1400")
+        .replace("@LINES@", "400")
+        .replace("@WIDTH@", "66")
+        .replace("@PAGE@", "40")
+        .replace("@DOCS@", str(5 * max(1, scale)))
+    )
+
+
+SPEC = BenchmarkSpec(
+    name="latex",
+    language="C",
+    description="document preparation",
+    numeric=False,
+    source=source,
+    default_scale=2,
+)

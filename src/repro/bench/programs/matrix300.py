@@ -1,0 +1,103 @@
+"""``matrix300`` analogue — dense matrix multiplication (FORTRAN).
+
+The original multiplies 300×300 matrices with various loop orders.  This
+analogue multiplies N×N double-precision matrices (N scaled down so the
+interpreter traces stay tractable) in the classic i-j-k order plus a
+transposed variant, exactly the data-independent control flow that lets the
+CD machines approach ORACLE in the paper's Table 3.
+"""
+
+from __future__ import annotations
+
+from repro.bench.spec import BenchmarkSpec
+
+_TEMPLATE = """
+// matrix300 analogue: C = A*B and D = A*B^T, N = @N@
+float a[@NN@];
+float b[@NN@];
+float c[@NN@];
+float d[@NN@];
+
+void init() {
+    for (int i = 0; i < @N@; i++) {
+        for (int j = 0; j < @N@; j++) {
+            a[i * @N@ + j] = (float)(i - j) * 0.5 + 1.0;
+            // a sprinkling of exact zeros exercises the SGEMM skip guard
+            if ((i * 7 + j) % 13 == 0) b[i * @N@ + j] = 0.0;
+            else b[i * @N@ + j] = (float)(i + j) * 0.25 - 1.0;
+            c[i * @N@ + j] = 0.0;
+            d[i * @N@ + j] = 0.0;
+        }
+    }
+}
+
+// j-k-i SAXPY order with the netlib SGEMM zero-skip guard: the original's
+// inner loops carry exactly this kind of (well-predicted) data-dependent
+// branch, which is what separates BASE from ORACLE on numeric code.
+// Addressing uses strength-reduced pointer walks, like the MIPS FORTRAN
+// compiler's -O2 output, so perfect unrolling removes the whole loop
+// overhead (pointer bumps included).
+void matmul() {
+    for (int j = 0; j < @N@; j++) {
+        float *bp = b + j;                    // walks column j of B
+        for (int k = 0; k < @N@; k++) {
+            float bkj = *bp;
+            if (bkj != 0.0) {
+                float *ap = a + k;            // column k of A, step N
+                float *cp = c + j;            // column j of C, step N
+                for (int i = 0; i < @N@; i++) {
+                    *cp += *ap * bkj;
+                    ap += @N@;
+                    cp += @N@;
+                }
+            }
+            bp += @N@;
+        }
+    }
+}
+
+void matmul_bt() {
+    float *arow = a;
+    for (int i = 0; i < @N@; i++) {
+        float *brow = b;
+        for (int j = 0; j < @N@; j++) {
+            float total = 0.0;
+            float *ap = arow;
+            float *bp = brow;
+            for (int k = 0; k < @N@; k++) {
+                total += *ap * *bp;
+                ap++;
+                bp++;
+            }
+            d[i * @N@ + j] = total;
+            brow += @N@;
+        }
+        arow += @N@;
+    }
+}
+
+int main() {
+    init();
+    matmul();
+    matmul_bt();
+    float checksum = 0.0;
+    for (int i = 0; i < @N@; i++)
+        checksum += c[i * @N@ + i] + d[i * @N@ + (@N@ - 1 - i)] * 0.5;
+    return (int)checksum;
+}
+"""
+
+
+def source(scale: int) -> str:
+    n = min(16 + 4 * max(1, scale), 40)
+    return _TEMPLATE.replace("@NN@", str(n * n)).replace("@N@", str(n))
+
+
+SPEC = BenchmarkSpec(
+    name="matrix300",
+    language="FORTRAN",
+    description="matrix multiplication",
+    numeric=True,
+    source=source,
+    default_scale=4,
+)

@@ -1,0 +1,180 @@
+"""``spice2g6`` analogue — nonlinear circuit simulation (FORTRAN).
+
+The original is the SPICE circuit simulator.  The paper singles it out as
+the numeric benchmark whose *data-dependent control flow* makes it behave
+like the non-numeric programs — so this analogue keeps exactly that
+character: a transient sweep where each timestep runs a Newton–Raphson
+iteration (data-dependent trip count from a convergence test) on a small
+nonlinear network; each Newton step assembles a Jacobian with cubic
+device nonlinearities and solves it by Gaussian elimination with partial
+pivoting (data-dependent row swaps); a local-truncation-error check
+adapts the timestep (more data-dependent branching).
+"""
+
+from __future__ import annotations
+
+from repro.bench.spec import BenchmarkSpec
+
+_TEMPLATE = """
+// spice2g6 analogue: Newton-Raphson transient analysis, @NODES@ nodes
+float jac[@NN@];         // Jacobian, row-major
+float rhs[@NODES@];
+float volt[@NODES@];
+float prev[@NODES@];
+float gmat[@NN@];        // linear conductance stamps
+float cubic[@NODES@];    // per-node cubic device coefficient
+int   pivot_count;
+int   newton_total;
+
+void build_network() {
+    // ring + chords conductance pattern, diagonally dominant
+    for (int i = 0; i < @NODES@; i++) {
+        for (int j = 0; j < @NODES@; j++) gmat[i * @NODES@ + j] = 0.0;
+        cubic[i] = 0.02 + 0.01 * (float)(i % 5);
+        volt[i] = 0.0;
+    }
+    for (int i = 0; i < @NODES@; i++) {
+        int j = (i + 1) % @NODES@;
+        int k = (i + 3) % @NODES@;
+        gmat[i * @NODES@ + i] += 3.0;
+        gmat[i * @NODES@ + j] -= 1.0;
+        gmat[j * @NODES@ + i] -= 1.0;
+        gmat[i * @NODES@ + k] -= 0.5;
+        gmat[k * @NODES@ + i] -= 0.5;
+    }
+}
+
+// residual f(v) = G v + c v^3 - source; Jacobian J = G + 3 c v^2
+void assemble(float source) {
+    for (int i = 0; i < @NODES@; i++) {
+        float accum = 0.0;
+        for (int j = 0; j < @NODES@; j++) {
+            float g = gmat[i * @NODES@ + j];
+            jac[i * @NODES@ + j] = g;
+            accum += g * volt[j];
+        }
+        float v = volt[i];
+        accum += cubic[i] * v * v * v;
+        jac[i * @NODES@ + i] += 3.0 * cubic[i] * v * v;
+        float drive = 0.0;
+        if (i == 0) drive = source;
+        if (i == @NODES@ / 2) drive = -source * 0.5;
+        rhs[i] = drive - accum;
+    }
+}
+
+// Gaussian elimination with partial pivoting; solution left in rhs
+void solve() {
+    for (int col = 0; col < @NODES@; col++) {
+        // pivot search
+        int best = col;
+        float bestmag = jac[col * @NODES@ + col];
+        if (bestmag < 0.0) bestmag = -bestmag;
+        for (int row = col + 1; row < @NODES@; row++) {
+            float mag = jac[row * @NODES@ + col];
+            if (mag < 0.0) mag = -mag;
+            if (mag > bestmag) { bestmag = mag; best = row; }
+        }
+        if (best != col) {
+            pivot_count++;
+            for (int j = col; j < @NODES@; j++) {
+                float tmp = jac[col * @NODES@ + j];
+                jac[col * @NODES@ + j] = jac[best * @NODES@ + j];
+                jac[best * @NODES@ + j] = tmp;
+            }
+            float tmp = rhs[col];
+            rhs[col] = rhs[best];
+            rhs[best] = tmp;
+        }
+        float diag = jac[col * @NODES@ + col];
+        if (diag == 0.0) diag = 0.000001;
+        for (int row = col + 1; row < @NODES@; row++) {
+            float factor = jac[row * @NODES@ + col] / diag;
+            if (factor != 0.0) {
+                for (int j = col; j < @NODES@; j++)
+                    jac[row * @NODES@ + j] -= factor * jac[col * @NODES@ + j];
+                rhs[row] -= factor * rhs[col];
+            }
+        }
+    }
+    for (int row = @NODES@ - 1; row >= 0; row--) {
+        float accum = rhs[row];
+        for (int j = row + 1; j < @NODES@; j++)
+            accum -= jac[row * @NODES@ + j] * rhs[j];
+        float diag = jac[row * @NODES@ + row];
+        if (diag == 0.0) diag = 0.000001;
+        rhs[row] = accum / diag;
+    }
+}
+
+// one timestep: Newton iteration to convergence (data-dependent count)
+int newton(float source) {
+    int iters = 0;
+    while (iters < 25) {
+        assemble(source);
+        solve();
+        float worst = 0.0;
+        for (int i = 0; i < @NODES@; i++) {
+            float delta = rhs[i];
+            if (delta < 0.0) delta = -delta;
+            if (delta > worst) worst = delta;
+            volt[i] += rhs[i];
+        }
+        iters++;
+        if (worst < 0.0005) break;
+    }
+    newton_total += iters;
+    return iters;
+}
+
+int main() {
+    build_network();
+    pivot_count = 0;
+    newton_total = 0;
+    float t = 0.0;
+    float dt = 0.05;
+    float checksum = 0.0;
+    int steps = 0;
+    while (steps < @STEPS@) {
+        for (int i = 0; i < @NODES@; i++) prev[i] = volt[i];
+        float source = 2.0 * t - t * t * 0.1;
+        if (source < 0.0) source = 0.0;
+        int iters = newton(source);
+        // local truncation error estimate -> adaptive step (data dependent)
+        float err = 0.0;
+        for (int i = 0; i < @NODES@; i++) {
+            float d = volt[i] - prev[i];
+            if (d < 0.0) d = -d;
+            if (d > err) err = d;
+        }
+        if (err > 0.5 && dt > 0.01) {
+            dt = dt * 0.5;          // reject-ish: tighten the step
+        } else {
+            t += dt;
+            steps++;
+            if (err < 0.05 && dt < 0.2) dt = dt * 1.25;
+        }
+        checksum += volt[0] - volt[@NODES@ - 1] * 0.5 + (float)iters * 0.01;
+    }
+    return (int)(checksum * 100.0) + pivot_count + newton_total;
+}
+"""
+
+
+def source(scale: int) -> str:
+    nodes = 10
+    return (
+        _TEMPLATE.replace("@NN@", str(nodes * nodes))
+        .replace("@NODES@", str(nodes))
+        .replace("@STEPS@", str(14 * max(1, scale)))
+    )
+
+
+SPEC = BenchmarkSpec(
+    name="spice2g6",
+    language="FORTRAN",
+    description="circuit simulation",
+    numeric=True,
+    source=source,
+    default_scale=2,
+)

@@ -1,0 +1,26 @@
+"""Benchmark suite registry (the paper's Table 1)."""
+
+from __future__ import annotations
+
+from repro.bench.programs import ALL_SPECS
+from repro.bench.spec import BenchmarkSpec
+
+#: Name -> spec, in Table 1 order.
+SUITE: dict[str, BenchmarkSpec] = {spec.name: spec for spec in ALL_SPECS}
+
+#: The paper's seven non-numeric (C) benchmarks.
+NON_NUMERIC: tuple[str, ...] = tuple(
+    spec.name for spec in ALL_SPECS if not spec.numeric
+)
+
+#: The paper's three FORTRAN benchmarks.
+NUMERIC: tuple[str, ...] = tuple(spec.name for spec in ALL_SPECS if spec.numeric)
+
+
+def get(name: str) -> BenchmarkSpec:
+    """Look up a benchmark by its Table 1 name."""
+    try:
+        return SUITE[name]
+    except KeyError:
+        known = ", ".join(SUITE)
+        raise KeyError(f"unknown benchmark {name!r} (known: {known})") from None

@@ -1,0 +1,19 @@
+"""The paper's primary contribution: seven abstract machine models and the
+trace-driven parallelism limit analyzer."""
+
+from repro.core.analyzer import LimitAnalyzer
+from repro.core.models import ALL_MODELS, NON_SPECULATIVE_MODELS, MachineModel
+from repro.core.results import AnalysisResult, ModelResult, harmonic_mean
+from repro.core.stats import MispredictionStats, Segment
+
+__all__ = [
+    "ALL_MODELS",
+    "AnalysisResult",
+    "LimitAnalyzer",
+    "MachineModel",
+    "MispredictionStats",
+    "ModelResult",
+    "NON_SPECULATIVE_MODELS",
+    "Segment",
+    "harmonic_mean",
+]

@@ -1,0 +1,449 @@
+"""The trace-driven parallelism limit analyzer (paper §4.4).
+
+For every instruction in a dynamic trace, the analyzer computes the earliest
+cycle in which it could complete given
+
+* **true data dependences** — a read waits for the immediately preceding
+  write to the same register or memory word (anti- and output dependences
+  are ignored; memory disambiguation is perfect because actual addresses
+  come from the trace);
+* the **control-flow constraint** of the machine model being simulated
+  (see :mod:`repro.core.models`).
+
+All instructions have unit latency (configurable for ablations), resources
+are unbounded, and the scheduling window is the whole trace (also
+configurable).  The resulting parallelism is the sequential execution time
+over the completion time of the last instruction.
+
+Program transformations (§4.2) are applied as trace filters:
+
+* **perfect inlining** removes calls, returns, and stack-pointer
+  manipulations;
+* **perfect unrolling** removes loop-index increments, index comparisons,
+  and the branches they feed (found by :mod:`repro.analysis.induction`).
+
+Removed instructions contribute to neither the sequential nor the parallel
+time and never constrain anything — with one refinement: a *removed branch*
+still records a control-dependence instance whose time is the branch's own
+inherited control constraint (not its execution time).  This keeps an
+enclosing data-dependent branch constraining a counted loop's body even
+after the loop's own overhead branch is unrolled away, while still exposing
+full cross-iteration parallelism for top-level counted loops.
+
+Interprocedural control dependence follows §4.4.1 exactly: basic-block
+instances are numbered sequentially; each static branch remembers the
+sequence number, constraint time, and owning procedure invocation of its
+most recent instance; a stack of active procedures carries the control
+dependence inherited from each call site; and recursion falls back to "no
+constraint" (an upper bound), detected when a reverse-dominance-frontier
+branch last executed in a *later* procedure invocation than the current one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.summary import ProgramAnalysis, analyze_program
+from repro.core.models import ALL_MODELS, MachineModel
+from repro.core.results import AnalysisResult, ModelResult
+from repro.core.stats import MispredictionStats
+from repro.isa import OpKind, Program, registers
+from repro.prediction.base import BranchPredictor, misprediction_flags
+from repro.prediction.profile import ProfilePredictor
+from repro.vm.trace import Trace
+
+
+@dataclass(frozen=True)
+class _StaticTables:
+    """Flat per-pc tables sized for the hot loop."""
+
+    reads: tuple[tuple[int, ...], ...]
+    writes: tuple[tuple[int, ...], ...]
+    is_load: tuple[bool, ...]
+    is_store: tuple[bool, ...]
+    is_branchlike: tuple[bool, ...]  # conditional branch or computed jump
+    is_call: tuple[bool, ...]
+    is_return: tuple[bool, ...]
+    is_leader: tuple[bool, ...]
+    cd_pcs: tuple[tuple[int, ...], ...]
+    ignored: tuple[bool, ...]
+    latency: tuple[int, ...]
+
+
+def _build_tables(
+    analysis: ProgramAnalysis,
+    perfect_inlining: bool,
+    perfect_unrolling: bool,
+    latencies: dict[OpKind, int] | None,
+) -> _StaticTables:
+    program = analysis.program
+    reads: list[tuple[int, ...]] = []
+    writes: list[tuple[int, ...]] = []
+    is_load: list[bool] = []
+    is_store: list[bool] = []
+    is_branchlike: list[bool] = []
+    is_call: list[bool] = []
+    is_return: list[bool] = []
+    is_leader: list[bool] = []
+    ignored: list[bool] = []
+    latency: list[int] = []
+    for pc, instr in enumerate(program.instructions):
+        reads.append(tuple(r for r in instr.reads if r != registers.ZERO))
+        writes.append(tuple(r for r in instr.writes if r != registers.ZERO))
+        is_load.append(instr.is_load)
+        is_store.append(instr.is_store)
+        is_branchlike.append(instr.is_cond_branch or instr.is_computed_jump)
+        is_call.append(instr.is_call)
+        is_return.append(instr.is_return)
+        is_leader.append(analysis.is_block_leader(pc))
+        skip = False
+        if perfect_inlining and (instr.is_call or instr.is_return or instr.writes_sp):
+            skip = True
+        if perfect_unrolling and pc in analysis.loop_overhead:
+            skip = True
+        ignored.append(skip)
+        latency.append(latencies.get(instr.kind, 1) if latencies else 1)
+    return _StaticTables(
+        reads=tuple(reads),
+        writes=tuple(writes),
+        is_load=tuple(is_load),
+        is_store=tuple(is_store),
+        is_branchlike=tuple(is_branchlike),
+        is_call=tuple(is_call),
+        is_return=tuple(is_return),
+        is_leader=tuple(is_leader),
+        cd_pcs=analysis.cd_of_pc,
+        ignored=tuple(ignored),
+        latency=tuple(latency),
+    )
+
+
+class LimitAnalyzer:
+    """Reusable analyzer for one program: run many traces/models/options.
+
+    The static analysis (CFG, control dependence, loop overhead) is computed
+    once per program; each :meth:`analyze` call replays a trace under the
+    requested machine models.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        analysis: ProgramAnalysis | None = None,
+    ):
+        self.program = program
+        self.analysis = analysis if analysis is not None else analyze_program(program)
+        self._table_cache: dict[tuple, _StaticTables] = {}
+
+    # ------------------------------------------------------------------
+
+    def analyze(
+        self,
+        trace: Trace,
+        models: Sequence[MachineModel] = ALL_MODELS,
+        predictor: BranchPredictor | None = None,
+        perfect_inlining: bool = True,
+        perfect_unrolling: bool = True,
+        collect_misprediction_stats: bool = False,
+        window: int | None = None,
+        latencies: dict[OpKind, int] | None = None,
+        flow_limit: int | None = None,
+    ) -> AnalysisResult:
+        """Compute the parallelism of *trace* for each requested model.
+
+        ``predictor`` defaults to the paper's setup: a profile-based static
+        predictor trained on this very trace.  ``window`` optionally limits
+        the scheduling window to the last N counted instructions (ablation;
+        the paper uses an unlimited window).  ``latencies`` optionally maps
+        opcode kinds to latencies (ablation; the paper uses unit latency).
+
+        ``flow_limit`` models a machine with *k* flows of control (the
+        paper's §6 "small-scale multiprocessor"): at most k branches — for
+        SP machines, k *mispredicted* branches — may execute per cycle.
+        It interpolates between the single-flow machines (whose in-order
+        constraint is slightly stricter than k=1) and the -MF machines
+        (k=∞, the default).  Branches are placed greedily in trace order.
+        """
+        if trace.program is not self.program:
+            raise ValueError("trace was produced by a different program")
+        if window is not None and window < 1:
+            raise ValueError("window must be a positive instruction count")
+        if flow_limit is not None and flow_limit < 1:
+            raise ValueError("flow_limit must be a positive flow count")
+
+        key = (perfect_inlining, perfect_unrolling, _freeze_latencies(latencies))
+        tables = self._table_cache.get(key)
+        if tables is None:
+            tables = _build_tables(
+                self.analysis, perfect_inlining, perfect_unrolling, latencies
+            )
+            self._table_cache[key] = tables
+
+        needs_prediction = any(model.uses_speculation for model in models)
+        mp_flags: list[bool] | None = None
+        if needs_prediction:
+            if predictor is None:
+                predictor = ProfilePredictor.from_trace(trace)
+            mp_flags = misprediction_flags(trace, predictor)
+
+        result = AnalysisResult(
+            program_name=self.program.name, trace_length=len(trace)
+        )
+        for model in models:
+            stats = (
+                MispredictionStats()
+                if collect_misprediction_stats and model is MachineModel.SP
+                else None
+            )
+            seq_time, parallel_time, counted = _run_model(
+                model, trace, tables, mp_flags, window, stats,
+                flow_limit=flow_limit,
+            )
+            result.models[model] = ModelResult(
+                model=model, sequential_time=seq_time, parallel_time=parallel_time
+            )
+            result.counted_instructions = counted
+            result.removed_instructions = len(trace) - counted
+            if stats is not None:
+                result.misprediction_stats = stats
+        return result
+
+    def schedule(
+        self,
+        trace: Trace,
+        model: MachineModel,
+        predictor: BranchPredictor | None = None,
+        perfect_inlining: bool = True,
+        perfect_unrolling: bool = True,
+    ) -> list[int | None]:
+        """Per-trace-index completion cycles under *model* (debug/teaching).
+
+        Removed instructions (perfect inlining/unrolling) get ``None``.
+        Intended for small traces — e.g. printing a Figure 3-style schedule
+        of the paper's worked example.
+        """
+        key = (perfect_inlining, perfect_unrolling, None)
+        tables = self._table_cache.get(key)
+        if tables is None:
+            tables = _build_tables(
+                self.analysis, perfect_inlining, perfect_unrolling, None
+            )
+            self._table_cache[key] = tables
+        mp_flags = None
+        if model.uses_speculation:
+            if predictor is None:
+                predictor = ProfilePredictor.from_trace(trace)
+            mp_flags = misprediction_flags(trace, predictor)
+        out: list[int | None] = []
+        _run_model(model, trace, tables, mp_flags, None, None, schedule=out)
+        return out
+
+
+def _freeze_latencies(latencies: dict[OpKind, int] | None):
+    if latencies is None:
+        return None
+    return tuple(sorted((kind.value, lat) for kind, lat in latencies.items()))
+
+
+def _run_model(
+    model: MachineModel,
+    trace: Trace,
+    tables: _StaticTables,
+    mp_flags: list[bool] | None,
+    window: int | None,
+    stats: MispredictionStats | None,
+    schedule: list[int | None] | None = None,
+    flow_limit: int | None = None,
+) -> tuple[int, int, int]:
+    """One pass over the trace for one machine model.
+
+    Returns ``(sequential_time, parallel_time, counted_instructions)``.
+    """
+    # -- model behaviour flags, hoisted out of the loop --------------------
+    is_oracle = model is MachineModel.ORACLE
+    is_base = model is MachineModel.BASE
+    uses_cd = model.uses_control_dependence
+    uses_sp = model.uses_speculation
+    order_branches = model.orders_branches
+    order_mp = model.orders_mispredictions
+    if uses_sp and mp_flags is None:
+        raise ValueError(f"model {model} needs misprediction flags")
+
+    # -- static tables, as locals -------------------------------------------
+    reads = tables.reads
+    writes = tables.writes
+    is_load = tables.is_load
+    is_store = tables.is_store
+    is_branchlike = tables.is_branchlike
+    is_call = tables.is_call
+    is_return = tables.is_return
+    is_leader = tables.is_leader
+    cd_pcs = tables.cd_pcs
+    ignored = tables.ignored
+    latency = tables.latency
+
+    pcs = trace.pcs
+    addrs = trace.addrs
+
+    # -- dynamic state --------------------------------------------------------
+    reg_time = [0] * registers.NUM_REGS
+    mem_time: dict[int, int] = {}
+    seq = 0  # basic-block instance sequence number
+    # Per static branch: most recent instance's sequence number, recorded
+    # constraint time, and owning procedure invocation (its start sequence).
+    branch_seq: dict[int, int] = {}
+    branch_time: dict[int, int] = {}
+    branch_proc: dict[int, int] = {}
+    # Stack of active procedures: (inherited CD constraint time,
+    # block sequence at the call, callee's start sequence).
+    stack: list[tuple[int, int, int]] = [(0, 0, 0)]
+    last_branch_time = 0  # BASE constraint / CD branch-ordering state
+    last_mp_time = 0  # SP constraint / misprediction-ordering state
+
+    seq_time = 0
+    makespan = 0
+    counted = 0
+
+    # Finite scheduling window (ablation): completion times of the last
+    # `window` counted instructions, as a ring buffer.
+    ring: list[int] | None = None
+    ring_idx = 0
+    if window is not None:
+        ring = [0] * window
+
+    # Misprediction segment statistics (SP pass only).
+    seg_len = 0
+    seg_cycles: set[int] = set()
+
+    # k-flow machines: branch retirements per cycle (flow_limit only).
+    cycle_branches: dict[int, int] = {}
+
+    for i in range(len(pcs)):
+        pc = pcs[i]
+        if is_leader[pc]:
+            seq += 1
+
+        # -- control-flow constraint of this machine model ------------------
+        if is_oracle:
+            control = 0
+        elif is_base:
+            control = last_branch_time
+        elif uses_cd:
+            top = stack[-1]
+            best_seq = top[1]
+            control = top[0]
+            cur_proc = top[2]
+            recursion = False
+            for branch_pc in cd_pcs[pc]:
+                s = branch_seq.get(branch_pc, -1)
+                if s >= 0 and branch_proc[branch_pc] > cur_proc:
+                    # Paper §4.4.1: a reverse-dominance-frontier branch last
+                    # executed in a deeper invocation -> recursion; ignore
+                    # the control dependence for this instance (upper bound).
+                    recursion = True
+                    break
+                if s > best_seq:
+                    best_seq = s
+                    control = branch_time[branch_pc]
+            if recursion:
+                control = 0
+        else:  # SP
+            control = last_mp_time
+
+        if ignored[pc]:
+            # Removed by perfect inlining/unrolling: zero time, no effects.
+            # A removed branch still records a control-dependence instance
+            # carrying its own inherited constraint.
+            if schedule is not None:
+                schedule.append(None)
+            if uses_cd:
+                if is_branchlike[pc]:
+                    branch_seq[pc] = seq
+                    branch_time[pc] = control
+                    branch_proc[pc] = stack[-1][2]
+                if is_call[pc]:
+                    stack.append((control, seq, seq + 1))
+                elif is_return[pc] and len(stack) > 1:
+                    stack.pop()
+            continue
+
+        # -- data dependences -----------------------------------------------
+        ready = control
+        for reg in reads[pc]:
+            t = reg_time[reg]
+            if t > ready:
+                ready = t
+        if is_load[pc]:
+            t = mem_time.get(addrs[i], 0)
+            if t > ready:
+                ready = t
+        if ring is not None:
+            t = ring[ring_idx]
+            if t > ready:
+                ready = t
+        completion = ready + latency[pc]
+
+        # -- ordering constraints ----------------------------------------------
+        branchlike = is_branchlike[pc]
+        mispredicted = branchlike and uses_sp and mp_flags[i]  # type: ignore[index]
+        if branchlike:
+            if order_branches and completion <= last_branch_time:
+                completion = last_branch_time + 1
+            if mispredicted and order_mp and completion <= last_mp_time:
+                completion = last_mp_time + 1
+            if flow_limit is not None and (
+                mispredicted or (not uses_sp and not is_oracle)
+            ):
+                # k flows of control: at most k branch retirements (for SP
+                # machines, k misprediction recoveries) per cycle.  ORACLE
+                # is exempt: with perfect prediction branches never switch
+                # the flow of control.
+                while cycle_branches.get(completion, 0) >= flow_limit:
+                    completion += 1
+                cycle_branches[completion] = cycle_branches.get(completion, 0) + 1
+
+        # -- record results ---------------------------------------------------
+        for reg in writes[pc]:
+            reg_time[reg] = completion
+        if is_store[pc]:
+            mem_time[addrs[i]] = completion
+        if ring is not None:
+            ring[ring_idx] = completion
+            ring_idx += 1
+            if ring_idx == len(ring):
+                ring_idx = 0
+
+        if branchlike:
+            if is_base or order_branches:
+                last_branch_time = completion
+            if uses_cd:
+                branch_seq[pc] = seq
+                branch_time[pc] = (
+                    (completion if mispredicted else control) if uses_sp else completion
+                )
+                branch_proc[pc] = stack[-1][2]
+            if mispredicted:
+                last_mp_time = completion
+        if uses_cd:
+            if is_call[pc]:
+                stack.append((control, seq, seq + 1))
+            elif is_return[pc] and len(stack) > 1:
+                stack.pop()
+
+        counted += 1
+        seq_time += latency[pc]
+        if schedule is not None:
+            schedule.append(completion)
+        if completion > makespan:
+            makespan = completion
+
+        if stats is not None:
+            seg_len += 1
+            seg_cycles.add(completion)
+            if mispredicted:
+                stats.add(seg_len, max(len(seg_cycles), 1))
+                seg_len = 0
+                seg_cycles.clear()
+
+    return seq_time, makespan, counted

@@ -1,0 +1,114 @@
+"""The seven abstract machine models (paper §3, Figure 1).
+
+Each machine is defined purely by its *control-flow constraint* — the only
+thing that distinguishes them; true data dependences are enforced
+identically on all of them.
+
+=========  ====================================================================
+Machine    Control constraint on a trace instruction
+=========  ====================================================================
+BASE       waits for the most recent preceding branch
+CD         waits for its immediate control-dependence branch instance;
+           all branches execute in original sequential order, one per cycle
+CD-MF      waits for its immediate control-dependence branch instance
+SP         waits for the most recent preceding *mispredicted* branch;
+           mispredicted branches execute in order, one per cycle
+SP-CD      waits for the most recent mispredicted branch on its control-
+           dependence ancestor chain; mispredicted branches execute in order
+SP-CD-MF   waits for the most recent mispredicted branch on its control-
+           dependence ancestor chain
+ORACLE     no control constraint (perfect branch prediction)
+=========  ====================================================================
+
+"Branch" here means a control transfer whose outcome is data dependent:
+conditional branches and computed jumps.  Direct jumps and calls never
+constrain anything (and calls/returns are removed by perfect inlining).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MachineModel(enum.Enum):
+    """Abstract machine models of the limit study."""
+
+    BASE = "BASE"
+    CD = "CD"
+    CD_MF = "CD-MF"
+    SP = "SP"
+    SP_CD = "SP-CD"
+    SP_CD_MF = "SP-CD-MF"
+    ORACLE = "ORACLE"
+
+    # -- technique flags ---------------------------------------------------
+
+    @property
+    def uses_control_dependence(self) -> bool:
+        """Does the machine use compile-time control dependence analysis?"""
+        return self in (
+            MachineModel.CD,
+            MachineModel.CD_MF,
+            MachineModel.SP_CD,
+            MachineModel.SP_CD_MF,
+        )
+
+    @property
+    def uses_speculation(self) -> bool:
+        """Does the machine speculate past predicted branches?"""
+        return self in (
+            MachineModel.SP,
+            MachineModel.SP_CD,
+            MachineModel.SP_CD_MF,
+        )
+
+    @property
+    def uses_multiple_flows(self) -> bool:
+        """Can the machine follow multiple flows of control at once?
+
+        (The ORACLE machine trivially can: it has no branch ordering.)
+        """
+        return self in (
+            MachineModel.CD_MF,
+            MachineModel.SP_CD_MF,
+            MachineModel.ORACLE,
+        )
+
+    @property
+    def orders_branches(self) -> bool:
+        """Must all branches execute in sequential order (one per cycle)?"""
+        return self is MachineModel.CD
+
+    @property
+    def orders_mispredictions(self) -> bool:
+        """Must mispredicted branches execute in order (one per cycle)?
+
+        True for every single-flow speculative machine.  For the SP machine
+        the ordering already falls out of its global constraint; it is
+        explicit only for SP-CD.
+        """
+        return self in (MachineModel.SP, MachineModel.SP_CD)
+
+    @property
+    def label(self) -> str:
+        return self.value
+
+
+#: All models in the paper's Table 3 column order.
+ALL_MODELS: tuple[MachineModel, ...] = (
+    MachineModel.BASE,
+    MachineModel.CD,
+    MachineModel.CD_MF,
+    MachineModel.SP,
+    MachineModel.SP_CD,
+    MachineModel.SP_CD_MF,
+    MachineModel.ORACLE,
+)
+
+#: Models that need no branch predictor.
+NON_SPECULATIVE_MODELS: tuple[MachineModel, ...] = (
+    MachineModel.BASE,
+    MachineModel.CD,
+    MachineModel.CD_MF,
+    MachineModel.ORACLE,
+)

@@ -1,0 +1,60 @@
+"""Result containers for the limit analyzer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.models import MachineModel
+from repro.core.stats import MispredictionStats
+
+
+def harmonic_mean(values: list[float]) -> float:
+    """Harmonic mean, the paper's aggregate over benchmarks."""
+    if not values:
+        raise ValueError("harmonic mean of no values")
+    if any(value <= 0 for value in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / value for value in values)
+
+
+@dataclass(frozen=True)
+class ModelResult:
+    """Parallelism of one trace on one machine model.
+
+    ``sequential_time`` counts the instructions that remain after perfect
+    inlining/unrolling (removed instructions contribute to neither time, per
+    §4.4); ``parallel_time`` is the completion time of the last instruction.
+    """
+
+    model: MachineModel
+    sequential_time: int
+    parallel_time: int
+
+    @property
+    def parallelism(self) -> float:
+        if self.parallel_time == 0:
+            return 1.0  # empty trace: define parallelism as 1
+        return self.sequential_time / self.parallel_time
+
+
+@dataclass
+class AnalysisResult:
+    """Results of analyzing one trace under a set of machine models."""
+
+    program_name: str
+    trace_length: int
+    models: dict[MachineModel, ModelResult] = field(default_factory=dict)
+    misprediction_stats: MispredictionStats | None = None
+    counted_instructions: int = 0
+    removed_instructions: int = 0
+
+    @property
+    def parallelism(self) -> dict[MachineModel, float]:
+        return {model: result.parallelism for model, result in self.models.items()}
+
+    def __getitem__(self, model: MachineModel) -> ModelResult:
+        return self.models[model]
+
+    def speedup_over(self, model: MachineModel, baseline: MachineModel) -> float:
+        """Ratio of *model*'s parallelism to *baseline*'s."""
+        return self.models[model].parallelism / self.models[baseline].parallelism

@@ -1,0 +1,108 @@
+"""Misprediction-distance statistics (paper §5.2, Figures 6 and 7).
+
+For the SP machine, mispredictions are scheduling barriers: parallelism
+exists only between consecutive mispredicted branches.  Each *segment*
+between two mispredictions has two vital characteristics (the paper's
+words): its **misprediction distance** — the number of (counted)
+instructions in the segment — and its **degree of parallelism** — the
+segment's instruction count over the time span it needs on the SP machine.
+
+The limit analyzer collects per-segment records during its SP pass;
+:class:`MispredictionStats` turns them into the paper's two figures:
+
+* Figure 6 — cumulative distribution of misprediction distances;
+* Figure 7 — harmonic mean of segment parallelism per distance, shaded by
+  how often that distance occurs (here: reported alongside the frequency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One run of instructions between consecutive mispredicted branches.
+
+    ``span`` is the number of *distinct cycles* in which the segment's
+    instructions complete on the SP machine.  (Measuring wall-clock from
+    the misprediction to the last completion instead would charge a
+    segment for data-dependence chains that lag across many segments,
+    producing "parallelism" below 1; occupied cycles measure how parallel
+    the segment itself is, which is what §5.2 discusses.)
+    """
+
+    length: int  # counted instructions in the segment
+    span: int  # distinct SP-machine cycles the segment's instructions occupy
+
+    @property
+    def parallelism(self) -> float:
+        return self.length / self.span if self.span > 0 else 1.0
+
+
+@dataclass
+class MispredictionStats:
+    """Collected SP-machine segment records for one trace."""
+
+    segments: list[Segment] = field(default_factory=list)
+
+    def add(self, length: int, span: int) -> None:
+        if length > 0:
+            self.segments.append(Segment(length, span))
+
+    @property
+    def distances(self) -> list[int]:
+        return [segment.length for segment in self.segments]
+
+    def cumulative_distribution(self, points: list[int]) -> list[float]:
+        """Fraction of mispredictions with distance <= each of *points*
+        (Figure 6's y values)."""
+        if not self.segments:
+            return [1.0] * len(points)
+        sorted_distances = sorted(self.distances)
+        total = len(sorted_distances)
+        out: list[float] = []
+        idx = 0
+        for point in sorted(points):
+            while idx < total and sorted_distances[idx] <= point:
+                idx += 1
+            out.append(idx / total)
+        return out
+
+    def fraction_within(self, distance: int) -> float:
+        """Fraction of mispredictions occurring within *distance* instructions."""
+        if not self.segments:
+            return 1.0
+        within = sum(1 for d in self.distances if d <= distance)
+        return within / len(self.segments)
+
+    def parallelism_by_distance(
+        self, bins: list[int]
+    ) -> list[tuple[int, int, float, int]]:
+        """Figure 7's series: for each distance bin, the harmonic mean of
+        segment parallelism and the bin's frequency.
+
+        *bins* are ascending upper bounds; if any segment is longer than the
+        last bound, a final open bin collects the rest.  Returns
+        ``(low, high, harmonic_mean_parallelism, count)`` rows; bins with no
+        segments report a parallelism of 0.0.
+        """
+        edges = [0] + sorted(bins)
+        max_distance = max(self.distances, default=0)
+        spans = list(zip(edges, edges[1:]))
+        if max_distance > edges[-1]:
+            spans.append((edges[-1], max_distance))
+        rows: list[tuple[int, int, float, int]] = []
+        for low, high in spans:
+            members = [s for s in self.segments if low < s.length <= high]
+            if members:
+                inverse_sum = sum(1.0 / s.parallelism for s in members)
+                mean = len(members) / inverse_sum
+            else:
+                mean = 0.0
+            rows.append((low, high, mean, len(members)))
+        return rows
+
+    def merge(self, other: "MispredictionStats") -> None:
+        """Pool another trace's segments (Figure 7 combines all benchmarks)."""
+        self.segments.extend(other.segments)

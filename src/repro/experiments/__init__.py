@@ -1,0 +1,6 @@
+"""Experiment modules regenerating every table and figure of the paper,
+plus ablation studies.  See DESIGN.md §4 for the per-experiment index."""
+
+from repro.experiments.runner import BenchmarkRun, RunConfig, SuiteRunner, TextTable
+
+__all__ = ["BenchmarkRun", "RunConfig", "SuiteRunner", "TextTable"]

@@ -1,0 +1,120 @@
+"""Command-line driver: regenerate the paper's tables and figures.
+
+Usage::
+
+    repro-experiments                     # everything, default budget
+    repro-experiments table3 fig6        # selected experiments
+    repro-experiments --max-steps 500000 # bigger traces (closer to paper)
+    repro-experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    mix,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.runner import RunConfig, SuiteRunner
+
+EXPERIMENTS = {
+    "table1": lambda runner: table1.run(runner).render(),
+    "table2": lambda runner: table2.run(runner).render(),
+    "table3": lambda runner: table3.run(runner).render(),
+    "table4": lambda runner: table4.run(runner).render(),
+    "fig4": lambda runner: fig4.run(runner).render(),
+    "fig5": lambda runner: fig5.run(runner).render(),
+    "fig6": lambda runner: fig6.run(runner).render(),
+    "fig7": lambda runner: fig7.run(runner).render(),
+    "mix": lambda runner: mix.run(runner).render(),
+    "ablation-predictors": lambda runner: ablations.predictor_ablation(runner).render(),
+    "ablation-window": lambda runner: ablations.window_ablation(runner).render(),
+    "ablation-latency": lambda runner: ablations.latency_ablation(runner).render(),
+    "ablation-inlining": lambda runner: ablations.inlining_ablation(runner).render(),
+    "ablation-guarded": lambda runner: ablations.guarded_ablation(runner).render(),
+    "ablation-convergence": lambda runner: ablations.convergence_ablation(runner).render(),
+    "ablation-flows": lambda runner: ablations.flows_ablation(runner).render(),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of Lam & Wilson (ISCA 1992).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="which experiments to run (default: all)",
+    )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=150_000,
+        help="dynamic trace budget per benchmark (default 150000)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=None,
+        help="override every benchmark's workload scale",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also append every experiment's output to FILE (a full report)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(use --list to see the choices)"
+        )
+
+    report = open(args.output, "a") if args.output else None
+    if report:
+        report.write(
+            f"# repro-experiments report (max_steps={args.max_steps}, "
+            f"scale={args.scale or 'defaults'})\n\n"
+        )
+    runner = SuiteRunner(RunConfig(max_steps=args.max_steps, scale=args.scale))
+    try:
+        for name in names:
+            started = time.time()
+            output = EXPERIMENTS[name](runner)
+            elapsed = time.time() - started
+            print(output)
+            print(f"[{name}: {elapsed:.1f}s]")
+            print()
+            if report:
+                report.write(output + f"\n[{name}: {elapsed:.1f}s]\n\n")
+                report.flush()
+    finally:
+        if report:
+            report.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Figure 5 — parallelism with speculative execution.
+
+The paper's bar chart compares BASE, SP, SP-CD, and SP-CD-MF per
+non-numeric benchmark: speculation beats BASE everywhere; adding control
+dependence lets instructions cross mispredicted branches; adding multiple
+flows removes the serial misprediction bottleneck entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench import NON_NUMERIC
+from repro.core import MachineModel
+from repro.experiments.runner import SuiteRunner, TextTable
+
+M = MachineModel
+MODELS = (M.BASE, M.SP, M.SP_CD, M.SP_CD_MF)
+
+
+@dataclass
+class Fig5:
+    series: dict[str, dict[MachineModel, float]]
+
+    def render(self) -> str:
+        table = TextTable(
+            headers=[
+                "Program", "BASE", "SP", "SP-CD", "SP-CD-MF",
+                "SP/BASE", "SP-CD/SP", "SP-CD-MF/SP-CD",
+            ],
+            title="Figure 5: Parallelism with Speculative Execution",
+        )
+        for name, values in self.series.items():
+            table.add(
+                name,
+                values[M.BASE],
+                values[M.SP],
+                values[M.SP_CD],
+                values[M.SP_CD_MF],
+                values[M.SP] / values[M.BASE],
+                values[M.SP_CD] / values[M.SP],
+                values[M.SP_CD_MF] / values[M.SP_CD],
+            )
+        return table.render()
+
+
+def run(runner: SuiteRunner) -> Fig5:
+    series: dict[str, dict[MachineModel, float]] = {}
+    for name in NON_NUMERIC:
+        result = runner.analyze(name)
+        series[name] = {m: result[m].parallelism for m in MODELS}
+    return Fig5(series)

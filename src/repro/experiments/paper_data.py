@@ -1,0 +1,70 @@
+"""The paper's published numbers, for side-by-side comparison.
+
+Source: Lam & Wilson, *Limits of Control Flow on Parallelism*, ISCA 1992 —
+Table 2 (branch statistics), Table 3 (parallelism per machine model), and
+Table 4 (percent change due to perfect loop unrolling).
+"""
+
+from __future__ import annotations
+
+from repro.core import MachineModel
+
+M = MachineModel
+
+#: Table 2: program -> (prediction rate %, dynamic instructions between branches)
+PAPER_TABLE2: dict[str, tuple[float, float]] = {
+    "awk": (93.48, 6.8),
+    "ccom": (92.02, 7.5),
+    "eqntott": (91.92, 3.4),
+    "espresso": (85.64, 6.0),
+    "gcc": (89.29, 7.9),
+    "irsim": (87.71, 6.7),
+    "latex": (87.11, 9.4),
+    "matrix300": (99.02, 20.0),
+    "spice2g6": (97.66, 13.1),
+    "tomcatv": (99.09, 58.8),
+}
+
+_T3_ORDER = (M.BASE, M.CD, M.CD_MF, M.SP, M.SP_CD, M.SP_CD_MF, M.ORACLE)
+
+
+def _t3(*values: float) -> dict[MachineModel, float]:
+    return dict(zip(_T3_ORDER, values))
+
+
+#: Table 3: program -> model -> parallelism.
+PAPER_TABLE3: dict[str, dict[MachineModel, float]] = {
+    "awk": _t3(2.85, 3.24, 5.32, 9.22, 12.89, 41.88, 242.77),
+    "ccom": _t3(2.13, 2.51, 5.61, 6.92, 9.83, 18.05, 46.80),
+    "eqntott": _t3(1.98, 2.05, 5.21, 6.40, 18.09, 225.90, 3282.91),
+    "espresso": _t3(1.51, 1.54, 7.49, 4.16, 19.55, 402.85, 742.30),
+    "gcc": _t3(2.10, 2.55, 14.63, 7.76, 13.18, 66.29, 174.50),
+    "irsim": _t3(2.31, 2.66, 11.89, 8.40, 15.82, 45.86, 265.42),
+    "latex": _t3(2.71, 3.17, 6.18, 7.60, 9.72, 18.65, 131.69),
+    "matrix300": _t3(293, 432, 68324, 36192, 108575, 180632, 188470),
+    "spice2g6": _t3(2.14, 2.29, 16.80, 8.11, 25.28, 196.76, 843.60),
+    "tomcatv": _t3(22.23, 42.77, 3237, 124, 1881, 3918, 3918),
+}
+
+#: Table 3's harmonic-mean row over the seven non-numeric programs.
+PAPER_TABLE3_HMEAN: dict[MachineModel, float] = _t3(
+    2.14, 2.39, 6.96, 6.80, 13.27, 39.62, 158.26
+)
+
+#: Table 4: program -> model -> percent change due to perfect unrolling.
+PAPER_TABLE4: dict[str, dict[MachineModel, float]] = {
+    "awk": _t3(30, 56, 10, 48, 52, 41, -22),
+    "ccom": _t3(-1, 1, 2, 3, 2, -2, -2),
+    "eqntott": _t3(0, 1, -54, 11, 11, -4, 3),
+    "espresso": _t3(-6, -6, 134, -2, -16, 15, -21),
+    "gcc": _t3(2, 2, 2, 14, 18, -3, -4),
+    "irsim": _t3(0, 2, 9, 17, 4, -9, -9),
+    "latex": _t3(0, 0, -1, 0, 0, 0, 29),
+    "matrix300": _t3(2911, 4317, 16, 182136, 5488, 2, 0),
+    "spice2g6": _t3(12, 12, 35, 21, 23, 0, -1),
+    "tomcatv": _t3(47, 126, -9, 149, 13, -12, -12),
+}
+
+#: §5.2: "over 80% of the mispredictions occurring within a distance of 100
+#: instructions" (Figure 6).
+PAPER_FIG6_WITHIN_100 = 0.80

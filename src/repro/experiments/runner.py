@@ -1,0 +1,153 @@
+"""Shared experiment infrastructure.
+
+A :class:`SuiteRunner` owns the expensive artifacts — compiled programs,
+traces, static analyses, trained predictors — and caches them so the
+table/figure modules can share one set of runs.  All experiments in a
+session therefore analyze the *same* traces, exactly as the paper derives
+every table and figure from one set of pixie runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.bench import SUITE, BenchmarkSpec
+from repro.core import ALL_MODELS, AnalysisResult, LimitAnalyzer, MachineModel
+from repro.prediction import BranchPredictor, BranchStats, ProfilePredictor, branch_stats
+from repro.vm import VM, Trace
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Trace budget configuration.
+
+    ``max_steps`` plays the role of the paper's 100M-instruction pixie cap,
+    scaled to what a Python interpreter sustains.  ``scale`` overrides each
+    benchmark's default workload scale (None keeps the defaults).
+    """
+
+    max_steps: int = 150_000
+    scale: int | None = None
+
+
+@dataclass
+class BenchmarkRun:
+    """One benchmark's trace plus everything derived from it."""
+
+    spec: BenchmarkSpec
+    trace: Trace
+    analyzer: LimitAnalyzer
+    predictor: ProfilePredictor
+    stats: BranchStats
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+class SuiteRunner:
+    """Caches traces and analysis results across experiment modules."""
+
+    def __init__(self, config: RunConfig | None = None):
+        self.config = config if config is not None else RunConfig()
+        self._runs: dict[str, BenchmarkRun] = {}
+        self._results: dict[tuple, AnalysisResult] = {}
+
+    def run(self, name: str) -> BenchmarkRun:
+        """Compile, trace, and profile one benchmark (cached)."""
+        cached = self._runs.get(name)
+        if cached is not None:
+            return cached
+        spec = SUITE[name]
+        program = spec.compile(self.config.scale)
+        result = VM(program).run(max_steps=self.config.max_steps)
+        predictor = ProfilePredictor.from_trace(result.trace)
+        run = BenchmarkRun(
+            spec=spec,
+            trace=result.trace,
+            analyzer=LimitAnalyzer(program),
+            predictor=predictor,
+            stats=branch_stats(result.trace, predictor),
+        )
+        self._runs[name] = run
+        return run
+
+    def analyze(
+        self,
+        name: str,
+        models: Sequence[MachineModel] = ALL_MODELS,
+        perfect_unrolling: bool = True,
+        perfect_inlining: bool = True,
+        collect_misprediction_stats: bool = False,
+        predictor: BranchPredictor | None = None,
+    ) -> AnalysisResult:
+        """Limit-analyze one benchmark's trace (cached per option set).
+
+        A custom ``predictor`` bypasses the cache (ablations construct their
+        own predictors with internal state).
+        """
+        run = self.run(name)
+        if predictor is not None:
+            return run.analyzer.analyze(
+                run.trace,
+                models=models,
+                predictor=predictor,
+                perfect_unrolling=perfect_unrolling,
+                perfect_inlining=perfect_inlining,
+                collect_misprediction_stats=collect_misprediction_stats,
+            )
+        key = (
+            name,
+            tuple(models),
+            perfect_unrolling,
+            perfect_inlining,
+            collect_misprediction_stats,
+        )
+        cached = self._results.get(key)
+        if cached is None:
+            cached = run.analyzer.analyze(
+                run.trace,
+                models=models,
+                predictor=run.predictor,
+                perfect_unrolling=perfect_unrolling,
+                perfect_inlining=perfect_inlining,
+                collect_misprediction_stats=collect_misprediction_stats,
+            )
+            self._results[key] = cached
+        return cached
+
+
+@dataclass
+class TextTable:
+    """Minimal fixed-width table renderer for experiment reports."""
+
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    title: str = ""
+
+    def add(self, *cells: object) -> None:
+        self.rows.append([_format_cell(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(h.rjust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell >= 1000:
+            return f"{cell:.0f}"
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,31 @@
+"""Table 1 — the benchmark suite (descriptive)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench import SUITE
+from repro.experiments.runner import SuiteRunner, TextTable
+
+
+@dataclass
+class Table1:
+    rows: list[tuple[str, str, str]]
+
+    def render(self) -> str:
+        table = TextTable(
+            headers=["Program", "Language", "Description"],
+            title="Table 1: Benchmark Programs",
+        )
+        for row in self.rows:
+            table.add(*row)
+        return table.render()
+
+
+def run(runner: SuiteRunner | None = None) -> Table1:
+    return Table1(
+        rows=[
+            (spec.name, spec.language, spec.description)
+            for spec in SUITE.values()
+        ]
+    )

@@ -1,0 +1,50 @@
+"""Table 3 — parallelism for each machine model.
+
+The paper's headline result: per-benchmark parallelism on all seven
+abstract machines (perfect inlining and unrolling enabled), with the
+harmonic mean over the non-numeric programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench import NON_NUMERIC, SUITE
+from repro.core import ALL_MODELS, MachineModel, harmonic_mean
+from repro.experiments.paper_data import PAPER_TABLE3, PAPER_TABLE3_HMEAN
+from repro.experiments.runner import SuiteRunner, TextTable
+
+
+@dataclass
+class Table3:
+    parallelism: dict[str, dict[MachineModel, float]]
+    harmonic: dict[MachineModel, float]
+
+    def render(self, include_paper: bool = True) -> str:
+        table = TextTable(
+            headers=["Program"] + [m.label for m in ALL_MODELS],
+            title="Table 3: Parallelism for each Machine Model",
+        )
+        for name, values in self.parallelism.items():
+            table.add(name, *[values[m] for m in ALL_MODELS])
+            if include_paper:
+                table.add(
+                    "  (paper)", *[PAPER_TABLE3[name][m] for m in ALL_MODELS]
+                )
+        table.add("HMean*", *[self.harmonic[m] for m in ALL_MODELS])
+        if include_paper:
+            table.add("  (paper)", *[PAPER_TABLE3_HMEAN[m] for m in ALL_MODELS])
+        rendered = table.render()
+        return rendered + "\n*harmonic mean over the non-numeric programs"
+
+
+def run(runner: SuiteRunner) -> Table3:
+    parallelism: dict[str, dict[MachineModel, float]] = {}
+    for name in SUITE:
+        result = runner.analyze(name)
+        parallelism[name] = {m: result[m].parallelism for m in ALL_MODELS}
+    harmonic = {
+        m: harmonic_mean([parallelism[n][m] for n in NON_NUMERIC])
+        for m in ALL_MODELS
+    }
+    return Table3(parallelism=parallelism, harmonic=harmonic)

@@ -1,0 +1,50 @@
+"""Table 4 — percent change in parallelism due to perfect loop unrolling.
+
+Each benchmark is analyzed twice on every machine model — with and without
+removing induction-variable overhead — and the table reports
+``100 * (unrolled - rolled) / rolled``.  A positive entry means removing
+the induction-variable dependences *improves* parallelism (§5.4 discusses
+why the effect can go either way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench import SUITE
+from repro.core import ALL_MODELS, MachineModel
+from repro.experiments.paper_data import PAPER_TABLE4
+from repro.experiments.runner import SuiteRunner, TextTable
+
+
+@dataclass
+class Table4:
+    percent_change: dict[str, dict[MachineModel, float]]
+
+    def render(self, include_paper: bool = True) -> str:
+        table = TextTable(
+            headers=["Program"] + [m.label for m in ALL_MODELS],
+            title="Table 4: % Change in Parallelism due to Perfect Loop Unrolling",
+        )
+        for name, values in self.percent_change.items():
+            table.add(name, *[f"{values[m]:+.0f}" for m in ALL_MODELS])
+            if include_paper:
+                table.add(
+                    "  (paper)",
+                    *[f"{PAPER_TABLE4[name][m]:+.0f}" for m in ALL_MODELS],
+                )
+        return table.render()
+
+
+def run(runner: SuiteRunner) -> Table4:
+    percent_change: dict[str, dict[MachineModel, float]] = {}
+    for name in SUITE:
+        unrolled = runner.analyze(name, perfect_unrolling=True)
+        rolled = runner.analyze(name, perfect_unrolling=False)
+        percent_change[name] = {
+            m: 100.0
+            * (unrolled[m].parallelism - rolled[m].parallelism)
+            / rolled[m].parallelism
+            for m in ALL_MODELS
+        }
+    return Table4(percent_change=percent_change)

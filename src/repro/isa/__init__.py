@@ -1,0 +1,34 @@
+"""A MIPS-R3000-like instruction set architecture.
+
+This package defines the machine language shared by the assembler, the MiniC
+compiler, the tracing VM, and the static analyses.  See
+:mod:`repro.isa.opcodes` for the opcode inventory and
+:mod:`repro.isa.registers` for the register conventions.
+"""
+
+from repro.isa import registers
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import MNEMONICS, OPCODE_INFO, Opcode, OpcodeInfo, OpKind, info
+from repro.isa.program import (
+    GLOBALS_BASE,
+    STACK_TOP,
+    FunctionSymbol,
+    Program,
+    ProgramError,
+)
+
+__all__ = [
+    "GLOBALS_BASE",
+    "STACK_TOP",
+    "FunctionSymbol",
+    "Instruction",
+    "MNEMONICS",
+    "OPCODE_INFO",
+    "OpKind",
+    "Opcode",
+    "OpcodeInfo",
+    "Program",
+    "ProgramError",
+    "info",
+    "registers",
+]

@@ -1,0 +1,159 @@
+"""The :class:`Instruction` container used across the whole toolkit.
+
+An instruction is a fully-resolved machine operation: register operands are
+flat register ids (see :mod:`repro.isa.registers`), and control-transfer
+targets are instruction indices into the owning :class:`repro.isa.Program`.
+
+Dependence analysis never interprets mnemonics: it relies only on the
+``reads``/``writes`` register sets and the classification properties
+(:attr:`is_cond_branch`, :attr:`is_call`, ...), which in turn derive from the
+opcode metadata in :mod:`repro.isa.opcodes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa import registers
+from repro.isa.opcodes import Opcode, OpKind, info
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One machine instruction.
+
+    Fields that are not used by the opcode are ``None``.  FP operands share
+    the integer operand slots (``rd``/``rs``/``rt``) using flat register ids
+    in ``32..63``.
+
+    For memory operations the base register lives in ``rs`` and the
+    displacement in ``imm``; the value register of a store lives in ``rt``.
+    """
+
+    opcode: Opcode
+    rd: int | None = None
+    rs: int | None = None
+    rt: int | None = None
+    imm: int | float | None = None
+    target: int | None = None  # resolved code index for label operands
+    label: str | None = None  # symbolic form of `target`, for rendering
+    reads: tuple[int, ...] = field(default=(), compare=False)
+    writes: tuple[int, ...] = field(default=(), compare=False)
+
+    def __post_init__(self) -> None:
+        spec = info(self.opcode)
+        reads: list[int] = []
+        writes: list[int] = []
+        for code in spec.operands:
+            if code in ("rd", "fd", "rd!", "fd!"):
+                self._require(self.rd is not None, "missing destination register")
+                writes.append(self.rd)  # type: ignore[arg-type]
+                if code.endswith("!"):
+                    reads.append(self.rd)  # type: ignore[arg-type]
+            elif code in ("rs", "fs"):
+                self._require(self.rs is not None, "missing first source register")
+                reads.append(self.rs)  # type: ignore[arg-type]
+            elif code in ("rt", "ft"):
+                self._require(self.rt is not None, "missing second source register")
+                reads.append(self.rt)  # type: ignore[arg-type]
+            elif code == "mem":
+                self._require(self.rs is not None, "missing base register")
+                self._require(self.imm is not None, "missing displacement")
+                reads.append(self.rs)  # type: ignore[arg-type]
+            elif code in ("imm", "fimm"):
+                self._require(self.imm is not None, "missing immediate")
+            elif code == "label":
+                self._require(
+                    self.target is not None or self.label is not None,
+                    "missing control-transfer target",
+                )
+        # Calls implicitly write the return-address register.
+        if spec.kind in (OpKind.CALL, OpKind.JALR):
+            writes.append(registers.RA)
+        object.__setattr__(self, "reads", tuple(reads))
+        object.__setattr__(self, "writes", tuple(writes))
+
+    def _require(self, cond: bool, message: str) -> None:
+        if not cond:
+            raise ValueError(f"{self.opcode.value}: {message}")
+
+    # -- classification -------------------------------------------------
+
+    @property
+    def kind(self) -> OpKind:
+        return info(self.opcode).kind
+
+    @property
+    def is_cond_branch(self) -> bool:
+        """Conditional branch: the only opcode class with a data-dependent
+        two-way control transfer."""
+        return self.kind is OpKind.BRANCH
+
+    @property
+    def is_direct_jump(self) -> bool:
+        return self.kind is OpKind.JUMP
+
+    @property
+    def is_call(self) -> bool:
+        """Direct or indirect call (removed from traces by perfect inlining)."""
+        return self.kind in (OpKind.CALL, OpKind.JALR)
+
+    @property
+    def is_return(self) -> bool:
+        """``jr $ra`` — a procedure return (removed by perfect inlining)."""
+        return self.kind is OpKind.JR and self.rs == registers.RA
+
+    @property
+    def is_computed_jump(self) -> bool:
+        """``jr`` through a non-$ra register: an unpredicted computed jump."""
+        return self.kind is OpKind.JR and self.rs != registers.RA
+
+    @property
+    def is_control(self) -> bool:
+        return info(self.opcode).is_control
+
+    @property
+    def is_load(self) -> bool:
+        return self.kind is OpKind.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind is OpKind.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return info(self.opcode).is_mem
+
+    @property
+    def writes_sp(self) -> bool:
+        """True for stack-pointer manipulation (removed by perfect inlining)."""
+        return registers.SP in self.writes
+
+    # -- rendering --------------------------------------------------------
+
+    def render(self) -> str:
+        """Render the instruction in assembly syntax."""
+        spec = info(self.opcode)
+        parts: list[str] = []
+        for code in spec.operands:
+            if code in ("rd", "fd", "rd!", "fd!"):
+                parts.append(registers.reg_name(self.rd))  # type: ignore[arg-type]
+            elif code in ("rs", "fs"):
+                parts.append(registers.reg_name(self.rs))  # type: ignore[arg-type]
+            elif code in ("rt", "ft"):
+                parts.append(registers.reg_name(self.rt))  # type: ignore[arg-type]
+            elif code == "mem":
+                base = registers.reg_name(self.rs)  # type: ignore[arg-type]
+                parts.append(f"{self.imm}({base})")
+            elif code in ("imm", "fimm"):
+                parts.append(repr(self.imm))
+            elif code == "label":
+                if self.label is not None:
+                    parts.append(self.label)
+                else:
+                    parts.append(f"@{self.target}")
+        operand_text = ", ".join(parts)
+        return f"{self.opcode.value} {operand_text}".rstrip()
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

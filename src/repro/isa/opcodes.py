@@ -1,0 +1,269 @@
+"""Opcode definitions and static metadata for the repro ISA.
+
+Every opcode carries an :class:`OpcodeInfo` record describing its operand
+signature, so the assembler, the VM, and the dependence analyzer never have
+to special-case individual mnemonics: the operand signature says which fields
+are read, which are written, and whether the instruction touches memory or
+transfers control.
+
+Operand signature codes
+-----------------------
+
+========  =======================================================
+code      meaning
+========  =======================================================
+``rd``    integer destination register (written)
+``rd!``   integer destination register (read **and** written —
+          guarded moves retain the old value when the guard fails)
+``fd!``   FP destination register (read and written)
+``rs``    first integer source register (read)
+``rt``    second integer source register (read)
+``fd``    floating-point destination register (written)
+``fs``    first floating-point source register (read)
+``ft``    second floating-point source register (read)
+``imm``   integer immediate
+``fimm``  floating-point immediate
+``mem``   memory operand ``imm(base)`` — reads the integer base
+          register; the effective address is ``base + imm``
+``label`` code label (branch/jump/call target)
+========  =======================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpKind(enum.Enum):
+    """Coarse classification of an opcode.
+
+    The limit analyzer keys its control-flow constraints off this
+    classification (conditional branches, computed jumps, calls/returns) and
+    the inlining/unrolling filters use it to decide which trace records are
+    dropped.
+    """
+
+    ALU = "alu"  # integer computational, moves, immediates
+    FPU = "fpu"  # floating-point computational, converts, FP compares
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"  # conditional branch
+    JUMP = "jump"  # direct unconditional jump
+    CALL = "call"  # direct call (jal)
+    JR = "jr"  # jump-register: a return when the operand is $ra
+    JALR = "jalr"  # indirect call
+    NOP = "nop"
+    HALT = "halt"
+    IO = "io"  # debug output; executes like an ALU op with no result
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static description of one opcode."""
+
+    mnemonic: str
+    kind: OpKind
+    operands: tuple[str, ...]
+
+    @property
+    def has_imm(self) -> bool:
+        return "imm" in self.operands or "fimm" in self.operands or "mem" in self.operands
+
+    @property
+    def has_label(self) -> bool:
+        return "label" in self.operands
+
+    @property
+    def is_mem(self) -> bool:
+        return "mem" in self.operands
+
+    @property
+    def is_control(self) -> bool:
+        """True if the opcode may transfer control."""
+        return self.kind in (
+            OpKind.BRANCH, OpKind.JUMP, OpKind.CALL, OpKind.JR, OpKind.JALR, OpKind.HALT,
+        )
+
+
+class Opcode(enum.Enum):
+    """All machine opcodes.  Values are the assembly mnemonics."""
+
+    # -- integer three-register ALU -------------------------------------
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"  # truncating signed division (traps-free; x/0 -> 0)
+    REM = "rem"  # remainder with the sign of the dividend (x%0 -> x)
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOR = "nor"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    SLT = "slt"
+    SLE = "sle"
+    SEQ = "seq"
+    SNE = "sne"
+    SGT = "sgt"
+    SGE = "sge"
+    # -- integer register-immediate ALU ---------------------------------
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLTI = "slti"
+    SLEI = "slei"
+    SGTI = "sgti"
+    SGEI = "sgei"
+    SEQI = "seqi"
+    SNEI = "snei"
+    SLLI = "slli"
+    SRLI = "srli"
+    SRAI = "srai"
+    # -- constants and moves ---------------------------------------------
+    LI = "li"
+    MOV = "mov"
+    # -- guarded (conditional) moves: MIPS-IV style, used by if-conversion.
+    # The destination is read *and* written: when the guard fails the old
+    # value is retained, so dependence analysis sees a read of rd.
+    MOVZ = "movz"  # rd = rs if rt == 0
+    MOVN = "movn"  # rd = rs if rt != 0
+    FMOVZ = "fmovz"  # fd = fs if rt == 0
+    FMOVN = "fmovn"  # fd = fs if rt != 0
+    # -- memory -----------------------------------------------------------
+    LW = "lw"
+    SW = "sw"
+    FLW = "flw"
+    FSW = "fsw"
+    # -- floating point ----------------------------------------------------
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FNEG = "fneg"
+    FABS = "fabs"
+    FSQRT = "fsqrt"
+    FMOV = "fmov"
+    FLI = "fli"
+    CVTIF = "cvtif"  # int register -> FP register
+    CVTFI = "cvtfi"  # FP register -> int register (truncate toward zero)
+    FEQ = "feq"
+    FLT = "flt"
+    FLE = "fle"
+    # -- control transfer ---------------------------------------------------
+    BEQ = "beq"
+    BNE = "bne"
+    BLEZ = "blez"
+    BGTZ = "bgtz"
+    BLTZ = "bltz"
+    BGEZ = "bgez"
+    J = "j"
+    JAL = "jal"
+    JR = "jr"
+    JALR = "jalr"
+    # -- miscellaneous --------------------------------------------------------
+    NOP = "nop"
+    HALT = "halt"
+    PRINT = "print"  # debug: print integer register
+    FPRINT = "fprint"  # debug: print FP register
+    PUTC = "putc"  # debug: print character code in integer register
+
+
+def _info(mnemonic: str, kind: OpKind, *operands: str) -> OpcodeInfo:
+    return OpcodeInfo(mnemonic, kind, operands)
+
+
+_R3 = ("rd", "rs", "rt")
+_R2I = ("rd", "rs", "imm")
+
+OPCODE_INFO: dict[Opcode, OpcodeInfo] = {
+    Opcode.ADD: _info("add", OpKind.ALU, *_R3),
+    Opcode.SUB: _info("sub", OpKind.ALU, *_R3),
+    Opcode.MUL: _info("mul", OpKind.ALU, *_R3),
+    Opcode.DIV: _info("div", OpKind.ALU, *_R3),
+    Opcode.REM: _info("rem", OpKind.ALU, *_R3),
+    Opcode.AND: _info("and", OpKind.ALU, *_R3),
+    Opcode.OR: _info("or", OpKind.ALU, *_R3),
+    Opcode.XOR: _info("xor", OpKind.ALU, *_R3),
+    Opcode.NOR: _info("nor", OpKind.ALU, *_R3),
+    Opcode.SLL: _info("sll", OpKind.ALU, *_R3),
+    Opcode.SRL: _info("srl", OpKind.ALU, *_R3),
+    Opcode.SRA: _info("sra", OpKind.ALU, *_R3),
+    Opcode.SLT: _info("slt", OpKind.ALU, *_R3),
+    Opcode.SLE: _info("sle", OpKind.ALU, *_R3),
+    Opcode.SEQ: _info("seq", OpKind.ALU, *_R3),
+    Opcode.SNE: _info("sne", OpKind.ALU, *_R3),
+    Opcode.SGT: _info("sgt", OpKind.ALU, *_R3),
+    Opcode.SGE: _info("sge", OpKind.ALU, *_R3),
+    Opcode.ADDI: _info("addi", OpKind.ALU, *_R2I),
+    Opcode.ANDI: _info("andi", OpKind.ALU, *_R2I),
+    Opcode.ORI: _info("ori", OpKind.ALU, *_R2I),
+    Opcode.XORI: _info("xori", OpKind.ALU, *_R2I),
+    Opcode.SLTI: _info("slti", OpKind.ALU, *_R2I),
+    Opcode.SLEI: _info("slei", OpKind.ALU, *_R2I),
+    Opcode.SGTI: _info("sgti", OpKind.ALU, *_R2I),
+    Opcode.SGEI: _info("sgei", OpKind.ALU, *_R2I),
+    Opcode.SEQI: _info("seqi", OpKind.ALU, *_R2I),
+    Opcode.SNEI: _info("snei", OpKind.ALU, *_R2I),
+    Opcode.SLLI: _info("slli", OpKind.ALU, *_R2I),
+    Opcode.SRLI: _info("srli", OpKind.ALU, *_R2I),
+    Opcode.SRAI: _info("srai", OpKind.ALU, *_R2I),
+    Opcode.LI: _info("li", OpKind.ALU, "rd", "imm"),
+    Opcode.MOV: _info("mov", OpKind.ALU, "rd", "rs"),
+    Opcode.MOVZ: _info("movz", OpKind.ALU, "rd!", "rs", "rt"),
+    Opcode.MOVN: _info("movn", OpKind.ALU, "rd!", "rs", "rt"),
+    Opcode.FMOVZ: _info("fmovz", OpKind.FPU, "fd!", "fs", "rt"),
+    Opcode.FMOVN: _info("fmovn", OpKind.FPU, "fd!", "fs", "rt"),
+    Opcode.LW: _info("lw", OpKind.LOAD, "rd", "mem"),
+    Opcode.SW: _info("sw", OpKind.STORE, "rt", "mem"),
+    Opcode.FLW: _info("flw", OpKind.LOAD, "fd", "mem"),
+    Opcode.FSW: _info("fsw", OpKind.STORE, "ft", "mem"),
+    Opcode.FADD: _info("fadd", OpKind.FPU, "fd", "fs", "ft"),
+    Opcode.FSUB: _info("fsub", OpKind.FPU, "fd", "fs", "ft"),
+    Opcode.FMUL: _info("fmul", OpKind.FPU, "fd", "fs", "ft"),
+    Opcode.FDIV: _info("fdiv", OpKind.FPU, "fd", "fs", "ft"),
+    Opcode.FNEG: _info("fneg", OpKind.FPU, "fd", "fs"),
+    Opcode.FABS: _info("fabs", OpKind.FPU, "fd", "fs"),
+    Opcode.FSQRT: _info("fsqrt", OpKind.FPU, "fd", "fs"),
+    Opcode.FMOV: _info("fmov", OpKind.FPU, "fd", "fs"),
+    Opcode.FLI: _info("fli", OpKind.FPU, "fd", "fimm"),
+    Opcode.CVTIF: _info("cvtif", OpKind.FPU, "fd", "rs"),
+    Opcode.CVTFI: _info("cvtfi", OpKind.FPU, "rd", "fs"),
+    Opcode.FEQ: _info("feq", OpKind.FPU, "rd", "fs", "ft"),
+    Opcode.FLT: _info("flt", OpKind.FPU, "rd", "fs", "ft"),
+    Opcode.FLE: _info("fle", OpKind.FPU, "rd", "fs", "ft"),
+    Opcode.BEQ: _info("beq", OpKind.BRANCH, "rs", "rt", "label"),
+    Opcode.BNE: _info("bne", OpKind.BRANCH, "rs", "rt", "label"),
+    Opcode.BLEZ: _info("blez", OpKind.BRANCH, "rs", "label"),
+    Opcode.BGTZ: _info("bgtz", OpKind.BRANCH, "rs", "label"),
+    Opcode.BLTZ: _info("bltz", OpKind.BRANCH, "rs", "label"),
+    Opcode.BGEZ: _info("bgez", OpKind.BRANCH, "rs", "label"),
+    Opcode.J: _info("j", OpKind.JUMP, "label"),
+    Opcode.JAL: _info("jal", OpKind.CALL, "label"),
+    Opcode.JR: _info("jr", OpKind.JR, "rs"),
+    Opcode.JALR: _info("jalr", OpKind.JALR, "rs"),
+    Opcode.NOP: _info("nop", OpKind.NOP),
+    Opcode.HALT: _info("halt", OpKind.HALT),
+    Opcode.PRINT: _info("print", OpKind.IO, "rs"),
+    Opcode.FPRINT: _info("fprint", OpKind.IO, "fs"),
+    Opcode.PUTC: _info("putc", OpKind.IO, "rs"),
+}
+
+#: Mnemonic text -> opcode, for the assembler.
+MNEMONICS: dict[str, Opcode] = {op.value: op for op in Opcode}
+
+
+def info(opcode: Opcode) -> OpcodeInfo:
+    """Return the :class:`OpcodeInfo` for *opcode*."""
+    return OPCODE_INFO[opcode]
+
+
+def _check_table_complete() -> None:
+    missing = [op for op in Opcode if op not in OPCODE_INFO]
+    if missing:  # pragma: no cover - guarded by import-time check
+        raise AssertionError(f"OPCODE_INFO missing entries: {missing}")
+
+
+_check_table_complete()

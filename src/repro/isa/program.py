@@ -1,0 +1,143 @@
+"""The :class:`Program` object-file container.
+
+A :class:`Program` is the unit that flows between the subsystems:
+
+* produced by the assembler (:mod:`repro.asm`) — possibly from MiniC via
+  :mod:`repro.lang`;
+* executed and traced by the VM (:mod:`repro.vm`);
+* statically analyzed (CFG, control dependence, loops) by
+  :mod:`repro.analysis`;
+* consumed, together with a trace, by the limit analyzer in
+  :mod:`repro.core`.
+
+Code addresses are instruction indices (one instruction per "word").  Data
+memory is a separate word-addressed space whose initial image is carried in
+:attr:`Program.data`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+
+#: First data address handed out to globals; low addresses are kept free so
+#: that accidental null-pointer dereferences are recognizable in tests.
+GLOBALS_BASE = 0x1000
+
+#: Default initial stack pointer (stack grows down, word addressed).
+STACK_TOP = 1 << 22
+
+
+class ProgramError(Exception):
+    """Raised for malformed programs (bad targets, overlapping symbols...)."""
+
+
+@dataclass(frozen=True)
+class FunctionSymbol:
+    """Half-open code range ``[start, end)`` of one procedure."""
+
+    name: str
+    start: int
+    end: int
+
+    def __contains__(self, pc: int) -> bool:
+        return self.start <= pc < self.end
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled program: code, symbols, and the initial data image."""
+
+    instructions: tuple[Instruction, ...]
+    functions: tuple[FunctionSymbol, ...] = ()
+    code_labels: dict[str, int] = field(default_factory=dict)
+    data: dict[int, int | float] = field(default_factory=dict)
+    data_labels: dict[str, int] = field(default_factory=dict)
+    data_break: int = GLOBALS_BASE  # first data address past the globals
+    entry: int = 0
+    name: str = "a.out"
+    # Switch dispatch tables: table base address -> possible code targets.
+    # Lets the CFG builder give computed jumps their real successor sets
+    # (the paper's tooling likewise decoded MIPS jump tables).
+    jump_tables: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._validate()
+        starts = [f.start for f in self.functions]
+        object.__setattr__(self, "_func_starts", starts)
+
+    # -- validation -------------------------------------------------------
+
+    def _validate(self) -> None:
+        n = len(self.instructions)
+        if not 0 <= self.entry < max(n, 1):
+            raise ProgramError(f"entry point {self.entry} outside code [0, {n})")
+        for pc, instr in enumerate(self.instructions):
+            if instr.target is not None and not 0 <= instr.target < n:
+                raise ProgramError(
+                    f"instruction {pc} ({instr.render()}) targets {instr.target}, "
+                    f"outside code [0, {n})"
+                )
+        prev_end = 0
+        for func in sorted(self.functions, key=lambda f: f.start):
+            if func.start < prev_end:
+                raise ProgramError(f"function {func.name} overlaps a previous function")
+            if not func.start < func.end <= n:
+                raise ProgramError(
+                    f"function {func.name} has bad range [{func.start}, {func.end})"
+                )
+            prev_end = func.end
+        for label, pc in self.code_labels.items():
+            if not 0 <= pc <= n:
+                raise ProgramError(f"code label {label} -> {pc} outside code")
+        for base, targets in self.jump_tables.items():
+            for target in targets:
+                if not 0 <= target < n:
+                    raise ProgramError(
+                        f"jump table at {base} targets {target}, outside code"
+                    )
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self.instructions[pc]
+
+    def function_at(self, pc: int) -> FunctionSymbol | None:
+        """Return the function containing *pc*, or None for orphan code."""
+        idx = bisect.bisect_right(self._func_starts, pc) - 1  # type: ignore[attr-defined]
+        if idx < 0:
+            return None
+        func = self.functions[idx]
+        return func if pc in func else None
+
+    def function_named(self, name: str) -> FunctionSymbol:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(f"no function named {name!r}")
+
+    def label_for(self, pc: int) -> str | None:
+        """Return some label placed exactly at *pc*, if any."""
+        for label, at in self.code_labels.items():
+            if at == pc:
+                return label
+        return None
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self) -> str:
+        """Disassemble the whole program, one instruction per line."""
+        label_at: dict[int, list[str]] = {}
+        for label, pc in sorted(self.code_labels.items()):
+            label_at.setdefault(pc, []).append(label)
+        lines: list[str] = []
+        for pc, instr in enumerate(self.instructions):
+            for label in label_at.get(pc, ()):
+                lines.append(f"{label}:")
+            lines.append(f"    {pc:6d}  {instr.render()}")
+        return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Register-file definition and calling conventions for the repro ISA.
+
+The ISA models a MIPS-R3000-like machine with 32 integer registers and 32
+floating-point registers.  Both files share one flat register-id namespace so
+that dependence analysis can treat every register uniformly: integer register
+``$n`` has id ``n`` (0..31) and floating-point register ``$fn`` has id
+``32 + n`` (32..63).
+
+The software conventions follow the MIPS o32 ABI closely; the names matter to
+the limit study because the paper's *perfect inlining* transformation removes
+every instruction that writes the stack pointer (``$sp``).
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+FP_BASE = NUM_INT_REGS
+"""Flat register id of ``$f0``."""
+
+# Integer register aliases (MIPS o32 names).
+ZERO = 0  # hardwired zero
+AT = 1  # assembler temporary
+V0, V1 = 2, 3  # function results
+A0, A1, A2, A3 = 4, 5, 6, 7  # arguments
+T0, T1, T2, T3, T4, T5, T6, T7 = 8, 9, 10, 11, 12, 13, 14, 15  # caller-saved
+S0, S1, S2, S3, S4, S5, S6, S7 = 16, 17, 18, 19, 20, 21, 22, 23  # callee-saved
+T8, T9 = 24, 25  # more caller-saved
+K0, K1 = 26, 27  # reserved for the "kernel" (unused here)
+GP = 28  # global pointer
+SP = 29  # stack pointer
+FP = 30  # frame pointer
+RA = 31  # return address
+
+_INT_ALIASES = {
+    "zero": ZERO, "at": AT, "v0": V0, "v1": V1,
+    "a0": A0, "a1": A1, "a2": A2, "a3": A3,
+    "t0": T0, "t1": T1, "t2": T2, "t3": T3,
+    "t4": T4, "t5": T5, "t6": T6, "t7": T7,
+    "s0": S0, "s1": S1, "s2": S2, "s3": S3,
+    "s4": S4, "s5": S5, "s6": S6, "s7": S7,
+    "t8": T8, "t9": T9, "k0": K0, "k1": K1,
+    "gp": GP, "sp": SP, "fp": FP, "ra": RA,
+}
+
+# Floating-point register ids in the flat namespace.
+F0 = FP_BASE + 0  # FP function result
+F12 = FP_BASE + 12  # first FP argument
+
+#: FP argument registers ($f12..$f15), o32 style.
+FP_ARG_REGS = tuple(FP_BASE + n for n in range(12, 16))
+#: Integer argument registers ($a0..$a3).
+INT_ARG_REGS = (A0, A1, A2, A3)
+
+#: Caller-saved (temporary) integer registers available to expression
+#: evaluation in the MiniC code generator.
+INT_TEMP_REGS = (T0, T1, T2, T3, T4, T5, T6, T7, T8, T9)
+#: Callee-saved integer registers used for register-allocated local scalars.
+INT_SAVED_REGS = (S0, S1, S2, S3, S4, S5, S6, S7)
+
+#: Caller-saved FP temporaries ($f4..$f11).
+FP_TEMP_REGS = tuple(FP_BASE + n for n in range(4, 12))
+#: Callee-saved FP registers ($f20..$f31), used for FP local scalars.
+FP_SAVED_REGS = tuple(FP_BASE + n for n in range(20, 32))
+
+
+def is_fp_reg(reg: int) -> bool:
+    """Return True if flat register id *reg* names a floating-point register."""
+    return FP_BASE <= reg < NUM_REGS
+
+
+def is_int_reg(reg: int) -> bool:
+    """Return True if flat register id *reg* names an integer register."""
+    return 0 <= reg < FP_BASE
+
+
+def reg_name(reg: int) -> str:
+    """Render a flat register id using its conventional assembly name."""
+    if not 0 <= reg < NUM_REGS:
+        raise ValueError(f"register id out of range: {reg}")
+    if is_fp_reg(reg):
+        return f"$f{reg - FP_BASE}"
+    for name, number in _INT_ALIASES.items():
+        if number == reg:
+            return f"${name}"
+    return f"${reg}"
+
+
+def parse_reg(text: str) -> int:
+    """Parse an assembly register name into a flat register id.
+
+    Accepts ``$sp``-style aliases, ``$7``-style numbers and ``$f5``-style
+    floating-point names (with or without the leading ``$``).
+
+    >>> parse_reg("$sp")
+    29
+    >>> parse_reg("f1")
+    33
+    """
+    name = text.strip().lower().lstrip("$")
+    if not name:
+        raise ValueError(f"empty register name: {text!r}")
+    if name in _INT_ALIASES:
+        return _INT_ALIASES[name]
+    if name.startswith("f") and name[1:].isdigit():
+        n = int(name[1:])
+        if not 0 <= n < NUM_FP_REGS:
+            raise ValueError(f"FP register out of range: {text!r}")
+        return FP_BASE + n
+    if name.startswith("r") and name[1:].isdigit():
+        name = name[1:]
+    if name.isdigit():
+        n = int(name)
+        if not 0 <= n < NUM_INT_REGS:
+            raise ValueError(f"integer register out of range: {text!r}")
+        return n
+    raise ValueError(f"unknown register name: {text!r}")

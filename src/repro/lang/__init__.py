@@ -1,0 +1,34 @@
+"""MiniC: a small C-like language compiled to the repro ISA.
+
+Features: ``int``/``float``/``char`` (= int) scalars, pointers, global and
+local arrays, global initializers, string literals, full C expression
+grammar (including ``&&``/``||`` short-circuiting, ``?:``, compound
+assignment, ``++``/``--``), ``if``/``while``/``do``/``for``/``break``/
+``continue``/``return``, recursion, and the ``print_int``/``print_float``/
+``put_char`` debug builtins.
+
+The code generator follows MIPS o32 conventions so that the limit study's
+perfect-inlining and perfect-unrolling transformations apply exactly as in
+the paper (see :mod:`repro.lang.codegen`).
+"""
+
+from repro.lang.compiler import compile_source, compile_to_assembly
+from repro.lang.errors import CompileError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.reference import ReferenceInterpreter, ReferenceResult, interpret
+from repro.lang.semantics import BUILTINS, CheckedUnit, check
+
+__all__ = [
+    "BUILTINS",
+    "CheckedUnit",
+    "CompileError",
+    "ReferenceInterpreter",
+    "ReferenceResult",
+    "check",
+    "compile_source",
+    "compile_to_assembly",
+    "interpret",
+    "parse",
+    "tokenize",
+]

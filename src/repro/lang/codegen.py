@@ -1,0 +1,1439 @@
+"""MiniC code generator: checked AST → repro assembly text.
+
+Register allocation follows the MIPS o32 conventions used by the paper's
+compilers:
+
+* integer/pointer local scalars and parameters live in callee-saved
+  ``$s0..$s7``; float scalars in ``$f20..$f31``; overflow goes to stack
+  slots (keeping index variables in registers is what makes the paper's
+  perfect-unrolling analysis applicable — see §4.2);
+* expression temporaries come from caller-saved ``$t0..$t9`` /
+  ``$f4..$f11`` and are spilled around calls;
+* arguments are passed in ``$a0..$a3`` / ``$f12..$f15``; results return
+  in ``$v0`` / ``$f0``;
+* each function adjusts ``$sp`` in its prologue/epilogue and saves ``$ra``
+  plus the callee-saved registers it uses — exactly the instructions the
+  limit study's *perfect inlining* later removes or keeps, as in the paper.
+
+Code shapes matter to the study and mirror MIPS compiler output:
+``i = i + 1`` (and ``i++``, ``i += c``) on a register variable becomes a
+single self-increment ``addi``; loop conditions compile to a compare
+(``slt``-family, immediate form when possible) feeding a single conditional
+branch, so the induction analysis recognizes loop overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa import registers as R
+from repro.lang.errors import CompileError
+from repro.lang import nodes as N
+from repro.lang.semantics import BUILTINS, CheckedUnit, GlobalVar, LocalVar
+from repro.lang.types import FLOAT, INT
+
+_WORD_MIN, _WORD_MAX = -(1 << 31), (1 << 31) - 1
+
+
+def _reg_name(reg: int) -> str:
+    return R.reg_name(reg)
+
+
+# ---------------------------------------------------------------------------
+# storage and register management
+
+
+@dataclass(frozen=True)
+class Storage:
+    """Where a local lives: a callee-saved register or a frame slot.
+    Arrays always get a frame range (``offset``..``offset+size``)."""
+
+    kind: str  # 'reg' | 'slot' | 'array'
+    reg: int | None = None
+    offset: int | None = None
+
+
+class Frame:
+    """Stack-frame layout builder (word units, offsets from the new $sp)."""
+
+    def __init__(self) -> None:
+        self.size = 0
+
+    def alloc(self, words: int = 1) -> int:
+        offset = self.size
+        self.size += words
+        return offset
+
+
+class RegPool:
+    """Caller-saved temporary register pool.
+
+    ``free`` ignores registers it does not own, so borrowed callee-saved
+    variable registers can flow through expression evaluation safely.
+    """
+
+    def __init__(self, regs: tuple[int, ...], what: str):
+        self._all = regs
+        self._free = list(regs)
+        self._in_use: set[int] = set()
+        self._what = what
+
+    def alloc(self, line: int = 0) -> int:
+        if not self._free:
+            raise CompileError(
+                f"expression too complex: out of {self._what} temporaries", line
+            )
+        reg = self._free.pop(0)
+        self._in_use.add(reg)
+        return reg
+
+    def free(self, reg: int) -> None:
+        if reg in self._in_use:
+            self._in_use.remove(reg)
+            self._free.insert(0, reg)
+
+    @property
+    def live(self) -> tuple[int, ...]:
+        return tuple(sorted(self._in_use))
+
+
+# ---------------------------------------------------------------------------
+# code generator
+
+
+class CodeGen:
+    def __init__(self, checked: CheckedUnit, if_convert: bool = False):
+        self.checked = checked
+        self.if_convert = if_convert
+        self.lines: list[str] = []
+        self._label_counter = 0
+        self._string_labels: dict[str, str] = {}
+        # per-function state
+        self.frame = Frame()
+        self.storage: dict[LocalVar, Storage] = {}
+        self.int_pool = RegPool(R.INT_TEMP_REGS, "integer")
+        self.float_pool = RegPool(R.FP_TEMP_REGS, "float")
+        self.body: list[str] = []
+        self.epilogue_label = ""
+        self.break_labels: list[str] = []
+        self.continue_labels: list[str] = []
+        self.used_saved: set[int] = set()
+        self.makes_calls = False
+        self._jump_tables: list[tuple[str, list[str]]] = []
+
+    # -- top level ------------------------------------------------------
+
+    def generate(self) -> str:
+        self._collect_strings()
+        self._emit_data()
+        self.lines.append(".text")
+        self._emit_start_stub()
+        for func in self.checked.unit.functions:
+            self._gen_function(func)
+        if self._jump_tables:
+            # Switch dispatch tables of code-label addresses; the assembler
+            # resolves these as forward references.
+            self.lines.append(".data")
+            for label, entries in self._jump_tables:
+                rendered = ", ".join(entries)
+                self.lines.append(f"{label}: .word {rendered}")
+                self.lines.append(f".jumptable {label}, {len(entries)}")
+        return "\n".join(self.lines) + "\n"
+
+    def _new_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f".L{hint}{self._label_counter}"
+
+    def _emit_start_stub(self) -> None:
+        self.lines.append(".func __start")
+        self.lines.append("__start:")
+        self.lines.append("    jal main")
+        self.lines.append("    halt")
+        self.lines.append(".endfunc")
+
+    # -- data segment ------------------------------------------------------
+
+    def _collect_strings(self) -> None:
+        def walk_expr(expr: N.Expr | None) -> None:
+            if expr is None:
+                return
+            if isinstance(expr, N.StringLit):
+                if expr.value not in self._string_labels:
+                    label = f".str{len(self._string_labels)}"
+                    self._string_labels[expr.value] = label
+            for attr in vars(expr).values():
+                if isinstance(attr, N.Expr):
+                    walk_expr(attr)
+                elif isinstance(attr, list):
+                    for item in attr:
+                        if isinstance(item, N.Expr):
+                            walk_expr(item)
+
+        def walk_stmt(stmt: N.Stmt | None) -> None:
+            if stmt is None:
+                return
+            for attr in vars(stmt).values():
+                if isinstance(attr, N.Expr):
+                    walk_expr(attr)
+                elif isinstance(attr, N.Stmt):
+                    walk_stmt(attr)
+                elif isinstance(attr, list):
+                    for item in attr:
+                        if isinstance(item, N.Stmt):
+                            walk_stmt(item)
+                        elif isinstance(item, N.Expr):
+                            walk_expr(item)
+
+        for func in self.checked.unit.functions:
+            walk_stmt(func.body)
+        for decl in self.checked.unit.globals:
+            if isinstance(decl.init, N.StringLit):
+                if decl.init.value not in self._string_labels:
+                    label = f".str{len(self._string_labels)}"
+                    self._string_labels[decl.init.value] = label
+
+    def _emit_data(self) -> None:
+        has_data = self._string_labels or self.checked.unit.globals
+        if not has_data:
+            return
+        self.lines.append(".data")
+        for text, label in self._string_labels.items():
+            escaped = (
+                text.replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+                .replace("\t", "\\t")
+                .replace("\r", "\\r")
+                .replace("\0", "\\0")
+            )
+            self.lines.append(f'{label}: .asciiz "{escaped}"')
+        for decl in self.checked.unit.globals:
+            self._emit_global(decl)
+
+    def _emit_global(self, decl: N.GlobalDecl) -> None:
+        symbol = self.checked.globals[decl.name]
+        label = symbol.label
+        var_type = decl.var_type
+        if var_type.is_array:
+            element = var_type.element  # type: ignore[attr-defined]
+            values = decl.init if isinstance(decl.init, list) else []
+            directive = ".float" if element.is_float else ".word"
+            if values:
+                rendered = ", ".join(str(v.value) for v in values)
+                self.lines.append(f"{label}: {directive} {rendered}")
+                remaining = var_type.size - len(values)  # type: ignore[attr-defined]
+                if remaining > 0:
+                    self.lines.append(f"    .space {remaining}")
+            else:
+                self.lines.append(f"{label}: .space {var_type.size}")  # type: ignore[attr-defined]
+            return
+        if isinstance(decl.init, N.StringLit):
+            string_label = self._string_labels[decl.init.value]
+            self.lines.append(f"{label}: .word {string_label}")
+            return
+        if isinstance(decl.init, N.AddrOf):
+            # Address constant: `&g`, `arr`, or `&arr[K]`.
+            target = self.checked.var_symbols[id(decl.init)]
+            offset = getattr(decl.init, "const_offset", 0)
+            suffix = f"+{offset}" if offset else ""
+            self.lines.append(f"{label}: .word {target.label}{suffix}")
+            return
+        if var_type.is_float:
+            value = decl.init.value if isinstance(decl.init, N.FloatLit) else 0.0
+            self.lines.append(f"{label}: .float {value}")
+        else:
+            value = decl.init.value if isinstance(decl.init, (N.IntLit,)) else 0
+            self.lines.append(f"{label}: .word {value}")
+
+    # -- functions ---------------------------------------------------------
+
+    def _gen_function(self, func: N.FuncDef) -> None:
+        self.frame = Frame()
+        self.storage = {}
+        self.int_pool = RegPool(R.INT_TEMP_REGS, "integer")
+        self.float_pool = RegPool(R.FP_TEMP_REGS, "float")
+        self.body = []
+        self.epilogue_label = self._new_label("ret")
+        self.break_labels = []
+        self.continue_labels = []
+        self.used_saved = set()
+        self.makes_calls = _has_calls(func.body, self.checked)
+
+        locals_ = self.checked.func_locals[func.name]
+        self._assign_storage(locals_)
+
+        # Body first: the frame keeps growing (temp-save slots), so the
+        # prologue is emitted afterwards with the final size.
+        self._copy_params(func)
+        self._gen_stmt(func.body)
+
+        prologue: list[str] = [f".func {func.name}", f"{func.name}:"]
+        save_slots: list[tuple[int, int]] = []
+        ra_slot: int | None = None
+        if self.makes_calls:
+            ra_slot = self.frame.alloc()
+        for reg in sorted(self.used_saved):
+            save_slots.append((reg, self.frame.alloc()))
+        frame_size = self.frame.size
+        if frame_size:
+            prologue.append(f"    addi $sp, $sp, -{frame_size}")
+        if ra_slot is not None:
+            prologue.append(f"    sw $ra, {ra_slot}($sp)")
+        for reg, slot in save_slots:
+            op = "fsw" if R.is_fp_reg(reg) else "sw"
+            prologue.append(f"    {op} {_reg_name(reg)}, {slot}($sp)")
+
+        epilogue: list[str] = [f"{self.epilogue_label}:"]
+        for reg, slot in save_slots:
+            op = "flw" if R.is_fp_reg(reg) else "lw"
+            epilogue.append(f"    {op} {_reg_name(reg)}, {slot}($sp)")
+        if ra_slot is not None:
+            epilogue.append(f"    lw $ra, {ra_slot}($sp)")
+        if frame_size:
+            epilogue.append(f"    addi $sp, $sp, {frame_size}")
+        epilogue.append("    jr $ra")
+        epilogue.append(".endfunc")
+
+        self.lines.extend(prologue)
+        self.lines.extend(_remove_jumps_to_next(self.body + epilogue))
+
+    def _assign_storage(self, locals_: list[LocalVar]) -> None:
+        int_regs = list(R.INT_SAVED_REGS)
+        float_regs = list(R.FP_SAVED_REGS)
+        for var in locals_:
+            if var.type.is_array:
+                offset = self.frame.alloc(var.type.size)  # type: ignore[attr-defined]
+                self.storage[var] = Storage("array", offset=offset)
+            elif var.type.is_float:
+                if float_regs:
+                    reg = float_regs.pop(0)
+                    self.used_saved.add(reg)
+                    self.storage[var] = Storage("reg", reg=reg)
+                else:
+                    self.storage[var] = Storage("slot", offset=self.frame.alloc())
+            else:  # int or pointer
+                if int_regs:
+                    reg = int_regs.pop(0)
+                    self.used_saved.add(reg)
+                    self.storage[var] = Storage("reg", reg=reg)
+                else:
+                    self.storage[var] = Storage("slot", offset=self.frame.alloc())
+
+    def _copy_params(self, func: N.FuncDef) -> None:
+        locals_ = self.checked.func_locals[func.name]
+        int_idx = 0
+        float_idx = 0
+        for var in locals_:
+            if not var.is_param:
+                continue
+            if var.type.is_float:
+                arg_reg = R.FP_ARG_REGS[float_idx]
+                float_idx += 1
+            else:
+                arg_reg = R.INT_ARG_REGS[int_idx]
+                int_idx += 1
+            storage = self.storage[var]
+            if storage.kind == "reg":
+                op = "fmov" if var.type.is_float else "mov"
+                self._emit(f"{op} {_reg_name(storage.reg)}, {_reg_name(arg_reg)}")
+            else:
+                op = "fsw" if var.type.is_float else "sw"
+                self._emit(f"{op} {_reg_name(arg_reg)}, {storage.offset}($sp)")
+
+    def _emit(self, text: str) -> None:
+        self.body.append(f"    {text}")
+
+    def _emit_label(self, label: str) -> None:
+        self.body.append(f"{label}:")
+
+    # -- statements -----------------------------------------------------------
+
+    def _gen_stmt(self, stmt: N.Stmt) -> None:
+        if isinstance(stmt, N.Block):
+            for inner in stmt.statements:
+                self._gen_stmt(inner)
+        elif isinstance(stmt, N.VarDecl):
+            self._gen_var_decl(stmt)
+        elif isinstance(stmt, N.ExprStmt):
+            self._gen_expr_for_effect(stmt.expr)
+        elif isinstance(stmt, N.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, N.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, N.DoWhile):
+            self._gen_do_while(stmt)
+        elif isinstance(stmt, N.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, N.Switch):
+            self._gen_switch(stmt)
+        elif isinstance(stmt, N.Return):
+            self._gen_return(stmt)
+        elif isinstance(stmt, N.Break):
+            self._emit(f"j {self.break_labels[-1]}")
+        elif isinstance(stmt, N.Continue):
+            self._emit(f"j {self.continue_labels[-1]}")
+        elif isinstance(stmt, N.Empty):
+            pass
+        else:  # pragma: no cover - parser produces only the above
+            raise CompileError(f"unhandled statement {type(stmt).__name__}", stmt.line)
+
+    def _gen_var_decl(self, decl: N.VarDecl) -> None:
+        if decl.init is None:
+            return
+        var = self.checked.var_symbols[id(decl)]
+        self._store_to_var(var, decl.init)
+
+    def _gen_if(self, stmt: N.If) -> None:
+        if self.if_convert and self._try_if_convert(stmt):
+            return
+        end_label = self._new_label("endif")
+        if stmt.otherwise is None:
+            self._gen_cond_branch(stmt.cond, end_label, jump_if=False)
+            self._gen_stmt(stmt.then)
+            self._emit_label(end_label)
+        else:
+            else_label = self._new_label("else")
+            self._gen_cond_branch(stmt.cond, else_label, jump_if=False)
+            self._gen_stmt(stmt.then)
+            self._emit(f"j {end_label}")
+            self._emit_label(else_label)
+            self._gen_stmt(stmt.otherwise)
+            self._emit_label(end_label)
+
+    # -- if-conversion (guarded instructions, paper §6) --------------------
+
+    def _try_if_convert(self, stmt: N.If) -> bool:
+        """Convert ``if (c) v = e;`` (and two-armed variants) into guarded
+        moves, eliminating the branch.
+
+        The paper's §6 motivates guarded instructions: "they help increase
+        the distance between mispredicted branches".  Conversion applies
+        when every arm is a single side-effect-free assignment to a
+        register-resident scalar.
+        """
+        then_assign = self._convertible_assignment(stmt.then)
+        if then_assign is None or not self._is_safe_expr(stmt.cond):
+            return False
+        else_assign = None
+        if stmt.otherwise is not None:
+            else_assign = self._convertible_assignment(stmt.otherwise)
+            if else_assign is None:
+                return False
+
+        guard = self._gen_expr_scalar(stmt.cond)
+        self._emit_guarded_assign(then_assign, guard, when_true=True)
+        if else_assign is not None:
+            self._emit_guarded_assign(else_assign, guard, when_true=False)
+        self.int_pool.free(guard)
+        return True
+
+    def _convertible_assignment(self, stmt: N.Stmt) -> N.Assign | None:
+        """The single guardable assignment in *stmt*, or None."""
+        while isinstance(stmt, N.Block):
+            if len(stmt.statements) != 1:
+                return None
+            stmt = stmt.statements[0]
+        if not isinstance(stmt, N.ExprStmt) or not isinstance(stmt.expr, N.Assign):
+            return None
+        assign = stmt.expr
+        target = assign.target
+        if not isinstance(target, N.VarRef):
+            return None
+        if self._var_reg(target) is None:
+            return None  # memory-resident: a guarded store would be unsafe
+        if not self._is_safe_expr(assign.value):
+            return None
+        return assign
+
+    def _is_safe_expr(self, expr: N.Expr | None) -> bool:
+        """Side-effect-free and branch-free: safe to evaluate unconditionally."""
+        if expr is None:
+            return False
+        if isinstance(expr, (N.IntLit, N.FloatLit, N.StringLit, N.VarRef)):
+            return True
+        if isinstance(expr, N.Unary):
+            return self._is_safe_expr(expr.operand)
+        if isinstance(expr, N.Binary):
+            return self._is_safe_expr(expr.left) and self._is_safe_expr(expr.right)
+        if isinstance(expr, N.Index):
+            return self._is_safe_expr(expr.base) and self._is_safe_expr(expr.index)
+        if isinstance(expr, N.Deref):
+            return self._is_safe_expr(expr.pointer)
+        if isinstance(expr, N.AddrOf):
+            return self._is_safe_expr(expr.operand)
+        if isinstance(expr, N.Cast):
+            return self._is_safe_expr(expr.operand)
+        return False  # calls, assignments, ++/--, &&/||, ?: keep branches
+
+    def _emit_guarded_assign(self, assign: N.Assign, guard: int, when_true: bool) -> None:
+        target: N.VarRef = assign.target  # type: ignore[assignment]
+        dest = self._var_reg(target)
+        assert dest is not None
+        value = assign.value
+        if assign.op is not None:
+            value = N.Binary(assign.op, self._clone_lvalue(target), value, line=assign.line)
+            value.type = FLOAT if assign.type.is_float else (
+                assign.type if assign.type.is_pointer else INT
+            )
+        value_reg = self._gen_expr(value)
+        is_float = assign.type.is_float
+        mnemonic = ("fmovn" if when_true else "fmovz") if is_float else (
+            "movn" if when_true else "movz"
+        )
+        self._emit(
+            f"{mnemonic} {_reg_name(dest)}, {_reg_name(value_reg)}, {_reg_name(guard)}"
+        )
+        pool = self.float_pool if is_float else self.int_pool
+        pool.free(value_reg)
+
+    def _gen_while(self, stmt: N.While) -> None:
+        head = self._new_label("while")
+        end = self._new_label("endwhile")
+        self._emit_label(head)
+        self._gen_cond_branch(stmt.cond, end, jump_if=False)
+        self.break_labels.append(end)
+        self.continue_labels.append(head)
+        self._gen_stmt(stmt.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self._emit(f"j {head}")
+        self._emit_label(end)
+
+    def _gen_do_while(self, stmt: N.DoWhile) -> None:
+        head = self._new_label("do")
+        cond_label = self._new_label("docond")
+        end = self._new_label("enddo")
+        self._emit_label(head)
+        self.break_labels.append(end)
+        self.continue_labels.append(cond_label)
+        self._gen_stmt(stmt.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self._emit_label(cond_label)
+        self._gen_cond_branch(stmt.cond, head, jump_if=True)
+        self._emit_label(end)
+
+    def _gen_for(self, stmt: N.For) -> None:
+        head = self._new_label("for")
+        cont = self._new_label("forstep")
+        end = self._new_label("endfor")
+        if stmt.init is not None:
+            self._gen_stmt(stmt.init)
+        self._emit_label(head)
+        if stmt.cond is not None:
+            self._gen_cond_branch(stmt.cond, end, jump_if=False)
+        self.break_labels.append(end)
+        self.continue_labels.append(cont)
+        self._gen_stmt(stmt.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self._emit_label(cont)
+        if stmt.step is not None:
+            self._gen_expr_for_effect(stmt.step)
+        self._emit(f"j {head}")
+        self._emit_label(end)
+
+    def _gen_switch(self, stmt: N.Switch) -> None:
+        """C switch: dense value sets dispatch through a jump table (a
+        computed ``jr`` — the unpredicted control transfer of §4.4.2);
+        sparse sets fall back to a compare-and-branch chain."""
+        end_label = self._new_label("endsw")
+        case_labels = {
+            id(case): self._new_label("case") for case in stmt.cases
+        }
+        default_case = next((c for c in stmt.cases if c.value is None), None)
+        default_label = (
+            case_labels[id(default_case)] if default_case is not None else end_label
+        )
+        valued = [(c.value, case_labels[id(c)]) for c in stmt.cases if c.value is not None]
+
+        selector = self._gen_expr(stmt.cond)
+        if self._switch_is_dense(valued):
+            self._gen_switch_table(selector, valued, default_label)
+        else:
+            for value, label in valued:
+                temp = self.int_pool.alloc(stmt.line)
+                self._emit(f"li {_reg_name(temp)}, {value}")
+                self._emit(f"beq {_reg_name(selector)}, {_reg_name(temp)}, {label}")
+                self.int_pool.free(temp)
+            self._emit(f"j {default_label}")
+            self.int_pool.free(selector)
+
+        self.break_labels.append(end_label)
+        for case in stmt.cases:
+            self._emit_label(case_labels[id(case)])
+            for inner in case.body:
+                self._gen_stmt(inner)
+            # C fallthrough: no jump between consecutive cases.
+        self.break_labels.pop()
+        self._emit_label(end_label)
+
+    @staticmethod
+    def _switch_is_dense(valued: list[tuple[int, str]]) -> bool:
+        if len(valued) < 4:
+            return False
+        values = [value for value, _ in valued]
+        span = max(values) - min(values) + 1
+        return span <= 3 * len(valued) + 8
+
+    def _gen_switch_table(
+        self, selector: int, valued: list[tuple[int, str]], default_label: str
+    ) -> None:
+        values = [value for value, _ in valued]
+        low, high = min(values), max(values)
+        table_label = f".jt{len(self._jump_tables)}"
+        entries = [default_label] * (high - low + 1)
+        for value, label in valued:
+            entries[value - low] = label
+        self._jump_tables.append((table_label, entries))
+
+        index = self.int_pool.alloc()
+        if low != 0:
+            self._emit(f"addi {_reg_name(index)}, {_reg_name(selector)}, {-low}")
+        else:
+            self._emit(f"mov {_reg_name(index)}, {_reg_name(selector)}")
+        self.int_pool.free(selector)
+        self._emit(f"bltz {_reg_name(index)}, {default_label}")
+        bound = self.int_pool.alloc()
+        self._emit(f"slti {_reg_name(bound)}, {_reg_name(index)}, {len(entries)}")
+        self._emit(f"beq {_reg_name(bound)}, $zero, {default_label}")
+        self.int_pool.free(bound)
+        target = self.int_pool.alloc()
+        self._emit(f"lw {_reg_name(target)}, {table_label}({_reg_name(index)})")
+        self.int_pool.free(index)
+        self._emit(f"jr {_reg_name(target)}")
+        self.int_pool.free(target)
+
+    def _gen_return(self, stmt: N.Return) -> None:
+        if stmt.value is not None:
+            if stmt.value.type.is_float:
+                reg = self._gen_expr(stmt.value)
+                self._emit(f"fmov $f0, {_reg_name(reg)}")
+                self.float_pool.free(reg)
+            else:
+                reg = self._gen_expr(stmt.value)
+                self._emit(f"mov $v0, {_reg_name(reg)}")
+                self.int_pool.free(reg)
+        self._emit(f"j {self.epilogue_label}")
+
+    # -- conditions ---------------------------------------------------------------
+
+    def _gen_cond_branch(self, cond: N.Expr, target: str, jump_if: bool) -> None:
+        """Emit code that jumps to *target* iff bool(cond) == jump_if."""
+        if isinstance(cond, N.Logical):
+            if cond.op == "&&":
+                if jump_if:
+                    skip = self._new_label("and")
+                    self._gen_cond_branch(cond.left, skip, jump_if=False)
+                    self._gen_cond_branch(cond.right, target, jump_if=True)
+                    self._emit_label(skip)
+                else:
+                    self._gen_cond_branch(cond.left, target, jump_if=False)
+                    self._gen_cond_branch(cond.right, target, jump_if=False)
+            else:  # '||'
+                if jump_if:
+                    self._gen_cond_branch(cond.left, target, jump_if=True)
+                    self._gen_cond_branch(cond.right, target, jump_if=True)
+                else:
+                    skip = self._new_label("or")
+                    self._gen_cond_branch(cond.left, skip, jump_if=True)
+                    self._gen_cond_branch(cond.right, target, jump_if=False)
+                    self._emit_label(skip)
+            return
+        if isinstance(cond, N.Unary) and cond.op == "!":
+            self._gen_cond_branch(cond.operand, target, not jump_if)
+            return
+        if isinstance(cond, N.Binary) and cond.op in ("==", "!=", "<", ">", "<=", ">="):
+            self._gen_comparison_branch(cond, target, jump_if)
+            return
+        if isinstance(cond, N.IntLit):
+            truthy = bool(cond.value)
+            if truthy == jump_if:
+                self._emit(f"j {target}")
+            return
+        reg = self._gen_expr_scalar(cond)
+        op = "bnez" if jump_if else "beqz"
+        self._emit(f"{op} {_reg_name(reg)}, {target}")
+        self.int_pool.free(reg)
+
+    def _gen_comparison_branch(self, cond: N.Binary, target: str, jump_if: bool) -> None:
+        left, right, op = cond.left, cond.right, cond.op
+        if left.type.is_float:  # checker equalized both sides
+            self._gen_float_comparison_branch(cond, target, jump_if)
+            return
+        # Equality against a register compares directly with beq/bne.
+        if op in ("==", "!="):
+            want_eq = (op == "==") == jump_if
+            branch = "beq" if want_eq else "bne"
+            left_reg = self._gen_expr(left)
+            if isinstance(right, N.IntLit) and right.value == 0:
+                self._emit(f"{branch} {_reg_name(left_reg)}, $zero, {target}")
+            else:
+                right_reg = self._gen_expr(right)
+                self._emit(
+                    f"{branch} {_reg_name(left_reg)}, {_reg_name(right_reg)}, {target}"
+                )
+                self.int_pool.free(right_reg)
+            self.int_pool.free(left_reg)
+            return
+        # Orderings against zero use the MIPS compare-with-zero branches.
+        if isinstance(right, N.IntLit) and right.value == 0:
+            zero_branch = {"<": "bltz", ">": "bgtz", "<=": "blez", ">=": "bgez"}[op]
+            if not jump_if:
+                zero_branch = {
+                    "bltz": "bgez", "bgtz": "blez", "blez": "bgtz", "bgez": "bltz",
+                }[zero_branch]
+            left_reg = self._gen_expr(left)
+            self._emit(f"{zero_branch} {_reg_name(left_reg)}, {target}")
+            self.int_pool.free(left_reg)
+            return
+        # General orderings: a set-compare feeding bnez/beqz.
+        compare_reg = self._gen_int_comparison_value(left, right, op)
+        branch = "bnez" if jump_if else "beqz"
+        self._emit(f"{branch} {_reg_name(compare_reg)}, {target}")
+        self.int_pool.free(compare_reg)
+
+    def _gen_float_comparison_branch(self, cond: N.Binary, target: str, jump_if: bool) -> None:
+        value = self._gen_float_comparison_value(cond.left, cond.right, cond.op)
+        branch = "bnez" if jump_if else "beqz"
+        self._emit(f"{branch} {_reg_name(value)}, {target}")
+        self.int_pool.free(value)
+
+    # -- expression values --------------------------------------------------------
+
+    def _gen_expr_for_effect(self, expr: N.Expr) -> None:
+        """Evaluate for side effects, avoiding dead result registers."""
+        if isinstance(expr, N.Assign):
+            self._gen_assign(expr, need_value=False)
+            return
+        if isinstance(expr, N.IncDec):
+            self._gen_incdec(expr, need_value=False)
+            return
+        if isinstance(expr, N.Call):
+            reg = self._gen_call(expr, need_value=False)
+            if reg is not None:
+                pool = self.float_pool if expr.type.is_float else self.int_pool
+                pool.free(reg)
+            return
+        if isinstance(expr, (N.IntLit, N.FloatLit, N.VarRef, N.StringLit)):
+            return  # pure, no effect
+        reg = self._gen_expr(expr)
+        pool = self.float_pool if expr.type.decay().is_float else self.int_pool
+        pool.free(reg)
+
+    def _gen_expr_scalar(self, expr: N.Expr) -> int:
+        """Evaluate to an *int* register (converting float truthiness)."""
+        if expr.type.decay().is_float:
+            float_reg = self._gen_expr(expr)
+            zero = self.float_pool.alloc(expr.line)
+            self._emit(f"fli {_reg_name(zero)}, 0.0")
+            result = self.int_pool.alloc(expr.line)
+            self._emit(f"feq {_reg_name(result)}, {_reg_name(float_reg)}, {_reg_name(zero)}")
+            self._emit(f"xori {_reg_name(result)}, {_reg_name(result)}, 1")
+            self.float_pool.free(float_reg)
+            self.float_pool.free(zero)
+            return result
+        return self._gen_expr(expr)
+
+    def _gen_expr(self, expr: N.Expr) -> int:
+        """Evaluate *expr*, returning the register holding its value.
+
+        Integer/pointer values come back in an integer register, float
+        values in a float register.  The caller frees the register (pool
+        frees ignore borrowed variable registers).
+        """
+        if isinstance(expr, N.IntLit):
+            reg = self.int_pool.alloc(expr.line)
+            self._emit(f"li {_reg_name(reg)}, {self._clamp(expr.value)}")
+            return reg
+        if isinstance(expr, N.FloatLit):
+            reg = self.float_pool.alloc(expr.line)
+            self._emit(f"fli {_reg_name(reg)}, {expr.value!r}")
+            return reg
+        if isinstance(expr, N.StringLit):
+            reg = self.int_pool.alloc(expr.line)
+            self._emit(f"la {_reg_name(reg)}, {self._string_labels[expr.value]}")
+            return reg
+        if isinstance(expr, N.VarRef):
+            return self._gen_var_ref(expr)
+        if isinstance(expr, N.Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, N.Binary):
+            return self._gen_binary(expr)
+        if isinstance(expr, N.Logical):
+            return self._gen_logical_value(expr)
+        if isinstance(expr, N.Conditional):
+            return self._gen_conditional_value(expr)
+        if isinstance(expr, N.Assign):
+            return self._gen_assign(expr, need_value=True)
+        if isinstance(expr, N.IncDec):
+            return self._gen_incdec(expr, need_value=True)
+        if isinstance(expr, N.Call):
+            reg = self._gen_call(expr, need_value=True)
+            assert reg is not None
+            return reg
+        if isinstance(expr, N.Index):
+            return self._gen_load(expr)
+        if isinstance(expr, N.Deref):
+            return self._gen_load(expr)
+        if isinstance(expr, N.AddrOf):
+            return self._gen_addr(expr.operand)
+        if isinstance(expr, N.Cast):
+            return self._gen_cast(expr)
+        raise CompileError(
+            f"unhandled expression {type(expr).__name__}", expr.line
+        )  # pragma: no cover
+
+    @staticmethod
+    def _clamp(value: int) -> int:
+        if value < _WORD_MIN or value > _WORD_MAX:
+            value &= 0xFFFFFFFF
+            if value > _WORD_MAX:
+                value -= 1 << 32
+        return value
+
+    def _gen_var_ref(self, expr: N.VarRef) -> int:
+        symbol = self.checked.var_symbols[id(expr)]
+        if isinstance(symbol, GlobalVar):
+            if symbol.type.is_array:
+                reg = self.int_pool.alloc(expr.line)
+                self._emit(f"la {_reg_name(reg)}, {symbol.label}")
+                return reg
+            if symbol.type.is_float:
+                reg = self.float_pool.alloc(expr.line)
+                self._emit(f"flw {_reg_name(reg)}, {symbol.label}($zero)")
+                return reg
+            reg = self.int_pool.alloc(expr.line)
+            self._emit(f"lw {_reg_name(reg)}, {symbol.label}($zero)")
+            return reg
+        storage = self.storage[symbol]
+        if storage.kind == "reg":
+            return storage.reg  # borrowed: pool.free() ignores it
+        if storage.kind == "array":
+            reg = self.int_pool.alloc(expr.line)
+            self._emit(f"addi {_reg_name(reg)}, $sp, {storage.offset}")
+            return reg
+        # stack slot
+        if symbol.type.is_float:
+            reg = self.float_pool.alloc(expr.line)
+            self._emit(f"flw {_reg_name(reg)}, {storage.offset}($sp)")
+            return reg
+        reg = self.int_pool.alloc(expr.line)
+        self._emit(f"lw {_reg_name(reg)}, {storage.offset}($sp)")
+        return reg
+
+    # -- addresses ------------------------------------------------------------
+
+    def _gen_addr(self, expr: N.Expr) -> int:
+        """Evaluate the address of an lvalue into an int register."""
+        if isinstance(expr, N.VarRef):
+            symbol = self.checked.var_symbols[id(expr)]
+            if isinstance(symbol, GlobalVar):
+                reg = self.int_pool.alloc(expr.line)
+                self._emit(f"la {_reg_name(reg)}, {symbol.label}")
+                return reg
+            storage = self.storage[symbol]
+            if storage.kind == "array":
+                reg = self.int_pool.alloc(expr.line)
+                self._emit(f"addi {_reg_name(reg)}, $sp, {storage.offset}")
+                return reg
+            raise CompileError(
+                f"variable {expr.name!r} has no address", expr.line
+            )  # pragma: no cover - checker rejects
+        if isinstance(expr, N.Deref):
+            return self._gen_expr(expr.pointer)
+        if isinstance(expr, N.Index):
+            base = self._gen_expr(expr.base)
+            if isinstance(expr.index, N.IntLit):
+                if expr.index.value == 0:
+                    return base
+                result = self.int_pool.alloc(expr.line)
+                self._emit(
+                    f"addi {_reg_name(result)}, {_reg_name(base)}, {expr.index.value}"
+                )
+                self.int_pool.free(base)
+                return result
+            index = self._gen_expr(expr.index)
+            result = self.int_pool.alloc(expr.line)
+            self._emit(
+                f"add {_reg_name(result)}, {_reg_name(base)}, {_reg_name(index)}"
+            )
+            self.int_pool.free(base)
+            self.int_pool.free(index)
+            return result
+        raise CompileError("expression has no address", expr.line)  # pragma: no cover
+
+    def _global_array_label(self, expr: N.Expr) -> str | None:
+        """The data label of a direct global-array reference, if any."""
+        if isinstance(expr, N.VarRef):
+            symbol = self.checked.var_symbols[id(expr)]
+            if isinstance(symbol, GlobalVar) and symbol.type.is_array:
+                return symbol.label
+        return None
+
+    def _mem_operand(self, expr: N.Expr) -> tuple[int, str]:
+        """Base register + displacement text for an Index/Deref lvalue.
+
+        Global arrays use label displacements (``lw $t0, g_a($s0)``), the
+        single-instruction form MIPS compilers get from ``$gp``-relative
+        addressing.
+        """
+        if isinstance(expr, N.Index):
+            label = self._global_array_label(expr.base)
+            if label is not None:
+                if isinstance(expr.index, N.IntLit):
+                    disp = label if expr.index.value == 0 else f"{label}+{expr.index.value}"
+                    return R.ZERO, disp
+                index = self._gen_expr(expr.index)
+                return index, label
+            if isinstance(expr.index, N.IntLit):
+                base = self._gen_expr(expr.base)
+                return base, str(expr.index.value)
+        return self._gen_addr(expr), "0"
+
+    def _gen_load(self, expr: N.Index | N.Deref, dest: int | None = None) -> int:
+        base, disp = self._mem_operand(expr)
+        if expr.type.is_float:
+            reg = dest if dest is not None else self.float_pool.alloc(expr.line)
+            self._emit(f"flw {_reg_name(reg)}, {disp}({_reg_name(base)})")
+        else:
+            reg = dest if dest is not None else self.int_pool.alloc(expr.line)
+            self._emit(f"lw {_reg_name(reg)}, {disp}({_reg_name(base)})")
+        self.int_pool.free(base)
+        return reg
+
+    # -- assignment -----------------------------------------------------------
+
+    def _store_to_var(self, symbol: LocalVar | GlobalVar, value: N.Expr) -> int | None:
+        """Assign *value* to a scalar variable; returns the value register if
+        the caller wants it (always for register vars, else None means the
+        caller should re-load)."""
+        is_float = symbol.type.is_float
+        pool = self.float_pool if is_float else self.int_pool
+        if isinstance(symbol, LocalVar):
+            storage = self.storage[symbol]
+            if storage.kind == "reg":
+                self._gen_into_reg(value, storage.reg, is_float)
+                return storage.reg
+            value_reg = self._gen_expr(value)
+            op = "fsw" if is_float else "sw"
+            self._emit(f"{op} {_reg_name(value_reg)}, {storage.offset}($sp)")
+            return value_reg
+        value_reg = self._gen_expr(value)
+        op = "fsw" if is_float else "sw"
+        self._emit(f"{op} {_reg_name(value_reg)}, {symbol.label}($zero)")
+        return value_reg
+
+    def _gen_into_reg(self, value: N.Expr, dest: int, is_float: bool) -> None:
+        """Evaluate *value* directly into the variable register *dest*,
+        using single-instruction forms where the ISA has them."""
+        if not is_float:
+            if isinstance(value, N.IntLit):
+                self._emit(f"li {_reg_name(dest)}, {self._clamp(value.value)}")
+                return
+            if (
+                isinstance(value, N.Binary)
+                and value.op in ("+", "-")
+                and isinstance(value.left, N.VarRef)
+                and self._var_reg(value.left) == dest
+                and isinstance(value.right, N.IntLit)
+            ):
+                # i = i + c  ->  addi i, i, c   (the induction idiom)
+                delta = value.right.value if value.op == "+" else -value.right.value
+                self._emit(f"addi {_reg_name(dest)}, {_reg_name(dest)}, {delta}")
+                return
+            if isinstance(value, N.VarRef):
+                src = self._gen_expr(value)
+                if src != dest:
+                    self._emit(f"mov {_reg_name(dest)}, {_reg_name(src)}")
+                self.int_pool.free(src)
+                return
+        elif isinstance(value, N.FloatLit):
+            self._emit(f"fli {_reg_name(dest)}, {value.value!r}")
+            return
+        # Forward the destination into generators that can target it
+        # directly, avoiding `op $tmp, ...; mov $var, $tmp` chains (which
+        # would double the dependence height of reduction loops).
+        if isinstance(value, N.Binary):
+            self._gen_binary(value, dest=dest)
+            return
+        if isinstance(value, N.Unary):
+            self._gen_unary(value, dest=dest)
+            return
+        if isinstance(value, (N.Index, N.Deref)):
+            self._gen_load(value, dest=dest)
+            return
+        if isinstance(value, N.Cast):
+            self._gen_cast(value, dest=dest)
+            return
+        pool = self.float_pool if is_float else self.int_pool
+        move = "fmov" if is_float else "mov"
+        reg = self._gen_expr(value)
+        if reg != dest:
+            self._emit(f"{move} {_reg_name(dest)}, {_reg_name(reg)}")
+        pool.free(reg)
+
+    def _var_reg(self, expr: N.VarRef) -> int | None:
+        symbol = self.checked.var_symbols.get(id(expr))
+        if isinstance(symbol, LocalVar):
+            storage = self.storage.get(symbol)
+            if storage is not None and storage.kind == "reg":
+                return storage.reg
+        return None
+
+    def _gen_assign(self, expr: N.Assign, need_value: bool) -> int | None:
+        target = expr.target
+        value = expr.value
+        if expr.op is not None:
+            # Desugar compound assignment; re-reading the target is safe in
+            # MiniC (no volatile), and duplicate address computation matches
+            # what simple compilers emit.
+            value = N.Binary(expr.op, self._clone_lvalue(target), value, line=expr.line)
+            if expr.type.is_float:
+                value.type = FLOAT
+            elif expr.type.is_pointer:
+                value.type = expr.type
+            else:
+                value.type = INT
+        is_float = expr.type.is_float
+        pool = self.float_pool if is_float else self.int_pool
+        if isinstance(target, N.VarRef):
+            symbol = self.checked.var_symbols[id(target)]
+            result = self._store_to_var(symbol, value)
+            if need_value:
+                if result is not None:
+                    return result
+                return self._gen_expr(target)  # re-load (slot/global)
+            if result is not None:
+                pool.free(result)
+            return None
+        # Memory lvalue (Index or Deref).
+        value_reg = self._gen_expr(value)
+        base, disp = self._mem_operand(target)
+        op = "fsw" if is_float else "sw"
+        self._emit(f"{op} {_reg_name(value_reg)}, {disp}({_reg_name(base)})")
+        self.int_pool.free(base)
+        if need_value:
+            return value_reg
+        pool.free(value_reg)
+        return None
+
+    def _gen_incdec(self, expr: N.IncDec, need_value: bool) -> int | None:
+        target = expr.target
+        if isinstance(target, N.VarRef):
+            dest = self._var_reg(target)
+            if dest is not None:
+                old: int | None = None
+                if need_value and not expr.is_prefix:
+                    old = self.int_pool.alloc(expr.line)
+                    self._emit(f"mov {_reg_name(old)}, {_reg_name(dest)}")
+                self._emit(f"addi {_reg_name(dest)}, {_reg_name(dest)}, {expr.delta}")
+                if not need_value:
+                    return None
+                return dest if expr.is_prefix else old
+        # Slot, global, or memory lvalue: load-modify-store.
+        if isinstance(target, N.VarRef):
+            symbol = self.checked.var_symbols[id(target)]
+            value = self._gen_expr(target)
+            if not expr.is_prefix and need_value:
+                old = self.int_pool.alloc(expr.line)
+                self._emit(f"mov {_reg_name(old)}, {_reg_name(value)}")
+            else:
+                old = None
+            self._emit(f"addi {_reg_name(value)}, {_reg_name(value)}, {expr.delta}")
+            if isinstance(symbol, GlobalVar):
+                self._emit(f"sw {_reg_name(value)}, {symbol.label}($zero)")
+            else:
+                storage = self.storage[symbol]
+                self._emit(f"sw {_reg_name(value)}, {storage.offset}($sp)")
+            if not need_value:
+                self.int_pool.free(value)
+                return None
+            if expr.is_prefix:
+                return value
+            self.int_pool.free(value)
+            return old
+        base, disp = self._mem_operand(target)
+        value = self.int_pool.alloc(expr.line)
+        self._emit(f"lw {_reg_name(value)}, {disp}({_reg_name(base)})")
+        if not expr.is_prefix and need_value:
+            old = self.int_pool.alloc(expr.line)
+            self._emit(f"mov {_reg_name(old)}, {_reg_name(value)}")
+        else:
+            old = None
+        self._emit(f"addi {_reg_name(value)}, {_reg_name(value)}, {expr.delta}")
+        self._emit(f"sw {_reg_name(value)}, {disp}({_reg_name(base)})")
+        self.int_pool.free(base)
+        if not need_value:
+            self.int_pool.free(value)
+            return None
+        if expr.is_prefix:
+            return value
+        self.int_pool.free(value)
+        return old
+
+    # -- operators ------------------------------------------------------------------
+
+    def _gen_unary(self, expr: N.Unary, dest: int | None = None) -> int:
+        if expr.op == "-":
+            if expr.type.is_float:
+                operand = self._gen_expr(expr.operand)
+                result = dest if dest is not None else self.float_pool.alloc(expr.line)
+                self._emit(f"fneg {_reg_name(result)}, {_reg_name(operand)}")
+                self.float_pool.free(operand)
+                return result
+            operand = self._gen_expr(expr.operand)
+            result = dest if dest is not None else self.int_pool.alloc(expr.line)
+            self._emit(f"sub {_reg_name(result)}, $zero, {_reg_name(operand)}")
+            self.int_pool.free(operand)
+            return result
+        if expr.op == "~":
+            operand = self._gen_expr(expr.operand)
+            result = dest if dest is not None else self.int_pool.alloc(expr.line)
+            self._emit(f"nor {_reg_name(result)}, {_reg_name(operand)}, $zero")
+            self.int_pool.free(operand)
+            return result
+        # '!'
+        operand = self._gen_expr_scalar(expr.operand)
+        result = dest if dest is not None else self.int_pool.alloc(expr.line)
+        self._emit(f"seqi {_reg_name(result)}, {_reg_name(operand)}, 0")
+        self.int_pool.free(operand)
+        return result
+
+    _INT_OPS = {
+        "+": ("add", "addi"),
+        "-": ("sub", None),
+        "*": ("mul", None),
+        "/": ("div", None),
+        "%": ("rem", None),
+        "&": ("and", "andi"),
+        "|": ("or", "ori"),
+        "^": ("xor", "xori"),
+        "<<": ("sll", "slli"),
+        ">>": ("sra", "srai"),
+    }
+    _CMP_OPS = {
+        "<": ("slt", "slti", False),
+        "<=": ("sle", "slei", False),
+        ">": ("sgt", "sgti", False),
+        ">=": ("sge", "sgei", False),
+        "==": ("seq", "seqi", False),
+        "!=": ("sne", "snei", False),
+    }
+    _FLOAT_OPS = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+
+    def _gen_binary(self, expr: N.Binary, dest: int | None = None) -> int:
+        op = expr.op
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            if expr.left.type.decay().is_float:
+                return self._gen_float_comparison_value(expr.left, expr.right, op, dest)
+            return self._gen_int_comparison_value(expr.left, expr.right, op, dest)
+        if expr.type.is_float:
+            left = self._gen_expr(expr.left)
+            right = self._gen_expr(expr.right)
+            result = dest if dest is not None else self.float_pool.alloc(expr.line)
+            mnemonic = self._FLOAT_OPS[op]
+            self._emit(
+                f"{mnemonic} {_reg_name(result)}, {_reg_name(left)}, {_reg_name(right)}"
+            )
+            self.float_pool.free(left)
+            self.float_pool.free(right)
+            return result
+        # Integer / pointer arithmetic.
+        mnemonic, imm_mnemonic = self._INT_OPS[op]
+        right = expr.right
+        if isinstance(right, N.IntLit):
+            value = right.value
+            if op == "-" and _WORD_MIN <= -value <= _WORD_MAX:
+                left_reg = self._gen_expr(expr.left)
+                result = dest if dest is not None else self.int_pool.alloc(expr.line)
+                self._emit(f"addi {_reg_name(result)}, {_reg_name(left_reg)}, {-value}")
+                self.int_pool.free(left_reg)
+                return result
+            if op == "*" and value > 0 and value & (value - 1) == 0:
+                shift = value.bit_length() - 1
+                left_reg = self._gen_expr(expr.left)
+                result = dest if dest is not None else self.int_pool.alloc(expr.line)
+                self._emit(f"slli {_reg_name(result)}, {_reg_name(left_reg)}, {shift}")
+                self.int_pool.free(left_reg)
+                return result
+            if imm_mnemonic is not None:
+                left_reg = self._gen_expr(expr.left)
+                result = dest if dest is not None else self.int_pool.alloc(expr.line)
+                self._emit(
+                    f"{imm_mnemonic} {_reg_name(result)}, {_reg_name(left_reg)}, {value}"
+                )
+                self.int_pool.free(left_reg)
+                return result
+        left_reg = self._gen_expr(expr.left)
+        right_reg = self._gen_expr(expr.right)
+        result = dest if dest is not None else self.int_pool.alloc(expr.line)
+        self._emit(
+            f"{mnemonic} {_reg_name(result)}, {_reg_name(left_reg)}, {_reg_name(right_reg)}"
+        )
+        self.int_pool.free(left_reg)
+        self.int_pool.free(right_reg)
+        return result
+
+    def _gen_int_comparison_value(
+        self, left: N.Expr, right: N.Expr, op: str, dest: int | None = None
+    ) -> int:
+        mnemonic, imm_mnemonic, _ = self._CMP_OPS[op]
+        left_reg = self._gen_expr(left)
+        if isinstance(right, N.IntLit):
+            result = dest if dest is not None else self.int_pool.alloc(left.line)
+            self._emit(
+                f"{imm_mnemonic} {_reg_name(result)}, {_reg_name(left_reg)}, {right.value}"
+            )
+            self.int_pool.free(left_reg)
+            return result
+        right_reg = self._gen_expr(right)
+        result = dest if dest is not None else self.int_pool.alloc(left.line)
+        self._emit(
+            f"{mnemonic} {_reg_name(result)}, {_reg_name(left_reg)}, {_reg_name(right_reg)}"
+        )
+        self.int_pool.free(left_reg)
+        self.int_pool.free(right_reg)
+        return result
+
+    def _gen_float_comparison_value(
+        self, left: N.Expr, right: N.Expr, op: str, dest: int | None = None
+    ) -> int:
+        # Map all six orderings onto feq/flt/fle (+ negation).
+        table = {
+            "==": ("feq", False, False),
+            "!=": ("feq", False, True),
+            "<": ("flt", False, False),
+            "<=": ("fle", False, False),
+            ">": ("flt", True, False),
+            ">=": ("fle", True, False),
+        }
+        mnemonic, swap, negate = table[op]
+        left_reg = self._gen_expr(left)
+        right_reg = self._gen_expr(right)
+        if swap:
+            left_reg, right_reg = right_reg, left_reg
+        result = dest if dest is not None else self.int_pool.alloc(left.line)
+        self._emit(
+            f"{mnemonic} {_reg_name(result)}, {_reg_name(left_reg)}, {_reg_name(right_reg)}"
+        )
+        if negate:
+            self._emit(f"xori {_reg_name(result)}, {_reg_name(result)}, 1")
+        self.float_pool.free(left_reg)
+        self.float_pool.free(right_reg)
+        return result
+
+    def _gen_logical_value(self, expr: N.Logical) -> int:
+        result = self.int_pool.alloc(expr.line)
+        false_label = self._new_label("false")
+        end_label = self._new_label("endbool")
+        self._gen_cond_branch(expr, false_label, jump_if=False)
+        self._emit(f"li {_reg_name(result)}, 1")
+        self._emit(f"j {end_label}")
+        self._emit_label(false_label)
+        self._emit(f"li {_reg_name(result)}, 0")
+        self._emit_label(end_label)
+        return result
+
+    def _gen_conditional_value(self, expr: N.Conditional) -> int:
+        is_float = expr.type.is_float
+        pool = self.float_pool if is_float else self.int_pool
+        result = pool.alloc(expr.line)
+        else_label = self._new_label("celse")
+        end_label = self._new_label("cend")
+        self._gen_cond_branch(expr.cond, else_label, jump_if=False)
+        then_reg = self._gen_expr(expr.then)
+        move = "fmov" if is_float else "mov"
+        self._emit(f"{move} {_reg_name(result)}, {_reg_name(then_reg)}")
+        pool.free(then_reg)
+        self._emit(f"j {end_label}")
+        self._emit_label(else_label)
+        else_reg = self._gen_expr(expr.otherwise)
+        self._emit(f"{move} {_reg_name(result)}, {_reg_name(else_reg)}")
+        pool.free(else_reg)
+        self._emit_label(end_label)
+        return result
+
+    def _gen_cast(self, expr: N.Cast, dest: int | None = None) -> int:
+        source = expr.operand.type.decay()
+        target = expr.target_type
+        if target.is_float and not source.is_float:
+            operand = self._gen_expr(expr.operand)
+            result = dest if dest is not None else self.float_pool.alloc(expr.line)
+            self._emit(f"cvtif {_reg_name(result)}, {_reg_name(operand)}")
+            self.int_pool.free(operand)
+            return result
+        if not target.is_float and source.is_float:
+            operand = self._gen_expr(expr.operand)
+            result = dest if dest is not None else self.int_pool.alloc(expr.line)
+            self._emit(f"cvtfi {_reg_name(result)}, {_reg_name(operand)}")
+            self.float_pool.free(operand)
+            return result
+        value = self._gen_expr(expr.operand)  # pointer casts are free
+        if dest is not None and value != dest:
+            self._emit(f"mov {_reg_name(dest)}, {_reg_name(value)}")
+            self.int_pool.free(value)
+            return dest
+        return value
+
+    # -- calls -------------------------------------------------------------------
+
+    def _gen_call(self, expr: N.Call, need_value: bool) -> int | None:
+        sig = self.checked.functions.get(expr.name) or BUILTINS[expr.name]
+        if sig.is_builtin:
+            return self._gen_builtin(expr, sig.name)
+        # Evaluate arguments into temporaries first.
+        arg_regs: list[tuple[int, bool]] = []
+        for arg in expr.args:
+            is_float = arg.type.decay().is_float
+            arg_regs.append((self._gen_expr(arg), is_float))
+        # Spill every other live caller-saved temp around the call.
+        arg_set = {reg for reg, _ in arg_regs}
+        saved: list[tuple[int, int, bool]] = []
+        for reg in self.int_pool.live:
+            if reg not in arg_set:
+                slot = self.frame.alloc()
+                self._emit(f"sw {_reg_name(reg)}, {slot}($sp)")
+                saved.append((reg, slot, False))
+        for reg in self.float_pool.live:
+            if reg not in arg_set:
+                slot = self.frame.alloc()
+                self._emit(f"fsw {_reg_name(reg)}, {slot}($sp)")
+                saved.append((reg, slot, True))
+        # Move arguments into the argument registers.
+        int_idx = 0
+        float_idx = 0
+        for reg, is_float in arg_regs:
+            if is_float:
+                target = R.FP_ARG_REGS[float_idx]
+                float_idx += 1
+                self._emit(f"fmov {_reg_name(target)}, {_reg_name(reg)}")
+                self.float_pool.free(reg)
+            else:
+                target = R.INT_ARG_REGS[int_idx]
+                int_idx += 1
+                self._emit(f"mov {_reg_name(target)}, {_reg_name(reg)}")
+                self.int_pool.free(reg)
+        self._emit(f"jal {expr.name}")
+        for reg, slot, is_float in saved:
+            op = "flw" if is_float else "lw"
+            self._emit(f"{op} {_reg_name(reg)}, {slot}($sp)")
+        if not need_value or sig.return_type.is_void:
+            return None
+        if sig.return_type.is_float:
+            result = self.float_pool.alloc(expr.line)
+            self._emit(f"fmov {_reg_name(result)}, $f0")
+            return result
+        result = self.int_pool.alloc(expr.line)
+        self._emit(f"mov {_reg_name(result)}, $v0")
+        return result
+
+    def _gen_builtin(self, expr: N.Call, name: str) -> None:
+        (arg,) = expr.args
+        reg = self._gen_expr(arg)
+        if name == "print_int":
+            self._emit(f"print {_reg_name(reg)}")
+            self.int_pool.free(reg)
+        elif name == "print_float":
+            self._emit(f"fprint {_reg_name(reg)}")
+            self.float_pool.free(reg)
+        else:  # put_char
+            self._emit(f"putc {_reg_name(reg)}")
+            self.int_pool.free(reg)
+        return None
+
+
+    def _clone_lvalue(self, expr: N.Expr) -> N.Expr:
+        """Shallow-clone an lvalue for compound-assignment desugaring,
+        registering cloned VarRef nodes in the symbol map."""
+        if isinstance(expr, N.VarRef):
+            clone: N.Expr = N.VarRef(expr.name, line=expr.line)
+            clone.type = expr.type
+            self.checked.var_symbols[id(clone)] = self.checked.var_symbols[id(expr)]
+            return clone
+        if isinstance(expr, N.Index):
+            clone = N.Index(expr.base, expr.index, line=expr.line)
+            clone.type = expr.type
+            return clone
+        if isinstance(expr, N.Deref):
+            clone = N.Deref(expr.pointer, line=expr.line)
+            clone.type = expr.type
+            return clone
+        raise CompileError(
+            "bad compound assignment target", expr.line
+        )  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# helpers
+
+
+def _remove_jumps_to_next(lines: list[str]) -> list[str]:
+    """Peephole: drop an unconditional ``j L`` whose target label starts the
+    very next instruction (only labels in between)."""
+    out: list[str] = []
+    for i, line in enumerate(lines):
+        text = line.strip()
+        if text.startswith("j ") and " " not in text[2:].strip():
+            target = text[2:].strip()
+            j = i + 1
+            redundant = False
+            while j < len(lines):
+                next_text = lines[j].strip()
+                if next_text.endswith(":"):
+                    if next_text[:-1] == target:
+                        redundant = True
+                        break
+                    j += 1
+                else:
+                    break
+            if redundant:
+                continue
+        out.append(line)
+    return out
+
+
+def _has_calls(stmt: N.Stmt, checked: CheckedUnit) -> bool:
+    """Does the function body contain any non-builtin call?"""
+    found = False
+
+    def walk_expr(expr: N.Expr | None) -> None:
+        nonlocal found
+        if expr is None or found:
+            return
+        if isinstance(expr, N.Call) and expr.name not in BUILTINS:
+            found = True
+            return
+        for attr in vars(expr).values():
+            if isinstance(attr, N.Expr):
+                walk_expr(attr)
+            elif isinstance(attr, list):
+                for item in attr:
+                    if isinstance(item, N.Expr):
+                        walk_expr(item)
+
+    def walk_stmt(node: N.Stmt | None) -> None:
+        if node is None or found:
+            return
+        for attr in vars(node).values():
+            if isinstance(attr, N.Expr):
+                walk_expr(attr)
+            elif isinstance(attr, N.Stmt):
+                walk_stmt(attr)
+            elif isinstance(attr, list):
+                for item in attr:
+                    if isinstance(item, N.Stmt):
+                        walk_stmt(item)
+                    elif isinstance(item, N.Expr):
+                        walk_expr(item)
+
+    walk_stmt(stmt)
+    return found
+
+
+def generate(checked: CheckedUnit, if_convert: bool = False) -> str:
+    """Generate assembly text for a checked translation unit.
+
+    ``if_convert=True`` enables guarded-move if-conversion (paper §6).
+    """
+    return CodeGen(checked, if_convert=if_convert).generate()

@@ -1,0 +1,33 @@
+"""MiniC compiler driver: source text → assembly → Program."""
+
+from __future__ import annotations
+
+from repro.asm import assemble
+from repro.isa import Program
+from repro.lang.codegen import generate
+from repro.lang.errors import CompileError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.semantics import check
+from repro.lang.types import INT
+
+
+def compile_to_assembly(source: str, if_convert: bool = False) -> str:
+    """Compile MiniC *source* to assembly text (inspectable, reassemblable).
+
+    ``if_convert=True`` turns simple guarded assignments into conditional
+    moves instead of branches (paper §6's guarded instructions).
+    """
+    unit = parse(tokenize(source))
+    checked = check(unit)
+    main_sig = checked.functions.get("main")
+    if main_sig is None:
+        raise CompileError("program has no main function")
+    if main_sig.param_types or main_sig.return_type is not INT:
+        raise CompileError("main must be declared as `int main()`")
+    return generate(checked, if_convert=if_convert)
+
+
+def compile_source(source: str, name: str = "a.out", if_convert: bool = False) -> Program:
+    """Compile MiniC *source* all the way to an executable Program."""
+    return assemble(compile_to_assembly(source, if_convert=if_convert), name=name)

@@ -1,0 +1,18 @@
+"""Compiler error type with source positions."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """Raised for any MiniC lexing, parsing, type, or codegen problem."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.line = line
+        self.col = col
+        location = ""
+        if line is not None:
+            location = f"line {line}"
+            if col is not None:
+                location += f", col {col}"
+            location += ": "
+        super().__init__(f"{location}{message}")

@@ -1,0 +1,217 @@
+"""Hand-written lexer for MiniC."""
+
+from __future__ import annotations
+
+from repro.lang.errors import CompileError
+from repro.lang.tokens import KEYWORDS, Token, TokenType
+
+_TWO_CHAR = {
+    "==": TokenType.EQ,
+    "!=": TokenType.NE,
+    "<=": TokenType.LE,
+    ">=": TokenType.GE,
+    "&&": TokenType.AND_AND,
+    "||": TokenType.OR_OR,
+    "++": TokenType.PLUS_PLUS,
+    "--": TokenType.MINUS_MINUS,
+    "+=": TokenType.PLUS_ASSIGN,
+    "-=": TokenType.MINUS_ASSIGN,
+    "*=": TokenType.STAR_ASSIGN,
+    "/=": TokenType.SLASH_ASSIGN,
+    "%=": TokenType.PERCENT_ASSIGN,
+    "<<": TokenType.SHL,
+    ">>": TokenType.SHR,
+}
+
+_ONE_CHAR = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ";": TokenType.SEMI,
+    ",": TokenType.COMMA,
+    "?": TokenType.QUESTION,
+    ":": TokenType.COLON,
+    "=": TokenType.ASSIGN,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "<": TokenType.LT,
+    ">": TokenType.GT,
+    "!": TokenType.NOT,
+    "&": TokenType.AMP,
+    "|": TokenType.PIPE,
+    "^": TokenType.CARET,
+    "~": TokenType.TILDE,
+}
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "0": "\0",
+    "\\": "\\", "'": "'", '"': '"',
+}
+
+
+class Lexer:
+    """Tokenizes MiniC source; supports // and /* */ comments."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        while True:
+            token = self._next()
+            tokens.append(token)
+            if token.type is TokenType.EOF:
+                return tokens
+
+    # -- internals -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self) -> str:
+        ch = self.source[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.col = 1
+        else:
+            self.col += 1
+        return ch
+
+    def _error(self, message: str) -> CompileError:
+        return CompileError(message, self.line, self.col)
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line = self.line
+                self._advance()
+                self._advance()
+                while True:
+                    if self.pos >= len(self.source):
+                        raise CompileError("unterminated comment", start_line)
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance()
+                        self._advance()
+                        break
+                    self._advance()
+            else:
+                return
+
+    def _next(self) -> Token:
+        self._skip_trivia()
+        line, col = self.line, self.col
+        if self.pos >= len(self.source):
+            return Token(TokenType.EOF, "", line, col)
+        ch = self._peek()
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._number(line, col)
+        if ch.isalpha() or ch == "_":
+            return self._ident(line, col)
+        if ch == "'":
+            return self._char(line, col)
+        if ch == '"':
+            return self._string(line, col)
+        two = ch + self._peek(1)
+        if two in _TWO_CHAR:
+            self._advance()
+            self._advance()
+            return Token(_TWO_CHAR[two], two, line, col)
+        if ch in _ONE_CHAR:
+            self._advance()
+            return Token(_ONE_CHAR[ch], ch, line, col)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _number(self, line: int, col: int) -> Token:
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance()
+            self._advance()
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self.source[start:self.pos]
+            return Token(TokenType.INT_LIT, text, line, col, value=int(text, 16))
+        is_float = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start:self.pos]
+        if is_float:
+            return Token(TokenType.FLOAT_LIT, text, line, col, value=float(text))
+        return Token(TokenType.INT_LIT, text, line, col, value=int(text))
+
+    def _ident(self, line: int, col: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start:self.pos]
+        if text in KEYWORDS:
+            return Token(KEYWORDS[text], text, line, col)
+        return Token(TokenType.IDENT, text, line, col)
+
+    def _escape(self) -> str:
+        ch = self._advance()
+        if ch != "\\":
+            return ch
+        esc = self._advance() if self.pos < len(self.source) else ""
+        if esc not in _ESCAPES:
+            raise self._error(f"bad escape sequence \\{esc}")
+        return _ESCAPES[esc]
+
+    def _char(self, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        if self.pos >= len(self.source):
+            raise self._error("unterminated character literal")
+        value = self._escape()
+        if self._peek() != "'":
+            raise self._error("unterminated character literal")
+        self._advance()
+        return Token(TokenType.CHAR_LIT, f"'{value}'", line, col, value=ord(value))
+
+    def _string(self, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.source) or self._peek() == "\n":
+                raise self._error("unterminated string literal")
+            if self._peek() == '"':
+                self._advance()
+                break
+            chars.append(self._escape())
+        text = "".join(chars)
+        return Token(TokenType.STRING_LIT, text, line, col, value=text)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MiniC *source*, ending with an EOF token."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,233 @@
+"""MiniC abstract syntax tree.
+
+Expression nodes carry a ``type`` attribute filled in by the semantic
+checker (:mod:`repro.lang.semantics`); the code generator relies on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.types import Type
+
+# ---------------------------------------------------------------------------
+# expressions
+
+
+@dataclass
+class Expr:
+    line: int = field(default=0, kw_only=True)
+    type: Type | None = field(default=None, kw_only=True, compare=False)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class StringLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""  # '-', '!', '~'
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""  # + - * / % == != < > <= >= & | ^ << >>
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Logical(Expr):
+    op: str = ""  # '&&' or '||'
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Expr | None = None
+    then: Expr | None = None
+    otherwise: Expr | None = None
+
+
+@dataclass
+class Assign(Expr):
+    target: Expr | None = None  # VarRef, Index, or Deref
+    value: Expr | None = None
+    op: str | None = None  # None for plain '=', else '+', '-', '*', '/', '%'
+
+
+@dataclass
+class IncDec(Expr):
+    target: Expr | None = None
+    delta: int = 1  # +1 or -1
+    is_prefix: bool = False
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr | None = None
+    index: Expr | None = None
+
+
+@dataclass
+class Deref(Expr):
+    pointer: Expr | None = None
+
+
+@dataclass
+class AddrOf(Expr):
+    operand: Expr | None = None
+
+
+@dataclass
+class Cast(Expr):
+    target_type: Type | None = None
+    operand: Expr | None = None
+
+
+# ---------------------------------------------------------------------------
+# statements
+
+
+@dataclass
+class Stmt:
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    var_type: Type | None = None
+    init: Expr | None = None
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then: Stmt | None = None
+    otherwise: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt | None = None
+    cond: Expr | None = None
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None  # ExprStmt or VarDecl or None
+    cond: Expr | None = None
+    step: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class SwitchCase:
+    """One `case N:` (or `default:` when value is None) and the statements
+    up to the next label.  C fallthrough: execution continues into the next
+    case unless a `break` intervenes."""
+
+    value: int | None
+    body: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Switch(Stmt):
+    cond: Expr | None = None
+    cases: list[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Empty(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# top level
+
+
+@dataclass
+class Param:
+    name: str
+    type: Type
+    line: int = 0
+
+
+@dataclass
+class FuncDef:
+    name: str
+    return_type: Type
+    params: list[Param]
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    name: str
+    var_type: Type
+    init: Expr | list[Expr] | None = None  # list for array initializers
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    globals: list[GlobalDecl] = field(default_factory=list)
+    functions: list[FuncDef] = field(default_factory=list)

@@ -1,0 +1,499 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (C subset)::
+
+    unit        : (func_def | global_decl)*
+    func_def    : type IDENT '(' params? ')' block
+    global_decl : type declarator ('=' initializer)? (',' ...)* ';'
+    declarator  : '*'* IDENT ('[' INT ']')?
+    initializer : const_expr | '{' const_expr (',' const_expr)* '}'
+    block       : '{' (decl | stmt)* '}'
+    stmt        : expr? ';' | if | while | do-while | for | return
+                | break ';' | continue ';' | block
+
+Expression precedence, loosest first: assignment, ?:, ||, &&, |, ^, &,
+equality, relational, shift, additive, multiplicative, unary, postfix.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import CompileError
+from repro.lang import nodes as N
+from repro.lang.tokens import Token, TokenType as T
+from repro.lang.types import ArrayType, PointerType, FLOAT, INT, Type, VOID
+
+_TYPE_KEYWORDS = (T.KW_INT, T.KW_FLOAT, T.KW_VOID, T.KW_CHAR)
+
+_COMPOUND_OPS = {
+    T.PLUS_ASSIGN: "+",
+    T.MINUS_ASSIGN: "-",
+    T.STAR_ASSIGN: "*",
+    T.SLASH_ASSIGN: "/",
+    T.PERCENT_ASSIGN: "%",
+}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _at(self, *types: T) -> bool:
+        return self._peek().type in types
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not T.EOF:
+            self.pos += 1
+        return token
+
+    def _expect(self, type_: T, what: str | None = None) -> Token:
+        token = self._peek()
+        if token.type is not type_:
+            expected = what or type_.value
+            raise CompileError(
+                f"expected {expected}, got {token.text or token.type.value!r}",
+                token.line,
+                token.col,
+            )
+        return self._advance()
+
+    def _match(self, *types: T) -> Token | None:
+        if self._at(*types):
+            return self._advance()
+        return None
+
+    # -- top level ------------------------------------------------------
+
+    def parse_unit(self) -> N.TranslationUnit:
+        unit = N.TranslationUnit()
+        while not self._at(T.EOF):
+            base = self._parse_base_type()
+            # Peek past pointer stars to see if this is a function.
+            save = self.pos
+            while self._match(T.STAR):
+                pass
+            name_token = self._expect(T.IDENT, "a name")
+            is_function = self._at(T.LPAREN)
+            self.pos = save
+            if is_function:
+                unit.functions.append(self._parse_function(base))
+            else:
+                unit.globals.extend(self._parse_global_decls(base))
+            del name_token
+        return unit
+
+    def _parse_base_type(self) -> Type:
+        token = self._peek()
+        if token.type is T.KW_INT or token.type is T.KW_CHAR:
+            self._advance()
+            return INT
+        if token.type is T.KW_FLOAT:
+            self._advance()
+            return FLOAT
+        if token.type is T.KW_VOID:
+            self._advance()
+            return VOID
+        raise CompileError(
+            f"expected a type, got {token.text!r}", token.line, token.col
+        )
+
+    def _parse_declarator(self, base: Type) -> tuple[str, Type, int]:
+        """Parse ``'*'* IDENT ('[' INT ']')?`` and return (name, type, line)."""
+        decl_type = base
+        while self._match(T.STAR):
+            decl_type = PointerType(decl_type)
+        name = self._expect(T.IDENT, "a name")
+        if self._match(T.LBRACKET):
+            size_token = self._expect(T.INT_LIT, "array size")
+            self._expect(T.RBRACKET)
+            size = int(size_token.value)  # type: ignore[arg-type]
+            if size <= 0:
+                raise CompileError(
+                    "array size must be positive", size_token.line, size_token.col
+                )
+            decl_type = ArrayType(decl_type, size)
+        return name.text, decl_type, name.line
+
+    def _parse_global_decls(self, base: Type) -> list[N.GlobalDecl]:
+        decls: list[N.GlobalDecl] = []
+        while True:
+            name, decl_type, line = self._parse_declarator(base)
+            init: N.Expr | list[N.Expr] | None = None
+            if self._match(T.ASSIGN):
+                if self._match(T.LBRACE):
+                    items = [self.parse_expr()]
+                    while self._match(T.COMMA):
+                        items.append(self.parse_expr())
+                    self._expect(T.RBRACE)
+                    init = items
+                else:
+                    init = self.parse_expr()
+            decls.append(N.GlobalDecl(name, decl_type, init, line=line))
+            if not self._match(T.COMMA):
+                break
+        self._expect(T.SEMI)
+        return decls
+
+    def _parse_function(self, return_type: Type) -> N.FuncDef:
+        name = self._expect(T.IDENT)
+        self._expect(T.LPAREN)
+        params: list[N.Param] = []
+        if not self._at(T.RPAREN):
+            if self._at(T.KW_VOID) and self._peek(1).type is T.RPAREN:
+                self._advance()
+            else:
+                params.append(self._parse_param())
+                while self._match(T.COMMA):
+                    params.append(self._parse_param())
+        self._expect(T.RPAREN)
+        body = self._parse_block()
+        return N.FuncDef(name.text, return_type, params, body, line=name.line)
+
+    def _parse_param(self) -> N.Param:
+        base = self._parse_base_type()
+        param_type = base
+        while self._match(T.STAR):
+            param_type = PointerType(param_type)
+        name = self._expect(T.IDENT, "parameter name")
+        # `int a[]` parameter syntax decays to a pointer.
+        if self._match(T.LBRACKET):
+            self._expect(T.RBRACKET)
+            param_type = PointerType(param_type)
+        if param_type.is_void:
+            raise CompileError("parameter cannot be void", name.line, name.col)
+        return N.Param(name.text, param_type, line=name.line)
+
+    # -- statements ------------------------------------------------------
+
+    def _parse_block(self) -> N.Block:
+        open_brace = self._expect(T.LBRACE)
+        statements: list[N.Stmt] = []
+        while not self._at(T.RBRACE):
+            if self._at(T.EOF):
+                raise CompileError(
+                    "unterminated block", open_brace.line, open_brace.col
+                )
+            statements.extend(self._parse_block_item())
+        self._expect(T.RBRACE)
+        return N.Block(statements, line=open_brace.line)
+
+    def _parse_block_item(self) -> list[N.Stmt]:
+        if self._at(*_TYPE_KEYWORDS):
+            return self._parse_local_decls()
+        return [self._parse_stmt()]
+
+    def _parse_local_decls(self) -> list[N.Stmt]:
+        base = self._parse_base_type()
+        decls: list[N.Stmt] = []
+        while True:
+            name, decl_type, line = self._parse_declarator(base)
+            if decl_type.is_void:
+                raise CompileError("variable cannot be void", line)
+            init = self.parse_expr() if self._match(T.ASSIGN) else None
+            decls.append(N.VarDecl(name, decl_type, init, line=line))
+            if not self._match(T.COMMA):
+                break
+        self._expect(T.SEMI)
+        return decls
+
+    def _parse_stmt(self) -> N.Stmt:
+        token = self._peek()
+        if token.type is T.LBRACE:
+            return self._parse_block()
+        if token.type is T.SEMI:
+            self._advance()
+            return N.Empty(line=token.line)
+        if token.type is T.KW_IF:
+            return self._parse_if()
+        if token.type is T.KW_WHILE:
+            return self._parse_while()
+        if token.type is T.KW_DO:
+            return self._parse_do_while()
+        if token.type is T.KW_FOR:
+            return self._parse_for()
+        if token.type is T.KW_SWITCH:
+            return self._parse_switch()
+        if token.type is T.KW_RETURN:
+            self._advance()
+            value = None if self._at(T.SEMI) else self.parse_expr()
+            self._expect(T.SEMI)
+            return N.Return(value, line=token.line)
+        if token.type is T.KW_BREAK:
+            self._advance()
+            self._expect(T.SEMI)
+            return N.Break(line=token.line)
+        if token.type is T.KW_CONTINUE:
+            self._advance()
+            self._expect(T.SEMI)
+            return N.Continue(line=token.line)
+        expr = self.parse_expr()
+        self._expect(T.SEMI)
+        return N.ExprStmt(expr, line=token.line)
+
+    def _parse_if(self) -> N.Stmt:
+        token = self._advance()
+        self._expect(T.LPAREN)
+        cond = self.parse_expr()
+        self._expect(T.RPAREN)
+        then = self._parse_stmt()
+        otherwise = self._parse_stmt() if self._match(T.KW_ELSE) else None
+        return N.If(cond, then, otherwise, line=token.line)
+
+    def _parse_while(self) -> N.Stmt:
+        token = self._advance()
+        self._expect(T.LPAREN)
+        cond = self.parse_expr()
+        self._expect(T.RPAREN)
+        body = self._parse_stmt()
+        return N.While(cond, body, line=token.line)
+
+    def _parse_do_while(self) -> N.Stmt:
+        token = self._advance()
+        body = self._parse_stmt()
+        self._expect(T.KW_WHILE)
+        self._expect(T.LPAREN)
+        cond = self.parse_expr()
+        self._expect(T.RPAREN)
+        self._expect(T.SEMI)
+        return N.DoWhile(body, cond, line=token.line)
+
+    def _parse_switch(self) -> N.Stmt:
+        token = self._advance()
+        self._expect(T.LPAREN)
+        cond = self.parse_expr()
+        self._expect(T.RPAREN)
+        self._expect(T.LBRACE)
+        cases: list[N.SwitchCase] = []
+        while not self._at(T.RBRACE):
+            label_token = self._peek()
+            if label_token.type is T.KW_CASE:
+                self._advance()
+                sign = -1 if self._match(T.MINUS) else 1
+                value_token = self._peek()
+                if value_token.type not in (T.INT_LIT, T.CHAR_LIT):
+                    raise CompileError(
+                        "case label must be an integer constant",
+                        value_token.line,
+                        value_token.col,
+                    )
+                self._advance()
+                self._expect(T.COLON)
+                cases.append(
+                    N.SwitchCase(sign * int(value_token.value), line=label_token.line)
+                )
+            elif label_token.type is T.KW_DEFAULT:
+                self._advance()
+                self._expect(T.COLON)
+                cases.append(N.SwitchCase(None, line=label_token.line))
+            elif not cases:
+                raise CompileError(
+                    "statement before the first case label",
+                    label_token.line,
+                    label_token.col,
+                )
+            else:
+                cases[-1].body.extend(self._parse_block_item())
+        self._expect(T.RBRACE)
+        return N.Switch(cond, cases, line=token.line)
+
+    def _parse_for(self) -> N.Stmt:
+        token = self._advance()
+        self._expect(T.LPAREN)
+        init: N.Stmt | None = None
+        if self._at(*_TYPE_KEYWORDS):
+            (init,) = self._parse_local_decls()  # one declaration only
+        elif not self._at(T.SEMI):
+            init = N.ExprStmt(self.parse_expr(), line=token.line)
+            self._expect(T.SEMI)
+        else:
+            self._advance()
+        cond = None if self._at(T.SEMI) else self.parse_expr()
+        self._expect(T.SEMI)
+        step = None if self._at(T.RPAREN) else self.parse_expr()
+        self._expect(T.RPAREN)
+        body = self._parse_stmt()
+        return N.For(init, cond, step, body, line=token.line)
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> N.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> N.Expr:
+        left = self._parse_conditional()
+        token = self._peek()
+        if token.type is T.ASSIGN:
+            self._advance()
+            value = self._parse_assignment()
+            return N.Assign(left, value, None, line=token.line)
+        if token.type in _COMPOUND_OPS:
+            self._advance()
+            value = self._parse_assignment()
+            return N.Assign(left, value, _COMPOUND_OPS[token.type], line=token.line)
+        return left
+
+    def _parse_conditional(self) -> N.Expr:
+        cond = self._parse_logic_or()
+        token = self._match(T.QUESTION)
+        if not token:
+            return cond
+        then = self.parse_expr()
+        self._expect(T.COLON)
+        otherwise = self._parse_conditional()
+        return N.Conditional(cond, then, otherwise, line=token.line)
+
+    def _parse_logic_or(self) -> N.Expr:
+        left = self._parse_logic_and()
+        while True:
+            token = self._match(T.OR_OR)
+            if not token:
+                return left
+            right = self._parse_logic_and()
+            left = N.Logical("||", left, right, line=token.line)
+
+    def _parse_logic_and(self) -> N.Expr:
+        left = self._parse_bit_or()
+        while True:
+            token = self._match(T.AND_AND)
+            if not token:
+                return left
+            right = self._parse_bit_or()
+            left = N.Logical("&&", left, right, line=token.line)
+
+    def _binary_level(self, sub, table: dict[T, str]):
+        left = sub()
+        while True:
+            token = self._peek()
+            op = table.get(token.type)
+            if op is None:
+                return left
+            self._advance()
+            right = sub()
+            left = N.Binary(op, left, right, line=token.line)
+
+    def _parse_bit_or(self) -> N.Expr:
+        return self._binary_level(self._parse_bit_xor, {T.PIPE: "|"})
+
+    def _parse_bit_xor(self) -> N.Expr:
+        return self._binary_level(self._parse_bit_and, {T.CARET: "^"})
+
+    def _parse_bit_and(self) -> N.Expr:
+        return self._binary_level(self._parse_equality, {T.AMP: "&"})
+
+    def _parse_equality(self) -> N.Expr:
+        return self._binary_level(
+            self._parse_relational, {T.EQ: "==", T.NE: "!="}
+        )
+
+    def _parse_relational(self) -> N.Expr:
+        return self._binary_level(
+            self._parse_shift, {T.LT: "<", T.GT: ">", T.LE: "<=", T.GE: ">="}
+        )
+
+    def _parse_shift(self) -> N.Expr:
+        return self._binary_level(self._parse_additive, {T.SHL: "<<", T.SHR: ">>"})
+
+    def _parse_additive(self) -> N.Expr:
+        return self._binary_level(
+            self._parse_multiplicative, {T.PLUS: "+", T.MINUS: "-"}
+        )
+
+    def _parse_multiplicative(self) -> N.Expr:
+        return self._binary_level(
+            self._parse_unary, {T.STAR: "*", T.SLASH: "/", T.PERCENT: "%"}
+        )
+
+    def _parse_unary(self) -> N.Expr:
+        token = self._peek()
+        if token.type is T.MINUS:
+            self._advance()
+            return N.Unary("-", self._parse_unary(), line=token.line)
+        if token.type is T.NOT:
+            self._advance()
+            return N.Unary("!", self._parse_unary(), line=token.line)
+        if token.type is T.TILDE:
+            self._advance()
+            return N.Unary("~", self._parse_unary(), line=token.line)
+        if token.type is T.STAR:
+            self._advance()
+            return N.Deref(self._parse_unary(), line=token.line)
+        if token.type is T.AMP:
+            self._advance()
+            return N.AddrOf(self._parse_unary(), line=token.line)
+        if token.type is T.PLUS_PLUS:
+            self._advance()
+            return N.IncDec(self._parse_unary(), 1, True, line=token.line)
+        if token.type is T.MINUS_MINUS:
+            self._advance()
+            return N.IncDec(self._parse_unary(), -1, True, line=token.line)
+        if token.type is T.LPAREN and self._peek(1).type in _TYPE_KEYWORDS:
+            self._advance()
+            cast_type = self._parse_base_type()
+            while self._match(T.STAR):
+                cast_type = PointerType(cast_type)
+            self._expect(T.RPAREN)
+            return N.Cast(cast_type, self._parse_unary(), line=token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> N.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.type is T.LBRACKET:
+                self._advance()
+                index = self.parse_expr()
+                self._expect(T.RBRACKET)
+                expr = N.Index(expr, index, line=token.line)
+            elif token.type is T.LPAREN:
+                if not isinstance(expr, N.VarRef):
+                    raise CompileError(
+                        "only named functions can be called", token.line, token.col
+                    )
+                self._advance()
+                args: list[N.Expr] = []
+                if not self._at(T.RPAREN):
+                    args.append(self.parse_expr())
+                    while self._match(T.COMMA):
+                        args.append(self.parse_expr())
+                self._expect(T.RPAREN)
+                expr = N.Call(expr.name, args, line=token.line)
+            elif token.type is T.PLUS_PLUS:
+                self._advance()
+                expr = N.IncDec(expr, 1, False, line=token.line)
+            elif token.type is T.MINUS_MINUS:
+                self._advance()
+                expr = N.IncDec(expr, -1, False, line=token.line)
+            else:
+                return expr
+
+    def _parse_primary(self) -> N.Expr:
+        token = self._advance()
+        if token.type is T.INT_LIT or token.type is T.CHAR_LIT:
+            return N.IntLit(int(token.value), line=token.line)  # type: ignore[arg-type]
+        if token.type is T.FLOAT_LIT:
+            return N.FloatLit(float(token.value), line=token.line)  # type: ignore[arg-type]
+        if token.type is T.STRING_LIT:
+            return N.StringLit(str(token.value), line=token.line)
+        if token.type is T.IDENT:
+            return N.VarRef(token.text, line=token.line)
+        if token.type is T.LPAREN:
+            expr = self.parse_expr()
+            self._expect(T.RPAREN)
+            return expr
+        raise CompileError(
+            f"unexpected token {token.text or token.type.value!r}",
+            token.line,
+            token.col,
+        )
+
+
+def parse(source_tokens: list[Token]) -> N.TranslationUnit:
+    """Parse a token stream into a translation unit."""
+    return Parser(source_tokens).parse_unit()

@@ -1,0 +1,463 @@
+"""A reference interpreter for MiniC — the compiler's executable spec.
+
+Evaluates the *checked AST* directly with C semantics (32-bit wrapping
+integers, truncating division, ``x/0 == 0``/``x%0 == x`` like the VM,
+short-circuit booleans, switch fallthrough).  The property-based compiler
+tests run random programs through both this interpreter and the full
+compile→assemble→VM pipeline and require identical results, so a
+divergence pinpoints a bug in one of the two implementations.
+
+The memory model mirrors the machine's: one flat word-addressed space with
+globals laid out in declaration order and per-call frames for local
+arrays, so pointer arithmetic behaves identically (addresses differ from
+the VM's, but all *relative* behaviour matches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import nodes as N
+from repro.lang.errors import CompileError
+from repro.lang.semantics import BUILTINS, CheckedUnit, GlobalVar, LocalVar
+
+_WRAP = 0xFFFFFFFF
+_SIGN = 0x80000000
+
+
+def _wrap32(value: int) -> int:
+    value &= _WRAP
+    return value - (1 << 32) if value & _SIGN else value
+
+
+def _c_div(a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    quotient = abs(a) // abs(b)
+    return _wrap32(-quotient if (a < 0) != (b < 0) else quotient)
+
+
+def _c_rem(a: int, b: int) -> int:
+    if b == 0:
+        return a
+    remainder = abs(a) % abs(b)
+    return _wrap32(-remainder if a < 0 else remainder)
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+class ReferenceError_(Exception):
+    """Raised when the interpreted program does something undefined that
+    the reference cannot model (e.g. wild pointer writes)."""
+
+
+@dataclass
+class ReferenceResult:
+    exit_value: int | float
+    output: list[int | float | str] = field(default_factory=list)
+
+
+class ReferenceInterpreter:
+    """Direct evaluator over a checked translation unit."""
+
+    def __init__(self, checked: CheckedUnit, max_steps: int = 5_000_000):
+        self.checked = checked
+        self.functions = {f.name: f for f in checked.unit.functions}
+        self.max_steps = max_steps
+        self.steps = 0
+        self.memory: dict[int, int | float] = {}
+        self.global_addr: dict[str, int] = {}
+        self.string_addr: dict[str, int] = {}
+        self.output: list[int | float | str] = []
+        self._cursor = 0x1000
+        self._stack_base = 1 << 22
+        self._lay_out_globals()
+
+    # -- setup ------------------------------------------------------------
+
+    def _alloc(self, words: int) -> int:
+        address = self._cursor
+        self._cursor += words
+        return address
+
+    def _lay_out_globals(self) -> None:
+        # Strings first (mirrors codegen), then globals in order.
+        for decl in self.checked.unit.globals:
+            init = decl.init
+            if isinstance(init, N.StringLit):
+                self._intern_string(init.value)
+        for decl in self.checked.unit.globals:
+            var_type = decl.var_type
+            if var_type.is_array:
+                base = self._alloc(var_type.size)  # type: ignore[attr-defined]
+                self.global_addr[decl.name] = base
+                zero = 0.0 if var_type.element.is_float else 0  # type: ignore[attr-defined]
+                for i in range(var_type.size):  # type: ignore[attr-defined]
+                    self.memory[base + i] = zero
+                values = decl.init if isinstance(decl.init, list) else []
+                for i, lit in enumerate(values):
+                    self.memory[base + i] = lit.value
+            else:
+                addr = self._alloc(1)
+                self.global_addr[decl.name] = addr
+                self.memory[addr] = self._global_initial_value(decl)
+
+    def _intern_string(self, text: str) -> int:
+        if text not in self.string_addr:
+            base = self._alloc(len(text) + 1)
+            for i, ch in enumerate(text):
+                self.memory[base + i] = ord(ch)
+            self.memory[base + len(text)] = 0
+            self.string_addr[text] = base
+        return self.string_addr[text]
+
+    def _global_initial_value(self, decl: N.GlobalDecl):
+        init = decl.init
+        if init is None:
+            return 0.0 if decl.var_type.is_float else 0
+        if isinstance(init, N.StringLit):
+            return self._intern_string(init.value)
+        if isinstance(init, N.AddrOf):
+            symbol = self.checked.var_symbols[id(init)]
+            return self.global_addr[symbol.name] + getattr(init, "const_offset", 0)
+        if isinstance(init, (N.IntLit, N.FloatLit)):
+            return init.value
+        raise ReferenceError_(f"unsupported global initializer for {decl.name}")
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self) -> ReferenceResult:
+        value = self._call("main", [])
+        return ReferenceResult(exit_value=value, output=self.output)
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise ReferenceError_("reference interpreter step budget exhausted")
+
+    def _call(self, name: str, args: list):
+        builtin = BUILTINS.get(name)
+        if builtin is not None:
+            (arg,) = args
+            if name == "put_char":
+                self.output.append(chr(int(arg) & 0x10FFFF))
+            elif name == "print_float":
+                self.output.append(float(arg))
+            else:
+                self.output.append(arg)
+            return None
+        func = self.functions[name]
+        env: dict[LocalVar, object] = {}
+        frame_base = self._stack_base
+        locals_ = self.checked.func_locals[name]
+        params = [var for var in locals_ if var.is_param]
+        for var, value in zip(params, args):
+            env[var] = value
+        # Local arrays get frame addresses (descending like a real stack).
+        for var in locals_:
+            if var.type.is_array:
+                frame_base -= var.type.size  # type: ignore[attr-defined]
+                env[var] = frame_base
+                zero = 0.0 if var.type.element.is_float else 0  # type: ignore[attr-defined]
+                for i in range(var.type.size):  # type: ignore[attr-defined]
+                    self.memory[frame_base + i] = zero
+        saved_stack = self._stack_base
+        self._stack_base = frame_base
+        try:
+            self._exec_block(func.body, env)
+        except _Return as ret:
+            return ret.value
+        finally:
+            self._stack_base = saved_stack
+        return 0  # fell off the end of a non-void function: unspecified; 0
+
+    # -- statements -----------------------------------------------------------
+
+    def _exec_block(self, block: N.Block, env) -> None:
+        for stmt in block.statements:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(self, stmt: N.Stmt, env) -> None:
+        self._tick()
+        if isinstance(stmt, N.Block):
+            self._exec_block(stmt, env)
+        elif isinstance(stmt, N.VarDecl):
+            var = self.checked.var_symbols[id(stmt)]
+            if stmt.init is not None:
+                env[var] = self._coerce(self._eval(stmt.init, env), var.type)
+            elif not var.type.is_array:
+                env[var] = 0.0 if var.type.is_float else 0
+        elif isinstance(stmt, N.ExprStmt):
+            self._eval(stmt.expr, env)
+        elif isinstance(stmt, N.If):
+            if self._truthy(self._eval(stmt.cond, env)):
+                self._exec_stmt(stmt.then, env)
+            elif stmt.otherwise is not None:
+                self._exec_stmt(stmt.otherwise, env)
+        elif isinstance(stmt, N.While):
+            while self._truthy(self._eval(stmt.cond, env)):
+                self._tick()
+                try:
+                    self._exec_stmt(stmt.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif isinstance(stmt, N.DoWhile):
+            while True:
+                self._tick()
+                try:
+                    self._exec_stmt(stmt.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if not self._truthy(self._eval(stmt.cond, env)):
+                    break
+        elif isinstance(stmt, N.For):
+            if stmt.init is not None:
+                self._exec_stmt(stmt.init, env)
+            while stmt.cond is None or self._truthy(self._eval(stmt.cond, env)):
+                self._tick()
+                try:
+                    self._exec_stmt(stmt.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if stmt.step is not None:
+                    self._eval(stmt.step, env)
+        elif isinstance(stmt, N.Switch):
+            self._exec_switch(stmt, env)
+        elif isinstance(stmt, N.Return):
+            raise _Return(
+                None if stmt.value is None else self._eval(stmt.value, env)
+            )
+        elif isinstance(stmt, N.Break):
+            raise _Break()
+        elif isinstance(stmt, N.Continue):
+            raise _Continue()
+        elif isinstance(stmt, N.Empty):
+            pass
+        else:  # pragma: no cover
+            raise ReferenceError_(f"unhandled statement {type(stmt).__name__}")
+
+    def _exec_switch(self, stmt: N.Switch, env) -> None:
+        selector = self._eval(stmt.cond, env)
+        start = None
+        for index, case in enumerate(stmt.cases):
+            if case.value is not None and case.value == selector:
+                start = index
+                break
+        if start is None:
+            for index, case in enumerate(stmt.cases):
+                if case.value is None:
+                    start = index
+                    break
+        if start is None:
+            return
+        try:
+            for case in stmt.cases[start:]:  # fallthrough
+                for inner in case.body:
+                    self._exec_stmt(inner, env)
+        except _Break:
+            pass
+
+    # -- expressions -----------------------------------------------------------
+
+    def _truthy(self, value) -> bool:
+        return value != 0
+
+    def _coerce(self, value, target_type):
+        if target_type.is_float:
+            return float(value)
+        if target_type.is_int:
+            return _wrap32(int(value))
+        return value  # pointers are ints already
+
+    def _eval(self, expr: N.Expr, env):
+        self._tick()
+        if isinstance(expr, N.IntLit):
+            return _wrap32(expr.value)
+        if isinstance(expr, N.FloatLit):
+            return expr.value
+        if isinstance(expr, N.StringLit):
+            return self._intern_string(expr.value)
+        if isinstance(expr, N.VarRef):
+            return self._read_var(expr, env)
+        if isinstance(expr, N.Unary):
+            return self._eval_unary(expr, env)
+        if isinstance(expr, N.Binary):
+            return self._eval_binary(expr, env)
+        if isinstance(expr, N.Logical):
+            left = self._truthy(self._eval(expr.left, env))
+            if expr.op == "&&":
+                if not left:
+                    return 0
+                return 1 if self._truthy(self._eval(expr.right, env)) else 0
+            if left:
+                return 1
+            return 1 if self._truthy(self._eval(expr.right, env)) else 0
+        if isinstance(expr, N.Conditional):
+            if self._truthy(self._eval(expr.cond, env)):
+                return self._eval(expr.then, env)
+            return self._eval(expr.otherwise, env)
+        if isinstance(expr, N.Assign):
+            return self._eval_assign(expr, env)
+        if isinstance(expr, N.IncDec):
+            return self._eval_incdec(expr, env)
+        if isinstance(expr, N.Call):
+            args = [self._eval(arg, env) for arg in expr.args]
+            return self._call(expr.name, args)
+        if isinstance(expr, N.Index):
+            address = self._address_of(expr, env)
+            return self.memory.get(address, 0)
+        if isinstance(expr, N.Deref):
+            address = self._eval(expr.pointer, env)
+            return self.memory.get(int(address), 0)
+        if isinstance(expr, N.AddrOf):
+            return self._address_of(expr.operand, env)
+        if isinstance(expr, N.Cast):
+            value = self._eval(expr.operand, env)
+            if expr.target_type.is_float:
+                return float(value)
+            return _wrap32(int(value))
+        raise ReferenceError_(f"unhandled expression {type(expr).__name__}")
+
+    def _read_var(self, expr: N.VarRef, env):
+        symbol = self.checked.var_symbols[id(expr)]
+        if isinstance(symbol, GlobalVar):
+            if symbol.type.is_array:
+                return self.global_addr[symbol.name]
+            return self.memory[self.global_addr[symbol.name]]
+        if symbol.type.is_array:
+            return env[symbol]  # frame address
+        return env.get(symbol, 0)
+
+    def _address_of(self, expr: N.Expr, env) -> int:
+        if isinstance(expr, N.Index):
+            base = self._eval(expr.base, env)
+            index = self._eval(expr.index, env)
+            return int(base) + int(index)
+        if isinstance(expr, N.Deref):
+            return int(self._eval(expr.pointer, env))
+        if isinstance(expr, N.VarRef):
+            symbol = self.checked.var_symbols[id(expr)]
+            if isinstance(symbol, GlobalVar):
+                return self.global_addr[symbol.name]
+            if symbol.type.is_array:
+                return env[symbol]
+            raise ReferenceError_(f"address of register variable {expr.name}")
+        raise ReferenceError_("expression has no address")
+
+    def _write_lvalue(self, target: N.Expr, value, env) -> None:
+        if isinstance(target, N.VarRef):
+            symbol = self.checked.var_symbols[id(target)]
+            coerced = self._coerce(value, symbol.type)
+            if isinstance(symbol, GlobalVar):
+                self.memory[self.global_addr[symbol.name]] = coerced
+            else:
+                env[symbol] = coerced
+            return
+        address = self._address_of(target, env)
+        self.memory[address] = self._coerce(value, target.type)
+
+    def _eval_assign(self, expr: N.Assign, env):
+        if expr.op is None:
+            value = self._eval(expr.value, env)
+            value = self._coerce(value, expr.type)
+            self._write_lvalue(expr.target, value, env)
+            return value
+        current = self._eval(expr.target, env)
+        operand = self._eval(expr.value, env)
+        value = self._apply_binary(expr.op, current, operand, expr.type.is_float)
+        value = self._coerce(value, expr.type)
+        self._write_lvalue(expr.target, value, env)
+        return value
+
+    def _eval_incdec(self, expr: N.IncDec, env):
+        current = self._eval(expr.target, env)
+        updated = self._coerce(current + expr.delta, expr.type)
+        self._write_lvalue(expr.target, updated, env)
+        return updated if expr.is_prefix else current
+
+    def _eval_unary(self, expr: N.Unary, env):
+        value = self._eval(expr.operand, env)
+        if expr.op == "-":
+            if expr.type.is_float:
+                return -value
+            return _wrap32(-int(value))
+        if expr.op == "!":
+            return 0 if self._truthy(value) else 1
+        return _wrap32(~int(value))  # '~'
+
+    def _eval_binary(self, expr: N.Binary, env):
+        left = self._eval(expr.left, env)
+        op = expr.op
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            right = self._eval(expr.right, env)
+            table = {
+                "==": left == right, "!=": left != right, "<": left < right,
+                ">": left > right, "<=": left <= right, ">=": left >= right,
+            }
+            return 1 if table[op] else 0
+        right = self._eval(expr.right, env)
+        return self._apply_binary(op, left, right, expr.type.is_float)
+
+    def _apply_binary(self, op: str, left, right, is_float: bool):
+        if is_float:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                return left / right if right != 0.0 else 0.0
+            raise ReferenceError_(f"bad float operator {op}")
+        a, b = int(left), int(right)
+        if op == "+":
+            return _wrap32(a + b)
+        if op == "-":
+            return _wrap32(a - b)
+        if op == "*":
+            return _wrap32(a * b)
+        if op == "/":
+            return _c_div(a, b)
+        if op == "%":
+            return _c_rem(a, b)
+        if op == "&":
+            return _wrap32(a & b)
+        if op == "|":
+            return _wrap32(a | b)
+        if op == "^":
+            return _wrap32(a ^ b)
+        if op == "<<":
+            return _wrap32(a << (b & 31))
+        if op == ">>":
+            return _wrap32(a >> (b & 31))
+        raise ReferenceError_(f"bad int operator {op}")
+
+
+def interpret(source: str, max_steps: int = 5_000_000) -> ReferenceResult:
+    """Parse, check, and interpret MiniC *source* directly."""
+    from repro.lang.lexer import tokenize
+    from repro.lang.parser import parse
+    from repro.lang.semantics import check
+
+    unit = parse(tokenize(source))
+    checked = check(unit)
+    if "main" not in checked.functions:
+        raise CompileError("program has no main function")
+    return ReferenceInterpreter(checked, max_steps=max_steps).run()

@@ -1,0 +1,735 @@
+"""Semantic analysis for MiniC: symbol resolution, type checking, implicit
+conversions, and constant folding.
+
+The checker rewrites the AST (inserting :class:`~repro.lang.nodes.Cast`
+nodes and folding constant subtrees), annotates every expression with its
+type, and produces a :class:`CheckedUnit` carrying the symbol tables the
+code generator needs.  Variable references are resolved to symbol objects in
+``CheckedUnit.var_symbols``, keyed by node identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.errors import CompileError
+from repro.lang import nodes as N
+from repro.lang.types import (
+    ArrayType,
+    FLOAT,
+    INT,
+    PointerType,
+    Type,
+    VOID,
+    assignable,
+    common_arithmetic_type,
+)
+
+# ---------------------------------------------------------------------------
+# symbols
+
+
+@dataclass(frozen=True)
+class GlobalVar:
+    name: str
+    type: Type
+
+    @property
+    def label(self) -> str:
+        return f"g_{self.name}"
+
+
+@dataclass(frozen=True, eq=False)
+class LocalVar:
+    """One local variable or parameter.  Identity (not name) is the key:
+    shadowing declarations produce distinct LocalVar objects."""
+
+    name: str
+    type: Type
+    is_param: bool = False
+
+
+@dataclass(frozen=True)
+class FunctionSig:
+    name: str
+    return_type: Type
+    param_types: tuple[Type, ...]
+    is_builtin: bool = False
+
+
+BUILTINS: dict[str, FunctionSig] = {
+    "print_int": FunctionSig("print_int", VOID, (INT,), is_builtin=True),
+    "print_float": FunctionSig("print_float", VOID, (FLOAT,), is_builtin=True),
+    "put_char": FunctionSig("put_char", VOID, (INT,), is_builtin=True),
+}
+
+
+@dataclass
+class CheckedUnit:
+    """A type-checked translation unit plus its symbol tables."""
+
+    unit: N.TranslationUnit
+    globals: dict[str, GlobalVar] = field(default_factory=dict)
+    functions: dict[str, FunctionSig] = field(default_factory=dict)
+    var_symbols: dict[int, GlobalVar | LocalVar] = field(default_factory=dict)
+    func_locals: dict[str, list[LocalVar]] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# checker
+
+
+class _Scope:
+    def __init__(self, parent: "_Scope | None" = None):
+        self.parent = parent
+        self.names: dict[str, LocalVar] = {}
+
+    def declare(self, var: LocalVar, line: int) -> None:
+        if var.name in self.names:
+            raise CompileError(f"redeclaration of {var.name!r}", line)
+        self.names[var.name] = var
+
+    def resolve(self, name: str) -> LocalVar | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class Checker:
+    def __init__(self, unit: N.TranslationUnit):
+        self.unit = unit
+        self.result = CheckedUnit(unit)
+        self.scope: _Scope | None = None
+        self.current_function: N.FuncDef | None = None
+        self.current_locals: list[LocalVar] = []
+        self.loop_depth = 0  # guards `continue`
+        self.break_depth = 0  # guards `break` (loops and switches)
+
+    # -- driver -----------------------------------------------------------
+
+    def check(self) -> CheckedUnit:
+        # Two-phase: register every global and function name first, so
+        # initializers and bodies may reference later declarations
+        # (`int *p = &g; int g;`, mutual recursion without prototypes).
+        for decl in self.unit.globals:
+            self._declare_global(decl)
+        for func in self.unit.functions:
+            self._declare_function(func)
+        for decl in self.unit.globals:
+            decl.init = self._check_global_init(decl)
+        for func in self.unit.functions:
+            self._check_function(func)
+        return self.result
+
+    # -- declarations ----------------------------------------------------
+
+    def _declare_global(self, decl: N.GlobalDecl) -> None:
+        if decl.name in self.result.globals or decl.name in self.result.functions:
+            raise CompileError(f"redefinition of {decl.name!r}", decl.line)
+        if decl.var_type.is_void:
+            raise CompileError("global cannot be void", decl.line)
+        self.result.globals[decl.name] = GlobalVar(decl.name, decl.var_type)
+
+    def _check_global_init(self, decl: N.GlobalDecl):
+        init = decl.init
+        if init is None:
+            return None
+        if isinstance(init, list):
+            if not decl.var_type.is_array:
+                raise CompileError(
+                    f"brace initializer on non-array {decl.name!r}", decl.line
+                )
+            array_type: ArrayType = decl.var_type  # type: ignore[assignment]
+            if len(init) > array_type.size:
+                raise CompileError(
+                    f"too many initializers for {decl.name!r}", decl.line
+                )
+            return [
+                self._const_value(item, array_type.element, decl) for item in init
+            ]
+        if decl.var_type.is_array:
+            raise CompileError(f"array {decl.name!r} needs a brace initializer", decl.line)
+        if decl.var_type.is_pointer and isinstance(init, N.StringLit):
+            init.type = PointerType(INT)
+            return init
+        if decl.var_type.is_pointer:
+            address = self._address_constant(init)
+            if address is not None:
+                return address
+        return self._const_value(init, decl.var_type, decl)
+
+    def _address_constant(self, expr: N.Expr) -> N.Expr | None:
+        """Recognize `&global` / `array` / `&array[K]` initializers and
+        annotate them for the code generator (link-time constants in C)."""
+        inner = expr
+        offset = 0
+        if isinstance(inner, N.AddrOf):
+            operand = inner.operand
+            if isinstance(operand, N.Index) and isinstance(operand.base, N.VarRef):
+                index = _fold(self.check_expr(operand.index))
+                if not isinstance(index, N.IntLit):
+                    return None
+                offset = index.value
+                inner = operand.base
+            elif isinstance(operand, N.VarRef):
+                inner = operand
+            else:
+                return None
+        if not isinstance(inner, N.VarRef):
+            return None
+        symbol = self.result.globals.get(inner.name)
+        if symbol is None:
+            return None
+        if isinstance(expr, N.VarRef) and not symbol.type.is_array:
+            return None  # a plain scalar name is a value, not an address
+        address = N.AddrOf(inner, line=expr.line)
+        address.type = PointerType(
+            symbol.type.element if symbol.type.is_array else symbol.type  # type: ignore[attr-defined]
+        )
+        self.result.var_symbols[id(inner)] = symbol
+        self.result.var_symbols[id(address)] = symbol
+        setattr(address, "const_offset", offset)
+        return address
+
+    def _const_value(self, expr: N.Expr, target: Type, decl: N.GlobalDecl) -> N.Expr:
+        checked = self.check_expr(expr)
+        checked = self._convert(checked, target, decl.line)
+        checked = _fold(checked)
+        if not isinstance(checked, (N.IntLit, N.FloatLit)):
+            raise CompileError(
+                f"initializer of {decl.name!r} is not a constant", decl.line
+            )
+        return checked
+
+    def _declare_function(self, func: N.FuncDef) -> None:
+        if func.name in self.result.functions or func.name in BUILTINS:
+            raise CompileError(f"redefinition of function {func.name!r}", func.line)
+        if func.name in self.result.globals:
+            raise CompileError(
+                f"{func.name!r} already declared as a variable", func.line
+            )
+        int_params = sum(1 for p in func.params if not p.type.is_float)
+        float_params = sum(1 for p in func.params if p.type.is_float)
+        if int_params > 4 or float_params > 4:
+            raise CompileError(
+                f"function {func.name!r}: at most 4 integer/pointer and 4 float "
+                "parameters are supported",
+                func.line,
+            )
+        self.result.functions[func.name] = FunctionSig(
+            func.name,
+            func.return_type,
+            tuple(p.type for p in func.params),
+        )
+
+    # -- functions ----------------------------------------------------------
+
+    def _check_function(self, func: N.FuncDef) -> None:
+        self.current_function = func
+        self.current_locals = []
+        self.scope = _Scope()
+        for param in func.params:
+            var = LocalVar(param.name, param.type, is_param=True)
+            self.scope.declare(var, param.line)
+            self.current_locals.append(var)
+        self._check_block(func.body, new_scope=False)
+        self.result.func_locals[func.name] = self.current_locals
+        self.scope = None
+        self.current_function = None
+
+    # -- statements ------------------------------------------------------------
+
+    def _check_block(self, block: N.Block, new_scope: bool = True) -> None:
+        if new_scope:
+            self.scope = _Scope(self.scope)
+        block.statements = [self._check_stmt(stmt) for stmt in block.statements]
+        if new_scope:
+            assert self.scope is not None
+            self.scope = self.scope.parent
+
+    def _check_stmt(self, stmt: N.Stmt) -> N.Stmt:
+        if isinstance(stmt, N.Block):
+            self._check_block(stmt)
+            return stmt
+        if isinstance(stmt, N.VarDecl):
+            return self._check_var_decl(stmt)
+        if isinstance(stmt, N.ExprStmt):
+            stmt.expr = self.check_expr(stmt.expr)
+            return stmt
+        if isinstance(stmt, N.If):
+            stmt.cond = self._check_condition(stmt.cond, stmt.line)
+            stmt.then = self._check_stmt(stmt.then)
+            if stmt.otherwise is not None:
+                stmt.otherwise = self._check_stmt(stmt.otherwise)
+            return stmt
+        if isinstance(stmt, N.While):
+            stmt.cond = self._check_condition(stmt.cond, stmt.line)
+            self.loop_depth += 1
+            self.break_depth += 1
+            stmt.body = self._check_stmt(stmt.body)
+            self.loop_depth -= 1
+            self.break_depth -= 1
+            return stmt
+        if isinstance(stmt, N.DoWhile):
+            self.loop_depth += 1
+            self.break_depth += 1
+            stmt.body = self._check_stmt(stmt.body)
+            self.loop_depth -= 1
+            self.break_depth -= 1
+            stmt.cond = self._check_condition(stmt.cond, stmt.line)
+            return stmt
+        if isinstance(stmt, N.Switch):
+            return self._check_switch(stmt)
+        if isinstance(stmt, N.For):
+            self.scope = _Scope(self.scope)
+            if stmt.init is not None:
+                stmt.init = self._check_stmt(stmt.init)
+            if stmt.cond is not None:
+                stmt.cond = self._check_condition(stmt.cond, stmt.line)
+            if stmt.step is not None:
+                stmt.step = self.check_expr(stmt.step)
+            self.loop_depth += 1
+            self.break_depth += 1
+            stmt.body = self._check_stmt(stmt.body)
+            self.loop_depth -= 1
+            self.break_depth -= 1
+            assert self.scope is not None
+            self.scope = self.scope.parent
+            return stmt
+        if isinstance(stmt, N.Return):
+            return self._check_return(stmt)
+        if isinstance(stmt, N.Break):
+            if self.break_depth == 0:
+                raise CompileError("break outside a loop", stmt.line)
+            return stmt
+        if isinstance(stmt, N.Continue):
+            if self.loop_depth == 0:
+                raise CompileError("continue outside a loop", stmt.line)
+            return stmt
+        if isinstance(stmt, N.Empty):
+            return stmt
+        raise CompileError(f"unhandled statement {type(stmt).__name__}", stmt.line)
+
+    def _check_var_decl(self, decl: N.VarDecl) -> N.Stmt:
+        assert self.scope is not None
+        var = LocalVar(decl.name, decl.var_type)
+        self.scope.declare(var, decl.line)
+        self.current_locals.append(var)
+        self.result.var_symbols[id(decl)] = var
+        if decl.init is not None:
+            if decl.var_type.is_array:
+                raise CompileError(
+                    f"local array {decl.name!r} cannot have an initializer",
+                    decl.line,
+                )
+            decl.init = self._convert(
+                self.check_expr(decl.init), decl.var_type.decay(), decl.line
+            )
+        return decl
+
+    def _check_switch(self, stmt: N.Switch) -> N.Stmt:
+        cond = self.check_expr(stmt.cond)
+        if not cond.type.decay().is_int:
+            raise CompileError("switch condition must be int", stmt.line)
+        stmt.cond = cond
+        seen_values: set[int] = set()
+        seen_default = False
+        self.break_depth += 1
+        self.scope = _Scope(self.scope)
+        for case in stmt.cases:
+            if case.value is None:
+                if seen_default:
+                    raise CompileError("duplicate default label", case.line)
+                seen_default = True
+            else:
+                if case.value in seen_values:
+                    raise CompileError(
+                        f"duplicate case label {case.value}", case.line
+                    )
+                seen_values.add(case.value)
+            case.body = [self._check_stmt(inner) for inner in case.body]
+        assert self.scope is not None
+        self.scope = self.scope.parent
+        self.break_depth -= 1
+        return stmt
+
+    def _check_return(self, stmt: N.Return) -> N.Stmt:
+        assert self.current_function is not None
+        ret_type = self.current_function.return_type
+        if stmt.value is None:
+            if not ret_type.is_void:
+                raise CompileError(
+                    f"{self.current_function.name} must return a value", stmt.line
+                )
+            return stmt
+        if ret_type.is_void:
+            raise CompileError(
+                f"void function {self.current_function.name} returns a value",
+                stmt.line,
+            )
+        stmt.value = self._convert(self.check_expr(stmt.value), ret_type, stmt.line)
+        return stmt
+
+    def _check_condition(self, expr: N.Expr, line: int) -> N.Expr:
+        checked = self.check_expr(expr)
+        if not checked.type.decay().is_scalar:
+            raise CompileError("condition must be a scalar value", line)
+        return checked
+
+    # -- expressions ---------------------------------------------------------
+
+    def check_expr(self, expr: N.Expr) -> N.Expr:
+        method = getattr(self, f"_expr_{type(expr).__name__}", None)
+        if method is None:
+            raise CompileError(f"unhandled expression {type(expr).__name__}", expr.line)
+        return _fold(method(expr))
+
+    def _expr_IntLit(self, expr: N.IntLit) -> N.Expr:
+        expr.type = INT
+        return expr
+
+    def _expr_FloatLit(self, expr: N.FloatLit) -> N.Expr:
+        expr.type = FLOAT
+        return expr
+
+    def _expr_StringLit(self, expr: N.StringLit) -> N.Expr:
+        expr.type = PointerType(INT)
+        return expr
+
+    def _expr_VarRef(self, expr: N.VarRef) -> N.Expr:
+        symbol = self.scope.resolve(expr.name) if self.scope else None
+        if symbol is None:
+            symbol = self.result.globals.get(expr.name)
+        if symbol is None:
+            raise CompileError(f"undefined variable {expr.name!r}", expr.line)
+        self.result.var_symbols[id(expr)] = symbol
+        expr.type = symbol.type
+        return expr
+
+    def _expr_Unary(self, expr: N.Unary) -> N.Expr:
+        expr.operand = self.check_expr(expr.operand)
+        operand_type = expr.operand.type.decay()
+        if expr.op == "-":
+            if not operand_type.is_arithmetic:
+                raise CompileError("unary - needs an arithmetic operand", expr.line)
+            expr.type = operand_type
+        elif expr.op == "!":
+            if not operand_type.is_scalar:
+                raise CompileError("! needs a scalar operand", expr.line)
+            expr.type = INT
+        elif expr.op == "~":
+            if not operand_type.is_int:
+                raise CompileError("~ needs an int operand", expr.line)
+            expr.type = INT
+        else:  # pragma: no cover - parser produces only these
+            raise CompileError(f"unknown unary operator {expr.op}", expr.line)
+        return expr
+
+    def _expr_Binary(self, expr: N.Binary) -> N.Expr:
+        expr.left = self.check_expr(expr.left)
+        expr.right = self.check_expr(expr.right)
+        lt = expr.left.type.decay()
+        rt = expr.right.type.decay()
+        op = expr.op
+        if op in ("%", "<<", ">>", "&", "|", "^"):
+            if not (lt.is_int and rt.is_int):
+                raise CompileError(f"operator {op} needs int operands", expr.line)
+            expr.type = INT
+            return expr
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            if lt.is_pointer and rt.is_pointer:
+                expr.type = INT
+                return expr
+            if lt.is_pointer and rt.is_int or lt.is_int and rt.is_pointer:
+                expr.type = INT  # pointer vs. 0 comparisons
+                return expr
+            if not (lt.is_arithmetic and rt.is_arithmetic):
+                raise CompileError(f"bad operands for {op}", expr.line)
+            common = common_arithmetic_type(lt, rt)
+            expr.left = self._convert(expr.left, common, expr.line)
+            expr.right = self._convert(expr.right, common, expr.line)
+            expr.type = INT
+            return expr
+        if op in ("+", "-"):
+            if lt.is_pointer and rt.is_int:
+                expr.type = lt
+                return expr
+            if op == "+" and lt.is_int and rt.is_pointer:
+                expr.type = rt
+                return expr
+            if op == "-" and lt.is_pointer and rt.is_pointer:
+                if lt != rt:
+                    raise CompileError("pointer subtraction needs same type", expr.line)
+                expr.type = INT
+                return expr
+        if op in ("+", "-", "*", "/"):
+            if not (lt.is_arithmetic and rt.is_arithmetic):
+                raise CompileError(f"bad operands for {op}", expr.line)
+            common = common_arithmetic_type(lt, rt)
+            expr.left = self._convert(expr.left, common, expr.line)
+            expr.right = self._convert(expr.right, common, expr.line)
+            expr.type = common
+            return expr
+        raise CompileError(f"unknown operator {op}", expr.line)  # pragma: no cover
+
+    def _expr_Logical(self, expr: N.Logical) -> N.Expr:
+        expr.left = self.check_expr(expr.left)
+        expr.right = self.check_expr(expr.right)
+        for side in (expr.left, expr.right):
+            if not side.type.decay().is_scalar:
+                raise CompileError(f"{expr.op} needs scalar operands", expr.line)
+        expr.type = INT
+        return expr
+
+    def _expr_Conditional(self, expr: N.Conditional) -> N.Expr:
+        expr.cond = self._check_condition(expr.cond, expr.line)
+        expr.then = self.check_expr(expr.then)
+        expr.otherwise = self.check_expr(expr.otherwise)
+        tt = expr.then.type.decay()
+        ot = expr.otherwise.type.decay()
+        if tt.is_arithmetic and ot.is_arithmetic:
+            common = common_arithmetic_type(tt, ot)
+            expr.then = self._convert(expr.then, common, expr.line)
+            expr.otherwise = self._convert(expr.otherwise, common, expr.line)
+            expr.type = common
+        elif tt == ot:
+            expr.type = tt
+        else:
+            raise CompileError("?: branches have incompatible types", expr.line)
+        return expr
+
+    def _expr_Assign(self, expr: N.Assign) -> N.Expr:
+        expr.target = self.check_expr(expr.target)
+        target_type = expr.target.type
+        if target_type.is_array:
+            raise CompileError("cannot assign to an array", expr.line)
+        self._require_lvalue(expr.target)
+        expr.value = self.check_expr(expr.value)
+        if expr.op is not None:
+            # Compound assignment: type like `target op value`.
+            value_type = expr.value.type.decay()
+            if target_type.is_pointer:
+                if expr.op not in ("+", "-") or not value_type.is_int:
+                    raise CompileError(
+                        f"bad compound assignment on pointer", expr.line
+                    )
+            elif not (target_type.is_arithmetic and value_type.is_arithmetic):
+                raise CompileError("bad compound assignment operands", expr.line)
+            if target_type.is_arithmetic:
+                expr.value = self._convert(expr.value, target_type, expr.line)
+        else:
+            if not assignable(target_type, expr.value.type.decay()):
+                raise CompileError(
+                    f"cannot assign {expr.value.type} to {target_type}", expr.line
+                )
+            if target_type.is_arithmetic:
+                expr.value = self._convert(expr.value, target_type, expr.line)
+        expr.type = target_type
+        return expr
+
+    def _expr_IncDec(self, expr: N.IncDec) -> N.Expr:
+        expr.target = self.check_expr(expr.target)
+        self._require_lvalue(expr.target)
+        target_type = expr.target.type
+        if not (target_type.is_int or target_type.is_pointer):
+            raise CompileError("++/-- needs an int or pointer operand", expr.line)
+        expr.type = target_type
+        return expr
+
+    def _expr_Call(self, expr: N.Call) -> N.Expr:
+        sig = self.result.functions.get(expr.name) or BUILTINS.get(expr.name)
+        if sig is None:
+            raise CompileError(f"call to undefined function {expr.name!r}", expr.line)
+        if len(expr.args) != len(sig.param_types):
+            raise CompileError(
+                f"{expr.name} expects {len(sig.param_types)} arguments, "
+                f"got {len(expr.args)}",
+                expr.line,
+            )
+        checked_args: list[N.Expr] = []
+        for arg, param_type in zip(expr.args, sig.param_types):
+            checked = self.check_expr(arg)
+            if not assignable(param_type.decay(), checked.type.decay()):
+                raise CompileError(
+                    f"argument type {checked.type} does not match {param_type}",
+                    expr.line,
+                )
+            if param_type.is_arithmetic:
+                checked = self._convert(checked, param_type, expr.line)
+            checked_args.append(checked)
+        expr.args = checked_args
+        expr.type = sig.return_type
+        return expr
+
+    def _expr_Index(self, expr: N.Index) -> N.Expr:
+        expr.base = self.check_expr(expr.base)
+        expr.index = self.check_expr(expr.index)
+        base_type = expr.base.type.decay()
+        if not base_type.is_pointer:
+            raise CompileError("indexing a non-pointer", expr.line)
+        if not expr.index.type.decay().is_int:
+            raise CompileError("array index must be int", expr.line)
+        expr.type = base_type.base  # type: ignore[attr-defined]
+        return expr
+
+    def _expr_Deref(self, expr: N.Deref) -> N.Expr:
+        expr.pointer = self.check_expr(expr.pointer)
+        pointer_type = expr.pointer.type.decay()
+        if not pointer_type.is_pointer:
+            raise CompileError("dereferencing a non-pointer", expr.line)
+        expr.type = pointer_type.base  # type: ignore[attr-defined]
+        return expr
+
+    def _expr_AddrOf(self, expr: N.AddrOf) -> N.Expr:
+        expr.operand = self.check_expr(expr.operand)
+        operand = expr.operand
+        if isinstance(operand, (N.Index, N.Deref)):
+            expr.type = PointerType(operand.type)
+            return expr
+        if isinstance(operand, N.VarRef):
+            symbol = self.result.var_symbols[id(operand)]
+            if isinstance(symbol, GlobalVar) or symbol.type.is_array:
+                base = operand.type
+                if base.is_array:
+                    base = base.element  # type: ignore[attr-defined]
+                    expr.type = PointerType(base)
+                else:
+                    expr.type = PointerType(base)
+                return expr
+            raise CompileError(
+                f"cannot take the address of register variable {operand.name!r} "
+                "(only globals, arrays, and dereferenced pointers have addresses)",
+                expr.line,
+            )
+        raise CompileError("cannot take the address of this expression", expr.line)
+
+    def _expr_Cast(self, expr: N.Cast) -> N.Expr:
+        expr.operand = self.check_expr(expr.operand)
+        source = expr.operand.type.decay()
+        target = expr.target_type
+        if target.is_void:
+            raise CompileError("cannot cast to void", expr.line)
+        if target.is_arithmetic and source.is_arithmetic:
+            converted = self._convert(expr.operand, target, expr.line)
+            converted.type = target
+            return converted
+        if target.is_pointer and (source.is_pointer or source.is_int):
+            expr.type = target
+            return expr
+        if target.is_int and source.is_pointer:
+            expr.type = INT
+            return expr
+        raise CompileError(f"cannot cast {source} to {target}", expr.line)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _require_lvalue(self, expr: N.Expr) -> None:
+        if isinstance(expr, (N.Index, N.Deref)):
+            return
+        if isinstance(expr, N.VarRef) and not expr.type.is_array:
+            return
+        raise CompileError("expression is not assignable", expr.line)
+
+    def _convert(self, expr: N.Expr, target: Type, line: int) -> N.Expr:
+        source = expr.type.decay()
+        if source == target or not target.is_arithmetic:
+            return expr
+        if source.is_arithmetic and target.is_arithmetic and source != target:
+            cast = N.Cast(target, expr, line=line)
+            cast.type = target
+            return _fold(cast)
+        return expr
+
+
+# ---------------------------------------------------------------------------
+# constant folding
+
+
+def _fold(expr: N.Expr) -> N.Expr:
+    """Fold constant subtrees (safe arithmetic only; division by zero and
+    anything non-literal is left for runtime)."""
+    if isinstance(expr, N.Unary) and isinstance(expr.operand, (N.IntLit, N.FloatLit)):
+        value = expr.operand.value
+        if expr.op == "-":
+            return _literal(-value, expr)
+        if expr.op == "!" and isinstance(expr.operand, N.IntLit):
+            return _literal(0 if value else 1, expr)
+        if expr.op == "~" and isinstance(expr.operand, N.IntLit):
+            return _literal(~value, expr)
+    if (
+        isinstance(expr, N.Binary)
+        and isinstance(expr.left, (N.IntLit, N.FloatLit))
+        and isinstance(expr.right, (N.IntLit, N.FloatLit))
+    ):
+        folded = _fold_binary(expr)
+        if folded is not None:
+            return folded
+    if isinstance(expr, N.Cast) and isinstance(expr.operand, (N.IntLit, N.FloatLit)):
+        if expr.target_type.is_int:
+            return _literal(int(expr.operand.value), expr)
+        if expr.target_type.is_float:
+            return _literal(float(expr.operand.value), expr)
+    return expr
+
+
+def _fold_binary(expr: N.Binary) -> N.Expr | None:
+    a = expr.left.value  # type: ignore[union-attr]
+    b = expr.right.value  # type: ignore[union-attr]
+    op = expr.op
+    try:
+        if op == "+":
+            return _literal(a + b, expr)
+        if op == "-":
+            return _literal(a - b, expr)
+        if op == "*":
+            return _literal(a * b, expr)
+        if op == "/":
+            if b == 0:
+                return None
+            if isinstance(a, int) and isinstance(b, int):
+                quotient = abs(a) // abs(b)
+                return _literal(-quotient if (a < 0) != (b < 0) else quotient, expr)
+            return _literal(a / b, expr)
+        if op == "%" and isinstance(a, int) and isinstance(b, int):
+            if b == 0:
+                return None
+            remainder = abs(a) % abs(b)
+            return _literal(-remainder if a < 0 else remainder, expr)
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            table = {
+                "==": a == b, "!=": a != b, "<": a < b,
+                ">": a > b, "<=": a <= b, ">=": a >= b,
+            }
+            return _literal(1 if table[op] else 0, expr)
+        if isinstance(a, int) and isinstance(b, int):
+            if op == "&":
+                return _literal(a & b, expr)
+            if op == "|":
+                return _literal(a | b, expr)
+            if op == "^":
+                return _literal(a ^ b, expr)
+            if op == "<<":
+                return _literal(a << (b & 31), expr)
+            if op == ">>":
+                return _literal(a >> (b & 31), expr)
+    except (OverflowError, ValueError):  # pragma: no cover - defensive
+        return None
+    return None
+
+
+def _literal(value, template: N.Expr) -> N.Expr:
+    if isinstance(value, float):
+        lit: N.Expr = N.FloatLit(value, line=template.line)
+        lit.type = FLOAT
+    else:
+        lit = N.IntLit(int(value), line=template.line)
+        lit.type = INT
+    return lit
+
+
+def check(unit: N.TranslationUnit) -> CheckedUnit:
+    """Type-check *unit* and return it with symbol tables attached."""
+    return Checker(unit).check()

@@ -1,0 +1,104 @@
+"""Token definitions for the MiniC lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    # literals / identifiers
+    INT_LIT = "int literal"
+    FLOAT_LIT = "float literal"
+    CHAR_LIT = "char literal"
+    STRING_LIT = "string literal"
+    IDENT = "identifier"
+    # keywords
+    KW_INT = "int"
+    KW_FLOAT = "float"
+    KW_VOID = "void"
+    KW_CHAR = "char"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_WHILE = "while"
+    KW_DO = "do"
+    KW_FOR = "for"
+    KW_RETURN = "return"
+    KW_SWITCH = "switch"
+    KW_CASE = "case"
+    KW_DEFAULT = "default"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+    # punctuation / operators
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COMMA = ","
+    QUESTION = "?"
+    COLON = ":"
+    ASSIGN = "="
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    STAR_ASSIGN = "*="
+    SLASH_ASSIGN = "/="
+    PERCENT_ASSIGN = "%="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    PLUS_PLUS = "++"
+    MINUS_MINUS = "--"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    AND_AND = "&&"
+    OR_OR = "||"
+    NOT = "!"
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    TILDE = "~"
+    SHL = "<<"
+    SHR = ">>"
+    EOF = "<eof>"
+
+
+KEYWORDS = {
+    "int": TokenType.KW_INT,
+    "float": TokenType.KW_FLOAT,
+    "void": TokenType.KW_VOID,
+    "char": TokenType.KW_CHAR,
+    "if": TokenType.KW_IF,
+    "else": TokenType.KW_ELSE,
+    "while": TokenType.KW_WHILE,
+    "do": TokenType.KW_DO,
+    "for": TokenType.KW_FOR,
+    "return": TokenType.KW_RETURN,
+    "switch": TokenType.KW_SWITCH,
+    "case": TokenType.KW_CASE,
+    "default": TokenType.KW_DEFAULT,
+    "break": TokenType.KW_BREAK,
+    "continue": TokenType.KW_CONTINUE,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    type: TokenType
+    text: str
+    line: int
+    col: int
+    value: int | float | str | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.text!r}, {self.line}:{self.col})"

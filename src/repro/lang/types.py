@@ -1,0 +1,107 @@
+"""MiniC's type system.
+
+Three scalar types (``int``, ``float``, ``void``) plus pointers and arrays.
+``char`` is an alias for ``int`` (memory is word-addressed: one character
+per word).  All pointer arithmetic is in word units, so every element has
+size 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Type:
+    """Base class for MiniC types (singletons for scalars)."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    @property
+    def is_int(self) -> bool:
+        return isinstance(self, _IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, _FloatType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, _VoidType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self.is_int or self.is_float
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.is_arithmetic or self.is_pointer
+
+    def decay(self) -> "Type":
+        """Array-to-pointer decay; other types unchanged."""
+        if isinstance(self, ArrayType):
+            return PointerType(self.element)
+        return self
+
+
+class _IntType(Type):
+    def __str__(self) -> str:
+        return "int"
+
+
+class _FloatType(Type):
+    def __str__(self) -> str:
+        return "float"
+
+
+class _VoidType(Type):
+    def __str__(self) -> str:
+        return "void"
+
+
+INT = _IntType()
+FLOAT = _FloatType()
+VOID = _VoidType()
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    base: Type
+
+    def __str__(self) -> str:
+        return f"{self.base}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    element: Type
+    size: int
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.size}]"
+
+
+def common_arithmetic_type(a: Type, b: Type) -> Type:
+    """Usual arithmetic conversions: float wins."""
+    if a.is_float or b.is_float:
+        return FLOAT
+    return INT
+
+
+def assignable(target: Type, value: Type) -> bool:
+    """May a *value* of the given type be assigned to *target*?"""
+    if target.is_arithmetic and value.is_arithmetic:
+        return True  # implicit int<->float conversion
+    if target.is_pointer and value.is_pointer:
+        return target == value or PointerType(VOID) in (target, value)
+    if target.is_pointer and value.is_int:
+        return True  # allow `p = 0` and address literals
+    return False

@@ -1,0 +1,28 @@
+"""Branch prediction: the paper's profile-based static predictor plus
+static and dynamic baselines used in ablation experiments."""
+
+from repro.prediction.base import BranchPredictor, misprediction_flags
+from repro.prediction.dynamic import GShare, OneBit, TwoBit
+from repro.prediction.profile import ProfilePredictor
+from repro.prediction.static import (
+    AlwaysNotTaken,
+    AlwaysTaken,
+    BackwardTaken,
+    PerfectPredictor,
+)
+from repro.prediction.stats import BranchStats, branch_stats
+
+__all__ = [
+    "AlwaysNotTaken",
+    "AlwaysTaken",
+    "BackwardTaken",
+    "BranchPredictor",
+    "BranchStats",
+    "GShare",
+    "OneBit",
+    "PerfectPredictor",
+    "ProfilePredictor",
+    "TwoBit",
+    "branch_stats",
+    "misprediction_flags",
+]

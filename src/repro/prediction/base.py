@@ -1,0 +1,58 @@
+"""Branch predictor interface.
+
+The limit analyzer only needs one thing from a predictor: for every dynamic
+conditional branch, in trace order, whether the prediction matched the
+outcome.  Predictors therefore expose :meth:`lookup` (the prediction for a
+static branch pc) and :meth:`update` (called with the actual outcome after
+every dynamic branch, in trace order, so dynamic predictors can train).
+
+Computed jumps are never predicted (paper §4.4.2); the analyzer treats them
+as always mispredicted without consulting the predictor.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.vm.trace import NOT_BRANCH, Trace
+
+
+class BranchPredictor(ABC):
+    """Interface for conditional-branch direction predictors."""
+
+    name: str = "predictor"
+
+    @abstractmethod
+    def lookup(self, pc: int) -> bool:
+        """Predicted direction (True = taken) for the branch at *pc*."""
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Observe the actual outcome.  Static predictors ignore this."""
+
+    def reset(self) -> None:
+        """Forget any dynamic state (before re-walking a trace)."""
+
+
+def misprediction_flags(trace: Trace, predictor: BranchPredictor) -> list[bool]:
+    """Walk *trace* once and return, per trace index, whether that record is
+    a *mispredicted control transfer*.
+
+    Conditional branches are mispredicted when the predictor disagrees with
+    the recorded outcome; computed jumps are always mispredicted; everything
+    else is False.  The predictor is reset first and trained in trace order,
+    so the flags are identical for every machine model that reuses them.
+    """
+    predictor.reset()
+    program = trace.program
+    flags = [False] * len(trace)
+    is_computed_jump = [instr.is_computed_jump for instr in program.instructions]
+    lookup = predictor.lookup
+    update = predictor.update
+    for i, (pc, taken) in enumerate(zip(trace.pcs, trace.takens)):
+        if taken != NOT_BRANCH:
+            outcome = taken == 1
+            flags[i] = lookup(pc) != outcome
+            update(pc, outcome)
+        elif is_computed_jump[pc]:
+            flags[i] = True
+    return flags

@@ -1,0 +1,88 @@
+"""Dynamic branch predictors (ablation extensions beyond the paper).
+
+The paper uses profile-based static prediction and notes that "dynamic
+techniques provide similar performance".  These predictors let the ablation
+benches quantify that claim on our workloads.
+"""
+
+from __future__ import annotations
+
+from repro.prediction.base import BranchPredictor
+
+
+class OneBit(BranchPredictor):
+    """Last-outcome predictor: remember each branch's previous direction."""
+
+    name = "one-bit"
+
+    def __init__(self, default_taken: bool = True):
+        self._default = default_taken
+        self._last: dict[int, bool] = {}
+
+    def reset(self) -> None:
+        self._last.clear()
+
+    def lookup(self, pc: int) -> bool:
+        return self._last.get(pc, self._default)
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._last[pc] = taken
+
+
+class TwoBit(BranchPredictor):
+    """Per-branch two-bit saturating counters (Smith predictor)."""
+
+    name = "two-bit"
+
+    def __init__(self, initial: int = 2):
+        if not 0 <= initial <= 3:
+            raise ValueError("two-bit counter initial value must be in 0..3")
+        self._initial = initial
+        self._counters: dict[int, int] = {}
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def lookup(self, pc: int) -> bool:
+        return self._counters.get(pc, self._initial) >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        counter = self._counters.get(pc, self._initial)
+        if taken:
+            counter = min(3, counter + 1)
+        else:
+            counter = max(0, counter - 1)
+        self._counters[pc] = counter
+
+
+class GShare(BranchPredictor):
+    """Global-history predictor: pc XOR history indexes 2-bit counters."""
+
+    name = "gshare"
+
+    def __init__(self, history_bits: int = 10):
+        if not 1 <= history_bits <= 24:
+            raise ValueError("history_bits must be in 1..24")
+        self._bits = history_bits
+        self._mask = (1 << history_bits) - 1
+        self._table = [2] * (1 << history_bits)
+        self._history = 0
+
+    def reset(self) -> None:
+        self._table = [2] * (1 << self._bits)
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) & self._mask
+
+    def lookup(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._table[index]
+        if taken:
+            self._table[index] = min(3, counter + 1)
+        else:
+            self._table[index] = max(0, counter - 1)
+        self._history = ((self._history << 1) | (1 if taken else 0)) & self._mask

@@ -1,0 +1,74 @@
+"""Simple static predictors used as ablation baselines."""
+
+from __future__ import annotations
+
+from repro.isa import Program
+from repro.prediction.base import BranchPredictor
+
+
+class AlwaysTaken(BranchPredictor):
+    """Predict every conditional branch taken."""
+
+    name = "always-taken"
+
+    def lookup(self, pc: int) -> bool:
+        return True
+
+
+class AlwaysNotTaken(BranchPredictor):
+    """Predict every conditional branch not taken."""
+
+    name = "always-not-taken"
+
+    def lookup(self, pc: int) -> bool:
+        return False
+
+
+class BackwardTaken(BranchPredictor):
+    """BTFNT: predict backward branches (loops) taken, forward not taken."""
+
+    name = "btfnt"
+
+    def __init__(self, program: Program):
+        self._backward = {
+            pc: instr.target is not None and instr.target <= pc
+            for pc, instr in enumerate(program.instructions)
+            if instr.is_cond_branch
+        }
+
+    def lookup(self, pc: int) -> bool:
+        return self._backward.get(pc, False)
+
+
+class PerfectPredictor(BranchPredictor):
+    """Oracle direction prediction: never wrong.
+
+    Useful in ablations: the SP machines collapse toward the paper's ORACLE
+    machine when fed this predictor, since mispredictions are the only thing
+    separating them.  The predictor replays the actual outcome stream:
+    :meth:`prime` it with the trace's conditional-branch outcomes (in order)
+    before use, and every :meth:`lookup` returns the outcome the matching
+    :meth:`update` will observe.
+    """
+
+    name = "perfect"
+
+    def __init__(self):
+        self._outcomes: list[bool] = []
+        self._next = 0
+
+    def prime(self, outcomes: list[bool]) -> None:
+        """Provide the exact conditional-branch outcome sequence."""
+        self._outcomes = list(outcomes)
+        self._next = 0
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def lookup(self, pc: int) -> bool:
+        if self._next < len(self._outcomes):
+            return self._outcomes[self._next]
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._next += 1

@@ -1,0 +1,63 @@
+"""Branch statistics (the paper's Table 2).
+
+For each benchmark the paper reports the conditional-branch prediction rate
+and the average number of dynamic instructions between conditional branches.
+Both are trace properties, computed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.prediction.base import BranchPredictor
+from repro.vm.trace import NOT_BRANCH, Trace
+
+
+@dataclass(frozen=True)
+class BranchStats:
+    """Dynamic branch behaviour of one trace under one predictor."""
+
+    dynamic_instructions: int
+    conditional_branches: int
+    mispredictions: int
+
+    @property
+    def prediction_rate(self) -> float:
+        """Percent of conditional branches predicted correctly."""
+        if self.conditional_branches == 0:
+            return 100.0
+        correct = self.conditional_branches - self.mispredictions
+        return 100.0 * correct / self.conditional_branches
+
+    @property
+    def instructions_between_branches(self) -> float:
+        """Average dynamic instructions per conditional branch."""
+        if self.conditional_branches == 0:
+            return float(self.dynamic_instructions)
+        return self.dynamic_instructions / self.conditional_branches
+
+
+def branch_stats(trace: Trace, predictor: BranchPredictor) -> BranchStats:
+    """Compute Table 2's statistics for *trace* under *predictor*.
+
+    The predictor is reset and trained in trace order (relevant only for
+    dynamic predictors).
+    """
+    predictor.reset()
+    lookup = predictor.lookup
+    update = predictor.update
+    branches = 0
+    mispredictions = 0
+    for pc, taken in zip(trace.pcs, trace.takens):
+        if taken == NOT_BRANCH:
+            continue
+        outcome = taken == 1
+        branches += 1
+        if lookup(pc) != outcome:
+            mispredictions += 1
+        update(pc, outcome)
+    return BranchStats(
+        dynamic_instructions=len(trace),
+        conditional_branches=branches,
+        mispredictions=mispredictions,
+    )

@@ -1,0 +1,29 @@
+"""Tracing interpreter for the repro ISA (the study's ``pixie`` equivalent)."""
+
+from repro.vm.machine import RETURN_SENTINEL, VM, RunResult, VMError, run_program
+from repro.vm.trace import (
+    NO_ADDR,
+    NOT_BRANCH,
+    NOT_TAKEN,
+    TAKEN,
+    Trace,
+    TraceRecord,
+)
+from repro.vm.trace_io import TraceFormatError, load_trace, save_trace
+
+__all__ = [
+    "NO_ADDR",
+    "NOT_BRANCH",
+    "NOT_TAKEN",
+    "RETURN_SENTINEL",
+    "RunResult",
+    "TAKEN",
+    "Trace",
+    "TraceFormatError",
+    "TraceRecord",
+    "VM",
+    "VMError",
+    "load_trace",
+    "run_program",
+    "save_trace",
+]

@@ -1,0 +1,67 @@
+"""Dynamic trace representation.
+
+A :class:`Trace` is the interface between the VM and the limit analyzer:
+exactly the information the paper extracts with ``pixie`` — which static
+instruction executed, the effective address of each memory access, and the
+outcome of each conditional branch.
+
+For compactness the trace is stored as three parallel ``list``\\ s rather
+than a list of record objects; :data:`NO_ADDR` / :data:`NOT_BRANCH` mark the
+unused fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.isa.program import Program
+
+NO_ADDR = -1
+"""Address field value for instructions that do not touch memory."""
+
+NOT_BRANCH = -1
+"""Taken field value for instructions that are not conditional branches."""
+
+TAKEN = 1
+NOT_TAKEN = 0
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One dynamic instruction, in object form (convenience view)."""
+
+    pc: int
+    addr: int = NO_ADDR
+    taken: int = NOT_BRANCH
+
+
+@dataclass
+class Trace:
+    """A dynamic instruction trace plus the program it came from."""
+
+    program: Program
+    pcs: list[int] = field(default_factory=list)
+    addrs: list[int] = field(default_factory=list)
+    takens: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def append(self, pc: int, addr: int = NO_ADDR, taken: int = NOT_BRANCH) -> None:
+        self.pcs.append(pc)
+        self.addrs.append(addr)
+        self.takens.append(taken)
+
+    def record(self, index: int) -> TraceRecord:
+        return TraceRecord(self.pcs[index], self.addrs[index], self.takens[index])
+
+    def records(self) -> Iterator[TraceRecord]:
+        for pc, addr, taken in zip(self.pcs, self.addrs, self.takens):
+            yield TraceRecord(pc, addr, taken)
+
+    def branch_outcomes(self) -> Iterator[tuple[int, bool]]:
+        """Yield ``(pc, taken)`` for every conditional branch in the trace."""
+        for pc, taken in zip(self.pcs, self.takens):
+            if taken != NOT_BRANCH:
+                yield pc, taken == TAKEN

@@ -1,0 +1,95 @@
+"""Trace serialization.
+
+The original study materialized pixie traces as files and post-processed
+them; this module provides the equivalent: a compact binary format so
+traces can be captured once and re-analyzed many times (or shipped between
+machines).  Paths ending in ``.gz`` are transparently compressed.
+
+Format (little-endian)::
+
+    magic   4 bytes  b"RTRC"
+    version u32      currently 1
+    n       u64      record count
+    namelen u16      program-name byte length
+    name    bytes    UTF-8 program name (for sanity checks only)
+    pcs     n * u32
+    addrs   n * i64  (NO_ADDR = -1 for non-memory instructions)
+    takens  n * i8   (NOT_BRANCH = -1 for non-branches)
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from array import array
+from pathlib import Path
+
+from repro.isa import Program
+from repro.vm.trace import Trace
+
+MAGIC = b"RTRC"
+VERSION = 1
+
+
+class TraceFormatError(Exception):
+    """Raised when a trace file is malformed or mismatched."""
+
+
+def _open(path: str | Path, mode: str):
+    path = str(path)
+    if path.endswith(".gz"):
+        return gzip.open(path, mode)
+    return open(path, mode)
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write *trace* to *path* in the binary trace format."""
+    name_bytes = trace.program.name.encode("utf-8")
+    with _open(path, "wb") as stream:
+        stream.write(MAGIC)
+        stream.write(struct.pack("<IQH", VERSION, len(trace), len(name_bytes)))
+        stream.write(name_bytes)
+        stream.write(array("I", trace.pcs).tobytes())
+        stream.write(array("q", trace.addrs).tobytes())
+        stream.write(array("b", trace.takens).tobytes())
+
+
+def load_trace(path: str | Path, program: Program) -> Trace:
+    """Read a trace from *path*, attaching it to *program*.
+
+    The program is identified by name only (the format does not embed
+    code); a pc outside the program's code range raises
+    :class:`TraceFormatError`, which catches most mismatches.
+    """
+    with _open(path, "rb") as stream:
+        magic = stream.read(4)
+        if magic != MAGIC:
+            raise TraceFormatError(f"bad magic {magic!r}; not a trace file")
+        version, count, name_length = struct.unpack("<IQH", stream.read(14))
+        if version != VERSION:
+            raise TraceFormatError(f"unsupported trace version {version}")
+        name = stream.read(name_length).decode("utf-8")
+        if name != program.name:
+            raise TraceFormatError(
+                f"trace was recorded for program {name!r}, got {program.name!r}"
+            )
+        pcs = array("I")
+        pcs.frombytes(stream.read(4 * count))
+        addrs = array("q")
+        addrs.frombytes(stream.read(8 * count))
+        takens = array("b")
+        takens.frombytes(stream.read(count))
+    if len(pcs) != count or len(addrs) != count or len(takens) != count:
+        raise TraceFormatError("truncated trace file")
+    n_code = len(program)
+    for pc in pcs:
+        if pc >= n_code:
+            raise TraceFormatError(
+                f"trace pc {pc} outside program code [0, {n_code})"
+            )
+    return Trace(
+        program=program,
+        pcs=list(pcs),
+        addrs=list(addrs),
+        takens=list(takens),
+    )

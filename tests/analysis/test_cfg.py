@@ -1,0 +1,149 @@
+"""Unit tests for CFG construction."""
+
+from repro.analysis import EXIT_BLOCK, build_cfgs, build_function_cfg
+from repro.asm import assemble
+
+
+def cfg_of(source, func=None):
+    program = assemble(source)
+    cfgs = build_cfgs(program)
+    if func is None:
+        assert len(cfgs) == 1
+        return program, cfgs[0]
+    for cfg in cfgs:
+        if cfg.function.name == func:
+            return program, cfg
+    raise AssertionError(f"no cfg for {func}")
+
+
+class TestStraightLine:
+    def test_single_block(self):
+        _, cfg = cfg_of("li $t0, 1\nadd $t0, $t0, $t0\nhalt")
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].succs == [EXIT_BLOCK]
+
+    def test_block_bounds(self):
+        _, cfg = cfg_of("li $t0, 1\nhalt")
+        block = cfg.blocks[0]
+        assert (block.start, block.end) == (0, 2)
+        assert block.terminator_pc == 1
+        assert len(block) == 2
+
+
+class TestBranches:
+    def test_diamond(self):
+        source = """
+            bgez $t0, right
+            li $t1, 1
+            j join
+        right:
+            li $t1, 2
+        join:
+            halt
+        """
+        _, cfg = cfg_of(source)
+        assert len(cfg.blocks) == 4
+        entry = cfg.blocks[0]
+        assert sorted(entry.succs) == [1, 2]
+        join = cfg.block_at(4)
+        assert sorted(join.preds) == [1, 2]
+
+    def test_branch_fallthrough_dedup(self):
+        # Branch to the immediately following instruction: one successor.
+        _, cfg = cfg_of("beq $t0, $zero, next\nnext: halt")
+        assert cfg.blocks[0].succs == [1]
+
+    def test_loop_back_edge(self):
+        source = """
+        loop:
+            addi $t0, $t0, -1
+            bgtz $t0, loop
+            halt
+        """
+        _, cfg = cfg_of(source)
+        loop_block = cfg.block_at(0)
+        assert loop_block.id in loop_block.succs
+
+    def test_branch_at_end_of_function_exits(self):
+        _, cfg = cfg_of("x: beq $t0, $zero, x")
+        assert EXIT_BLOCK in cfg.blocks[0].succs
+
+
+class TestCallsAndReturns:
+    def test_call_does_not_end_block(self):
+        source = """
+            .func main
+            main:
+                jal helper
+                li $t0, 1
+                halt
+            .endfunc
+            .func helper
+            helper: ret
+            .endfunc
+        """
+        program, cfg = cfg_of(source, func="main")
+        assert len(cfg.blocks) == 1  # jal, li, halt all in one block
+
+    def test_return_goes_to_exit(self):
+        source = """
+            .func helper
+            helper:
+                add $v0, $a0, $a0
+                ret
+            .endfunc
+        """
+        _, cfg = cfg_of(source, func="helper")
+        assert cfg.blocks[0].succs == [EXIT_BLOCK]
+
+    def test_cross_function_jump_target_is_exit(self):
+        source = """
+            .func a
+            a: j b
+            .endfunc
+            .func b
+            b: halt
+            .endfunc
+        """
+        _, cfg = cfg_of(source, func="a")
+        assert cfg.blocks[0].succs == [EXIT_BLOCK]
+
+
+class TestAnonymousFunctions:
+    def test_orphan_code_is_covered(self):
+        source = """
+            __start:
+                jal main
+                halt
+            .func main
+            main: ret
+            .endfunc
+        """
+        program = assemble(source)
+        cfgs = build_cfgs(program)
+        names = [cfg.function.name for cfg in cfgs]
+        assert "__anon0" in names and "main" in names
+        total = sum(len(b) for cfg in cfgs for b in cfg.blocks)
+        assert total == len(program)
+
+    def test_trailing_orphan_code(self):
+        source = """
+            .func main
+            main: halt
+            .endfunc
+            nop
+            nop
+        """
+        program = assemble(source)
+        cfgs = build_cfgs(program)
+        assert [cfg.function.name for cfg in cfgs] == ["main", "__anon0"]
+
+
+class TestBlockAt:
+    def test_block_at_interior_pc(self):
+        _, cfg = cfg_of("li $t0, 1\nli $t1, 2\nhalt")
+        assert cfg.block_at(1).id == 0
+
+    def test_exit_preds(self):
+        _, cfg = cfg_of("bgez $t0, done\nnop\ndone: halt")
+        assert cfg.block_at(2).id in cfg.exit_preds

@@ -1,0 +1,139 @@
+"""Unit tests for control dependence, including the paper's §2.2 examples."""
+
+from repro.analysis import build_cfgs, compute_control_dependence
+from repro.asm import assemble
+
+
+def cd_of(source):
+    program = assemble(source)
+    cfgs = build_cfgs(program)
+    assert len(cfgs) == 1
+    return program, compute_control_dependence(program, cfgs[0])
+
+
+class TestPaperIfExample:
+    """The paper's first example:  if (a < 0) b = 1;  c = 2;"""
+
+    SOURCE = """
+        bgez $t0, skip      # 0: branch on a < 0
+        li $t1, 1           # 1: b = 1 (control dependent on 0)
+    skip:
+        li $t2, 2           # 2: c = 2 (control INdependent)
+        halt                # 3
+    """
+
+    def test_then_arm_depends_on_branch(self):
+        _, cd = cd_of(self.SOURCE)
+        assert cd.deps_of_pc(1) == (0,)
+
+    def test_join_is_control_independent(self):
+        _, cd = cd_of(self.SOURCE)
+        assert cd.deps_of_pc(2) == ()
+        assert cd.deps_of_pc(3) == ()
+
+    def test_branch_itself_is_top_level(self):
+        _, cd = cd_of(self.SOURCE)
+        assert cd.deps_of_pc(0) == ()
+
+
+class TestPaperLoopExample:
+    """The paper's second example:
+
+        for (i = 0; i < 100; i++)
+            if (A[i] > 0) foo-body;
+        bar-body;
+    """
+
+    SOURCE = """
+        li $t0, 0           # 0: i = 0
+    loop:
+        slti $at, $t0, 100  # 1
+        beq $at, $zero, out # 2: loop exit branch
+        lw $t1, 0x1000($t0) # 3: A[i]
+        blez $t1, next      # 4: if (A[i] > 0)
+        addi $t2, $t2, 5    # 5: foo body
+    next:
+        addi $t0, $t0, 1    # 6: i++
+        j loop              # 7
+    out:
+        addi $t3, $t3, 9    # 8: bar body
+        halt                # 9
+    """
+
+    def test_foo_depends_on_if(self):
+        _, cd = cd_of(self.SOURCE)
+        assert cd.deps_of_pc(5) == (4,)
+
+    def test_if_depends_on_loop_exit(self):
+        _, cd = cd_of(self.SOURCE)
+        assert cd.deps_of_pc(4) == (2,)
+        assert cd.deps_of_pc(3) == (2,)
+
+    def test_loop_condition_depends_on_itself(self):
+        _, cd = cd_of(self.SOURCE)
+        assert cd.deps_of_pc(2) == (2,)
+        assert cd.deps_of_pc(1) == (2,)
+
+    def test_bar_is_control_independent(self):
+        _, cd = cd_of(self.SOURCE)
+        assert cd.deps_of_pc(8) == ()
+        assert cd.deps_of_pc(9) == ()
+
+    def test_increment_depends_on_loop_exit_only(self):
+        _, cd = cd_of(self.SOURCE)
+        assert cd.deps_of_pc(6) == (2,)
+
+
+class TestDiamond:
+    SOURCE = """
+        bgez $t0, right     # 0
+        li $t1, 1           # 1
+        j join              # 2
+    right:
+        li $t1, 2           # 3
+    join:
+        halt                # 4
+    """
+
+    def test_both_arms_depend_on_branch(self):
+        _, cd = cd_of(self.SOURCE)
+        assert cd.deps_of_pc(1) == (0,)
+        assert cd.deps_of_pc(3) == (0,)
+
+    def test_join_independent(self):
+        _, cd = cd_of(self.SOURCE)
+        assert cd.deps_of_pc(4) == ()
+
+
+class TestMultipleDependences:
+    def test_block_with_two_controlling_branches(self):
+        # A block reachable around two different branches: its RDF has both.
+        source = """
+            bgez $t0, mid       # 0
+            li $t1, 1           # 1 (dep on 0)
+        mid:
+            bgez $t2, end       # 2 (top level)
+            li $t3, 1           # 3 (dep on 2)
+        end:
+            addi $t4, $t4, 1    # 4 -> shared tail, top level
+            bgez $t5, out       # 5
+            j end               # 6 -> makes 4's block depend on 5 too
+        out:
+            halt                # 7
+        """
+        _, cd = cd_of(source)
+        assert set(cd.deps_of_pc(4)) == {5}
+        assert cd.deps_of_pc(3) == (2,)
+
+    def test_nested_if(self):
+        source = """
+            bgez $t0, out       # 0
+            bgez $t1, out       # 1 (dep on 0)
+            li $t2, 1           # 2 (dep on 1)
+        out:
+            halt                # 3
+        """
+        _, cd = cd_of(source)
+        assert cd.deps_of_pc(1) == (0,)
+        assert cd.deps_of_pc(2) == (1,)
+        assert cd.deps_of_pc(3) == ()

@@ -1,0 +1,97 @@
+"""Unit tests for the dataflow framework."""
+
+from repro.analysis import (
+    build_cfgs,
+    live_registers,
+    reaching_definitions,
+)
+from repro.asm import assemble
+from repro.isa import registers as R
+
+
+def analyze(source):
+    program = assemble(source)
+    (cfg,) = build_cfgs(program)
+    return program, cfg
+
+
+class TestReachingDefinitions:
+    def test_straight_line_kill(self):
+        source = """
+            li $t0, 1           # 0
+            li $t0, 2           # 1 kills 0
+            bgez $t0, a         # 2
+        a:  halt                # 3
+        """
+        program, cfg = analyze(source)
+        result = reaching_definitions(program, cfg)
+        final_block = cfg.block_at(3).id
+        assert 1 in result.block_in[final_block]
+        assert 0 not in result.block_in[final_block]
+
+    def test_defs_merge_at_join(self):
+        source = """
+            bgez $t9, right     # 0
+            li $t0, 1           # 1
+            j join              # 2
+        right:
+            li $t0, 2           # 3
+        join:
+            halt                # 4
+        """
+        program, cfg = analyze(source)
+        result = reaching_definitions(program, cfg)
+        join_block = cfg.block_at(4).id
+        assert {1, 3} <= result.block_in[join_block]
+
+    def test_loop_def_reaches_own_header(self):
+        source = """
+            li $t0, 0           # 0
+        loop:
+            addi $t0, $t0, 1    # 1
+            slti $at, $t0, 9    # 2
+            bne $at, $zero, loop# 3
+            halt                # 4
+        """
+        program, cfg = analyze(source)
+        result = reaching_definitions(program, cfg)
+        loop_block = cfg.block_at(1).id
+        assert {0, 1} <= result.block_in[loop_block]
+
+
+class TestLiveRegisters:
+    def test_dead_register_not_live(self):
+        source = """
+            li $t0, 1           # 0: $t0 dead after (never read)
+            li $v0, 2           # 1
+            halt                # 2
+        """
+        program, cfg = analyze(source)
+        result = live_registers(program, cfg)
+        assert R.T0 not in result.block_in[0]
+
+    def test_used_register_live_at_entry(self):
+        source = "add $v0, $t0, $t1\nhalt"
+        program, cfg = analyze(source)
+        result = live_registers(program, cfg)
+        assert {R.T0, R.T1} <= result.block_in[0]
+
+    def test_exit_fact_propagates(self):
+        source = "li $v0, 3\nhalt"
+        program, cfg = analyze(source)
+        result = live_registers(program, cfg, live_out_exit=frozenset({R.V0}))
+        assert R.V0 in result.block_out[0]
+        # $v0 is defined in the block, so not live at its entry.
+        assert R.V0 not in result.block_in[0]
+
+    def test_loop_carried_liveness(self):
+        source = """
+        loop:
+            addi $t0, $t0, -1   # reads and writes $t0
+            bgtz $t0, loop
+            halt
+        """
+        program, cfg = analyze(source)
+        result = live_registers(program, cfg)
+        loop_block = cfg.block_at(0).id
+        assert R.T0 in result.block_in[loop_block]

@@ -1,0 +1,50 @@
+"""Tests for the per-instruction dataflow propagation helper."""
+
+from repro.analysis import build_cfgs, reaching_definitions
+from repro.analysis.dataflow import transfer_per_instruction
+from repro.asm import assemble
+
+
+SOURCE = """
+    li $t0, 1           # 0
+    li $t0, 2           # 1
+    bgez $t0, join      # 2
+    li $t1, 3           # 3 (dead path in CFG terms, still analyzed)
+join:
+    add $t2, $t0, $t1   # 4
+    halt                # 5
+"""
+
+
+class TestTransferPerInstruction:
+    def test_reaching_defs_refined_to_instructions(self):
+        program = assemble(SOURCE)
+        (cfg,) = build_cfgs(program)
+        block_result = reaching_definitions(program, cfg)
+
+        def step(fact, pc):
+            instr = program[pc]
+            if not instr.writes:
+                return fact
+            killed = {
+                d for d in fact
+                if set(program[d].writes) & set(instr.writes)
+            }
+            return frozenset((fact - killed) | {pc})
+
+        facts = transfer_per_instruction(program, cfg, block_result.block_in, step)
+        # Before pc 1, the def at 0 reaches; before pc 2, def 1 killed it.
+        assert 0 in facts[1]
+        assert 0 not in facts[2]
+        assert 1 in facts[2]
+        # At the join, defs from both predecessors reach.
+        assert {1, 3} <= set(facts[4])
+
+    def test_every_pc_has_a_fact(self):
+        program = assemble(SOURCE)
+        (cfg,) = build_cfgs(program)
+        block_result = reaching_definitions(program, cfg)
+        facts = transfer_per_instruction(
+            program, cfg, block_result.block_in, lambda fact, pc: fact
+        )
+        assert set(facts) == set(range(len(program)))

@@ -1,0 +1,114 @@
+"""Unit tests for dominators and dominance frontiers on hand-built graphs."""
+
+from repro.analysis import (
+    UNDEFINED,
+    dominance_frontiers,
+    dominates,
+    dominator_tree_children,
+    immediate_dominators,
+    reverse_postorder,
+)
+
+
+class TestReversePostorder:
+    def test_linear_chain(self):
+        order = reverse_postorder(3, [[1], [2], []], 0)
+        assert order == [0, 1, 2]
+
+    def test_diamond_starts_at_entry_ends_at_join(self):
+        order = reverse_postorder(4, [[1, 2], [3], [3], []], 0)
+        assert order[0] == 0 and order[-1] == 3
+
+    def test_unreachable_excluded(self):
+        order = reverse_postorder(3, [[1], [], []], 0)
+        assert 2 not in order
+
+    def test_deep_graph_no_recursion_error(self):
+        n = 50_000
+        succs = [[i + 1] for i in range(n - 1)] + [[]]
+        order = reverse_postorder(n, succs, 0)
+        assert len(order) == n
+
+
+class TestImmediateDominators:
+    def test_diamond(self):
+        #    0
+        #   / \
+        #  1   2
+        #   \ /
+        #    3
+        idom = immediate_dominators(4, [[1, 2], [3], [3], []], 0)
+        assert idom == [0, 0, 0, 0]
+
+    def test_nested(self):
+        # 0 -> 1 -> 2 -> 3 ; 1 -> 3
+        idom = immediate_dominators(4, [[1], [2, 3], [3], []], 0)
+        assert idom[2] == 1
+        assert idom[3] == 1
+
+    def test_loop(self):
+        # 0 -> 1 <-> 2, 1 -> 3
+        idom = immediate_dominators(4, [[1], [2, 3], [1], []], 0)
+        assert idom == [0, 0, 1, 1]
+
+    def test_unreachable_gets_undefined(self):
+        idom = immediate_dominators(3, [[1], [], []], 0)
+        assert idom[2] == UNDEFINED
+
+    def test_classic_cytron_figure(self):
+        # The canonical irreducible-ish example from the CHK paper.
+        # 5 -> {4, 3}; 4 -> 1; 3 -> 2; 1 -> 2; 2 -> {1}
+        # renumber: 0=5, 1=4, 2=3, 3=1, 4=2
+        succs = [[1, 2], [3], [4], [4], [3]]
+        idom = immediate_dominators(5, succs, 0)
+        assert idom[3] == 0  # node "1" is join of 4 and 2
+        assert idom[4] == 0
+
+
+class TestDominates:
+    def test_reflexive(self):
+        idom = immediate_dominators(4, [[1, 2], [3], [3], []], 0)
+        assert dominates(idom, 1, 1, 0)
+
+    def test_entry_dominates_all(self):
+        idom = immediate_dominators(4, [[1, 2], [3], [3], []], 0)
+        for node in range(4):
+            assert dominates(idom, 0, node, 0)
+
+    def test_sibling_does_not_dominate(self):
+        idom = immediate_dominators(4, [[1, 2], [3], [3], []], 0)
+        assert not dominates(idom, 1, 2, 0)
+        assert not dominates(idom, 1, 3, 0)
+
+
+class TestDominanceFrontiers:
+    def test_diamond_frontiers(self):
+        succs = [[1, 2], [3], [3], []]
+        idom = immediate_dominators(4, succs, 0)
+        df = dominance_frontiers(4, succs, idom, 0)
+        assert df[1] == {3}
+        assert df[2] == {3}
+        assert df[0] == set()
+        assert df[3] == set()
+
+    def test_loop_header_in_own_frontier(self):
+        # 0 -> 1; 1 -> 2; 2 -> 1; 1 -> 3
+        succs = [[1], [2, 3], [1], []]
+        idom = immediate_dominators(4, succs, 0)
+        df = dominance_frontiers(4, succs, idom, 0)
+        assert 1 in df[1]  # header's body loops back to the header
+        assert df[2] == {1}
+
+    def test_single_pred_join_has_no_frontier_contribution(self):
+        succs = [[1], [2], []]
+        idom = immediate_dominators(3, succs, 0)
+        df = dominance_frontiers(3, succs, idom, 0)
+        assert all(not f for f in df)
+
+
+class TestDominatorTree:
+    def test_children_lists(self):
+        idom = immediate_dominators(4, [[1, 2], [3], [3], []], 0)
+        children = dominator_tree_children(idom, 0)
+        assert sorted(children[0]) == [1, 2, 3]
+        assert children[1] == []

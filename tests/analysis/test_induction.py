@@ -1,0 +1,163 @@
+"""Unit tests for induction-variable analysis / unroll-overhead marking."""
+
+from repro.analysis import build_cfgs, loop_overhead_pcs
+from repro.asm import assemble
+from repro.isa import Opcode
+
+
+def overhead_of(source):
+    program = assemble(source)
+    (cfg,) = build_cfgs(program)
+    return program, loop_overhead_pcs(program, cfg)
+
+
+class TestCountedLoop:
+    SOURCE = """
+        li $t0, 0           # 0
+        li $t1, 100         # 1
+        li $t2, 0           # 2
+    loop:
+        add $t2, $t2, $t0   # 3: real work
+        addi $t0, $t0, 1    # 4: i++              -> overhead
+        slt $at, $t0, $t1   # 5: i < n            -> overhead
+        bne $at, $zero, loop# 6: loop branch      -> overhead
+        halt                # 7
+    """
+
+    def test_increment_marked(self):
+        _, overhead = overhead_of(self.SOURCE)
+        assert 4 in overhead
+
+    def test_compare_and_branch_marked(self):
+        _, overhead = overhead_of(self.SOURCE)
+        assert 5 in overhead and 6 in overhead
+
+    def test_work_not_marked(self):
+        _, overhead = overhead_of(self.SOURCE)
+        assert 3 not in overhead
+        assert 0 not in overhead
+
+
+class TestImmediateComparison:
+    def test_slti_against_constant(self):
+        source = """
+            li $t0, 0
+        loop:
+            addi $t0, $t0, 2
+            slti $at, $t0, 50
+            bne $at, $zero, loop
+            halt
+        """
+        _, overhead = overhead_of(source)
+        assert {1, 2, 3} <= overhead
+
+
+class TestDirectBranchOnInduction:
+    def test_bne_induction_vs_invariant(self):
+        source = """
+            li $t0, 0
+            li $t1, 16
+        loop:
+            addi $t0, $t0, 1
+            bne $t0, $t1, loop
+            halt
+        """
+        _, overhead = overhead_of(source)
+        assert {2, 3} <= overhead
+
+
+class TestNonInduction:
+    def test_data_dependent_variable_not_marked(self):
+        # $t0 is updated from memory: not an induction register.
+        source = """
+        loop:
+            lw $t0, 0x1000($t0)
+            bgtz $t0, loop
+            halt
+        """
+        _, overhead = overhead_of(source)
+        assert overhead == frozenset()
+
+    def test_two_increments_disqualify(self):
+        source = """
+        loop:
+            addi $t0, $t0, 1
+            addi $t0, $t0, 1
+            slti $at, $t0, 10
+            bne $at, $zero, loop
+            halt
+        """
+        _, overhead = overhead_of(source)
+        assert 0 not in overhead and 1 not in overhead
+
+    def test_conditional_increment_not_once_per_iteration(self):
+        source = """
+        loop:
+            bgez $t1, skip      # 0
+            addi $t0, $t0, 1    # 1: conditionally executed
+        skip:
+            addi $t1, $t1, 1    # 2: real induction
+            slti $at, $t1, 10   # 3
+            bne $at, $zero, loop# 4
+            halt
+        """
+        _, overhead = overhead_of(source)
+        assert 1 not in overhead  # guarded increment must not be marked
+        assert 2 in overhead
+
+    def test_branch_on_loop_varying_data_not_marked(self):
+        source = """
+            li $t0, 0
+        loop:
+            addi $t0, $t0, 1    # 1: induction (marked)
+            lw $t2, 0x1000($t0) # 2: data
+            bgtz $t2, loop      # 3: data-dependent branch (NOT marked)
+            halt
+        """
+        _, overhead = overhead_of(source)
+        assert 1 in overhead
+        assert 3 not in overhead
+
+
+class TestNestedLoops:
+    SOURCE = """
+        li $t0, 0           # 0
+    outer:
+        li $t1, 0           # 1
+    inner:
+        add $t3, $t3, $t1   # 2
+        addi $t1, $t1, 1    # 3: inner induction
+        slti $at, $t1, 4    # 4
+        bne $at, $zero, inner # 5
+        addi $t0, $t0, 1    # 6: outer induction
+        slti $at, $t0, 4    # 7
+        bne $at, $zero, outer # 8
+        halt                # 9
+    """
+
+    def test_both_loop_overheads_marked(self):
+        _, overhead = overhead_of(self.SOURCE)
+        assert {3, 4, 5, 6, 7, 8} <= overhead
+
+    def test_work_and_reinit_not_marked(self):
+        _, overhead = overhead_of(self.SOURCE)
+        assert 2 not in overhead
+        # Re-initialization of the inner index happens once per outer
+        # iteration but is an `li`, not a self-increment.
+        assert 1 not in overhead
+
+
+class TestPointerWalk:
+    def test_pointer_increment_is_induction(self):
+        source = """
+            li $t0, 0x1000
+        loop:
+            lw $t1, 0($t0)      # 1: load through pointer (kept)
+            addi $t0, $t0, 1    # 2: pointer bump (marked)
+            slti $at, $t0, 0x1040
+            bne $at, $zero, loop
+            halt
+        """
+        _, overhead = overhead_of(source)
+        assert 2 in overhead
+        assert 1 not in overhead

@@ -1,0 +1,144 @@
+"""Tests for jump-table-aware CFG construction (switch dispatch)."""
+
+from repro.analysis import EXIT_BLOCK, analyze_program, build_cfgs
+from repro.asm import assemble
+from repro.lang import compile_source
+
+SOURCE = """
+    .data
+table: .word case0, case1, case2
+    .jumptable table, 3
+    .text
+    .func main
+main:
+    li $t0, 1
+    bltz $t0, out          # bounds check
+    slti $t1, $t0, 3
+    beq $t1, $zero, out
+    lw $t2, table($t0)
+    jr $t2                 # dispatch
+case0:
+    li $t3, 10
+    j out
+case1:
+    li $t3, 11
+    j out
+case2:
+    li $t3, 12
+out:
+    halt
+    .endfunc
+"""
+
+
+class TestAssemblerDirective:
+    def test_jump_table_metadata(self):
+        program = assemble(SOURCE)
+        (targets,) = program.jump_tables.values()
+        assert targets == (
+            program.code_labels["case0"],
+            program.code_labels["case1"],
+            program.code_labels["case2"],
+        )
+
+    def test_unknown_label_rejected(self):
+        import pytest
+
+        from repro.asm import AsmError
+
+        with pytest.raises(AsmError, match="unknown label"):
+            assemble(".jumptable nowhere, 2\nhalt")
+
+
+class TestCFG:
+    def test_dispatch_block_has_case_successors(self):
+        program = assemble(SOURCE)
+        (cfg,) = build_cfgs(program)
+        dispatch = cfg.block_at(program.code_labels["case0"] - 1)
+        succ_leaders = {
+            cfg.blocks[s].start for s in dispatch.succs if s != EXIT_BLOCK
+        }
+        assert succ_leaders == {
+            program.code_labels["case0"],
+            program.code_labels["case1"],
+            program.code_labels["case2"],
+        }
+
+    def test_case_blocks_control_dependent_on_dispatch(self):
+        program = assemble(SOURCE)
+        analysis = analyze_program(program)
+        jr_pc = program.code_labels["case0"] - 1
+        for case in ("case0", "case1", "case2"):
+            pc = program.code_labels[case]
+            assert jr_pc in analysis.cd_of_pc[pc]
+
+    def test_join_after_switch_not_dependent_on_dispatch(self):
+        program = assemble(SOURCE)
+        analysis = analyze_program(program)
+        out_pc = program.code_labels["out"]
+        jr_pc = program.code_labels["case0"] - 1
+        assert jr_pc not in analysis.cd_of_pc[out_pc]
+
+    def test_plain_return_still_exits(self):
+        program = assemble(".func f\nf: ret\n.endfunc")
+        (cfg,) = build_cfgs(program)
+        assert cfg.blocks[0].succs == [EXIT_BLOCK]
+
+
+class TestCompiledSwitch:
+    def test_compiler_emits_table_metadata(self):
+        source = """
+        int main() {
+            int x = 3;
+            switch (x) {
+                case 0: return 1;
+                case 1: return 2;
+                case 2: return 3;
+                case 3: return 4;
+                case 4: return 5;
+            }
+            return 0;
+        }
+        """
+        program = compile_source(source)
+        assert program.jump_tables
+        (targets,) = program.jump_tables.values()
+        assert len(targets) == 5
+
+    def test_code_after_switch_is_control_independent(self):
+        # The statement after the switch join must not become control
+        # dependent on the dispatch (the bug a conservative jr->exit edge
+        # introduces).
+        source = """
+        int out;
+        int main() {
+            int x = 2;
+            switch (x) {
+                case 0: out = 1; break;
+                case 1: out = 2; break;
+                case 2: out = 3; break;
+                case 3: out = 4; break;
+            }
+            out += 100;
+            return out;
+        }
+        """
+        program = compile_source(source)
+        analysis = analyze_program(program)
+        jr_pcs = [
+            pc for pc, instr in enumerate(program.instructions)
+            if instr.is_computed_jump
+        ]
+        (jr_pc,) = jr_pcs
+        # Find the `out += 100` add: the last lw/addi/sw of g_out sequence.
+        dependent = [
+            pc for pc in range(len(program))
+            if jr_pc in analysis.cd_of_pc[pc]
+        ]
+        # Only the case bodies depend on the dispatch, not the join code:
+        # the final stretch of main (epilogue side) must be independent.
+        main = program.function_named("main")
+        tail = range(main.end - 4, main.end)
+        for pc in tail:
+            assert jr_pc not in analysis.cd_of_pc[pc]
+        assert dependent, "case bodies should depend on the dispatch"

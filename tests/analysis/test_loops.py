@@ -1,0 +1,120 @@
+"""Unit tests for natural-loop detection."""
+
+from repro.analysis import build_cfgs, find_loops
+from repro.asm import assemble
+
+
+def loops_of(source):
+    program = assemble(source)
+    (cfg,) = build_cfgs(program)
+    return program, cfg, find_loops(cfg)
+
+
+class TestSimpleLoop:
+    SOURCE = """
+        li $t0, 10
+    loop:
+        addi $t0, $t0, -1
+        bgtz $t0, loop
+        halt
+    """
+
+    def test_one_loop_found(self):
+        _, _, loops = loops_of(self.SOURCE)
+        assert len(loops) == 1
+
+    def test_header_and_body(self):
+        _, cfg, loops = loops_of(self.SOURCE)
+        loop = loops[0]
+        header_block = cfg.block_at(1)
+        assert loop.header == header_block.id
+        assert loop.body == frozenset({header_block.id})
+
+    def test_back_edge(self):
+        _, cfg, loops = loops_of(self.SOURCE)
+        (edge,) = loops[0].back_edges
+        assert edge == (loops[0].header, loops[0].header)
+
+
+class TestWhileLoop:
+    SOURCE = """
+        li $t0, 0
+    head:
+        slti $at, $t0, 8
+        beq $at, $zero, out
+        addi $t0, $t0, 1
+        j head
+    out:
+        halt
+    """
+
+    def test_body_has_two_blocks(self):
+        _, cfg, loops = loops_of(self.SOURCE)
+        assert len(loops) == 1
+        assert len(loops[0].body) == 2
+
+    def test_exit_block_not_in_body(self):
+        _, cfg, loops = loops_of(self.SOURCE)
+        out_block = cfg.block_at(5)
+        assert out_block.id not in loops[0].body
+
+
+class TestNestedLoops:
+    SOURCE = """
+        li $t0, 0
+    outer:
+        li $t1, 0
+    inner:
+        addi $t1, $t1, 1
+        slti $at, $t1, 4
+        bne $at, $zero, inner
+        addi $t0, $t0, 1
+        slti $at, $t0, 4
+        bne $at, $zero, outer
+        halt
+    """
+
+    def test_two_loops(self):
+        _, _, loops = loops_of(self.SOURCE)
+        assert len(loops) == 2
+
+    def test_inner_nested_in_outer(self):
+        _, _, loops = loops_of(self.SOURCE)
+        outer, inner = loops  # sorted outermost (largest body) first
+        assert inner.body < outer.body
+
+    def test_loop_contains(self):
+        _, cfg, loops = loops_of(self.SOURCE)
+        outer, inner = loops
+        inner_header_block = cfg.block_at(2)
+        assert inner_header_block.id in inner
+        assert inner_header_block.id in outer
+
+
+class TestNoLoops:
+    def test_straight_line(self):
+        _, _, loops = loops_of("li $t0, 1\nhalt")
+        assert loops == []
+
+    def test_diamond(self):
+        _, _, loops = loops_of(
+            "bgez $t0, r\nli $t1, 1\nj j1\nr: li $t1, 2\nj1: halt"
+        )
+        assert loops == []
+
+
+class TestMultiTailLoop:
+    def test_continue_style_two_back_edges(self):
+        source = """
+        head:
+            bgez $t0, tail2
+            addi $t1, $t1, 1
+            j head
+        tail2:
+            addi $t2, $t2, 1
+            bgtz $t2, head
+            halt
+        """
+        _, _, loops = loops_of(source)
+        assert len(loops) == 1
+        assert len(loops[0].back_edges) == 2

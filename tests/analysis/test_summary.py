@@ -1,0 +1,76 @@
+"""Unit tests for the whole-program analysis summary."""
+
+from repro.analysis import analyze_program
+from repro.asm import assemble
+
+
+SOURCE = """
+__start:
+    jal main
+    halt
+.func main
+main:
+    li $t0, 0           # 2
+loop:
+    add $t2, $t2, $t0   # 3
+    addi $t0, $t0, 1    # 4
+    slti $at, $t0, 10   # 5
+    bne $at, $zero, loop# 6
+    ret                 # 7
+.endfunc
+"""
+
+
+class TestAnalyzeProgram:
+    def test_every_pc_covered(self):
+        program = assemble(SOURCE)
+        analysis = analyze_program(program)
+        n = len(program)
+        assert len(analysis.block_of_pc) == n
+        assert len(analysis.cd_of_pc) == n
+        assert len(analysis.func_of_pc) == n
+
+    def test_global_block_ids_disjoint_across_functions(self):
+        program = assemble(SOURCE)
+        analysis = analyze_program(program)
+        stub_blocks = {analysis.block_of_pc[pc] for pc in range(0, 2)}
+        main_blocks = {analysis.block_of_pc[pc] for pc in range(2, len(program))}
+        assert not stub_blocks & main_blocks
+
+    def test_block_start_consistent(self):
+        program = assemble(SOURCE)
+        analysis = analyze_program(program)
+        for pc in range(len(program)):
+            block = analysis.block_of_pc[pc]
+            assert analysis.block_start[block] <= pc
+
+    def test_block_leader_detection(self):
+        program = assemble(SOURCE)
+        analysis = analyze_program(program)
+        loop_pc = program.code_labels["loop"]
+        assert analysis.is_block_leader(loop_pc)
+        assert not analysis.is_block_leader(loop_pc + 1)
+
+    def test_loop_overhead_found_in_main(self):
+        program = assemble(SOURCE)
+        analysis = analyze_program(program)
+        assert {4, 5, 6} <= analysis.loop_overhead
+
+    def test_loops_tagged_with_function(self):
+        program = assemble(SOURCE)
+        analysis = analyze_program(program)
+        assert len(analysis.loops) == 1
+        func_idx, loop = analysis.loops[0]
+        assert analysis.cfgs[func_idx].function.name == "main"
+
+    def test_cd_inside_loop(self):
+        program = assemble(SOURCE)
+        analysis = analyze_program(program)
+        # The loop body instructions are control dependent on the latch.
+        assert analysis.cd_of_pc[3] == (6,)
+
+    def test_empty_program(self):
+        program = assemble("")
+        analysis = analyze_program(program)
+        assert analysis.n_blocks == 0
+        assert analysis.loop_overhead == frozenset()

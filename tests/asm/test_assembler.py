@@ -1,0 +1,206 @@
+"""Unit tests for the assembler."""
+
+import pytest
+
+from repro.asm import AsmError, assemble
+from repro.isa import GLOBALS_BASE, Opcode, registers as R
+
+
+class TestBasics:
+    def test_empty_source(self):
+        program = assemble("")
+        assert len(program) == 0
+
+    def test_single_instruction(self):
+        program = assemble("add $t0, $t1, $t2")
+        assert program[0].opcode is Opcode.ADD
+        assert program[0].rd == R.T0
+
+    def test_comments_stripped(self):
+        program = assemble("add $t0, $t1, $t2  # sum\nnop ; trailer\n# whole line\n")
+        assert len(program) == 2
+
+    def test_labels_and_branches(self):
+        program = assemble(
+            """
+            loop:
+                addi $t0, $t0, -1
+                bgtz $t0, loop
+            """
+        )
+        assert program[1].target == 0
+        assert program[1].label == "loop"
+
+    def test_forward_reference(self):
+        program = assemble(
+            """
+                beq $t0, $zero, done
+                nop
+            done:
+                halt
+            """
+        )
+        assert program[0].target == 2
+
+    def test_multiple_labels_one_line(self):
+        program = assemble("a: b: nop")
+        assert program.code_labels["a"] == 0
+        assert program.code_labels["b"] == 0
+
+    def test_entry_prefers_start_over_main(self):
+        source = """
+            main: nop
+            __start: halt
+        """
+        assert assemble(source).entry == 1
+
+    def test_entry_defaults_to_main(self):
+        assert assemble("nop\nmain: halt").entry == 1
+
+
+class TestData:
+    def test_word_directive(self):
+        program = assemble(".data\nv: .word 1, 2, -3\n.text\nnop")
+        base = program.data_labels["v"]
+        assert base == GLOBALS_BASE
+        assert [program.data[base + i] for i in range(3)] == [1, 2, -3]
+
+    def test_float_directive(self):
+        program = assemble(".data\npi: .float 3.5\n.text\nnop")
+        assert program.data[program.data_labels["pi"]] == 3.5
+
+    def test_space_directive(self):
+        program = assemble(".data\nbuf: .space 4\nnext: .word 9\n.text\nnop")
+        assert program.data_labels["next"] == program.data_labels["buf"] + 4
+
+    def test_asciiz(self):
+        program = assemble('.data\nmsg: .asciiz "hi"\n.text\nnop')
+        base = program.data_labels["msg"]
+        assert [program.data[base + i] for i in range(3)] == [ord("h"), ord("i"), 0]
+
+    def test_asciiz_escapes(self):
+        program = assemble('.data\nmsg: .asciiz "a\\n"\n.text\nnop')
+        base = program.data_labels["msg"]
+        assert program.data[base + 1] == ord("\n")
+
+    def test_word_label_reference(self):
+        program = assemble(".data\na: .word 5\nptr: .word a\n.text\nnop")
+        assert program.data[program.data_labels["ptr"]] == program.data_labels["a"]
+
+    def test_data_break_tracks_cursor(self):
+        program = assemble(".data\nv: .word 1, 2\n.text\nnop")
+        assert program.data_break == GLOBALS_BASE + 2
+
+
+class TestPseudoInstructions:
+    def test_la(self):
+        program = assemble(".data\nv: .word 7\n.text\nla $t0, v")
+        assert program[0].opcode is Opcode.LI
+        assert program[0].imm == program.data_labels["v"]
+
+    def test_la_with_offset(self):
+        program = assemble(".data\nv: .word 7, 8\n.text\nla $t0, v+1")
+        assert program[0].imm == program.data_labels["v"] + 1
+
+    def test_beqz_bnez(self):
+        program = assemble("x: beqz $t0, x\nbnez $t1, x")
+        assert program[0].opcode is Opcode.BEQ
+        assert program[0].rt == R.ZERO
+        assert program[1].opcode is Opcode.BNE
+
+    def test_blt_expands_to_two(self):
+        program = assemble("x: blt $t0, $t1, x")
+        assert len(program) == 2
+        assert program[0].opcode is Opcode.SLT
+        assert program[0].rd == R.AT
+        assert program[1].opcode is Opcode.BNE
+
+    def test_ret(self):
+        program = assemble("ret")
+        assert program[0].opcode is Opcode.JR
+        assert program[0].rs == R.RA
+
+    def test_neg_and_not(self):
+        program = assemble("neg $t0, $t1\nnot $t2, $t3")
+        assert program[0].opcode is Opcode.SUB
+        assert program[0].rs == R.ZERO
+        assert program[1].opcode is Opcode.NOR
+
+
+class TestFunctions:
+    def test_func_symbols(self):
+        program = assemble(
+            """
+            .func main
+            main: jal helper
+                  halt
+            .endfunc
+            .func helper
+            helper: ret
+            .endfunc
+            """
+        )
+        assert [f.name for f in program.functions] == ["main", "helper"]
+        assert program.function_named("helper").start == 2
+
+    def test_unterminated_func(self):
+        with pytest.raises(AsmError, match="unterminated"):
+            assemble(".func f\nnop")
+
+    def test_nested_func(self):
+        with pytest.raises(AsmError, match="nested"):
+            assemble(".func a\nnop\n.func b")
+
+    def test_endfunc_without_func(self):
+        with pytest.raises(AsmError):
+            assemble(".endfunc")
+
+    def test_empty_function(self):
+        with pytest.raises(AsmError, match="empty"):
+            assemble(".func f\n.endfunc")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source,pattern",
+        [
+            ("frob $t0", "unknown mnemonic"),
+            ("add $t0, $t1", "needs 3 operands"),
+            ("j nowhere", "undefined code label"),
+            ("lw $t0, 4($f0)", "expected integer register"),
+            ("fadd $f0, $f1, $t0", "expected FP register"),
+            ("li $t0, zzz", "bad integer"),
+            (".data\nx: .word nope\n", "undefined label"),
+            (".bogus 3", "unknown directive"),
+            ("dup: nop\ndup: nop", "duplicate label"),
+            (".data\nnop", "instruction in .data"),
+            (".data\nb: .space -1\n", "non-negative"),
+        ],
+    )
+    def test_error_cases(self, source, pattern):
+        with pytest.raises(AsmError, match=pattern):
+            assemble(source)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AsmError) as excinfo:
+            assemble("nop\nnop\nbadop $t0\n")
+        assert excinfo.value.line == 3
+
+
+class TestOperands:
+    def test_mem_operand(self):
+        program = assemble("lw $t0, -4($sp)")
+        assert program[0].rs == R.SP
+        assert program[0].imm == -4
+
+    def test_hex_immediate(self):
+        assert assemble("li $t0, 0x10").instructions[0].imm == 16
+
+    def test_char_immediate(self):
+        assert assemble("li $t0, 'A'").instructions[0].imm == 65
+
+    def test_escaped_char_immediate(self):
+        assert assemble("li $t0, '\\n'").instructions[0].imm == 10
+
+    def test_float_immediate(self):
+        assert assemble("fli $f0, 2.5").instructions[0].imm == 2.5

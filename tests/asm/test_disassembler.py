@@ -1,0 +1,68 @@
+"""Disassembler round-trip tests."""
+
+from repro.asm import assemble, disassemble
+
+
+def roundtrip(source):
+    program = assemble(source)
+    text = disassemble(program)
+    reassembled = assemble(text)
+    return program, reassembled, text
+
+
+class TestRoundTrip:
+    def test_straight_line(self):
+        program, again, _ = roundtrip("li $t0, 1\nadd $t1, $t0, $t0\nhalt")
+        assert [i.render() for i in again.instructions] == [
+            i.render() for i in program.instructions
+        ]
+
+    def test_branches_and_labels(self):
+        source = """
+        main:
+            li $t0, 3
+        loop:
+            addi $t0, $t0, -1
+            bgtz $t0, loop
+            beq $t0, $zero, done
+            nop
+        done:
+            halt
+        """
+        program, again, _ = roundtrip(source)
+        assert [i.target for i in again.instructions] == [
+            i.target for i in program.instructions
+        ]
+
+    def test_data_section(self):
+        source = ".data\nv: .word 1, -2\npi: .float 1.5\n.text\nla $t0, v\nhalt"
+        program, again, _ = roundtrip(source)
+        assert again.data == program.data
+
+    def test_functions_preserved(self):
+        source = """
+        .func main
+        main: jal f
+              halt
+        .endfunc
+        .func f
+        f: ret
+        .endfunc
+        """
+        program, again, _ = roundtrip(source)
+        assert [(f.name, f.start, f.end) for f in again.functions] == [
+            (f.name, f.start, f.end) for f in program.functions
+        ]
+
+    def test_generated_labels_for_anonymous_targets(self):
+        # Assemble, strip label names by rebuilding, and disassemble.
+        program = assemble("x: beq $t0, $zero, x\nhalt")
+        text = disassemble(program)
+        assert "x:" in text
+
+    def test_fp_instructions(self):
+        source = "fli $f1, 2.5\nfadd $f2, $f1, $f1\nfsw $f2, 0x2000($zero)\nhalt"
+        program, again, _ = roundtrip(source)
+        assert [i.opcode for i in again.instructions] == [
+            i.opcode for i in program.instructions
+        ]

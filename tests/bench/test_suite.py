@@ -1,0 +1,73 @@
+"""Benchmark-suite tests: registry shape, determinism, golden checksums."""
+
+import pytest
+
+from repro.bench import NON_NUMERIC, NUMERIC, SUITE, get
+from repro.vm import run_program
+
+# Golden exit checksums at scale 1 (deterministic workloads).  If one of
+# these changes, either the workload or the compiler changed behaviour —
+# both must be deliberate.
+GOLDEN = {
+    "awk": 1446089854,
+    "ccom": -132648886,
+    "eqntott": -254126778,
+    "espresso": 1711756588,
+    "gcc": 775835818,
+    "irsim": -608094129,
+    "latex": 1272062566,
+    "matrix300": 512,
+    "spice2g6": -821412166,
+    "tomcatv": 53,
+}
+
+MIN_STEPS = {name: 100_000 for name in SUITE}
+
+
+class TestRegistry:
+    def test_table1_names(self):
+        assert list(SUITE) == [
+            "awk", "ccom", "eqntott", "espresso", "gcc",
+            "irsim", "latex", "matrix300", "spice2g6", "tomcatv",
+        ]
+
+    def test_partition(self):
+        assert set(NON_NUMERIC) | set(NUMERIC) == set(SUITE)
+        assert not set(NON_NUMERIC) & set(NUMERIC)
+        assert len(NON_NUMERIC) == 7 and len(NUMERIC) == 3
+
+    def test_languages_match_table1(self):
+        for name in NON_NUMERIC:
+            assert SUITE[name].language == "C"
+        for name in NUMERIC:
+            assert SUITE[name].language == "FORTRAN"
+
+    def test_get(self):
+        assert get("awk").name == "awk"
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get("doom")
+
+    def test_compile_is_cached(self):
+        assert get("awk").compile(1) is get("awk").compile(1)
+
+
+@pytest.mark.parametrize("name", list(SUITE))
+class TestBenchmarkPrograms:
+    def test_golden_checksum(self, name):
+        result = run_program(SUITE[name].compile(1), max_steps=8_000_000)
+        assert result.halted, f"{name} did not halt"
+        assert result.exit_value == GOLDEN[name]
+
+    def test_long_enough_for_experiments(self, name):
+        result = run_program(SUITE[name].compile(1), max_steps=8_000_000)
+        assert result.steps >= MIN_STEPS[name]
+
+    def test_has_conditional_branches(self, name):
+        result = run_program(SUITE[name].compile(1), max_steps=150_000)
+        branches = sum(1 for _ in result.trace.branch_outcomes())
+        assert branches > 1_000, f"{name} has suspiciously few branches"
+
+    def test_scale_increases_work(self, name):
+        small = run_program(SUITE[name].compile(1), max_steps=8_000_000)
+        big = run_program(SUITE[name].compile(2), max_steps=16_000_000)
+        assert big.steps > small.steps

@@ -1,0 +1,170 @@
+"""Focused tests for the dynamic interprocedural control-dependence stack
+(paper §4.4.1): inheritance, sibling-invocation isolation, recursion."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import LimitAnalyzer, MachineModel
+from repro.vm import VM
+
+M = MachineModel
+
+
+def analyze(source, models=(M.CD_MF,)):
+    program = assemble(source)
+    run = VM(program).run()
+    return LimitAnalyzer(program).analyze(run.trace, models=list(models))
+
+
+class TestInheritance:
+    def test_callee_waits_for_callers_branch(self):
+        # f's body must inherit the call's control dependence on pc1.
+        source = """
+        __start:
+            li $t0, 0        # 0 completes 1
+            bgtz $t0, skip   # 1 completes 2   <- f is control dependent
+            jal f            # 2 (ignored)
+        skip:
+            halt             # 3 completes 1 (control independent)
+        .func f
+        f:  li $t5, 9        # completes 3 = branch + 1
+            ret
+        .endfunc
+        """
+        result = analyze(source)
+        assert result[M.CD_MF].parallel_time == 3
+
+    def test_unguarded_callee_is_free(self):
+        # No branch before the call: f's body has no control constraint.
+        source = """
+        __start:
+            jal f
+            halt
+        .func f
+        f:  li $t5, 9
+            ret
+        .endfunc
+        """
+        result = analyze(source)
+        assert result[M.CD_MF].parallel_time == 1
+
+
+class TestSiblingInvocations:
+    def test_branch_inside_first_call_does_not_leak_into_second(self):
+        # f contains a branch; call f twice.  The second invocation's
+        # straight-line prologue instructions are control dependent on
+        # nothing from the first invocation (the stack entry's sequence
+        # number outranks the stale branch instance).
+        source = """
+        __start:
+            li $a0, 1        # 0: completes 1
+            jal f            # (ignored)
+            li $a0, 0        # completes 1
+            jal f            # (ignored)
+            halt
+        .func f
+        f:
+            li $t1, 5        # no control constraint from inside f
+            bgtz $a0, out    # branch in f
+            li $t2, 7        # control dependent on the branch
+        out:
+            ret
+        .endfunc
+        """
+        program = assemble(source)
+        run = VM(program).run()
+        result = LimitAnalyzer(program).analyze(run.trace, models=[M.CD_MF])
+        # If the stale instance leaked, `li $t1, 5` of invocation 2 would
+        # wait for invocation 1's branch; both invocations' bodies would
+        # serialize and the makespan would exceed 3.
+        assert result[M.CD_MF].parallel_time == 3
+
+    def test_second_call_guarded_by_second_branch(self):
+        source = """
+        __start:
+            li $t0, 0            # completes 1
+            bgtz $t0, a          # branch A completes 2
+            jal f                # inherits A
+        a:
+            li $t3, 0            # completes 1
+            bgtz $t3, b          # branch B completes 2
+            jal f                # inherits B
+        b:
+            halt
+        .func f
+        f:  li $t5, 1            # completes 3 in both invocations
+            ret
+        .endfunc
+        """
+        result = analyze(source)
+        assert result[M.CD_MF].parallel_time == 3
+
+
+class TestRecursionCutoff:
+    def test_recursive_branch_instances_are_ignored(self):
+        # A self-recursive function whose body branch's most recent
+        # instance belongs to a deeper invocation at the time the outer
+        # invocation resumes: the paper drops the dependence (upper bound).
+        source = """
+        __start:
+            li $a0, 4
+            jal f
+            halt
+        .func f
+        f:
+            addi $sp, $sp, -2
+            sw $ra, 0($sp)
+            sw $a0, 1($sp)
+            blez $a0, base      # body branch
+            addi $a0, $a0, -1
+            jal f
+            lw $t0, 1($sp)      # post-call code: RDF contains the branch
+            add $v0, $v0, $t0
+            j done
+        base:
+            li $v0, 0
+        done:
+            lw $ra, 0($sp)
+            addi $sp, $sp, 2
+            ret
+        .endfunc
+        """
+        program = assemble(source)
+        run = VM(program).run()
+        assert run.exit_value == 4 + 3 + 2 + 1
+        result = LimitAnalyzer(program).analyze(run.trace)
+        # The run must complete and stay within bounds on every model.
+        for model in result.models:
+            assert result[model].parallelism >= 1.0
+            assert (
+                result[model].parallel_time <= result[model].sequential_time
+            )
+
+    def test_deep_recursion_stack_balanced(self):
+        source = """
+        __start:
+            li $a0, 60
+            jal count
+            halt
+        .func count
+        count:
+            addi $sp, $sp, -1
+            sw $ra, 0($sp)
+            blez $a0, zero
+            addi $a0, $a0, -1
+            jal count
+            addi $v0, $v0, 1
+            j out
+        zero:
+            li $v0, 0
+        out:
+            lw $ra, 0($sp)
+            addi $sp, $sp, 1
+            ret
+        .endfunc
+        """
+        program = assemble(source)
+        run = VM(program).run()
+        assert run.exit_value == 60
+        result = LimitAnalyzer(program).analyze(run.trace, models=[M.CD, M.CD_MF])
+        assert result[M.CD_MF].parallelism >= result[M.CD].parallelism

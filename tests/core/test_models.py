@@ -1,0 +1,44 @@
+"""Unit tests for machine model metadata."""
+
+from repro.core import ALL_MODELS, NON_SPECULATIVE_MODELS, MachineModel
+
+
+class TestModelFlags:
+    def test_all_models_order_matches_table3(self):
+        assert [m.label for m in ALL_MODELS] == [
+            "BASE", "CD", "CD-MF", "SP", "SP-CD", "SP-CD-MF", "ORACLE",
+        ]
+
+    def test_cd_flags(self):
+        assert MachineModel.CD.uses_control_dependence
+        assert not MachineModel.CD.uses_speculation
+        assert not MachineModel.CD.uses_multiple_flows
+        assert MachineModel.CD.orders_branches
+
+    def test_cd_mf_flags(self):
+        assert MachineModel.CD_MF.uses_control_dependence
+        assert MachineModel.CD_MF.uses_multiple_flows
+        assert not MachineModel.CD_MF.orders_branches
+
+    def test_sp_family_speculates(self):
+        for model in (MachineModel.SP, MachineModel.SP_CD, MachineModel.SP_CD_MF):
+            assert model.uses_speculation
+
+    def test_misprediction_ordering(self):
+        assert MachineModel.SP.orders_mispredictions
+        assert MachineModel.SP_CD.orders_mispredictions
+        assert not MachineModel.SP_CD_MF.orders_mispredictions
+
+    def test_base_and_oracle_use_no_techniques(self):
+        for model in (MachineModel.BASE, MachineModel.ORACLE):
+            assert not model.uses_control_dependence
+            assert not model.uses_speculation
+
+    def test_non_speculative_partition(self):
+        speculative = set(ALL_MODELS) - set(NON_SPECULATIVE_MODELS)
+        assert all(m.uses_speculation for m in speculative)
+        assert not any(m.uses_speculation for m in NON_SPECULATIVE_MODELS)
+
+    def test_only_cd_machines_without_mf_order_branches(self):
+        ordering = [m for m in ALL_MODELS if m.orders_branches]
+        assert ordering == [MachineModel.CD]

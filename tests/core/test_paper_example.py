@@ -1,0 +1,96 @@
+"""The paper's §2.2/Figure 2-3 worked example, with pinned schedules.
+
+These cycle counts are for our reconstruction of the example (see
+examples/paper_example.py); they are deterministic, so any analyzer change
+that moves them is a semantic change and must be deliberate.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import ALL_MODELS, LimitAnalyzer, MachineModel
+from repro.prediction import ProfilePredictor
+from repro.vm import VM
+
+M = MachineModel
+
+SOURCE = """
+    .data
+pred: .word 1, 1, 0, 1, 1, 0, 1, 1
+    .text
+    li   $s0, 0
+    li   $s1, 8
+loop:
+    lw   $t0, pred($s0)
+    beq  $t0, $zero, arm4
+    li   $t1, 3
+    j    next
+arm4:
+    li   $t2, 4
+next:
+    addi $s0, $s0, 1
+    slt  $at, $s0, $s1
+    bne  $at, $zero, loop
+    li   $t3, 6
+    li   $t4, 7
+    halt
+"""
+
+EXPECTED = {
+    M.BASE: 18,
+    M.CD: 11,
+    M.CD_MF: 4,
+    M.SP: 7,
+    M.SP_CD: 5,
+    M.SP_CD_MF: 4,
+    M.ORACLE: 3,
+}
+
+
+@pytest.fixture(scope="module")
+def result():
+    program = assemble(SOURCE, name="fig23")
+    run = VM(program).run()
+    predictor = ProfilePredictor.from_trace(run.trace)
+    return LimitAnalyzer(program).analyze(run.trace, predictor=predictor)
+
+
+class TestPinnedSchedules:
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_makespan(self, result, model):
+        assert result[model].parallel_time == EXPECTED[model]
+
+    def test_counted_instructions(self, result):
+        # 8 iterations x (lw + if-branch + one arm) + 2 setup li (counted)
+        # + 2 tail li + halt; loop overhead (addi/slt/bne) removed.
+        assert result[M.BASE].sequential_time == 35
+
+    def test_schedule_api_consistent_with_makespan(self):
+        program = assemble(SOURCE, name="fig23b")
+        run = VM(program).run()
+        predictor = ProfilePredictor.from_trace(run.trace)
+        analyzer = LimitAnalyzer(program)
+        result = analyzer.analyze(run.trace, predictor=predictor)
+        for model in ALL_MODELS:
+            schedule = analyzer.schedule(run.trace, model, predictor=predictor)
+            assert len(schedule) == len(run.trace)
+            times = [t for t in schedule if t is not None]
+            assert max(times) == result[model].parallel_time
+            assert len(times) == result[model].sequential_time
+            removed = [t for t in schedule if t is None]
+            assert len(removed) == len(run.trace) - result[model].sequential_time
+
+    def test_relationships_from_figure_3(self, result):
+        # CD frees the control-independent tail but still orders branches.
+        assert result[M.CD].parallel_time < result[M.BASE].parallel_time
+        # Multiple flows: the loop's iterations and the tail all overlap.
+        assert result[M.CD_MF].parallel_time < result[M.CD].parallel_time
+        # SP stalls only at the two mispredicted if-branches.
+        assert result[M.SP].parallel_time < result[M.BASE].parallel_time
+        # SP-CD-MF is "one step" from ORACLE: it must still wait to
+        # discover the unpredicted arm.
+        assert (
+            result[M.ORACLE].parallel_time
+            < result[M.SP_CD_MF].parallel_time
+            <= result[M.SP_CD].parallel_time
+        )

@@ -1,0 +1,55 @@
+"""Unit tests for result containers and the harmonic mean."""
+
+import pytest
+
+from repro.core import AnalysisResult, MachineModel, ModelResult, harmonic_mean
+
+
+class TestHarmonicMean:
+    def test_identical_values(self):
+        assert harmonic_mean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_known_value(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_dominated_by_small_values(self):
+        assert harmonic_mean([1.0, 1000.0]) < 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+
+class TestModelResult:
+    def test_parallelism_ratio(self):
+        result = ModelResult(MachineModel.BASE, sequential_time=100, parallel_time=25)
+        assert result.parallelism == 4.0
+
+    def test_empty_trace_parallelism_is_one(self):
+        result = ModelResult(MachineModel.BASE, sequential_time=0, parallel_time=0)
+        assert result.parallelism == 1.0
+
+
+class TestAnalysisResult:
+    def make(self):
+        result = AnalysisResult(program_name="x", trace_length=10)
+        result.models[MachineModel.BASE] = ModelResult(MachineModel.BASE, 100, 50)
+        result.models[MachineModel.ORACLE] = ModelResult(MachineModel.ORACLE, 100, 10)
+        return result
+
+    def test_parallelism_map(self):
+        result = self.make()
+        assert result.parallelism[MachineModel.BASE] == 2.0
+        assert result.parallelism[MachineModel.ORACLE] == 10.0
+
+    def test_getitem(self):
+        result = self.make()
+        assert result[MachineModel.BASE].parallel_time == 50
+
+    def test_speedup_over(self):
+        result = self.make()
+        assert result.speedup_over(MachineModel.ORACLE, MachineModel.BASE) == 5.0

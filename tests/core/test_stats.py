@@ -1,0 +1,76 @@
+"""Unit tests for misprediction-distance statistics."""
+
+import pytest
+
+from repro.core import MispredictionStats
+
+
+class TestSegments:
+    def test_add_and_distances(self):
+        stats = MispredictionStats()
+        stats.add(10, 5)
+        stats.add(20, 4)
+        assert stats.distances == [10, 20]
+
+    def test_zero_length_segments_dropped(self):
+        stats = MispredictionStats()
+        stats.add(0, 1)
+        assert stats.segments == []
+
+    def test_segment_parallelism(self):
+        stats = MispredictionStats()
+        stats.add(12, 3)
+        assert stats.segments[0].parallelism == 4.0
+
+
+class TestCumulativeDistribution:
+    def make(self):
+        stats = MispredictionStats()
+        for distance in (5, 10, 10, 50, 200):
+            stats.add(distance, 2)
+        return stats
+
+    def test_fraction_within(self):
+        stats = self.make()
+        assert stats.fraction_within(10) == pytest.approx(3 / 5)
+        assert stats.fraction_within(100) == pytest.approx(4 / 5)
+        assert stats.fraction_within(1000) == 1.0
+
+    def test_cumulative_distribution_monotone(self):
+        stats = self.make()
+        values = stats.cumulative_distribution([1, 10, 100, 1000])
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+    def test_empty_stats(self):
+        stats = MispredictionStats()
+        assert stats.fraction_within(10) == 1.0
+        assert stats.cumulative_distribution([1, 2]) == [1.0, 1.0]
+
+
+class TestParallelismByDistance:
+    def test_binning(self):
+        stats = MispredictionStats()
+        stats.add(5, 5)    # parallelism 1 in bin (0, 10]
+        stats.add(8, 2)    # parallelism 4 in bin (0, 10]
+        stats.add(50, 2)   # parallelism 25 in bin (10, 100]
+        rows = stats.parallelism_by_distance([10, 100])
+        (low0, high0, mean0, count0), (low1, high1, mean1, count1) = rows
+        assert (low0, high0, count0) == (0, 10, 2)
+        assert mean0 == pytest.approx(2 / (1 / 1.0 + 1 / 4.0))
+        assert (low1, high1, count1) == (10, 100, 1)
+        assert mean1 == pytest.approx(25.0)
+
+    def test_empty_bin_reports_zero(self):
+        stats = MispredictionStats()
+        stats.add(5, 1)
+        rows = stats.parallelism_by_distance([10, 100])
+        assert rows[1][2] == 0.0 and rows[1][3] == 0
+
+    def test_merge_pools_segments(self):
+        a = MispredictionStats()
+        a.add(5, 1)
+        b = MispredictionStats()
+        b.add(7, 1)
+        a.merge(b)
+        assert sorted(a.distances) == [5, 7]

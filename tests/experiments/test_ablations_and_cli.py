@@ -1,0 +1,182 @@
+"""Tests for the ablation studies and the CLI driver."""
+
+import pytest
+
+from repro.experiments import RunConfig, SuiteRunner
+from repro.experiments import ablations
+from repro.experiments.cli import EXPERIMENTS, main
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner(RunConfig(max_steps=40_000))
+
+
+class TestPredictorAblation:
+    @pytest.fixture(scope="class")
+    def result(self, runner):
+        return ablations.predictor_ablation(runner, benchmark="espresso")
+
+    def test_all_predictors_present(self, result):
+        names = [name for name, *_ in result.rows]
+        assert names == [
+            "always-taken", "always-not-taken", "btfnt", "one-bit",
+            "two-bit", "gshare", "profile", "perfect",
+        ]
+
+    def test_perfect_predictor_wins(self, result):
+        parallelisms = {name: p for name, _, p in result.rows}
+        assert parallelisms["perfect"] >= max(parallelisms.values()) - 1e-9
+
+    def test_perfect_prediction_rate_is_100(self, result):
+        rates = {name: rate for name, rate, _ in result.rows}
+        assert rates["perfect"] == 100.0
+
+    def test_profile_beats_worst_constant(self, result):
+        parallelisms = {name: p for name, _, p in result.rows}
+        worst = min(parallelisms["always-taken"], parallelisms["always-not-taken"])
+        assert parallelisms["profile"] >= worst - 1e-9
+
+    def test_better_prediction_tends_to_help(self, result):
+        rows = sorted(result.rows, key=lambda r: r[1])
+        assert rows[-1][2] >= rows[0][2] - 1e-9
+
+    def test_render(self, result):
+        assert "espresso" in result.render()
+
+
+class TestWindowAblation:
+    @pytest.fixture(scope="class")
+    def result(self, runner):
+        return ablations.window_ablation(runner, benchmark="gcc", windows=(8, 64, 512))
+
+    def test_monotone_in_window(self, result):
+        values = [p for _, p in result.rows]
+        assert values == sorted(values)
+
+    def test_unlimited_is_last(self, result):
+        assert result.rows[-1][0] == "unlimited"
+
+
+class TestLatencyAblation:
+    @pytest.fixture(scope="class")
+    def result(self, runner):
+        return ablations.latency_ablation(runner, benchmark="spice2g6")
+
+    def test_unit_config_first(self, result):
+        assert result.rows[0][0] == "unit (paper)"
+
+    def test_all_positive(self, result):
+        for _, oracle, sp in result.rows:
+            assert oracle > 0 and sp > 0
+
+
+class TestFlowsAblation:
+    @pytest.fixture(scope="class")
+    def result(self, runner):
+        return ablations.flows_ablation(runner, benchmark="gcc", flow_counts=(1, 2, 8))
+
+    def test_monotone_in_flows(self, result):
+        cd_mf = [cd for _, cd, _ in result.rows]
+        sp_cd_mf = [sp for _, _, sp in result.rows]
+        assert cd_mf == sorted(cd_mf)
+        assert sp_cd_mf == sorted(sp_cd_mf)
+
+    def test_one_flow_at_least_in_order(self, result):
+        # k=1 allows out-of-order single-branch-per-cycle: >= strict
+        # in-order CD / SP-CD.
+        cd_ref, sp_cd_ref = result.single_flow
+        _, cd_mf_1, sp_cd_mf_1 = result.rows[0]
+        assert cd_mf_1 >= cd_ref - 1e-9
+        assert sp_cd_mf_1 >= sp_cd_ref - 1e-9
+
+    def test_unlimited_matches_mf_machines(self, result, runner):
+        from repro.core import MachineModel as M
+
+        unlimited = runner.analyze("gcc", models=[M.CD_MF, M.SP_CD_MF])
+        _, cd_mf, sp_cd_mf = result.rows[-1]
+        assert cd_mf == pytest.approx(unlimited[M.CD_MF].parallelism)
+        assert sp_cd_mf == pytest.approx(unlimited[M.SP_CD_MF].parallelism)
+
+    def test_speculative_machine_saturates_early(self, result):
+        # Mispredictions are rare: a few flows capture nearly everything.
+        _, _, sp_at_8 = result.rows[2]
+        _, _, sp_unlimited = result.rows[-1]
+        assert sp_at_8 > 0.9 * sp_unlimited
+
+    def test_render(self, result):
+        assert "flows of control" in result.render()
+
+
+class TestGuardedAblation:
+    def test_guarded_variant_reduces_branches(self):
+        result = ablations.guarded_ablation(max_steps=60_000)
+        (_, plain_branches, *_), (_, guarded_branches, *_) = result.rows
+        assert guarded_branches < plain_branches
+
+    def test_render(self):
+        text = ablations.guarded_ablation(max_steps=40_000).render()
+        assert "guarded" in text
+
+
+class TestConvergenceAblation:
+    def test_base_stable_oracle_grows(self):
+        from repro.core import MachineModel as M
+
+        result = ablations.convergence_ablation(budgets=(30_000, 120_000))
+        (small_budget, small), (big_budget, big) = result.rows
+        assert small_budget < big_budget
+        # BASE is locally limited: nearly budget-independent.
+        assert abs(big[M.BASE] - small[M.BASE]) / small[M.BASE] < 0.25
+        # ORACLE keeps finding distant parallelism.
+        assert big[M.ORACLE] > small[M.ORACLE]
+
+    def test_render(self):
+        result = ablations.convergence_ablation(budgets=(20_000, 40_000))
+        assert "trace length" in result.render()
+
+
+class TestInliningAblation:
+    def test_inlining_helps(self, runner):
+        result = ablations.inlining_ablation(runner, benchmarks=("ccom",))
+        ((name, base_ratio, sp_ratio, oracle_ratio),) = result.rows
+        assert name == "ccom"
+        # ccom is call-heavy: removing sp serialization must help ORACLE.
+        assert oracle_ratio > 1.0
+
+    def test_render(self, runner):
+        text = ablations.inlining_ablation(runner, benchmarks=("ccom",)).render()
+        assert "inlining" in text
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "fig7" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+    def test_runs_selected_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmark Programs" in out
+
+    def test_output_report_file(self, capsys, tmp_path):
+        report = tmp_path / "report.txt"
+        assert main(["table1", "--output", str(report)]) == 0
+        text = report.read_text()
+        assert "repro-experiments report" in text
+        assert "Benchmark Programs" in text
+
+    def test_experiment_registry_complete(self):
+        expected = {
+            "table1", "table2", "table3", "table4",
+            "fig4", "fig5", "fig6", "fig7", "mix",
+            "ablation-predictors", "ablation-window",
+            "ablation-latency", "ablation-inlining", "ablation-guarded",
+            "ablation-convergence", "ablation-flows",
+        }
+        assert set(EXPERIMENTS) == expected

@@ -1,0 +1,54 @@
+"""The installed console scripts must work end-to-end via subprocess."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_module(module, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, "-m", module, *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestConsoleScripts:
+    def test_experiments_list(self):
+        result = run_module("repro.experiments.cli", "--list")
+        assert result.returncode == 0
+        assert "table3" in result.stdout
+
+    def test_experiments_single_table(self):
+        result = run_module(
+            "repro.experiments.cli", "--max-steps", "20000", "table2"
+        )
+        assert result.returncode == 0
+        assert "Branch Statistics" in result.stdout
+
+    def test_repro_cc_roundtrip(self, tmp_path):
+        source = tmp_path / "p.c"
+        source.write_text("int main() { print_int(6 * 7); return 0; }")
+        result = run_module("repro.tools", "run", str(source))
+        assert result.returncode == 0
+        assert "42" in result.stdout
+
+    def test_repro_cc_bad_command(self):
+        result = run_module("repro.tools", "frobnicate")
+        assert result.returncode != 0
+
+
+class TestEmptyTraceAnalysis:
+    def test_analyzer_handles_empty_trace(self):
+        from repro.asm import assemble
+        from repro.core import ALL_MODELS, LimitAnalyzer
+        from repro.vm import VM
+
+        program = assemble("halt")
+        trace = VM(program).run(max_steps=0).trace
+        result = LimitAnalyzer(program).analyze(trace)
+        for model in ALL_MODELS:
+            assert result[model].parallelism == 1.0
+            assert result[model].sequential_time == 0

@@ -1,0 +1,153 @@
+"""Differential compiler testing (mini-Csmith).
+
+Hypothesis generates random MiniC programs; each runs through three
+independent pipelines that must agree exactly:
+
+1. the reference AST interpreter (`repro.lang.reference`);
+2. compile → assemble → VM;
+3. compile with if-conversion → assemble → VM.
+
+Programs are generated fully defined: every variable initialized, loop
+trip counts bounded, no out-of-bounds indexing (indexes are masked), and
+division is total by language definition (x/0 == 0), so all three
+pipelines are deterministic and comparable.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lang import compile_source
+from repro.lang.reference import interpret
+from repro.vm import run_program
+
+N_VARS = 4
+ARRAY = "g"
+ARRAY_SIZE = 16
+
+
+@st.composite
+def expressions(draw, depth=0):
+    """A random int expression over v0..v3, g[...], and constants."""
+    choice = draw(st.integers(0, 7 if depth < 3 else 2))
+    if choice == 0:
+        return str(draw(st.integers(-40, 40)))
+    if choice in (1, 2):
+        return f"v{draw(st.integers(0, N_VARS - 1))}"
+    if choice == 3:
+        inner = draw(expressions(depth=depth + 1))
+        return f"{ARRAY}[({inner}) & {ARRAY_SIZE - 1}]"
+    if choice == 4:
+        op = draw(st.sampled_from(["-", "!", "~"]))
+        return f"({op}({draw(expressions(depth=depth + 1))}))"
+    if choice == 5:
+        cond = draw(expressions(depth=depth + 1))
+        a = draw(expressions(depth=depth + 1))
+        b = draw(expressions(depth=depth + 1))
+        return f"(({cond}) ? ({a}) : ({b}))"
+    op = draw(
+        st.sampled_from(["+", "-", "*", "/", "%", "&", "|", "^", "<", ">",
+                         "==", "!=", "<=", ">=", "&&", "||", "<<", ">>"])
+    )
+    left = draw(expressions(depth=depth + 1))
+    right = draw(expressions(depth=depth + 1))
+    if op in ("<<", ">>"):
+        right = f"({right}) & 7"
+    return f"(({left}) {op} ({right}))"
+
+
+@st.composite
+def statements(draw, depth=0, in_loop=False):
+    """One random statement (possibly compound)."""
+    choice = draw(st.integers(0, 9 if depth < 2 else 4))
+    var = f"v{draw(st.integers(0, N_VARS - 1))}"
+    if choice in (0, 1):
+        return f"{var} = {draw(expressions())};"
+    if choice == 2:
+        op = draw(st.sampled_from(["+=", "-=", "*=", "^="]))
+        if op == "^=":
+            return f"{var} = {var} ^ ({draw(expressions())});"
+        return f"{var} {op} {draw(expressions())};"
+    if choice == 3:
+        index = draw(expressions(depth=2))
+        return f"{ARRAY}[({index}) & {ARRAY_SIZE - 1}] = {draw(expressions())};"
+    if choice == 4 and in_loop:
+        guard = draw(expressions(depth=2))
+        keyword = draw(st.sampled_from(["break", "continue"]))
+        return f"if ({guard}) {keyword};"
+    if choice in (4, 5):
+        cond = draw(expressions(depth=1))
+        then = draw(statements(depth=depth + 1, in_loop=in_loop))
+        if draw(st.booleans()):
+            otherwise = draw(statements(depth=depth + 1, in_loop=in_loop))
+            return f"if ({cond}) {{ {then} }} else {{ {otherwise} }}"
+        return f"if ({cond}) {{ {then} }}"
+    if choice == 6:
+        trips = draw(st.integers(1, 6))
+        body = draw(statements(depth=depth + 1, in_loop=True))
+        loop_var = f"i{depth}"
+        return (
+            f"for (int {loop_var} = 0; {loop_var} < {trips}; {loop_var}++)"
+            f" {{ {body} }}"
+        )
+    if choice == 7:
+        selector = draw(expressions(depth=2))
+        n_cases = draw(st.integers(2, 5))
+        parts = [f"switch (({selector}) & 7) {{"]
+        for value in range(n_cases):
+            parts.append(f"case {value}:")
+            parts.append(draw(statements(depth=depth + 1, in_loop=in_loop)))
+            if draw(st.booleans()):
+                parts.append("break;")
+        if draw(st.booleans()):
+            parts.append("default:")
+            parts.append(draw(statements(depth=depth + 1, in_loop=in_loop)))
+        parts.append("}")
+        return "\n".join(parts)
+    if choice == 8:
+        first = draw(statements(depth=depth + 1, in_loop=in_loop))
+        second = draw(statements(depth=depth + 1, in_loop=in_loop))
+        return f"{{ {first} {second} }}"
+    return f"print_int({var});"
+
+
+@st.composite
+def programs(draw):
+    inits = "\n".join(
+        f"    int v{i} = {draw(st.integers(-30, 30))};" for i in range(N_VARS)
+    )
+    body = "\n".join(
+        draw(statements()) for _ in range(draw(st.integers(1, 6)))
+    )
+    fold = " + ".join(f"v{i} * {i + 1}" for i in range(N_VARS))
+    return f"""
+int {ARRAY}[{ARRAY_SIZE}];
+int main() {{
+{inits}
+    for (int k = 0; k < {ARRAY_SIZE}; k++) {ARRAY}[k] = k * 7 - 20;
+{body}
+    int total = {fold};
+    for (int k = 0; k < {ARRAY_SIZE}; k++) total = total ^ ({ARRAY}[k] + k);
+    return total;
+}}
+"""
+
+
+class TestDifferential:
+    @given(source=programs())
+    @settings(max_examples=60, deadline=None)
+    def test_compiler_matches_reference(self, source):
+        reference = interpret(source, max_steps=2_000_000)
+        vm = run_program(compile_source(source), max_steps=2_000_000)
+        assert vm.halted, "compiled program did not halt"
+        assert vm.exit_value == reference.exit_value, source
+        assert vm.output == reference.output, source
+
+    @given(source=programs())
+    @settings(max_examples=30, deadline=None)
+    def test_if_conversion_preserves_semantics(self, source):
+        plain = run_program(compile_source(source), max_steps=2_000_000)
+        guarded = run_program(
+            compile_source(source, if_convert=True), max_steps=2_000_000
+        )
+        assert plain.exit_value == guarded.exit_value, source
+        assert plain.output == guarded.output, source

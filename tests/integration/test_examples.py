@@ -1,0 +1,52 @@
+"""Smoke tests: every example script must run and produce its key output."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    spec = importlib.util.spec_from_file_location(f"example_{name}", EXAMPLES / name)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "ORACLE" in out and "BASE" in out
+        assert "compiled to" in out
+
+    def test_paper_example(self, capsys):
+        out = run_example("paper_example.py", capsys)
+        assert "SP-CD-MF" in out
+        assert "sooner than BASE" in out
+
+    def test_custom_workload(self, capsys):
+        out = run_example("custom_workload.py", capsys)
+        assert "regular-stencil" in out and "irregular-bsearch" in out
+
+    def test_predictor_study(self, capsys):
+        out = run_example("predictor_study.py", capsys)
+        assert "perfect" in out and "profile" in out
+        assert "ORACLE limit" in out
+
+    def test_all_examples_are_tested(self):
+        scripts = {p.name for p in EXAMPLES.glob("*.py")}
+        tested = {
+            "quickstart.py",
+            "paper_example.py",
+            "custom_workload.py",
+            "predictor_study.py",
+        }
+        assert scripts == tested

@@ -1,0 +1,132 @@
+"""End-to-end integration tests across subsystem boundaries."""
+
+import pytest
+
+from repro import (
+    analyze_program,
+    analyze_source,
+    compile_and_analyze,
+    compile_minic,
+    trace_program,
+)
+from repro.core import ALL_MODELS, MachineModel
+
+M = MachineModel
+
+MINIC_PROGRAM = """
+int fib_table[24];
+
+int main() {
+    fib_table[0] = 0;
+    fib_table[1] = 1;
+    for (int i = 2; i < 24; i++)
+        fib_table[i] = fib_table[i - 1] + fib_table[i - 2];
+    return fib_table[23];
+}
+"""
+
+
+class TestPublicAPI:
+    def test_compile_minic(self):
+        program = compile_minic(MINIC_PROGRAM, name="fib")
+        assert program.name == "fib"
+        assert len(program) > 10
+
+    def test_trace_program(self):
+        program = compile_minic(MINIC_PROGRAM)
+        run = trace_program(program)
+        assert run.halted
+        assert run.exit_value == 28657  # fib(23)
+
+    def test_analyze_program_full_pipeline(self):
+        program = compile_minic(MINIC_PROGRAM)
+        result = analyze_program(program)
+        assert set(result.models) == set(ALL_MODELS)
+        # fib is a serial recurrence: even ORACLE can't parallelize the
+        # table construction much beyond the surrounding bookkeeping.
+        assert result[M.ORACLE].parallelism < 30
+
+    def test_compile_and_analyze(self):
+        result = compile_and_analyze(MINIC_PROGRAM)
+        assert result[M.BASE].parallelism >= 1.0
+
+    def test_analyze_source_assembly(self):
+        result = analyze_source("li $t0, 1\nli $t1, 2\nadd $v0, $t0, $t1\nhalt")
+        assert result[M.ORACLE].parallel_time == 2
+
+    def test_model_subset(self):
+        result = compile_and_analyze(MINIC_PROGRAM, models=[M.BASE, M.ORACLE])
+        assert set(result.models) == {M.BASE, M.ORACLE}
+
+    def test_misprediction_stats_flow_through(self):
+        result = compile_and_analyze(
+            MINIC_PROGRAM, collect_misprediction_stats=True, models=[M.SP]
+        )
+        assert result.misprediction_stats is not None
+
+    def test_lazy_top_level_attribute_error(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+
+class TestCrossSubsystemConsistency:
+    def test_counted_instructions_match_filters(self):
+        """counted + removed == trace length, on a call-heavy program."""
+        source = """
+        int square(int x) { return x * x; }
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 20; i++) total += square(i);
+            return total;
+        }
+        """
+        program = compile_minic(source)
+        run = trace_program(program)
+        result = analyze_program(program)
+        assert result.counted_instructions + result.removed_instructions == run.steps
+        assert result.removed_instructions > 40  # calls, returns, sp, loop overhead
+
+    def test_checksum_survives_analysis(self):
+        # The analyzer must not perturb VM state (pure function of trace).
+        program = compile_minic(MINIC_PROGRAM)
+        first = trace_program(program)
+        analyze_program(program)
+        second = trace_program(program)
+        assert first.exit_value == second.exit_value
+        assert first.trace.pcs == second.trace.pcs
+
+    def test_interprocedural_cd_on_compiled_code(self):
+        """A callee guarded by a data-dependent branch inherits its
+        control dependence through the compiler-generated call."""
+        source = """
+        int hits;
+        void record() { hits += 1; }
+        int data[64];
+        int main() {
+            for (int i = 0; i < 64; i++) data[i] = (i * 2654435761) % 7;
+            for (int i = 0; i < 64; i++)
+                if (data[i] < 3) record();
+            return hits;
+        }
+        """
+        result = compile_and_analyze(source)
+        # CD cannot beat ORACLE and the guard must constrain CD machines.
+        assert result[M.CD_MF].parallelism <= result[M.ORACLE].parallelism + 1e-9
+
+    def test_recursion_through_whole_stack(self):
+        source = """
+        int ack(int m, int n) {
+            if (m == 0) return n + 1;
+            if (n == 0) return ack(m - 1, 1);
+            return ack(m - 1, ack(m, n - 1));
+        }
+        int main() { return ack(2, 3); }
+        """
+        program = compile_minic(source)
+        run = trace_program(program)
+        assert run.exit_value == 9
+        result = analyze_program(program)
+        for model in ALL_MODELS:
+            assert result[model].parallelism >= 1.0

@@ -1,0 +1,43 @@
+"""The README's code snippets must actually run."""
+
+from repro import compile_and_analyze
+from repro.core import MachineModel
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet(self):
+        result = compile_and_analyze(
+            """
+            int data[256];
+            int main() {
+                int total = 0;
+                for (int i = 0; i < 256; i++) data[i] = i * 3;
+                for (int i = 0; i < 256; i++)
+                    if (data[i] % 7 < 3) total += data[i];
+                return total;
+            }
+            """
+        )
+        lines = [
+            f"{model.label:>9s}  {result[model].parallelism:8.2f}"
+            for model in MachineModel
+        ]
+        assert len(lines) == 7
+        assert all(result[model].parallelism >= 1.0 for model in MachineModel)
+
+    def test_package_docstring_snippet(self):
+        import repro
+
+        result = repro.compile_and_analyze(
+            """
+            int data[64];
+            int main() {
+                int i; int total;
+                total = 0;
+                for (i = 0; i < 64; i = i + 1) data[i] = i * 3;
+                for (i = 0; i < 64; i = i + 1) total = total + data[i];
+                return total;
+            }
+            """
+        )
+        assert result.parallelism[MachineModel.ORACLE] > 1.0

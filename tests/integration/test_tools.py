@@ -1,0 +1,96 @@
+"""Tests for the repro-cc toolchain driver."""
+
+import pytest
+
+from repro.tools import main
+
+MINIC = """
+int main() {
+    int total = 0;
+    for (int i = 0; i < 10; i++) total += i;
+    print_int(total);
+    return total;
+}
+"""
+
+ASM = """
+    li $t0, 6
+    li $t1, 7
+    mul $v0, $t0, $t1
+    halt
+"""
+
+
+@pytest.fixture
+def minic_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(MINIC)
+    return str(path)
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(ASM)
+    return str(path)
+
+
+class TestBuild:
+    def test_build_to_stdout(self, minic_file, capsys):
+        assert main(["build", minic_file]) == 0
+        out = capsys.readouterr().out
+        assert ".func main" in out
+
+    def test_build_to_file(self, minic_file, tmp_path, capsys):
+        out_path = tmp_path / "prog.s"
+        assert main(["build", minic_file, "-o", str(out_path)]) == 0
+        assert ".func main" in out_path.read_text()
+
+    def test_build_if_convert_flag(self, tmp_path, capsys):
+        path = tmp_path / "g.c"
+        path.write_text(
+            "int main() { int x = 0; for (int i = 0; i < 4; i++)"
+            " if (i > 1) x = i; return x; }"
+        )
+        assert main(["build", str(path), "--if-convert"]) == 0
+        assert "movn" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_minic(self, minic_file, capsys):
+        assert main(["run", minic_file]) == 0
+        out = capsys.readouterr().out
+        assert "45" in out and "halted" in out
+
+    def test_run_assembly(self, asm_file, capsys):
+        assert main(["run", asm_file]) == 0
+        assert "exit value 42" in capsys.readouterr().out
+
+    def test_step_budget(self, tmp_path, capsys):
+        path = tmp_path / "spin.s"
+        path.write_text("spin: j spin\n")
+        assert main(["run", str(path), "--max-steps", "25"]) == 0
+        assert "budget exhausted: 25" in capsys.readouterr().out
+
+
+class TestDisasmAnalyzeCfg:
+    def test_disasm(self, asm_file, capsys):
+        assert main(["disasm", asm_file]) == 0
+        assert "mul $v0" in capsys.readouterr().out
+
+    def test_analyze(self, minic_file, capsys):
+        assert main(["analyze", minic_file]) == 0
+        out = capsys.readouterr().out
+        assert "ORACLE" in out and "BASE" in out
+
+    def test_cfg(self, minic_file, capsys):
+        assert main(["cfg", minic_file]) == 0
+        out = capsys.readouterr().out
+        assert "function main" in out
+        assert "loop header" in out
+        assert "unroll-overhead" in out
+
+    def test_cfg_function_filter(self, minic_file, capsys):
+        assert main(["cfg", minic_file, "--function", "main"]) == 0
+        out = capsys.readouterr().out
+        assert "__start" not in out

@@ -1,0 +1,98 @@
+"""Unit tests for Instruction read/write sets and classification."""
+
+import pytest
+
+from repro.isa import Instruction, Opcode, registers as R
+
+
+class TestReadWriteSets:
+    def test_three_reg_alu(self):
+        instr = Instruction(Opcode.ADD, rd=R.T0, rs=R.T1, rt=R.T2)
+        assert instr.writes == (R.T0,)
+        assert instr.reads == (R.T1, R.T2)
+
+    def test_immediate_alu(self):
+        instr = Instruction(Opcode.ADDI, rd=R.T0, rs=R.T1, imm=4)
+        assert instr.writes == (R.T0,)
+        assert instr.reads == (R.T1,)
+
+    def test_load_reads_base(self):
+        instr = Instruction(Opcode.LW, rd=R.T0, rs=R.SP, imm=8)
+        assert instr.reads == (R.SP,)
+        assert instr.writes == (R.T0,)
+        assert instr.is_load and instr.is_mem and not instr.is_store
+
+    def test_store_reads_value_and_base(self):
+        instr = Instruction(Opcode.SW, rt=R.T0, rs=R.SP, imm=8)
+        assert set(instr.reads) == {R.T0, R.SP}
+        assert instr.writes == ()
+        assert instr.is_store and instr.is_mem
+
+    def test_call_writes_ra(self):
+        instr = Instruction(Opcode.JAL, target=0, label="f")
+        assert R.RA in instr.writes
+
+    def test_jalr_reads_target_writes_ra(self):
+        instr = Instruction(Opcode.JALR, rs=R.T9)
+        assert instr.reads == (R.T9,)
+        assert R.RA in instr.writes
+
+    def test_li_has_no_reads(self):
+        instr = Instruction(Opcode.LI, rd=R.T0, imm=42)
+        assert instr.reads == ()
+
+    def test_fp_ops_use_flat_ids(self):
+        instr = Instruction(Opcode.FADD, rd=R.FP_BASE, rs=R.FP_BASE + 1, rt=R.FP_BASE + 2)
+        assert instr.writes == (R.FP_BASE,)
+        assert instr.reads == (R.FP_BASE + 1, R.FP_BASE + 2)
+
+
+class TestValidation:
+    def test_missing_destination(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, rs=R.T1, rt=R.T2)
+
+    def test_missing_immediate(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LI, rd=R.T0)
+
+    def test_missing_branch_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BEQ, rs=R.T0, rt=R.T1)
+
+
+class TestClassification:
+    def test_cond_branch(self):
+        instr = Instruction(Opcode.BNE, rs=R.T0, rt=R.ZERO, target=3, label="x")
+        assert instr.is_cond_branch and instr.is_control
+        assert not instr.is_call and not instr.is_return
+
+    def test_return_vs_computed_jump(self):
+        ret = Instruction(Opcode.JR, rs=R.RA)
+        ijump = Instruction(Opcode.JR, rs=R.T9)
+        assert ret.is_return and not ret.is_computed_jump
+        assert ijump.is_computed_jump and not ijump.is_return
+
+    def test_sp_write_detection(self):
+        adjust = Instruction(Opcode.ADDI, rd=R.SP, rs=R.SP, imm=-8)
+        save = Instruction(Opcode.SW, rt=R.RA, rs=R.SP, imm=0)
+        assert adjust.writes_sp
+        assert not save.writes_sp
+
+    def test_direct_jump(self):
+        instr = Instruction(Opcode.J, target=0, label="loop")
+        assert instr.is_direct_jump and instr.is_control
+
+
+class TestRender:
+    def test_alu_render(self):
+        instr = Instruction(Opcode.ADD, rd=R.T0, rs=R.T1, rt=R.T2)
+        assert instr.render() == "add $t0, $t1, $t2"
+
+    def test_mem_render(self):
+        instr = Instruction(Opcode.LW, rd=R.T0, rs=R.SP, imm=4)
+        assert instr.render() == "lw $t0, 4($sp)"
+
+    def test_branch_render_uses_label(self):
+        instr = Instruction(Opcode.BEQ, rs=R.T0, rt=R.ZERO, target=7, label="done")
+        assert instr.render() == "beq $t0, $zero, done"

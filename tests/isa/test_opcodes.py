@@ -1,0 +1,70 @@
+"""Unit tests for opcode metadata consistency."""
+
+from repro.isa import MNEMONICS, OPCODE_INFO, Opcode, OpKind, info
+
+
+class TestMetadataCompleteness:
+    def test_every_opcode_has_info(self):
+        for opcode in Opcode:
+            assert opcode in OPCODE_INFO
+
+    def test_mnemonic_matches_value(self):
+        for opcode, spec in OPCODE_INFO.items():
+            assert spec.mnemonic == opcode.value
+
+    def test_mnemonics_table_bijective(self):
+        assert len(MNEMONICS) == len(Opcode)
+        for text, opcode in MNEMONICS.items():
+            assert opcode.value == text
+
+
+class TestOperandSignatures:
+    def test_known_operand_codes_only(self):
+        valid = {
+            "rd", "rd!", "rs", "rt", "fd", "fd!", "fs", "ft",
+            "imm", "fimm", "mem", "label",
+        }
+        for spec in OPCODE_INFO.values():
+            assert set(spec.operands) <= valid
+
+    def test_memory_ops_flagged(self):
+        for opcode in (Opcode.LW, Opcode.SW, Opcode.FLW, Opcode.FSW):
+            assert info(opcode).is_mem
+
+    def test_loads_write_stores_do_not(self):
+        assert "rd" in info(Opcode.LW).operands
+        assert "fd" in info(Opcode.FLW).operands
+        assert "rd" not in info(Opcode.SW).operands
+
+    def test_branch_opcodes_have_labels(self):
+        for opcode, spec in OPCODE_INFO.items():
+            if spec.kind is OpKind.BRANCH:
+                assert spec.has_label
+
+    def test_control_classification(self):
+        for opcode, spec in OPCODE_INFO.items():
+            if spec.kind in (OpKind.BRANCH, OpKind.JUMP, OpKind.CALL, OpKind.JR, OpKind.JALR, OpKind.HALT):
+                assert spec.is_control
+            else:
+                assert not spec.is_control
+
+    def test_has_imm(self):
+        assert info(Opcode.ADDI).has_imm
+        assert info(Opcode.LW).has_imm  # displacement
+        assert info(Opcode.FLI).has_imm
+        assert not info(Opcode.ADD).has_imm
+
+
+class TestKindCoverage:
+    def test_every_kind_used(self):
+        used = {spec.kind for spec in OPCODE_INFO.values()}
+        assert used == set(OpKind)
+
+    def test_alu_ops_have_destinations(self):
+        for opcode, spec in OPCODE_INFO.items():
+            if spec.kind is OpKind.ALU and opcode is not Opcode.NOP:
+                assert spec.operands[0] in ("rd", "fd", "rd!", "fd!"), opcode
+
+    def test_guarded_moves_read_their_destination(self):
+        for opcode in (Opcode.MOVZ, Opcode.MOVN, Opcode.FMOVZ, Opcode.FMOVN):
+            assert info(opcode).operands[0].endswith("!")

@@ -1,0 +1,86 @@
+"""Unit tests for the Program container."""
+
+import pytest
+
+from repro.isa import (
+    FunctionSymbol,
+    Instruction,
+    Opcode,
+    Program,
+    ProgramError,
+    registers as R,
+)
+
+
+def make_program(**kwargs):
+    instructions = kwargs.pop(
+        "instructions",
+        (
+            Instruction(Opcode.LI, rd=R.T0, imm=1),
+            Instruction(Opcode.ADDI, rd=R.T0, rs=R.T0, imm=1),
+            Instruction(Opcode.HALT),
+        ),
+    )
+    return Program(instructions=instructions, **kwargs)
+
+
+class TestValidation:
+    def test_valid_program(self):
+        program = make_program()
+        assert len(program) == 3
+
+    def test_bad_entry(self):
+        with pytest.raises(ProgramError):
+            make_program(entry=99)
+
+    def test_bad_target(self):
+        bad = Instruction(Opcode.J, target=40, label="nowhere")
+        with pytest.raises(ProgramError):
+            make_program(instructions=(bad,))
+
+    def test_overlapping_functions(self):
+        with pytest.raises(ProgramError):
+            make_program(
+                functions=(FunctionSymbol("a", 0, 2), FunctionSymbol("b", 1, 3))
+            )
+
+    def test_function_past_end(self):
+        with pytest.raises(ProgramError):
+            make_program(functions=(FunctionSymbol("a", 0, 9),))
+
+
+class TestLookups:
+    def test_function_at(self):
+        program = make_program(
+            functions=(FunctionSymbol("a", 0, 2), FunctionSymbol("b", 2, 3))
+        )
+        assert program.function_at(0).name == "a"
+        assert program.function_at(1).name == "a"
+        assert program.function_at(2).name == "b"
+
+    def test_function_at_orphan(self):
+        program = make_program(functions=(FunctionSymbol("b", 2, 3),))
+        assert program.function_at(0) is None
+
+    def test_function_named(self):
+        program = make_program(functions=(FunctionSymbol("a", 0, 3),))
+        assert program.function_named("a").start == 0
+        with pytest.raises(KeyError):
+            program.function_named("zzz")
+
+    def test_label_for(self):
+        program = make_program(code_labels={"main": 0})
+        assert program.label_for(0) == "main"
+        assert program.label_for(1) is None
+
+    def test_getitem(self):
+        program = make_program()
+        assert program[0].opcode is Opcode.LI
+
+
+class TestRender:
+    def test_render_includes_labels(self):
+        program = make_program(code_labels={"main": 0})
+        text = program.render()
+        assert "main:" in text
+        assert "li $t0, 1" in text

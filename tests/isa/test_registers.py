@@ -1,0 +1,64 @@
+"""Unit tests for register naming, parsing, and conventions."""
+
+import pytest
+
+from repro.isa import registers as R
+
+
+class TestParseReg:
+    def test_aliases(self):
+        assert R.parse_reg("$zero") == 0
+        assert R.parse_reg("$sp") == R.SP
+        assert R.parse_reg("$ra") == R.RA
+        assert R.parse_reg("$t0") == 8
+        assert R.parse_reg("$s7") == 23
+
+    def test_numeric(self):
+        assert R.parse_reg("$0") == 0
+        assert R.parse_reg("$31") == 31
+        assert R.parse_reg("r17") == 17
+
+    def test_fp(self):
+        assert R.parse_reg("$f0") == R.FP_BASE
+        assert R.parse_reg("$f31") == R.FP_BASE + 31
+        assert R.parse_reg("f12") == R.F12
+
+    def test_no_dollar(self):
+        assert R.parse_reg("sp") == R.SP
+
+    @pytest.mark.parametrize("bad", ["$f32", "$32", "$-1", "$x9", "", "$"])
+    def test_rejects_bad_names(self, bad):
+        with pytest.raises(ValueError):
+            R.parse_reg(bad)
+
+
+class TestRegName:
+    def test_roundtrip_all_registers(self):
+        for reg in range(R.NUM_REGS):
+            assert R.parse_reg(R.reg_name(reg)) == reg
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            R.reg_name(R.NUM_REGS)
+        with pytest.raises(ValueError):
+            R.reg_name(-1)
+
+    def test_conventional_names(self):
+        assert R.reg_name(R.SP) == "$sp"
+        assert R.reg_name(R.FP_BASE + 5) == "$f5"
+
+
+class TestClassification:
+    def test_fp_partition(self):
+        fp = [reg for reg in range(R.NUM_REGS) if R.is_fp_reg(reg)]
+        assert fp == list(range(R.FP_BASE, R.NUM_REGS))
+
+    def test_int_partition(self):
+        ints = [reg for reg in range(R.NUM_REGS) if R.is_int_reg(reg)]
+        assert ints == list(range(R.FP_BASE))
+
+    def test_conventions_disjoint(self):
+        assert not set(R.INT_TEMP_REGS) & set(R.INT_SAVED_REGS)
+        assert not set(R.FP_TEMP_REGS) & set(R.FP_SAVED_REGS)
+        assert R.SP not in R.INT_TEMP_REGS + R.INT_SAVED_REGS
+        assert R.RA not in R.INT_TEMP_REGS + R.INT_SAVED_REGS

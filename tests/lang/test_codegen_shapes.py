@@ -1,0 +1,144 @@
+"""Tests that the compiler emits the code *shapes* the limit study relies on:
+register-resident index variables, `addi` self-increments, compare+branch
+loop latches recognizable by the induction analysis, and MIPS-style calling
+conventions whose overhead perfect inlining removes."""
+
+from repro.analysis import analyze_program
+from repro.lang import compile_source, compile_to_assembly
+
+
+COUNTED_LOOP = """
+int data[32];
+int main() {
+    int total = 0;
+    for (int i = 0; i < 32; i++) total += data[i];
+    return total;
+}
+"""
+
+
+class TestInductionIdioms:
+    def test_increment_is_single_addi(self):
+        asm = compile_to_assembly(COUNTED_LOOP)
+        assert any(
+            line.strip().startswith("addi $s") and line.strip().endswith(", 1")
+            for line in asm.splitlines()
+        )
+
+    def test_loop_overhead_recognized(self):
+        program = compile_source(COUNTED_LOOP)
+        analysis = analyze_program(program)
+        # increment + compare + branch of the for loop must all be marked.
+        assert len(analysis.loop_overhead) >= 3
+
+    def test_compound_increment_also_recognized(self):
+        source = """
+        int main() {
+            int total = 0;
+            int i = 0;
+            while (i < 10) { total += i; i += 2; }
+            return total;
+        }
+        """
+        analysis = analyze_program(compile_source(source))
+        assert len(analysis.loop_overhead) >= 3
+
+    def test_postincrement_also_recognized(self):
+        source = """
+        int main() {
+            int total = 0;
+            int i = 0;
+            while (i < 10) { total = total + i; i++; }
+            return total;
+        }
+        """
+        analysis = analyze_program(compile_source(source))
+        assert len(analysis.loop_overhead) >= 3
+
+    def test_data_dependent_loop_not_marked_as_overhead(self):
+        source = """
+        int a[16];
+        int main() {
+            int i = 0;
+            while (a[i]) i = a[i];
+            return i;
+        }
+        """
+        program = compile_source(source)
+        analysis = analyze_program(program)
+        # `i = a[i]` is not an induction update; the loop branch depends on
+        # loaded data and must survive unrolling.
+        branch_pcs = {
+            pc for pc in analysis.loop_overhead
+            if program[pc].is_cond_branch
+        }
+        assert not branch_pcs
+
+
+class TestCallingConvention:
+    SOURCE = """
+    int helper(int a, int b) { return a - b; }
+    int main() { return helper(9, 4); }
+    """
+
+    def test_sp_adjustment_present(self):
+        asm = compile_to_assembly(self.SOURCE)
+        assert "addi $sp, $sp, -" in asm
+
+    def test_ra_saved_in_nonleaf(self):
+        asm = compile_to_assembly(self.SOURCE)
+        main_part = asm[asm.index(".func main"):]
+        assert "sw $ra" in main_part
+
+    def test_leaf_does_not_save_ra(self):
+        asm = compile_to_assembly(self.SOURCE)
+        helper_part = asm[asm.index(".func helper"): asm.index(".func main")]
+        assert "sw $ra" not in helper_part
+
+    def test_args_in_a_registers(self):
+        asm = compile_to_assembly(self.SOURCE)
+        assert "mov $a0," in asm and "mov $a1," in asm
+
+    def test_result_in_v0(self):
+        asm = compile_to_assembly(self.SOURCE)
+        assert "mov $v0," in asm
+
+
+class TestCodeQuality:
+    def test_global_scalar_single_instruction_access(self):
+        asm = compile_to_assembly("int g; int main() { return g + 1; }")
+        assert "lw" in asm and "g_g($zero)" in asm
+
+    def test_global_array_indexed_access(self):
+        asm = compile_to_assembly(COUNTED_LOOP)
+        assert "g_data($s" in asm  # label-displacement addressing
+
+    def test_reduction_goes_directly_into_register(self):
+        asm = compile_to_assembly(COUNTED_LOOP)
+        # `total += x` must be `add $sN, $sN, $tM`, not add-then-mov.
+        assert any(
+            line.strip().startswith("add $s") and line.count("$s") >= 2
+            for line in asm.splitlines()
+        )
+
+    def test_no_jump_to_next_line(self):
+        asm = compile_to_assembly(COUNTED_LOOP)
+        lines = [line.strip() for line in asm.splitlines()]
+        for i, line in enumerate(lines[:-1]):
+            if line.startswith("j ") and lines[i + 1].endswith(":"):
+                assert line[2:] != lines[i + 1][:-1], f"redundant jump: {line}"
+
+    def test_multiply_by_power_of_two_is_shift(self):
+        asm = compile_to_assembly("int main() { int x = 3; return x * 8; }")
+        assert "slli" in asm and "mul" not in asm
+
+    def test_reassembles_after_disassembly(self):
+        from repro.asm import assemble, disassemble
+
+        program = compile_source(COUNTED_LOOP)
+        text = disassemble(program)
+        reassembled = assemble(text)
+        assert len(reassembled) == len(program)
+        assert [i.opcode for i in reassembled.instructions] == [
+            i.opcode for i in program.instructions
+        ]

@@ -1,0 +1,480 @@
+"""End-to-end MiniC tests: compile, execute, verify results."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.vm import run_program
+
+
+def run(source, max_steps=2_000_000):
+    result = run_program(compile_source(source), max_steps=max_steps)
+    assert result.halted, "program did not finish"
+    return result
+
+
+def returns(source, **kwargs):
+    return run(source, **kwargs).exit_value
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert returns("int main() { int a = 6; int b = 7; return a * b; }") == 42
+
+    def test_division_truncates_like_c(self):
+        assert returns("int main() { int a = -7; return a / 2; }") == -3
+
+    def test_remainder_like_c(self):
+        assert returns("int main() { int a = -7; return a % 3; }") == -1
+
+    def test_bitwise(self):
+        assert returns("int main() { int a = 12; int b = 10; return (a ^ b) | (a & b); }") == 14
+
+    def test_shifts(self):
+        assert returns("int main() { int a = 5; return (a << 3) >> 1; }") == 20
+
+    def test_unary(self):
+        assert returns("int main() { int a = 5; return -a + ~a + !a; }") == -11
+
+    def test_comparisons(self):
+        source = """
+        int main() {
+            int score = 0;
+            if (1 < 2) score += 1;
+            if (2 <= 2) score += 2;
+            if (3 > 2) score += 4;
+            if (2 >= 3) score += 8;
+            if (5 == 5) score += 16;
+            if (5 != 5) score += 32;
+            return score;
+        }
+        """
+        assert returns(source) == 23
+
+    def test_ternary(self):
+        assert returns("int main() { int x = 3; return x > 2 ? 10 : 20; }") == 10
+
+    def test_precedence(self):
+        assert returns("int main() { int a = 2; return 1 + a * 3 - 4 / 2; }") == 5
+
+
+class TestControlFlow:
+    def test_while_sum(self):
+        source = """
+        int main() {
+            int i = 0; int total = 0;
+            while (i < 10) { total += i; i++; }
+            return total;
+        }
+        """
+        assert returns(source) == 45
+
+    def test_for_product(self):
+        source = """
+        int main() {
+            int product = 1;
+            for (int i = 1; i <= 5; i++) product *= i;
+            return product;
+        }
+        """
+        assert returns(source) == 120
+
+    def test_do_while_runs_once(self):
+        assert returns("int main() { int n = 0; do n++; while (0); return n; }") == 1
+
+    def test_break(self):
+        source = """
+        int main() {
+            int i;
+            for (i = 0; i < 100; i++) if (i == 7) break;
+            return i;
+        }
+        """
+        assert returns(source) == 7
+
+    def test_continue(self):
+        source = """
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 10; i++) {
+                if (i % 2) continue;
+                total += i;
+            }
+            return total;
+        }
+        """
+        assert returns(source) == 20
+
+    def test_nested_loops(self):
+        source = """
+        int main() {
+            int count = 0;
+            for (int i = 0; i < 5; i++)
+                for (int j = 0; j < i; j++)
+                    count++;
+            return count;
+        }
+        """
+        assert returns(source) == 10
+
+    def test_short_circuit_and(self):
+        source = """
+        int calls;
+        int bump() { calls++; return 1; }
+        int main() { int x = 0; x = 0 && bump(); return calls * 10 + x; }
+        """
+        assert returns(source) == 0
+
+    def test_short_circuit_or(self):
+        source = """
+        int calls;
+        int bump() { calls++; return 0; }
+        int main() { int x = 1 || bump(); return calls * 10 + x; }
+        """
+        assert returns(source) == 1
+
+    def test_logical_value(self):
+        assert returns("int main() { int a = 3; int b = 0; return (a && 2) + (b || 0) * 10; }") == 1
+
+    def test_complex_condition(self):
+        source = """
+        int main() {
+            int hits = 0;
+            for (int i = 0; i < 20; i++)
+                if ((i > 3 && i < 8) || i == 15) hits++;
+            return hits;
+        }
+        """
+        assert returns(source) == 5
+
+
+class TestFunctions:
+    def test_call_with_args(self):
+        source = """
+        int add3(int a, int b, int c) { return a + b + c; }
+        int main() { return add3(10, 20, 12); }
+        """
+        assert returns(source) == 42
+
+    def test_recursion_fib(self):
+        source = """
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(12); }
+        """
+        assert returns(source) == 144
+
+    def test_mutual_recursion(self):
+        source = """
+        int is_odd(int n);
+        int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+        int main() { return is_even(10) * 10 + is_odd(7); }
+        """
+        # MiniC has no prototypes: reorder instead.
+        source = """
+        int helper(int n, int want_even) {
+            if (n == 0) return want_even;
+            return helper(n - 1, 1 - want_even);
+        }
+        int main() { return helper(10, 1) * 10 + helper(7, 0); }
+        """
+        assert returns(source) == 11
+
+    def test_nested_calls_preserve_temps(self):
+        source = """
+        int id(int x) { return x; }
+        int main() { return id(1) + id(2) * id(3) + id(4); }
+        """
+        assert returns(source) == 11
+
+    def test_float_args_and_return(self):
+        source = """
+        float scale(float x, float k) { return x * k; }
+        int main() { return (int)scale(2.5, 4.0); }
+        """
+        assert returns(source) == 10
+
+    def test_mixed_args(self):
+        source = """
+        float mix(int a, float b, int c) { return a + b * c; }
+        int main() { return (int)mix(1, 2.5, 4); }
+        """
+        assert returns(source) == 11
+
+    def test_void_function(self):
+        source = """
+        int counter;
+        void tick() { counter++; }
+        int main() { tick(); tick(); tick(); return counter; }
+        """
+        assert returns(source) == 3
+
+    def test_call_in_condition(self):
+        source = """
+        int limit(int x) { return x < 5; }
+        int main() {
+            int i = 0;
+            while (limit(i)) i++;
+            return i;
+        }
+        """
+        assert returns(source) == 5
+
+
+class TestArraysAndPointers:
+    def test_global_array(self):
+        source = """
+        int a[8];
+        int main() {
+            for (int i = 0; i < 8; i++) a[i] = i * i;
+            return a[7];
+        }
+        """
+        assert returns(source) == 49
+
+    def test_local_array(self):
+        source = """
+        int main() {
+            int buf[5];
+            for (int i = 0; i < 5; i++) buf[i] = i + 1;
+            int total = 0;
+            for (int i = 0; i < 5; i++) total += buf[i];
+            return total;
+        }
+        """
+        assert returns(source) == 15
+
+    def test_global_array_initializer(self):
+        source = """
+        int primes[5] = {2, 3, 5, 7, 11};
+        int main() { return primes[0] + primes[4]; }
+        """
+        assert returns(source) == 13
+
+    def test_partial_initializer_zero_fills(self):
+        source = """
+        int a[4] = {9};
+        int main() { return a[0] + a[1] + a[2] + a[3]; }
+        """
+        assert returns(source) == 9
+
+    def test_pointer_walk(self):
+        source = """
+        int data[4] = {1, 2, 3, 4};
+        int main() {
+            int *p = data;
+            int total = 0;
+            while (p < data + 4) { total += *p; p++; }
+            return total;
+        }
+        """
+        assert returns(source) == 10
+
+    def test_pointer_argument(self):
+        source = """
+        void fill(int *dst, int n, int value) {
+            for (int i = 0; i < n; i++) dst[i] = value;
+        }
+        int buf[6];
+        int main() { fill(buf, 6, 7); return buf[5]; }
+        """
+        assert returns(source) == 7
+
+    def test_addrof_element(self):
+        source = """
+        int a[3] = {10, 20, 30};
+        int main() { int *p = &a[1]; return *p + p[1]; }
+        """
+        assert returns(source) == 50
+
+    def test_addrof_global_scalar(self):
+        source = """
+        int g = 5;
+        int main() { int *p = &g; *p = 9; return g; }
+        """
+        assert returns(source) == 9
+
+    def test_store_through_deref(self):
+        source = """
+        int a[2];
+        int main() { int *p = a; *p = 3; *(p + 1) = 4; return a[0] * 10 + a[1]; }
+        """
+        assert returns(source) == 34
+
+    def test_string_iteration(self):
+        source = """
+        int main() {
+            int *s = "hello";
+            int n = 0;
+            while (s[n]) n++;
+            return n;
+        }
+        """
+        assert returns(source) == 5
+
+    def test_array_of_float(self):
+        source = """
+        float v[3] = {1.5, 2.5, 3.0};
+        int main() {
+            float total = 0.0;
+            for (int i = 0; i < 3; i++) total += v[i];
+            return (int)total;
+        }
+        """
+        assert returns(source) == 7
+
+
+class TestFloats:
+    def test_float_arithmetic(self):
+        assert returns("int main() { float x = 1.5; float y = 2.0; return (int)(x * y + 0.5); }") == 3
+
+    def test_int_float_mix(self):
+        assert returns("int main() { int i = 3; float f = 0.5; return (int)(i + f + i * f); }") == 5
+
+    def test_float_compare(self):
+        source = """
+        int main() {
+            float a = 0.1; float b = 0.2;
+            if (a + b > 0.25) return 1;
+            return 0;
+        }
+        """
+        assert returns(source) == 1
+
+    def test_float_loop(self):
+        source = """
+        int main() {
+            float total = 0.0;
+            for (int i = 0; i < 10; i++) total += 0.5;
+            return (int)total;
+        }
+        """
+        assert returns(source) == 5
+
+    def test_float_condition_truthiness(self):
+        assert returns("int main() { float f = 0.0; if (f) return 1; return 2; }") == 2
+
+    def test_float_global(self):
+        assert returns("float pi = 3.14159; int main() { return (int)(pi * 100.0); }") == 314
+
+
+class TestAssignmentForms:
+    def test_compound_assignment_all(self):
+        source = """
+        int main() {
+            int x = 100;
+            x += 10; x -= 5; x *= 2; x /= 3; x %= 50;
+            return x;
+        }
+        """
+        assert returns(source) == 20
+
+    def test_compound_on_array_element(self):
+        source = """
+        int a[2] = {5, 6};
+        int main() { a[1] += 4; return a[1]; }
+        """
+        assert returns(source) == 10
+
+    def test_incdec_semantics(self):
+        source = """
+        int main() {
+            int i = 5;
+            int a = i++;
+            int b = ++i;
+            int c = i--;
+            int d = --i;
+            return a * 1000 + b * 100 + c * 10 + d;
+        }
+        """
+        assert returns(source) == 5 * 1000 + 7 * 100 + 7 * 10 + 5
+
+    def test_incdec_on_memory(self):
+        source = """
+        int a[1];
+        int main() { a[0] = 3; a[0]++; ++a[0]; return a[0]; }
+        """
+        assert returns(source) == 5
+
+    def test_chained_assignment(self):
+        assert returns("int main() { int a; int b; a = b = 4; return a + b; }") == 8
+
+    def test_assignment_value(self):
+        assert returns("int main() { int a; int b = (a = 3) + 1; return a * 10 + b; }") == 34
+
+
+class TestGlobalsAndScoping:
+    def test_global_scalar_init(self):
+        assert returns("int g = 37; int main() { return g; }") == 37
+
+    def test_global_default_zero(self):
+        assert returns("int g; int main() { return g; }") == 0
+
+    def test_global_updated_across_calls(self):
+        source = """
+        int acc;
+        void add(int x) { acc += x; }
+        int main() { add(3); add(4); return acc; }
+        """
+        assert returns(source) == 7
+
+    def test_shadowing(self):
+        source = """
+        int x = 100;
+        int main() { int x = 1; { int x = 2; } return x; }
+        """
+        assert returns(source) == 1
+
+    def test_constant_folded_global_init(self):
+        assert returns("int g = 6 * 7; int main() { return g; }") == 42
+
+
+class TestRegisterPressure:
+    def test_many_locals_spill_to_stack(self):
+        decls = "\n".join(f"int v{i} = {i};" for i in range(12))
+        total = " + ".join(f"v{i}" for i in range(12))
+        source = f"int main() {{ {decls} return {total}; }}"
+        assert returns(source) == sum(range(12))
+
+    def test_many_float_locals(self):
+        decls = "\n".join(f"float f{i} = {i}.5;" for i in range(14))
+        total = " + ".join(f"f{i}" for i in range(14))
+        source = f"int main() {{ {decls} return (int)({total}); }}"
+        assert returns(source) == sum(i + 0.5 for i in range(14)) // 1
+
+    def test_deep_expression(self):
+        source = "int main() { int a = 1; return ((((a+1)*2+1)*2+1)*2+1)*2+1; }"
+        assert returns(source) == 47
+
+    def test_spill_across_call(self):
+        source = """
+        int f(int x) { return x + 1; }
+        int main() {
+            int a = 10;
+            return a + f(1) + a * f(2);
+        }
+        """
+        assert returns(source) == 10 + 2 + 30
+
+
+class TestIO:
+    def test_print_int(self):
+        result = run("int main() { print_int(42); return 0; }")
+        assert result.output == [42]
+
+    def test_put_char(self):
+        result = run("""
+        int main() {
+            int *s = "ok";
+            int i = 0;
+            while (s[i]) { put_char(s[i]); i++; }
+            return 0;
+        }
+        """)
+        assert result.output_text == "ok"
+
+    def test_print_float(self):
+        result = run("int main() { print_float(2.5); return 0; }")
+        assert result.output == [2.5]

@@ -1,0 +1,75 @@
+"""Tests for global initializers, including address constants."""
+
+import pytest
+
+from repro.lang import CompileError, compile_source
+from repro.vm import run_program
+
+
+def returns(source):
+    result = run_program(compile_source(source), max_steps=100_000)
+    assert result.halted
+    return result.exit_value
+
+
+class TestScalarInitializers:
+    def test_constant_expression(self):
+        assert returns("int g = (3 + 4) * 6; int main() { return g; }") == 42
+
+    def test_float_from_int_constant(self):
+        assert returns("float f = 3; int main() { return (int)(f * 2.0); }") == 6
+
+    def test_negative(self):
+        assert returns("int g = -9; int main() { return g; }") == -9
+
+    def test_char_constant(self):
+        assert returns("int g = 'z'; int main() { return g; }") == ord("z")
+
+
+class TestAddressConstants:
+    def test_pointer_to_global_scalar(self):
+        source = "int g = 5; int *p = &g; int main() { *p = 9; return g; }"
+        assert returns(source) == 9
+
+    def test_pointer_to_array(self):
+        source = "int a[3] = {1, 2, 3}; int *p = a; int main() { return p[2]; }"
+        assert returns(source) == 3
+
+    def test_pointer_to_array_element(self):
+        source = "int a[4] = {9, 8, 7, 6}; int *p = &a[1]; int main() { return *p + p[2]; }"
+        assert returns(source) == 8 + 6
+
+    def test_forward_reference(self):
+        # The referent is declared after the pointer.
+        source = "int *p = &g; int g = 11; int main() { return *p; }"
+        assert returns(source) == 11
+
+    def test_string_pointer(self):
+        source = 'int *s = "ab"; int main() { return s[0] * 1000 + s[1]; }'
+        assert returns(source) == ord("a") * 1000 + ord("b")
+
+
+class TestArrayInitializers:
+    def test_full(self):
+        assert returns("int a[3] = {4, 5, 6}; int main() { return a[0]+a[1]+a[2]; }") == 15
+
+    def test_float_array(self):
+        source = "float v[2] = {0.5, 1.5}; int main() { return (int)(v[0] + v[1]); }"
+        assert returns(source) == 2
+
+    def test_constant_folded_entries(self):
+        assert returns("int a[2] = {2*3, 10/3}; int main() { return a[0]*10 + a[1]; }") == 63
+
+
+class TestInitializerErrors:
+    @pytest.mark.parametrize(
+        "source,pattern",
+        [
+            ("int g = h; int main() { return 0; }", "undefined"),
+            ("int x; int g = x; int main() { return 0; }", "not a constant"),
+            ("int g = f(); int f() { return 1; } int main() { return 0; }", "not a constant"),
+        ],
+    )
+    def test_rejects_non_constants(self, source, pattern):
+        with pytest.raises(CompileError, match=pattern):
+            compile_source(source)

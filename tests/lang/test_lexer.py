@@ -1,0 +1,76 @@
+"""Unit tests for the MiniC lexer."""
+
+import pytest
+
+from repro.lang import CompileError, tokenize
+from repro.lang.tokens import TokenType as T
+
+
+def types(source):
+    return [t.type for t in tokenize(source)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_empty(self):
+        assert tokenize("")[-1].type is T.EOF
+
+    def test_keywords_vs_identifiers(self):
+        assert types("int intx if iffy") == [T.KW_INT, T.IDENT, T.KW_IF, T.IDENT]
+
+    def test_numbers(self):
+        tokens = tokenize("42 0x1F 3.5 1e3 2.5e-2 .5")
+        values = [t.value for t in tokens[:-1]]
+        assert values == [42, 31, 3.5, 1000.0, 0.025, 0.5]
+        assert tokens[0].type is T.INT_LIT
+        assert tokens[2].type is T.FLOAT_LIT
+
+    def test_char_literals(self):
+        tokens = tokenize(r"'a' '\n' '\\' '\0'")
+        assert [t.value for t in tokens[:-1]] == [97, 10, 92, 0]
+
+    def test_string_literals(self):
+        (token, _) = tokenize(r'"hi\tthere"')
+        assert token.type is T.STRING_LIT
+        assert token.value == "hi\tthere"
+
+    def test_operators_two_char(self):
+        assert types("== != <= >= && || ++ -- += -= *= /= %= << >>") == [
+            T.EQ, T.NE, T.LE, T.GE, T.AND_AND, T.OR_OR, T.PLUS_PLUS,
+            T.MINUS_MINUS, T.PLUS_ASSIGN, T.MINUS_ASSIGN, T.STAR_ASSIGN,
+            T.SLASH_ASSIGN, T.PERCENT_ASSIGN, T.SHL, T.SHR,
+        ]
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert types("a // comment\nb") == [T.IDENT, T.IDENT]
+
+    def test_block_comment(self):
+        assert types("a /* x\ny */ b") == [T.IDENT, T.IDENT]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CompileError, match="unterminated comment"):
+            tokenize("/* never ends")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(CompileError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(CompileError, match="unterminated string"):
+            tokenize('"abc')
+
+    def test_unterminated_char(self):
+        with pytest.raises(CompileError, match="unterminated character"):
+            tokenize("'a")
+
+    def test_bad_escape(self):
+        with pytest.raises(CompileError, match="bad escape"):
+            tokenize(r"'\q'")

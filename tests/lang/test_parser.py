@@ -1,0 +1,175 @@
+"""Unit tests for the MiniC parser."""
+
+import pytest
+
+from repro.lang import CompileError, parse, tokenize
+from repro.lang import nodes as N
+from repro.lang.types import ArrayType, PointerType, FLOAT, INT
+
+
+def parse_src(source):
+    return parse(tokenize(source))
+
+
+def parse_expr(text):
+    unit = parse_src(f"int main() {{ return {text}; }}")
+    (ret,) = unit.functions[0].body.statements
+    return ret.value
+
+
+class TestTopLevel:
+    def test_function_and_globals(self):
+        unit = parse_src("int x; float y = 1.5; int main() { return 0; }")
+        assert [g.name for g in unit.globals] == ["x", "y"]
+        assert unit.functions[0].name == "main"
+
+    def test_global_array(self):
+        unit = parse_src("int a[10]; int main() { return 0; }")
+        assert unit.globals[0].var_type == ArrayType(INT, 10)
+
+    def test_global_array_initializer(self):
+        unit = parse_src("int a[3] = {1, 2, 3}; int main() { return 0; }")
+        assert len(unit.globals[0].init) == 3
+
+    def test_pointer_global(self):
+        unit = parse_src("int *p; int main() { return 0; }")
+        assert unit.globals[0].var_type == PointerType(INT)
+
+    def test_comma_separated_globals(self):
+        unit = parse_src("int a, b, c; int main() { return 0; }")
+        assert [g.name for g in unit.globals] == ["a", "b", "c"]
+
+    def test_params(self):
+        unit = parse_src("int f(int a, float b, int *p) { return a; } int main() { return 0; }")
+        params = unit.functions[0].params
+        assert [p.name for p in params] == ["a", "b", "p"]
+        assert params[1].type is FLOAT
+        assert params[2].type == PointerType(INT)
+
+    def test_void_params(self):
+        unit = parse_src("int f(void) { return 1; } int main() { return 0; }")
+        assert unit.functions[0].params == []
+
+    def test_array_param_decays(self):
+        unit = parse_src("int f(int a[]) { return a[0]; } int main() { return 0; }")
+        assert unit.functions[0].params[0].type == PointerType(INT)
+
+    def test_negative_array_size(self):
+        with pytest.raises(CompileError):
+            parse_src("int a[0]; int main() { return 0; }")
+
+
+class TestStatements:
+    def test_if_else(self):
+        unit = parse_src("int main() { if (1) return 1; else return 2; }")
+        stmt = unit.functions[0].body.statements[0]
+        assert isinstance(stmt, N.If)
+        assert stmt.otherwise is not None
+
+    def test_dangling_else_binds_inner(self):
+        unit = parse_src("int main() { if (1) if (2) return 1; else return 2; return 3; }")
+        outer = unit.functions[0].body.statements[0]
+        assert outer.otherwise is None
+        assert outer.then.otherwise is not None
+
+    def test_while(self):
+        unit = parse_src("int main() { while (1) break; return 0; }")
+        assert isinstance(unit.functions[0].body.statements[0], N.While)
+
+    def test_do_while(self):
+        unit = parse_src("int main() { do { } while (0); return 0; }")
+        assert isinstance(unit.functions[0].body.statements[0], N.DoWhile)
+
+    def test_for_with_declaration(self):
+        unit = parse_src("int main() { for (int i = 0; i < 3; i++) {} return 0; }")
+        stmt = unit.functions[0].body.statements[0]
+        assert isinstance(stmt.init, N.VarDecl)
+
+    def test_for_all_parts_optional(self):
+        unit = parse_src("int main() { for (;;) break; return 0; }")
+        stmt = unit.functions[0].body.statements[0]
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_local_declarations(self):
+        unit = parse_src("int main() { int a = 1, b; float f; return a; }")
+        body = unit.functions[0].body.statements
+        assert isinstance(body[0], N.VarDecl) and body[0].init is not None
+        assert isinstance(body[1], N.VarDecl) and body[1].init is None
+
+    def test_empty_statement(self):
+        unit = parse_src("int main() { ;; return 0; }")
+        assert isinstance(unit.functions[0].body.statements[0], N.Empty)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, N.Binary) and expr.op == "+"
+        assert isinstance(expr.right, N.Binary) and expr.right.op == "*"
+
+    def test_precedence_comparison_over_logic(self):
+        expr = parse_expr("a < b && c > d")
+        assert isinstance(expr, N.Logical) and expr.op == "&&"
+
+    def test_assignment_right_associative(self):
+        expr = parse_expr("a = b = 1")
+        assert isinstance(expr, N.Assign)
+        assert isinstance(expr.value, N.Assign)
+
+    def test_compound_assignment(self):
+        expr = parse_expr("a += 2")
+        assert isinstance(expr, N.Assign) and expr.op == "+"
+
+    def test_ternary(self):
+        expr = parse_expr("a ? b : c")
+        assert isinstance(expr, N.Conditional)
+
+    def test_unary_chain(self):
+        expr = parse_expr("-~!x")
+        assert isinstance(expr, N.Unary) and expr.op == "-"
+        assert isinstance(expr.operand, N.Unary) and expr.operand.op == "~"
+
+    def test_prefix_and_postfix_incdec(self):
+        pre = parse_expr("++x")
+        post = parse_expr("x++")
+        assert pre.is_prefix and not post.is_prefix
+
+    def test_index_and_call_postfix(self):
+        expr = parse_expr("f(a)[1]")
+        assert isinstance(expr, N.Index)
+        assert isinstance(expr.base, N.Call)
+
+    def test_deref_and_addrof(self):
+        expr = parse_expr("*&a[0]")
+        assert isinstance(expr, N.Deref)
+        assert isinstance(expr.pointer, N.AddrOf)
+
+    def test_cast(self):
+        expr = parse_expr("(float)1")
+        assert isinstance(expr, N.Cast) and expr.target_type is FLOAT
+
+    def test_cast_to_pointer(self):
+        expr = parse_expr("(int*)0")
+        assert isinstance(expr, N.Cast)
+        assert expr.target_type == PointerType(INT)
+
+    def test_nested_parens(self):
+        expr = parse_expr("((1 + 2)) * 3")
+        assert isinstance(expr, N.Binary) and expr.op == "*"
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int main() { return 0 }",  # missing semicolon
+            "int main() { if 1) return 0; }",  # missing paren
+            "int main() {",  # unterminated block
+            "int main() { 3(); }",  # calling a non-name
+            "int 5x;",  # bad declarator
+            "int main() { int a[; }",  # bad array size
+        ],
+    )
+    def test_syntax_errors(self, source):
+        with pytest.raises(CompileError):
+            parse_src(source)

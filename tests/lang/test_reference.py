@@ -1,0 +1,140 @@
+"""Unit tests for the reference interpreter (the compiler's oracle)."""
+
+import pytest
+
+from repro.lang import CompileError, compile_source, interpret
+from repro.lang.reference import ReferenceError_
+from repro.vm import run_program
+
+
+def agree(source):
+    """Both pipelines must produce the same result; returns it."""
+    reference = interpret(source)
+    vm = run_program(compile_source(source), max_steps=2_000_000)
+    assert vm.halted
+    assert reference.exit_value == vm.exit_value
+    assert reference.output == vm.output
+    return reference.exit_value
+
+
+class TestAgreementOnFeatures:
+    def test_arithmetic_wrapping(self):
+        assert agree("int main() { int x = 2000000000; return x + x; }")
+
+    def test_division_semantics(self):
+        assert agree("int main() { int a = -17; int b = 5; return a / b * 100 + a % b; }")
+
+    def test_recursion(self):
+        source = """
+        int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        int main() { return fib(11); }
+        """
+        assert agree(source) == 89
+
+    def test_pointers_and_arrays(self):
+        source = """
+        int a[6] = {5, 4, 3, 2, 1, 0};
+        int main() {
+            int *p = &a[1];
+            p[1] = 99;
+            return *p * 1000 + a[2];
+        }
+        """
+        assert agree(source) == 4 * 1000 + 99
+
+    def test_local_arrays(self):
+        source = """
+        int sum(int *v, int n) {
+            int total = 0;
+            for (int i = 0; i < n; i++) total += v[i];
+            return total;
+        }
+        int main() {
+            int buf[5];
+            for (int i = 0; i < 5; i++) buf[i] = i * i;
+            return sum(buf, 5);
+        }
+        """
+        assert agree(source) == 30
+
+    def test_strings_and_builtins(self):
+        source = """
+        int main() {
+            int *s = "xy";
+            put_char(s[0]);
+            put_char(s[1]);
+            print_int(77);
+            return s[0];
+        }
+        """
+        assert agree(source) == ord("x")
+
+    def test_floats(self):
+        source = """
+        float scale = 1.5;
+        int main() {
+            float total = 0.0;
+            for (int i = 0; i < 5; i++) total += (float)i * scale;
+            return (int)total;
+        }
+        """
+        assert agree(source) == 15
+
+    def test_switch_fallthrough(self):
+        source = """
+        int main() {
+            int x = 0;
+            for (int i = 0; i < 6; i++)
+                switch (i) {
+                    case 0: x += 1;
+                    case 1: x += 2; break;
+                    case 4: x += 50; break;
+                    default: x += 1000;
+                }
+            return x;
+        }
+        """
+        assert agree(source)
+
+    def test_short_circuit_effects(self):
+        source = """
+        int count;
+        int tick() { count++; return 1; }
+        int main() {
+            int a = (0 && tick()) + (1 && tick()) + (1 || tick());
+            return count * 10 + a;
+        }
+        """
+        assert agree(source) == 12
+
+    def test_do_while_and_continue(self):
+        source = """
+        int main() {
+            int total = 0; int i = 0;
+            do {
+                i++;
+                if (i % 2) continue;
+                total += i;
+            } while (i < 9);
+            return total;
+        }
+        """
+        assert agree(source) == 2 + 4 + 6 + 8
+
+    def test_global_state_across_calls(self):
+        source = """
+        int acc;
+        void add(int x) { acc += x; }
+        int main() { add(3); add(4); add(acc); return acc; }
+        """
+        assert agree(source) == 14
+
+
+class TestReferenceGuards:
+    def test_step_budget(self):
+        with pytest.raises(ReferenceError_, match="budget"):
+            interpret("int main() { while (1) {} return 0; }", max_steps=1_000)
+
+    def test_requires_main(self):
+        with pytest.raises(CompileError, match="no main"):
+            interpret("int f() { return 1; }")

@@ -1,0 +1,166 @@
+"""Unit tests for the MiniC type checker."""
+
+import pytest
+
+from repro.lang import CompileError, check, parse, tokenize
+from repro.lang import nodes as N
+from repro.lang.types import FLOAT, INT, PointerType
+
+
+def check_src(source):
+    return check(parse(tokenize(source)))
+
+
+def check_main_expr(text, prelude=""):
+    checked = check_src(f"{prelude}\nint main() {{ return {text}; }}")
+    (ret,) = checked.unit.functions[-1].body.statements
+    return ret.value
+
+
+class TestTypes:
+    def test_int_arithmetic(self):
+        expr = check_main_expr("1 + 2 * 3")
+        assert expr.type is INT
+        assert isinstance(expr, N.IntLit) and expr.value == 7  # folded
+
+    def test_mixed_arithmetic_promotes(self):
+        checked = check_src("float f; int main() { f = f + 1; return 0; }")
+        assign = checked.unit.functions[0].body.statements[0].expr
+        assert assign.value.type is FLOAT
+
+    def test_comparison_is_int(self):
+        expr = check_main_expr("1.5 < 2.5")
+        assert expr.type is INT
+
+    def test_string_literal_is_int_pointer(self):
+        checked = check_src('int *s; int main() { s = "x"; return 0; }')
+        assign = checked.unit.functions[0].body.statements[0].expr
+        assert assign.value.type == PointerType(INT)
+
+    def test_pointer_arithmetic(self):
+        checked = check_src(
+            "int a[4]; int main() { int *p; p = a + 1; return *p; }"
+        )
+        assign = checked.unit.functions[0].body.statements[1].expr
+        assert assign.value.type == PointerType(INT)
+
+    def test_pointer_difference_is_int(self):
+        expr = check_main_expr("p - q", prelude="int a[4]; int *p; int *q;")
+        assert expr.type is INT
+
+    def test_index_yields_element(self):
+        checked = check_src(
+            "float a[4]; int main() { float f; f = a[2]; return 0; }"
+        )
+        assign = checked.unit.functions[0].body.statements[1].expr
+        assert assign.value.type is FLOAT
+
+
+class TestImplicitConversions:
+    def test_int_to_float_on_assign(self):
+        checked = check_src("float f; int main() { f = 3; return 0; }")
+        assign = checked.unit.functions[0].body.statements[0].expr
+        assert isinstance(assign.value, N.FloatLit)  # folded cast
+
+    def test_float_to_int_on_return(self):
+        checked = check_src("int main() { return 2.9; }")
+        (ret,) = checked.unit.functions[0].body.statements
+        assert ret.value.type is INT
+
+    def test_call_argument_conversion(self):
+        checked = check_src(
+            "float f(float x) { return x; } int main() { f(1); return 0; }"
+        )
+        call = checked.unit.functions[1].body.statements[0].expr
+        assert call.args[0].type is FLOAT
+
+
+class TestFolding:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("2 + 3 * 4", 14),
+            ("-(5)", -5),
+            ("!0", 1),
+            ("~0", -1),
+            ("7 / 2", 3),
+            ("-7 / 2", -3),  # C truncation
+            ("-7 % 2", -1),
+            ("1 << 4", 16),
+            ("6 == 6", 1),
+            ("(int)2.9", 2),
+        ],
+    )
+    def test_folded_values(self, text, value):
+        expr = check_main_expr(text)
+        assert isinstance(expr, N.IntLit)
+        assert expr.value == value
+
+    def test_division_by_zero_not_folded(self):
+        expr = check_main_expr("1 / 0")
+        assert isinstance(expr, N.Binary)
+
+
+class TestScoping:
+    def test_shadowing_allowed_in_inner_block(self):
+        check_src("int main() { int x = 1; { int x = 2; } return x; }")
+
+    def test_redeclaration_in_same_scope_rejected(self):
+        with pytest.raises(CompileError, match="redeclaration"):
+            check_src("int main() { int x; int x; return 0; }")
+
+    def test_for_scope(self):
+        # The for-init declaration is scoped to the loop.
+        with pytest.raises(CompileError, match="undefined"):
+            check_src("int main() { for (int i = 0; i < 3; i++) {} return i; }")
+
+    def test_global_visible_in_function(self):
+        check_src("int g; int main() { return g; }")
+
+    def test_local_shadows_global(self):
+        checked = check_src("int g; int main() { int g = 1; return g; }")
+        (decl, ret) = checked.unit.functions[0].body.statements
+        symbol = checked.var_symbols[id(ret.value)]
+        assert symbol.__class__.__name__ == "LocalVar"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source,pattern",
+        [
+            ("int main() { return x; }", "undefined variable"),
+            ("int main() { return f(); }", "undefined function"),
+            ("int main() { 1 = 2; return 0; }", "not assignable"),
+            ("int f() { return 1; } int main() { return f(2); }", "expects 0"),
+            ("int main() { int x; return x[0]; }", "indexing a non-pointer"),
+            ("int main() { int x; return *x; }", "dereferencing a non-pointer"),
+            ("int main() { int x; int *p = &x; return 0; }", "register variable"),
+            ("int main() { float f; return f % 2.0; }", "needs int operands"),
+            ("void f() { return 1; } int main() { return 0; }", "returns a value"),
+            ("int f() { return; } int main() { return 0; }", "must return a value"),
+            ("int main() { break; }", "outside a loop"),
+            ("int main() { continue; }", "outside a loop"),
+            ("int a[2]; int main() { a = 0; return 0; }", "cannot assign to an array"),
+            ("int a[2]; int a[3]; int main() { return 0; }", "redefinition"),
+            ("int f() { return 0; } int f() { return 1; } int main() { return 0; }", "redefinition"),
+            ("void x; int main() { return 0; }", "cannot be void"),
+            ("int main() { float f; f++; return 0; }", "needs an int or pointer"),
+            ("int a[2] = {1,2,3}; int main() { return 0; }", "too many initializers"),
+            # Forward references to later globals resolve (two-phase), but
+            # a runtime value still cannot initialize a global.
+            ("int g = 1 + x; int x; int main() { return 0; }", "not a constant"),
+            (
+                "int f(int a, int b, int c, int d, int e) { return a; } int main() { return 0; }",
+                "at most 4",
+            ),
+        ],
+    )
+    def test_semantic_errors(self, source, pattern):
+        with pytest.raises(CompileError, match=pattern):
+            check_src(source)
+
+    def test_addrof_global_scalar_allowed(self):
+        check_src("int g; int main() { int *p = &g; return *p; }")
+
+    def test_addrof_local_array_allowed(self):
+        check_src("int main() { int a[4]; int *p = &a[1]; return *p; }")

@@ -1,0 +1,216 @@
+"""Tests for the switch statement (jump tables and compare chains)."""
+
+import pytest
+
+from repro.analysis import build_cfgs
+from repro.lang import CompileError, compile_source, compile_to_assembly, parse, tokenize
+from repro.vm import run_program
+
+
+def returns(source, **kwargs):
+    result = run_program(compile_source(source, **kwargs), max_steps=500_000)
+    assert result.halted
+    return result.exit_value
+
+
+DENSE = """
+int pick(int x) {
+    switch (x) {
+        case 0: return 100;
+        case 1: return 101;
+        case 2: return 102;
+        case 3: return 103;
+        case 4: return 104;
+        default: return -1;
+    }
+}
+int main() {
+    int total = 0;
+    for (int i = -2; i < 8; i++) total += pick(i);
+    return total;
+}
+"""
+
+
+class TestSemantics:
+    def test_dense_switch(self):
+        expected = sum(
+            {0: 100, 1: 101, 2: 102, 3: 103, 4: 104}.get(i, -1) for i in range(-2, 8)
+        )
+        assert returns(DENSE) == expected
+
+    def test_sparse_switch(self):
+        source = """
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 1000; i += 111) {
+                switch (i) {
+                    case 0: total += 1; break;
+                    case 333: total += 10; break;
+                    case 888: total += 100; break;
+                }
+            }
+            return total;
+        }
+        """
+        assert returns(source) == 111
+
+    def test_fallthrough(self):
+        source = """
+        int main() {
+            int x = 0;
+            switch (2) {
+                case 1: x += 1;
+                case 2: x += 2;
+                case 3: x += 4;
+                case 4: x += 8; break;
+                case 5: x += 16;
+            }
+            return x;
+        }
+        """
+        assert returns(source) == 2 + 4 + 8
+
+    def test_default_in_middle(self):
+        source = """
+        int pick(int v) {
+            int x = 0;
+            switch (v) {
+                case 1: x = 1; break;
+                default: x = 99; break;
+                case 2: x = 2; break;
+            }
+            return x;
+        }
+        int main() { return pick(1) * 10000 + pick(2) * 100 + pick(7); }
+        """
+        assert returns(source) == 1 * 10000 + 2 * 100 + 99
+
+    def test_no_match_no_default_skips(self):
+        source = """
+        int main() {
+            int x = 5;
+            switch (42) { case 1: x = 1; break; case 2: x = 2; break; }
+            return x;
+        }
+        """
+        assert returns(source) == 5
+
+    def test_negative_case_labels(self):
+        source = """
+        int main() {
+            int x = -3;
+            switch (x) { case -3: return 33; case 0: return 0; }
+            return -1;
+        }
+        """
+        assert returns(source) == 33
+
+    def test_char_case_labels(self):
+        source = """
+        int main() {
+            int c = 'b';
+            switch (c) {
+                case 'a': return 1;
+                case 'b': return 2;
+                case 'c': return 3;
+            }
+            return 0;
+        }
+        """
+        assert returns(source) == 2
+
+    def test_break_in_loop_inside_switch(self):
+        source = """
+        int main() {
+            int total = 0;
+            switch (1) {
+                case 1:
+                    for (int i = 0; i < 10; i++) {
+                        if (i == 3) break;   // exits the loop, not the switch
+                        total += 1;
+                    }
+                    total += 100;
+            }
+            return total;
+        }
+        """
+        assert returns(source) == 103
+
+    def test_continue_through_switch(self):
+        source = """
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 6; i++) {
+                switch (i % 3) {
+                    case 0: continue;    // targets the for loop
+                    case 1: total += 1; break;
+                    default: total += 10;
+                }
+            }
+            return total;
+        }
+        """
+        assert returns(source) == 22
+
+
+class TestCodegen:
+    def test_dense_switch_uses_jump_table(self):
+        asm = compile_to_assembly(DENSE)
+        assert ".jt0" in asm
+        assert "jr $t" in asm
+
+    def test_sparse_switch_uses_compares(self):
+        source = """
+        int main() {
+            switch (7000) { case 1: return 1; case 9999: return 2; case 70: return 3; case -5: return 4; }
+            return 0;
+        }
+        """
+        asm = compile_to_assembly(source)
+        assert ".jt" not in asm
+
+    def test_jump_table_cfg_builds(self):
+        program = compile_source(DENSE)
+        cfgs = build_cfgs(program)  # must not crash on computed jumps
+        assert cfgs
+
+    def test_analyzable_end_to_end(self):
+        from repro import analyze_program
+        from repro.core import ALL_MODELS
+
+        program = compile_source(DENSE)
+        result = analyze_program(program, max_steps=50_000)
+        for model in ALL_MODELS:
+            assert result[model].parallelism >= 1.0
+
+
+class TestSwitchErrors:
+    @pytest.mark.parametrize(
+        "source,pattern",
+        [
+            (
+                "int main() { switch (1) { case 1: break; case 1: break; } return 0; }",
+                "duplicate case",
+            ),
+            (
+                "int main() { switch (1) { default: break; default: break; } return 0; }",
+                "duplicate default",
+            ),
+            (
+                "int main() { float f; switch (f) { case 1: break; } return 0; }",
+                "must be int",
+            ),
+            (
+                "int main() { switch (1) { int x; case 1: break; } return 0; }",
+                "statement before the first case",
+            ),
+        ],
+    )
+    def test_errors(self, source, pattern):
+        with pytest.raises(CompileError, match=pattern):
+            compile_source(source)
+
+    def test_case_label_must_be_constant(self):
+        with pytest.raises(CompileError, match="integer constant"):
+            parse(tokenize("int main() { int v; switch (1) { case v: break; } return 0; }"))

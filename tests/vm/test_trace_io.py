@@ -1,0 +1,95 @@
+"""Tests for trace serialization."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import ALL_MODELS, LimitAnalyzer
+from repro.vm import VM, TraceFormatError, load_trace, save_trace
+
+SOURCE = """
+    li $t0, 6
+loop:
+    lw $t1, 0x2000($t0)
+    addi $t1, $t1, 1
+    sw $t1, 0x2000($t0)
+    addi $t0, $t0, -1
+    bgtz $t0, loop
+    halt
+"""
+
+
+@pytest.fixture
+def traced():
+    program = assemble(SOURCE, name="tio")
+    run = VM(program).run()
+    return program, run.trace
+
+
+class TestRoundTrip:
+    def test_plain_roundtrip(self, traced, tmp_path):
+        program, trace = traced
+        path = tmp_path / "t.rtrc"
+        save_trace(trace, path)
+        loaded = load_trace(path, program)
+        assert loaded.pcs == trace.pcs
+        assert loaded.addrs == trace.addrs
+        assert loaded.takens == trace.takens
+
+    def test_gzip_roundtrip(self, traced, tmp_path):
+        program, trace = traced
+        path = tmp_path / "t.rtrc.gz"
+        save_trace(trace, path)
+        loaded = load_trace(path, program)
+        assert loaded.pcs == trace.pcs
+
+    def test_loaded_trace_analyzes_identically(self, traced, tmp_path):
+        program, trace = traced
+        path = tmp_path / "t.rtrc"
+        save_trace(trace, path)
+        loaded = load_trace(path, program)
+        analyzer = LimitAnalyzer(program)
+        original = analyzer.analyze(trace)
+        reloaded = analyzer.analyze(loaded)
+        for model in ALL_MODELS:
+            assert original[model].parallel_time == reloaded[model].parallel_time
+
+    def test_empty_trace(self, tmp_path):
+        program = assemble("halt", name="empty")
+        trace = VM(program).run(max_steps=0).trace
+        path = tmp_path / "e.rtrc"
+        save_trace(trace, path)
+        assert len(load_trace(path, program)) == 0
+
+
+class TestErrors:
+    def test_bad_magic(self, traced, tmp_path):
+        program, _ = traced
+        path = tmp_path / "bad.rtrc"
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            load_trace(path, program)
+
+    def test_program_name_mismatch(self, traced, tmp_path):
+        _, trace = traced
+        path = tmp_path / "t.rtrc"
+        save_trace(trace, path)
+        other = assemble(SOURCE, name="other-name")
+        with pytest.raises(TraceFormatError, match="recorded for program"):
+            load_trace(path, other)
+
+    def test_pc_out_of_range(self, traced, tmp_path):
+        _, trace = traced
+        path = tmp_path / "t.rtrc"
+        save_trace(trace, path)
+        tiny = assemble("halt", name="tio")
+        with pytest.raises(TraceFormatError, match="outside program code"):
+            load_trace(path, tiny)
+
+    def test_truncated_file(self, traced, tmp_path):
+        program, trace = traced
+        path = tmp_path / "t.rtrc"
+        save_trace(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 8])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            load_trace(path, program)
