@@ -37,15 +37,40 @@ Quickstart::
 from repro._version import __version__
 
 __all__ = [
+    "Diagnostic",
+    "DiagnosticError",
+    "Severity",
     "__version__",
     "analyze_program",
     "analyze_source",
     "compile_and_analyze",
     "compile_minic",
+    "lint_minic",
+    "lint_program",
+    "sanitize_trace",
     "trace_program",
 ]
 
-_API_NAMES = frozenset(__all__) - {"__version__"}
+_API_NAMES = frozenset(
+    {
+        "analyze_program",
+        "analyze_source",
+        "compile_and_analyze",
+        "compile_minic",
+        "trace_program",
+    }
+)
+
+_DIAGNOSTIC_NAMES = frozenset(
+    {
+        "Diagnostic",
+        "DiagnosticError",
+        "Severity",
+        "lint_minic",
+        "lint_program",
+        "sanitize_trace",
+    }
+)
 
 
 def __getattr__(name: str):
@@ -55,4 +80,8 @@ def __getattr__(name: str):
         from repro import api
 
         return getattr(api, name)
+    if name in _DIAGNOSTIC_NAMES:
+        from repro import diagnostics
+
+        return getattr(diagnostics, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -34,8 +34,10 @@ from repro.analysis.induction import (
 )
 from repro.analysis.loops import NaturalLoop, find_loops
 from repro.analysis.summary import ProgramAnalysis, analyze_program
+from repro.analysis.verify import ABI_LIVE_IN, verify_program
 
 __all__ = [
+    "ABI_LIVE_IN",
     "BasicBlock",
     "ControlDependence",
     "DataflowResult",
@@ -61,4 +63,5 @@ __all__ = [
     "reverse_postorder",
     "solve_backward",
     "solve_forward",
+    "verify_program",
 ]

@@ -32,6 +32,8 @@ def solve_forward(
     """Forward may-analysis: OUT[b] = gen[b] ∪ (IN[b] − kill[b]),
     IN[b] = ∪ OUT[p] over predecessors."""
     n = len(cfg.blocks)
+    if n == 0:
+        return DataflowResult(block_in=[], block_out=[])
     block_in: list[set] = [set() for _ in range(n)]
     block_out: list[set] = [set(gen[b]) for b in range(n)]
     block_in[cfg.entry] |= entry_fact
@@ -62,6 +64,8 @@ def solve_backward(
     """Backward may-analysis: IN[b] = gen[b] ∪ (OUT[b] − kill[b]),
     OUT[b] = ∪ IN[s] over successors (exit blocks take *exit_fact*)."""
     n = len(cfg.blocks)
+    if n == 0:
+        return DataflowResult(block_in=[], block_out=[])
     block_out: list[set] = [set() for _ in range(n)]
     block_in: list[set] = [set(gen[b]) for b in range(n)]
     changed = True
@@ -109,9 +113,26 @@ def reaching_definitions(program: Program, cfg: FunctionCFG) -> DataflowResult:
     return solve_forward(cfg, gen, kill)
 
 
-def live_registers(program: Program, cfg: FunctionCFG, live_out_exit: frozenset = frozenset()) -> DataflowResult:
+def live_registers(
+    program: Program,
+    cfg: FunctionCFG,
+    live_out_exit: frozenset = frozenset(),
+    call_defines: frozenset = frozenset(),
+    ignore_save_reads: bool = False,
+) -> DataflowResult:
     """Live registers; facts are register ids.  *live_out_exit* seeds the
-    registers considered live when the function returns (e.g. ``$v0``)."""
+    registers considered live when the function returns (e.g. ``$v0``).
+
+    Two opt-in refinements model the calling convention (used by the
+    object-code verifier): *call_defines* registers are treated as written
+    by every call (at runtime a call does produce ``$v0``/``$f0``, even
+    though the ``jal`` instruction's static write set only holds ``$ra``);
+    with *ignore_save_reads*, a store to a stack slot does not count as a
+    read of the value register — caller-save spills read a register merely
+    to preserve it, which is not a use of its value.
+    """
+    from repro.isa import registers
+
     instructions = program.instructions
     gen: list[set] = []
     kill: list[set] = []
@@ -120,8 +141,18 @@ def live_registers(program: Program, cfg: FunctionCFG, live_out_exit: frozenset 
         define: set[int] = set()
         for pc in range(block.start, block.end):
             instr = instructions[pc]
-            use |= set(instr.reads) - define
+            reads = set(instr.reads)
+            if (
+                ignore_save_reads
+                and instr.is_store
+                and instr.rs == registers.SP
+                and instr.rt is not None
+            ):
+                reads.discard(instr.rt)
+            use |= reads - define
             define |= set(instr.writes)
+            if instr.is_call:
+                define |= call_defines
         gen.append(use)
         kill.append(define)
     return solve_backward(cfg, gen, kill, exit_fact=live_out_exit)

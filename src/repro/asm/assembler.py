@@ -81,7 +81,7 @@ class _State:
     jump_table_decls: list[tuple[str, int, int, str]] = field(default_factory=list)
     data_cursor: int = GLOBALS_BASE
     in_data: bool = False
-    open_func: tuple[str, int] | None = None
+    open_func: tuple[str, int, int] | None = None  # (name, start index, lineno)
 
 
 def assemble(source: str, name: str = "a.out") -> Program:
@@ -90,7 +90,9 @@ def assemble(source: str, name: str = "a.out") -> Program:
     for lineno, raw in enumerate(source.splitlines(), start=1):
         _assemble_line(state, raw, lineno)
     if state.open_func is not None:
-        raise AsmError(f"unterminated .func {state.open_func[0]}")
+        raise AsmError(
+            f"unterminated .func {state.open_func[0]}", state.open_func[2]
+        )
     for address, label, offset, lineno, raw in state.data_fixups:
         target = state.data_labels.get(label)
         if target is None:
@@ -186,11 +188,11 @@ def _directive(state: _State, text: str, lineno: int, raw: str) -> None:
             )
         if not rest:
             raise AsmError(".func needs a name", lineno, raw)
-        state.open_func = (rest.strip(), len(state.code))
+        state.open_func = (rest.strip(), len(state.code), lineno)
     elif directive == ".endfunc":
         if state.open_func is None:
             raise AsmError(".endfunc without .func", lineno, raw)
-        func_name, start = state.open_func
+        func_name, start, _ = state.open_func
         if len(state.code) == start:
             raise AsmError(f"empty function {func_name}", lineno, raw)
         state.functions.append(FunctionSymbol(func_name, start, len(state.code)))

@@ -4,9 +4,14 @@ from __future__ import annotations
 
 
 class AsmError(Exception):
-    """Raised on any assembly-time problem, carrying the source line."""
+    """Raised on any assembly-time problem, carrying the source line.
+
+    ``message`` is the bare description; ``line`` is the 1-based source
+    line and ``text`` the offending source text, when known.
+    """
 
     def __init__(self, message: str, line: int | None = None, text: str | None = None):
+        self.message = message
         self.line = line
         self.text = text
         location = f"line {line}: " if line is not None else ""

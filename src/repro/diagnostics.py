@@ -1,0 +1,196 @@
+"""Unified diagnostics engine: the types every verification pass feeds.
+
+The limit study's numbers are only as trustworthy as the static analyses
+they rest on, so three pass families cross-check the stack end to end and
+report through one :class:`Diagnostic` type with stable codes:
+
+* ``MC1xx`` — MiniC lint on the checked AST (:mod:`repro.lang.lint`):
+  maybe-uninitialized reads, unused variables/parameters, unreachable
+  statements, constant conditions;
+* ``OBJ2xx`` — object-code verification on assembled programs
+  (:mod:`repro.analysis.verify`): CFG well-formedness, cross-function
+  transfers, fallthrough off a function end, unreachable blocks,
+  jump-table containment, read-before-write registers;
+* ``TR3xx`` — dynamic-trace sanitization against the static analysis
+  (:mod:`repro.vm.sanitize`): every dynamic edge must exist in the CFG,
+  every control-dependence instance must name a reverse-dominance-frontier
+  branch, and perfect-unrolling removals must match ``loop_overhead_pcs``.
+
+``MC100`` and ``OBJ200`` wrap :class:`~repro.lang.errors.CompileError` and
+:class:`~repro.asm.errors.AsmError` so drivers can render toolchain
+failures uniformly instead of printing tracebacks.
+
+The convenience entry points (:func:`lint_minic`, :func:`lint_program`,
+:func:`sanitize_trace`) import their pass modules lazily so this module —
+and the :class:`Diagnostic` type the passes depend on — stays a leaf.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; comparable (``ERROR`` is the most severe)."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+#: Every stable diagnostic code with a one-line description.  The docs page
+#: ``docs/diagnostics.md`` must document each of these (tested).
+CODES: dict[str, str] = {
+    "MC100": "MiniC source failed to compile (wraps CompileError)",
+    "MC101": "variable may be used before it is initialized",
+    "MC102": "local variable is declared but never used",
+    "MC103": "parameter is never used",
+    "MC104": "statement is unreachable",
+    "MC105": "if-condition is a compile-time constant",
+    "OBJ200": "assembly source failed to assemble (wraps AsmError)",
+    "OBJ201": "control transfer targets a pc that is not a basic-block leader",
+    "OBJ202": "branch or jump transfers control outside its function",
+    "OBJ203": "control can fall through off the end of a function",
+    "OBJ204": "basic block is unreachable from the function entry",
+    "OBJ205": "jump-table target lies outside the dispatching function",
+    "OBJ206": "register may be read before it is written",
+    "OBJ207": "call target is not a function entry point",
+    "TR301": "dynamic successor edge does not exist in the static CFG",
+    "TR302": "control-dependence instance names a non-RDF branch pc",
+    "TR303": "loop-overhead pc is not of unroll-overhead shape",
+    "TR304": "branch-outcome trace field inconsistent with the opcode",
+    "TR305": "memory-address trace field inconsistent with the opcode",
+    "TR306": "trace record is inconsistent with the analyzed program",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a verification pass.
+
+    ``source`` names what was verified (a file, a benchmark, a program);
+    ``line``/``col`` locate MiniC/assembly findings in source text, ``pc``
+    locates object-code and trace findings in the instruction stream.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    source: str = ""
+    line: int | None = None
+    col: int | None = None
+    pc: int | None = None
+    function: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def location(self) -> str:
+        """Human-readable location prefix, e.g. ``prog.c:3:7`` or ``pc 12``."""
+        parts: list[str] = []
+        if self.source:
+            parts.append(self.source)
+        if self.line is not None:
+            parts.append(str(self.line))
+            if self.col is not None:
+                parts.append(str(self.col))
+        text = ":".join(parts)
+        if self.pc is not None:
+            pc_text = f"pc {self.pc}"
+            if self.function:
+                pc_text += f" ({self.function})"
+            text = f"{text}: {pc_text}" if text else pc_text
+        return text
+
+    def render(self) -> str:
+        location = self.location
+        prefix = f"{location}: " if location else ""
+        return f"{prefix}{self.severity.label}[{self.code}]: {self.message}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+class DiagnosticError(Exception):
+    """Raised by verifying drivers when a pass reports errors."""
+
+    def __init__(self, diagnostics: list[Diagnostic], context: str = ""):
+        self.diagnostics = list(diagnostics)
+        self.context = context
+        lines = [d.render() for d in self.diagnostics]
+        head = f"{context}: " if context else ""
+        count = sum(1 for d in self.diagnostics if d.severity >= Severity.ERROR)
+        summary = f"{head}{count} verification error(s)"
+        super().__init__("\n".join([summary, *lines]))
+
+
+def max_severity(diagnostics: list[Diagnostic]) -> Severity | None:
+    """The highest severity present, or None for an empty list."""
+    return max((d.severity for d in diagnostics), default=None)
+
+
+def has_errors(diagnostics: list[Diagnostic]) -> bool:
+    return any(d.severity >= Severity.ERROR for d in diagnostics)
+
+
+def render_all(diagnostics: list[Diagnostic]) -> str:
+    return "\n".join(d.render() for d in diagnostics)
+
+
+@dataclass
+class _SortKey:
+    """Stable ordering: by source, then line, then pc, then code."""
+
+    diagnostic: Diagnostic = field(repr=False)
+
+    @property
+    def key(self) -> tuple:
+        d = self.diagnostic
+        return (
+            d.source,
+            d.line if d.line is not None else -1,
+            d.pc if d.pc is not None else -1,
+            d.code,
+        )
+
+
+def sort_diagnostics(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    return sorted(diagnostics, key=lambda d: _SortKey(d).key)
+
+
+# ---------------------------------------------------------------------------
+# convenience entry points (lazy imports keep this module a leaf)
+
+
+def lint_minic(source: str, name: str = "<minic>"):
+    """Run the MiniC lint passes (``MC1xx``) over *source* text.
+
+    A source that fails to lex/parse/check yields a single ``MC100``
+    diagnostic instead of raising.
+    """
+    from repro.lang.lint import lint_minic as _lint
+
+    return _lint(source, name=name)
+
+
+def lint_program(program, name: str | None = None):
+    """Run the object-code verifier (``OBJ2xx``) over an assembled
+    :class:`~repro.isa.Program`."""
+    from repro.analysis.verify import verify_program
+
+    return verify_program(program, name=name)
+
+
+def sanitize_trace(trace, analysis=None, name: str | None = None,
+                   max_reports: int = 100):
+    """Replay a dynamic trace against the static analysis (``TR3xx``)."""
+    from repro.vm.sanitize import sanitize_trace as _sanitize
+
+    return _sanitize(trace, analysis=analysis, name=name, max_reports=max_reports)

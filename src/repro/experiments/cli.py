@@ -14,6 +14,9 @@ import argparse
 import sys
 import time
 
+from repro.asm import AsmError
+from repro.diagnostics import DiagnosticError
+from repro.lang import CompileError
 from repro.experiments import (
     ablations,
     fig4,
@@ -71,6 +74,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="override every benchmark's workload scale",
     )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="run the object-code verifier and trace sanitizer over every "
+        "benchmark before analyzing it (fails on any error diagnostic)",
+    )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument(
         "--output",
@@ -98,11 +107,19 @@ def main(argv: list[str] | None = None) -> int:
             f"# repro-experiments report (max_steps={args.max_steps}, "
             f"scale={args.scale or 'defaults'})\n\n"
         )
-    runner = SuiteRunner(RunConfig(max_steps=args.max_steps, scale=args.scale))
+    runner = SuiteRunner(
+        RunConfig(max_steps=args.max_steps, scale=args.scale, verify=args.verify)
+    )
     try:
         for name in names:
             started = time.time()
-            output = EXPERIMENTS[name](runner)
+            try:
+                output = EXPERIMENTS[name](runner)
+            except (AsmError, CompileError, DiagnosticError) as exc:
+                # Diagnostic-bearing failures are reported, not raised: the
+                # rendered diagnostics carry everything a traceback would.
+                print(f"{name}: {exc}", file=sys.stderr)
+                return 1
             elapsed = time.time() - started
             print(output)
             print(f"[{name}: {elapsed:.1f}s]")

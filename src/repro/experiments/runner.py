@@ -14,6 +14,7 @@ from typing import Sequence
 
 from repro.bench import SUITE, BenchmarkSpec
 from repro.core import ALL_MODELS, AnalysisResult, LimitAnalyzer, MachineModel
+from repro.diagnostics import DiagnosticError, Severity
 from repro.prediction import BranchPredictor, BranchStats, ProfilePredictor, branch_stats
 from repro.vm import VM, Trace
 
@@ -25,10 +26,15 @@ class RunConfig:
     ``max_steps`` plays the role of the paper's 100M-instruction pixie cap,
     scaled to what a Python interpreter sustains.  ``scale`` overrides each
     benchmark's default workload scale (None keeps the defaults).
+    ``verify`` runs the object-code verifier and trace sanitizer over every
+    benchmark before its numbers are used, raising
+    :class:`~repro.diagnostics.DiagnosticError` on any error-severity
+    finding.
     """
 
     max_steps: int = 150_000
     scale: int | None = None
+    verify: bool = False
 
 
 @dataclass
@@ -70,8 +76,23 @@ class SuiteRunner:
             predictor=predictor,
             stats=branch_stats(result.trace, predictor),
         )
+        if self.config.verify:
+            self._verify(run)
         self._runs[name] = run
         return run
+
+    def _verify(self, run: BenchmarkRun) -> None:
+        """Cross-check the compiled program and its trace (RunConfig.verify)."""
+        from repro.analysis.verify import verify_program
+        from repro.vm.sanitize import sanitize_trace
+
+        diagnostics = verify_program(run.analyzer.program, name=run.name)
+        diagnostics += sanitize_trace(
+            run.trace, analysis=run.analyzer.analysis, name=run.name
+        )
+        errors = [d for d in diagnostics if d.severity >= Severity.ERROR]
+        if errors:
+            raise DiagnosticError(errors, context=run.name)
 
     def analyze(
         self,

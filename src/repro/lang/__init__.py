@@ -15,6 +15,7 @@ the paper (see :mod:`repro.lang.codegen`).
 from repro.lang.compiler import compile_source, compile_to_assembly
 from repro.lang.errors import CompileError
 from repro.lang.lexer import tokenize
+from repro.lang.lint import lint_checked, lint_minic
 from repro.lang.parser import parse
 from repro.lang.reference import ReferenceInterpreter, ReferenceResult, interpret
 from repro.lang.semantics import BUILTINS, CheckedUnit, check
@@ -29,6 +30,8 @@ __all__ = [
     "compile_source",
     "compile_to_assembly",
     "interpret",
+    "lint_checked",
+    "lint_minic",
     "parse",
     "tokenize",
 ]

@@ -22,9 +22,11 @@ def compile_to_assembly(source: str, if_convert: bool = False) -> str:
     checked = check(unit)
     main_sig = checked.functions.get("main")
     if main_sig is None:
-        raise CompileError("program has no main function")
+        last = unit.functions[-1].line if unit.functions else 1
+        raise CompileError("program has no main function", last)
     if main_sig.param_types or main_sig.return_type is not INT:
-        raise CompileError("main must be declared as `int main()`")
+        main_def = next(f for f in unit.functions if f.name == "main")
+        raise CompileError("main must be declared as `int main()`", main_def.line)
     return generate(checked, if_convert=if_convert)
 
 

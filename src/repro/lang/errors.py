@@ -4,9 +4,15 @@ from __future__ import annotations
 
 
 class CompileError(Exception):
-    """Raised for any MiniC lexing, parsing, type, or codegen problem."""
+    """Raised for any MiniC lexing, parsing, type, or codegen problem.
+
+    ``message`` is the bare description; ``line``/``col`` (1-based, when
+    known) position it in the source.  ``str(error)`` renders both, so
+    diagnostics tooling should build from the parts, not the string.
+    """
 
     def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.message = message
         self.line = line
         self.col = col
         location = ""

@@ -1,0 +1,494 @@
+"""MiniC lint passes (``MC1xx`` diagnostics) over the checked AST.
+
+The headline pass is definite-assignment checking (``MC101``), built on the
+same iterative dataflow machinery the object-code analyses use: we lower
+each function body to a synthetic statement-level
+:class:`~repro.analysis.cfg.FunctionCFG` (one block per flow point, edges
+for structured control flow) and run :func:`repro.analysis.dataflow.
+solve_forward` with facts meaning "this local may still be uninitialized".
+A declaration without an initializer *generates* the fact; a definite
+assignment *kills* it; assignments guarded by short-circuit evaluation
+(``&&``/``||`` right operands, ``?:`` arms) kill nothing.  Any read whose
+incoming fact set contains the variable is reported.
+
+The cheaper companion passes walk the AST directly: unused locals
+(``MC102``), unused parameters (``MC103``), statements unreachable after a
+``return``/``break``/``continue`` (``MC104``), and ``if`` conditions the
+checker folded to a constant (``MC105``).
+
+Variables whose address is taken or whose type is an array are excluded
+from the definite-assignment pass — they live in memory, and stores
+through pointers are beyond a flow-insensitive alias-free analysis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import BasicBlock, FunctionCFG
+from repro.analysis.dataflow import solve_forward
+from repro.diagnostics import Diagnostic, Severity
+from repro.isa import FunctionSymbol
+from repro.lang import nodes as N
+from repro.lang.errors import CompileError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.semantics import CheckedUnit, LocalVar, check
+
+# One flow node's ordered event list.  Events:
+#   ("use", var, line)  -- var read here
+#   ("def", var)        -- var definitely assigned here
+#   ("gen", var)        -- var becomes maybe-uninitialized here (its decl)
+_Event = tuple
+
+
+@dataclass
+class _LoopCtx:
+    break_nodes: list[int] = field(default_factory=list)
+    continue_target: int | None = None
+
+
+class _FlowGraph:
+    """A statement-level flow graph shaped like a FunctionCFG.
+
+    ``solve_forward`` only consults ``blocks``, ``block.id``,
+    ``block.preds`` and ``entry``, so instruction ranges are left empty.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[list[_Event]] = []
+        self.preds: list[list[int]] = []
+
+    def new_node(self) -> int:
+        self.events.append([])
+        self.preds.append([])
+        return len(self.events) - 1
+
+    def edge(self, src: int, dst: int) -> None:
+        if src not in self.preds[dst]:
+            self.preds[dst].append(src)
+
+    def as_cfg(self, name: str) -> FunctionCFG:
+        blocks = [
+            BasicBlock(id=i, start=0, end=0, preds=list(preds))
+            for i, preds in enumerate(self.preds)
+        ]
+        return FunctionCFG(function=FunctionSymbol(name, 0, 0), blocks=blocks)
+
+
+class _FunctionLinter:
+    def __init__(self, checked: CheckedUnit, func: N.FuncDef, source_name: str):
+        self.checked = checked
+        self.func = func
+        self.source_name = source_name
+        self.diagnostics: list[Diagnostic] = []
+        self.graph = _FlowGraph()
+        self.loops: list[_LoopCtx] = []
+        # Stack of break-target collectors: one list per enclosing loop or
+        # switch; `break` appends its node to the innermost.
+        self._break_stack: list[list[int]] = []
+        # How many enclosing contexts make execution conditional within the
+        # current flow node (&&/|| right operands, ?: arms): defs there are
+        # "maybe" defs and must not kill the uninitialized fact.
+        self.guard_depth = 0
+        self.referenced: set[LocalVar] = set()
+        self.address_taken: set[LocalVar] = set()
+        self._collect_address_taken(func.body)
+        self.tracked: set[LocalVar] = {
+            var
+            for var in checked.func_locals.get(func.name, [])
+            if not var.is_param
+            and not var.type.is_array
+            and var not in self.address_taken
+        }
+
+    # -- symbol helpers ---------------------------------------------------
+
+    def _local_of(self, node: N.Expr) -> LocalVar | None:
+        symbol = self.checked.var_symbols.get(id(node))
+        return symbol if isinstance(symbol, LocalVar) else None
+
+    def _collect_address_taken(self, node) -> None:
+        if isinstance(node, N.AddrOf):
+            var = self._local_of(node.operand) if node.operand is not None else None
+            if var is None and node.operand is not None:
+                # checker-synthesized AddrOf registers itself in var_symbols
+                symbol = self.checked.var_symbols.get(id(node))
+                var = symbol if isinstance(symbol, LocalVar) else None
+            if var is not None:
+                self.address_taken.add(var)
+        if dataclasses.is_dataclass(node):
+            for f in dataclasses.fields(node):
+                self._collect_address_taken(getattr(node, f.name))
+        elif isinstance(node, list):
+            for item in node:
+                self._collect_address_taken(item)
+
+    # -- expression events ------------------------------------------------
+
+    def _emit(self, node: int, event: _Event) -> None:
+        self.graph.events[node].append(event)
+
+    def _use(self, node: int, expr: N.VarRef) -> None:
+        var = self._local_of(expr)
+        if var is not None:
+            self.referenced.add(var)
+            if var in self.tracked:
+                self._emit(node, ("use", var, expr.line))
+
+    def _def(self, node: int, expr: N.Expr) -> None:
+        var = self._local_of(expr)
+        if var is not None:
+            self.referenced.add(var)
+            if var in self.tracked and self.guard_depth == 0:
+                self._emit(node, ("def", var))
+
+    def walk_expr(self, expr, node: int) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, N.VarRef):
+            self._use(node, expr)
+        elif isinstance(expr, N.Assign):
+            if isinstance(expr.target, N.VarRef):
+                if expr.op is not None:
+                    self._use(node, expr.target)  # compound: reads old value
+                self.walk_expr(expr.value, node)
+                self._def(node, expr.target)
+            else:
+                self.walk_expr(expr.target, node)
+                self.walk_expr(expr.value, node)
+        elif isinstance(expr, N.IncDec):
+            if isinstance(expr.target, N.VarRef):
+                self._use(node, expr.target)
+                self._def(node, expr.target)
+            else:
+                self.walk_expr(expr.target, node)
+        elif isinstance(expr, N.Logical):
+            self.walk_expr(expr.left, node)
+            self.guard_depth += 1
+            self.walk_expr(expr.right, node)
+            self.guard_depth -= 1
+        elif isinstance(expr, N.Conditional):
+            self.walk_expr(expr.cond, node)
+            self.guard_depth += 1
+            self.walk_expr(expr.then, node)
+            self.walk_expr(expr.otherwise, node)
+            self.guard_depth -= 1
+        elif dataclasses.is_dataclass(expr):
+            for f in dataclasses.fields(expr):
+                value = getattr(expr, f.name)
+                if isinstance(value, N.Expr):
+                    self.walk_expr(value, node)
+                elif isinstance(value, list):
+                    for item in value:
+                        if isinstance(item, N.Expr):
+                            self.walk_expr(item, node)
+
+    # -- statement flow ---------------------------------------------------
+
+    def _report(self, code: str, message: str, line: int) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                code=code,
+                severity=Severity.WARNING,
+                message=message,
+                source=self.source_name,
+                line=line or None,
+                function=self.func.name,
+            )
+        )
+
+    def fold_statements(self, statements: list[N.Stmt], current: int | None) -> int | None:
+        reported_unreachable = False
+        for stmt in statements:
+            if current is None:
+                if not reported_unreachable and not isinstance(stmt, N.Empty):
+                    self._report("MC104", "statement is unreachable", stmt.line)
+                    reported_unreachable = True
+                # keep analyzing from a disconnected node so later defs/uses
+                # inside the dead region stay internally consistent
+                current = self.graph.new_node()
+            current = self.visit_stmt(stmt, current)
+        return current
+
+    @staticmethod
+    def _const_cond(expr) -> int | None:
+        if isinstance(expr, N.IntLit):
+            return expr.value
+        if isinstance(expr, N.FloatLit):
+            return 1 if expr.value else 0
+        return None
+
+    def visit_stmt(self, stmt: N.Stmt, current: int) -> int | None:
+        if isinstance(stmt, N.Block):
+            return self.fold_statements(stmt.statements, current)
+        if isinstance(stmt, N.Empty):
+            return current
+        if isinstance(stmt, N.ExprStmt):
+            self.walk_expr(stmt.expr, current)
+            return current
+        if isinstance(stmt, N.VarDecl):
+            var = self._local_of(stmt)
+            if stmt.init is not None:
+                self.walk_expr(stmt.init, current)
+                if var is not None and var in self.tracked:
+                    self._emit(current, ("def", var))
+            elif var is not None and var in self.tracked:
+                self._emit(current, ("gen", var))
+            return current
+        if isinstance(stmt, N.If):
+            return self._visit_if(stmt, current)
+        if isinstance(stmt, N.While):
+            return self._visit_while(stmt, current)
+        if isinstance(stmt, N.DoWhile):
+            return self._visit_do_while(stmt, current)
+        if isinstance(stmt, N.For):
+            return self._visit_for(stmt, current)
+        if isinstance(stmt, N.Switch):
+            return self._visit_switch(stmt, current)
+        if isinstance(stmt, N.Return):
+            self.walk_expr(stmt.value, current)
+            return None
+        if isinstance(stmt, N.Break):
+            self._break_stack[-1].append(current)
+            return None
+        if isinstance(stmt, N.Continue):
+            target = self.loops[-1].continue_target
+            if target is not None:
+                self.graph.edge(current, target)
+            return None
+        return current  # unknown statement kinds flow through
+
+    def _visit_if(self, stmt: N.If, current: int) -> int | None:
+        const = self._const_cond(stmt.cond)
+        if const is not None:
+            self._report(
+                "MC105",
+                f"if-condition is always {'true' if const else 'false'}",
+                stmt.cond.line or stmt.line,
+            )
+        self.walk_expr(stmt.cond, current)
+        then_entry = self.graph.new_node()
+        self.graph.edge(current, then_entry)
+        then_end = self.visit_stmt(stmt.then, then_entry)
+        live_ends = [end for end in (then_end,) if end is not None]
+        if stmt.otherwise is not None:
+            else_entry = self.graph.new_node()
+            self.graph.edge(current, else_entry)
+            else_end = self.visit_stmt(stmt.otherwise, else_entry)
+            if else_end is not None:
+                live_ends.append(else_end)
+        else:
+            live_ends.append(current)
+        if not live_ends:
+            return None
+        join = self.graph.new_node()
+        for end in live_ends:
+            self.graph.edge(end, join)
+        return join
+
+    def _visit_loop_body(
+        self, body: N.Stmt, entry: int, continue_target: int
+    ) -> tuple[int | None, list[int]]:
+        ctx = _LoopCtx(continue_target=continue_target)
+        self.loops.append(ctx)
+        self._break_stack.append(ctx.break_nodes)
+        end = self.visit_stmt(body, entry)
+        self._break_stack.pop()
+        self.loops.pop()
+        return end, ctx.break_nodes
+
+    def _visit_while(self, stmt: N.While, current: int) -> int | None:
+        header = self.graph.new_node()
+        self.graph.edge(current, header)
+        self.walk_expr(stmt.cond, header)
+        body_entry = self.graph.new_node()
+        self.graph.edge(header, body_entry)
+        body_end, breaks = self._visit_loop_body(stmt.body, body_entry, header)
+        if body_end is not None:
+            self.graph.edge(body_end, header)
+        after = self.graph.new_node()
+        const = self._const_cond(stmt.cond)
+        if const is None or const == 0:
+            self.graph.edge(header, after)  # loop may not be entered
+        for node in breaks:
+            self.graph.edge(node, after)
+        return after
+
+    def _visit_do_while(self, stmt: N.DoWhile, current: int) -> int | None:
+        body_entry = self.graph.new_node()
+        self.graph.edge(current, body_entry)
+        cond_node = self.graph.new_node()  # `continue` target
+        body_end, breaks = self._visit_loop_body(stmt.body, body_entry, cond_node)
+        if body_end is not None:
+            self.graph.edge(body_end, cond_node)
+        self.walk_expr(stmt.cond, cond_node)
+        self.graph.edge(cond_node, body_entry)
+        after = self.graph.new_node()
+        const = self._const_cond(stmt.cond)
+        if const is None or const == 0:
+            self.graph.edge(cond_node, after)
+        for node in breaks:
+            self.graph.edge(node, after)
+        return after
+
+    def _visit_for(self, stmt: N.For, current: int) -> int | None:
+        cursor: int | None = current
+        if stmt.init is not None:
+            cursor = self.visit_stmt(stmt.init, current)
+            if cursor is None:  # defensive; init cannot terminate flow
+                cursor = self.graph.new_node()
+        header = self.graph.new_node()
+        self.graph.edge(cursor, header)
+        if stmt.cond is not None:
+            self.walk_expr(stmt.cond, header)
+        body_entry = self.graph.new_node()
+        self.graph.edge(header, body_entry)
+        step_node = self.graph.new_node()  # `continue` target
+        body_end, breaks = self._visit_loop_body(stmt.body, body_entry, step_node)
+        if body_end is not None:
+            self.graph.edge(body_end, step_node)
+        if stmt.step is not None:
+            self.walk_expr(stmt.step, step_node)
+        self.graph.edge(step_node, header)
+        after = self.graph.new_node()
+        const = self._const_cond(stmt.cond) if stmt.cond is not None else 1
+        if const is None or const == 0:
+            self.graph.edge(header, after)
+        for node in breaks:
+            self.graph.edge(node, after)
+        return after
+
+    def _visit_switch(self, stmt: N.Switch, current: int) -> int | None:
+        self.walk_expr(stmt.cond, current)
+        breaks: list[int] = []
+        self._break_stack.append(breaks)
+        prev_end: int | None = None
+        has_default = False
+        for case in stmt.cases:
+            if case.value is None:
+                has_default = True
+            entry = self.graph.new_node()
+            self.graph.edge(current, entry)
+            if prev_end is not None:  # C fallthrough from the previous case
+                self.graph.edge(prev_end, entry)
+            prev_end = self.fold_statements(case.body, entry)
+        self._break_stack.pop()
+        after = self.graph.new_node()
+        if prev_end is not None:
+            self.graph.edge(prev_end, after)
+        if not has_default:
+            self.graph.edge(current, after)
+        for node in breaks:
+            self.graph.edge(node, after)
+        return after
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self) -> list[Diagnostic]:
+        entry = self.graph.new_node()
+        self.fold_statements(self.func.body.statements, entry)
+        self._solve_and_report_uninit()
+        self._report_unused()
+        return self.diagnostics
+
+    def _solve_and_report_uninit(self) -> None:
+        cfg = self.graph.as_cfg(self.func.name)
+        gen: list[set] = []
+        kill: list[set] = []
+        for events in self.graph.events:
+            g: set = set()
+            k: set = set()
+            for event in events:
+                if event[0] == "def":
+                    k.add(event[1])
+                    g.discard(event[1])
+                elif event[0] == "gen":
+                    g.add(event[1])
+                    k.discard(event[1])
+            gen.append(g)
+            kill.append(k)
+        solved = solve_forward(cfg, gen, kill)
+        reported: set[tuple[LocalVar, int]] = set()
+        for node, events in enumerate(self.graph.events):
+            fact = set(solved.block_in[node])
+            for event in events:
+                if event[0] == "use":
+                    _, var, line = event
+                    if var in fact and (var, line) not in reported:
+                        reported.add((var, line))
+                        self._report(
+                            "MC101",
+                            f"variable {var.name!r} may be used before it is "
+                            "initialized",
+                            line,
+                        )
+                elif event[0] == "def":
+                    fact.discard(event[1])
+                elif event[0] == "gen":
+                    fact.add(event[1])
+
+    def _report_unused(self) -> None:
+        decl_lines: dict[LocalVar, int] = {}
+        self._collect_decl_lines(self.func.body, decl_lines)
+        locals_ = self.checked.func_locals.get(self.func.name, [])
+        param_by_name = {p.name: p for p in self.func.params}
+        for var in locals_:
+            if var in self.referenced:
+                continue
+            if var.is_param:
+                param = param_by_name.get(var.name)
+                line = param.line if param is not None else self.func.line
+                self._report(
+                    "MC103", f"parameter {var.name!r} is never used", line
+                )
+            else:
+                line = decl_lines.get(var, self.func.line)
+                self._report(
+                    "MC102",
+                    f"local variable {var.name!r} is declared but never used",
+                    line,
+                )
+
+    def _collect_decl_lines(self, node, out: dict[LocalVar, int]) -> None:
+        if isinstance(node, N.VarDecl):
+            var = self._local_of(node)
+            if var is not None:
+                out[var] = node.line
+        if dataclasses.is_dataclass(node):
+            for f in dataclasses.fields(node):
+                self._collect_decl_lines(getattr(node, f.name), out)
+        elif isinstance(node, list):
+            for item in node:
+                self._collect_decl_lines(item, out)
+
+
+def lint_checked(checked: CheckedUnit, name: str = "<minic>") -> list[Diagnostic]:
+    """Run the MC1xx passes over an already-checked unit."""
+    diagnostics: list[Diagnostic] = []
+    for func in checked.unit.functions:
+        diagnostics.extend(_FunctionLinter(checked, func, name).run())
+    diagnostics.sort(
+        key=lambda d: (d.line if d.line is not None else 0, d.code, d.message)
+    )
+    return diagnostics
+
+
+def lint_minic(source: str, name: str = "<minic>") -> list[Diagnostic]:
+    """Lint MiniC *source* text.  Lex/parse/check failures come back as a
+    single ``MC100`` error diagnostic rather than an exception."""
+    try:
+        checked = check(parse(tokenize(source)))
+    except CompileError as exc:
+        return [
+            Diagnostic(
+                code="MC100",
+                severity=Severity.ERROR,
+                message=exc.message,
+                source=name,
+                line=exc.line,
+                col=exc.col,
+            )
+        ]
+    return lint_checked(checked, name=name)

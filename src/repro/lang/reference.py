@@ -459,5 +459,6 @@ def interpret(source: str, max_steps: int = 5_000_000) -> ReferenceResult:
     unit = parse(tokenize(source))
     checked = check(unit)
     if "main" not in checked.functions:
-        raise CompileError("program has no main function")
+        last = unit.functions[-1].line if unit.functions else 1
+        raise CompileError("program has no main function", last)
     return ReferenceInterpreter(checked, max_steps=max_steps).run()

@@ -20,23 +20,45 @@ from pathlib import Path
 
 from repro.analysis import analyze_program as static_analysis
 from repro.analysis import build_cfgs, compute_control_dependence, find_loops
+from repro.analysis import verify_program
 from repro.asm import assemble, disassemble
 from repro.core import ALL_MODELS, LimitAnalyzer
+from repro.diagnostics import has_errors, render_all
 from repro.isa import Program
-from repro.lang import compile_source, compile_to_assembly
+from repro.lang import compile_source, compile_to_assembly, lint_minic
 from repro.vm import VM
 
 
-def _load(path: str, if_convert: bool = False) -> Program:
+def _load(path: str, if_convert: bool = False, verify: bool = False) -> Program:
     text = Path(path).read_text()
+    name = Path(path).stem
     if path.endswith((".s", ".asm")):
-        return assemble(text, name=Path(path).stem)
-    return compile_source(text, name=Path(path).stem, if_convert=if_convert)
+        program = assemble(text, name=name)
+    else:
+        if verify:
+            _gate(lint_minic(text, name=path))
+        program = compile_source(text, name=name, if_convert=if_convert)
+    if verify:
+        _gate(verify_program(program, name=path))
+    return program
+
+
+def _gate(diagnostics) -> None:
+    """Print diagnostics; exit 1 when any is an error (--verify mode)."""
+    if diagnostics:
+        print(render_all(diagnostics), file=sys.stderr)
+    if has_errors(diagnostics):
+        raise SystemExit(1)
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
     source = Path(args.file).read_text()
+    if args.verify:
+        _gate(lint_minic(source, name=args.file))
     assembly = compile_to_assembly(source, if_convert=args.if_convert)
+    if args.verify:
+        _gate(verify_program(assemble(assembly, name=Path(args.file).stem),
+                             name=args.file))
     if args.output:
         Path(args.output).write_text(assembly)
         print(f"wrote {args.output}")
@@ -46,7 +68,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    program = _load(args.file, if_convert=args.if_convert)
+    program = _load(args.file, if_convert=args.if_convert, verify=args.verify)
     result = VM(program).run(max_steps=args.max_steps)
     for item in result.output:
         if isinstance(item, str):
@@ -64,9 +86,15 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    program = _load(args.file, if_convert=args.if_convert)
+    program = _load(args.file, if_convert=args.if_convert, verify=args.verify)
     run = VM(program).run(max_steps=args.max_steps)
-    result = LimitAnalyzer(program).analyze(run.trace)
+    analyzer = LimitAnalyzer(program)
+    if args.verify:
+        from repro.vm import sanitize_trace
+
+        _gate(sanitize_trace(run.trace, analysis=analyzer.analysis,
+                             name=args.file))
+    result = analyzer.analyze(run.trace)
     print(f"{len(program)} static instructions, {run.steps} traced "
           f"({result.counted_instructions} counted after perfect inlining/unrolling)")
     print(f"{'machine':>10s} {'parallelism':>12s} {'cycles':>9s}")
@@ -118,12 +146,16 @@ def main(argv: list[str] | None = None) -> int:
     build.add_argument("file")
     build.add_argument("-o", "--output")
     build.add_argument("--if-convert", action="store_true")
+    build.add_argument("--verify", action="store_true",
+                       help="lint the source and verify the object code")
     build.set_defaults(func=_cmd_build)
 
     run = subparsers.add_parser("run", help="execute a program")
     run.add_argument("file")
     run.add_argument("--max-steps", type=int, default=10_000_000)
     run.add_argument("--if-convert", action="store_true")
+    run.add_argument("--verify", action="store_true",
+                     help="lint the source and verify the object code")
     run.set_defaults(func=_cmd_run)
 
     disasm = subparsers.add_parser("disasm", help="disassemble a program")
@@ -134,6 +166,8 @@ def main(argv: list[str] | None = None) -> int:
     analyze.add_argument("file")
     analyze.add_argument("--max-steps", type=int, default=1_000_000)
     analyze.add_argument("--if-convert", action="store_true")
+    analyze.add_argument("--verify", action="store_true",
+                         help="lint, verify object code, and sanitize the trace")
     analyze.set_defaults(func=_cmd_analyze)
 
     cfg = subparsers.add_parser("cfg", help="dump CFG / control dependence")

@@ -1,6 +1,7 @@
 """Tracing interpreter for the repro ISA (the study's ``pixie`` equivalent)."""
 
 from repro.vm.machine import RETURN_SENTINEL, VM, RunResult, VMError, run_program
+from repro.vm.sanitize import sanitize_trace
 from repro.vm.trace import (
     NO_ADDR,
     NOT_BRANCH,
@@ -25,5 +26,6 @@ __all__ = [
     "VMError",
     "load_trace",
     "run_program",
+    "sanitize_trace",
     "save_trace",
 ]

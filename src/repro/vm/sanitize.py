@@ -1,0 +1,209 @@
+"""Trace sanitizer (``TR3xx`` diagnostics): replay a dynamic trace against
+the static :class:`~repro.analysis.summary.ProgramAnalysis`.
+
+The limit analyzer consumes the trace and the static analysis together; a
+mismatch between them (a codegen bug, a stale analysis, a corrupted trace)
+silently skews every parallelism number.  The sanitizer walks the trace
+once and checks:
+
+* ``TR306`` — every pc indexes a real instruction of the analyzed program;
+* ``TR304``/``TR305`` — the branch-outcome and memory-address side fields
+  are set exactly for conditional branches / memory operations;
+* ``TR301`` — every dynamic edge (``pcs[i]`` → ``pcs[i+1]``) is one the
+  static CFG admits: branch fall-through/target consistent with the
+  recorded outcome, jump and call targets, returns matching a shadow
+  return stack, computed jumps landing on a declared jump-table target;
+* ``TR302`` — every control-dependence pc the analyzer would consume
+  (``cd_of_pc``) names a conditional branch or computed jump of the same
+  function (the reverse-dominance-frontier property);
+* ``TR303`` — every pc that perfect unrolling would remove
+  (``loop_overhead``) is of overhead shape: a self-increment ``addi``, an
+  index comparison, or a conditional branch — matching §4.2 of the paper.
+
+Reports are deduplicated per (code, pc) and capped at *max_reports* so a
+systematically broken trace stays readable.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import _computed_jump_targets
+from repro.analysis.induction import _COMPARE_OPS
+from repro.analysis.summary import ProgramAnalysis, analyze_program
+from repro.diagnostics import Diagnostic, Severity
+from repro.isa import Opcode, OpKind, registers
+from repro.vm.trace import NO_ADDR, NOT_BRANCH, TAKEN, Trace
+
+
+def sanitize_trace(
+    trace: Trace,
+    analysis: ProgramAnalysis | None = None,
+    name: str | None = None,
+    max_reports: int = 100,
+) -> list[Diagnostic]:
+    """Check *trace* against *analysis* (computed from the trace's program
+    when not supplied).  Returns the diagnostics found."""
+    if analysis is None:
+        analysis = analyze_program(trace.program)
+    program = analysis.program
+    source = name if name is not None else program.name
+    instructions = program.instructions
+    n = len(instructions)
+    entries = {cfg.function.start for cfg in analysis.cfgs}
+
+    diagnostics: list[Diagnostic] = []
+    seen: set[tuple[str, int]] = set()
+
+    def report(code: str, message: str, pc: int | None) -> None:
+        key = (code, pc if pc is not None else -1)
+        if key in seen or len(diagnostics) >= max_reports:
+            return
+        seen.add(key)
+        diagnostics.append(
+            Diagnostic(
+                code=code,
+                severity=Severity.ERROR,
+                message=message,
+                source=source,
+                pc=pc,
+            )
+        )
+
+    if trace.program is not program:
+        report("TR306", "trace was recorded against a different program", None)
+        return diagnostics
+
+    pcs, addrs, takens = trace.pcs, trace.addrs, trace.takens
+    return_stack: list[int] = []
+    executed: set[int] = set()
+
+    for i, pc in enumerate(pcs):
+        if not 0 <= pc < n:
+            report("TR306", f"trace pc {pc} is outside the program", pc)
+            continue
+        executed.add(pc)
+        instr = instructions[pc]
+
+        if (takens[i] != NOT_BRANCH) != instr.is_cond_branch:
+            detail = (
+                "has no branch outcome"
+                if instr.is_cond_branch
+                else "carries a branch outcome"
+            )
+            report(
+                "TR304",
+                f"{instr.render()} at pc {pc} {detail}",
+                pc,
+            )
+        if (addrs[i] != NO_ADDR) != instr.is_mem:
+            detail = (
+                "has no memory address"
+                if instr.is_mem
+                else "carries a memory address"
+            )
+            report("TR305", f"{instr.render()} at pc {pc} {detail}", pc)
+
+        last = i + 1 == len(pcs)
+        if instr.kind is OpKind.HALT:
+            if not last:
+                report("TR306", f"execution continues past halt at pc {pc}", pc)
+            continue
+        if last:
+            # jr to the VM's return sentinel legitimately ends the run.
+            continue
+        next_pc = pcs[i + 1]
+        expected = _expected_successors(
+            program, instr, pc, takens[i], entries, return_stack
+        )
+        if expected is not None and next_pc not in expected:
+            report(
+                "TR301",
+                f"dynamic edge pc {pc} -> pc {next_pc} does not exist in the "
+                f"CFG ({instr.render()}; expected "
+                f"{sorted(expected)})",
+                pc,
+            )
+
+    _check_control_dependence(analysis, executed, report)
+    _check_loop_overhead(analysis, report)
+    return diagnostics
+
+
+def _expected_successors(
+    program,
+    instr,
+    pc: int,
+    taken: int,
+    entries: set[int],
+    return_stack: list[int],
+) -> set[int] | None:
+    """The pcs the next trace record may hold, or None when unknowable."""
+    if instr.is_cond_branch:
+        return {instr.target} if taken == TAKEN else {pc + 1}
+    if instr.is_direct_jump:
+        return {instr.target}
+    if instr.kind is OpKind.CALL:  # jal
+        return_stack.append(pc + 1)
+        return {instr.target}
+    if instr.kind is OpKind.JALR:
+        return_stack.append(pc + 1)
+        return set(entries)  # an indirect call must land on some entry
+    if instr.is_return:
+        if not return_stack:
+            return None  # returning past the traced region
+        return {return_stack.pop()}
+    if instr.is_computed_jump:
+        targets = set(_computed_jump_targets(program, pc))
+        return targets or None  # undeclared computed jumps are unknowable
+    return {pc + 1}
+
+
+def _check_control_dependence(analysis: ProgramAnalysis, executed, report) -> None:
+    instructions = analysis.program.instructions
+    checked: set[int] = set()
+    for pc in sorted(executed):
+        for dep_pc in analysis.cd_of_pc[pc]:
+            if dep_pc in checked:
+                continue
+            checked.add(dep_pc)
+            if not 0 <= dep_pc < len(instructions):
+                report(
+                    "TR302",
+                    f"control dependence of pc {pc} names pc {dep_pc}, "
+                    "which is outside the program",
+                    pc,
+                )
+                continue
+            dep = instructions[dep_pc]
+            if not (dep.is_cond_branch or dep.is_computed_jump):
+                report(
+                    "TR302",
+                    f"control dependence of pc {pc} names pc {dep_pc} "
+                    f"({dep.render()}), which is not a branch",
+                    pc,
+                )
+            elif analysis.func_of_pc[dep_pc] != analysis.func_of_pc[pc]:
+                report(
+                    "TR302",
+                    f"control dependence of pc {pc} names pc {dep_pc} in a "
+                    "different function",
+                    pc,
+                )
+
+
+def _check_loop_overhead(analysis: ProgramAnalysis, report) -> None:
+    instructions = analysis.program.instructions
+    for pc in sorted(analysis.loop_overhead):
+        instr = instructions[pc]
+        is_increment = (
+            instr.opcode is Opcode.ADDI
+            and instr.rd == instr.rs
+            and instr.rd != registers.ZERO
+        )
+        is_compare = instr.opcode in _COMPARE_OPS
+        if not (is_increment or is_compare or instr.is_cond_branch):
+            report(
+                "TR303",
+                f"loop-overhead pc {pc} ({instr.render()}) is neither an "
+                "induction increment, an index comparison, nor a branch",
+                pc,
+            )

@@ -1,0 +1,117 @@
+"""Edge-case coverage for the dataflow solvers, which the verifier and the
+MiniC lint pass both depend on: empty CFGs, single-block functions,
+unreachable blocks, and convergence on an irreducible-looking CFG."""
+
+from repro.analysis import (
+    EXIT_BLOCK,
+    BasicBlock,
+    FunctionCFG,
+    build_cfgs,
+    live_registers,
+    reaching_definitions,
+    solve_backward,
+    solve_forward,
+)
+from repro.asm import assemble
+from repro.isa import FunctionSymbol
+
+
+def make_cfg(edges, n):
+    """Build a synthetic CFG with *n* blocks and the given (src, dst) edges;
+    dst may be EXIT_BLOCK."""
+    blocks = [BasicBlock(id=i, start=i, end=i + 1) for i in range(n)]
+    for src, dst in edges:
+        blocks[src].succs.append(dst)
+        if dst != EXIT_BLOCK:
+            blocks[dst].preds.append(src)
+    return FunctionCFG(function=FunctionSymbol("synthetic", 0, n), blocks=blocks)
+
+
+class TestEmptyCFG:
+    def test_solve_forward_empty(self):
+        cfg = FunctionCFG(function=FunctionSymbol("empty", 0, 0), blocks=[])
+        result = solve_forward(cfg, [], [], entry_fact=frozenset({"x"}))
+        assert result.block_in == [] and result.block_out == []
+
+    def test_solve_backward_empty(self):
+        cfg = FunctionCFG(function=FunctionSymbol("empty", 0, 0), blocks=[])
+        result = solve_backward(cfg, [], [], exit_fact=frozenset({"x"}))
+        assert result.block_in == [] and result.block_out == []
+
+
+class TestSingleBlock:
+    def test_single_block_forward(self):
+        cfg = make_cfg([(0, EXIT_BLOCK)], 1)
+        result = solve_forward(
+            cfg, [{"g"}], [{"k"}], entry_fact=frozenset({"e", "k"})
+        )
+        assert result.block_in[0] == {"e", "k"}
+        assert result.block_out[0] == {"g", "e"}
+
+    def test_single_block_function_liveness(self):
+        program = assemble(
+            """
+            add $t2, $t0, $t1
+            halt
+            """
+        )
+        (cfg,) = build_cfgs(program)
+        result = live_registers(program, cfg)
+        entry_live = result.block_in[cfg.entry]
+        assert {8, 9} <= set(entry_live)  # $t0, $t1 upward-exposed
+        assert 10 not in entry_live  # $t2 defined before any use
+
+
+class TestUnreachableBlocks:
+    def test_unreachable_block_gets_no_entry_fact(self):
+        # Block 1 is unreachable: entry facts must not leak into it.
+        cfg = make_cfg([(0, EXIT_BLOCK), (1, EXIT_BLOCK)], 2)
+        result = solve_forward(
+            cfg, [set(), set()], [set(), set()], entry_fact=frozenset({"e"})
+        )
+        assert result.block_in[0] == {"e"}
+        assert result.block_in[1] == frozenset()
+
+    def test_unreachable_block_still_produces_gen(self):
+        program = assemble(
+            """
+            j out
+            li $t5, 1
+            out:
+            halt
+            """
+        )
+        (cfg,) = build_cfgs(program)
+        result = reaching_definitions(program, cfg)
+        dead_block = cfg.block_at(1).id
+        assert 1 in result.block_out[dead_block]
+
+
+class TestIrreducibleConvergence:
+    def test_two_entry_loop_converges(self):
+        """A CFG with a loop entered at two different blocks (irreducible
+        shape): 0 -> {1, 2}, 1 <-> 2, both -> exit.  The round-robin solver
+        must still reach a fixed point."""
+        cfg = make_cfg(
+            [(0, 1), (0, 2), (1, 2), (2, 1), (1, EXIT_BLOCK), (2, EXIT_BLOCK)],
+            3,
+        )
+        gen = [{"a"}, {"b"}, {"c"}]
+        kill = [set(), set(), set()]
+        result = solve_forward(cfg, gen, kill, entry_fact=frozenset({"e"}))
+        # Everything generated anywhere reaches around the 1<->2 cycle.
+        assert result.block_in[1] == {"a", "b", "c", "e"}
+        assert result.block_in[2] == {"a", "b", "c", "e"}
+        backward = solve_backward(cfg, gen, kill, exit_fact=frozenset({"x"}))
+        assert backward.block_out[1] == {"b", "c", "x"}
+        assert backward.block_out[2] == {"b", "c", "x"}
+
+    def test_irreducible_with_kills_converges(self):
+        cfg = make_cfg(
+            [(0, 1), (0, 2), (1, 2), (2, 1), (1, EXIT_BLOCK)], 3
+        )
+        gen = [{"a"}, set(), {"c"}]
+        kill = [set(), {"a", "c"}, set()]
+        result = solve_forward(cfg, gen, kill)
+        assert result.block_out[1] == set()
+        assert result.block_in[1] == {"a", "c"}

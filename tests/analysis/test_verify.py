@@ -1,0 +1,293 @@
+"""Tests for the object-code verifier (OBJ2xx)."""
+
+from repro.analysis import verify_program
+from repro.asm import assemble
+from repro.diagnostics import Severity
+from repro.lang import compile_source
+
+
+def codes(program):
+    return [d.code for d in verify_program(program)]
+
+
+class TestCleanPrograms:
+    def test_compiled_minic_is_clean(self):
+        program = compile_source(
+            """
+            int add(int a, int b) { return a + b; }
+            int main() {
+                int total = 0;
+                for (int i = 0; i < 8; i++) total = add(total, i);
+                return total;
+            }
+            """
+        )
+        assert verify_program(program) == []
+
+    def test_hand_written_anonymous_code_is_clean(self):
+        program = assemble(
+            """
+            li $t0, 5
+            li $t1, 0
+            loop:
+            add $t1, $t1, $t0
+            addi $t0, $t0, -1
+            bgtz $t0, loop
+            halt
+            """
+        )
+        assert verify_program(program) == []
+
+
+class TestTransferChecks:
+    def test_branch_into_other_function_interior(self):
+        program = assemble(
+            """
+            .text
+            .func f
+            f:
+            addi $t0, $zero, 1
+            finterior:
+            addi $t0, $t0, 1
+            jr $ra
+            .endfunc
+            .func main
+            main:
+            beq $zero, $zero, finterior
+            halt
+            .endfunc
+            """
+        )
+        found = codes(program)
+        assert "OBJ202" in found  # leaves its function
+        assert "OBJ201" in found  # lands on a non-leader of the target CFG
+
+    def test_jump_to_other_function_entry_is_obj202_only(self):
+        program = assemble(
+            """
+            .text
+            .func f
+            f:
+            addi $t0, $zero, 1
+            jr $ra
+            .endfunc
+            .func main
+            main:
+            j f
+            .endfunc
+            """
+        )
+        found = codes(program)
+        assert "OBJ202" in found
+        assert "OBJ201" not in found  # a function entry is a leader
+
+    def test_jal_to_non_entry_is_obj207(self):
+        program = assemble(
+            """
+            .text
+            .func f
+            f:
+            addi $t0, $zero, 1
+            ftail:
+            jr $ra
+            .endfunc
+            .func main
+            main:
+            jal ftail
+            halt
+            .endfunc
+            """
+        )
+        assert "OBJ207" in codes(program)
+
+    def test_jal_to_entry_is_clean(self):
+        program = assemble(
+            """
+            .text
+            .func f
+            f:
+            jr $ra
+            .endfunc
+            .func main
+            main:
+            jal f
+            halt
+            .endfunc
+            """
+        )
+        assert "OBJ207" not in codes(program)
+
+
+class TestFunctionEnd:
+    def test_fallthrough_off_function_end(self):
+        program = assemble(
+            """
+            .text
+            .func f
+            f:
+            addi $t0, $zero, 1
+            .endfunc
+            .func main
+            main:
+            jal f
+            halt
+            .endfunc
+            """
+        )
+        diags = verify_program(program)
+        obj203 = [d for d in diags if d.code == "OBJ203"]
+        assert len(obj203) == 1
+        assert obj203[0].function == "f"
+        assert obj203[0].severity is Severity.ERROR
+
+    def test_return_terminated_function_is_clean(self):
+        program = assemble(
+            """
+            .text
+            .func f
+            f:
+            jr $ra
+            .endfunc
+            .func main
+            main:
+            jal f
+            halt
+            .endfunc
+            """
+        )
+        assert "OBJ203" not in codes(program)
+
+
+class TestUnreachableBlocks:
+    def test_unreachable_block_reported_as_warning(self):
+        program = assemble(
+            """
+            j out
+            li $t0, 1
+            out:
+            halt
+            """
+        )
+        diags = verify_program(program)
+        obj204 = [d for d in diags if d.code == "OBJ204"]
+        assert len(obj204) == 1
+        assert obj204[0].severity is Severity.WARNING
+        assert obj204[0].pc == 1
+
+    def test_fully_reachable_is_clean(self):
+        program = assemble(
+            """
+            bgez $zero, out
+            li $t0, 1
+            out:
+            halt
+            """
+        )
+        assert "OBJ204" not in codes(program)
+
+
+class TestJumpTables:
+    def test_table_targets_outside_function(self):
+        program = assemble(
+            """
+            .data
+            table: .word case0, other
+            .jumptable table, 2
+            .text
+            .func main
+            main:
+            li $t0, 0
+            lw $t2, table($t0)
+            jr $t2
+            case0:
+            halt
+            .endfunc
+            .func g
+            other:
+            jr $ra
+            .endfunc
+            """
+        )
+        assert "OBJ205" in codes(program)
+
+
+class TestRegisterLiveIn:
+    def test_read_before_write_in_declared_function(self):
+        program = assemble(
+            """
+            .text
+            .func f
+            f:
+            add $v0, $t0, $t1
+            jr $ra
+            .endfunc
+            .func main
+            main:
+            jal f
+            halt
+            .endfunc
+            """
+        )
+        diags = [d for d in verify_program(program) if d.code == "OBJ206"]
+        assert len(diags) == 2  # $t0 and $t1
+        assert all(d.function == "f" for d in diags)
+        assert all(d.severity is Severity.WARNING for d in diags)
+
+    def test_abi_registers_are_allowed(self):
+        program = assemble(
+            """
+            .text
+            .func f
+            f:
+            add $v0, $a0, $a1
+            add $v0, $v0, $s0
+            jr $ra
+            .endfunc
+            .func main
+            main:
+            jal f
+            halt
+            .endfunc
+            """
+        )
+        assert "OBJ206" not in codes(program)
+
+    def test_call_result_read_is_allowed(self):
+        # `jal` only writes $ra statically, but the verifier must model the
+        # call producing $v0.
+        program = assemble(
+            """
+            .text
+            .func f
+            f:
+            li $v0, 7
+            jr $ra
+            .endfunc
+            .func main
+            main:
+            jal f
+            mov $t0, $v0
+            add $v0, $t0, $t0
+            halt
+            .endfunc
+            """
+        )
+        assert "OBJ206" not in codes(program)
+
+    def test_anonymous_functions_exempt(self):
+        program = assemble(
+            """
+            add $t2, $t0, $t1
+            halt
+            """
+        )
+        assert "OBJ206" not in codes(program)
+
+
+class TestBenchmarksAreClean:
+    def test_every_benchmark_verifies_clean(self):
+        from repro.bench import SUITE
+
+        for name, spec in SUITE.items():
+            diags = verify_program(spec.compile(), name=name)
+            assert diags == [], f"{name}: {[d.render() for d in diags]}"

@@ -1,0 +1,88 @@
+"""Unit tests for the diagnostics engine types."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.diagnostics import (
+    CODES,
+    Diagnostic,
+    DiagnosticError,
+    Severity,
+    has_errors,
+    max_severity,
+    render_all,
+    sort_diagnostics,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def diag(code="MC101", severity=Severity.WARNING, **kwargs):
+    return Diagnostic(code=code, severity=severity, message="m", **kwargs)
+
+
+class TestDiagnostic:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            Diagnostic(code="XX999", severity=Severity.ERROR, message="m")
+
+    def test_render_source_line_col(self):
+        d = diag(source="prog.c", line=3, col=7)
+        assert d.render() == "prog.c:3:7: warning[MC101]: m"
+
+    def test_render_pc_and_function(self):
+        d = diag(code="OBJ201", severity=Severity.ERROR, pc=12, function="main")
+        assert d.render() == "pc 12 (main): error[OBJ201]: m"
+
+    def test_render_bare(self):
+        assert diag().render() == "warning[MC101]: m"
+
+    def test_severity_ordering(self):
+        assert Severity.NOTE < Severity.WARNING < Severity.ERROR
+
+
+class TestHelpers:
+    def test_has_errors(self):
+        assert not has_errors([diag()])
+        assert has_errors([diag(), diag(code="MC100", severity=Severity.ERROR)])
+
+    def test_max_severity(self):
+        assert max_severity([]) is None
+        assert max_severity([diag(), diag(severity=Severity.ERROR)]) is Severity.ERROR
+
+    def test_render_all(self):
+        text = render_all([diag(line=1, source="a.c"), diag(line=2, source="a.c")])
+        assert text.count("\n") == 1
+
+    def test_sort_is_stable_by_location(self):
+        diags = [
+            diag(source="b.c", line=1),
+            diag(source="a.c", line=9),
+            diag(source="a.c", line=2),
+        ]
+        ordered = sort_diagnostics(diags)
+        assert [(d.source, d.line) for d in ordered] == [
+            ("a.c", 2), ("a.c", 9), ("b.c", 1),
+        ]
+
+
+class TestDiagnosticError:
+    def test_carries_diagnostics_and_counts_errors(self):
+        diags = [diag(severity=Severity.ERROR, code="OBJ201"), diag()]
+        error = DiagnosticError(diags, context="prog")
+        assert error.diagnostics == diags
+        assert "prog: 1 verification error(s)" in str(error)
+        assert "OBJ201" in str(error)
+
+
+class TestCodeRegistry:
+    def test_code_families(self):
+        for code in CODES:
+            assert code[:2] in ("MC", "OB", "TR")
+
+    def test_every_code_documented(self):
+        """docs/diagnostics.md must cover every registered code."""
+        docs = (REPO_ROOT / "docs" / "diagnostics.md").read_text()
+        missing = [code for code in CODES if code not in docs]
+        assert not missing, f"undocumented diagnostic codes: {missing}"

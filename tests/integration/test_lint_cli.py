@@ -1,0 +1,84 @@
+"""Integration tests for the repro-lint command line driver."""
+
+import pytest
+
+from repro.lint_cli import main
+
+CLEAN = """
+int main() {
+    int total = 0;
+    for (int i = 0; i < 4; i++) total += i;
+    return total;
+}
+"""
+
+UNINIT = """
+int main() {
+    int x;
+    return x;
+}
+"""
+
+BROKEN = "int main( {"
+
+ASSEMBLY = """
+.text
+.func main
+main:
+li $t0, 3
+li $t1, 4
+add $v0, $t0, $t1
+halt
+.endfunc
+"""
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+def test_clean_program_exits_zero(tmp_path, capsys):
+    assert main([write(tmp_path, "clean.c", CLEAN)]) == 0
+    out = capsys.readouterr().out
+    assert "1 program(s) checked, 0 error(s), 0 warning(s)" in out
+
+
+def test_uninitialized_read_fails_by_default(tmp_path, capsys):
+    path = write(tmp_path, "uninit.c", UNINIT)
+    assert main([path]) == 1
+    out = capsys.readouterr().out
+    assert "MC101" in out
+    assert "uninit.c" in out
+
+
+def test_fail_on_never_reports_but_exits_zero(tmp_path, capsys):
+    assert main([write(tmp_path, "uninit.c", UNINIT), "--fail-on", "never"]) == 0
+    assert "MC101" in capsys.readouterr().out
+
+
+def test_compile_error_is_mc100(tmp_path, capsys):
+    assert main([write(tmp_path, "broken.c", BROKEN)]) == 1
+    assert "MC100" in capsys.readouterr().out
+
+
+def test_assembly_file_is_verified(tmp_path, capsys):
+    assert main([write(tmp_path, "prog.s", ASSEMBLY)]) == 0
+    assert "1 program(s) checked" in capsys.readouterr().out
+
+
+def test_trace_mode_on_source_file(tmp_path, capsys):
+    path = write(tmp_path, "clean.c", CLEAN)
+    assert main([path, "--trace", "--max-steps", "5000"]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_bench_selection(capsys):
+    assert main(["--bench", "eqntott", "--trace", "--max-steps", "5000"]) == 0
+    assert "1 program(s) checked" in capsys.readouterr().out
+
+
+def test_unknown_bench_errors():
+    with pytest.raises(SystemExit):
+        main(["--bench", "no-such-benchmark"])

@@ -1,0 +1,27 @@
+"""End-to-end: compile a real benchmark, execute it, and check that both the
+static verifier and the dynamic trace sanitizer come back clean."""
+
+from repro.analysis import analyze_program, verify_program
+from repro.bench import SUITE
+from repro.vm import VM, sanitize_trace
+
+BENCH = "eqntott"
+MAX_STEPS = 20_000
+
+
+def test_benchmark_trace_sanitizes_clean():
+    spec = SUITE[BENCH]
+    program = spec.compile()
+
+    static = verify_program(program, name=BENCH)
+    assert static == [], [d.render() for d in static]
+
+    result = VM(program).run(max_steps=MAX_STEPS)
+    analysis = analyze_program(program)
+    dynamic = sanitize_trace(result.trace, analysis=analysis, name=BENCH)
+    assert dynamic == [], [d.render() for d in dynamic]
+
+    # The trace actually exercised the program: it should contain branches,
+    # memory operations, and cross at least one function boundary.
+    assert any(instr.is_cond_branch for instr in program.instructions)
+    assert len(result.trace.pcs) > 100

@@ -1,0 +1,247 @@
+"""Tests for the MiniC lint passes (MC1xx)."""
+
+from repro.lang import lint_minic
+
+
+def codes(source):
+    return [d.code for d in lint_minic(source)]
+
+
+def messages(source, code):
+    return [d.message for d in lint_minic(source) if d.code == code]
+
+
+class TestCompileErrorWrapping:
+    def test_parse_error_becomes_mc100(self):
+        diags = lint_minic("int main( {", name="broken.c")
+        assert [d.code for d in diags] == ["MC100"]
+        assert diags[0].severity.name == "ERROR"
+        assert diags[0].source == "broken.c"
+
+    def test_type_error_becomes_mc100_with_line(self):
+        diags = lint_minic("int main() {\n    return undefined_var;\n}")
+        assert [d.code for d in diags] == ["MC100"]
+        assert diags[0].line == 2
+
+
+class TestUninitializedUse:
+    def test_plain_uninitialized_read(self):
+        assert "MC101" in codes("int main() { int x; return x; }")
+
+    def test_guarded_write_then_read(self):
+        source = """
+        int main() {
+            int x;
+            int c = 1;
+            if (c) x = 1;
+            return x;
+        }
+        """
+        assert "MC101" in codes(source)
+
+    def test_both_branches_assign_is_clean(self):
+        source = """
+        int main() {
+            int x;
+            int c = 1;
+            if (c) x = 1; else x = 2;
+            return x;
+        }
+        """
+        assert "MC101" not in codes(source)
+
+    def test_initializer_is_a_definition(self):
+        assert "MC101" not in codes("int main() { int x = 3; return x; }")
+
+    def test_loop_carried_definition(self):
+        source = """
+        int main() {
+            int x;
+            for (int i = 0; i < 4; i++) x = i;
+            return x;
+        }
+        """
+        # The loop may run zero times statically; x is maybe-uninitialized.
+        assert "MC101" in codes(source)
+
+    def test_definition_before_loop_is_clean(self):
+        source = """
+        int main() {
+            int x = 0;
+            for (int i = 0; i < 4; i++) x += i;
+            return x;
+        }
+        """
+        assert "MC101" not in codes(source)
+
+    def test_compound_assignment_reads_target(self):
+        assert "MC101" in codes("int main() { int x; x += 1; return x; }")
+
+    def test_short_circuit_rhs_assignment_does_not_define(self):
+        source = """
+        int main() {
+            int x;
+            int c = 0;
+            int d = c && (x = 1);
+            return x + d;
+        }
+        """
+        assert "MC101" in codes(source)
+
+    def test_while_loop_body_use_after_def_is_clean(self):
+        source = """
+        int main() {
+            int total = 0;
+            int i = 0;
+            while (i < 8) {
+                int mid = i * 2;
+                total += mid;
+                i++;
+            }
+            return total;
+        }
+        """
+        assert codes(source) == []
+
+    def test_do_while_body_runs_before_condition(self):
+        source = """
+        int main() {
+            int x;
+            do { x = 1; } while (x < 0);
+            return x;
+        }
+        """
+        assert "MC101" not in codes(source)
+
+    def test_switch_with_default_all_assign_is_clean(self):
+        source = """
+        int main() {
+            int x;
+            int c = 2;
+            switch (c) {
+            case 1: x = 10; break;
+            default: x = 20; break;
+            }
+            return x;
+        }
+        """
+        assert "MC101" not in codes(source)
+
+    def test_switch_without_default_may_skip_assignment(self):
+        source = """
+        int main() {
+            int x;
+            int c = 2;
+            switch (c) {
+            case 1: x = 10; break;
+            }
+            return x;
+        }
+        """
+        assert "MC101" in codes(source)
+
+    def test_address_taken_variable_not_tracked(self):
+        source = """
+        void set(int *p) { *p = 5; }
+        int main() {
+            int x;
+            set(&x);
+            return x;
+        }
+        """
+        assert "MC101" not in codes(source)
+
+
+class TestUnused:
+    def test_unused_local(self):
+        assert "MC102" in codes("int main() { int dead; return 0; }")
+
+    def test_used_local_clean(self):
+        assert "MC102" not in codes("int main() { int live = 1; return live; }")
+
+    def test_unused_parameter(self):
+        source = """
+        int f(int used, int unused) { return used; }
+        int main() { return f(1, 2); }
+        """
+        assert messages(source, "MC103") == ["parameter 'unused' is never used"]
+
+    def test_write_only_local_counts_as_used(self):
+        # A stricter dead-store pass may flag this later; MC102 is only
+        # about never-referenced declarations.
+        assert "MC102" not in codes("int main() { int x; x = 1; return 0; }")
+
+
+class TestUnreachable:
+    def test_statement_after_return(self):
+        source = """
+        int main() {
+            return 1;
+            return 2;
+        }
+        """
+        assert "MC104" in codes(source)
+
+    def test_reported_once_per_block(self):
+        source = """
+        int main() {
+            return 1;
+            return 2;
+            return 3;
+        }
+        """
+        assert codes(source).count("MC104") == 1
+
+    def test_statement_after_break(self):
+        source = """
+        int main() {
+            int i = 0;
+            while (i < 3) {
+                break;
+                i++;
+            }
+            return i;
+        }
+        """
+        assert "MC104" in codes(source)
+
+    def test_no_false_positive_on_if_return(self):
+        source = """
+        int main() {
+            int c = 1;
+            if (c) return 1;
+            return 0;
+        }
+        """
+        assert "MC104" not in codes(source)
+
+
+class TestConstantCondition:
+    def test_constant_if(self):
+        assert "MC105" in codes("int main() { if (1) return 1; return 0; }")
+
+    def test_folded_constant_if(self):
+        assert "MC105" in codes("int main() { if (2 > 1) return 1; return 0; }")
+
+    def test_while_one_is_idiomatic(self):
+        source = """
+        int main() {
+            int i = 0;
+            while (1) {
+                i++;
+                if (i > 3) break;
+            }
+            return i;
+        }
+        """
+        assert "MC105" not in codes(source)
+
+    def test_data_dependent_condition_clean(self):
+        source = """
+        int main() {
+            int c = 1;
+            if (c) return 1;
+            return 0;
+        }
+        """
+        assert "MC105" not in codes(source)

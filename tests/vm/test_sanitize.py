@@ -1,0 +1,137 @@
+"""Tests for the trace sanitizer (TR3xx)."""
+
+import dataclasses
+
+from repro.analysis import analyze_program
+from repro.lang import compile_source
+from repro.vm import NO_ADDR, NOT_BRANCH, VM, Trace, sanitize_trace
+
+SOURCE = """
+int data[16];
+int sum(int n) {
+    int total = 0;
+    for (int i = 0; i < n; i++) total += data[i];
+    return total;
+}
+int main() {
+    for (int i = 0; i < 16; i++) data[i] = i * 2;
+    return sum(16);
+}
+"""
+
+
+def run():
+    program = compile_source(SOURCE)
+    result = VM(program).run(max_steps=50_000)
+    return program, result.trace
+
+
+def copy_trace(trace):
+    return Trace(
+        program=trace.program,
+        pcs=list(trace.pcs),
+        addrs=list(trace.addrs),
+        takens=list(trace.takens),
+    )
+
+
+def codes(trace, analysis=None):
+    return [d.code for d in sanitize_trace(trace, analysis=analysis)]
+
+
+class TestCleanTrace:
+    def test_real_trace_is_clean(self):
+        _, trace = run()
+        assert sanitize_trace(trace) == []
+
+    def test_precomputed_analysis_accepted(self):
+        program, trace = run()
+        assert sanitize_trace(trace, analysis=analyze_program(program)) == []
+
+
+class TestEdgeChecks:
+    def test_corrupted_successor_is_tr301(self):
+        _, trace = run()
+        bad = copy_trace(trace)
+        # Point one interior record at a pc its predecessor cannot reach.
+        bad.pcs[10] = bad.pcs[10] + 7
+        assert "TR301" in codes(bad)
+
+    def test_flipped_branch_outcome_is_tr301(self):
+        _, trace = run()
+        bad = copy_trace(trace)
+        index = next(
+            i for i, taken in enumerate(bad.takens)
+            if taken != NOT_BRANCH and i + 1 < len(bad.pcs)
+        )
+        bad.takens[index] = 1 - bad.takens[index]
+        assert "TR301" in codes(bad)
+
+
+class TestFieldConsistency:
+    def test_branch_outcome_on_non_branch_is_tr304(self):
+        _, trace = run()
+        bad = copy_trace(trace)
+        index = next(
+            i for i, taken in enumerate(bad.takens) if taken == NOT_BRANCH
+        )
+        bad.takens[index] = 1
+        assert "TR304" in codes(bad)
+
+    def test_missing_address_on_memory_op_is_tr305(self):
+        _, trace = run()
+        bad = copy_trace(trace)
+        index = next(i for i, a in enumerate(bad.addrs) if a != NO_ADDR)
+        bad.addrs[index] = NO_ADDR
+        assert "TR305" in codes(bad)
+
+
+class TestProgramConsistency:
+    def test_out_of_range_pc_is_tr306(self):
+        program, trace = run()
+        bad = copy_trace(trace)
+        bad.pcs[5] = len(program.instructions) + 3
+        assert "TR306" in codes(bad)
+
+    def test_different_program_is_tr306(self):
+        program, trace = run()
+        other = compile_source("int main() { return 0; }", name="other")
+        assert codes(trace, analysis=analyze_program(other)) == ["TR306"]
+
+
+class TestStaticCrossChecks:
+    def test_corrupt_control_dependence_is_tr302(self):
+        program, trace = run()
+        analysis = analyze_program(program)
+        # Claim every executed instruction is control dependent on pc 0,
+        # which is not a branch.
+        corrupt = dataclasses.replace(
+            analysis, cd_of_pc=tuple((0,) for _ in analysis.cd_of_pc)
+        )
+        assert "TR302" in codes(trace, analysis=corrupt)
+
+    def test_corrupt_loop_overhead_is_tr303(self):
+        program, trace = run()
+        analysis = analyze_program(program)
+        # Mark a store as unroll overhead: stores are never overhead-shaped.
+        store_pc = next(
+            pc for pc, instr in enumerate(program.instructions)
+            if instr.is_store
+        )
+        corrupt = dataclasses.replace(
+            analysis, loop_overhead=frozenset({store_pc})
+        )
+        assert "TR303" in codes(trace, analysis=corrupt)
+
+
+class TestReportCap:
+    def test_reports_are_capped_and_deduplicated(self):
+        _, trace = run()
+        bad = copy_trace(trace)
+        for i in range(len(bad.takens)):
+            if bad.takens[i] == NOT_BRANCH:
+                bad.takens[i] = 1
+        diags = sanitize_trace(bad, max_reports=10)
+        assert len(diags) == 10
+        keys = {(d.code, d.pc) for d in diags}
+        assert len(keys) == len(diags)  # deduplicated per (code, pc)
