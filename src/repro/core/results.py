@@ -36,6 +36,22 @@ class ModelResult:
             return 1.0  # empty trace: define parallelism as 1
         return self.sequential_time / self.parallel_time
 
+    def to_json(self) -> dict:
+        """JSON-serializable form (exact: times are integers)."""
+        return {
+            "model": self.model.value,
+            "sequential_time": self.sequential_time,
+            "parallel_time": self.parallel_time,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ModelResult":
+        return cls(
+            model=MachineModel(payload["model"]),
+            sequential_time=payload["sequential_time"],
+            parallel_time=payload["parallel_time"],
+        )
+
 
 @dataclass
 class AnalysisResult:
@@ -58,3 +74,40 @@ class AnalysisResult:
     def speedup_over(self, model: MachineModel, baseline: MachineModel) -> float:
         """Ratio of *model*'s parallelism to *baseline*'s."""
         return self.models[model].parallelism / self.models[baseline].parallelism
+
+    def to_json(self) -> dict:
+        """JSON-serializable form; round-trips through :meth:`from_json`.
+
+        Every field is integral (parallelism is a derived property), so
+        the round trip is exact — a result loaded from the artifact cache
+        renders identically to the result that was stored.
+        """
+        return {
+            "program_name": self.program_name,
+            "trace_length": self.trace_length,
+            "counted_instructions": self.counted_instructions,
+            "removed_instructions": self.removed_instructions,
+            "models": [self.models[model].to_json() for model in self.models],
+            "misprediction_stats": (
+                None
+                if self.misprediction_stats is None
+                else self.misprediction_stats.to_json()
+            ),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "AnalysisResult":
+        result = cls(
+            program_name=payload["program_name"],
+            trace_length=payload["trace_length"],
+            counted_instructions=payload["counted_instructions"],
+            removed_instructions=payload["removed_instructions"],
+        )
+        for entry in payload["models"]:
+            model_result = ModelResult.from_json(entry)
+            result.models[model_result.model] = model_result
+        if payload["misprediction_stats"] is not None:
+            result.misprediction_stats = MispredictionStats.from_json(
+                payload["misprediction_stats"]
+            )
+        return result

@@ -106,3 +106,15 @@ class MispredictionStats:
     def merge(self, other: "MispredictionStats") -> None:
         """Pool another trace's segments (Figure 7 combines all benchmarks)."""
         self.segments.extend(other.segments)
+
+    def to_json(self) -> dict:
+        """JSON-serializable form (segments as exact integer pairs)."""
+        return {
+            "segments": [[s.length, s.span] for s in self.segments],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "MispredictionStats":
+        return cls(
+            segments=[Segment(length, span) for length, span in payload["segments"]]
+        )

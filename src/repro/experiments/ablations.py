@@ -34,6 +34,71 @@ from repro.vm.trace import NOT_BRANCH
 M = MachineModel
 
 
+# -- farm requirements ----------------------------------------------------
+#
+# One requirements() helper per ablation entry point (the CLI pools the
+# requests of every selected experiment and prefetches them through
+# repro.jobs).  Ablations that build their own predictors or analyzer
+# options request only the trace they iterate on; analyses that go through
+# SuiteRunner.analyze with default predictors are requested outright.
+
+
+def predictor_requirements(config) -> list:
+    from repro.jobs import TraceRequest
+
+    return [TraceRequest("espresso")]
+
+
+def window_requirements(config) -> list:
+    from repro.jobs import AnalysisRequest
+
+    return [AnalysisRequest("gcc", models=(M.SP,))]
+
+
+def latency_requirements(config) -> list:
+    from repro.jobs import TraceRequest
+
+    return [TraceRequest("spice2g6")]
+
+
+def inlining_requirements(config) -> list:
+    from repro.jobs import AnalysisRequest
+
+    models = (M.BASE, M.SP, M.ORACLE)
+    return [
+        request
+        for name in ("ccom", "eqntott", "latex")
+        for request in (
+            AnalysisRequest(name, models=models),
+            AnalysisRequest(name, models=models, perfect_inlining=False),
+        )
+    ]
+
+
+def guarded_requirements(config) -> list:
+    return []  # compiles its own demo program, not a suite benchmark
+
+
+def convergence_requirements(config) -> list:
+    from repro.bench import NON_NUMERIC
+    from repro.jobs import AnalysisRequest
+
+    return [
+        AnalysisRequest(name, max_steps=budget)
+        for budget in CONVERGENCE_BUDGETS
+        for name in NON_NUMERIC
+    ]
+
+
+def flows_requirements(config) -> list:
+    from repro.jobs import AnalysisRequest
+
+    return [
+        AnalysisRequest("gcc", models=(M.CD, M.SP_CD)),
+        AnalysisRequest("gcc", models=(M.CD_MF, M.SP_CD_MF)),
+    ]
+
+
 @dataclass
 class ConvergenceAblation:
     """Harmonic-mean parallelism (non-numeric suite) vs. trace budget.
@@ -58,18 +123,32 @@ class ConvergenceAblation:
         return table.render()
 
 
+#: Trace budgets swept by the convergence ablation.
+CONVERGENCE_BUDGETS: tuple[int, ...] = (50_000, 100_000, 200_000, 400_000)
+
+
 def convergence_ablation(
     runner: SuiteRunner | None = None,
-    budgets: tuple[int, ...] = (50_000, 100_000, 200_000, 400_000),
+    budgets: tuple[int, ...] = CONVERGENCE_BUDGETS,
 ) -> ConvergenceAblation:
-    """Re-run the Table 3 harmonic mean at several trace budgets."""
+    """Re-run the Table 3 harmonic mean at several trace budgets.
+
+    The per-budget runners inherit the parent runner's workload scale and
+    persistent artifact cache, so a prior :meth:`SuiteRunner.prefetch` of
+    this ablation's requirements (which is how large ``--max-steps``
+    sweeps become tractable) is reused here instead of re-traced.
+    """
     from repro.bench import NON_NUMERIC
     from repro.core import ALL_MODELS, harmonic_mean
     from repro.experiments.runner import RunConfig
 
+    scale = runner.config.scale if runner is not None else None
+    cache_dir = runner.config.cache_dir if runner is not None else None
     rows: list[tuple[int, dict[MachineModel, float]]] = []
     for budget in budgets:
-        budget_runner = SuiteRunner(RunConfig(max_steps=budget))
+        budget_runner = SuiteRunner(
+            RunConfig(max_steps=budget, scale=scale, cache_dir=cache_dir)
+        )
         per_model: dict[MachineModel, list[float]] = {m: [] for m in ALL_MODELS}
         for name in NON_NUMERIC:
             result = budget_runner.analyze(name)

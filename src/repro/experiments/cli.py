@@ -5,14 +5,24 @@ Usage::
     repro-experiments                     # everything, default budget
     repro-experiments table3 fig6        # selected experiments
     repro-experiments --max-steps 500000 # bigger traces (closer to paper)
+    repro-experiments --jobs 8           # farm the work across 8 processes
+    repro-experiments --cache-dir /tmp/c # persistent artifact cache location
+    repro-experiments --no-cache         # don't keep artifacts between runs
     repro-experiments --list
+
+Tables and figures go to stdout; timing lines and the farm's per-job
+report go to stderr, so stdout is byte-identical across worker counts
+and cache states.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 import time
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.asm import AsmError
 from repro.diagnostics import DiagnosticError
@@ -31,23 +41,64 @@ from repro.experiments import (
 )
 from repro.experiments.runner import RunConfig, SuiteRunner
 
+#: Default location of the persistent artifact cache.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One runnable experiment: its renderer plus its farm requirements."""
+
+    run: Callable[[SuiteRunner], str]
+    requirements: Callable[[RunConfig], list]
+
+
 EXPERIMENTS = {
-    "table1": lambda runner: table1.run(runner).render(),
-    "table2": lambda runner: table2.run(runner).render(),
-    "table3": lambda runner: table3.run(runner).render(),
-    "table4": lambda runner: table4.run(runner).render(),
-    "fig4": lambda runner: fig4.run(runner).render(),
-    "fig5": lambda runner: fig5.run(runner).render(),
-    "fig6": lambda runner: fig6.run(runner).render(),
-    "fig7": lambda runner: fig7.run(runner).render(),
-    "mix": lambda runner: mix.run(runner).render(),
-    "ablation-predictors": lambda runner: ablations.predictor_ablation(runner).render(),
-    "ablation-window": lambda runner: ablations.window_ablation(runner).render(),
-    "ablation-latency": lambda runner: ablations.latency_ablation(runner).render(),
-    "ablation-inlining": lambda runner: ablations.inlining_ablation(runner).render(),
-    "ablation-guarded": lambda runner: ablations.guarded_ablation(runner).render(),
-    "ablation-convergence": lambda runner: ablations.convergence_ablation(runner).render(),
-    "ablation-flows": lambda runner: ablations.flows_ablation(runner).render(),
+    "table1": Experiment(
+        lambda runner: table1.run(runner).render(), table1.requirements
+    ),
+    "table2": Experiment(
+        lambda runner: table2.run(runner).render(), table2.requirements
+    ),
+    "table3": Experiment(
+        lambda runner: table3.run(runner).render(), table3.requirements
+    ),
+    "table4": Experiment(
+        lambda runner: table4.run(runner).render(), table4.requirements
+    ),
+    "fig4": Experiment(lambda runner: fig4.run(runner).render(), fig4.requirements),
+    "fig5": Experiment(lambda runner: fig5.run(runner).render(), fig5.requirements),
+    "fig6": Experiment(lambda runner: fig6.run(runner).render(), fig6.requirements),
+    "fig7": Experiment(lambda runner: fig7.run(runner).render(), fig7.requirements),
+    "mix": Experiment(lambda runner: mix.run(runner).render(), mix.requirements),
+    "ablation-predictors": Experiment(
+        lambda runner: ablations.predictor_ablation(runner).render(),
+        ablations.predictor_requirements,
+    ),
+    "ablation-window": Experiment(
+        lambda runner: ablations.window_ablation(runner).render(),
+        ablations.window_requirements,
+    ),
+    "ablation-latency": Experiment(
+        lambda runner: ablations.latency_ablation(runner).render(),
+        ablations.latency_requirements,
+    ),
+    "ablation-inlining": Experiment(
+        lambda runner: ablations.inlining_ablation(runner).render(),
+        ablations.inlining_requirements,
+    ),
+    "ablation-guarded": Experiment(
+        lambda runner: ablations.guarded_ablation(runner).render(),
+        ablations.guarded_requirements,
+    ),
+    "ablation-convergence": Experiment(
+        lambda runner: ablations.convergence_ablation(runner).render(),
+        ablations.convergence_requirements,
+    ),
+    "ablation-flows": Experiment(
+        lambda runner: ablations.flows_ablation(runner).render(),
+        ablations.flows_requirements,
+    ),
 }
 
 
@@ -80,6 +131,27 @@ def main(argv: list[str] | None = None) -> int:
         help="run the object-code verifier and trace sanitizer over every "
         "benchmark before analyzing it (fails on any error diagnostic)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the experiment farm (default 1: serial "
+        "in-process execution)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"persistent content-addressed artifact cache "
+        f"(default {DEFAULT_CACHE_DIR}/)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not keep artifacts between runs (with --jobs > 1, a "
+        "throwaway directory still transports artifacts between workers)",
+    )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument(
         "--output",
@@ -100,6 +172,19 @@ def main(argv: list[str] | None = None) -> int:
             f"unknown experiment(s): {', '.join(unknown)} "
             f"(use --list to see the choices)"
         )
+    if args.jobs < 1:
+        parser.error("--jobs must be a positive worker count")
+
+    transport = None
+    if args.no_cache:
+        # Workers still need a directory to ship artifacts through; use a
+        # throwaway one so nothing persists.
+        cache_dir = None
+        if args.jobs > 1:
+            transport = tempfile.TemporaryDirectory(prefix="repro-cache-")
+            cache_dir = transport.name
+    else:
+        cache_dir = args.cache_dir
 
     report = open(args.output, "a") if args.output else None
     if report:
@@ -108,13 +193,29 @@ def main(argv: list[str] | None = None) -> int:
             f"scale={args.scale or 'defaults'})\n\n"
         )
     runner = SuiteRunner(
-        RunConfig(max_steps=args.max_steps, scale=args.scale, verify=args.verify)
+        RunConfig(
+            max_steps=args.max_steps,
+            scale=args.scale,
+            verify=args.verify,
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+        )
     )
     try:
+        requests = [
+            request
+            for name in names
+            for request in EXPERIMENTS[name].requirements(runner.config)
+        ]
+        try:
+            runner.prefetch(requests)
+        except (AsmError, CompileError, DiagnosticError) as exc:
+            print(f"prefetch: {exc}", file=sys.stderr)
+            return 1
         for name in names:
             started = time.time()
             try:
-                output = EXPERIMENTS[name](runner)
+                output = EXPERIMENTS[name].run(runner)
             except (AsmError, CompileError, DiagnosticError) as exc:
                 # Diagnostic-bearing failures are reported, not raised: the
                 # rendered diagnostics carry everything a traceback would.
@@ -122,14 +223,18 @@ def main(argv: list[str] | None = None) -> int:
                 return 1
             elapsed = time.time() - started
             print(output)
-            print(f"[{name}: {elapsed:.1f}s]")
             print()
+            print(f"[{name}: {elapsed:.1f}s]", file=sys.stderr)
             if report:
                 report.write(output + f"\n[{name}: {elapsed:.1f}s]\n\n")
                 report.flush()
+        if runner.farm_report.total:
+            print(runner.farm_report.render(), file=sys.stderr)
     finally:
         if report:
             report.close()
+        if transport is not None:
+            transport.cleanup()
     return 0
 
 

@@ -52,6 +52,13 @@ def _bars(series: dict[str, dict[MachineModel, float]]) -> str:
     return "\n".join(lines)
 
 
+def requirements(config) -> list:
+    """Farm requests: default analysis of the non-numeric benchmarks."""
+    from repro.jobs import AnalysisRequest
+
+    return [AnalysisRequest(name) for name in NON_NUMERIC]
+
+
 def run(runner: SuiteRunner) -> Fig4:
     series: dict[str, dict[MachineModel, float]] = {}
     for name in NON_NUMERIC:

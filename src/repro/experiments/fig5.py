@@ -44,6 +44,13 @@ class Fig5:
         return table.render()
 
 
+def requirements(config) -> list:
+    """Farm requests: default analysis of the non-numeric benchmarks."""
+    from repro.jobs import AnalysisRequest
+
+    return [AnalysisRequest(name) for name in NON_NUMERIC]
+
+
 def run(runner: SuiteRunner) -> Fig5:
     series: dict[str, dict[MachineModel, float]] = {}
     for name in NON_NUMERIC:

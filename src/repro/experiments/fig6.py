@@ -39,6 +39,15 @@ class Fig6:
         return rendered
 
 
+def requirements(config) -> list:
+    """Farm requests: full analysis with SP segment statistics collected."""
+    from repro.jobs import AnalysisRequest
+
+    return [
+        AnalysisRequest(name, collect_misprediction_stats=True) for name in SUITE
+    ]
+
+
 def run(runner: SuiteRunner) -> Fig6:
     distributions: dict[str, list[float]] = {}
     within_100: list[tuple[int, int]] = []  # (count within, total)

@@ -43,6 +43,15 @@ class Fig7:
         return all(b >= a * 0.8 for a, b in zip(means, means[1:]))
 
 
+def requirements(config) -> list:
+    """Farm requests: full analysis with SP segment statistics collected."""
+    from repro.jobs import AnalysisRequest
+
+    return [
+        AnalysisRequest(name, collect_misprediction_stats=True) for name in SUITE
+    ]
+
+
 def run(runner: SuiteRunner) -> Fig7:
     pooled = MispredictionStats()
     for name in SUITE:

@@ -53,6 +53,13 @@ class InstructionMix:
         return table.render()
 
 
+def requirements(config) -> list:
+    """Farm requests: a trace for every benchmark."""
+    from repro.jobs import TraceRequest
+
+    return [TraceRequest(name) for name in SUITE]
+
+
 def run(runner: SuiteRunner) -> InstructionMix:
     rows: dict[str, dict[str, float]] = {}
     for name in SUITE:

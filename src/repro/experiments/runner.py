@@ -9,19 +9,23 @@ every table and figure from one set of pixie runs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from pathlib import Path
+from typing import Iterable, Sequence
 
 from repro.bench import SUITE, BenchmarkSpec
 from repro.core import ALL_MODELS, AnalysisResult, LimitAnalyzer, MachineModel
 from repro.diagnostics import DiagnosticError, Severity
 from repro.prediction import BranchPredictor, BranchStats, ProfilePredictor, branch_stats
+from repro.jobs import HIT, RUN, ArtifactCache, ExecutionEngine, FarmReport, Planner
+from repro.jobs import keys as jobkeys
 from repro.vm import VM, Trace
 
 
 @dataclass(frozen=True)
 class RunConfig:
-    """Trace budget configuration.
+    """Trace budget and execution configuration.
 
     ``max_steps`` plays the role of the paper's 100M-instruction pixie cap,
     scaled to what a Python interpreter sustains.  ``scale`` overrides each
@@ -30,11 +34,20 @@ class RunConfig:
     benchmark before its numbers are used, raising
     :class:`~repro.diagnostics.DiagnosticError` on any error-severity
     finding.
+
+    ``cache_dir`` enables the persistent content-addressed artifact cache
+    of :mod:`repro.jobs` at that directory (None — the default, which the
+    test suite exercises — keeps everything in-process and in-memory, the
+    pre-farm behavior).  ``jobs`` is the worker-process count used when
+    experiment requirements are prefetched through the farm; 1 runs jobs
+    serially in-process.
     """
 
     max_steps: int = 150_000
     scale: int | None = None
     verify: bool = False
+    jobs: int = 1
+    cache_dir: str | Path | None = None
 
 
 @dataclass
@@ -53,12 +66,49 @@ class BenchmarkRun:
 
 
 class SuiteRunner:
-    """Caches traces and analysis results across experiment modules."""
+    """Caches traces and analysis results across experiment modules.
+
+    With ``RunConfig.cache_dir`` set, every expensive artifact — traces,
+    branch profiles, analysis results — is additionally read from and
+    written to the persistent content-addressed store of
+    :mod:`repro.jobs`, and :meth:`prefetch` can farm the work for a set
+    of experiment requests across worker processes before the experiment
+    modules render anything.  Without a cache directory the runner is the
+    original serial, in-process engine.
+    """
 
     def __init__(self, config: RunConfig | None = None):
         self.config = config if config is not None else RunConfig()
         self._runs: dict[str, BenchmarkRun] = {}
         self._results: dict[tuple, AnalysisResult] = {}
+        self.farm_report = FarmReport()
+        self._cache = None
+        self._planner = None
+        if self.config.cache_dir is not None:
+            self._cache = ArtifactCache(self.config.cache_dir)
+            self._planner = Planner(self._cache, self.farm_report)
+
+    def _scale_for(self, spec: BenchmarkSpec) -> int:
+        return self.config.scale if self.config.scale is not None else spec.default_scale
+
+    def prefetch(self, requests: Iterable) -> None:
+        """Produce all artifacts for *requests* up front, possibly in parallel.
+
+        Expands the requests into a compile → trace → profile → analysis
+        job graph, skips jobs whose artifact is already cached, and runs
+        the rest across ``RunConfig.jobs`` worker processes (serially
+        in-process for ``jobs=1``).  Subsequent :meth:`run` /
+        :meth:`analyze` calls then load the artifacts instead of
+        recomputing.  A no-op without a cache directory (workers ship
+        artifacts through the cache).
+        """
+        if self._cache is None:
+            return
+        graph = self._planner.plan(
+            requests, self.config.scale, self.config.max_steps
+        )
+        engine = ExecutionEngine(self._cache, jobs=self.config.jobs)
+        engine.execute(graph, self.farm_report)
 
     def run(self, name: str) -> BenchmarkRun:
         """Compile, trace, and profile one benchmark (cached)."""
@@ -66,20 +116,57 @@ class SuiteRunner:
         if cached is not None:
             return cached
         spec = SUITE[name]
-        program = spec.compile(self.config.scale)
-        result = VM(program).run(max_steps=self.config.max_steps)
-        predictor = ProfilePredictor.from_trace(result.trace)
+        if self._cache is None:
+            program = spec.compile(self.config.scale)
+            trace = VM(program).run(max_steps=self.config.max_steps).trace
+            predictor = ProfilePredictor.from_trace(trace)
+        else:
+            program, trace, predictor = self._materialize(spec)
         run = BenchmarkRun(
             spec=spec,
-            trace=result.trace,
+            trace=trace,
             analyzer=LimitAnalyzer(program),
             predictor=predictor,
-            stats=branch_stats(result.trace, predictor),
+            stats=branch_stats(trace, predictor),
         )
         if self.config.verify:
             self._verify(run)
         self._runs[name] = run
         return run
+
+    def _materialize(self, spec: BenchmarkSpec):
+        """Load (or produce and store) one benchmark's trace and profile."""
+        scale = self._scale_for(spec)
+        trace_key = self._trace_key(spec.name)
+        program = spec.compile(scale)
+        if self._cache.has_trace(trace_key):
+            trace = self._cache.load_trace(trace_key, program)
+            self.farm_report.record(trace_key, "trace", spec.name, HIT)
+        else:
+            started = time.time()
+            trace = VM(program).run(max_steps=self.config.max_steps).trace
+            self._cache.store_trace(trace_key, trace)
+            self.farm_report.record(
+                trace_key, "trace", spec.name, RUN, time.time() - started
+            )
+        profile_key = jobkeys.profile_key(trace_key)
+        if self._cache.has_profile(profile_key):
+            predictor = self._cache.load_profile(profile_key)
+            self.farm_report.record(profile_key, "profile", spec.name, HIT)
+        else:
+            started = time.time()
+            predictor = ProfilePredictor.from_trace(trace)
+            self._cache.store_profile(profile_key, predictor)
+            self.farm_report.record(
+                profile_key, "profile", spec.name, RUN, time.time() - started
+            )
+        return program, trace, predictor
+
+    def _trace_key(self, name: str) -> str:
+        spec = SUITE[name]
+        scale = self._scale_for(spec)
+        fingerprint = self._planner.fingerprint(name, scale)
+        return jobkeys.trace_key(fingerprint, scale, self.config.max_steps)
 
     def _verify(self, run: BenchmarkRun) -> None:
         """Cross-check the compiled program and its trace (RunConfig.verify)."""
@@ -108,8 +195,8 @@ class SuiteRunner:
         A custom ``predictor`` bypasses the cache (ablations construct their
         own predictors with internal state).
         """
-        run = self.run(name)
         if predictor is not None:
+            run = self.run(name)
             return run.analyzer.analyze(
                 run.trace,
                 models=models,
@@ -126,16 +213,39 @@ class SuiteRunner:
             collect_misprediction_stats,
         )
         cached = self._results.get(key)
-        if cached is None:
-            cached = run.analyzer.analyze(
-                run.trace,
-                models=models,
-                predictor=run.predictor,
-                perfect_unrolling=perfect_unrolling,
-                perfect_inlining=perfect_inlining,
-                collect_misprediction_stats=collect_misprediction_stats,
+        if cached is not None:
+            return cached
+        result_key = None
+        if self._cache is not None:
+            result_key = jobkeys.result_key(
+                self._trace_key(name),
+                tuple(m.label for m in models),
+                perfect_unrolling,
+                perfect_inlining,
+                collect_misprediction_stats,
             )
-            self._results[key] = cached
+            # A persistent hit needs neither the trace nor the program.
+            if self._cache.has_result(result_key):
+                cached = self._cache.load_result(result_key)
+                self.farm_report.record(result_key, "analyze", name, HIT)
+                self._results[key] = cached
+                return cached
+        run = self.run(name)
+        started = time.time()
+        cached = run.analyzer.analyze(
+            run.trace,
+            models=models,
+            predictor=run.predictor,
+            perfect_unrolling=perfect_unrolling,
+            perfect_inlining=perfect_inlining,
+            collect_misprediction_stats=collect_misprediction_stats,
+        )
+        if result_key is not None:
+            self._cache.store_result(result_key, cached)
+            self.farm_report.record(
+                result_key, "analyze", name, RUN, time.time() - started
+            )
+        self._results[key] = cached
         return cached
 
 

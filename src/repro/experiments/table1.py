@@ -22,6 +22,11 @@ class Table1:
         return table.render()
 
 
+def requirements(config) -> list:
+    """Farm requests: purely descriptive, nothing to compute."""
+    return []
+
+
 def run(runner: SuiteRunner | None = None) -> Table1:
     return Table1(
         rows=[

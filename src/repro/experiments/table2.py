@@ -45,6 +45,13 @@ class Table2:
         return table.render()
 
 
+def requirements(config) -> list:
+    """Farm requests: a trace (and profile) for every benchmark."""
+    from repro.jobs import TraceRequest
+
+    return [TraceRequest(name) for name in SUITE]
+
+
 def run(runner: SuiteRunner) -> Table2:
     rows = []
     for name in SUITE:

@@ -38,6 +38,13 @@ class Table3:
         return rendered + "\n*harmonic mean over the non-numeric programs"
 
 
+def requirements(config) -> list:
+    """Farm requests: the default full-model analysis of every benchmark."""
+    from repro.jobs import AnalysisRequest
+
+    return [AnalysisRequest(name) for name in SUITE]
+
+
 def run(runner: SuiteRunner) -> Table3:
     parallelism: dict[str, dict[MachineModel, float]] = {}
     for name in SUITE:

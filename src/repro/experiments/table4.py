@@ -36,6 +36,20 @@ class Table4:
         return table.render()
 
 
+def requirements(config) -> list:
+    """Farm requests: every benchmark analyzed rolled and unrolled."""
+    from repro.jobs import AnalysisRequest
+
+    return [
+        request
+        for name in SUITE
+        for request in (
+            AnalysisRequest(name),
+            AnalysisRequest(name, perfect_unrolling=False),
+        )
+    ]
+
+
 def run(runner: SuiteRunner) -> Table4:
     percent_change: dict[str, dict[MachineModel, float]] = {}
     for name in SUITE:

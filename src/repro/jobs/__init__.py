@@ -1,0 +1,28 @@
+"""Parallel experiment farm with a content-addressed artifact cache.
+
+Turns ``repro-experiments`` from a one-shot serial script into an
+incremental farm: work is sharded at (benchmark × stage) granularity —
+compile, trace, profile, analysis — dispatched across a process pool,
+and every artifact is stored on disk under a content hash so re-running
+experiments only recomputes what changed.  See ``docs/jobs.md``.
+"""
+
+from repro.jobs.cache import ArtifactCache
+from repro.jobs.engine import ExecutionEngine, Job, JobGraph, Planner
+from repro.jobs.report import HIT, RUN, FarmReport, JobRecord
+from repro.jobs.requests import AnalysisRequest, Request, TraceRequest
+
+__all__ = [
+    "AnalysisRequest",
+    "ArtifactCache",
+    "ExecutionEngine",
+    "FarmReport",
+    "HIT",
+    "Job",
+    "JobGraph",
+    "JobRecord",
+    "Planner",
+    "RUN",
+    "Request",
+    "TraceRequest",
+]

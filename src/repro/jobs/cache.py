@@ -1,0 +1,145 @@
+"""Persistent, content-addressed artifact store (default ``.repro-cache/``).
+
+Layout::
+
+    <root>/
+        asm/<key>.s             disassembled object code (compile stage)
+        traces/<key>.rtrc.gz    RTRC binary traces (trace stage)
+        profiles/<key>.json     trained branch directions (profile stage)
+        results/<key>.json      serialized AnalysisResults (analysis stage)
+
+Artifacts are immutable: a key fully determines its content (see
+:mod:`repro.jobs.keys`), so writers never need to invalidate — a new
+input produces a new key.  Writes go through a temporary file followed by
+an atomic :func:`os.replace`, so concurrent workers racing to produce the
+same artifact are harmless (last writer wins with identical bytes) and a
+killed worker never leaves a half-written artifact at a live address.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.core.results import AnalysisResult
+from repro.isa import Program
+from repro.prediction.profile import ProfilePredictor
+from repro.vm.trace import Trace
+from repro.vm.trace_io import load_trace, save_trace
+
+
+class ArtifactCache:
+    """On-disk artifact store addressed by content keys."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    # -- paths ---------------------------------------------------------
+
+    def asm_path(self, key: str) -> Path:
+        return self.root / "asm" / f"{key}.s"
+
+    def trace_path(self, key: str) -> Path:
+        return self.root / "traces" / f"{key}.rtrc.gz"
+
+    def profile_path(self, key: str) -> Path:
+        return self.root / "profiles" / f"{key}.json"
+
+    def result_path(self, key: str) -> Path:
+        return self.root / "results" / f"{key}.json"
+
+    # -- existence -----------------------------------------------------
+
+    def has_asm(self, key: str) -> bool:
+        return self.asm_path(key).is_file()
+
+    def has_trace(self, key: str) -> bool:
+        return self.trace_path(key).is_file()
+
+    def has_profile(self, key: str) -> bool:
+        return self.profile_path(key).is_file()
+
+    def has_result(self, key: str) -> bool:
+        return self.result_path(key).is_file()
+
+    # -- compile stage -------------------------------------------------
+
+    def store_asm(self, key: str, text: str) -> None:
+        self._write_bytes(self.asm_path(key), text.encode("utf-8"))
+
+    def load_asm(self, key: str) -> str:
+        return self.asm_path(key).read_text(encoding="utf-8")
+
+    # -- trace stage ---------------------------------------------------
+
+    def store_trace(self, key: str, trace: Trace) -> None:
+        path = self.trace_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = _tmp_sibling(path)
+        try:
+            # save_trace picks compression from the suffix; keep .gz on
+            # the temporary file so the final artifact really is gzipped.
+            save_trace(trace, tmp)
+            os.replace(tmp, path)
+        finally:
+            _discard(tmp)
+
+    def load_trace(self, key: str, program: Program) -> Trace:
+        return load_trace(self.trace_path(key), program)
+
+    # -- profile stage -------------------------------------------------
+
+    def store_profile(self, key: str, predictor: ProfilePredictor) -> None:
+        payload = {
+            "directions": {
+                str(pc): taken for pc, taken in predictor.direction_map().items()
+            },
+            "default_taken": predictor.default_taken,
+        }
+        self._write_json(self.profile_path(key), payload)
+
+    def load_profile(self, key: str) -> ProfilePredictor:
+        payload = json.loads(self.profile_path(key).read_text(encoding="utf-8"))
+        directions = {int(pc): taken for pc, taken in payload["directions"].items()}
+        return ProfilePredictor(directions, default_taken=payload["default_taken"])
+
+    # -- analysis stage ------------------------------------------------
+
+    def store_result(self, key: str, result: AnalysisResult) -> None:
+        self._write_json(self.result_path(key), result.to_json())
+
+    def load_result(self, key: str) -> AnalysisResult:
+        payload = json.loads(self.result_path(key).read_text(encoding="utf-8"))
+        return AnalysisResult.from_json(payload)
+
+    # -- plumbing ------------------------------------------------------
+
+    def _write_json(self, path: Path, payload: dict) -> None:
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        self._write_bytes(path, text.encode("utf-8"))
+
+    def _write_bytes(self, path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = _tmp_sibling(path)
+        try:
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+        finally:
+            _discard(tmp)
+
+
+def _tmp_sibling(path: Path) -> Path:
+    handle, name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=path.suffix
+    )
+    os.close(handle)
+    return Path(name)
+
+
+def _discard(tmp: Path) -> None:
+    try:
+        tmp.unlink()
+    except FileNotFoundError:
+        pass

@@ -1,0 +1,265 @@
+"""Job graph construction and the process-parallel execution engine.
+
+The planner expands a pooled list of experiment requests into a
+deduplicated :class:`JobGraph` sharded at (benchmark × stage)
+granularity::
+
+    compile ──> trace ──> profile ──> analysis (one per option set)
+
+The compile stage runs in the planner itself: it is three orders of
+magnitude cheaper than tracing, and its product — the program fingerprint
+that addresses every downstream artifact — is needed to build the graph
+at all.  On a warm cache the planner does not even compile: it hashes the
+cached disassembly listing instead.
+
+The :class:`ExecutionEngine` then retires the graph.  Jobs whose artifact
+already exists in the cache are recorded as hits and skipped; the rest
+run either in-process (``jobs=1``, the default — also what the test suite
+exercises) or across a :class:`~concurrent.futures.ProcessPoolExecutor`,
+dispatching each job as soon as its dependencies have retired.  Workers
+exchange artifacts exclusively through the content-addressed cache (see
+:mod:`repro.jobs.worker`), so results are byte-identical regardless of
+worker count or scheduling order.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.asm.disassembler import disassemble
+from repro.bench import SUITE
+from repro.jobs import keys
+from repro.jobs.cache import ArtifactCache
+from repro.jobs.report import HIT, RUN, FarmReport
+from repro.jobs.requests import AnalysisRequest, Request, TraceRequest
+from repro.jobs.worker import execute_job
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable unit of work, addressed by its artifact key."""
+
+    key: str
+    stage: str  # "trace" | "profile" | "analyze"
+    benchmark: str
+    payload: dict
+    deps: tuple[str, ...] = ()
+
+
+@dataclass
+class JobGraph:
+    """Deduplicated DAG of jobs, keyed by artifact address."""
+
+    jobs: dict[str, Job] = field(default_factory=dict)
+
+    def add(self, job: Job) -> None:
+        self.jobs.setdefault(job.key, job)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self):
+        return iter(self.jobs.values())
+
+
+class Planner:
+    """Expands requests into a job graph against one cache/config."""
+
+    def __init__(self, cache: ArtifactCache, report: FarmReport):
+        self.cache = cache
+        self.report = report
+        self._fingerprints: dict[tuple[str, int], str] = {}
+
+    # -- compile stage (runs in-process during planning) ----------------
+
+    def fingerprint(self, benchmark: str, scale: int) -> str:
+        """Program fingerprint for (benchmark, scale), via the compile stage.
+
+        Cache hit: hash the stored disassembly without compiling.
+        Cache miss: compile, disassemble, store the listing.
+        """
+        memo = self._fingerprints.get((benchmark, scale))
+        if memo is not None:
+            return memo
+        spec = SUITE[benchmark]
+        source = spec.source(scale)
+        compile_key = keys.compile_key(benchmark, scale, source)
+        if self.cache.has_asm(compile_key):
+            fingerprint = keys.fingerprint_text(self.cache.load_asm(compile_key))
+            self.report.record(compile_key, "compile", benchmark, HIT)
+        else:
+            started = time.time()
+            listing = disassemble(spec.compile(scale))
+            self.cache.store_asm(compile_key, listing)
+            fingerprint = keys.fingerprint_text(listing)
+            self.report.record(
+                compile_key, "compile", benchmark, RUN, time.time() - started
+            )
+        self._fingerprints[(benchmark, scale)] = fingerprint
+        return fingerprint
+
+    # -- downstream stages ----------------------------------------------
+
+    def plan(
+        self,
+        requests: Iterable[Request],
+        default_scale: int | None,
+        default_max_steps: int,
+    ) -> JobGraph:
+        graph = JobGraph()
+        for request in requests:
+            spec = SUITE[request.benchmark]
+            scale = default_scale if default_scale is not None else spec.default_scale
+            max_steps = (
+                request.max_steps if request.max_steps is not None else default_max_steps
+            )
+            trace_key, profile_key = self._add_trace_jobs(
+                graph, request.benchmark, scale, max_steps
+            )
+            if isinstance(request, AnalysisRequest):
+                labels = request.model_labels
+                result_key = keys.result_key(
+                    trace_key,
+                    labels,
+                    request.perfect_unrolling,
+                    request.perfect_inlining,
+                    request.collect_misprediction_stats,
+                )
+                graph.add(
+                    Job(
+                        key=result_key,
+                        stage="analyze",
+                        benchmark=request.benchmark,
+                        deps=(trace_key, profile_key),
+                        payload={
+                            "stage": "analyze",
+                            "key": result_key,
+                            "benchmark": request.benchmark,
+                            "scale": scale,
+                            "trace": trace_key,
+                            "profile": profile_key,
+                            "models": list(labels),
+                            "perfect_unrolling": request.perfect_unrolling,
+                            "perfect_inlining": request.perfect_inlining,
+                            "misprediction_stats": request.collect_misprediction_stats,
+                            "cache_dir": str(self.cache.root),
+                        },
+                    )
+                )
+        return graph
+
+    def _add_trace_jobs(
+        self, graph: JobGraph, benchmark: str, scale: int, max_steps: int
+    ) -> tuple[str, str]:
+        fingerprint = self.fingerprint(benchmark, scale)
+        trace_key = keys.trace_key(fingerprint, scale, max_steps)
+        profile_key = keys.profile_key(trace_key)
+        graph.add(
+            Job(
+                key=trace_key,
+                stage="trace",
+                benchmark=benchmark,
+                payload={
+                    "stage": "trace",
+                    "key": trace_key,
+                    "benchmark": benchmark,
+                    "scale": scale,
+                    "max_steps": max_steps,
+                    "cache_dir": str(self.cache.root),
+                },
+            )
+        )
+        graph.add(
+            Job(
+                key=profile_key,
+                stage="profile",
+                benchmark=benchmark,
+                deps=(trace_key,),
+                payload={
+                    "stage": "profile",
+                    "key": profile_key,
+                    "benchmark": benchmark,
+                    "scale": scale,
+                    "trace": trace_key,
+                    "cache_dir": str(self.cache.root),
+                },
+            )
+        )
+        return trace_key, profile_key
+
+
+class ExecutionEngine:
+    """Retires a job graph serially or across a process pool."""
+
+    def __init__(self, cache: ArtifactCache, jobs: int = 1):
+        if jobs < 1:
+            raise ValueError("jobs must be a positive worker count")
+        self.cache = cache
+        self.jobs = jobs
+
+    def execute(self, graph: JobGraph, report: FarmReport) -> None:
+        done: set[str] = set()
+        pending: dict[str, Job] = {}
+        for job in graph:
+            if self._cached(job):
+                report.record(job.key, job.stage, job.benchmark, HIT)
+                done.add(job.key)
+            else:
+                pending[job.key] = job
+        if not pending:
+            return
+        if self.jobs == 1:
+            self._execute_serial(pending, done, report)
+        else:
+            self._execute_parallel(pending, done, report)
+
+    def _cached(self, job: Job) -> bool:
+        if job.stage == "trace":
+            return self.cache.has_trace(job.key)
+        if job.stage == "profile":
+            return self.cache.has_profile(job.key)
+        return self.cache.has_result(job.key)
+
+    def _execute_serial(
+        self, pending: dict[str, Job], done: set[str], report: FarmReport
+    ) -> None:
+        while pending:
+            ready = [
+                job
+                for job in pending.values()
+                if all(dep in done for dep in job.deps)
+            ]
+            if not ready:
+                raise RuntimeError("job graph has a dependency cycle")
+            for job in ready:
+                record = execute_job(job.payload)
+                self._retire(job, record, report, done)
+                del pending[job.key]
+
+    def _execute_parallel(
+        self, pending: dict[str, Job], done: set[str], report: FarmReport
+    ) -> None:
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            running: dict = {}
+            while pending or running:
+                for key in list(pending):
+                    job = pending[key]
+                    if all(dep in done for dep in job.deps):
+                        running[pool.submit(execute_job, job.payload)] = job
+                        del pending[key]
+                if not running:
+                    raise RuntimeError("job graph has a dependency cycle")
+                finished, _ = wait(running, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    job = running.pop(future)
+                    self._retire(job, future.result(), report, done)
+
+    @staticmethod
+    def _retire(job: Job, record: dict, report: FarmReport, done: set[str]) -> None:
+        report.record(
+            job.key, job.stage, job.benchmark, RUN, record["seconds"]
+        )
+        done.add(job.key)

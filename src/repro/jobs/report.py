@@ -1,0 +1,111 @@
+"""Per-job timing and cache hit-rate accounting for a farm run.
+
+Every unit of work the farm considers — one (benchmark × stage × option
+set), identified by its content key — is recorded exactly once, either as
+``run`` (the job executed and produced its artifact) or ``hit`` (the
+artifact was already in the cache and the job was skipped).  Later
+sightings of the same key (e.g. a lazy load after a prefetch) are ignored,
+so the report reflects what the invocation actually had to do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Stage names in pipeline order (used only for display sorting).
+STAGES = ("compile", "trace", "profile", "analyze")
+
+RUN = "run"
+HIT = "hit"
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Outcome of one farm job."""
+
+    key: str
+    stage: str
+    benchmark: str
+    status: str  # RUN or HIT
+    seconds: float = 0.0
+    worker: str = ""
+
+
+@dataclass
+class FarmReport:
+    """Accumulated job records for one experiment invocation."""
+
+    records: dict[str, JobRecord] = field(default_factory=dict)
+
+    def record(
+        self,
+        key: str,
+        stage: str,
+        benchmark: str,
+        status: str,
+        seconds: float = 0.0,
+        worker: str = "",
+    ) -> None:
+        """Record a job outcome (first sighting of a key wins)."""
+        if key not in self.records:
+            self.records[key] = JobRecord(key, stage, benchmark, status, seconds, worker)
+
+    # -- aggregates ----------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for r in self.records.values() if r.status == RUN)
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for r in self.records.values() if r.status == HIT)
+
+    def executed_in(self, stage: str) -> int:
+        return sum(
+            1
+            for r in self.records.values()
+            if r.stage == stage and r.status == RUN
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        """Percent of jobs satisfied from the cache (100.0 if no jobs)."""
+        if not self.records:
+            return 100.0
+        return 100.0 * self.hits / self.total
+
+    # -- rendering -----------------------------------------------------
+
+    def render(self, per_job: bool = True) -> str:
+        """Human-readable report (one summary line plus per-job lines)."""
+        lines = []
+        stage_order = {stage: i for i, stage in enumerate(STAGES)}
+        if per_job:
+            ordered = sorted(
+                self.records.values(),
+                key=lambda r: (stage_order.get(r.stage, len(STAGES)), r.benchmark, r.key),
+            )
+            for r in ordered:
+                timing = f"{r.seconds:8.3f}s" if r.status == RUN else "        -"
+                lines.append(
+                    f"[farm] {r.stage:<8s} {r.benchmark:<12s} {r.status:<4s} {timing}"
+                )
+        for stage in STAGES:
+            stage_records = [r for r in self.records.values() if r.stage == stage]
+            if not stage_records:
+                continue
+            ran = sum(1 for r in stage_records if r.status == RUN)
+            spent = sum(r.seconds for r in stage_records if r.status == RUN)
+            lines.append(
+                f"[farm] {stage}: {len(stage_records)} jobs, {ran} executed, "
+                f"{len(stage_records) - ran} hits, {spent:.2f}s"
+            )
+        lines.append(
+            f"[farm] total {self.total} jobs: {self.executed} executed, "
+            f"{self.hits} cache hits (hit rate {self.hit_rate:.1f}%)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Declarative descriptions of the artifacts an experiment needs.
+
+Each experiment module exposes ``requirements(config)`` returning a list
+of these requests; the CLI pools the requests of every selected
+experiment and hands them to the engine, which expands them into a
+deduplicated :class:`~repro.jobs.engine.JobGraph` of compile → trace →
+profile → analysis jobs.
+
+Fields left at ``None`` inherit from the session's
+:class:`~repro.experiments.runner.RunConfig` (workload scale, trace
+budget), so the same request list adapts to ``--max-steps`` / ``--scale``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.models import ALL_MODELS, MachineModel
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """Request the trace (and branch profile) of one benchmark."""
+
+    benchmark: str
+    max_steps: int | None = None  # None: RunConfig.max_steps
+
+
+@dataclass(frozen=True)
+class AnalysisRequest:
+    """Request one benchmark analyzed under one analyzer option set.
+
+    Implies the benchmark's trace and profile.  ``models`` is ``None``
+    for the full model set (the default of ``SuiteRunner.analyze``).
+    """
+
+    benchmark: str
+    models: tuple[MachineModel, ...] | None = None
+    perfect_unrolling: bool = True
+    perfect_inlining: bool = True
+    collect_misprediction_stats: bool = False
+    max_steps: int | None = None  # None: RunConfig.max_steps
+
+    @property
+    def model_labels(self) -> tuple[str, ...]:
+        models = ALL_MODELS if self.models is None else self.models
+        return tuple(model.label for model in models)
+
+
+Request = TraceRequest | AnalysisRequest

@@ -1,0 +1,78 @@
+"""Worker-side job execution.
+
+These functions run inside :class:`~concurrent.futures.ProcessPoolExecutor`
+workers (or in-process for the serial fallback), so they are plain
+top-level functions taking a picklable payload ``dict``.  Workers never
+ship :class:`~repro.vm.Trace` or :class:`~repro.core.AnalysisResult`
+objects back over the pipe: every artifact travels through the
+content-addressed cache — traces in the RTRC binary format of
+:mod:`repro.vm.trace_io`, everything else as JSON — and only a small
+timing record is returned.
+
+Programs are not shipped either: each worker recompiles the benchmark's
+MiniC source locally (compilation is ~3 orders of magnitude cheaper than
+tracing) and memoizes it per process via the benchmark compile cache.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import SUITE
+from repro.core import LimitAnalyzer, MachineModel
+from repro.jobs.cache import ArtifactCache
+from repro.prediction import ProfilePredictor
+from repro.vm import VM
+
+
+def execute_job(payload: dict) -> dict:
+    """Run one farm job described by *payload*; return its timing record."""
+    started = time.time()
+    stage = payload["stage"]
+    if stage == "trace":
+        _trace_job(payload)
+    elif stage == "profile":
+        _profile_job(payload)
+    elif stage == "analyze":
+        _analysis_job(payload)
+    else:
+        raise ValueError(f"unknown job stage {stage!r}")
+    return {
+        "key": payload["key"],
+        "stage": stage,
+        "benchmark": payload["benchmark"],
+        "seconds": time.time() - started,
+    }
+
+
+def _program(payload: dict):
+    return SUITE[payload["benchmark"]].compile(payload["scale"])
+
+
+def _trace_job(payload: dict) -> None:
+    cache = ArtifactCache(payload["cache_dir"])
+    program = _program(payload)
+    result = VM(program).run(max_steps=payload["max_steps"])
+    cache.store_trace(payload["key"], result.trace)
+
+
+def _profile_job(payload: dict) -> None:
+    cache = ArtifactCache(payload["cache_dir"])
+    trace = cache.load_trace(payload["trace"], _program(payload))
+    cache.store_profile(payload["key"], ProfilePredictor.from_trace(trace))
+
+
+def _analysis_job(payload: dict) -> None:
+    cache = ArtifactCache(payload["cache_dir"])
+    program = _program(payload)
+    trace = cache.load_trace(payload["trace"], program)
+    predictor = cache.load_profile(payload["profile"])
+    result = LimitAnalyzer(program).analyze(
+        trace,
+        models=[MachineModel(label) for label in payload["models"]],
+        predictor=predictor,
+        perfect_unrolling=payload["perfect_unrolling"],
+        perfect_inlining=payload["perfect_inlining"],
+        collect_misprediction_stats=payload["misprediction_stats"],
+    )
+    cache.store_result(payload["key"], result)

@@ -56,6 +56,11 @@ class ProfilePredictor(BranchPredictor):
     def lookup(self, pc: int) -> bool:
         return self._directions.get(pc, self._default)
 
+    @property
+    def default_taken(self) -> bool:
+        """Direction predicted for branches never seen during profiling."""
+        return self._default
+
     def direction_map(self) -> dict[int, bool]:
         """A copy of the per-branch predicted directions."""
         return dict(self._directions)

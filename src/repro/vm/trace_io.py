@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import gzip
 import struct
+import sys
 from array import array
 from pathlib import Path
 
@@ -42,16 +43,44 @@ def _open(path: str | Path, mode: str):
     return open(path, mode)
 
 
+def _le_bytes(values: array) -> bytes:
+    """Array payload bytes, little-endian regardless of host byte order."""
+    if sys.byteorder == "big":
+        values = array(values.typecode, values)
+        values.byteswap()
+    return values.tobytes()
+
+
+def _read_exact(stream, count: int) -> bytes:
+    """Read exactly *count* bytes, looping over short reads.
+
+    ``read(n)`` on buffered and gzip streams may legally return fewer than
+    *n* bytes; a single short read on a multi-megabyte section would
+    otherwise be misreported as a truncated file.
+    """
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = stream.read(remaining)
+        if not chunk:
+            raise TraceFormatError("truncated trace file")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
 def save_trace(trace: Trace, path: str | Path) -> None:
     """Write *trace* to *path* in the binary trace format."""
     name_bytes = trace.program.name.encode("utf-8")
+    if len(name_bytes) > 0xFFFF:
+        raise TraceFormatError("program name exceeds 65535 UTF-8 bytes")
     with _open(path, "wb") as stream:
         stream.write(MAGIC)
         stream.write(struct.pack("<IQH", VERSION, len(trace), len(name_bytes)))
         stream.write(name_bytes)
-        stream.write(array("I", trace.pcs).tobytes())
-        stream.write(array("q", trace.addrs).tobytes())
-        stream.write(array("b", trace.takens).tobytes())
+        stream.write(_le_bytes(array("I", trace.pcs)))
+        stream.write(_le_bytes(array("q", trace.addrs)))
+        stream.write(_le_bytes(array("b", trace.takens)))
 
 
 def load_trace(path: str | Path, program: Program) -> Trace:
@@ -65,28 +94,30 @@ def load_trace(path: str | Path, program: Program) -> Trace:
         magic = stream.read(4)
         if magic != MAGIC:
             raise TraceFormatError(f"bad magic {magic!r}; not a trace file")
-        version, count, name_length = struct.unpack("<IQH", stream.read(14))
+        version, count, name_length = struct.unpack("<IQH", _read_exact(stream, 14))
         if version != VERSION:
             raise TraceFormatError(f"unsupported trace version {version}")
-        name = stream.read(name_length).decode("utf-8")
+        name = _read_exact(stream, name_length).decode("utf-8") if name_length else ""
         if name != program.name:
             raise TraceFormatError(
                 f"trace was recorded for program {name!r}, got {program.name!r}"
             )
         pcs = array("I")
-        pcs.frombytes(stream.read(4 * count))
+        pcs.frombytes(_read_exact(stream, 4 * count))
         addrs = array("q")
-        addrs.frombytes(stream.read(8 * count))
+        addrs.frombytes(_read_exact(stream, 8 * count))
         takens = array("b")
-        takens.frombytes(stream.read(count))
-    if len(pcs) != count or len(addrs) != count or len(takens) != count:
-        raise TraceFormatError("truncated trace file")
+        takens.frombytes(_read_exact(stream, count))
+    if sys.byteorder == "big":
+        pcs.byteswap()
+        addrs.byteswap()
+        takens.byteswap()
     n_code = len(program)
-    for pc in pcs:
-        if pc >= n_code:
-            raise TraceFormatError(
-                f"trace pc {pc} outside program code [0, {n_code})"
-            )
+    if count and max(pcs) >= n_code:
+        bad = max(pcs)
+        raise TraceFormatError(
+            f"trace pc {bad} outside program code [0, {n_code})"
+        )
     return Trace(
         program=program,
         pcs=list(pcs),

@@ -1,0 +1,91 @@
+"""JSON round trips for analysis results (the cache's result format)."""
+
+import json
+
+from repro.core import MachineModel
+from repro.core.results import AnalysisResult, ModelResult
+from repro.core.stats import MispredictionStats, Segment
+
+M = MachineModel
+
+
+def sample_result(with_stats=True):
+    result = AnalysisResult(
+        program_name="bench",
+        trace_length=1234,
+        counted_instructions=1200,
+        removed_instructions=34,
+    )
+    result.models[M.BASE] = ModelResult(M.BASE, 1200, 17)
+    result.models[M.SP_CD_MF] = ModelResult(M.SP_CD_MF, 1200, 300)
+    if with_stats:
+        stats = MispredictionStats()
+        stats.add(10, 2)
+        stats.add(45, 9)
+        result.misprediction_stats = stats
+    return result
+
+
+class TestModelResult:
+    def test_roundtrip(self):
+        original = ModelResult(M.CD_MF, 5000, 125)
+        loaded = ModelResult.from_json(original.to_json())
+        assert loaded == original
+        assert loaded.parallelism == original.parallelism
+
+    def test_json_serializable(self):
+        payload = ModelResult(M.ORACLE, 7, 3).to_json()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_model_stored_by_label(self):
+        assert ModelResult(M.SP_CD_MF, 1, 1).to_json()["model"] == M.SP_CD_MF.value
+
+
+class TestMispredictionStats:
+    def test_roundtrip(self):
+        stats = MispredictionStats()
+        stats.add(3, 1)
+        stats.add(100, 20)
+        loaded = MispredictionStats.from_json(stats.to_json())
+        assert loaded.segments == stats.segments
+        assert loaded.segments[0] == Segment(3, 1)
+
+    def test_empty_roundtrip(self):
+        loaded = MispredictionStats.from_json(MispredictionStats().to_json())
+        assert loaded.segments == []
+
+
+class TestAnalysisResult:
+    def test_roundtrip_exact(self):
+        original = sample_result()
+        loaded = AnalysisResult.from_json(original.to_json())
+        assert loaded.program_name == original.program_name
+        assert loaded.trace_length == original.trace_length
+        assert loaded.counted_instructions == original.counted_instructions
+        assert loaded.removed_instructions == original.removed_instructions
+        assert set(loaded.models) == set(original.models)
+        for model in original.models:
+            assert loaded[model] == original[model]
+        assert loaded.misprediction_stats.segments == (
+            original.misprediction_stats.segments
+        )
+
+    def test_roundtrip_without_stats(self):
+        loaded = AnalysisResult.from_json(sample_result(with_stats=False).to_json())
+        assert loaded.misprediction_stats is None
+
+    def test_parallelism_preserved(self):
+        original = sample_result()
+        loaded = AnalysisResult.from_json(original.to_json())
+        assert loaded.parallelism == original.parallelism
+        assert loaded.speedup_over(M.BASE, M.SP_CD_MF) == original.speedup_over(
+            M.BASE, M.SP_CD_MF
+        )
+
+    def test_survives_wire_format(self):
+        # The cache writes compact JSON text; the full text round trip must
+        # be exact, not just the dict round trip.
+        original = sample_result()
+        text = json.dumps(original.to_json(), sort_keys=True, separators=(",", ":"))
+        loaded = AnalysisResult.from_json(json.loads(text))
+        assert loaded.to_json() == original.to_json()

@@ -1,0 +1,141 @@
+"""Tests for the planner and execution engine (repro.jobs.engine)."""
+
+import pytest
+
+from repro.core import MachineModel
+from repro.jobs import (
+    AnalysisRequest,
+    ArtifactCache,
+    ExecutionEngine,
+    FarmReport,
+    Planner,
+    TraceRequest,
+)
+
+M = MachineModel
+MAX_STEPS = 4_000
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "store")
+
+
+def plan(cache, report, requests, max_steps=MAX_STEPS):
+    return Planner(cache, report).plan(requests, None, max_steps)
+
+
+class TestPlanner:
+    def test_trace_request_expands_to_trace_and_profile(self, cache):
+        report = FarmReport()
+        graph = plan(cache, report, [TraceRequest("awk")])
+        stages = sorted(job.stage for job in graph)
+        assert stages == ["profile", "trace"]
+        # The compile stage ran inside the planner and was recorded.
+        assert report.total == 1
+        assert next(iter(report.records.values())).stage == "compile"
+
+    def test_analysis_request_implies_trace_and_profile(self, cache):
+        graph = plan(cache, FarmReport(), [AnalysisRequest("awk")])
+        assert sorted(job.stage for job in graph) == [
+            "analyze",
+            "profile",
+            "trace",
+        ]
+
+    def test_requests_deduplicate(self, cache):
+        requests = [
+            TraceRequest("awk"),
+            AnalysisRequest("awk"),
+            AnalysisRequest("awk"),  # exact duplicate
+            AnalysisRequest("awk", models=(M.BASE,)),  # distinct option set
+        ]
+        graph = plan(cache, FarmReport(), requests)
+        assert sorted(job.stage for job in graph) == [
+            "analyze",
+            "analyze",
+            "profile",
+            "trace",
+        ]
+
+    def test_analysis_depends_on_trace_and_profile(self, cache):
+        graph = plan(cache, FarmReport(), [AnalysisRequest("awk")])
+        jobs = {job.stage: job for job in graph}
+        assert jobs["profile"].deps == (jobs["trace"].key,)
+        assert set(jobs["analyze"].deps) == {
+            jobs["trace"].key,
+            jobs["profile"].key,
+        }
+
+    def test_max_steps_override_forks_the_trace(self, cache):
+        graph = plan(
+            cache,
+            FarmReport(),
+            [TraceRequest("awk"), TraceRequest("awk", max_steps=999)],
+        )
+        assert sum(1 for job in graph if job.stage == "trace") == 2
+
+    def test_warm_planner_hashes_listing_instead_of_compiling(self, cache):
+        first = FarmReport()
+        plan(cache, first, [TraceRequest("awk")])
+        assert first.executed_in("compile") == 1
+        second = FarmReport()
+        plan(cache, second, [TraceRequest("awk")])
+        assert second.executed_in("compile") == 0
+        assert second.hits == 1
+
+
+class TestSerialExecution:
+    def test_produces_all_artifacts(self, cache):
+        report = FarmReport()
+        graph = plan(cache, report, [AnalysisRequest("awk", models=(M.BASE,))])
+        ExecutionEngine(cache, jobs=1).execute(graph, report)
+        for job in graph:
+            if job.stage == "trace":
+                assert cache.has_trace(job.key)
+            elif job.stage == "profile":
+                assert cache.has_profile(job.key)
+            else:
+                assert cache.has_result(job.key)
+        assert report.executed == 4  # compile + trace + profile + analyze
+        assert report.hits == 0
+
+    def test_second_execution_all_hits(self, cache):
+        requests = [AnalysisRequest("awk", models=(M.BASE,))]
+        report = FarmReport()
+        graph = plan(cache, report, requests)
+        ExecutionEngine(cache, jobs=1).execute(graph, report)
+        warm = FarmReport()
+        graph = plan(cache, warm, requests)
+        ExecutionEngine(cache, jobs=1).execute(graph, warm)
+        assert warm.executed == 0
+        assert warm.hit_rate == 100.0
+
+    def test_rejects_bad_worker_count(self, cache):
+        with pytest.raises(ValueError, match="positive"):
+            ExecutionEngine(cache, jobs=0)
+
+
+class TestParallelExecution:
+    def test_parallel_artifacts_match_serial(self, cache, tmp_path):
+        requests = [
+            AnalysisRequest("awk", models=(M.BASE, M.ORACLE)),
+            AnalysisRequest("eqntott", models=(M.BASE, M.ORACLE)),
+        ]
+        serial_report = FarmReport()
+        graph = plan(cache, serial_report, requests)
+        ExecutionEngine(cache, jobs=1).execute(graph, serial_report)
+
+        parallel_cache = ArtifactCache(tmp_path / "parallel")
+        parallel_report = FarmReport()
+        graph = plan(parallel_cache, parallel_report, requests)
+        ExecutionEngine(parallel_cache, jobs=2).execute(graph, parallel_report)
+
+        assert parallel_report.executed == serial_report.executed
+        for record in serial_report.records.values():
+            if record.stage == "analyze":
+                a = cache.load_result(record.key)
+                b = parallel_cache.load_result(record.key)
+                assert a.to_json() == b.to_json()
+            elif record.stage == "trace":
+                assert parallel_cache.has_trace(record.key)

@@ -60,6 +60,40 @@ class TestRoundTrip:
         save_trace(trace, path)
         assert len(load_trace(path, program)) == 0
 
+    def test_empty_trace_gzip(self, tmp_path):
+        # Worker transport regression: an empty trace must survive the
+        # compressed path too (a benchmark capped at max_steps=0).
+        program = assemble("halt", name="empty")
+        trace = VM(program).run(max_steps=0).trace
+        path = tmp_path / "e.rtrc.gz"
+        save_trace(trace, path)
+        loaded = load_trace(path, program)
+        assert loaded.pcs == [] and loaded.addrs == [] and loaded.takens == []
+
+    def test_non_ascii_program_name(self, tmp_path):
+        # Worker transport regression: the name length field counts UTF-8
+        # *bytes*, which must round-trip for multi-byte names.
+        program = assemble(SOURCE, name="bénch-日本語-🧪")
+        trace = VM(program).run().trace
+        path = tmp_path / "u.rtrc.gz"
+        save_trace(trace, path)
+        loaded = load_trace(path, program)
+        assert loaded.program.name == "bénch-日本語-🧪"
+        assert loaded.pcs == trace.pcs
+
+    def test_empty_trace_with_non_ascii_name(self, tmp_path):
+        program = assemble("halt", name="пусто")
+        trace = VM(program).run(max_steps=0).trace
+        path = tmp_path / "eu.rtrc.gz"
+        save_trace(trace, path)
+        assert len(load_trace(path, program)) == 0
+
+    def test_overlong_name_rejected(self, tmp_path):
+        program = assemble("halt", name="x" * 70_000)
+        trace = VM(program).run(max_steps=0).trace
+        with pytest.raises(TraceFormatError, match="65535"):
+            save_trace(trace, tmp_path / "long.rtrc")
+
 
 class TestErrors:
     def test_bad_magic(self, traced, tmp_path):
@@ -91,5 +125,21 @@ class TestErrors:
         save_trace(trace, path)
         data = path.read_bytes()
         path.write_bytes(data[: len(data) - 8])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            load_trace(path, program)
+
+    def test_truncated_header(self, traced, tmp_path):
+        program, trace = traced
+        path = tmp_path / "t.rtrc"
+        save_trace(trace, path)
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            load_trace(path, program)
+
+    def test_truncated_name(self, traced, tmp_path):
+        program, trace = traced
+        path = tmp_path / "t.rtrc"
+        save_trace(trace, path)
+        path.write_bytes(path.read_bytes()[:20])
         with pytest.raises(TraceFormatError, match="truncated"):
             load_trace(path, program)
