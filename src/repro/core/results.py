@@ -63,6 +63,10 @@ class AnalysisResult:
     misprediction_stats: MispredictionStats | None = None
     counted_instructions: int = 0
     removed_instructions: int = 0
+    #: Which analyzer implementation produced this result ("fused" or
+    #: "legacy").  Provenance only: excluded from equality so differential
+    #: tests can compare the two engines' outputs directly.
+    engine: str = field(default="fused", compare=False)
 
     @property
     def parallelism(self) -> dict[MachineModel, float]:
@@ -87,6 +91,7 @@ class AnalysisResult:
             "trace_length": self.trace_length,
             "counted_instructions": self.counted_instructions,
             "removed_instructions": self.removed_instructions,
+            "engine": self.engine,
             "models": [self.models[model].to_json() for model in self.models],
             "misprediction_stats": (
                 None
@@ -102,6 +107,7 @@ class AnalysisResult:
             trace_length=payload["trace_length"],
             counted_instructions=payload["counted_instructions"],
             removed_instructions=payload["removed_instructions"],
+            engine=payload.get("engine", "fused"),
         )
         for entry in payload["models"]:
             model_result = ModelResult.from_json(entry)

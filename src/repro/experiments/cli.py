@@ -8,6 +8,7 @@ Usage::
     repro-experiments --jobs 8           # farm the work across 8 processes
     repro-experiments --cache-dir /tmp/c # persistent artifact cache location
     repro-experiments --no-cache         # don't keep artifacts between runs
+    repro-experiments --legacy-engine    # per-model analyzer sweep (oracle)
     repro-experiments --list
 
 Tables and figures go to stdout; timing lines and the farm's per-job
@@ -152,6 +153,13 @@ def main(argv: list[str] | None = None) -> int:
         help="do not keep artifacts between runs (with --jobs > 1, a "
         "throwaway directory still transports artifacts between workers)",
     )
+    parser.add_argument(
+        "--legacy-engine",
+        action="store_true",
+        help="analyze with the original per-model sweep instead of the "
+        "fused single-pass engine (differential-testing oracle; slower, "
+        "bypasses the persistent result cache)",
+    )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument(
         "--output",
@@ -199,6 +207,7 @@ def main(argv: list[str] | None = None) -> int:
             verify=args.verify,
             jobs=args.jobs,
             cache_dir=cache_dir,
+            engine="legacy" if args.legacy_engine else "fused",
         )
     )
     try:

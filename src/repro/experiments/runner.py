@@ -41,6 +41,12 @@ class RunConfig:
     pre-farm behavior).  ``jobs`` is the worker-process count used when
     experiment requirements are prefetched through the farm; 1 runs jobs
     serially in-process.
+
+    ``engine`` selects the analyzer implementation: ``"fused"`` (the
+    default single-pass engine) or ``"legacy"`` (the original per-model
+    sweep, kept as a differential-testing oracle).  Legacy runs bypass
+    the persistent result cache so the oracle path is actually executed
+    rather than served a cached fused result.
     """
 
     max_steps: int = 150_000
@@ -48,6 +54,7 @@ class RunConfig:
     verify: bool = False
     jobs: int = 1
     cache_dir: str | Path | None = None
+    engine: str = "fused"
 
 
 @dataclass
@@ -204,6 +211,7 @@ class SuiteRunner:
                 perfect_unrolling=perfect_unrolling,
                 perfect_inlining=perfect_inlining,
                 collect_misprediction_stats=collect_misprediction_stats,
+                engine=self.config.engine,
             )
         key = (
             name,
@@ -211,12 +219,16 @@ class SuiteRunner:
             perfect_unrolling,
             perfect_inlining,
             collect_misprediction_stats,
+            self.config.engine,
         )
         cached = self._results.get(key)
         if cached is not None:
             return cached
         result_key = None
-        if self._cache is not None:
+        # The legacy engine exists as a differential oracle: serving it a
+        # persistently cached (fused-produced) result would skip the very
+        # code path the caller asked to exercise.
+        if self._cache is not None and self.config.engine == "fused":
             result_key = jobkeys.result_key(
                 self._trace_key(name),
                 tuple(m.label for m in models),
@@ -239,6 +251,7 @@ class SuiteRunner:
             perfect_unrolling=perfect_unrolling,
             perfect_inlining=perfect_inlining,
             collect_misprediction_stats=collect_misprediction_stats,
+            engine=self.config.engine,
         )
         if result_key is not None:
             self._cache.store_result(result_key, cached)

@@ -27,8 +27,11 @@ import json
 from repro._version import __version__
 from repro.vm.trace_io import VERSION as RTRC_VERSION
 
-#: Bump when the on-disk artifact layout or JSON shapes change.
-SCHEMA = 1
+#: Bump when the on-disk artifact layout, JSON shapes, or the analyzer
+#: internals that produce result artifacts change.  Schema 2: the fused
+#: single-pass analyzer engine replaced the per-model sweep as the
+#: default producer of analysis results.
+SCHEMA = 2
 
 
 def _digest(material: dict) -> str:

@@ -5,15 +5,21 @@ exactly the information the paper extracts with ``pixie`` — which static
 instruction executed, the effective address of each memory access, and the
 outcome of each conditional branch.
 
-For compactness the trace is stored as three parallel ``list``\\ s rather
-than a list of record objects; :data:`NO_ADDR` / :data:`NOT_BRANCH` mark the
-unused fields.
+For compactness the trace is stored as three parallel ``array('q')``
+columns rather than a list of record objects: a 150k-instruction trace is
+three flat 8-byte-per-entry buffers instead of ~450k boxed Python ints.
+:data:`NO_ADDR` / :data:`NOT_BRANCH` mark the unused fields.  The columns
+still support ``append`` (the VM builds traces incrementally) and item
+assignment (the trace sanitizer's fault-injection tests mutate records in
+place); constructor arguments may be any iterable of ints and are
+normalized to ``array('q')``.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.isa.program import Program
 
@@ -25,6 +31,15 @@ NOT_BRANCH = -1
 
 TAKEN = 1
 NOT_TAKEN = 0
+
+
+def _column(values: Iterable[int] | None = None) -> array:
+    """A trace column: a flat signed-64-bit array."""
+    if values is None:
+        return array("q")
+    if isinstance(values, array) and values.typecode == "q":
+        return values
+    return array("q", values)
 
 
 @dataclass(frozen=True)
@@ -41,9 +56,15 @@ class Trace:
     """A dynamic instruction trace plus the program it came from."""
 
     program: Program
-    pcs: list[int] = field(default_factory=list)
-    addrs: list[int] = field(default_factory=list)
-    takens: list[int] = field(default_factory=list)
+    pcs: array = field(default_factory=_column)
+    addrs: array = field(default_factory=_column)
+    takens: array = field(default_factory=_column)
+
+    def __post_init__(self) -> None:
+        # Accept lists (or any int iterable) and normalize to array('q').
+        self.pcs = _column(self.pcs)
+        self.addrs = _column(self.addrs)
+        self.takens = _column(self.takens)
 
     def __len__(self) -> int:
         return len(self.pcs)

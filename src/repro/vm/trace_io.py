@@ -118,9 +118,10 @@ def load_trace(path: str | Path, program: Program) -> Trace:
         raise TraceFormatError(
             f"trace pc {bad} outside program code [0, {n_code})"
         )
+    # Trace normalizes the narrower on-disk column types to array('q').
     return Trace(
         program=program,
-        pcs=list(pcs),
-        addrs=list(addrs),
-        takens=list(takens),
+        pcs=pcs,
+        addrs=addrs,
+        takens=takens,
     )

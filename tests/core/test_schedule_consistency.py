@@ -1,0 +1,83 @@
+"""Schedule/analyze consistency: for every machine model, the completion
+cycles :meth:`LimitAnalyzer.schedule` reports must aggregate to exactly
+the numbers :meth:`LimitAnalyzer.analyze` returns — ``max`` over the
+non-``None`` entries is the model's parallel time, and the count of
+non-``None`` entries is the counted-instruction total."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import ALL_MODELS, LimitAnalyzer
+from repro.prediction import ProfilePredictor
+from repro.vm import VM
+
+from tests.core.test_paper_example import SOURCE as PAPER_EXAMPLE
+
+STRAIGHT_LINE = """
+    li $t0, 1
+    add $t1, $t0, $t0
+    mul $t2, $t1, $t1
+    sw  $t2, 0x2000($zero)
+    lw  $t3, 0x2000($zero)
+    halt
+"""
+
+LOOP_WITH_CALL = """
+    li $s0, 4
+loop:
+    jal body
+    addi $s0, $s0, -1
+    bgtz $s0, loop
+    halt
+body:
+    add $v0, $s0, $s0
+    jr $ra
+"""
+
+EXAMPLES = {
+    "straight-line": STRAIGHT_LINE,
+    "loop-with-call": LOOP_WITH_CALL,
+    "paper-example": PAPER_EXAMPLE,
+}
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.value)
+def test_schedule_agrees_with_analyze(name, model):
+    program = assemble(EXAMPLES[name])
+    trace = VM(program).run().trace
+    predictor = ProfilePredictor.from_trace(trace)
+    analyzer = LimitAnalyzer(program)
+    result = analyzer.analyze(trace, models=[model], predictor=predictor)
+    schedule = analyzer.schedule(trace, model, predictor=predictor)
+    assert len(schedule) == len(trace)
+    completed = [cycle for cycle in schedule if cycle is not None]
+    assert len(completed) == result.counted_instructions
+    assert max(completed) == result[model].parallel_time
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.value)
+def test_schedule_respects_inlining_options(model):
+    # Without perfect inlining/unrolling nothing is removed: the schedule
+    # has no None entries and still aggregates to analyze()'s numbers.
+    program = assemble(LOOP_WITH_CALL)
+    trace = VM(program).run().trace
+    predictor = ProfilePredictor.from_trace(trace)
+    analyzer = LimitAnalyzer(program)
+    result = analyzer.analyze(
+        trace,
+        models=[model],
+        predictor=predictor,
+        perfect_inlining=False,
+        perfect_unrolling=False,
+    )
+    schedule = analyzer.schedule(
+        trace,
+        model,
+        predictor=predictor,
+        perfect_inlining=False,
+        perfect_unrolling=False,
+    )
+    assert None not in schedule
+    assert max(schedule) == result[model].parallel_time
+    assert len(schedule) == result.counted_instructions

@@ -1,0 +1,67 @@
+"""Engine selection plumbing: ``RunConfig.engine`` must reach the
+analyzer, produce identical experiment outputs, and keep the legacy
+oracle path honest by bypassing the persistent result cache."""
+
+from repro.core import MachineModel
+from repro.experiments import RunConfig, SuiteRunner, table3
+from repro.experiments.cli import main
+from repro.jobs import HIT
+
+M = MachineModel
+
+
+class TestRunConfigEngine:
+    def test_default_is_fused(self):
+        assert RunConfig().engine == "fused"
+
+    def test_engine_reaches_results(self):
+        fused = SuiteRunner(RunConfig(max_steps=8_000)).analyze(
+            "awk", models=[M.BASE]
+        )
+        legacy = SuiteRunner(
+            RunConfig(max_steps=8_000, engine="legacy")
+        ).analyze("awk", models=[M.BASE])
+        assert fused.engine == "fused"
+        assert legacy.engine == "legacy"
+        assert fused == legacy
+
+    def test_table3_identical_across_engines(self):
+        fused = table3.run(SuiteRunner(RunConfig(max_steps=8_000))).render()
+        legacy = table3.run(
+            SuiteRunner(RunConfig(max_steps=8_000, engine="legacy"))
+        ).render()
+        assert fused == legacy
+
+    def test_legacy_bypasses_persistent_result_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        # A fused runner populates the persistent result cache...
+        warm = SuiteRunner(RunConfig(max_steps=8_000, cache_dir=cache_dir))
+        warm.analyze("awk", models=[M.BASE])
+        # ...a fused re-run is served from it...
+        fused = SuiteRunner(RunConfig(max_steps=8_000, cache_dir=cache_dir))
+        fused.analyze("awk", models=[M.BASE])
+        assert any(
+            record.stage == "analyze" and record.status == HIT
+            for record in fused.farm_report.records.values()
+        )
+        # ...but a legacy runner must execute the oracle path, not load
+        # the fused artifact.
+        legacy = SuiteRunner(
+            RunConfig(max_steps=8_000, cache_dir=cache_dir, engine="legacy")
+        )
+        result = legacy.analyze("awk", models=[M.BASE])
+        assert result.engine == "legacy"
+        assert not any(
+            record.stage == "analyze"
+            for record in legacy.farm_report.records.values()
+        )
+
+
+class TestCliFlag:
+    def test_legacy_engine_flag_output_identical(self, capsys, tmp_path):
+        args = ["table1", "--max-steps", "8000", "--no-cache"]
+        assert main(args) == 0
+        fused_out = capsys.readouterr().out
+        assert main(args + ["--legacy-engine"]) == 0
+        legacy_out = capsys.readouterr().out
+        assert legacy_out == fused_out

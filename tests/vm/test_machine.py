@@ -156,7 +156,7 @@ class TestControlFlow:
 
     def test_halt_is_traced(self):
         result = run("halt")
-        assert result.trace.pcs == [0]
+        assert list(result.trace.pcs) == [0]
 
 
 class TestFloatingPoint:

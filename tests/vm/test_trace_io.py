@@ -68,7 +68,8 @@ class TestRoundTrip:
         path = tmp_path / "e.rtrc.gz"
         save_trace(trace, path)
         loaded = load_trace(path, program)
-        assert loaded.pcs == [] and loaded.addrs == [] and loaded.takens == []
+        assert list(loaded.pcs) == [] and list(loaded.addrs) == []
+        assert list(loaded.takens) == []
 
     def test_non_ascii_program_name(self, tmp_path):
         # Worker transport regression: the name length field counts UTF-8
