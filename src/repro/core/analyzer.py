@@ -64,10 +64,12 @@ models, so :meth:`LimitAnalyzer.analyze` ships two engines:
 
 from __future__ import annotations
 
+import time
 from array import array
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import telemetry
 from repro.analysis.summary import ProgramAnalysis, analyze_program
 from repro.core.models import ALL_MODELS, MachineModel
 from repro.core.results import AnalysisResult, ModelResult
@@ -328,38 +330,106 @@ class LimitAnalyzer:
         )
         flow_peaks: dict[MachineModel, int] = {}
 
-        if engine == "legacy":
-            counted = 0
-            seq_time = 0
-            for model in models:
-                model_stats = stats if model is MachineModel.SP else None
-                seq_time, parallel_time, counted, flow_peak = _run_model(
-                    model, trace, tables, mp_flags, window, model_stats,
-                    flow_limit=flow_limit,
+        tele_on = telemetry.enabled()
+        sweep_started = time.perf_counter() if tele_on else 0.0
+        with telemetry.span(
+            "analyzer.analyze",
+            program=self.program.name,
+            engine=engine,
+            models=[model.label for model in models],
+            trace_records=len(trace),
+        ) as sp:
+            if engine == "legacy":
+                counted = 0
+                seq_time = 0
+                for model in models:
+                    model_stats = stats if model is MachineModel.SP else None
+                    with telemetry.span(
+                        "analyzer.model",
+                        program=self.program.name,
+                        model=model.label,
+                    ) as msp:
+                        seq_time, parallel_time, counted, flow_peak = _run_model(
+                            model, trace, tables, mp_flags, window, model_stats,
+                            flow_limit=flow_limit,
+                        )
+                        msp.set(cycles=parallel_time)
+                    result.models[model] = ModelResult(
+                        model=model,
+                        sequential_time=seq_time,
+                        parallel_time=parallel_time,
+                    )
+                    flow_peaks[model] = flow_peak
+            else:
+                counted, seq_time, makespans, peaks, kernel_tele = _run_fused(
+                    models, trace, tables, mp_flags, window, stats, flow_limit,
+                    latencies, telemetry_on=tele_on,
                 )
-                result.models[model] = ModelResult(
-                    model=model,
-                    sequential_time=seq_time,
-                    parallel_time=parallel_time,
-                )
-                flow_peaks[model] = flow_peak
-        else:
-            counted, seq_time, makespans, peaks = _run_fused(
-                models, trace, tables, mp_flags, window, stats, flow_limit,
-                latencies,
-            )
-            for model, makespan, peak in zip(models, makespans, peaks):
-                result.models[model] = ModelResult(
-                    model=model, sequential_time=seq_time, parallel_time=makespan
-                )
-                flow_peaks[model] = peak
+                for model, makespan, peak in zip(models, makespans, peaks):
+                    result.models[model] = ModelResult(
+                        model=model, sequential_time=seq_time, parallel_time=makespan
+                    )
+                    flow_peaks[model] = peak
+                if kernel_tele is not None:
+                    self._record_kernel_telemetry(kernel_tele, sp)
 
-        result.counted_instructions = counted
-        result.removed_instructions = len(trace) - counted
-        if stats is not None:
-            result.misprediction_stats = stats
-        self.last_flow_peaks = flow_peaks if flow_limit is not None else {}
+            result.counted_instructions = counted
+            result.removed_instructions = len(trace) - counted
+            if stats is not None:
+                result.misprediction_stats = stats
+            self.last_flow_peaks = flow_peaks if flow_limit is not None else {}
+
+            if flow_limit is not None:
+                # Flow-ledger peaks go to the gauge unconditionally: the
+                # flow-limited path is rare (ablation-flows only) and the
+                # gauge is what `repro-experiments --verbose` surfaces.
+                peak_gauge = telemetry.METRICS.gauge(
+                    "repro_analyzer_flow_ledger_peak"
+                )
+                for model, peak in flow_peaks.items():
+                    peak_gauge.set_max(
+                        peak,
+                        program=self.program.name,
+                        model=model.label,
+                        flows=flow_limit,
+                    )
+            if tele_on:
+                elapsed = time.perf_counter() - sweep_started
+                if elapsed > 0:
+                    telemetry.METRICS.gauge(
+                        "repro_analyzer_instructions_per_second"
+                    ).set(
+                        len(trace) / elapsed,
+                        program=self.program.name,
+                        engine=engine,
+                    )
+                sp.set(
+                    counted=counted,
+                    cycles={
+                        model.label: model_result.parallel_time
+                        for model, model_result in result.models.items()
+                    },
+                )
         return result
+
+    def _record_kernel_telemetry(self, kernel_tele: dict, sp) -> None:
+        """Publish the fused kernel's end-of-sweep counter samples."""
+        name = self.program.name
+        state_gauge = telemetry.METRICS.gauge("repro_analyzer_value_state_entries")
+        state_gauge.set(kernel_tele["mem_entries"], program=name, state="memory")
+        for key, value in kernel_tele.items():
+            if key.startswith("bt_"):
+                state_gauge.set(
+                    value, program=name, state=f"branch_table_{key[3:]}"
+                )
+        lookups = kernel_tele.get("cd_lookups", 0)
+        if lookups:
+            hit_ratio = 1.0 - kernel_tele["cd_scans"] / lookups
+            telemetry.METRICS.gauge("repro_analyzer_cd_cache_hit_ratio").set(
+                hit_ratio, program=name
+            )
+            sp.set(cd_cache_hit_ratio=hit_ratio)
+        sp.set(value_state_entries=kernel_tele["mem_entries"])
 
     def schedule(
         self,
@@ -468,6 +538,7 @@ def _kernel_spec(
     flow_limit: int | None,
     stats: MispredictionStats | None,
     latencies: dict[OpKind, int] | None,
+    telemetry_on: bool = False,
 ) -> tuple:
     return (
         tuple(model.value for model in models),
@@ -475,6 +546,7 @@ def _kernel_spec(
         flow_limit is not None,
         stats is not None,
         latencies is None,  # unit latency: fold the +1 into the kernel
+        telemetry_on,  # telemetry variant: end-of-sweep counter sampling
     )
 
 
@@ -487,18 +559,24 @@ def _run_fused(
     stats: MispredictionStats | None,
     flow_limit: int | None,
     latencies: dict[OpKind, int] | None,
-) -> tuple[int, int, tuple[int, ...], tuple[int, ...]]:
+    telemetry_on: bool = False,
+) -> tuple[int, int, tuple[int, ...], tuple[int, ...], dict | None]:
     """One fused sweep over *trace* for every model in *models*.
 
-    Returns ``(counted, sequential_time, makespans, flow_peaks)`` with the
-    per-model tuples in request order.
+    Returns ``(counted, sequential_time, makespans, flow_peaks,
+    kernel_telemetry)`` with the per-model tuples in request order.
+    ``kernel_telemetry`` is None unless the telemetry kernel variant ran;
+    the variant adds only end-of-sweep sampling (value-state map sizes)
+    plus one integer increment on the CD ancestor-scan *miss* path — no
+    per-instruction Python calls — and is compiled and cached separately,
+    so the disabled kernels are byte-identical to the uninstrumented ones.
     """
     if any(model.uses_speculation for model in models) and mp_flags is None:
         raise ValueError("speculative models need misprediction flags")
     kernel = _kernel_for(
-        _kernel_spec(models, window, flow_limit, stats, latencies)
+        _kernel_spec(models, window, flow_limit, stats, latencies, telemetry_on)
     )
-    return kernel(
+    out = kernel(
         _as_list(trace.pcs),
         _as_list(trace.addrs),
         tables,
@@ -507,6 +585,10 @@ def _run_fused(
         flow_limit,
         stats,
     )
+    if telemetry_on:
+        return out
+    counted, seq_time, makespans, peaks = out
+    return counted, seq_time, makespans, peaks, None
 
 
 def _kernel_for(spec: tuple):
@@ -526,6 +608,7 @@ def fused_kernel_source(
     flow_limit: bool = False,
     misprediction_stats: bool = False,
     unit_latency: bool = True,
+    telemetry_on: bool = False,
 ) -> str:
     """The generated fused-kernel source for a model set (debug/teaching)."""
     spec = (
@@ -534,6 +617,7 @@ def fused_kernel_source(
         flow_limit,
         misprediction_stats,
         unit_latency,
+        telemetry_on,
     )
     _kernel_for(spec)
     return _KERNEL_CACHE[spec][1]
@@ -555,7 +639,7 @@ def _emit_kernel(spec: tuple) -> str:
     ``c3`` is model 3's completion cycle for the current instruction,
     ``mk3`` its makespan, ``bt3`` its branch table, and so on.
     """
-    model_values, has_window, has_flow, has_stats, unit_lat = spec
+    model_values, has_window, has_flow, has_stats, unit_lat, has_tele = spec
     models = tuple(MachineModel(value) for value in model_values)
     n = len(models)
     cd = [m for m in range(n) if models[m] in _CD_MODELS]
@@ -646,6 +730,8 @@ def _emit_kernel(spec: tuple) -> str:
         emit("    k_gid = -1")
         emit("    k_ep = -1")
         emit("    proc = 0")
+        if has_tele:
+            emit("    cdsc = 0")
     if has_window:
         emit("    ring_idx = 0")
     emit("    addr = mpi = 0")
@@ -695,6 +781,8 @@ def _emit_kernel(spec: tuple) -> str:
         emit("        if gid != k_gid or ep != k_ep:")
         emit("            k_gid = gid")
         emit("            k_ep = ep")
+        if has_tele:
+            emit("            cdsc += 1")
         emit("            top = stack[-1]")
         emit("            best = top[0]")
         emit("            proc = top[1]")
@@ -881,7 +969,22 @@ def _emit_kernel(spec: tuple) -> str:
     makespans = ", ".join(f"mk{m}" for m in range(n))
     peaks = ", ".join(f"pk{m}" for m in range(n))
     comma = "," if n == 1 else ""
-    emit(f"    return counted, seq_time, ({makespans}{comma}), ({peaks}{comma})")
+    if has_tele:
+        # End-of-sweep counter sampling (telemetry variant only): the
+        # value-state map sizes and the ancestor-scan miss count, read once
+        # after the loop — never per instruction.
+        emit("    tele = {'mem_entries': len(mem)}")
+        if any_cd:
+            emit("    tele['cd_scans'] = cdsc")
+            emit("    tele['cd_lookups'] = len(pcs)")
+            for m in cd:
+                emit(f"    tele['bt_{models[m].value}'] = len(bt{m})")
+        emit(
+            f"    return counted, seq_time, ({makespans}{comma}), "
+            f"({peaks}{comma}), tele"
+        )
+    else:
+        emit(f"    return counted, seq_time, ({makespans}{comma}), ({peaks}{comma})")
     emit("")
     return "\n".join(out)
 

@@ -9,11 +9,14 @@ Usage::
     repro-experiments --cache-dir /tmp/c # persistent artifact cache location
     repro-experiments --no-cache         # don't keep artifacts between runs
     repro-experiments --legacy-engine    # per-model analyzer sweep (oracle)
+    repro-experiments --telemetry-dir T --metrics --profile  # observability
     repro-experiments --list
 
-Tables and figures go to stdout; timing lines and the farm's per-job
-report go to stderr, so stdout is byte-identical across worker counts
-and cache states.
+Tables and figures go to stdout; timing lines and the farm's report go
+to stderr, so stdout is byte-identical across worker counts and cache
+states.  ``--quiet`` suppresses the stderr chatter entirely, and the
+farm's per-job breakdown is only shown when stderr is a terminal (the
+stage and total summary lines always appear).
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import telemetry
 from repro.asm import AsmError
 from repro.diagnostics import DiagnosticError
 from repro.lang import CompileError
@@ -160,6 +164,35 @@ def main(argv: list[str] | None = None) -> int:
         "fused single-pass engine (differential-testing oracle; slower, "
         "bypasses the persistent result cache)",
     )
+    parser.add_argument(
+        "--telemetry-dir",
+        metavar="DIR",
+        default=None,
+        help="write observability output (spans.jsonl, metrics, profiles) "
+        "under DIR; inspect it with repro-stats",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="export metrics.json and metrics.prom into the telemetry "
+        "directory (requires --telemetry-dir)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="capture cProfile data per experiment and per farm job into "
+        "the telemetry directory (requires --telemetry-dir)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress stderr chatter (timing lines and the farm report)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print extra detail to stderr (per-model flow-ledger peaks)",
+    )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument(
         "--output",
@@ -182,6 +215,10 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.jobs < 1:
         parser.error("--jobs must be a positive worker count")
+    if args.metrics and args.telemetry_dir is None:
+        parser.error("--metrics requires --telemetry-dir")
+    if args.profile and args.telemetry_dir is None:
+        parser.error("--profile requires --telemetry-dir")
 
     transport = None
     if args.no_cache:
@@ -208,6 +245,8 @@ def main(argv: list[str] | None = None) -> int:
             jobs=args.jobs,
             cache_dir=cache_dir,
             engine="legacy" if args.legacy_engine else "fused",
+            telemetry_dir=args.telemetry_dir,
+            profile=args.profile,
         )
     )
     try:
@@ -224,7 +263,10 @@ def main(argv: list[str] | None = None) -> int:
         for name in names:
             started = time.time()
             try:
-                output = EXPERIMENTS[name].run(runner)
+                with telemetry.span("experiment", experiment=name), telemetry.profiled(
+                    f"experiment-{name}"
+                ):
+                    output = EXPERIMENTS[name].run(runner)
             except (AsmError, CompileError, DiagnosticError) as exc:
                 # Diagnostic-bearing failures are reported, not raised: the
                 # rendered diagnostics carry everything a traceback would.
@@ -233,18 +275,52 @@ def main(argv: list[str] | None = None) -> int:
             elapsed = time.time() - started
             print(output)
             print()
-            print(f"[{name}: {elapsed:.1f}s]", file=sys.stderr)
+            if not args.quiet:
+                print(f"[{name}: {elapsed:.1f}s]", file=sys.stderr)
             if report:
                 report.write(output + f"\n[{name}: {elapsed:.1f}s]\n\n")
                 report.flush()
-        if runner.farm_report.total:
-            print(runner.farm_report.render(), file=sys.stderr)
+        if args.verbose:
+            _print_flow_peaks()
+        if runner.farm_report.total and not args.quiet:
+            print(
+                runner.farm_report.render(per_job=sys.stderr.isatty()),
+                file=sys.stderr,
+            )
+        if args.metrics:
+            telemetry.write_metrics(args.telemetry_dir)
     finally:
+        telemetry.shutdown()
         if report:
             report.close()
         if transport is not None:
             transport.cleanup()
     return 0
+
+
+def _print_flow_peaks() -> None:
+    """Surface the per-model flow-ledger peak gauges on stderr.
+
+    The analyzer records peaks into the ``repro_analyzer_flow_ledger_peak``
+    gauge whenever a flow-limited analysis runs (the ablation-flows
+    experiment), so this works with or without ``--telemetry-dir``.
+    """
+    samples = telemetry.METRICS.get("repro_analyzer_flow_ledger_peak").to_json()[
+        "samples"
+    ]
+    for sample in samples:
+        labels = sample["labels"]
+        print(
+            f"[flow-peaks] {labels['program']} {labels['model']} "
+            f"flows={labels['flows']}: peak {sample['value']:.0f}",
+            file=sys.stderr,
+        )
+    if not samples:
+        print(
+            "[flow-peaks] no flow-limited analyses ran "
+            "(ablation-flows produces them)",
+            file=sys.stderr,
+        )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro import telemetry
 from repro.bench import SUITE, BenchmarkSpec
 from repro.core import ALL_MODELS, AnalysisResult, LimitAnalyzer, MachineModel
 from repro.diagnostics import DiagnosticError, Severity
@@ -47,6 +48,13 @@ class RunConfig:
     sweep, kept as a differential-testing oracle).  Legacy runs bypass
     the persistent result cache so the oracle path is actually executed
     rather than served a cached fused result.
+
+    ``telemetry_dir`` enables the observability layer of
+    :mod:`repro.telemetry` at that directory: spans from every pipeline
+    stage land in ``spans.jsonl`` there (farm workers inherit the
+    directory through their job payloads), and the process-wide metrics
+    registry fills in.  ``profile`` additionally arms the opt-in cProfile
+    hooks.  Both default to off, which costs nothing.
     """
 
     max_steps: int = 150_000
@@ -55,6 +63,8 @@ class RunConfig:
     jobs: int = 1
     cache_dir: str | Path | None = None
     engine: str = "fused"
+    telemetry_dir: str | Path | None = None
+    profile: bool = False
 
 
 @dataclass
@@ -86,6 +96,10 @@ class SuiteRunner:
 
     def __init__(self, config: RunConfig | None = None):
         self.config = config if config is not None else RunConfig()
+        if self.config.telemetry_dir is not None:
+            telemetry.configure(
+                self.config.telemetry_dir, profile=self.config.profile
+            )
         self._runs: dict[str, BenchmarkRun] = {}
         self._results: dict[tuple, AnalysisResult] = {}
         self.farm_report = FarmReport()
@@ -123,21 +137,22 @@ class SuiteRunner:
         if cached is not None:
             return cached
         spec = SUITE[name]
-        if self._cache is None:
-            program = spec.compile(self.config.scale)
-            trace = VM(program).run(max_steps=self.config.max_steps).trace
-            predictor = ProfilePredictor.from_trace(trace)
-        else:
-            program, trace, predictor = self._materialize(spec)
-        run = BenchmarkRun(
-            spec=spec,
-            trace=trace,
-            analyzer=LimitAnalyzer(program),
-            predictor=predictor,
-            stats=branch_stats(trace, predictor),
-        )
-        if self.config.verify:
-            self._verify(run)
+        with telemetry.span("runner.run", benchmark=name):
+            if self._cache is None:
+                program = spec.compile(self.config.scale)
+                trace = VM(program).run(max_steps=self.config.max_steps).trace
+                predictor = ProfilePredictor.from_trace(trace)
+            else:
+                program, trace, predictor = self._materialize(spec)
+            run = BenchmarkRun(
+                spec=spec,
+                trace=trace,
+                analyzer=LimitAnalyzer(program),
+                predictor=predictor,
+                stats=branch_stats(trace, predictor),
+            )
+            if self.config.verify:
+                self._verify(run)
         self._runs[name] = run
         return run
 
@@ -244,15 +259,18 @@ class SuiteRunner:
                 return cached
         run = self.run(name)
         started = time.time()
-        cached = run.analyzer.analyze(
-            run.trace,
-            models=models,
-            predictor=run.predictor,
-            perfect_unrolling=perfect_unrolling,
-            perfect_inlining=perfect_inlining,
-            collect_misprediction_stats=collect_misprediction_stats,
-            engine=self.config.engine,
-        )
+        with telemetry.span(
+            "runner.analyze", benchmark=name, engine=self.config.engine
+        ):
+            cached = run.analyzer.analyze(
+                run.trace,
+                models=models,
+                predictor=run.predictor,
+                perfect_unrolling=perfect_unrolling,
+                perfect_inlining=perfect_inlining,
+                collect_misprediction_stats=collect_misprediction_stats,
+                engine=self.config.engine,
+            )
         if result_key is not None:
             self._cache.store_result(result_key, cached)
             self.farm_report.record(

@@ -29,6 +29,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro import telemetry
 from repro.asm.disassembler import disassemble
 from repro.bench import SUITE
 from repro.jobs import keys
@@ -68,10 +69,30 @@ class JobGraph:
 class Planner:
     """Expands requests into a job graph against one cache/config."""
 
-    def __init__(self, cache: ArtifactCache, report: FarmReport):
+    def __init__(
+        self,
+        cache: ArtifactCache,
+        report: FarmReport,
+        telemetry_dir: str | None = None,
+        profile: bool = False,
+    ):
         self.cache = cache
         self.report = report
+        self.telemetry_dir = str(telemetry_dir) if telemetry_dir is not None else None
+        self.profile = profile
         self._fingerprints: dict[tuple[str, int], str] = {}
+
+    def _telemetry_payload(self) -> tuple[str | None, bool]:
+        """Telemetry directory + profile flag to embed in job payloads.
+
+        Falls back to the process-wide telemetry state so callers that
+        configured telemetry globally need not thread it through here.
+        """
+        directory = self.telemetry_dir
+        if directory is None and telemetry.enabled():
+            configured = telemetry.telemetry_dir()
+            directory = str(configured) if configured is not None else None
+        return directory, self.profile or telemetry.profiling()
 
     # -- compile stage (runs in-process during planning) ----------------
 
@@ -110,6 +131,7 @@ class Planner:
         default_max_steps: int,
     ) -> JobGraph:
         graph = JobGraph()
+        telemetry_dir, profile = self._telemetry_payload()
         for request in requests:
             spec = SUITE[request.benchmark]
             scale = default_scale if default_scale is not None else spec.default_scale
@@ -117,7 +139,7 @@ class Planner:
                 request.max_steps if request.max_steps is not None else default_max_steps
             )
             trace_key, profile_key = self._add_trace_jobs(
-                graph, request.benchmark, scale, max_steps
+                graph, request.benchmark, scale, max_steps, telemetry_dir, profile
             )
             if isinstance(request, AnalysisRequest):
                 labels = request.model_labels
@@ -146,13 +168,21 @@ class Planner:
                             "perfect_inlining": request.perfect_inlining,
                             "misprediction_stats": request.collect_misprediction_stats,
                             "cache_dir": str(self.cache.root),
+                            "telemetry": telemetry_dir,
+                            "profiling": profile,
                         },
                     )
                 )
         return graph
 
     def _add_trace_jobs(
-        self, graph: JobGraph, benchmark: str, scale: int, max_steps: int
+        self,
+        graph: JobGraph,
+        benchmark: str,
+        scale: int,
+        max_steps: int,
+        telemetry_dir: str | None = None,
+        profile: bool = False,
     ) -> tuple[str, str]:
         fingerprint = self.fingerprint(benchmark, scale)
         trace_key = keys.trace_key(fingerprint, scale, max_steps)
@@ -169,6 +199,8 @@ class Planner:
                     "scale": scale,
                     "max_steps": max_steps,
                     "cache_dir": str(self.cache.root),
+                    "telemetry": telemetry_dir,
+                    "profiling": profile,
                 },
             )
         )
@@ -185,6 +217,8 @@ class Planner:
                     "scale": scale,
                     "trace": trace_key,
                     "cache_dir": str(self.cache.root),
+                    "telemetry": telemetry_dir,
+                    "profiling": profile,
                 },
             )
         )
@@ -211,10 +245,34 @@ class ExecutionEngine:
                 pending[job.key] = job
         if not pending:
             return
-        if self.jobs == 1:
-            self._execute_serial(pending, done, report)
-        else:
-            self._execute_parallel(pending, done, report)
+        with telemetry.span(
+            "farm.execute", jobs=len(pending), workers=self.jobs
+        ):
+            if self.jobs == 1:
+                self._execute_serial(pending, done, report)
+            else:
+                self._execute_parallel(pending, done, report)
+        self._merge_telemetry()
+
+    @staticmethod
+    def _merge_telemetry() -> None:
+        """Fold worker span sinks into the main ``spans.jsonl``.
+
+        Worker processes each append to their own sink file (they cannot
+        share the main one); after the pool drains, the engine merges them
+        in deterministic file-name order.  Also covers worker files left
+        by an earlier interrupted run.
+        """
+        directory = telemetry.telemetry_dir()
+        if directory is None:
+            return
+        telemetry.flush()
+        telemetry.merge_worker_sinks(directory)
+
+    @staticmethod
+    def _note_queue_depth(depth: int) -> None:
+        if telemetry.enabled():
+            telemetry.METRICS.gauge("repro_jobs_queue_depth_peak").set_max(depth)
 
     def _cached(self, job: Job) -> bool:
         if job.stage == "trace":
@@ -227,6 +285,7 @@ class ExecutionEngine:
         self, pending: dict[str, Job], done: set[str], report: FarmReport
     ) -> None:
         while pending:
+            self._note_queue_depth(len(pending))
             ready = [
                 job
                 for job in pending.values()
@@ -252,6 +311,7 @@ class ExecutionEngine:
                         del pending[key]
                 if not running:
                     raise RuntimeError("job graph has a dependency cycle")
+                self._note_queue_depth(len(pending) + len(running))
                 finished, _ = wait(running, return_when=FIRST_COMPLETED)
                 for future in finished:
                     job = running.pop(future)

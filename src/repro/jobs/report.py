@@ -10,7 +10,10 @@ so the report reflects what the invocation actually had to do.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+
+from repro import telemetry
 
 #: Stage names in pipeline order (used only for display sorting).
 STAGES = ("compile", "trace", "profile", "analyze")
@@ -29,6 +32,9 @@ class JobRecord:
     status: str  # RUN or HIT
     seconds: float = 0.0
     worker: str = ""
+    #: Monotonic timestamp of when the outcome was recorded; with
+    #: ``seconds`` this bounds the job's wall-clock window.
+    recorded_at: float = 0.0
 
 
 @dataclass
@@ -47,8 +53,23 @@ class FarmReport:
         worker: str = "",
     ) -> None:
         """Record a job outcome (first sighting of a key wins)."""
-        if key not in self.records:
-            self.records[key] = JobRecord(key, stage, benchmark, status, seconds, worker)
+        if key in self.records:
+            return
+        self.records[key] = JobRecord(
+            key, stage, benchmark, status, seconds, worker, time.perf_counter()
+        )
+        if telemetry.enabled():
+            if status == HIT:
+                telemetry.METRICS.counter("repro_jobs_cache_hits_total").inc(
+                    stage=stage
+                )
+            else:
+                telemetry.METRICS.counter("repro_jobs_cache_misses_total").inc(
+                    stage=stage
+                )
+                telemetry.METRICS.counter("repro_jobs_stage_seconds_total").inc(
+                    seconds, stage=stage
+                )
 
     # -- aggregates ----------------------------------------------------
 
@@ -69,6 +90,40 @@ class FarmReport:
             1
             for r in self.records.values()
             if r.stage == stage and r.status == RUN
+        )
+
+    def hits_in(self, stage: str) -> int:
+        return sum(
+            1
+            for r in self.records.values()
+            if r.stage == stage and r.status == HIT
+        )
+
+    def seconds_in(self, stage: str) -> float:
+        """CPU-seconds spent executing *stage* jobs (hits cost nothing)."""
+        return sum(
+            r.seconds
+            for r in self.records.values()
+            if r.stage == stage and r.status == RUN
+        )
+
+    def wall_in(self, stage: str) -> float:
+        """Wall-clock window covered by *stage*'s executed jobs.
+
+        Each record's ``(recorded_at - seconds, recorded_at)`` interval
+        approximates when the job ran; the window spans the earliest start
+        to the latest finish, so with parallel workers it is smaller than
+        the CPU-second sum.
+        """
+        runs = [
+            r
+            for r in self.records.values()
+            if r.stage == stage and r.status == RUN
+        ]
+        if not runs:
+            return 0.0
+        return max(r.recorded_at for r in runs) - min(
+            r.recorded_at - r.seconds for r in runs
         )
 
     @property
@@ -99,10 +154,13 @@ class FarmReport:
             if not stage_records:
                 continue
             ran = sum(1 for r in stage_records if r.status == RUN)
-            spent = sum(r.seconds for r in stage_records if r.status == RUN)
+            hits = len(stage_records) - ran
+            hit_pct = 100.0 * hits / len(stage_records)
             lines.append(
                 f"[farm] {stage}: {len(stage_records)} jobs, {ran} executed, "
-                f"{len(stage_records) - ran} hits, {spent:.2f}s"
+                f"{hits} hits ({hit_pct:.1f}%), "
+                f"cpu {self.seconds_in(stage):.2f}s, "
+                f"wall {self.wall_in(stage):.2f}s"
             )
         lines.append(
             f"[farm] total {self.total} jobs: {self.executed} executed, "

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time
 
+from repro import telemetry
 from repro.bench import SUITE
 from repro.core import LimitAnalyzer, MachineModel
 from repro.jobs.cache import ArtifactCache
@@ -26,17 +27,33 @@ from repro.vm import VM
 
 
 def execute_job(payload: dict) -> dict:
-    """Run one farm job described by *payload*; return its timing record."""
+    """Run one farm job described by *payload*; return its timing record.
+
+    A ``telemetry`` payload entry names the telemetry directory: worker
+    processes configure themselves against it on first use (each process
+    appends to its own ``worker-<pid>.jsonl`` sink, merged by the engine
+    afterwards).  In the serial in-process case telemetry is already
+    configured, so the job's spans land directly in the main sink.
+    """
+    telemetry_dir = payload.get("telemetry")
+    if telemetry_dir and not telemetry.enabled():
+        telemetry.configure(
+            telemetry_dir, worker=True, profile=bool(payload.get("profiling"))
+        )
     started = time.time()
     stage = payload["stage"]
-    if stage == "trace":
-        _trace_job(payload)
-    elif stage == "profile":
-        _profile_job(payload)
-    elif stage == "analyze":
-        _analysis_job(payload)
-    else:
-        raise ValueError(f"unknown job stage {stage!r}")
+    with telemetry.span(
+        f"job.{stage}", benchmark=payload["benchmark"], key=payload["key"]
+    ), telemetry.profiled(f"job-{stage}-{payload['benchmark']}"):
+        if stage == "trace":
+            _trace_job(payload)
+        elif stage == "profile":
+            _profile_job(payload)
+        elif stage == "analyze":
+            _analysis_job(payload)
+        else:
+            raise ValueError(f"unknown job stage {stage!r}")
+    telemetry.flush()
     return {
         "key": payload["key"],
         "stage": stage,

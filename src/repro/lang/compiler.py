@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import time
+
+from repro import telemetry
 from repro.asm import assemble
 from repro.isa import Program
 from repro.lang.codegen import generate
@@ -18,18 +21,33 @@ def compile_to_assembly(source: str, if_convert: bool = False) -> str:
     ``if_convert=True`` turns simple guarded assignments into conditional
     moves instead of branches (paper §6's guarded instructions).
     """
-    unit = parse(tokenize(source))
-    checked = check(unit)
-    main_sig = checked.functions.get("main")
-    if main_sig is None:
-        last = unit.functions[-1].line if unit.functions else 1
-        raise CompileError("program has no main function", last)
-    if main_sig.param_types or main_sig.return_type is not INT:
-        main_def = next(f for f in unit.functions if f.name == "main")
-        raise CompileError("main must be declared as `int main()`", main_def.line)
-    return generate(checked, if_convert=if_convert)
+    with telemetry.span("compile.frontend", chars=len(source)):
+        with telemetry.span("compile.parse"):
+            unit = parse(tokenize(source))
+        with telemetry.span("compile.semantics"):
+            checked = check(unit)
+        main_sig = checked.functions.get("main")
+        if main_sig is None:
+            last = unit.functions[-1].line if unit.functions else 1
+            raise CompileError("program has no main function", last)
+        if main_sig.param_types or main_sig.return_type is not INT:
+            main_def = next(f for f in unit.functions if f.name == "main")
+            raise CompileError("main must be declared as `int main()`", main_def.line)
+        with telemetry.span("compile.codegen"):
+            return generate(checked, if_convert=if_convert)
 
 
 def compile_source(source: str, name: str = "a.out", if_convert: bool = False) -> Program:
     """Compile MiniC *source* all the way to an executable Program."""
-    return assemble(compile_to_assembly(source, if_convert=if_convert), name=name)
+    tele_on = telemetry.enabled()
+    started = time.perf_counter() if tele_on else 0.0
+    with telemetry.span("compile", program=name) as sp:
+        assembly = compile_to_assembly(source, if_convert=if_convert)
+        with telemetry.span("compile.assemble", program=name):
+            program = assemble(assembly, name=name)
+        sp.set(instructions=len(program))
+    if tele_on:
+        telemetry.METRICS.histogram("repro_compile_seconds").observe(
+            time.perf_counter() - started
+        )
+    return program

@@ -13,6 +13,7 @@ input that is later analyzed reproduces the paper's upper-bound setup.
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.prediction.base import BranchPredictor
 from repro.vm.machine import RunResult
 from repro.vm.trace import Trace
@@ -47,10 +48,20 @@ class ProfilePredictor(BranchPredictor):
     @classmethod
     def from_trace(cls, trace: Trace, default_taken: bool = True) -> "ProfilePredictor":
         """Build by profiling an existing trace (same-input upper bound)."""
-        counts: dict[int, list[int]] = {}
-        for pc, taken in trace.branch_outcomes():
-            entry = counts.setdefault(pc, [0, 0])
-            entry[1 if taken else 0] += 1
+        with telemetry.span(
+            "prediction.profile", program=trace.program.name
+        ) as sp:
+            counts: dict[int, list[int]] = {}
+            branches = 0
+            for pc, taken in trace.branch_outcomes():
+                entry = counts.setdefault(pc, [0, 0])
+                entry[1 if taken else 0] += 1
+                branches += 1
+            sp.set(branches=branches, static_sites=len(counts))
+        if telemetry.enabled():
+            telemetry.METRICS.counter("repro_profile_branches_total").inc(
+                branches, program=trace.program.name
+            )
         return cls.from_counts(counts, default_taken=default_taken)
 
     def lookup(self, pc: int) -> bool:

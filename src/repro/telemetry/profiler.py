@@ -1,0 +1,62 @@
+"""Opt-in ``cProfile`` hooks around pipeline stages.
+
+Armed by ``configure(..., profile=True)`` (the ``--profile`` flag); when
+disarmed, :func:`profiled` yields immediately with zero setup.  Each
+profiled stage dumps a binary ``<stage>.p<pid>.pstats`` (loadable with
+:mod:`pstats` / snakeviz-style viewers) plus a human-readable
+``<stage>.p<pid>.txt`` top-N summary under ``<telemetry-dir>/profiles/``.
+The pid suffix keeps farm workers from clobbering each other.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import re
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.telemetry import state
+
+#: Entries printed in the text summary next to each .pstats dump.
+TOP_N = 25
+
+
+def _slug(stage: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", stage).strip("-") or "stage"
+
+
+def profile_dir() -> Path | None:
+    """Where profile dumps go, or None when profiling is disarmed."""
+    if not state.profiling():
+        return None
+    return state.STATE.directory / "profiles"
+
+
+@contextmanager
+def profiled(stage: str, top_n: int = TOP_N):
+    """Profile the enclosed stage when ``--profile`` is armed.
+
+    No-op (and no cProfile import) when disarmed, so the default pipeline
+    never pays for the profiler machinery.
+    """
+    directory = profile_dir()
+    if directory is None:
+        yield None
+        return
+    import cProfile
+    import pstats
+
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield profile
+    finally:
+        profile.disable()
+        directory.mkdir(parents=True, exist_ok=True)
+        base = directory / f"{_slug(stage)}.p{os.getpid()}"
+        profile.dump_stats(f"{base}.pstats")
+        buffer = io.StringIO()
+        stats = pstats.Stats(profile, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(top_n)
+        Path(f"{base}.txt").write_text(buffer.getvalue(), encoding="utf-8")

@@ -1,0 +1,115 @@
+"""Span sinks: where finished spans go.
+
+The disabled pipeline uses a process-wide :data:`NULL_SINK` whose
+``emit`` is a no-op; enabling telemetry swaps in a :class:`JsonlSink`
+writing one JSON object per line.  Worker processes write to their own
+``worker-<pid>.jsonl`` file (concurrent appends to one file would
+interleave lines), and the farm engine folds those into the main
+``spans.jsonl`` with :func:`merge_worker_sinks` once the pool is done.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+#: File name of the main (non-worker) span sink inside a telemetry dir.
+SPANS_FILENAME = "spans.jsonl"
+
+#: Glob pattern of per-worker span sinks inside a telemetry directory.
+WORKER_PATTERN = "worker-*.jsonl"
+
+
+class NullSink:
+    """The disabled sink: every operation is a no-op."""
+
+    enabled = False
+
+    def emit(self, record: dict) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Appends span records to a JSON-lines file."""
+
+    enabled = True
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._stream = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, record: dict) -> None:
+        self._stream.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+
+    def flush(self) -> None:
+        self._stream.flush()
+
+    def close(self) -> None:
+        if not self._stream.closed:
+            self._stream.flush()
+            self._stream.close()
+
+
+#: Shared no-op sink used whenever telemetry is disabled.
+NULL_SINK = NullSink()
+
+
+def worker_sink_name(pid: int | None = None) -> str:
+    """Per-worker sink file name (``worker-<pid>.jsonl``)."""
+    return f"worker-{os.getpid() if pid is None else pid}.jsonl"
+
+
+def merge_worker_sinks(directory: str | Path, into: str = SPANS_FILENAME) -> int:
+    """Fold per-worker span files into the main sink; return spans merged.
+
+    Worker files are consumed in lexicographic name order and their
+    records appended in file order, so the merged output is a pure
+    function of the worker files' contents — independent of directory
+    listing order or merge timing (the cross-process determinism the
+    test suite pins).  Merged worker files are deleted.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    merged = 0
+    target = directory / into
+    workers = sorted(directory.glob(WORKER_PATTERN))
+    if not workers:
+        return 0
+    with open(target, "a", encoding="utf-8") as out:
+        for worker_file in workers:
+            with open(worker_file, "r", encoding="utf-8") as stream:
+                for line in stream:
+                    line = line.strip()
+                    if line:
+                        out.write(line + "\n")
+                        merged += 1
+            worker_file.unlink()
+    return merged
+
+
+def load_spans(directory: str | Path) -> list[dict]:
+    """All span records in a telemetry directory (main + unmerged workers)."""
+    directory = Path(directory)
+    records: list[dict] = []
+    main = directory / SPANS_FILENAME
+    paths = ([main] if main.is_file() else []) + sorted(
+        directory.glob(WORKER_PATTERN)
+    )
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+    return records

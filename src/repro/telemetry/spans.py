@@ -1,0 +1,164 @@
+"""Hierarchical spans: context-manager and decorator timing.
+
+A span measures one named region of work with a monotonic clock and
+emits a JSON record when it closes::
+
+    with telemetry.span("runner.analyze", benchmark="gcc") as sp:
+        result = ...
+        sp.set(counted=result.counted_instructions)
+
+Records carry ``name``, ``id``, ``parent`` (the enclosing span's id, or
+None at the root), ``pid``, ``ts`` (wall-clock start, seconds since the
+epoch), ``dur`` (monotonic duration, seconds), and an ``attrs`` object of
+JSON-serializable attributes.  Nesting uses a per-process stack — the
+pipeline is single-threaded within a process, and farm workers each get
+their own process and sink file.
+
+When telemetry is disabled, :func:`span` returns a shared no-op object
+without allocating, so instrumentation sites cost one call and a bool
+test.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from typing import Any, Callable
+
+from repro.telemetry import state
+
+_stack: list["Span"] = []
+_next_id = 0
+
+
+class _NullSpan:
+    """The disabled span: enters, exits, and records nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    @property
+    def elapsed(self) -> float:
+        return 0.0
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live timed region; emitted to the sink when it exits."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "_start", "_ts")
+
+    def __init__(self, name: str, attrs: dict[str, Any]):
+        global _next_id
+        _next_id += 1
+        self.name = name
+        self.attrs = attrs
+        self.span_id = f"{os.getpid():x}-{_next_id:x}"
+        self.parent_id: str | None = None
+        self._start = 0.0
+        self._ts = 0.0
+
+    def __enter__(self) -> "Span":
+        if _stack:
+            self.parent_id = _stack[-1].span_id
+        _stack.append(self)
+        self._ts = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._start
+        if _stack and _stack[-1] is self:
+            _stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        state.STATE.sink.emit(
+            {
+                "name": self.name,
+                "id": self.span_id,
+                "parent": self.parent_id,
+                "pid": os.getpid(),
+                "ts": self._ts,
+                "dur": duration,
+                "attrs": self.attrs,
+            }
+        )
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes on the open span."""
+        self.attrs.update(attrs)
+
+    @property
+    def elapsed(self) -> float:
+        """Monotonic seconds since the span was entered."""
+        return time.perf_counter() - self._start
+
+
+def span(name: str, **attrs: Any):
+    """A context manager timing one named region (no-op when disabled)."""
+    if not state.STATE.sink.enabled:
+        return NULL_SPAN
+    return Span(name, attrs)
+
+
+def traced(name: str | None = None, **attrs: Any) -> Callable:
+    """Decorator form of :func:`span`; defaults to the function's name."""
+
+    def decorate(func: Callable) -> Callable:
+        span_name = name if name is not None else func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            if not state.STATE.sink.enabled:
+                return func(*args, **kwargs)
+            with Span(span_name, dict(attrs)):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def record_span(name: str, duration: float, **attrs: Any) -> None:
+    """Emit a completed span with an externally measured duration.
+
+    For hot regions that time themselves with a plain ``perf_counter``
+    pair instead of entering a context manager (e.g. the VM interpreter
+    loop).  The record is parented to the innermost open span.
+    """
+    if not state.STATE.sink.enabled:
+        return
+    global _next_id
+    _next_id += 1
+    state.STATE.sink.emit(
+        {
+            "name": name,
+            "id": f"{os.getpid():x}-{_next_id:x}",
+            "parent": _stack[-1].span_id if _stack else None,
+            "pid": os.getpid(),
+            "ts": time.time() - duration,
+            "dur": duration,
+            "attrs": attrs,
+        }
+    )
+
+
+def current_span() -> Span | _NullSpan:
+    """The innermost open span (the null span when none is open)."""
+    return _stack[-1] if _stack else NULL_SPAN
+
+
+def reset() -> None:
+    """Drop any open spans (test isolation after an aborted run)."""
+    _stack.clear()

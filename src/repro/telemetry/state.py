@@ -1,0 +1,90 @@
+"""Process-wide telemetry configuration.
+
+One mutable :class:`TelemetryState` per process, defaulting to disabled:
+the null sink, no telemetry directory, profiling off.  The fast path for
+instrumented code is ``state.STATE.sink.enabled`` — two attribute loads
+and a bool test, no allocation — so leaving telemetry off costs nothing
+measurable anywhere in the pipeline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.telemetry.sinks import (
+    NULL_SINK,
+    SPANS_FILENAME,
+    JsonlSink,
+    worker_sink_name,
+)
+
+
+class TelemetryState:
+    """The process's telemetry switchboard (see :func:`configure`)."""
+
+    __slots__ = ("sink", "directory", "profile")
+
+    def __init__(self):
+        self.sink = NULL_SINK
+        self.directory: Path | None = None
+        self.profile = False
+
+
+STATE = TelemetryState()
+
+
+def configure(
+    directory: str | Path,
+    *,
+    sink_filename: str = SPANS_FILENAME,
+    worker: bool = False,
+    profile: bool = False,
+) -> None:
+    """Enable telemetry, writing spans under *directory*.
+
+    ``worker=True`` names the sink ``worker-<pid>.jsonl`` instead of
+    ``spans.jsonl`` (farm worker processes must not append to one shared
+    file concurrently).  Re-configuring with the same directory and sink
+    is a no-op, so process-pool workers can call this once per job.
+    ``profile=True`` arms :func:`repro.telemetry.profiler.profiled`.
+    """
+    directory = Path(directory)
+    if worker:
+        sink_filename = worker_sink_name()
+    path = directory / sink_filename
+    current = STATE.sink
+    if isinstance(current, JsonlSink) and current.path == path:
+        STATE.profile = profile or STATE.profile
+        return
+    current.close()
+    STATE.directory = directory
+    STATE.sink = JsonlSink(path)
+    STATE.profile = profile
+
+
+def shutdown() -> None:
+    """Flush and close the sink; return the process to the disabled state."""
+    STATE.sink.close()
+    STATE.sink = NULL_SINK
+    STATE.directory = None
+    STATE.profile = False
+
+
+def enabled() -> bool:
+    """Is span telemetry currently on?"""
+    return STATE.sink.enabled
+
+
+def profiling() -> bool:
+    """Are the opt-in cProfile hooks armed?"""
+    return STATE.profile and STATE.directory is not None
+
+
+def flush() -> None:
+    """Flush buffered span records to disk (no-op when disabled)."""
+    STATE.sink.flush()
+
+
+def telemetry_dir() -> Path | None:
+    """The configured telemetry directory, or None when disabled."""
+    return STATE.directory

@@ -21,8 +21,10 @@ Machine semantics:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.isa import registers
 from repro.isa.opcodes import Opcode
 from repro.isa.program import GLOBALS_BASE, STACK_TOP, Program
@@ -97,6 +99,10 @@ class VM:
         pc = self.pc
         steps = 0
         halted = False
+        # Telemetry is sampled once around the whole interpreter loop —
+        # one timestamp pair per run, nothing per instruction.
+        tele_on = telemetry.enabled()
+        run_started = time.perf_counter() if tele_on else 0.0
 
         while steps < max_steps:
             if pc == RETURN_SENTINEL:
@@ -326,6 +332,19 @@ class VM:
             pc = next_pc
 
         self.pc = pc
+        if tele_on:
+            elapsed = time.perf_counter() - run_started
+            if elapsed > 0:
+                telemetry.METRICS.gauge(
+                    "repro_vm_instructions_per_second"
+                ).set(steps / elapsed, program=program.name)
+            telemetry.record_span(
+                "vm.run",
+                elapsed,
+                program=program.name,
+                steps=steps,
+                halted=halted,
+            )
         return RunResult(
             trace=trace_obj,
             steps=steps,

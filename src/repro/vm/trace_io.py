@@ -25,6 +25,7 @@ import sys
 from array import array
 from pathlib import Path
 
+from repro import telemetry
 from repro.isa import Program
 from repro.vm.trace import Trace
 
@@ -69,18 +70,33 @@ def _read_exact(stream, count: int) -> bytes:
     return b"".join(chunks)
 
 
+def _payload_bytes(count: int, name_length: int) -> int:
+    """Uncompressed RTRC byte size: header + name + three columns."""
+    return 4 + 14 + name_length + count * (4 + 8 + 1)
+
+
 def save_trace(trace: Trace, path: str | Path) -> None:
     """Write *trace* to *path* in the binary trace format."""
     name_bytes = trace.program.name.encode("utf-8")
     if len(name_bytes) > 0xFFFF:
         raise TraceFormatError("program name exceeds 65535 UTF-8 bytes")
-    with _open(path, "wb") as stream:
-        stream.write(MAGIC)
-        stream.write(struct.pack("<IQH", VERSION, len(trace), len(name_bytes)))
-        stream.write(name_bytes)
-        stream.write(_le_bytes(array("I", trace.pcs)))
-        stream.write(_le_bytes(array("q", trace.addrs)))
-        stream.write(_le_bytes(array("b", trace.takens)))
+    with telemetry.span(
+        "trace.save",
+        program=trace.program.name,
+        records=len(trace),
+        bytes=_payload_bytes(len(trace), len(name_bytes)),
+    ):
+        with _open(path, "wb") as stream:
+            stream.write(MAGIC)
+            stream.write(struct.pack("<IQH", VERSION, len(trace), len(name_bytes)))
+            stream.write(name_bytes)
+            stream.write(_le_bytes(array("I", trace.pcs)))
+            stream.write(_le_bytes(array("q", trace.addrs)))
+            stream.write(_le_bytes(array("b", trace.takens)))
+    if telemetry.enabled():
+        telemetry.METRICS.counter("repro_trace_bytes_written_total").inc(
+            _payload_bytes(len(trace), len(name_bytes))
+        )
 
 
 def load_trace(path: str | Path, program: Program) -> Trace:
@@ -90,13 +106,15 @@ def load_trace(path: str | Path, program: Program) -> Trace:
     code); a pc outside the program's code range raises
     :class:`TraceFormatError`, which catches most mismatches.
     """
-    with _open(path, "rb") as stream:
+    with telemetry.span("trace.load", program=program.name) as sp, \
+            _open(path, "rb") as stream:
         magic = stream.read(4)
         if magic != MAGIC:
             raise TraceFormatError(f"bad magic {magic!r}; not a trace file")
         version, count, name_length = struct.unpack("<IQH", _read_exact(stream, 14))
         if version != VERSION:
             raise TraceFormatError(f"unsupported trace version {version}")
+        sp.set(records=count, bytes=_payload_bytes(count, name_length))
         name = _read_exact(stream, name_length).decode("utf-8") if name_length else ""
         if name != program.name:
             raise TraceFormatError(
@@ -108,6 +126,10 @@ def load_trace(path: str | Path, program: Program) -> Trace:
         addrs.frombytes(_read_exact(stream, 8 * count))
         takens = array("b")
         takens.frombytes(_read_exact(stream, count))
+    if telemetry.enabled():
+        telemetry.METRICS.counter("repro_trace_bytes_read_total").inc(
+            _payload_bytes(count, name_length)
+        )
     if sys.byteorder == "big":
         pcs.byteswap()
         addrs.byteswap()

@@ -1,0 +1,17 @@
+"""Shared fixtures: every telemetry test starts and ends disabled."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import spans
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry_state():
+    telemetry.shutdown()
+    telemetry.METRICS.reset()
+    spans.reset()
+    yield
+    telemetry.shutdown()
+    telemetry.METRICS.reset()
+    spans.reset()

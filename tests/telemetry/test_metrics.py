@@ -1,0 +1,105 @@
+"""Tests for the metrics registry and its exports (repro.telemetry.metrics)."""
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import (
+    METRICS,
+    STANDARD_METRICS,
+    MetricsRegistry,
+)
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c_total", "help", ("stage",))
+        b = registry.counter("c_total")
+        assert a is b
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("m")
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_gauge_set_max_keeps_peak(self):
+        gauge = MetricsRegistry().gauge("g", "", ("k",))
+        gauge.set_max(5, k="a")
+        gauge.set_max(3, k="a")
+        gauge.set_max(7, k="a")
+        assert gauge.value(k="a") == 7
+
+    def test_reset_clears_samples_keeps_families(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.get("c") is not None
+        assert registry.get("c").value() == 0
+
+    def test_standard_metrics_registered_globally(self):
+        for _, name, _, _ in STANDARD_METRICS:
+            assert METRICS.get(name) is not None, name
+
+
+class TestPrometheusRendering:
+    def test_escaping_in_help_and_label_values(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("esc_total", 'back\\slash and\nnewline', ("p",))
+        counter.inc(1, p='quo"te\\mark\nline')
+        text = registry.render_prometheus()
+        assert "# HELP esc_total back\\\\slash and\\nnewline" in text
+        assert 'p="quo\\"te\\\\mark\\nline"' in text
+
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "h", ("stage",)).inc(2, stage="trace")
+        registry.gauge("depth").set(4)
+        text = registry.render_prometheus()
+        assert '# TYPE hits_total counter' in text
+        assert 'hits_total{stage="trace"} 2' in text
+        assert "depth 4" in text
+
+    def test_histogram_buckets_sum_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", "l", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = registry.render_prometheus()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+        assert "lat_seconds_sum 5.55" in text
+
+
+class TestExports:
+    def test_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "c", ("x",)).inc(3, x="v")
+        doc = json.loads(json.dumps(registry.to_json()))
+        [family] = doc["metrics"]
+        assert family["name"] == "c_total"
+        assert family["samples"] == [{"labels": {"x": "v"}, "value": 3}]
+
+    def test_write_produces_both_files(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.5)
+        json_path, prom_path = registry.write(tmp_path)
+        assert json.loads(json_path.read_text())["metrics"][0]["name"] == "g"
+        assert "g 1.5" in prom_path.read_text()
+
+    def test_samples_are_deterministically_ordered(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "", ("k",))
+        counter.inc(1, k="zeta")
+        counter.inc(1, k="alpha")
+        labels = [s["labels"]["k"] for s in counter.to_json()["samples"]]
+        assert labels == ["alpha", "zeta"]

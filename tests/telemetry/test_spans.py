@@ -1,0 +1,105 @@
+"""Tests for hierarchical spans (repro.telemetry.spans)."""
+
+import json
+
+from repro import telemetry
+from repro.telemetry.sinks import SPANS_FILENAME
+from repro.telemetry.spans import NULL_SPAN
+
+
+class TestDisabled:
+    def test_span_is_shared_null_object(self):
+        assert telemetry.span("anything", k=1) is NULL_SPAN
+
+    def test_null_span_accepts_everything_and_writes_nothing(self, tmp_path):
+        with telemetry.span("outer") as sp:
+            sp.set(a=1)
+            assert sp.elapsed == 0.0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_record_span_is_noop(self):
+        telemetry.record_span("x", 1.0, k=2)  # must not raise
+
+    def test_traced_passes_through(self):
+        @telemetry.traced()
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+
+
+class TestEnabled:
+    def test_attr_round_trip(self, tmp_path):
+        telemetry.configure(tmp_path)
+        with telemetry.span("stage", program="awk", n=3) as sp:
+            sp.set(cycles=17.5, models=["SP", "CD-MF"])
+        telemetry.flush()
+        [record] = telemetry.load_spans(tmp_path)
+        assert record["name"] == "stage"
+        assert record["attrs"] == {
+            "program": "awk",
+            "n": 3,
+            "cycles": 17.5,
+            "models": ["SP", "CD-MF"],
+        }
+        assert record["dur"] >= 0.0
+        assert record["parent"] is None
+
+    def test_nesting_parents_children(self, tmp_path):
+        telemetry.configure(tmp_path)
+        with telemetry.span("outer"):
+            with telemetry.span("middle"):
+                with telemetry.span("inner"):
+                    pass
+        telemetry.flush()
+        by_name = {r["name"]: r for r in telemetry.load_spans(tmp_path)}
+        assert by_name["inner"]["parent"] == by_name["middle"]["id"]
+        assert by_name["middle"]["parent"] == by_name["outer"]["id"]
+        assert by_name["outer"]["parent"] is None
+
+    def test_exception_recorded_and_stack_unwound(self, tmp_path):
+        telemetry.configure(tmp_path)
+        try:
+            with telemetry.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        with telemetry.span("after"):
+            pass
+        telemetry.flush()
+        by_name = {r["name"]: r for r in telemetry.load_spans(tmp_path)}
+        assert by_name["boom"]["attrs"]["error"] == "ValueError"
+        # The failed span was popped: "after" is a root, not a child.
+        assert by_name["after"]["parent"] is None
+
+    def test_record_span_parents_to_open_span(self, tmp_path):
+        telemetry.configure(tmp_path)
+        with telemetry.span("outer"):
+            telemetry.record_span("measured", 0.25, steps=10)
+        telemetry.flush()
+        by_name = {r["name"]: r for r in telemetry.load_spans(tmp_path)}
+        assert by_name["measured"]["parent"] == by_name["outer"]["id"]
+        assert by_name["measured"]["dur"] == 0.25
+        assert by_name["measured"]["attrs"] == {"steps": 10}
+
+    def test_traced_uses_function_name(self, tmp_path):
+        telemetry.configure(tmp_path)
+
+        @telemetry.traced(phase="hot")
+        def crunch():
+            return 42
+
+        assert crunch() == 42
+        telemetry.flush()
+        [record] = telemetry.load_spans(tmp_path)
+        assert record["name"].endswith("crunch")
+        assert record["attrs"] == {"phase": "hot"}
+
+    def test_sink_lines_are_plain_json(self, tmp_path):
+        telemetry.configure(tmp_path)
+        with telemetry.span("a"):
+            pass
+        telemetry.flush()
+        lines = (tmp_path / SPANS_FILENAME).read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["name"] == "a"

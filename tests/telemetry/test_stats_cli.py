@@ -1,0 +1,119 @@
+"""Tests for the ``repro-stats`` CLI (repro.telemetry.stats_cli)."""
+
+import json
+
+from repro.telemetry.stats_cli import aggregate_spans, main, render_span_table
+
+
+def span_record(name, dur, benchmark=None, program=None):
+    attrs = {}
+    if benchmark:
+        attrs["benchmark"] = benchmark
+    if program:
+        attrs["program"] = program
+    return {"name": name, "dur": dur, "attrs": attrs}
+
+
+def write_fixture(directory):
+    records = [
+        span_record("trace.save", 0.5, program="awk"),
+        span_record("trace.save", 1.5, program="awk"),
+        span_record("analyzer.analyze", 0.25, program="grep"),
+        span_record("experiment", 0.1),
+    ]
+    lines = "".join(json.dumps(r) + "\n" for r in records)
+    (directory / "spans.jsonl").write_text(lines)
+    return records
+
+
+class TestAggregate:
+    def test_groups_by_name_and_benchmark(self):
+        rows = aggregate_spans(
+            [
+                span_record("s", 1.0, benchmark="awk"),
+                span_record("s", 3.0, benchmark="awk"),
+                span_record("s", 2.0, benchmark="grep"),
+            ]
+        )
+        awk = next(r for r in rows if r["benchmark"] == "awk")
+        assert awk["count"] == 2
+        assert awk["total_s"] == 4.0
+        assert awk["mean_s"] == 2.0
+        assert awk["max_s"] == 3.0
+
+    def test_sorted_by_total_descending(self):
+        rows = aggregate_spans(
+            [span_record("small", 0.1), span_record("big", 9.0)]
+        )
+        assert [r["span"] for r in rows] == ["big", "small"]
+
+    def test_benchmark_falls_back_to_program_then_dash(self):
+        rows = aggregate_spans(
+            [span_record("a", 1.0, program="awk"), span_record("b", 1.0)]
+        )
+        assert {r["benchmark"] for r in rows} == {"awk", "-"}
+
+
+class TestCli:
+    def test_missing_directory_fails(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent")]) == 1
+        assert "no such directory" in capsys.readouterr().err
+
+    def test_renders_fixture_directory(self, tmp_path, capsys):
+        write_fixture(tmp_path)
+        assert main([str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "(4 spans)" in out
+        assert "trace.save" in out
+        assert "awk" in out
+        # trace.save has the largest total: first data row.
+        data_rows = out.splitlines()[4:]
+        assert data_rows[0].startswith("trace.save")
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        write_fixture(tmp_path)
+        assert main([str(tmp_path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert {row["span"] for row in doc["spans"]} >= {
+            "trace.save",
+            "analyzer.analyze",
+        }
+
+    def test_top_limits_rows(self, tmp_path, capsys):
+        write_fixture(tmp_path)
+        assert main([str(tmp_path), "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "trace.save" in out
+        assert "analyzer.analyze" not in out
+
+    def test_metrics_table_rendered_when_present(self, tmp_path, capsys):
+        write_fixture(tmp_path)
+        (tmp_path / "metrics.json").write_text(
+            json.dumps(
+                {
+                    "metrics": [
+                        {
+                            "name": "repro_jobs_cache_hits_total",
+                            "type": "counter",
+                            "help": "",
+                            "samples": [
+                                {"labels": {"stage": "trace"}, "value": 4}
+                            ],
+                        }
+                    ]
+                }
+            )
+        )
+        assert main([str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_jobs_cache_hits_total" in out
+        assert "stage=trace" in out
+
+
+class TestRendering:
+    def test_span_table_has_headers_and_rule(self):
+        text = render_span_table(aggregate_spans([span_record("x", 1.0)]))
+        lines = text.splitlines()
+        assert lines[0].startswith("span")
+        assert set(lines[1]) == {"-"}
+        assert lines[2].startswith("x")
