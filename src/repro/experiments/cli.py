@@ -10,6 +10,9 @@ Usage::
     repro-experiments --no-cache         # don't keep artifacts between runs
     repro-experiments --legacy-engine    # per-model analyzer sweep (oracle)
     repro-experiments --telemetry-dir T --metrics --profile  # observability
+    repro-experiments --retries 3 --job-timeout 120  # farm fault tolerance
+    repro-experiments --resume           # skip jobs an interrupted run retired
+    repro-experiments --inject-faults "stage=trace,mode=raise,times=1,seed=7"
     repro-experiments --list
 
 Tables and figures go to stdout; timing lines and the farm's report go
@@ -22,6 +25,7 @@ stage and total summary lines always appear).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import tempfile
 import time
@@ -31,6 +35,8 @@ from typing import Callable
 from repro import telemetry
 from repro.asm import AsmError
 from repro.diagnostics import DiagnosticError
+from repro.jobs import FaultPlan, FaultSpecError
+from repro.jobs.faults import ENV_VAR as FAULTS_ENV_VAR
 from repro.lang import CompileError
 from repro.experiments import (
     ablations,
@@ -184,6 +190,40 @@ def main(argv: list[str] | None = None) -> int:
         "the telemetry directory (requires --telemetry-dir)",
     )
     parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="requeue a failed farm job up to N times (with exponential "
+        "backoff and deterministic jitter) before quarantining it as dead "
+        "(default 2)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per farm job attempt; a job exceeding it "
+        "is failed (and its hung worker killed) then retried "
+        "(default: unbounded)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip farm jobs an interrupted identical invocation already "
+        "retired (per the cache's run journal); prints a skipped-vs-"
+        "executed summary to stderr",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        default=None,
+        help="arm the deterministic fault injector (chaos testing), e.g. "
+        "'stage=trace,mode=raise,rate=0.5,times=1,seed=7'; defaults to "
+        f"the {FAULTS_ENV_VAR} environment variable when set "
+        "(see docs/robustness.md)",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress stderr chatter (timing lines and the farm report)",
@@ -219,6 +259,20 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--metrics requires --telemetry-dir")
     if args.profile and args.telemetry_dir is None:
         parser.error("--profile requires --telemetry-dir")
+    if args.retries < 0:
+        parser.error("--retries must be non-negative")
+    if args.job_timeout is not None and args.job_timeout <= 0:
+        parser.error("--job-timeout must be positive")
+    if args.resume and args.no_cache:
+        parser.error("--resume needs the persistent cache (drop --no-cache)")
+    inject_faults = args.inject_faults
+    if inject_faults is None:
+        inject_faults = os.environ.get(FAULTS_ENV_VAR) or None
+    if inject_faults is not None:
+        try:
+            FaultPlan.from_spec(inject_faults)
+        except FaultSpecError as exc:
+            parser.error(f"--inject-faults: {exc}")
 
     transport = None
     if args.no_cache:
@@ -247,6 +301,10 @@ def main(argv: list[str] | None = None) -> int:
             engine="legacy" if args.legacy_engine else "fused",
             telemetry_dir=args.telemetry_dir,
             profile=args.profile,
+            retries=args.retries,
+            job_timeout=args.job_timeout,
+            resume=args.resume,
+            inject_faults=inject_faults,
         )
     )
     try:
@@ -260,6 +318,14 @@ def main(argv: list[str] | None = None) -> int:
         except (AsmError, CompileError, DiagnosticError) as exc:
             print(f"prefetch: {exc}", file=sys.stderr)
             return 1
+        if args.resume and not args.quiet:
+            farm = runner.farm_report
+            print(
+                f"[farm] resume: {farm.resumed} jobs already retired "
+                f"(skipped), {farm.executed} executed, "
+                f"{farm.hits} cache hits",
+                file=sys.stderr,
+            )
         for name in names:
             started = time.time()
             try:

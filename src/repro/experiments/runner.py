@@ -19,9 +19,17 @@ from repro.bench import SUITE, BenchmarkSpec
 from repro.core import ALL_MODELS, AnalysisResult, LimitAnalyzer, MachineModel
 from repro.diagnostics import DiagnosticError, Severity
 from repro.prediction import BranchPredictor, BranchStats, ProfilePredictor, branch_stats
-from repro.jobs import HIT, RUN, ArtifactCache, ExecutionEngine, FarmReport, Planner
+from repro.jobs import (
+    HIT,
+    RUN,
+    ArtifactCache,
+    ExecutionEngine,
+    FarmReport,
+    Planner,
+    RetryPolicy,
+)
 from repro.jobs import keys as jobkeys
-from repro.vm import VM, Trace
+from repro.vm import VM, CorruptArtifactError, Trace
 
 
 @dataclass(frozen=True)
@@ -55,6 +63,15 @@ class RunConfig:
     directory through their job payloads), and the process-wide metrics
     registry fills in.  ``profile`` additionally arms the opt-in cProfile
     hooks.  Both default to off, which costs nothing.
+
+    ``retries`` bounds how many times a failed farm job is requeued
+    (with exponential backoff and deterministic jitter) before it is
+    quarantined as dead; ``job_timeout`` is the per-attempt wall-clock
+    budget in seconds (None: unbounded).  ``resume`` skips jobs an
+    interrupted identical invocation already retired (per the run
+    journal).  ``inject_faults`` arms the deterministic fault injector
+    with a spec string (see :mod:`repro.jobs.faults`) — chaos-testing
+    only.  See ``docs/robustness.md``.
     """
 
     max_steps: int = 150_000
@@ -65,6 +82,10 @@ class RunConfig:
     engine: str = "fused"
     telemetry_dir: str | Path | None = None
     profile: bool = False
+    retries: int = 2
+    job_timeout: float | None = None
+    resume: bool = False
+    inject_faults: str | None = None
 
 
 @dataclass
@@ -128,7 +149,16 @@ class SuiteRunner:
         graph = self._planner.plan(
             requests, self.config.scale, self.config.max_steps
         )
-        engine = ExecutionEngine(self._cache, jobs=self.config.jobs)
+        engine = ExecutionEngine(
+            self._cache,
+            jobs=self.config.jobs,
+            retry=RetryPolicy(
+                max_attempts=self.config.retries + 1,
+                job_timeout=self.config.job_timeout,
+            ),
+            faults=self.config.inject_faults,
+            resume=self.config.resume,
+        )
         engine.execute(graph, self.farm_report)
 
     def run(self, name: str) -> BenchmarkRun:
@@ -157,14 +187,26 @@ class SuiteRunner:
         return run
 
     def _materialize(self, spec: BenchmarkSpec):
-        """Load (or produce and store) one benchmark's trace and profile."""
+        """Load (or produce and store) one benchmark's trace and profile.
+
+        A cached artifact that fails integrity verification has already
+        been quarantined by the cache; it is transparently re-produced
+        (and re-stored) here instead of crashing the run.
+        """
         scale = self._scale_for(spec)
         trace_key = self._trace_key(spec.name)
         program = spec.compile(scale)
+        trace = None
         if self._cache.has_trace(trace_key):
-            trace = self._cache.load_trace(trace_key, program)
-            self.farm_report.record(trace_key, "trace", spec.name, HIT)
-        else:
+            try:
+                trace = self._cache.load_trace(trace_key, program)
+                self.farm_report.record(trace_key, "trace", spec.name, HIT)
+            except CorruptArtifactError as exc:
+                self.farm_report.record_failure(
+                    trace_key, "trace", spec.name, "corrupt", 1, str(exc),
+                    retried=True,
+                )
+        if trace is None:
             started = time.time()
             trace = VM(program).run(max_steps=self.config.max_steps).trace
             self._cache.store_trace(trace_key, trace)
@@ -172,10 +214,17 @@ class SuiteRunner:
                 trace_key, "trace", spec.name, RUN, time.time() - started
             )
         profile_key = jobkeys.profile_key(trace_key)
+        predictor = None
         if self._cache.has_profile(profile_key):
-            predictor = self._cache.load_profile(profile_key)
-            self.farm_report.record(profile_key, "profile", spec.name, HIT)
-        else:
+            try:
+                predictor = self._cache.load_profile(profile_key)
+                self.farm_report.record(profile_key, "profile", spec.name, HIT)
+            except CorruptArtifactError as exc:
+                self.farm_report.record_failure(
+                    profile_key, "profile", spec.name, "corrupt", 1, str(exc),
+                    retried=True,
+                )
+        if predictor is None:
             started = time.time()
             predictor = ProfilePredictor.from_trace(trace)
             self._cache.store_profile(profile_key, predictor)
@@ -253,10 +302,17 @@ class SuiteRunner:
             )
             # A persistent hit needs neither the trace nor the program.
             if self._cache.has_result(result_key):
-                cached = self._cache.load_result(result_key)
-                self.farm_report.record(result_key, "analyze", name, HIT)
-                self._results[key] = cached
-                return cached
+                try:
+                    cached = self._cache.load_result(result_key)
+                    self.farm_report.record(result_key, "analyze", name, HIT)
+                    self._results[key] = cached
+                    return cached
+                except CorruptArtifactError as exc:
+                    # Quarantined by the cache; fall through and re-analyze.
+                    self.farm_report.record_failure(
+                        result_key, "analyze", name, "corrupt", 1, str(exc),
+                        retried=True,
+                    )
         run = self.run(name)
         started = time.time()
         with telemetry.span(

@@ -7,6 +7,8 @@ Layout::
         traces/<key>.rtrc.gz    RTRC binary traces (trace stage)
         profiles/<key>.json     trained branch directions (profile stage)
         results/<key>.json      serialized AnalysisResults (analysis stage)
+        corrupt/                quarantined artifacts that failed verification
+        journal/<digest>.jsonl  per-invocation retirement journals (resume)
 
 Artifacts are immutable: a key fully determines its content (see
 :mod:`repro.jobs.keys`), so writers never need to invalidate — a new
@@ -14,20 +16,39 @@ input produces a new key.  Writes go through a temporary file followed by
 an atomic :func:`os.replace`, so concurrent workers racing to produce the
 same artifact are harmless (last writer wins with identical bytes) and a
 killed worker never leaves a half-written artifact at a live address.
+
+Every artifact carries a sidecar checksum (``<name>.sha256``) written
+from the exact bytes stored.  Loads verify it: a mismatch (torn write,
+bit rot, a fault-injected truncation) moves the artifact and its sidecar
+into ``corrupt/`` and raises :class:`~repro.vm.trace_io.
+CorruptArtifactError`, whose ``key`` lets the execution engine re-produce
+exactly the damaged artifact instead of crashing the run.  An artifact
+without its sidecar (a crash landed between the two writes) is treated as
+absent, so it is transparently re-produced.  Stores also sweep orphaned
+``.tmp`` siblings left by killed writers.
 """
 
 from __future__ import annotations
 
+import gzip
+import hashlib
 import json
 import os
 import tempfile
 from pathlib import Path
 
+from repro import telemetry
 from repro.core.results import AnalysisResult
 from repro.isa import Program
 from repro.prediction.profile import ProfilePredictor
 from repro.vm.trace import Trace
-from repro.vm.trace_io import load_trace, save_trace
+from repro.vm.trace_io import CorruptArtifactError, load_trace, save_trace
+
+#: Sidecar suffix appended to every artifact file name.
+CHECKSUM_SUFFIX = ".sha256"
+
+#: Subdirectory quarantined artifacts are moved into.
+CORRUPT_DIR = "corrupt"
 
 
 class ArtifactCache:
@@ -50,19 +71,34 @@ class ArtifactCache:
     def result_path(self, key: str) -> Path:
         return self.root / "results" / f"{key}.json"
 
+    def checksum_path(self, path: Path) -> Path:
+        return path.parent / (path.name + CHECKSUM_SUFFIX)
+
+    def corrupt_dir(self) -> Path:
+        return self.root / CORRUPT_DIR
+
     # -- existence -----------------------------------------------------
 
+    def _present(self, path: Path) -> bool:
+        """An artifact exists only with its sidecar checksum.
+
+        A lone artifact means the writer died between the artifact
+        replace and the sidecar write; treating it as absent makes the
+        next producer re-store both halves.
+        """
+        return path.is_file() and self.checksum_path(path).is_file()
+
     def has_asm(self, key: str) -> bool:
-        return self.asm_path(key).is_file()
+        return self._present(self.asm_path(key))
 
     def has_trace(self, key: str) -> bool:
-        return self.trace_path(key).is_file()
+        return self._present(self.trace_path(key))
 
     def has_profile(self, key: str) -> bool:
-        return self.profile_path(key).is_file()
+        return self._present(self.profile_path(key))
 
     def has_result(self, key: str) -> bool:
-        return self.result_path(key).is_file()
+        return self._present(self.result_path(key))
 
     # -- compile stage -------------------------------------------------
 
@@ -70,24 +106,35 @@ class ArtifactCache:
         self._write_bytes(self.asm_path(key), text.encode("utf-8"))
 
     def load_asm(self, key: str) -> str:
-        return self.asm_path(key).read_text(encoding="utf-8")
+        return self._verified_bytes(self.asm_path(key), key).decode("utf-8")
 
     # -- trace stage ---------------------------------------------------
 
     def store_trace(self, key: str, trace: Trace) -> None:
         path = self.trace_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        self._sweep_orphans(path)
         tmp = _tmp_sibling(path)
         try:
             # save_trace picks compression from the suffix; keep .gz on
             # the temporary file so the final artifact really is gzipped.
             save_trace(trace, tmp)
+            digest = _sha256_file(tmp)
             os.replace(tmp, path)
         finally:
             _discard(tmp)
+        self._write_checksum(path, digest)
 
     def load_trace(self, key: str, program: Program) -> Trace:
-        return load_trace(self.trace_path(key), program)
+        path = self.trace_path(key)
+        self._verified_bytes(path, key)
+        try:
+            return load_trace(path, program)
+        except (CorruptArtifactError, EOFError, gzip.BadGzipFile) as exc:
+            # Checksum-consistent but unparseable: the artifact was
+            # *stored* damaged (e.g. a fault-injected torn write that
+            # also rewrote the sidecar).  Quarantine it all the same.
+            raise self._quarantine(path, key, f"unreadable trace: {exc}") from exc
 
     # -- profile stage -------------------------------------------------
 
@@ -101,7 +148,7 @@ class ArtifactCache:
         self._write_json(self.profile_path(key), payload)
 
     def load_profile(self, key: str) -> ProfilePredictor:
-        payload = json.loads(self.profile_path(key).read_text(encoding="utf-8"))
+        payload = self._verified_json(self.profile_path(key), key)
         directions = {int(pc): taken for pc, taken in payload["directions"].items()}
         return ProfilePredictor(directions, default_taken=payload["default_taken"])
 
@@ -111,8 +158,72 @@ class ArtifactCache:
         self._write_json(self.result_path(key), result.to_json())
 
     def load_result(self, key: str) -> AnalysisResult:
-        payload = json.loads(self.result_path(key).read_text(encoding="utf-8"))
-        return AnalysisResult.from_json(payload)
+        payload = self._verified_json(self.result_path(key), key)
+        try:
+            return AnalysisResult.from_json(payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise self._quarantine(
+                self.result_path(key), key, f"unreadable result: {exc}"
+            ) from exc
+
+    # -- integrity -----------------------------------------------------
+
+    def _verified_bytes(self, path: Path, key: str) -> bytes:
+        """Read *path*, verifying its sidecar checksum.
+
+        On mismatch (or a missing sidecar) the artifact is quarantined
+        and :class:`CorruptArtifactError` is raised.
+        """
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            raise self._quarantine(path, key, "artifact file is missing")
+        sidecar = self.checksum_path(path)
+        try:
+            expected = sidecar.read_text(encoding="utf-8").strip()
+        except FileNotFoundError:
+            raise self._quarantine(path, key, "checksum sidecar is missing")
+        actual = hashlib.sha256(data).hexdigest()
+        if actual != expected:
+            raise self._quarantine(
+                path, key, f"checksum mismatch ({actual[:12]} != {expected[:12]})"
+            )
+        return data
+
+    def _verified_json(self, path: Path, key: str) -> dict:
+        data = self._verified_bytes(path, key)
+        try:
+            return json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise self._quarantine(path, key, f"unparseable JSON: {exc}") from exc
+
+    def _quarantine(
+        self, path: Path, key: str, reason: str
+    ) -> CorruptArtifactError:
+        """Move a damaged artifact (and sidecar) into ``corrupt/``.
+
+        Returns the exception for the caller to raise, so call sites
+        read ``raise self._quarantine(...)`` and control flow is
+        explicit.
+        """
+        destination = self.corrupt_dir() / path.name
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        for victim in (path, self.checksum_path(path)):
+            try:
+                os.replace(victim, destination.parent / victim.name)
+            except FileNotFoundError:
+                pass
+        kind = path.parent.name
+        if telemetry.enabled():
+            telemetry.METRICS.counter(
+                "repro_jobs_corrupt_artifacts_total"
+            ).inc(kind=kind)
+        return CorruptArtifactError(
+            f"corrupt {kind} artifact {path.name}: {reason} "
+            f"(quarantined to {destination})",
+            key=key,
+            path=str(destination),
+        )
 
     # -- plumbing ------------------------------------------------------
 
@@ -122,12 +233,45 @@ class ArtifactCache:
 
     def _write_bytes(self, path: Path, data: bytes) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
+        self._sweep_orphans(path)
         tmp = _tmp_sibling(path)
         try:
             tmp.write_bytes(data)
             os.replace(tmp, path)
         finally:
             _discard(tmp)
+        self._write_checksum(path, hashlib.sha256(data).hexdigest())
+
+    def _write_checksum(self, path: Path, digest: str) -> None:
+        """Atomically write *path*'s sidecar (no sidecar-of-sidecar)."""
+        sidecar = self.checksum_path(path)
+        self._sweep_orphans(sidecar)
+        tmp = _tmp_sibling(sidecar)
+        try:
+            tmp.write_text(digest + "\n", encoding="utf-8")
+            os.replace(tmp, sidecar)
+        finally:
+            _discard(tmp)
+
+    @staticmethod
+    def _sweep_orphans(path: Path) -> None:
+        """Remove temp siblings a killed writer left for *path*.
+
+        Temp files are named ``.<artifact-name>.<random>``; any still on
+        disk when a new store begins belong to a dead writer (a live
+        racer would produce identical bytes anyway, and losing its temp
+        file only makes it restart the store).
+        """
+        for orphan in path.parent.glob(f".{path.name}.*"):
+            _discard(orphan)
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as stream:
+        for chunk in iter(lambda: stream.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def _tmp_sibling(path: Path) -> Path:

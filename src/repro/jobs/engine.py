@@ -1,4 +1,4 @@
-"""Job graph construction and the process-parallel execution engine.
+"""Job graph construction and the fault-tolerant execution engine.
 
 The planner expands a pooled list of experiment requests into a
 deduplicated :class:`JobGraph` sharded at (benchmark × stage)
@@ -20,13 +20,34 @@ dispatching each job as soon as its dependencies have retired.  Workers
 exchange artifacts exclusively through the content-addressed cache (see
 :mod:`repro.jobs.worker`), so results are byte-identical regardless of
 worker count or scheduling order.
+
+The engine treats partial failure the way a speculative machine treats
+misspeculation — detect, discard, re-execute:
+
+* a failed attempt is retried under the :class:`~repro.jobs.retry.
+  RetryPolicy` (bounded attempts, exponential backoff with deterministic
+  jitter, optional per-attempt wall-clock timeouts);
+* a job that exhausts its budget is quarantined as *dead* — with its
+  dependents — and the run continues; full provenance lands in the
+  :class:`~repro.jobs.report.FarmReport`;
+* a :class:`~repro.vm.trace_io.CorruptArtifactError` from a consumer
+  re-enqueues the *producer* of the damaged (and now quarantined)
+  artifact, then the consumer, so corruption heals instead of crashing;
+* a broken process pool (crashed worker) is rebuilt; if pools keep
+  dying, the engine degrades to serial in-process execution;
+* every retired job is journaled so ``--resume`` can skip work an
+  interrupted invocation already finished.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable
 
 from repro import telemetry
@@ -34,9 +55,12 @@ from repro.asm.disassembler import disassemble
 from repro.bench import SUITE
 from repro.jobs import keys
 from repro.jobs.cache import ArtifactCache
-from repro.jobs.report import HIT, RUN, FarmReport
+from repro.jobs.faults import FaultPlan
+from repro.jobs.report import DEAD, HIT, RESUMED, RUN, FarmReport
 from repro.jobs.requests import AnalysisRequest, Request, TraceRequest
+from repro.jobs.retry import JobTimeout, RetryPolicy, call_with_timeout
 from repro.jobs.worker import execute_job
+from repro.vm.trace_io import CorruptArtifactError
 
 
 @dataclass(frozen=True)
@@ -64,6 +88,67 @@ class JobGraph:
 
     def __iter__(self):
         return iter(self.jobs.values())
+
+    def digest(self) -> str:
+        """Stable identity of this graph (the sorted job-key set)."""
+        material = "\n".join(sorted(self.jobs))
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class RunJournal:
+    """Append-only log of retired job keys for one job graph.
+
+    The journal file is addressed by the graph digest, so re-running the
+    same invocation finds the same journal.  Each retirement appends one
+    JSON line and flushes, so a SIGKILL loses at most the in-flight job.
+    ``--resume`` loads the journal and skips journaled jobs whose
+    artifacts are still cached and intact.
+    """
+
+    def __init__(self, directory: str | Path, graph: JobGraph):
+        self.path = Path(directory) / f"{graph.digest()}.jsonl"
+        self._handle = None
+
+    def load(self) -> set[str]:
+        """Previously retired job keys (tolerates a torn final line)."""
+        retired: set[str] = set()
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return retired
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn final write from a killed run
+            key = record.get("key")
+            if key:
+                retired.add(key)
+        return retired
+
+    def append(self, job: Job, seconds: float) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        line = json.dumps(
+            {
+                "key": job.key,
+                "stage": job.stage,
+                "benchmark": job.benchmark,
+                "seconds": round(seconds, 6),
+            },
+            sort_keys=True,
+        )
+        self._handle.write(line + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
 
 class Planner:
@@ -100,7 +185,8 @@ class Planner:
         """Program fingerprint for (benchmark, scale), via the compile stage.
 
         Cache hit: hash the stored disassembly without compiling.
-        Cache miss: compile, disassemble, store the listing.
+        Cache miss — or a corrupt cached listing — compile, disassemble,
+        store the listing.
         """
         memo = self._fingerprints.get((benchmark, scale))
         if memo is not None:
@@ -108,10 +194,17 @@ class Planner:
         spec = SUITE[benchmark]
         source = spec.source(scale)
         compile_key = keys.compile_key(benchmark, scale, source)
+        fingerprint = None
         if self.cache.has_asm(compile_key):
-            fingerprint = keys.fingerprint_text(self.cache.load_asm(compile_key))
-            self.report.record(compile_key, "compile", benchmark, HIT)
-        else:
+            try:
+                fingerprint = keys.fingerprint_text(self.cache.load_asm(compile_key))
+                self.report.record(compile_key, "compile", benchmark, HIT)
+            except CorruptArtifactError as exc:
+                self.report.record_failure(
+                    compile_key, "compile", benchmark, "corrupt", 1, str(exc),
+                    retried=True,
+                )
+        if fingerprint is None:
             started = time.time()
             listing = disassemble(spec.compile(scale))
             self.cache.store_asm(compile_key, listing)
@@ -225,33 +318,101 @@ class Planner:
         return trace_key, profile_key
 
 
-class ExecutionEngine:
-    """Retires a job graph serially or across a process pool."""
+class _RunState:
+    """Mutable bookkeeping shared by the serial and parallel executors."""
 
-    def __init__(self, cache: ArtifactCache, jobs: int = 1):
+    def __init__(self, graph: JobGraph, pending: dict, done: set):
+        self.graph = graph
+        self.pending = pending
+        self.done = done
+        self.dead: set[str] = set()
+        self.attempts: dict[str, int] = {}
+        #: Monotonic deadline before which a requeued job may not run.
+        self.not_before: dict[str, float] = {}
+        #: Corrupt-input heals granted per consumer (bounds heal cycles).
+        self.corrupt_heals: dict[str, int] = {}
+
+    def next_attempt(self, key: str) -> int:
+        attempt = self.attempts.get(key, 0) + 1
+        self.attempts[key] = attempt
+        return attempt
+
+    def unwind_attempt(self, key: str) -> None:
+        """Forget an attempt that never ran (e.g. a cancelled submit)."""
+        if self.attempts.get(key, 0) > 0:
+            self.attempts[key] -= 1
+
+    def runnable(self, now: float) -> list[Job]:
+        return [
+            job
+            for job in self.pending.values()
+            if all(dep in self.done for dep in job.deps)
+            and self.not_before.get(job.key, 0.0) <= now
+        ]
+
+    def earliest_backoff(self) -> float | None:
+        deadlines = [
+            self.not_before[job.key]
+            for job in self.pending.values()
+            if job.key in self.not_before
+            and all(dep in self.done for dep in job.deps)
+        ]
+        return min(deadlines) if deadlines else None
+
+
+class ExecutionEngine:
+    """Retires a job graph serially or across a process pool.
+
+    ``retry`` bounds attempts, backoff, and per-attempt timeouts;
+    ``faults`` arms the deterministic fault injector (a spec string or a
+    :class:`~repro.jobs.faults.FaultPlan`); ``resume`` skips jobs the
+    run journal shows a previous identical invocation already retired.
+    """
+
+    def __init__(
+        self,
+        cache: ArtifactCache,
+        jobs: int = 1,
+        retry: RetryPolicy | None = None,
+        faults: str | FaultPlan | None = None,
+        resume: bool = False,
+    ):
         if jobs < 1:
             raise ValueError("jobs must be a positive worker count")
         self.cache = cache
         self.jobs = jobs
+        self.retry = retry if retry is not None else RetryPolicy()
+        if isinstance(faults, str):
+            faults = FaultPlan.from_spec(faults)
+        self.faults = faults
+        self.resume = resume
 
     def execute(self, graph: JobGraph, report: FarmReport) -> None:
+        journal = RunJournal(self.cache.root / "journal", graph)
+        retired = journal.load() if self.resume else set()
         done: set[str] = set()
         pending: dict[str, Job] = {}
         for job in graph:
             if self._cached(job):
-                report.record(job.key, job.stage, job.benchmark, HIT)
+                status = RESUMED if job.key in retired else HIT
+                report.record(job.key, job.stage, job.benchmark, status)
                 done.add(job.key)
             else:
                 pending[job.key] = job
         if not pending:
+            journal.close()
             return
-        with telemetry.span(
-            "farm.execute", jobs=len(pending), workers=self.jobs
-        ):
-            if self.jobs == 1:
-                self._execute_serial(pending, done, report)
-            else:
-                self._execute_parallel(pending, done, report)
+        state = _RunState(graph, pending, done)
+        try:
+            with telemetry.span(
+                "farm.execute", jobs=len(pending), workers=self.jobs
+            ):
+                if self.jobs == 1:
+                    self._execute_serial(state, report, journal)
+                else:
+                    self._execute_parallel(state, report, journal)
+        finally:
+            journal.close()
         self._merge_telemetry()
 
     @staticmethod
@@ -281,45 +442,341 @@ class ExecutionEngine:
             return self.cache.has_profile(job.key)
         return self.cache.has_result(job.key)
 
-    def _execute_serial(
-        self, pending: dict[str, Job], done: set[str], report: FarmReport
-    ) -> None:
-        while pending:
-            self._note_queue_depth(len(pending))
-            ready = [
-                job
-                for job in pending.values()
-                if all(dep in done for dep in job.deps)
-            ]
-            if not ready:
-                raise RuntimeError("job graph has a dependency cycle")
-            for job in ready:
-                record = execute_job(job.payload)
-                self._retire(job, record, report, done)
-                del pending[job.key]
+    # -- payloads -------------------------------------------------------
 
-    def _execute_parallel(
-        self, pending: dict[str, Job], done: set[str], report: FarmReport
-    ) -> None:
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            running: dict = {}
-            while pending or running:
-                for key in list(pending):
-                    job = pending[key]
-                    if all(dep in done for dep in job.deps):
-                        running[pool.submit(execute_job, job.payload)] = job
-                        del pending[key]
-                if not running:
-                    raise RuntimeError("job graph has a dependency cycle")
-                self._note_queue_depth(len(pending) + len(running))
-                finished, _ = wait(running, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    job = running.pop(future)
-                    self._retire(job, future.result(), report, done)
+    def _payload(self, job: Job, attempt: int, in_process: bool) -> dict:
+        payload = dict(job.payload, attempt=attempt)
+        if in_process:
+            payload["in_process"] = True
+        if self.faults is not None:
+            payload["faults"] = self.faults.to_spec()
+        return payload
+
+    # -- failure handling ----------------------------------------------
 
     @staticmethod
-    def _retire(job: Job, record: dict, report: FarmReport, done: set[str]) -> None:
+    def _classify(exc: BaseException) -> str:
+        if isinstance(exc, JobTimeout):
+            return "timeout"
+        if isinstance(exc, CorruptArtifactError):
+            return "corrupt"
+        if isinstance(exc, BrokenProcessPool):
+            return "crash"
+        return "error"
+
+    def _handle_failure(
+        self,
+        state: _RunState,
+        report: FarmReport,
+        job: Job,
+        attempt: int,
+        exc: BaseException,
+    ) -> None:
+        """Requeue a failed attempt, or quarantine the job as dead."""
+        kind = self._classify(exc)
+        if kind == "corrupt" and self._requeue_corrupt_producer(
+            state, report, job, attempt, exc
+        ):
+            return
+        fatal = attempt >= self.retry.max_attempts
+        message = str(exc) or type(exc).__name__
+        report.record_failure(
+            job.key, job.stage, job.benchmark, kind, attempt, message,
+            retried=not fatal,
+        )
+        if fatal:
+            self._kill_job(state, report, job)
+        else:
+            state.pending[job.key] = job
+            state.not_before[job.key] = time.monotonic() + self.retry.delay(
+                job.key, attempt
+            )
+
+    def _requeue_corrupt_producer(
+        self,
+        state: _RunState,
+        report: FarmReport,
+        job: Job,
+        attempt: int,
+        exc: BaseException,
+    ) -> bool:
+        """Heal a corrupt *input*: re-run its producer, then this job.
+
+        The cache has already quarantined the damaged artifact; if its
+        producer is part of this graph, pull it back out of ``done`` so
+        it re-executes, and requeue the consumer without charging it an
+        attempt (the failure was not its fault).  Returns False when the
+        producer is unknown, leaving ordinary retry handling to run.
+        """
+        producer_key = getattr(exc, "key", None)
+        producer = state.graph.jobs.get(producer_key) if producer_key else None
+        if producer is None or producer.key == job.key:
+            return False
+        # A producer whose output is corrupt *every* time (persistent
+        # disk fault, or times=0 injection) must not heal forever: once
+        # the consumer has been granted max_attempts heals, fall back to
+        # ordinary retry accounting so the job eventually dies.
+        heals = state.corrupt_heals.get(job.key, 0) + 1
+        if heals > self.retry.max_attempts:
+            return False
+        state.corrupt_heals[job.key] = heals
+        report.record_failure(
+            job.key, job.stage, job.benchmark, "corrupt", attempt, str(exc),
+            retried=True,
+        )
+        state.done.discard(producer.key)
+        state.pending[producer.key] = producer
+        # The producer's previous outcome (a hit or an earlier run) is
+        # stale: drop its record so the re-execution is reported.
+        report.records.pop(producer.key, None)
+        state.unwind_attempt(job.key)
+        state.pending[job.key] = job
+        return True
+
+    def _kill_job(self, state: _RunState, report: FarmReport, job: Job) -> None:
+        """Quarantine a job as dead, along with every transitive dependent."""
+        report.record(job.key, job.stage, job.benchmark, DEAD)
+        state.dead.add(job.key)
+        state.pending.pop(job.key, None)
+        self._kill_dead_dependents(state, report)
+
+    def _kill_dead_dependents(self, state: _RunState, report: FarmReport) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for job in list(state.pending.values()):
+                lost = [dep for dep in job.deps if dep in state.dead]
+                if not lost:
+                    continue
+                report.record_failure(
+                    job.key, job.stage, job.benchmark, "dependency", 0,
+                    f"dependency {lost[0][:12]} is dead", retried=False,
+                )
+                report.record(job.key, job.stage, job.benchmark, DEAD)
+                state.dead.add(job.key)
+                del state.pending[job.key]
+                changed = True
+
+    def _retire(
+        self,
+        state: _RunState,
+        report: FarmReport,
+        journal: RunJournal,
+        job: Job,
+        record: dict,
+    ) -> None:
         report.record(
             job.key, job.stage, job.benchmark, RUN, record["seconds"]
         )
-        done.add(job.key)
+        state.done.add(job.key)
+        journal.append(job, record["seconds"])
+
+    # -- serial execution ----------------------------------------------
+
+    def _execute_serial(
+        self, state: _RunState, report: FarmReport, journal: RunJournal
+    ) -> None:
+        while state.pending:
+            self._note_queue_depth(len(state.pending))
+            now = time.monotonic()
+            ready = state.runnable(now)
+            if not ready:
+                wake_at = state.earliest_backoff()
+                if wake_at is not None:
+                    time.sleep(max(0.0, wake_at - now))
+                    continue
+                raise RuntimeError("job graph has a dependency cycle")
+            for job in ready:
+                if job.key not in state.pending:
+                    continue  # requeued/killed by an earlier job this sweep
+                del state.pending[job.key]
+                attempt = state.next_attempt(job.key)
+                payload = self._payload(job, attempt, in_process=True)
+                try:
+                    record = call_with_timeout(
+                        execute_job, payload, self.retry.job_timeout
+                    )
+                except Exception as exc:
+                    self._handle_failure(state, report, job, attempt, exc)
+                else:
+                    self._retire(state, report, journal, job, record)
+
+    # -- parallel execution --------------------------------------------
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.jobs)
+
+    @staticmethod
+    def _destroy_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down without waiting on hung or dead workers."""
+        processes = []
+        try:
+            processes = list((pool._processes or {}).values())
+        except AttributeError:  # pragma: no cover - CPython internal moved
+            pass
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already gone
+                pass
+
+    def _execute_parallel(
+        self, state: _RunState, report: FarmReport, journal: RunJournal
+    ) -> None:
+        try:
+            pool = self._new_pool()
+        except (BrokenProcessPool, OSError) as exc:
+            report.note(f"process pool unavailable ({exc}); running serially")
+            self._execute_serial(state, report, journal)
+            return
+        rebuilds = 0
+        running: dict = {}  # future -> (job, attempt, deadline | None)
+        try:
+            while state.pending or running:
+                now = time.monotonic()
+                pool_broken = False
+                for job in state.runnable(now):
+                    attempt = state.next_attempt(job.key)
+                    payload = self._payload(job, attempt, in_process=False)
+                    deadline = (
+                        now + self.retry.job_timeout
+                        if self.retry.job_timeout
+                        else None
+                    )
+                    try:
+                        future = pool.submit(execute_job, payload)
+                    except (BrokenProcessPool, RuntimeError):
+                        state.unwind_attempt(job.key)
+                        pool_broken = True
+                        break
+                    running[future] = (job, attempt, deadline)
+                    del state.pending[job.key]
+                if not running and not pool_broken:
+                    wake_at = state.earliest_backoff()
+                    if wake_at is not None:
+                        time.sleep(max(0.0, wake_at - now))
+                        continue
+                    if state.pending:
+                        raise RuntimeError("job graph has a dependency cycle")
+                    break
+                self._note_queue_depth(len(state.pending) + len(running))
+                if running:
+                    finished, _ = wait(
+                        running,
+                        timeout=self._wait_budget(state, running),
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for future in finished:
+                        job, attempt, _ = running.pop(future)
+                        try:
+                            record = future.result()
+                        except BrokenProcessPool as exc:
+                            pool_broken = True
+                            self._handle_failure(state, report, job, attempt, exc)
+                        except Exception as exc:
+                            self._handle_failure(state, report, job, attempt, exc)
+                        else:
+                            self._retire(state, report, journal, job, record)
+                    pool_broken |= self._reap_timeouts(state, report, running)
+                if pool_broken:
+                    self._drain_broken(state, report, journal, running)
+                    self._destroy_pool(pool)
+                    rebuilds += 1
+                    if rebuilds > self.retry.max_pool_rebuilds:
+                        report.note(
+                            f"process pool died {rebuilds} times; degrading "
+                            f"to serial in-process execution"
+                        )
+                        self._execute_serial(state, report, journal)
+                        return
+                    report.note(
+                        f"process pool died (rebuild {rebuilds}/"
+                        f"{self.retry.max_pool_rebuilds}); rebuilding"
+                    )
+                    pool = self._new_pool()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _wait_budget(self, state: _RunState, running: dict) -> float:
+        """How long the dispatcher may block in ``wait``.
+
+        Short enough to notice job deadlines and backoff expiries,
+        bounded so an idle dispatcher still polls for timed-out hangs.
+        """
+        now = time.monotonic()
+        horizon = 0.5
+        deadlines = [dl for (_, _, dl) in running.values() if dl is not None]
+        if deadlines:
+            horizon = min(horizon, max(0.01, min(deadlines) - now))
+        wake_at = state.earliest_backoff()
+        if wake_at is not None:
+            horizon = min(horizon, max(0.01, wake_at - now))
+        return horizon
+
+    def _reap_timeouts(
+        self, state: _RunState, report: FarmReport, running: dict
+    ) -> bool:
+        """Fail attempts whose deadline passed; True if the pool must die.
+
+        A hung worker cannot be cancelled through the executor API, so
+        any expired deadline condemns the whole pool: expired jobs are
+        charged a timeout attempt, innocent in-flight jobs are requeued
+        uncharged, and the caller rebuilds.
+        """
+        now = time.monotonic()
+        expired = [
+            future
+            for future, (_, _, deadline) in running.items()
+            if deadline is not None and now > deadline
+        ]
+        if not expired:
+            return False
+        for future in expired:
+            job, attempt, _ = running.pop(future)
+            self._handle_failure(
+                state,
+                report,
+                job,
+                attempt,
+                JobTimeout(
+                    f"job exceeded its {self.retry.job_timeout:.1f}s "
+                    f"wall-clock budget"
+                ),
+            )
+        for future, (job, attempt, _) in running.items():
+            state.pending[job.key] = job
+            state.unwind_attempt(job.key)
+        running.clear()
+        return True
+
+    def _drain_broken(
+        self,
+        state: _RunState,
+        report: FarmReport,
+        journal: RunJournal,
+        running: dict,
+    ) -> None:
+        """Settle every in-flight future of a condemned pool.
+
+        Completed jobs retire normally; everything else is charged a
+        crash attempt — the culprit cannot be told apart from its
+        pool-mates, so all are charged, which stays deterministic.
+        """
+        for future, (job, attempt, _) in list(running.items()):
+            if future.done() and not future.cancelled():
+                try:
+                    record = future.result()
+                except Exception as exc:
+                    self._handle_failure(state, report, job, attempt, exc)
+                else:
+                    self._retire(state, report, journal, job, record)
+            else:
+                self._handle_failure(
+                    state,
+                    report,
+                    job,
+                    attempt,
+                    BrokenProcessPool("worker process died unexpectedly"),
+                )
+        running.clear()

@@ -30,8 +30,10 @@ from repro.vm.trace_io import VERSION as RTRC_VERSION
 #: Bump when the on-disk artifact layout, JSON shapes, or the analyzer
 #: internals that produce result artifacts change.  Schema 2: the fused
 #: single-pass analyzer engine replaced the per-model sweep as the
-#: default producer of analysis results.
-SCHEMA = 2
+#: default producer of analysis results.  Schema 3: every artifact
+#: gained a sidecar checksum and artifacts without one are treated as
+#: absent, so pre-integrity caches re-produce rather than half-verify.
+SCHEMA = 3
 
 
 def _digest(material: dict) -> str:

@@ -1,0 +1,107 @@
+"""Retry policy for farm jobs: bounded attempts, deterministic backoff,
+wall-clock timeouts.
+
+A failed job attempt is retried up to ``max_attempts`` times with
+exponential backoff.  The jitter folded into each delay is
+*deterministic* — a hash of (job key, attempt) — so two identically
+configured runs retry on identical schedules, keeping chaotic runs
+replayable (the same property the fault injector guarantees on the
+failure side).
+
+``job_timeout`` bounds one attempt's wall clock.  Pool workers that
+exceed it are killed and their pool rebuilt; for in-process execution
+the bound is enforced with ``SIGALRM`` where available (main thread,
+POSIX) and skipped otherwise — an in-process hang cannot be preempted
+portably.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import signal
+import threading
+from dataclasses import dataclass
+
+
+class JobTimeout(Exception):
+    """A job attempt exceeded its wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry configuration for one farm run."""
+
+    #: Total attempts per job (1 = no retries).
+    max_attempts: int = 3
+    #: Delay before the second attempt, in seconds.
+    backoff_base: float = 0.1
+    #: Multiplier applied per additional failed attempt.
+    backoff_factor: float = 2.0
+    #: Ceiling on any single delay, in seconds.
+    backoff_cap: float = 5.0
+    #: Deterministic jitter as a fraction of the delay (0 disables).
+    jitter: float = 0.5
+    #: Wall-clock budget per job attempt, in seconds (None: unbounded).
+    job_timeout: float | None = None
+    #: Consecutive process-pool rebuilds tolerated before degrading to
+    #: serial in-process execution.
+    max_pool_rebuilds: int = 3
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff durations must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError("job_timeout must be positive")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be non-negative")
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Seconds to wait before retrying *key* after failed *attempt*.
+
+        Deterministic: exponential in the attempt number, plus a jitter
+        term hashed from (key, attempt).
+        """
+        base = min(
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+            self.backoff_cap,
+        )
+        return base * (1.0 + self.jitter * deterministic_fraction(key, attempt))
+
+
+def deterministic_fraction(key: str, attempt: int) -> float:
+    """Uniform [0, 1) draw that is a pure function of (key, attempt)."""
+    digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def call_with_timeout(fn, argument, timeout: float | None):
+    """Run ``fn(argument)`` under a wall-clock budget, in-process.
+
+    Uses an interval timer + ``SIGALRM`` so a hung job raises
+    :class:`JobTimeout` mid-flight.  Only possible on the main thread of
+    a POSIX process; elsewhere the call runs unbounded (the process-pool
+    path enforces timeouts by killing workers instead).
+    """
+    if (
+        not timeout
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return fn(argument)
+
+    def _expired(signum, frame):
+        raise JobTimeout(f"job exceeded its {timeout:.1f}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return fn(argument)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -21,6 +21,7 @@ import time
 from repro import telemetry
 from repro.bench import SUITE
 from repro.core import LimitAnalyzer, MachineModel
+from repro.jobs import faults
 from repro.jobs.cache import ArtifactCache
 from repro.prediction import ProfilePredictor
 from repro.vm import VM
@@ -34,6 +35,12 @@ def execute_job(payload: dict) -> dict:
     appends to its own ``worker-<pid>.jsonl`` sink, merged by the engine
     afterwards).  In the serial in-process case telemetry is already
     configured, so the job's spans land directly in the main sink.
+
+    A ``faults`` payload entry arms the deterministic fault injector for
+    this job: pre-stage faults (raise/hang/exit) fire before any work,
+    post-store faults (truncate/garbage) damage the artifact the stage
+    just wrote — always keyed by (seed, job key, attempt), so a chaotic
+    run replays identically.
     """
     telemetry_dir = payload.get("telemetry")
     if telemetry_dir and not telemetry.enabled():
@@ -42,6 +49,12 @@ def execute_job(payload: dict) -> dict:
         )
     started = time.time()
     stage = payload["stage"]
+    clause = None
+    if payload.get("faults"):
+        plan = faults.FaultPlan.from_spec(payload["faults"])
+        clause = plan.match(stage, payload["key"], payload.get("attempt", 1))
+    if clause is not None and clause.mode in ("raise", "hang", "exit"):
+        faults.trigger_before(clause, payload)
     with telemetry.span(
         f"job.{stage}", benchmark=payload["benchmark"], key=payload["key"]
     ), telemetry.profiled(f"job-{stage}-{payload['benchmark']}"):
@@ -53,6 +66,8 @@ def execute_job(payload: dict) -> dict:
             _analysis_job(payload)
         else:
             raise ValueError(f"unknown job stage {stage!r}")
+    if clause is not None and clause.mode in ("truncate", "garbage"):
+        faults.corrupt_artifact(clause, _artifact_path(payload))
     telemetry.flush()
     return {
         "key": payload["key"],
@@ -60,6 +75,17 @@ def execute_job(payload: dict) -> dict:
         "benchmark": payload["benchmark"],
         "seconds": time.time() - started,
     }
+
+
+def _artifact_path(payload: dict):
+    """On-disk location of the artifact this job's stage produces."""
+    cache = ArtifactCache(payload["cache_dir"])
+    lookup = {
+        "trace": cache.trace_path,
+        "profile": cache.profile_path,
+        "analyze": cache.result_path,
+    }
+    return lookup[payload["stage"]](payload["key"])
 
 
 def _program(payload: dict):

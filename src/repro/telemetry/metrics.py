@@ -358,6 +358,31 @@ STANDARD_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
     ),
     (
         "counter",
+        "repro_jobs_retries_total",
+        "Farm job attempts that failed and were requeued, per stage",
+        ("stage",),
+    ),
+    (
+        "counter",
+        "repro_jobs_timeouts_total",
+        "Farm job attempts that exceeded their wall-clock budget, per stage",
+        ("stage",),
+    ),
+    (
+        "counter",
+        "repro_jobs_dead_total",
+        "Farm jobs quarantined after exhausting their retry budget, per stage",
+        ("stage",),
+    ),
+    (
+        "counter",
+        "repro_jobs_corrupt_artifacts_total",
+        "Cache artifacts that failed integrity verification and were "
+        "quarantined, per artifact kind",
+        ("kind",),
+    ),
+    (
+        "counter",
         "repro_trace_bytes_written_total",
         "Uncompressed RTRC payload bytes written by save_trace",
         (),

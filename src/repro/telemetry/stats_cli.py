@@ -137,15 +137,36 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true",
         help="emit the aggregate as JSON instead of tables",
     )
+    parser.add_argument(
+        "--allow-empty", action="store_true",
+        help="exit 0 even when DIR is missing or holds no telemetry "
+        "(for optional-telemetry CI steps)",
+    )
     args = parser.parse_args(argv)
+
+    # Missing/empty telemetry exits 2 so CI can distinguish "nothing was
+    # recorded" (almost always a mis-wired --telemetry-dir) from a real
+    # rendering failure (1) and from success (0).
+    empty_status = 0 if args.allow_empty else 2
 
     directory = Path(args.directory)
     if not directory.is_dir():
-        print(f"repro-stats: no such directory: {directory}", file=sys.stderr)
-        return 1
+        print(
+            f"repro-stats: no such directory: {directory} "
+            "(did the producing run pass --telemetry-dir?)",
+            file=sys.stderr,
+        )
+        return empty_status
     records = load_spans(directory)
     rows = aggregate_spans(records)
     metrics = _load_metrics(directory)
+    if not records and not metrics:
+        print(
+            f"repro-stats: {directory} holds no spans and no metrics "
+            "(did the producing run pass --telemetry-dir [--metrics]?)",
+            file=sys.stderr,
+        )
+        return empty_status
 
     if args.json:
         print(

@@ -10,9 +10,15 @@ from repro.vm.trace import (
     Trace,
     TraceRecord,
 )
-from repro.vm.trace_io import TraceFormatError, load_trace, save_trace
+from repro.vm.trace_io import (
+    CorruptArtifactError,
+    TraceFormatError,
+    load_trace,
+    save_trace,
+)
 
 __all__ = [
+    "CorruptArtifactError",
     "NO_ADDR",
     "NOT_BRANCH",
     "NOT_TAKEN",

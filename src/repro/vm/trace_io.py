@@ -37,6 +37,30 @@ class TraceFormatError(Exception):
     """Raised when a trace file is malformed or mismatched."""
 
 
+class CorruptArtifactError(TraceFormatError):
+    """An artifact's bytes are damaged — truncated, garbled, or failing
+    checksum verification — as opposed to structurally mismatched.
+
+    This is the shared typed error for *damaged* on-disk artifacts: the
+    trace reader raises it for truncation, and the farm's
+    :class:`~repro.jobs.cache.ArtifactCache` raises it (after
+    quarantining the file) for any artifact whose sidecar checksum does
+    not match.  ``key``/``path`` carry the artifact's content key and
+    quarantine location when known, so the execution engine can
+    re-produce exactly the damaged artifact.
+    """
+
+    def __init__(self, message: str, key: str | None = None, path: str | None = None):
+        # All constructor inputs go through ``args`` so the exception
+        # survives pickling across process-pool workers intact.
+        super().__init__(message, key, path)
+        self.key = key
+        self.path = path
+
+    def __str__(self) -> str:
+        return str(self.args[0]) if self.args else ""
+
+
 def _open(path: str | Path, mode: str):
     path = str(path)
     if path.endswith(".gz"):
@@ -62,9 +86,14 @@ def _read_exact(stream, count: int) -> bytes:
     chunks: list[bytes] = []
     remaining = count
     while remaining > 0:
-        chunk = stream.read(remaining)
+        try:
+            chunk = stream.read(remaining)
+        except EOFError as exc:
+            # gzip raises EOFError when the compressed stream itself is
+            # cut short (e.g. a killed writer or a damaged cache entry).
+            raise CorruptArtifactError(f"truncated trace file: {exc}") from exc
         if not chunk:
-            raise TraceFormatError("truncated trace file")
+            raise CorruptArtifactError("truncated trace file")
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)

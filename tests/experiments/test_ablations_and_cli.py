@@ -180,3 +180,57 @@ class TestCLI:
             "ablation-convergence", "ablation-flows",
         }
         assert set(EXPERIMENTS) == expected
+
+
+class TestRobustnessFlags:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--retries", "-1"])
+
+    def test_nonpositive_job_timeout_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--job-timeout", "0"])
+
+    def test_resume_incompatible_with_no_cache(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--resume", "--no-cache"])
+
+    def test_bad_fault_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--inject-faults", "mode=bogus"])
+        assert "--inject-faults" in capsys.readouterr().err
+
+    def test_bad_fault_spec_from_environment_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INJECT_FAULTS", "mode=bogus")
+        with pytest.raises(SystemExit):
+            main(["table1"])
+
+    def test_faulty_run_output_matches_clean_run(self, capsys, tmp_path):
+        args = ["table1", "--max-steps", "4000", "--quiet"]
+        assert main(args + ["--cache-dir", str(tmp_path / "clean")]) == 0
+        clean = capsys.readouterr().out
+        assert (
+            main(
+                args
+                + [
+                    "--cache-dir",
+                    str(tmp_path / "chaos"),
+                    "--inject-faults",
+                    "mode=raise,rate=0.5,times=1,seed=11",
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == clean
+
+    def test_resume_prints_skipped_summary(self, capsys, tmp_path):
+        args = [
+            "table1", "--max-steps", "4000",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args + ["--quiet"]) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        err = capsys.readouterr().err
+        assert "[farm] resume:" in err
+        assert "0 executed" in err

@@ -54,8 +54,11 @@ class TestTraceArtifacts:
     def test_no_partial_artifacts(self, cache, traced):
         _, trace = traced
         cache.store_trace("k1", trace)
-        files = list(cache.trace_path("k1").parent.iterdir())
-        assert files == [cache.trace_path("k1")]  # no stray temp files
+        files = sorted(cache.trace_path("k1").parent.iterdir())
+        # Artifact plus its checksum sidecar; no stray temp files.
+        assert files == sorted(
+            [cache.trace_path("k1"), cache.checksum_path(cache.trace_path("k1"))]
+        )
 
 
 class TestProfileArtifacts:

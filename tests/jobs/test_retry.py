@@ -1,0 +1,95 @@
+"""Tests for the farm retry policy (repro.jobs.retry)."""
+
+import time
+
+import pytest
+
+from repro.jobs.retry import (
+    JobTimeout,
+    RetryPolicy,
+    call_with_timeout,
+    deterministic_fraction,
+)
+
+
+class TestRetryPolicy:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.job_timeout is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_base": -1.0},
+            {"backoff_cap": -0.1},
+            {"backoff_factor": 0.5},
+            {"jitter": -0.1},
+            {"job_timeout": 0.0},
+            {"job_timeout": -3.0},
+            {"max_pool_rebuilds": -1},
+        ],
+    )
+    def test_rejects_bad_configuration(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_delay_grows_exponentially(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=2.0,
+                             backoff_cap=100.0, jitter=0.0)
+        assert policy.delay("k", 1) == 1.0
+        assert policy.delay("k", 2) == 2.0
+        assert policy.delay("k", 3) == 4.0
+
+    def test_delay_capped(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=10.0,
+                             backoff_cap=3.0, jitter=0.0)
+        assert policy.delay("k", 5) == 3.0
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=1.0,
+                             backoff_cap=1.0, jitter=0.5)
+        first = policy.delay("key-a", 1)
+        assert first == policy.delay("key-a", 1)  # pure function
+        assert 1.0 <= first <= 1.5
+        # Different keys draw different jitter (overwhelmingly likely).
+        assert first != policy.delay("key-b", 1)
+
+
+class TestDeterministicFraction:
+    def test_in_unit_interval(self):
+        for attempt in range(1, 20):
+            assert 0.0 <= deterministic_fraction("k", attempt) < 1.0
+
+    def test_pure_function_of_inputs(self):
+        assert deterministic_fraction("x", 3) == deterministic_fraction("x", 3)
+        assert deterministic_fraction("x", 3) != deterministic_fraction("x", 4)
+
+
+class TestCallWithTimeout:
+    def test_no_timeout_runs_unbounded(self):
+        assert call_with_timeout(lambda x: x + 1, 41, None) == 42
+
+    def test_fast_call_within_budget(self):
+        assert call_with_timeout(lambda x: x * 2, 21, 5.0) == 42
+
+    def test_hung_call_raises_job_timeout(self):
+        def hang(_):
+            time.sleep(30)
+
+        started = time.monotonic()
+        with pytest.raises(JobTimeout, match="wall-clock budget"):
+            call_with_timeout(hang, None, 0.2)
+        assert time.monotonic() - started < 5.0
+
+    def test_timer_disarmed_after_return(self):
+        call_with_timeout(lambda _: None, None, 0.1)
+        time.sleep(0.15)  # would fire the leaked timer if still armed
+
+    def test_exceptions_propagate(self):
+        def boom(_):
+            raise KeyError("inner")
+
+        with pytest.raises(KeyError, match="inner"):
+            call_with_timeout(boom, None, 5.0)

@@ -55,9 +55,21 @@ class TestAggregate:
 
 
 class TestCli:
-    def test_missing_directory_fails(self, tmp_path, capsys):
-        assert main([str(tmp_path / "absent")]) == 1
+    def test_missing_directory_exits_2(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent")]) == 2
         assert "no such directory" in capsys.readouterr().err
+
+    def test_missing_directory_allow_empty(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent"), "--allow-empty"]) == 0
+        assert "no such directory" in capsys.readouterr().err
+
+    def test_empty_directory_exits_2(self, tmp_path, capsys):
+        assert main([str(tmp_path)]) == 2
+        assert "no spans and no metrics" in capsys.readouterr().err
+
+    def test_empty_directory_allow_empty(self, tmp_path, capsys):
+        assert main([str(tmp_path), "--allow-empty"]) == 0
+        assert "no spans and no metrics" in capsys.readouterr().err
 
     def test_renders_fixture_directory(self, tmp_path, capsys):
         write_fixture(tmp_path)
