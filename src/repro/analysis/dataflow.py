@@ -1,9 +1,13 @@
-"""A small iterative dataflow framework over function CFGs.
+"""Classic gen/kill dataflow instances over function CFGs.
 
-The paper's object-code analyses are classic bit-vector problems; this
-module provides a generic round-robin solver plus the two canonical
-instances used elsewhere in the toolkit and in tests: reaching definitions
-and live registers.
+The paper's object-code analyses are classic bit-vector problems.  The
+solvers here are thin wrappers over the generic worklist engine in
+:mod:`repro.analysis.static.framework` (which replaced this module's
+original hand-rolled round-robin loops); the two canonical instances used
+elsewhere in the toolkit and in tests — reaching definitions and live
+registers — are unchanged.  The maximal fixpoint of a monotone framework
+is unique, so the wrappers return exactly what the round-robin solvers
+did, including ``OUT = gen`` for unreachable blocks.
 """
 
 from __future__ import annotations
@@ -11,7 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.analysis.cfg import EXIT_BLOCK, FunctionCFG
+from repro.analysis.cfg import FunctionCFG
+from repro.analysis.static.framework import Direction, GenKillProblem, solve
 from repro.isa import Program
 
 
@@ -31,28 +36,11 @@ def solve_forward(
 ) -> DataflowResult:
     """Forward may-analysis: OUT[b] = gen[b] ∪ (IN[b] − kill[b]),
     IN[b] = ∪ OUT[p] over predecessors."""
-    n = len(cfg.blocks)
-    if n == 0:
-        return DataflowResult(block_in=[], block_out=[])
-    block_in: list[set] = [set() for _ in range(n)]
-    block_out: list[set] = [set(gen[b]) for b in range(n)]
-    block_in[cfg.entry] |= entry_fact
-    changed = True
-    while changed:
-        changed = False
-        for block in cfg.blocks:
-            new_in = set(entry_fact) if block.id == cfg.entry else set()
-            for pred in block.preds:
-                new_in |= block_out[pred]
-            new_out = gen[block.id] | (new_in - kill[block.id])
-            if new_in != block_in[block.id] or new_out != block_out[block.id]:
-                block_in[block.id] = new_in
-                block_out[block.id] = new_out
-                changed = True
-    return DataflowResult(
-        block_in=[frozenset(s) for s in block_in],
-        block_out=[frozenset(s) for s in block_out],
+    solved = solve(
+        cfg,
+        GenKillProblem(Direction.FORWARD, gen, kill, boundary_fact=entry_fact),
     )
+    return DataflowResult(block_in=solved.block_in, block_out=solved.block_out)
 
 
 def solve_backward(
@@ -63,30 +51,11 @@ def solve_backward(
 ) -> DataflowResult:
     """Backward may-analysis: IN[b] = gen[b] ∪ (OUT[b] − kill[b]),
     OUT[b] = ∪ IN[s] over successors (exit blocks take *exit_fact*)."""
-    n = len(cfg.blocks)
-    if n == 0:
-        return DataflowResult(block_in=[], block_out=[])
-    block_out: list[set] = [set() for _ in range(n)]
-    block_in: list[set] = [set(gen[b]) for b in range(n)]
-    changed = True
-    while changed:
-        changed = False
-        for block in cfg.blocks:
-            new_out: set = set()
-            for succ in block.succs:
-                if succ == EXIT_BLOCK:
-                    new_out |= exit_fact
-                else:
-                    new_out |= block_in[succ]
-            new_in = gen[block.id] | (new_out - kill[block.id])
-            if new_out != block_out[block.id] or new_in != block_in[block.id]:
-                block_out[block.id] = new_out
-                block_in[block.id] = new_in
-                changed = True
-    return DataflowResult(
-        block_in=[frozenset(s) for s in block_in],
-        block_out=[frozenset(s) for s in block_out],
+    solved = solve(
+        cfg,
+        GenKillProblem(Direction.BACKWARD, gen, kill, boundary_fact=exit_fact),
     )
+    return DataflowResult(block_in=solved.block_in, block_out=solved.block_out)
 
 
 def reaching_definitions(program: Program, cfg: FunctionCFG) -> DataflowResult:

@@ -1,0 +1,117 @@
+"""Whole-program static dependence engine over compiled object code.
+
+One :func:`analyze_static` call runs every pass and bundles the results:
+
+* :mod:`~repro.analysis.static.framework` — the generic worklist dataflow
+  engine (also hosting the classic gen/kill solvers in
+  :mod:`repro.analysis.dataflow`);
+* :mod:`~repro.analysis.static.callgraph` — the direct-call graph,
+  reachability, and recursion detection;
+* :mod:`~repro.analysis.static.constprop` — interprocedural conditional
+  constant propagation mirroring the VM's semantics exactly;
+* :mod:`~repro.analysis.static.memdep` — memory-reference classification
+  (stack / global / unknown) and provably-dead-store detection;
+* :mod:`~repro.analysis.static.branches` — per-branch predictability
+  classes;
+* :mod:`~repro.analysis.static.ilp` — execution-free parallelism bounds.
+
+Derived claims surface as ``STA4xx`` diagnostics through
+:mod:`~repro.analysis.static.lint` (static-only notes) and
+:mod:`~repro.analysis.static.differential` (static-vs-dynamic errors,
+the CI gate).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro import telemetry
+from repro.analysis.static.branches import BranchClass, BranchInfo, classify_branches
+from repro.analysis.static.callgraph import CallGraph, build_call_graph
+from repro.analysis.static.constprop import ConstProp, propagate_constants
+from repro.analysis.static.ilp import ProgramILP, estimate_ilp
+from repro.analysis.static.memdep import (
+    DeadStore,
+    MemClass,
+    MemRef,
+    classify_memory,
+    find_dead_stores,
+)
+from repro.analysis.summary import ProgramAnalysis, analyze_program
+from repro.isa.program import Program
+
+__all__ = [
+    "BranchClass",
+    "BranchInfo",
+    "CallGraph",
+    "ConstProp",
+    "DeadStore",
+    "MemClass",
+    "MemRef",
+    "ProgramILP",
+    "StaticAnalysis",
+    "analyze_static",
+    "build_call_graph",
+    "classify_branches",
+    "classify_memory",
+    "estimate_ilp",
+    "find_dead_stores",
+    "propagate_constants",
+]
+
+
+@dataclass(frozen=True)
+class StaticAnalysis:
+    """Every static fact the engine derives for one program."""
+
+    program: Program
+    analysis: ProgramAnalysis
+    graph: CallGraph
+    constprop: ConstProp
+    branches: tuple[BranchInfo, ...]
+    memory: tuple[MemRef, ...]
+    dead_stores: tuple[DeadStore, ...]
+    ilp: ProgramILP
+
+
+def analyze_static(
+    program: Program, analysis: ProgramAnalysis | None = None
+) -> StaticAnalysis:
+    """Run the whole static engine over *program*.
+
+    Reuses an existing :class:`ProgramAnalysis` when given (the CFGs are
+    shared across all passes).
+    """
+    started = time.perf_counter()
+    if analysis is None:
+        analysis = analyze_program(program)
+    graph = build_call_graph(program, analysis.cfgs)
+    constprop = propagate_constants(graph)
+    branches = classify_branches(constprop)
+    memory = classify_memory(constprop)
+    dead_stores = find_dead_stores(constprop)
+    ilp = estimate_ilp(analysis)
+    elapsed = time.perf_counter() - started
+    telemetry.METRICS.counter("repro_static_analysis_seconds").inc(
+        elapsed, program=program.name
+    )
+    if telemetry.enabled():
+        telemetry.record_span(
+            "static.analyze",
+            elapsed,
+            program=program.name,
+            functions=len(graph.cfgs),
+            branches=len(branches),
+            dead_stores=len(dead_stores),
+        )
+    return StaticAnalysis(
+        program=program,
+        analysis=analysis,
+        graph=graph,
+        constprop=constprop,
+        branches=branches,
+        memory=memory,
+        dead_stores=dead_stores,
+        ilp=ilp,
+    )

@@ -1,0 +1,94 @@
+"""Static branch classification: per-branch predictability classes.
+
+Each conditional branch gets one class, checked in this order:
+
+* ``UNREACHABLE``      — constant propagation proves the branch never
+  executes (dynamic claim: its pc never appears in a trace, ``STA411``);
+* ``CONST_TAKEN`` / ``CONST_NOT_TAKEN`` — the outcome is decided by
+  interprocedural constant propagation (dynamic claim: every traced
+  outcome matches, ``STA410``; lint note ``STA403``);
+* ``LOOP_BACK``        — one of the branch's edges is a natural-loop back
+  edge: the iterate/exit decision of a loop, highly biased toward
+  iterating;
+* ``LOOP_EXIT``        — the branch is inside a loop body and one edge
+  leaves the loop: biased toward staying;
+* ``DATA``             — anything else: a genuinely data-dependent
+  decision, the kind the paper's CD machines serialize on.
+
+Computed jumps (``jr`` through a non-$ra register) are not conditional
+branches and are reported separately by the CLI; the limit analyzer treats
+them as always mispredicted regardless of class.
+
+Only the first three classes carry hard dynamic claims; the loop classes
+describe structure (and are what a static branch predictor would key on —
+compare Ramachandran & Johnson's fetch-rate classes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.analysis.cfg import EXIT_BLOCK
+from repro.analysis.loops import find_loops
+from repro.analysis.static.constprop import ConstProp
+
+
+class BranchClass(enum.Enum):
+    UNREACHABLE = "unreachable"
+    CONST_TAKEN = "const-taken"
+    CONST_NOT_TAKEN = "const-not-taken"
+    LOOP_BACK = "loop-back"
+    LOOP_EXIT = "loop-exit"
+    DATA = "data"
+
+
+@dataclass(frozen=True)
+class BranchInfo:
+    """Classification of one conditional branch."""
+
+    pc: int
+    function: str
+    branch_class: BranchClass
+
+
+def classify_branches(constprop: ConstProp) -> tuple[BranchInfo, ...]:
+    """Classify every conditional branch of the program, in pc order."""
+    graph = constprop.graph
+    program = graph.program
+    infos: list[BranchInfo] = []
+    for cfg in graph.cfgs:
+        name = cfg.function.name
+        loops = find_loops(cfg)
+        back_edge_tails = {tail for loop in loops for tail in loop.tails}
+        in_loop = [False] * len(cfg.blocks)
+        exits_loop = [False] * len(cfg.blocks)
+        for loop in loops:
+            for block_id in loop.body:
+                in_loop[block_id] = True
+                for succ in cfg.blocks[block_id].succs:
+                    if succ == EXIT_BLOCK or succ not in loop.body:
+                        exits_loop[block_id] = True
+        for block in cfg.blocks:
+            pc = block.terminator_pc
+            if not program.instructions[pc].is_cond_branch:
+                continue
+            if not constprop.reachable(pc):
+                branch_class = BranchClass.UNREACHABLE
+            else:
+                outcome = constprop.branch_outcome(pc)
+                if outcome is True:
+                    branch_class = BranchClass.CONST_TAKEN
+                elif outcome is False:
+                    branch_class = BranchClass.CONST_NOT_TAKEN
+                elif block.id in back_edge_tails:
+                    branch_class = BranchClass.LOOP_BACK
+                elif in_loop[block.id] and exits_loop[block.id]:
+                    branch_class = BranchClass.LOOP_EXIT
+                else:
+                    branch_class = BranchClass.DATA
+            infos.append(
+                BranchInfo(pc=pc, function=name, branch_class=branch_class)
+            )
+    infos.sort(key=lambda info: info.pc)
+    return tuple(infos)

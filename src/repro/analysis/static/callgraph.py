@@ -1,0 +1,127 @@
+"""Whole-program call graph over compiled object code.
+
+Built from the :meth:`~repro.isa.Program.call_sites` of the object file: one
+node per covering function (declared ``.func`` regions plus the synthetic
+``__anon*`` functions the CFG builder creates for orphan code), one edge per
+direct ``jal``.  Indirect calls (``jalr``) have no static target, so a
+program containing any makes the graph *conservative*: every function is
+considered potentially callable from anywhere (the MiniC compiler never
+emits ``jalr``, so bundled benchmarks always get the precise graph).
+
+The graph answers the questions the interprocedural passes need:
+
+* which functions are reachable from the entry (→ ``STA401`` unreachable
+  function notes, and the scope of the whole-program ILP bound);
+* which call sites target each function (→ entry facts for interprocedural
+  constant propagation);
+* which functions are (mutually) recursive (→ where the static ILP
+  estimator must fall back to per-invocation bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import FunctionCFG, build_cfgs
+from repro.isa.opcodes import OpKind
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class CallGraph:
+    """Call graph over the covering functions of one program."""
+
+    program: Program
+    cfgs: tuple[FunctionCFG, ...]
+    #: Function index of the entry point.
+    entry: int
+    #: callee function index -> sorted tuple of call-site pcs.
+    call_sites_of: tuple[tuple[int, ...], ...]
+    #: caller function index -> sorted tuple of callee function indices.
+    callees_of: tuple[tuple[int, ...], ...]
+    #: Function indices reachable from the entry through direct calls.
+    reachable: frozenset[int]
+    #: Function indices on a call-graph cycle (self- or mutual recursion).
+    recursive: frozenset[int]
+    #: True when the program contains ``jalr`` and the graph is conservative.
+    conservative: bool
+
+    def function_index_of_pc(self, pc: int) -> int:
+        for idx, cfg in enumerate(self.cfgs):
+            if cfg.function.start <= pc < cfg.function.end:
+                return idx
+        raise KeyError(f"pc {pc} outside every covering function")
+
+    def name_of(self, idx: int) -> str:
+        return self.cfgs[idx].function.name
+
+
+def build_call_graph(
+    program: Program, cfgs: tuple[FunctionCFG, ...] | None = None
+) -> CallGraph:
+    """Build the call graph of *program* (reusing *cfgs* when given)."""
+    if cfgs is None:
+        cfgs = tuple(build_cfgs(program))
+    n = len(cfgs)
+
+    func_of_pc = [0] * len(program)
+    for idx, cfg in enumerate(cfgs):
+        for pc in range(cfg.function.start, cfg.function.end):
+            func_of_pc[pc] = idx
+
+    entry = func_of_pc[program.entry] if len(program) else 0
+    conservative = program.has_indirect_calls
+
+    sites: list[list[int]] = [[] for _ in range(n)]
+    callees: list[set[int]] = [set() for _ in range(n)]
+    for call_pc, target in program.call_sites():
+        callee = func_of_pc[target]
+        sites[callee].append(call_pc)
+        callees[func_of_pc[call_pc]].add(callee)
+    if conservative:
+        # An indirect call may reach any function: add a virtual edge from
+        # every function containing a jalr to every function.
+        jalr_funcs = {
+            func_of_pc[pc]
+            for pc, instr in enumerate(program.instructions)
+            if instr.kind is OpKind.JALR
+        }
+        for caller in jalr_funcs:
+            callees[caller] |= set(range(n))
+
+    # Reachability from the entry function.
+    reachable: set[int] = set()
+    stack = [entry]
+    while stack:
+        idx = stack.pop()
+        if idx in reachable:
+            continue
+        reachable.add(idx)
+        stack.extend(sorted(callees[idx]))
+
+    # Recursion: functions on a call-graph cycle (Tarjan-free: a function is
+    # recursive iff it can reach itself through at least one call edge).
+    recursive: set[int] = set()
+    for idx in range(n):
+        seen: set[int] = set()
+        frontier = sorted(callees[idx])
+        while frontier:
+            node = frontier.pop()
+            if node == idx:
+                recursive.add(idx)
+                break
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(sorted(callees[node]))
+
+    return CallGraph(
+        program=program,
+        cfgs=cfgs,
+        entry=entry,
+        call_sites_of=tuple(tuple(sorted(s)) for s in sites),
+        callees_of=tuple(tuple(sorted(c)) for c in callees),
+        reachable=frozenset(reachable),
+        recursive=frozenset(recursive),
+        conservative=conservative,
+    )

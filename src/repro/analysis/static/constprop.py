@@ -1,0 +1,417 @@
+"""Interprocedural conditional constant propagation over object code.
+
+The evaluator mirrors :class:`repro.vm.machine.VM` bit for bit — 32-bit
+two's-complement wrapping, trap-free division (``x / 0 == 0``,
+``x % 0 == x``), shift-count masking, ``$zero`` write discarding, guarded
+moves — so every constant this pass proves is exactly the value the VM
+computes.  That exactness is what lets the differential gate
+(:mod:`repro.analysis.static.differential`) treat a disagreement between a
+static claim and the dynamic trace as a hard error rather than noise.
+
+The analysis is *optimistic* (SCCP-style): facts flow only along feasible
+edges, and a conditional branch whose operands are proven constant
+propagates to just one successor.  Blocks never reached through feasible
+edges are statically unreachable (``STA404``), and a branch with a decided
+outcome is constant-foldable (``STA403``).
+
+Interprocedural flow follows the call graph: a callee's entry fact is the
+join of the caller facts at its (reachable) call sites, and a call site
+kills every register the o32-style convention does not preserve
+(``$s0-$s7``, ``$sp``, ``$fp``, ``$gp``, ``$f20-$f31``).  The convention is
+an *assumption* about the code — compiled MiniC always honors it — which is
+exactly why the differential gate re-checks every derived claim against the
+dynamic trace.  Programs containing indirect calls (``jalr``) degrade
+gracefully: every function's entry fact drops to "nothing known".
+
+Lattice per register: absent from the fact dict = not-a-constant (bottom);
+present = proven constant; a whole fact of ``None`` = unreachable (top).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.cfg import EXIT_BLOCK, FunctionCFG
+from repro.analysis.static.callgraph import CallGraph
+from repro.analysis.static.framework import DataflowProblem, Direction, solve
+from repro.isa import registers
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpKind, Opcode
+from repro.isa.program import GLOBALS_BASE, STACK_TOP, Program
+from repro.vm.machine import RETURN_SENTINEL
+
+_WRAP = 0xFFFFFFFF
+_SIGN = 0x80000000
+
+_NAC = object()
+"""Not-a-constant sentinel (never stored in facts)."""
+
+#: Registers a call site preserves under the o32-style convention the MiniC
+#: code generator follows.  Everything else is killed at calls.
+CALL_PRESERVED = frozenset(
+    (registers.ZERO, registers.SP, registers.FP, registers.GP)
+    + registers.INT_SAVED_REGS
+    + registers.FP_SAVED_REGS
+)
+
+
+def _wrap32(value: int) -> int:
+    value &= _WRAP
+    return value - (1 << 32) if value & _SIGN else value
+
+
+def machine_entry_fact() -> dict[int, int | float]:
+    """The architectural state at program start: every register is a known
+    constant (the VM zero-initializes the whole file)."""
+    fact: dict[int, int | float] = {}
+    for reg in range(registers.FP_BASE):
+        fact[reg] = 0
+    for reg in range(registers.FP_BASE, registers.NUM_REGS):
+        fact[reg] = 0.0
+    fact[registers.SP] = STACK_TOP
+    fact[registers.GP] = GLOBALS_BASE
+    fact[registers.RA] = RETURN_SENTINEL
+    return fact
+
+
+# -- the VM-exact evaluator ------------------------------------------------
+
+
+def _div(a: int, b: int):
+    if b == 0:
+        return 0
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return _wrap32(quotient)
+
+
+def _rem(a: int, b: int):
+    if b == 0:
+        return a
+    remainder = abs(a) % abs(b)
+    return _wrap32(-remainder if a < 0 else remainder)
+
+
+_BINARY = {
+    Opcode.ADD: lambda a, b: _wrap32(a + b),
+    Opcode.SUB: lambda a, b: _wrap32(a - b),
+    Opcode.MUL: lambda a, b: _wrap32(a * b),
+    Opcode.DIV: _div,
+    Opcode.REM: _rem,
+    Opcode.AND: lambda a, b: _wrap32(a & b),
+    Opcode.OR: lambda a, b: _wrap32(a | b),
+    Opcode.XOR: lambda a, b: _wrap32(a ^ b),
+    Opcode.NOR: lambda a, b: _wrap32(~(a | b)),
+    Opcode.SLL: lambda a, b: _wrap32(a << (b & 31)),
+    Opcode.SRL: lambda a, b: _wrap32((a & _WRAP) >> (b & 31)),
+    Opcode.SRA: lambda a, b: _wrap32(a >> (b & 31)),
+    Opcode.SLT: lambda a, b: 1 if a < b else 0,
+    Opcode.SLE: lambda a, b: 1 if a <= b else 0,
+    Opcode.SEQ: lambda a, b: 1 if a == b else 0,
+    Opcode.SNE: lambda a, b: 1 if a != b else 0,
+    Opcode.SGT: lambda a, b: 1 if a > b else 0,
+    Opcode.SGE: lambda a, b: 1 if a >= b else 0,
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+    Opcode.FDIV: lambda a, b: a / b if b != 0.0 else 0.0,
+    Opcode.FEQ: lambda a, b: 1 if a == b else 0,
+    Opcode.FLT: lambda a, b: 1 if a < b else 0,
+    Opcode.FLE: lambda a, b: 1 if a <= b else 0,
+}
+
+_IMMEDIATE = {
+    Opcode.ADDI: lambda a, imm: _wrap32(a + imm),
+    Opcode.ANDI: lambda a, imm: _wrap32(a & imm),
+    Opcode.ORI: lambda a, imm: _wrap32(a | imm),
+    Opcode.XORI: lambda a, imm: _wrap32(a ^ imm),
+    Opcode.SLLI: lambda a, imm: _wrap32(a << (imm & 31)),
+    Opcode.SRLI: lambda a, imm: _wrap32((a & _WRAP) >> (imm & 31)),
+    Opcode.SRAI: lambda a, imm: _wrap32(a >> (imm & 31)),
+    Opcode.SLTI: lambda a, imm: 1 if a < imm else 0,
+    Opcode.SLEI: lambda a, imm: 1 if a <= imm else 0,
+    Opcode.SEQI: lambda a, imm: 1 if a == imm else 0,
+    Opcode.SNEI: lambda a, imm: 1 if a != imm else 0,
+    Opcode.SGTI: lambda a, imm: 1 if a > imm else 0,
+    Opcode.SGEI: lambda a, imm: 1 if a >= imm else 0,
+}
+
+_UNARY = {
+    Opcode.FNEG: lambda a: -a,
+    Opcode.FABS: lambda a: abs(a),
+    Opcode.FSQRT: lambda a: a**0.5 if a >= 0.0 else 0.0,
+    Opcode.CVTIF: lambda a: float(a),
+    Opcode.CVTFI: lambda a: _wrap32(int(a)),
+}
+
+_GUARDED = frozenset((Opcode.MOVZ, Opcode.MOVN, Opcode.FMOVZ, Opcode.FMOVN))
+_GUARDED_ON_ZERO = frozenset((Opcode.MOVZ, Opcode.FMOVZ))
+
+
+def _eval(op: Opcode, instr: Instruction, fact: dict):
+    """Value the destination register takes, or :data:`_NAC`.
+
+    Any evaluation error (the VM would fault at runtime) conservatively
+    yields not-a-constant.
+    """
+    get = fact.get
+    try:
+        if op is Opcode.LI:
+            return instr.imm
+        if op is Opcode.FLI:
+            return float(instr.imm)
+        if op is Opcode.MOV or op is Opcode.FMOV:
+            return get(instr.rs, _NAC)
+        if instr.is_load:
+            return _NAC  # memory contents are not modeled
+        if op in _GUARDED:
+            guard = get(instr.rt, _NAC)
+            moved = get(instr.rs, _NAC)
+            kept = get(instr.rd, _NAC)
+            if guard is _NAC:
+                # Either branch of the guard may win: constant only when
+                # both agree.
+                if moved is not _NAC and kept is not _NAC and moved == kept:
+                    return kept
+                return _NAC
+            moves = (guard == 0) == (op in _GUARDED_ON_ZERO)
+            return moved if moves else kept
+        a = get(instr.rs, _NAC)
+        if a is _NAC:
+            return _NAC
+        unary = _UNARY.get(op)
+        if unary is not None:
+            return unary(a)
+        binary = _BINARY.get(op)
+        if binary is not None:
+            b = get(instr.rt, _NAC)
+            if b is _NAC:
+                return _NAC
+            return binary(a, b)
+        immediate = _IMMEDIATE.get(op)
+        if immediate is not None:
+            return immediate(a, instr.imm)
+        return _NAC
+    except Exception:
+        return _NAC
+
+
+def step(fact: dict, instr: Instruction, pc: int) -> None:
+    """Apply *instr* (at *pc*) to *fact* in place."""
+    kind = instr.kind
+    if kind is OpKind.CALL or kind is OpKind.JALR:
+        for reg in [r for r in fact if r not in CALL_PRESERVED]:
+            del fact[reg]
+        return
+    writes = instr.writes
+    if not writes:
+        return  # stores, branches, jumps, nop, halt, io
+    rd = writes[0]
+    if rd == registers.ZERO:
+        return  # the VM discards writes to $zero
+    value = _eval(instr.opcode, instr, fact)
+    if value is _NAC:
+        fact.pop(rd, None)
+    else:
+        fact[rd] = value
+
+
+def eval_branch(instr: Instruction, fact: dict) -> bool | None:
+    """Outcome of conditional branch *instr* under *fact*, or None."""
+    get = fact.get
+    a = get(instr.rs, _NAC)
+    if a is _NAC:
+        return None
+    op = instr.opcode
+    if op is Opcode.BEQ or op is Opcode.BNE:
+        b = get(instr.rt, _NAC)
+        if b is _NAC:
+            return None
+        equal = a == b
+        return equal if op is Opcode.BEQ else not equal
+    if op is Opcode.BLEZ:
+        return a <= 0
+    if op is Opcode.BGTZ:
+        return a > 0
+    if op is Opcode.BLTZ:
+        return a < 0
+    return a >= 0  # BGEZ
+
+
+def join_facts(a: dict, b: dict) -> dict:
+    """Registers on which *a* and *b* agree."""
+    if len(b) < len(a):
+        a, b = b, a
+    merged = {}
+    for reg, value in a.items():
+        other = b.get(reg, _NAC)
+        if other is not _NAC and other == value:
+            merged[reg] = value
+    return merged
+
+
+# -- the per-function dataflow problem -------------------------------------
+
+
+class _ConstProblem(DataflowProblem):
+    direction = Direction.FORWARD
+    optimistic = True
+
+    def __init__(self, program: Program, cfg: FunctionCFG, entry_fact: dict):
+        self._instructions = program.instructions
+        self._cfg = cfg
+        self._entry_fact = entry_fact
+        self._block_of = {block.start: block.id for block in cfg.blocks}
+
+    def boundary(self) -> dict:
+        return dict(self._entry_fact)
+
+    def bottom(self) -> dict:
+        return {}
+
+    def join(self, facts: Sequence[dict]) -> dict:
+        merged = facts[0]
+        for fact in facts[1:]:
+            merged = join_facts(merged, fact)
+        return merged
+
+    def transfer(self, block_id: int, fact: dict) -> dict:
+        block = self._cfg.blocks[block_id]
+        out = dict(fact)
+        for pc in range(block.start, block.end):
+            step(out, self._instructions[pc], pc)
+        return out
+
+    def out_edges(self, block_id: int, out_fact: dict, succs: Sequence[int]):
+        block = self._cfg.blocks[block_id]
+        instr = self._instructions[block.terminator_pc]
+        if not instr.is_cond_branch:
+            return succs
+        # A branch writes no register, so the block OUT fact is exactly the
+        # fact holding when the branch evaluates its operands.
+        outcome = eval_branch(instr, out_fact)
+        if outcome is None:
+            return succs
+        function = self._cfg.function
+        if outcome:
+            target = instr.target
+            if function.start <= target < function.end:  # type: ignore[operator]
+                return [self._block_of[target]]
+            return [EXIT_BLOCK]
+        if block.end < function.end:
+            return [self._block_of[block.end]]
+        return [EXIT_BLOCK]
+
+
+# -- interprocedural driver ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConstProp:
+    """Solved whole-program constant propagation."""
+
+    graph: CallGraph
+    #: Per covering function: the fact at its entry, or None if no feasible
+    #: call path reaches it.
+    entry_facts: tuple[dict | None, ...]
+    #: Per pc: the fact just before the instruction executes, or None if
+    #: the instruction is statically unreachable.
+    fact_before: tuple[dict | None, ...]
+
+    def reachable(self, pc: int) -> bool:
+        return self.fact_before[pc] is not None
+
+    def value_before(self, pc: int, reg: int) -> int | float | None:
+        """The proven-constant value of *reg* just before *pc*, or None."""
+        fact = self.fact_before[pc]
+        if fact is None:
+            return None
+        value = fact.get(reg, _NAC)
+        return None if value is _NAC else value
+
+    def address_of(self, pc: int) -> int | None:
+        """The proven-constant effective address of the memory op at *pc*."""
+        instr = self.graph.program.instructions[pc]
+        if not instr.is_mem:
+            return None
+        base = self.value_before(pc, instr.rs)
+        if base is None:
+            return None
+        try:
+            return base + instr.imm
+        except TypeError:
+            return None
+
+    def branch_outcome(self, pc: int) -> bool | None:
+        """Decided outcome of the conditional branch at *pc*, or None."""
+        fact = self.fact_before[pc]
+        if fact is None:
+            return None
+        instr = self.graph.program.instructions[pc]
+        if not instr.is_cond_branch:
+            return None
+        return eval_branch(instr, fact)
+
+
+def propagate_constants(graph: CallGraph) -> ConstProp:
+    """Run interprocedural conditional constant propagation over *graph*."""
+    program = graph.program
+    n = len(graph.cfgs)
+    func_of_pc = [0] * len(program)
+    for idx, cfg in enumerate(graph.cfgs):
+        for pc in range(cfg.function.start, cfg.function.end):
+            func_of_pc[pc] = idx
+
+    entry_facts: list[dict | None] = [None] * n
+    if graph.conservative:
+        # An indirect call may enter any function in any state.
+        for idx in range(n):
+            entry_facts[idx] = {}
+    entry_facts[graph.entry] = machine_entry_fact()
+
+    solved: list = [None] * n
+    pending = {idx for idx in range(n) if entry_facts[idx] is not None}
+    while pending:
+        idx = min(pending)  # deterministic processing order
+        pending.discard(idx)
+        cfg = graph.cfgs[idx]
+        solved[idx] = solve(cfg, _ConstProblem(program, cfg, entry_facts[idx]))
+        # Propagate facts at reachable call sites into callee entries.
+        for block in cfg.blocks:
+            fact_in = solved[idx].block_in[block.id]
+            if fact_in is None:
+                continue
+            fact = dict(fact_in)
+            for pc in range(block.start, block.end):
+                instr = program.instructions[pc]
+                if instr.kind is OpKind.CALL and instr.target is not None:
+                    callee = func_of_pc[instr.target]
+                    callee_fact = dict(fact)
+                    callee_fact[registers.RA] = pc + 1
+                    old = entry_facts[callee]
+                    new = callee_fact if old is None else join_facts(old, callee_fact)
+                    if old is None or new != old:
+                        entry_facts[callee] = new
+                        pending.add(callee)
+                step(fact, instr, pc)
+
+    fact_before: list[dict | None] = [None] * len(program)
+    for idx, cfg in enumerate(graph.cfgs):
+        if solved[idx] is None:
+            continue
+        for block in cfg.blocks:
+            fact_in = solved[idx].block_in[block.id]
+            if fact_in is None:
+                continue
+            fact = dict(fact_in)
+            for pc in range(block.start, block.end):
+                fact_before[pc] = dict(fact)
+                step(fact, program.instructions[pc], pc)
+
+    return ConstProp(
+        graph=graph,
+        entry_facts=tuple(entry_facts),
+        fact_before=tuple(fact_before),
+    )

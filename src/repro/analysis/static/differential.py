@@ -1,0 +1,211 @@
+"""Differential gate: static claims replayed against dynamic truth.
+
+Every static fact with an observable dynamic consequence is checked
+record-for-record against a real trace; a contradiction is an ``ERROR``
+(a bug in the static engine, the VM, or the analyzer — never acceptable):
+
+* ``STA410`` — a branch classified ``CONST_TAKEN``/``CONST_NOT_TAKEN``
+  must show exactly that outcome on *every* dynamic instance;
+* ``STA411`` — a pc proven unreachable by interprocedural constant
+  propagation must never appear in the trace;
+* ``STA412`` — the static ILP facts must bound the measured ORACLE
+  limit: any fully-executed block (its terminator appears in the trace)
+  owes the oracle at least its chain depth of cycles, and on a halted run
+  the oracle's parallel time is at least ``guaranteed_cp`` (equivalently,
+  measured parallelism <= the static bound).  Both checks are exact
+  integer comparisons — no float tolerance;
+* ``STA413`` — after a provably-dead store executes, no load of its
+  address may occur before the next store to it;
+* ``STA414`` — a ``STACK`` reference must trace an address at or above
+  the data break, a ``GLOBAL`` one below it, and a proven-constant
+  address must trace exactly that constant.
+
+The checks are one-sided on purpose: a truncated (non-halted) trace can
+only *miss* violations, never fabricate them, so the gate is safe to run
+on any trace.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.static import StaticAnalysis
+from repro.analysis.static.branches import BranchClass
+from repro.analysis.static.memdep import MemClass
+from repro.core.models import MachineModel
+from repro.core.results import AnalysisResult
+from repro.diagnostics import Diagnostic, Severity, sort_diagnostics
+from repro.vm.trace import NO_ADDR, Trace
+
+
+def check_static_vs_dynamic(
+    facts: StaticAnalysis,
+    trace: Trace,
+    result: AnalysisResult | None = None,
+    halted: bool | None = None,
+    name: str | None = None,
+    max_reports: int = 100,
+) -> list[Diagnostic]:
+    """Check every checkable static claim in *facts* against *trace*.
+
+    ``result`` (when given) must be the analyzer's output for this same
+    trace and enables the ``STA412`` parallelism-bound checks against its
+    ORACLE model.  ``halted`` states whether the trace comes from a run
+    that executed HALT (truncated traces skip the whole-program bound).
+    """
+    if trace.program is not facts.program:
+        raise ValueError("trace was produced by a different program")
+    source = name if name is not None else facts.program.name
+    out: list[Diagnostic] = []
+
+    def error(code: str, message: str, pc: int | None = None,
+              function: str | None = None) -> None:
+        if len(out) < max_reports:
+            out.append(
+                Diagnostic(
+                    code=code,
+                    severity=Severity.ERROR,
+                    message=message,
+                    source=source,
+                    pc=pc,
+                    function=function,
+                )
+            )
+
+    program = facts.program
+    executed = set(trace.pcs)
+
+    # --- STA411: statically unreachable code must not execute ----------
+    constprop = facts.constprop
+    for pc in sorted(executed):
+        if not constprop.reachable(pc):
+            func = facts.graph.name_of(facts.graph.function_index_of_pc(pc))
+            error(
+                "STA411",
+                "pc proven unreachable by constant propagation was executed",
+                pc=pc,
+                function=func,
+            )
+
+    # --- STA410: const-decided branches must behave -------------------
+    taken_counts: dict[int, list[int]] = {}
+    for pc, taken in trace.branch_outcomes():
+        counts = taken_counts.setdefault(pc, [0, 0])
+        counts[1 if taken else 0] += 1
+    for info in facts.branches:
+        counts = taken_counts.get(info.pc)
+        if counts is None:
+            continue
+        not_taken, taken = counts
+        if info.branch_class is BranchClass.CONST_TAKEN and not_taken:
+            error(
+                "STA410",
+                f"branch classified always-taken fell through "
+                f"{not_taken} of {not_taken + taken} times",
+                pc=info.pc,
+                function=info.function,
+            )
+        elif info.branch_class is BranchClass.CONST_NOT_TAKEN and taken:
+            error(
+                "STA410",
+                f"branch classified never-taken was taken "
+                f"{taken} of {not_taken + taken} times",
+                pc=info.pc,
+                function=info.function,
+            )
+
+    # --- STA413: dead stores must never be observed live --------------
+    # For each claimed address, scan the trace's touches of that address
+    # once; a load between a dead store's instance and the next store to
+    # the address contradicts the claim.  A pending instance at end of
+    # trace proves nothing either way (halted: never read; truncated:
+    # unobservable) and is skipped.
+    claims_by_addr: dict[int, list] = {}
+    for store in facts.dead_stores:
+        claims_by_addr.setdefault(store.address, []).append(store)
+    if claims_by_addr:
+        pending: dict[int, object] = {}  # address -> pending DeadStore claim
+        violated: set[int] = set()  # claim pcs already reported
+        for pc, addr in zip(trace.pcs, trace.addrs):
+            if addr == NO_ADDR:
+                continue
+            claims = claims_by_addr.get(addr)
+            if claims is None:
+                continue
+            instr = program.instructions[pc]
+            if instr.is_store:
+                match = next((c for c in claims if c.pc == pc), None)
+                if match is not None:
+                    pending[addr] = match
+                else:
+                    pending.pop(addr, None)
+            elif instr.is_load:
+                live = pending.pop(addr, None)
+                if live is not None and live.pc not in violated:
+                    violated.add(live.pc)
+                    error(
+                        "STA413",
+                        f"store claimed dead was read at pc {pc} before "
+                        f"the overwrite at pc {live.overwritten_by}",
+                        pc=live.pc,
+                        function=live.function,
+                    )
+
+    # --- STA414: memory classes must match traced addresses -----------
+    refs_by_pc = {ref.pc: ref for ref in facts.memory}
+    bad_mem: set[int] = set()
+    data_break = program.data_break
+    for pc, addr in zip(trace.pcs, trace.addrs):
+        if addr == NO_ADDR or pc in bad_mem:
+            continue
+        ref = refs_by_pc.get(pc)
+        if ref is None:
+            continue
+        if ref.address is not None and addr != ref.address:
+            bad_mem.add(pc)
+            error(
+                "STA414",
+                f"proven-constant address {ref.address} traced {addr}",
+                pc=pc,
+                function=ref.function,
+            )
+        elif ref.mem_class is MemClass.STACK and addr < data_break:
+            bad_mem.add(pc)
+            error(
+                "STA414",
+                f"stack-classified reference traced global address {addr}",
+                pc=pc,
+                function=ref.function,
+            )
+        elif ref.mem_class is MemClass.GLOBAL and addr >= data_break:
+            bad_mem.add(pc)
+            error(
+                "STA414",
+                f"global-classified reference traced stack address {addr}",
+                pc=pc,
+                function=ref.function,
+            )
+
+    # --- STA412: static ILP facts must bound the measured oracle ------
+    oracle = result.models.get(MachineModel.ORACLE) if result else None
+    if oracle is not None:
+        ilp = facts.ilp
+        for terminator_pc, depth in ilp.block_chains:
+            if depth > oracle.parallel_time and terminator_pc in executed:
+                error(
+                    "STA412",
+                    f"fully-executed block has dependence-chain depth "
+                    f"{depth} but the oracle finished in "
+                    f"{oracle.parallel_time} cycles",
+                    pc=terminator_pc,
+                )
+        if halted and oracle.parallel_time < ilp.guaranteed_cp:
+            error(
+                "STA412",
+                f"halted run finished in {oracle.parallel_time} oracle "
+                f"cycles, below the guaranteed-region chain depth "
+                f"{ilp.guaranteed_cp} (measured parallelism "
+                f"{oracle.parallelism:.2f} exceeds the static bound "
+                f"{ilp.static_bound(result.counted_instructions):.2f})",
+                pc=program.entry,
+            )
+
+    return sort_diagnostics(out)

@@ -1,0 +1,307 @@
+"""Generic worklist dataflow framework over function CFGs.
+
+The repo's original dataflow module (:mod:`repro.analysis.dataflow`) shipped
+two hand-rolled round-robin solvers specialized to gen/kill set problems.
+This module generalizes them into one meet-over-lattice worklist engine:
+
+* a :class:`DataflowProblem` describes the lattice (``bottom``, ``join``),
+  the ``transfer`` function, the :class:`Direction`, and the boundary fact
+  seeded at the entry (forward) or the virtual exit (backward);
+* :func:`solve` iterates transfer functions to the maximal-fixpoint
+  solution with a priority worklist ordered by reverse postorder — the
+  classic order that converges in O(depth) passes for reducible flow
+  graphs, and a *deterministic* order: ties are impossible because every
+  block has one priority, so repeated runs visit blocks identically.
+
+Two fact conventions are supported:
+
+* **pessimistic** (the default, used by the gen/kill problems): every
+  block gets a fact; blocks without reachable predecessors take the
+  ``bottom`` fact, exactly like the original round-robin solvers;
+* **optimistic** (``optimistic = True``, used by constant propagation):
+  facts start at an implicit top represented as ``None``; only blocks
+  reachable from the entry through *feasible* edges are ever computed,
+  and a problem may prune infeasible edges by overriding
+  :meth:`DataflowProblem.out_edges` (how conditional constant propagation
+  skips never-taken branch edges).
+
+The original :func:`repro.analysis.dataflow.solve_forward` /
+``solve_backward`` entry points are now thin wrappers over this engine via
+:class:`GenKillProblem`; their results are unchanged (the maximal fixpoint
+of a monotone framework is unique, whatever the iteration order).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Sequence
+
+from repro.analysis.cfg import EXIT_BLOCK, FunctionCFG
+
+
+class Direction(Enum):
+    """Which way facts flow through the CFG."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+
+class DataflowProblem:
+    """One dataflow problem: lattice, transfer functions, direction.
+
+    Subclasses override the lattice hooks.  Facts are opaque to the solver;
+    the only reserved value is ``None``, which optimistic problems use as
+    the implicit top ("not yet reached") element.
+    """
+
+    direction: Direction = Direction.FORWARD
+    #: Optimistic problems start at top (``None``) and only propagate along
+    #: feasible edges; pessimistic problems give every block a fact.
+    optimistic: bool = False
+
+    def boundary(self):
+        """Fact entering the CFG: at the entry block (forward) or flowing
+        back from the virtual exit (backward)."""
+        raise NotImplementedError
+
+    def bottom(self):
+        """The lattice's bottom element (identity of :meth:`join`)."""
+        raise NotImplementedError
+
+    def join(self, facts: Sequence):
+        """Combine facts meeting at a block boundary.  Never called with
+        ``None`` elements; an empty sequence must yield ``bottom``."""
+        raise NotImplementedError
+
+    def transfer(self, block_id: int, fact):
+        """Push *fact* through block *block_id*."""
+        raise NotImplementedError
+
+    def equal(self, a, b) -> bool:
+        """Fact equality, used to detect the fixpoint."""
+        return a == b
+
+    def out_edges(self, block_id: int, out_fact, succs: Sequence[int]) -> Iterable[int]:
+        """Successors *out_fact* can actually flow to (:data:`EXIT_BLOCK`
+        entries included).  Optimistic problems may prune infeasible edges;
+        the default keeps them all."""
+        return succs
+
+
+@dataclass
+class SolvedDataflow:
+    """Per-block IN/OUT facts of a solved problem.
+
+    For optimistic problems, blocks never reached through feasible edges
+    keep ``None`` in both lists.
+    """
+
+    block_in: list
+    block_out: list
+
+
+def reverse_postorder_of(n: int, succs: Sequence[Sequence[int]], entry: int) -> list[int]:
+    """Reverse postorder of the graph, unreachable nodes appended in id
+    order (so every node has a deterministic priority)."""
+    seen = [False] * n
+    order: list[int] = []
+
+    def visit(root: int) -> None:
+        stack: list[tuple[int, int]] = [(root, 0)]
+        seen[root] = True
+        while stack:
+            node, idx = stack[-1]
+            node_succs = succs[node]
+            if idx < len(node_succs):
+                stack[-1] = (node, idx + 1)
+                nxt = node_succs[idx]
+                if not seen[nxt]:
+                    seen[nxt] = True
+                    stack.append((nxt, 0))
+            else:
+                order.append(node)
+                stack.pop()
+
+    visit(entry)
+    for node in range(n):
+        if not seen[node]:
+            visit(node)
+    order.reverse()
+    return order
+
+
+def _adjacency(cfg: FunctionCFG) -> tuple[list[list[int]], list[list[int]]]:
+    """Normalized ``(preds, succs)`` with :data:`EXIT_BLOCK` dropped.
+
+    Each edge is the union of both blocks' records: flow graphs built
+    outside :mod:`repro.analysis.cfg` may populate only one side (the
+    MiniC lint's statement graph records preds only), and the solver must
+    still propagate along every edge.  Lists are sorted for determinism.
+    """
+    preds = [set(block.preds) for block in cfg.blocks]
+    succs = [
+        {s for s in block.succs if s != EXIT_BLOCK} for block in cfg.blocks
+    ]
+    for block in cfg.blocks:
+        for succ in succs[block.id]:
+            preds[succ].add(block.id)
+        for pred in block.preds:
+            succs[pred].add(block.id)
+    return [sorted(p) for p in preds], [sorted(s) for s in succs]
+
+
+def _graphs(cfg: FunctionCFG, direction: Direction):
+    """(preds, succs, iteration succs, roots) for *direction*.
+
+    Exit edges are dropped from the adjacency (the boundary fact stands in
+    for the virtual exit); for the backward direction the CFG is reversed
+    and iteration starts from the exit predecessors.
+    """
+    preds, succs = _adjacency(cfg)
+    if direction is Direction.FORWARD:
+        return preds, succs, succs, [cfg.entry]
+    roots = [b.id for b in cfg.blocks if EXIT_BLOCK in b.succs]
+    return preds, succs, preds, roots or [cfg.entry]
+
+
+def solve(cfg: FunctionCFG, problem: DataflowProblem) -> SolvedDataflow:
+    """Iterate *problem* over *cfg* to its maximal fixpoint."""
+    n = len(cfg.blocks)
+    if n == 0:
+        return SolvedDataflow(block_in=[], block_out=[])
+    forward = problem.direction is Direction.FORWARD
+
+    preds, succs, iter_succs, roots = _graphs(cfg, problem.direction)
+    # Priority = reverse postorder of the iteration graph, rooted at the
+    # entry (forward) or the exit predecessors (backward).
+    order = reverse_postorder_of(n, iter_succs, roots[0])
+    priority = [0] * n
+    for rank, block_id in enumerate(order):
+        priority[block_id] = rank
+
+    # meet_in: the fact at the *meet side* of each block (IN for forward
+    # problems, OUT for backward ones); flow_out: the transferred fact.
+    meet_in: list = [None] * n
+    flow_out: list = [None] * n
+    if not problem.optimistic:
+        for block_id in range(n):
+            flow_out[block_id] = problem.transfer(block_id, problem.bottom())
+
+    heap: list[tuple[int, int]] = []
+    queued = [False] * n
+    feasible_out: list[list[int] | None] = [None] * n
+
+    def push(block_id: int) -> None:
+        if not queued[block_id]:
+            queued[block_id] = True
+            heapq.heappush(heap, (priority[block_id], block_id))
+
+    if problem.optimistic:
+        for root in roots:
+            push(root)
+    else:
+        for block_id in order:
+            push(block_id)
+
+    def incoming_facts(block_id: int) -> list:
+        facts = []
+        if forward:
+            for pred in preds[block_id]:
+                fact = flow_out[pred]
+                if fact is None:
+                    continue
+                if problem.optimistic:
+                    edges = feasible_out[pred]
+                    if edges is not None and block_id not in edges:
+                        continue
+                facts.append(fact)
+        else:
+            for succ in succs[block_id]:
+                fact = flow_out[succ]
+                if fact is not None:
+                    facts.append(fact)
+        return facts
+
+    while heap:
+        _, block_id = heapq.heappop(heap)
+        queued[block_id] = False
+
+        facts = incoming_facts(block_id)
+        if forward:
+            boundary_here = block_id == cfg.entry
+        else:
+            boundary_here = EXIT_BLOCK in cfg.blocks[block_id].succs
+        if boundary_here:
+            facts = [problem.boundary()] + facts
+
+        if facts:
+            new_in = problem.join(facts) if len(facts) > 1 else facts[0]
+        elif problem.optimistic:
+            continue  # still unreachable; revisit when a pred produces a fact
+        else:
+            new_in = problem.bottom()
+
+        new_out = problem.transfer(block_id, new_in)
+        in_changed = meet_in[block_id] is None or not problem.equal(
+            meet_in[block_id], new_in
+        )
+        out_changed = flow_out[block_id] is None or not problem.equal(
+            flow_out[block_id], new_out
+        )
+        meet_in[block_id] = new_in
+        if not (in_changed or out_changed):
+            continue
+        flow_out[block_id] = new_out
+        if problem.optimistic and forward:
+            edges = list(
+                problem.out_edges(block_id, new_out, cfg.blocks[block_id].succs)
+            )
+            feasible_out[block_id] = edges
+            targets = [s for s in edges if s != EXIT_BLOCK]
+        elif forward:
+            targets = succs[block_id]
+        else:
+            targets = preds[block_id]
+        for target in targets:
+            push(target)
+
+    if forward:
+        return SolvedDataflow(block_in=meet_in, block_out=flow_out)
+    return SolvedDataflow(block_in=flow_out, block_out=meet_in)
+
+
+class GenKillProblem(DataflowProblem):
+    """Classic may-analysis over sets: ``out = gen ∪ (in − kill)``.
+
+    Hosts the original reaching-definitions and liveness solvers (see
+    :mod:`repro.analysis.dataflow`).
+    """
+
+    def __init__(
+        self,
+        direction: Direction,
+        gen: Sequence[set],
+        kill: Sequence[set],
+        boundary_fact: frozenset = frozenset(),
+    ):
+        self.direction = direction
+        self._gen = [frozenset(g) for g in gen]
+        self._kill = [frozenset(k) for k in kill]
+        self._boundary = frozenset(boundary_fact)
+
+    def boundary(self) -> frozenset:
+        return self._boundary
+
+    def bottom(self) -> frozenset:
+        return frozenset()
+
+    def join(self, facts: Sequence[frozenset]) -> frozenset:
+        merged: frozenset = frozenset()
+        for fact in facts:
+            merged |= fact
+        return merged
+
+    def transfer(self, block_id: int, fact: frozenset) -> frozenset:
+        return self._gen[block_id] | (fact - self._kill[block_id])

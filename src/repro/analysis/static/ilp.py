@@ -1,0 +1,195 @@
+"""Static ILP estimation: execution-free parallelism bounds.
+
+The bounds rest on one sound primitive, the **intra-block counted
+dependence chain**.  Within a basic block, dynamic order equals static
+order, so the limit analyzer's dependence rule — a read waits for the
+immediately preceding write to the same register — makes every in-block
+chain of counted register dependences a chain of *true* dependences in
+every dynamic instance of the block.  If a block instance executes to its
+terminator, the ORACLE machine (and a fortiori every constrained machine)
+needs at least ``chain_depth(block)`` cycles.  Basic blocks are
+single-entry, so a block's terminator pc appearing in a trace proves a
+full instance executed.
+
+From the primitive:
+
+* per function, ``critical_path`` = the deepest chain over its blocks — a
+  certified lower bound on the parallel time of any trace that fully
+  executes that block, hence ``counted / critical_path`` bounds the
+  parallelism extractable while the function's worst block is on screen;
+* whole-program, the **guaranteed region** — the straight-line prefix of
+  the entry function walked through single-successor blocks, stopping at
+  the first call (a callee could halt) or branch — executes fully on every
+  run that halts, so its deepest chain ``guaranteed_cp`` lower-bounds the
+  parallel time of every complete run, and
+
+  ``parallelism  <=  counted_dynamic_instructions / guaranteed_cp``
+
+  for every halted trace.  The differential gate asserts exactly this
+  (``STA412``), plus the per-executed-block primitive.
+
+Writes by *removed* instructions (perfect inlining/unrolling) reset a
+register's chain depth: the estimate never leans on an instruction the
+transformations delete, which keeps it a lower bound whichever way the
+analyzer resolves dependences through removed writers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import EXIT_BLOCK, FunctionCFG
+from repro.analysis.summary import ProgramAnalysis, ignored_pcs
+from repro.isa import registers
+from repro.isa.program import Program
+
+
+def chain_depth(
+    program: Program,
+    start: int,
+    end: int,
+    removed: frozenset[int],
+) -> int:
+    """Deepest counted register-dependence chain in ``[start, end)``."""
+    depth: dict[int, int] = {}
+    deepest = 0
+    for pc in range(start, end):
+        instr = program.instructions[pc]
+        if pc in removed:
+            for reg in instr.writes:
+                if reg != registers.ZERO:
+                    depth[reg] = 0
+            continue
+        d = 0
+        for reg in instr.reads:
+            if reg != registers.ZERO:
+                t = depth.get(reg, 0)
+                if t > d:
+                    d = t
+        d += 1
+        for reg in instr.writes:
+            if reg != registers.ZERO:
+                depth[reg] = d
+        if d > deepest:
+            deepest = d
+    return deepest
+
+
+def guaranteed_cp(
+    program: Program, cfg: FunctionCFG, removed: frozenset[int], entry_pc: int
+) -> int:
+    """Deepest chain in the program's guaranteed region (>= 1).
+
+    The walk starts at *entry_pc* (the first executed instruction, which
+    need not be a block leader) and follows single-successor edges; every
+    visited range executes fully on any halted run, because straight-line
+    code cannot stop mid-block and a sole successor must be entered.  It
+    stops at the first call (the callee could halt the machine before
+    control returns) and at the first multi-way branch.
+    """
+    cp = 1
+    visited: set[int] = set()
+    block = cfg.block_at(entry_pc)
+    start = entry_pc
+    while block.id not in visited:
+        visited.add(block.id)
+        call_pc = None
+        for pc in range(start, block.end):
+            if program.instructions[pc].is_call:
+                call_pc = pc
+                break
+        depth = chain_depth(
+            program, start, call_pc if call_pc is not None else block.end, removed
+        )
+        if depth > cp:
+            cp = depth
+        if call_pc is not None:
+            break
+        succs = block.succs
+        if len(succs) != 1 or succs[0] == EXIT_BLOCK:
+            break
+        block = cfg.blocks[succs[0]]
+        start = block.start
+    return cp
+
+
+@dataclass(frozen=True)
+class FunctionILP:
+    """Static ILP facts for one function."""
+
+    name: str
+    n_blocks: int
+    n_counted: int
+    #: Deepest intra-block counted dependence chain.
+    critical_path: int
+
+    @property
+    def balance(self) -> float:
+        """Counted work per critical-path cycle (an ILP figure of merit)."""
+        return self.n_counted / self.critical_path if self.critical_path else 0.0
+
+
+@dataclass(frozen=True)
+class ProgramILP:
+    """Static ILP facts for the whole program."""
+
+    functions: tuple[FunctionILP, ...]
+    #: Per-block (terminator pc, chain depth) for every block: a trace that
+    #: executes a terminator owes the ORACLE at least that many cycles.
+    block_chains: tuple[tuple[int, int], ...]
+    #: Deepest chain in the entry function's guaranteed region.
+    guaranteed_cp: int
+    total_counted: int
+
+    def static_bound(self, counted_dynamic: int) -> float:
+        """Upper bound on measured parallelism for a halted trace that
+        retired *counted_dynamic* counted instructions."""
+        return max(1.0, counted_dynamic / self.guaranteed_cp)
+
+
+def estimate_ilp(
+    analysis: ProgramAnalysis,
+    perfect_inlining: bool = True,
+    perfect_unrolling: bool = True,
+) -> ProgramILP:
+    """Compute the static ILP facts of an analyzed program."""
+    program = analysis.program
+    removed = ignored_pcs(analysis, perfect_inlining, perfect_unrolling)
+
+    functions: list[FunctionILP] = []
+    block_chains: list[tuple[int, int]] = []
+    total_counted = 0
+    for cfg in analysis.cfgs:
+        func = cfg.function
+        critical = 0
+        for block in cfg.blocks:
+            depth = chain_depth(program, block.start, block.end, removed)
+            block_chains.append((block.terminator_pc, depth))
+            if depth > critical:
+                critical = depth
+        n_counted = sum(
+            1 for pc in range(func.start, func.end) if pc not in removed
+        )
+        total_counted += n_counted
+        functions.append(
+            FunctionILP(
+                name=func.name,
+                n_blocks=len(cfg.blocks),
+                n_counted=n_counted,
+                critical_path=critical,
+            )
+        )
+
+    if analysis.cfgs and len(program):
+        entry_func = analysis.func_of_pc[program.entry]
+        cp = guaranteed_cp(
+            program, analysis.cfgs[entry_func], removed, program.entry
+        )
+    else:
+        cp = 1
+    return ProgramILP(
+        functions=tuple(functions),
+        block_chains=tuple(block_chains),
+        guaranteed_cp=cp,
+        total_counted=total_counted,
+    )

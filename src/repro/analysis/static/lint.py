@@ -1,0 +1,94 @@
+"""Static-only lint pass: ``STA401``-``STA404`` notes.
+
+Everything this pass reports is a *claim of the static engine alone* —
+no trace is consulted.  The claims with observable dynamic consequences
+(const-decided branches, unreachable code, dead stores) are re-checked
+against real traces by :mod:`repro.analysis.static.differential`, which
+escalates contradictions to ``STA41x`` errors.  All findings here are
+:attr:`~repro.diagnostics.Severity.NOTE`: they describe the program, they
+do not indict it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.static import StaticAnalysis, analyze_static
+from repro.analysis.static.branches import BranchClass
+from repro.diagnostics import Diagnostic, Severity, sort_diagnostics
+from repro.isa.program import Program
+
+
+def lint_static(
+    program: Program,
+    name: str | None = None,
+    facts: StaticAnalysis | None = None,
+) -> list[Diagnostic]:
+    """Run the static engine over *program* and report its findings."""
+    if facts is None:
+        facts = analyze_static(program)
+    source = name if name is not None else program.name
+    out: list[Diagnostic] = []
+
+    def note(code: str, message: str, pc: int, function: str) -> None:
+        out.append(
+            Diagnostic(
+                code=code,
+                severity=Severity.NOTE,
+                message=message,
+                source=source,
+                pc=pc,
+                function=function,
+            )
+        )
+
+    graph = facts.graph
+    for idx, cfg in enumerate(graph.cfgs):
+        if idx not in graph.reachable:
+            func = cfg.function
+            note(
+                "STA401",
+                f"function '{func.name}' is never called from the entry point",
+                func.start,
+                func.name,
+            )
+
+    constprop = facts.constprop
+    for idx in sorted(graph.reachable):
+        cfg = graph.cfgs[idx]
+        for block in cfg.blocks:
+            if not constprop.reachable(block.start):
+                note(
+                    "STA404",
+                    "block is unreachable under interprocedural constant "
+                    "propagation",
+                    block.start,
+                    cfg.function.name,
+                )
+
+    for info in facts.branches:
+        if info.branch_class is BranchClass.CONST_TAKEN:
+            note(
+                "STA403",
+                "branch is always taken (operands are interprocedural "
+                "constants)",
+                info.pc,
+                info.function,
+            )
+        elif info.branch_class is BranchClass.CONST_NOT_TAKEN:
+            note(
+                "STA403",
+                "branch is never taken (operands are interprocedural "
+                "constants)",
+                info.pc,
+                info.function,
+            )
+
+    for store in facts.dead_stores:
+        note(
+            "STA402",
+            f"store to address {store.address} is overwritten at "
+            f"pc {store.overwritten_by} before any possible read",
+            store.pc,
+            store.function,
+        )
+
+    return sort_diagnostics(out)

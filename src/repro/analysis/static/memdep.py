@@ -1,0 +1,156 @@
+"""Static memory-dependence classification and dead-store detection.
+
+Every load/store is classified by where its effective address can point:
+
+* ``STACK``  — the base register is the stack/frame pointer, or the address
+  is a proven constant at or above the data break (spill slots, locals);
+* ``GLOBAL`` — the base register is the global pointer, or the address is a
+  proven constant below the data break (named globals, arrays);
+* ``UNKNOWN`` — anything else (pointer arithmetic through arbitrary
+  registers).
+
+Two references may alias only if their classes overlap: distinct proven
+addresses never alias, stack never aliases global, and ``UNKNOWN`` aliases
+everything.  The classes are *claims about the dynamic execution* — a
+``STACK`` reference must trace an address at or above the data break, a
+``GLOBAL`` one below it, and a proven-constant address must trace exactly
+that address — which the differential gate checks record for record
+(``STA414``).
+
+Dead stores (``STA402``): within one basic block, a store to a proven
+address that is overwritten by a later store to the same address with no
+intervening call, unknown-address load, or load of that address, can never
+be observed — straight-line execution guarantees the overwrite.  The claim
+is replayed against the trace as ``STA413``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.analysis.static.constprop import ConstProp
+from repro.isa import registers
+from repro.isa.opcodes import OpKind
+
+
+class MemClass(enum.Enum):
+    """Where a memory reference's effective address can point."""
+
+    STACK = "stack"
+    GLOBAL = "global"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """One classified memory instruction."""
+
+    pc: int
+    is_store: bool
+    mem_class: MemClass
+    #: Proven-constant effective address, when constant propagation has one.
+    address: int | None
+    function: str
+
+
+@dataclass(frozen=True)
+class DeadStore:
+    """A store whose value provably can never be read."""
+
+    pc: int
+    address: int
+    #: The later store (same block) that overwrites it.
+    overwritten_by: int
+    function: str
+
+
+def classify_memory(constprop: ConstProp) -> tuple[MemRef, ...]:
+    """Classify every *reachable* memory instruction of the program."""
+    graph = constprop.graph
+    program = graph.program
+    refs: list[MemRef] = []
+    for cfg in graph.cfgs:
+        name = cfg.function.name
+        for pc in range(cfg.function.start, cfg.function.end):
+            instr = program.instructions[pc]
+            if not instr.is_mem or not constprop.reachable(pc):
+                continue
+            address = constprop.address_of(pc)
+            if address is not None and isinstance(address, int):
+                mem_class = (
+                    MemClass.GLOBAL
+                    if address < program.data_break
+                    else MemClass.STACK
+                )
+            elif instr.rs in (registers.SP, registers.FP):
+                mem_class, address = MemClass.STACK, None
+            elif instr.rs == registers.GP:
+                mem_class, address = MemClass.GLOBAL, None
+            else:
+                mem_class, address = MemClass.UNKNOWN, None
+            if not isinstance(address, int):
+                address = None
+            refs.append(
+                MemRef(
+                    pc=pc,
+                    is_store=instr.is_store,
+                    mem_class=mem_class,
+                    address=address,
+                    function=name,
+                )
+            )
+    return tuple(refs)
+
+
+def may_alias(a: MemRef, b: MemRef) -> bool:
+    """Whether two classified references may touch the same word."""
+    if a.address is not None and b.address is not None:
+        return a.address == b.address
+    if MemClass.UNKNOWN in (a.mem_class, b.mem_class):
+        return True
+    return a.mem_class is b.mem_class
+
+
+def find_dead_stores(constprop: ConstProp) -> tuple[DeadStore, ...]:
+    """Provably dead stores, per the intra-block argument above."""
+    graph = constprop.graph
+    program = graph.program
+    dead: list[DeadStore] = []
+    for cfg in graph.cfgs:
+        name = cfg.function.name
+        for block in cfg.blocks:
+            # address -> pc of the live tracked store to it
+            tracked: dict[int, int] = {}
+            for pc in range(block.start, block.end):
+                if not constprop.reachable(pc):
+                    break  # whole rest of the block is unreachable too
+                instr = program.instructions[pc]
+                kind = instr.kind
+                if kind is OpKind.CALL or kind is OpKind.JALR:
+                    tracked.clear()  # the callee may read anything
+                    continue
+                if instr.is_load:
+                    address = constprop.address_of(pc)
+                    if isinstance(address, int):
+                        tracked.pop(address, None)  # value observed
+                    else:
+                        tracked.clear()  # may read any tracked slot
+                    continue
+                if instr.is_store:
+                    address = constprop.address_of(pc)
+                    if not isinstance(address, int):
+                        # An unknown store neither reads nor needs tracking.
+                        continue
+                    earlier = tracked.get(address)
+                    if earlier is not None:
+                        dead.append(
+                            DeadStore(
+                                pc=earlier,
+                                address=address,
+                                overwritten_by=pc,
+                                function=name,
+                            )
+                        )
+                    tracked[address] = pc
+    return tuple(dead)

@@ -46,6 +46,29 @@ class ProgramAnalysis:
         return self.block_start[self.block_of_pc[pc]] == pc
 
 
+def ignored_pcs(
+    analysis: ProgramAnalysis,
+    perfect_inlining: bool = True,
+    perfect_unrolling: bool = True,
+) -> frozenset[int]:
+    """Pcs removed from traces by the paper's §4.2 transformations.
+
+    *Perfect inlining* removes calls, returns, and stack-pointer
+    manipulations; *perfect unrolling* removes loop-overhead instructions.
+    This is the single definition of "ignored" shared by the limit
+    analyzer's static tables and the static ILP estimator — the two must
+    agree on which instructions are counted for the static-vs-dynamic
+    differential gate to be meaningful.
+    """
+    removed: set[int] = set()
+    for pc, instr in enumerate(analysis.program.instructions):
+        if perfect_inlining and (instr.is_call or instr.is_return or instr.writes_sp):
+            removed.add(pc)
+        elif perfect_unrolling and pc in analysis.loop_overhead:
+            removed.add(pc)
+    return frozenset(removed)
+
+
 def analyze_program(program: Program) -> ProgramAnalysis:
     """Run CFG construction, control dependence, and loop/induction analysis."""
     cfgs = tuple(build_cfgs(program))

@@ -70,7 +70,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro import telemetry
-from repro.analysis.summary import ProgramAnalysis, analyze_program
+from repro.analysis.summary import ProgramAnalysis, analyze_program, ignored_pcs
 from repro.core.models import ALL_MODELS, MachineModel
 from repro.core.results import AnalysisResult, ModelResult
 from repro.core.stats import MispredictionStats
@@ -139,6 +139,7 @@ def _build_tables(
     latencies: dict[OpKind, int] | None,
 ) -> _StaticTables:
     program = analysis.program
+    removed = ignored_pcs(analysis, perfect_inlining, perfect_unrolling)
     reads: list[tuple[int, ...]] = []
     writes: list[tuple[int, ...]] = []
     is_load: list[bool] = []
@@ -158,12 +159,7 @@ def _build_tables(
         is_call.append(instr.is_call)
         is_return.append(instr.is_return)
         is_leader.append(analysis.is_block_leader(pc))
-        skip = False
-        if perfect_inlining and (instr.is_call or instr.is_return or instr.writes_sp):
-            skip = True
-        if perfect_unrolling and pc in analysis.loop_overhead:
-            skip = True
-        ignored.append(skip)
+        ignored.append(pc in removed)
         latency.append(latencies.get(instr.kind, 1) if latencies else 1)
 
     # Pack the flat-array representation.

@@ -66,6 +66,15 @@ CODES: dict[str, str] = {
     "TR304": "branch-outcome trace field inconsistent with the opcode",
     "TR305": "memory-address trace field inconsistent with the opcode",
     "TR306": "trace record is inconsistent with the analyzed program",
+    "STA401": "function is unreachable from the program entry",
+    "STA402": "store is provably dead (overwritten before any possible read)",
+    "STA403": "branch outcome is decided by interprocedural constant propagation",
+    "STA404": "code is unreachable under interprocedural constant propagation",
+    "STA410": "static branch class contradicted by the dynamic trace",
+    "STA411": "statically unreachable code was executed in the trace",
+    "STA412": "measured parallelism exceeds the static ILP bound",
+    "STA413": "provably-dead store was observed live in the trace",
+    "STA414": "static memory class contradicted by a traced address",
 }
 
 
@@ -114,6 +123,23 @@ class Diagnostic:
         prefix = f"{location}: " if location else ""
         return f"{prefix}{self.severity.label}[{self.code}]: {self.message}"
 
+    def to_json(self) -> dict:
+        """Stable machine-readable form (``repro-lint --format json``).
+
+        The schema is fixed: every field is always present, locations that
+        do not apply are ``null``.
+        """
+        return {
+            "code": self.code,
+            "severity": self.severity.label,
+            "message": self.message,
+            "source": self.source,
+            "line": self.line,
+            "col": self.col,
+            "pc": self.pc,
+            "function": self.function,
+        }
+
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.render()
 
@@ -146,7 +172,9 @@ def render_all(diagnostics: list[Diagnostic]) -> str:
 
 @dataclass
 class _SortKey:
-    """Stable ordering: by source, then line, then pc, then code."""
+    """Stable *total* ordering: source, line, col, pc, code, then the
+    remaining fields as tie-breaks, so two diagnostic lists with the same
+    contents always render identically (cross-run determinism)."""
 
     diagnostic: Diagnostic = field(repr=False)
 
@@ -156,8 +184,12 @@ class _SortKey:
         return (
             d.source,
             d.line if d.line is not None else -1,
+            d.col if d.col is not None else -1,
             d.pc if d.pc is not None else -1,
             d.code,
+            d.function or "",
+            int(d.severity),
+            d.message,
         )
 
 
@@ -194,3 +226,12 @@ def sanitize_trace(trace, analysis=None, name: str | None = None,
     from repro.vm.sanitize import sanitize_trace as _sanitize
 
     return _sanitize(trace, analysis=analysis, name=name, max_reports=max_reports)
+
+
+def lint_static(program, name: str | None = None):
+    """Run the whole-program static dependence engine's lint pass
+    (``STA401``-``STA404``) over an assembled
+    :class:`~repro.isa.Program`."""
+    from repro.analysis.static.lint import lint_static as _lint
+
+    return _lint(program, name=name)

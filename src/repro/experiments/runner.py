@@ -241,12 +241,23 @@ class SuiteRunner:
 
     def _verify(self, run: BenchmarkRun) -> None:
         """Cross-check the compiled program and its trace (RunConfig.verify)."""
+        from repro.analysis.static import analyze_static
+        from repro.analysis.static.differential import check_static_vs_dynamic
         from repro.analysis.verify import verify_program
         from repro.vm.sanitize import sanitize_trace
 
         diagnostics = verify_program(run.analyzer.program, name=run.name)
         diagnostics += sanitize_trace(
             run.trace, analysis=run.analyzer.analysis, name=run.name
+        )
+        # Static-vs-dynamic differential gate (STA41x).  The trace may be
+        # truncated (the runner does not record whether the VM halted), so
+        # the halted-only whole-program bound is skipped; every other claim
+        # is checked record for record.
+        facts = analyze_static(run.analyzer.program, run.analyzer.analysis)
+        result = run.analyzer.analyze(run.trace, models=[MachineModel.ORACLE])
+        diagnostics += check_static_vs_dynamic(
+            facts, run.trace, result=result, halted=False, name=run.name
         )
         errors = [d for d in diagnostics if d.severity >= Severity.ERROR]
         if errors:

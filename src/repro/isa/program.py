@@ -21,6 +21,7 @@ import bisect
 from dataclasses import dataclass, field
 
 from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpKind
 
 #: First data address handed out to globals; low addresses are kept free so
 #: that accidental null-pointer dereferences are recognizable in tests.
@@ -114,6 +115,23 @@ class Program:
             return None
         func = self.functions[idx]
         return func if pc in func else None
+
+    def call_sites(self) -> list[tuple[int, int]]:
+        """All direct call sites, as ``(call pc, callee entry pc)`` pairs.
+
+        Indirect calls (``jalr``) have no static target and are not listed;
+        see :attr:`has_indirect_calls`.
+        """
+        sites: list[tuple[int, int]] = []
+        for pc, instr in enumerate(self.instructions):
+            if instr.kind is OpKind.CALL and instr.target is not None:
+                sites.append((pc, instr.target))
+        return sites
+
+    @property
+    def has_indirect_calls(self) -> bool:
+        """True if any instruction is an indirect call (``jalr``)."""
+        return any(i.kind is OpKind.JALR for i in self.instructions)
 
     def function_named(self, name: str) -> FunctionSymbol:
         for func in self.functions:

@@ -7,12 +7,14 @@ Usage::
     repro-lint --bench eqntott --trace   # also sanitize a dynamic trace
     repro-lint --examples examples       # lint sources embedded in examples
     repro-lint --fail-on error ...       # only errors affect the exit code
+    repro-lint --format json ...         # machine-readable output
 
 Files ending in ``.s``/``.asm`` are assembled and run through the
-object-code verifier (``OBJ2xx``); everything else is treated as MiniC and
-additionally linted (``MC1xx``).  ``--trace`` executes each successfully
-compiled program and replays the trace against the static analysis
-(``TR3xx``).
+object-code verifier (``OBJ2xx``) and the whole-program static engine
+(``STA40x`` notes); everything else is treated as MiniC and additionally
+linted (``MC1xx``).  ``--trace`` executes each successfully compiled
+program, replays the trace against the static analysis (``TR3xx``), and
+runs the static-vs-dynamic differential gate (``STA41x``).
 
 ``--examples`` extracts module-level string constants from example
 scripts: constants containing ``int main`` are linted as MiniC, constants
@@ -20,24 +22,30 @@ that look like assembly (``.text`` / ``.func`` directives) are assembled
 and verified.  This keeps every program the documentation ships under the
 same gate as the benchmark suite.
 
-Exit status: 1 when any diagnostic at or above the ``--fail-on`` severity
-(default: warning) was reported, else 0.
+Exit status (documented contract, see ``docs/diagnostics.md``): 0 when no
+diagnostic at or above the ``--fail-on`` severity (default: warning) was
+reported, 1 when at least one was, 2 on usage or input errors (argparse).
+``--format json`` emits one JSON object on stdout with the stable fields
+``diagnostics`` (list of :meth:`~repro.diagnostics.Diagnostic.to_json`
+objects, sorted), ``checked``, ``summary`` (counts per severity label),
+and ``exit`` (the status the process then exits with).
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import json
 import sys
 from pathlib import Path
 
 from repro.analysis import verify_program
 from repro.asm import AsmError, assemble
-from repro.diagnostics import Diagnostic, Severity, render_all
+from repro.diagnostics import Diagnostic, Severity, render_all, sort_diagnostics
 from repro.lang import CompileError, compile_source, lint_minic
 
 
-def _lint_assembly(text: str, name: str) -> list[Diagnostic]:
+def _lint_assembly(text: str, name: str, trace: bool, max_steps: int) -> list[Diagnostic]:
     try:
         program = assemble(text, name=name)
     except AsmError as exc:
@@ -50,7 +58,9 @@ def _lint_assembly(text: str, name: str) -> list[Diagnostic]:
                 line=exc.line,
             )
         ]
-    return verify_program(program, name=name)
+    diagnostics = verify_program(program, name=name)
+    diagnostics += _static_passes(program, name, trace, max_steps)
+    return diagnostics
 
 
 def _lint_minic_source(
@@ -75,19 +85,38 @@ def _lint_minic_source(
         )
         return diagnostics
     diagnostics += verify_program(program, name=name)
-    if trace:
-        diagnostics += _sanitize(program, name, max_steps)
+    diagnostics += _static_passes(program, name, trace, max_steps)
     return diagnostics
 
 
-def _sanitize(program, name: str, max_steps: int) -> list[Diagnostic]:
-    from repro.analysis import analyze_program
+def _static_passes(
+    program, name: str, trace: bool, max_steps: int
+) -> list[Diagnostic]:
+    """The whole-program static engine (``STA40x``), plus — with *trace* —
+    the trace sanitizer (``TR3xx``) and the static-vs-dynamic differential
+    gate (``STA41x``) over one execution of the program."""
+    from repro.analysis.static import analyze_static
+    from repro.analysis.static.lint import lint_static
+
+    facts = analyze_static(program)
+    diagnostics = lint_static(program, name=name, facts=facts)
+    if not trace:
+        return diagnostics
+
+    from repro.analysis.static.differential import check_static_vs_dynamic
+    from repro.core.analyzer import LimitAnalyzer
+    from repro.core.models import MachineModel
     from repro.vm import VM, sanitize_trace
 
-    result = VM(program).run(max_steps=max_steps)
-    return sanitize_trace(
-        result.trace, analysis=analyze_program(program), name=name
+    run = VM(program).run(max_steps=max_steps)
+    diagnostics += sanitize_trace(run.trace, analysis=facts.analysis, name=name)
+    result = LimitAnalyzer(program, facts.analysis).analyze(
+        run.trace, models=[MachineModel.ORACLE]
     )
+    diagnostics += check_static_vs_dynamic(
+        facts, run.trace, result=result, halted=run.halted, name=name
+    )
+    return diagnostics
 
 
 def _looks_like_minic(text: str) -> bool:
@@ -178,6 +207,12 @@ def main(argv: list[str] | None = None) -> int:
         help="minimum severity that makes the exit status 1 "
         "(default: warning)",
     )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
+    )
     args = parser.parse_args(argv)
 
     if not args.paths and not args.bench and not args.examples:
@@ -193,7 +228,7 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"cannot read {path}: {exc.strerror or exc}")
         checked += 1
         if path.endswith((".s", ".asm")):
-            diagnostics += _lint_assembly(text, path)
+            diagnostics += _lint_assembly(text, path, args.trace, args.max_steps)
         else:
             diagnostics += _lint_minic_source(
                 text, path, args.trace, args.max_steps
@@ -217,31 +252,55 @@ def main(argv: list[str] | None = None) -> int:
             for label, kind, text in _example_sources(path):
                 checked += 1
                 if kind == "asm":
-                    diagnostics += _lint_assembly(text, label)
+                    diagnostics += _lint_assembly(
+                        text, label, args.trace, args.max_steps
+                    )
                 else:
                     diagnostics += _lint_minic_source(
                         text, label, args.trace, args.max_steps
                     )
 
-    if diagnostics:
-        print(render_all(diagnostics))
+    diagnostics = sort_diagnostics(diagnostics)
     errors = sum(1 for d in diagnostics if d.severity >= Severity.ERROR)
     warnings = sum(1 for d in diagnostics if d.severity == Severity.WARNING)
-    print(
-        f"repro-lint: {checked} program(s) checked, "
-        f"{errors} error(s), {warnings} warning(s)"
-    )
+    notes = sum(1 for d in diagnostics if d.severity == Severity.NOTE)
 
     threshold = {
         "error": Severity.ERROR,
         "warning": Severity.WARNING,
         "never": None,
     }[args.fail_on]
-    if threshold is not None and any(
-        d.severity >= threshold for d in diagnostics
-    ):
-        return 1
-    return 0
+    exit_code = (
+        1
+        if threshold is not None
+        and any(d.severity >= threshold for d in diagnostics)
+        else 0
+    )
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "diagnostics": [d.to_json() for d in diagnostics],
+                    "checked": checked,
+                    "summary": {
+                        "error": errors,
+                        "warning": warnings,
+                        "note": notes,
+                    },
+                    "exit": exit_code,
+                },
+                indent=2,
+            )
+        )
+    else:
+        if diagnostics:
+            print(render_all(diagnostics))
+        print(
+            f"repro-lint: {checked} program(s) checked, "
+            f"{errors} error(s), {warnings} warning(s)"
+        )
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -405,6 +405,12 @@ STANDARD_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
         "Wall seconds per MiniC compile (source to Program)",
         (),
     ),
+    (
+        "counter",
+        "repro_static_analysis_seconds",
+        "Wall seconds spent in whole-program static analysis, per program",
+        ("program",),
+    ),
 )
 
 

@@ -1,0 +1,86 @@
+"""Unit tests for static branch classification."""
+
+from repro.analysis.static import analyze_static
+from repro.analysis.static.branches import BranchClass
+from repro.asm import assemble
+
+
+def classes(source):
+    facts = analyze_static(assemble(source))
+    return {info.pc: info.branch_class for info in facts.branches}
+
+
+class TestClassifyBranches:
+    def test_const_taken(self):
+        source = """
+    li $t0, 5
+    li $t1, 5
+    beq $t0, $t1, out
+    li $v0, 99
+out:
+    halt
+"""
+        assert classes(source)[2] is BranchClass.CONST_TAKEN
+
+    def test_const_not_taken(self):
+        source = """
+    li $t0, 5
+    li $t1, 6
+    beq $t0, $t1, out
+    li $v0, 1
+out:
+    halt
+"""
+        assert classes(source)[2] is BranchClass.CONST_NOT_TAKEN
+
+    def test_loop_back_and_exit(self):
+        source = """
+    lw $t1, 0($gp)
+    li $t0, 0
+loop:
+    addi $t0, $t0, 1
+    beq $t0, $t1, done
+    slti $at, $t0, 100
+    bne $at, $zero, loop
+done:
+    halt
+"""
+        result = classes(source)
+        assert result[5] is BranchClass.LOOP_BACK
+        assert result[3] is BranchClass.LOOP_EXIT
+
+    def test_data_dependent(self):
+        source = """
+    lw $t0, 0($gp)
+    beq $t0, $zero, out
+    li $v0, 1
+out:
+    halt
+"""
+        assert classes(source)[1] is BranchClass.DATA
+
+    def test_unreachable_branch(self):
+        source = """
+    li $t0, 1
+    bne $t0, $zero, out
+    lw $t1, 0($gp)
+    beq $t1, $zero, out
+out:
+    halt
+"""
+        result = classes(source)
+        assert result[1] is BranchClass.CONST_TAKEN
+        assert result[3] is BranchClass.UNREACHABLE
+
+    def test_results_sorted_by_pc(self):
+        source = """
+    lw $t0, 0($gp)
+    beq $t0, $zero, a
+a:
+    beq $t0, $zero, b
+b:
+    halt
+"""
+        facts = analyze_static(assemble(source))
+        pcs = [info.pc for info in facts.branches]
+        assert pcs == sorted(pcs)

@@ -1,0 +1,103 @@
+"""Unit tests for the whole-program call graph."""
+
+from repro.analysis.static.callgraph import build_call_graph
+from repro.asm import assemble
+
+MULTI = """
+__start:
+    jal main            # 0
+    halt                # 1
+.func main
+main:
+    jal helper          # 2
+    jr $ra              # 3
+.endfunc
+.func helper
+helper:
+    jr $ra              # 4
+.endfunc
+.func orphan
+orphan:
+    jal helper          # 5
+    jr $ra              # 6
+.endfunc
+.func rec
+rec:
+    jal rec             # 7
+    jr $ra              # 8
+.endfunc
+"""
+
+
+def names(graph, indices):
+    return sorted(graph.name_of(i) for i in indices)
+
+
+class TestBuildCallGraph:
+    def test_reachability_from_entry(self):
+        graph = build_call_graph(assemble(MULTI))
+        assert names(graph, graph.reachable) == ["__anon0", "helper", "main"]
+
+    def test_orphan_and_rec_unreachable(self):
+        graph = build_call_graph(assemble(MULTI))
+        unreachable = set(range(len(graph.cfgs))) - graph.reachable
+        assert names(graph, unreachable) == ["orphan", "rec"]
+
+    def test_direct_recursion_detected(self):
+        graph = build_call_graph(assemble(MULTI))
+        assert names(graph, graph.recursive) == ["rec"]
+
+    def test_call_sites_of_callee(self):
+        graph = build_call_graph(assemble(MULTI))
+        helper = next(
+            i for i in range(len(graph.cfgs)) if graph.name_of(i) == "helper"
+        )
+        assert graph.call_sites_of[helper] == (2, 5)
+
+    def test_not_conservative_without_jalr(self):
+        graph = build_call_graph(assemble(MULTI))
+        assert not graph.conservative
+
+    def test_mutual_recursion(self):
+        source = """
+__start:
+    jal a
+    halt
+.func a
+a:
+    jal b
+    jr $ra
+.endfunc
+.func b
+b:
+    jal a
+    jr $ra
+.endfunc
+"""
+        graph = build_call_graph(assemble(source))
+        assert names(graph, graph.recursive) == ["a", "b"]
+
+    def test_jalr_makes_graph_conservative(self):
+        source = """
+__start:
+    la $t0, f
+    jalr $t0
+    halt
+.func f
+f:
+    jr $ra
+.endfunc
+.func g
+g:
+    jr $ra
+.endfunc
+"""
+        graph = build_call_graph(assemble(source))
+        assert graph.conservative
+        # Every function is reachable under the conservative assumption.
+        assert graph.reachable == set(range(len(graph.cfgs)))
+
+    def test_function_index_of_pc(self):
+        graph = build_call_graph(assemble(MULTI))
+        assert graph.name_of(graph.function_index_of_pc(0)) == "__anon0"
+        assert graph.name_of(graph.function_index_of_pc(4)) == "helper"

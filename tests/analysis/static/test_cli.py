@@ -1,0 +1,98 @@
+"""Tests for the repro-analyze-static command line driver."""
+
+import pytest
+
+from repro.analysis.static import analyze_static
+from repro.analysis.static.cli import main, render_report
+from repro.asm import assemble
+from repro.lang import compile_source
+
+SOURCE = """
+int main() {
+    int total = 0;
+    for (int i = 0; i < 4; i++) total += i;
+    return total;
+}
+"""
+
+ASSEMBLY = """
+.text
+.func main
+main:
+li $t0, 3
+li $t1, 4
+add $v0, $t0, $t1
+halt
+.endfunc
+"""
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestRenderReport:
+    def test_byte_identical_across_runs(self):
+        program = compile_source(SOURCE, name="prog")
+        first = render_report(analyze_static(program))
+        second = render_report(analyze_static(program))
+        assert first == second
+
+    def test_report_structure(self):
+        program = compile_source(SOURCE, name="prog")
+        report = render_report(analyze_static(program))
+        assert "static analysis: prog" in report
+        assert "function" in report
+        assert "guaranteed critical path:" in report
+        assert "static bound:" in report
+        assert "main" in report
+
+    def test_unreachable_function_is_marked(self):
+        source = """
+__start:
+    halt
+.func orphan
+orphan:
+    jr $ra
+.endfunc
+"""
+        report = render_report(analyze_static(assemble(source)))
+        assert "orphan (unreachable)" in report
+
+
+class TestMain:
+    def test_minic_file(self, tmp_path, capsys):
+        assert main([write(tmp_path, "prog.c", SOURCE)]) == 0
+        out = capsys.readouterr().out
+        assert "static analysis: prog.c" in out
+
+    def test_assembly_file(self, tmp_path, capsys):
+        assert main([write(tmp_path, "prog.s", ASSEMBLY)]) == 0
+        assert "static analysis: prog.s" in capsys.readouterr().out
+
+    def test_bench_selection(self, capsys):
+        assert main(["--bench", "awk"]) == 0
+        assert "static analysis: awk" in capsys.readouterr().out
+
+    def test_bench_output_deterministic(self, capsys):
+        assert main(["--bench", "awk"]) == 0
+        first = capsys.readouterr().out
+        assert main(["--bench", "awk"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_unknown_bench_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--bench", "no-such-benchmark"])
+        assert exc.value.code == 2
+
+    def test_nothing_to_analyze_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code == 2
+
+    def test_broken_source_exits_2(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main([write(tmp_path, "broken.c", "int main( {")])
+        assert exc.value.code == 2

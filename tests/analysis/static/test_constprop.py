@@ -1,0 +1,235 @@
+"""Unit tests for interprocedural conditional constant propagation.
+
+The VM-exactness tests are the heart: any value the engine proves must
+be the value the VM computes, checked by executing the same program.
+"""
+
+from repro.analysis.static.callgraph import build_call_graph
+from repro.analysis.static.constprop import propagate_constants
+from repro.asm import assemble
+from repro.isa import registers as R
+from repro.vm import VM
+
+
+def facts_of(source):
+    program = assemble(source)
+    return program, propagate_constants(build_call_graph(program))
+
+
+def halt_pc(program):
+    (pc,) = [
+        pc for pc, instr in enumerate(program.instructions)
+        if instr.kind.name == "HALT"
+    ]
+    return pc
+
+
+class TestVmExactness:
+    """Straight-line programs: the proven $v0 must equal the VM's."""
+
+    CASES = [
+        # 32-bit wraparound
+        "li $t0, 2147483647\naddi $v0, $t0, 1\nhalt",
+        # division by zero yields 0, remainder by zero yields the dividend
+        "li $t0, 7\nli $t1, 0\ndiv $v0, $t0, $t1\nhalt",
+        "li $t0, 7\nli $t1, 0\nrem $v0, $t0, $t1\nhalt",
+        # shift amounts are masked to 5 bits
+        "li $t0, 1\nli $t1, 33\nsll $v0, $t0, $t1\nhalt",
+        # logical right shift of a negative value
+        "li $t0, -8\nli $t1, 1\nsrl $v0, $t0, $t1\nhalt",
+        # arithmetic right shift keeps the sign
+        "li $t0, -8\nli $t1, 1\nsra $v0, $t0, $t1\nhalt",
+        # signed comparison
+        "li $t0, -1\nslti $v0, $t0, 0\nhalt",
+        # multiplication wraps
+        "li $t0, 65536\nmul $v0, $t0, $t0\nhalt",
+        # $zero writes are discarded
+        "li $zero, 5\nadd $v0, $zero, $zero\nhalt",
+    ]
+
+    def test_proven_v0_matches_vm(self):
+        for source in self.CASES:
+            program, constprop = facts_of(source)
+            run = VM(program).run()
+            assert run.halted
+            proven = constprop.value_before(halt_pc(program), R.V0)
+            assert proven == run.exit_value, source
+
+    def test_every_machine_entry_register_proven(self):
+        program, constprop = facts_of("halt")
+        fact = constprop.fact_before[0]
+        assert fact is not None
+        # The machine zeroes all registers: everything is known at entry.
+        assert fact[R.T0] == 0
+        assert fact[R.SP] == (1 << 22)
+
+
+class TestBranchFolding:
+    def test_never_taken_edge_is_pruned(self):
+        source = """
+    li $t0, 5
+    li $t1, 5
+    beq $t0, $t1, taken
+    li $v0, 99
+taken:
+    halt
+"""
+        program, constprop = facts_of(source)
+        assert constprop.branch_outcome(2) is True
+        # The fallthrough (pc 3) is never entered through feasible edges.
+        assert not constprop.reachable(3)
+        assert constprop.reachable(4)
+
+    def test_data_dependent_branch_stays_unknown(self):
+        source = """
+    lw $t0, 0($gp)
+    beq $t0, $zero, out
+    li $v0, 1
+out:
+    halt
+"""
+        program, constprop = facts_of(source)
+        assert constprop.branch_outcome(1) is None
+        assert constprop.reachable(2)
+
+
+class TestInterprocedural:
+    def test_agreeing_call_sites_prove_the_argument(self):
+        source = """
+__start:
+    jal main
+    halt
+.func main
+main:
+    li $a0, 3
+    jal f
+    li $a0, 3
+    jal f
+    jr $ra
+.endfunc
+.func f
+f:
+    addi $v0, $a0, 1
+    jr $ra
+.endfunc
+"""
+        program, constprop = facts_of(source)
+        f_entry = program.code_labels["f"]
+        assert constprop.value_before(f_entry, R.A0) == 3
+
+    def test_disagreeing_call_sites_lose_the_argument(self):
+        source = """
+__start:
+    jal main
+    halt
+.func main
+main:
+    li $a0, 3
+    jal f
+    li $a0, 4
+    jal f
+    jr $ra
+.endfunc
+.func f
+f:
+    addi $v0, $a0, 1
+    jr $ra
+.endfunc
+"""
+        program, constprop = facts_of(source)
+        f_entry = program.code_labels["f"]
+        assert constprop.value_before(f_entry, R.A0) is None
+
+    def test_call_kills_temporaries_but_not_saved_registers(self):
+        source = """
+__start:
+    jal main
+    halt
+.func main
+main:
+    li $t0, 7
+    li $s0, 9
+    jal f
+    add $v0, $t0, $s0
+    jr $ra
+.endfunc
+.func f
+f:
+    jr $ra
+.endfunc
+"""
+        program, constprop = facts_of(source)
+        add_pc = next(
+            pc for pc, i in enumerate(program.instructions)
+            if i.kind.name == "ALU" and R.T0 in i.reads
+        )
+        assert constprop.value_before(add_pc, R.T0) is None  # killed by call
+        assert constprop.value_before(add_pc, R.S0) == 9  # preserved
+
+    def test_jalr_program_degrades_to_unknown_entries(self):
+        source = """
+__start:
+    la $t0, f
+    jalr $t0
+    halt
+.func f
+f:
+    li $v0, 1
+    jr $ra
+.endfunc
+"""
+        program, constprop = facts_of(source)
+        f_entry = program.code_labels["f"]
+        # Conservative mode: nothing is known at any function entry...
+        assert constprop.fact_before[f_entry] == {}
+        # ...but locally-computed values still propagate.
+        assert constprop.value_before(f_entry + 1, R.V0) == 1
+
+
+class TestAddressOf:
+    def test_constant_base_plus_offset(self):
+        source = """
+.data
+v: .word 1, 2, 3
+.text
+    lw $v0, 4($gp)
+    halt
+"""
+        program, constprop = facts_of(source)
+        from repro.vm.machine import GLOBALS_BASE
+
+        assert constprop.address_of(0) == GLOBALS_BASE + 4
+
+    def test_unknown_base_has_no_address(self):
+        source = """
+    lw $t0, 0($gp)
+    lw $v0, 0($t0)
+    halt
+"""
+        program, constprop = facts_of(source)
+        assert constprop.address_of(1) is None
+
+
+class TestDeterminism:
+    def test_propagation_twice_is_identical(self):
+        source = """
+__start:
+    jal main
+    halt
+.func main
+main:
+    li $a0, 3
+    jal f
+    jr $ra
+.endfunc
+.func f
+f:
+    addi $v0, $a0, 1
+    jr $ra
+.endfunc
+"""
+        program = assemble(source)
+        a = propagate_constants(build_call_graph(program))
+        b = propagate_constants(build_call_graph(program))
+        assert a.entry_facts == b.entry_facts
+        assert a.fact_before == b.fact_before

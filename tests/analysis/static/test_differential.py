@@ -1,0 +1,240 @@
+"""Tests for the static-vs-dynamic differential gate.
+
+Two halves: the gate must stay silent on honest executions of every
+bundled benchmark, and each STA41x check must actually fire when fed a
+trace (or analyzer result) that contradicts the static claim —
+fault-injection for the gate itself.
+"""
+
+import pytest
+
+from repro.analysis.static import analyze_static
+from repro.analysis.static.differential import check_static_vs_dynamic
+from repro.asm import assemble
+from repro.bench import SUITE
+from repro.core.analyzer import LimitAnalyzer
+from repro.core.models import MachineModel
+from repro.core.results import AnalysisResult, ModelResult
+from repro.lang import compile_source
+from repro.vm import VM
+from repro.vm.trace import NO_ADDR, NOT_BRANCH, Trace
+
+FLAGSHIP = """
+__start:
+    jal main            # 0
+    halt                # 1
+.func main
+main:
+    li $t0, 5           # 2
+    li $t1, 5           # 3
+    sw $t0, 0($gp)      # 4  dead: overwritten at 5
+    sw $t1, 0($gp)      # 5
+    beq $t0, $t1, taken # 6  always taken
+    li $v0, 99          # 7  unreachable
+taken:
+    lw $v0, 0($gp)      # 8
+    jr $ra              # 9
+.endfunc
+"""
+
+GP = 0x1000  # the VM's $gp value; 0($gp) resolves to this address
+
+
+def gate(program, trace, **kwargs):
+    facts = analyze_static(program)
+    return facts, check_static_vs_dynamic(facts, trace, **kwargs)
+
+
+def honest_trace(program):
+    return VM(program).run()
+
+
+class TestGateStaysSilentOnHonestRuns:
+    def test_flagship(self):
+        program = assemble(FLAGSHIP)
+        run = honest_trace(program)
+        assert run.halted
+        facts = analyze_static(program)
+        result = LimitAnalyzer(program, facts.analysis).analyze(
+            run.trace, models=[MachineModel.ORACLE]
+        )
+        diags = check_static_vs_dynamic(
+            facts, run.trace, result=result, halted=run.halted
+        )
+        assert diags == []
+
+    @pytest.mark.parametrize("name", ["awk", "eqntott"])
+    def test_benchmarks(self, name):
+        program = compile_source(SUITE[name].source(1), name=name)
+        run = VM(program).run(max_steps=1_000_000)
+        assert run.halted
+        facts = analyze_static(program)
+        result = LimitAnalyzer(program, facts.analysis).analyze(
+            run.trace, models=[MachineModel.ORACLE]
+        )
+        diags = check_static_vs_dynamic(
+            facts, run.trace, result=result, halted=run.halted, name=name
+        )
+        assert diags == []
+
+
+class TestEachCheckFires:
+    """Feed the gate contradicting evidence; every STA41x must trip."""
+
+    def test_sta410_const_branch_went_the_other_way(self):
+        program = assemble(FLAGSHIP)
+        # A lying trace: the always-taken branch at pc 6 falls through.
+        trace = Trace(
+            program,
+            pcs=[2, 3, 4, 5, 6],
+            addrs=[NO_ADDR, NO_ADDR, GP, GP, NO_ADDR],
+            takens=[NOT_BRANCH, NOT_BRANCH, NOT_BRANCH, NOT_BRANCH, 0],
+        )
+        _, diags = gate(program, trace)
+        assert "STA410" in {d.code for d in diags}
+
+    def test_sta411_unreachable_pc_executed(self):
+        program = assemble(FLAGSHIP)
+        trace = Trace(
+            program, pcs=[7], addrs=[NO_ADDR], takens=[NOT_BRANCH]
+        )
+        _, diags = gate(program, trace)
+        codes = {d.code for d in diags}
+        assert "STA411" in codes
+        (d,) = [d for d in diags if d.code == "STA411"]
+        assert d.pc == 7
+        assert d.function == "main"
+
+    def test_sta412_block_chain_exceeds_oracle_time(self):
+        source = """
+    li $t0, 1           # 0
+    addi $t0, $t0, 1    # 1
+    addi $t0, $t0, 1    # 2
+    addi $t0, $t0, 1    # 3
+    halt                # 4
+"""
+        program = assemble(source)
+        run = honest_trace(program)
+        facts = analyze_static(program)
+        # A lying analyzer result: 2 oracle cycles for a 4-deep chain.
+        result = AnalysisResult(program_name="lie", trace_length=len(run.trace))
+        result.models[MachineModel.ORACLE] = ModelResult(
+            model=MachineModel.ORACLE, sequential_time=5, parallel_time=2
+        )
+        result.counted_instructions = 5
+        diags = check_static_vs_dynamic(
+            facts, run.trace, result=result, halted=run.halted
+        )
+        assert "STA412" in {d.code for d in diags}
+
+    def test_sta412_halted_run_beats_guaranteed_region(self):
+        source = """
+    li $t0, 1           # 0
+    addi $t0, $t0, 1    # 1
+    addi $t0, $t0, 1    # 2
+    halt                # 3
+"""
+        program = assemble(source)
+        run = honest_trace(program)
+        facts = analyze_static(program)
+        assert facts.ilp.guaranteed_cp >= 3
+        result = AnalysisResult(program_name="lie", trace_length=len(run.trace))
+        result.models[MachineModel.ORACLE] = ModelResult(
+            model=MachineModel.ORACLE, sequential_time=4, parallel_time=1
+        )
+        result.counted_instructions = 4
+        diags = check_static_vs_dynamic(
+            facts, run.trace, result=result, halted=True
+        )
+        assert "STA412" in {d.code for d in diags}
+        # The same lie on a truncated run is not checkable: skipped.
+        diags = check_static_vs_dynamic(
+            facts, run.trace, result=result, halted=False
+        )
+        sta412 = [d for d in diags if d.code == "STA412" and d.pc == program.entry]
+        assert sta412 == []
+
+    def test_sta413_dead_store_observed_live(self):
+        program = assemble(FLAGSHIP)
+        # A lying trace: the dead store at pc 4 is read (pc 8 load)
+        # before the overwrite at pc 5 happens.
+        trace = Trace(
+            program,
+            pcs=[2, 3, 4, 8],
+            addrs=[NO_ADDR, NO_ADDR, GP, GP],
+            takens=[NOT_BRANCH] * 4,
+        )
+        _, diags = gate(program, trace)
+        (d,) = [d for d in diags if d.code == "STA413"]
+        assert d.pc == 4
+
+    def test_sta414_constant_address_mismatch(self):
+        program = assemble(FLAGSHIP)
+        trace = Trace(
+            program,
+            pcs=[2, 3, 4],
+            addrs=[NO_ADDR, NO_ADDR, GP + 40],  # claimed GP, traced GP+40
+            takens=[NOT_BRANCH] * 3,
+        )
+        _, diags = gate(program, trace)
+        (d,) = [d for d in diags if d.code == "STA414"]
+        assert d.pc == 4
+
+    def test_sta414_class_violation(self):
+        source = """
+.data
+v: .word 1
+.text
+    lw $t2, 0($gp)      # 0: load of v; the loaded value is unknown
+    lw $v0, 0($t2)      # 1: UNKNOWN class, carries no claim
+    sw $v0, 4($sp)      # 2: $sp is proven, so the address is constant
+    halt                # 3
+"""
+        program = assemble(source)
+        facts = analyze_static(program)
+        # The sp-relative store has a proven stack address; trace a
+        # global address for it instead.
+        sp_store = [r for r in facts.memory if r.pc == 2]
+        assert sp_store and sp_store[0].address is not None
+        trace = Trace(
+            program,
+            pcs=[0, 1, 2],
+            addrs=[GP, 64, 64],
+            takens=[NOT_BRANCH] * 3,
+        )
+        diags = check_static_vs_dynamic(facts, trace)
+        assert "STA414" in {d.code for d in diags}
+
+
+class TestGateHygiene:
+    def test_wrong_program_rejected(self):
+        program = assemble(FLAGSHIP)
+        other = assemble("halt")
+        facts = analyze_static(program)
+        with pytest.raises(ValueError):
+            check_static_vs_dynamic(facts, Trace(other))
+
+    def test_reports_capped(self):
+        program = assemble(FLAGSHIP)
+        trace = Trace(
+            program,
+            pcs=[7] * 500,
+            addrs=[NO_ADDR] * 500,
+            takens=[NOT_BRANCH] * 500,
+        )
+        _, diags = gate(program, trace, max_reports=3)
+        assert len(diags) <= 3
+
+    def test_diagnostics_sorted_and_deterministic(self):
+        program = assemble(FLAGSHIP)
+        trace = Trace(
+            program,
+            pcs=[7, 6],
+            addrs=[NO_ADDR, NO_ADDR],
+            takens=[NOT_BRANCH, 0],
+        )
+        _, first = gate(program, trace)
+        _, second = gate(program, trace)
+        assert [d.render() for d in first] == [d.render() for d in second]
+        pcs = [d.pc for d in first]
+        assert pcs == sorted(pcs)

@@ -1,0 +1,223 @@
+"""Unit tests for the generic worklist dataflow framework."""
+
+from repro.analysis.cfg import EXIT_BLOCK, build_cfgs
+from repro.analysis.static.framework import (
+    DataflowProblem,
+    Direction,
+    GenKillProblem,
+    reverse_postorder_of,
+    solve,
+)
+from repro.asm import assemble
+
+DIAMOND = """
+    bgez $t9, right     # 0
+    li $t0, 1           # 1
+    j join              # 2
+right:
+    li $t0, 2           # 3
+join:
+    halt                # 4
+"""
+
+LOOP = """
+    li $t0, 0           # 0
+loop:
+    addi $t0, $t0, 1    # 1
+    slti $at, $t0, 9    # 2
+    bne $at, $zero, loop# 3
+    halt                # 4
+"""
+
+UNREACHABLE = """
+    j out               # 0
+    li $t0, 1           # 1  (unreachable block)
+out:
+    halt                # 2
+"""
+
+
+def cfg_of(source):
+    (cfg,) = build_cfgs(assemble(source))
+    return cfg
+
+
+class TestReversePostorder:
+    def test_covers_every_node_once(self):
+        cfg = cfg_of(DIAMOND)
+        succs = [[s for s in b.succs if s != EXIT_BLOCK] for b in cfg.blocks]
+        order = reverse_postorder_of(len(cfg.blocks), succs, cfg.entry)
+        assert sorted(order) == list(range(len(cfg.blocks)))
+
+    def test_entry_first_exit_last_on_dag(self):
+        cfg = cfg_of(DIAMOND)
+        succs = [[s for s in b.succs if s != EXIT_BLOCK] for b in cfg.blocks]
+        order = reverse_postorder_of(len(cfg.blocks), succs, cfg.entry)
+        assert order[0] == cfg.entry
+        # The join block (containing pc 4) comes after both arms.
+        assert order[-1] == cfg.block_at(4).id
+
+    def test_unreachable_nodes_get_priorities_too(self):
+        cfg = cfg_of(UNREACHABLE)
+        succs = [[s for s in b.succs if s != EXIT_BLOCK] for b in cfg.blocks]
+        order = reverse_postorder_of(len(cfg.blocks), succs, cfg.entry)
+        assert sorted(order) == list(range(len(cfg.blocks)))
+
+
+class TestGenKillForward:
+    def test_boundary_reaches_entry_only_until_killed(self):
+        cfg = cfg_of(DIAMOND)
+        n = len(cfg.blocks)
+        gen = [set() for _ in range(n)]
+        kill = [set() for _ in range(n)]
+        solved = solve(
+            cfg,
+            GenKillProblem(
+                Direction.FORWARD, gen, kill, boundary_fact=frozenset({"B"})
+            ),
+        )
+        # Nothing kills the boundary fact: it floods the graph.
+        assert all(fact == frozenset({"B"}) for fact in solved.block_out)
+
+    def test_unreachable_block_keeps_gen_as_out(self):
+        cfg = cfg_of(UNREACHABLE)
+        n = len(cfg.blocks)
+        dead = cfg.block_at(1).id
+        gen = [set() for _ in range(n)]
+        kill = [set() for _ in range(n)]
+        gen[dead] = {"D"}
+        solved = solve(cfg, GenKillProblem(Direction.FORWARD, gen, kill))
+        # Pessimistic mode: the dead block still transfers bottom,
+        # matching the original round-robin solvers.
+        assert solved.block_out[dead] == frozenset({"D"})
+        assert solved.block_in[dead] == frozenset()
+
+    def test_loop_fixpoint_accumulates(self):
+        cfg = cfg_of(LOOP)
+        n = len(cfg.blocks)
+        body = cfg.block_at(1).id
+        gen = [set() for _ in range(n)]
+        kill = [set() for _ in range(n)]
+        gen[body] = {"L"}
+        solved = solve(cfg, GenKillProblem(Direction.FORWARD, gen, kill))
+        # The loop-generated fact flows around the back edge into its own IN.
+        assert "L" in solved.block_in[body]
+
+
+class TestGenKillBackward:
+    def test_exit_fact_flows_to_exit_blocks(self):
+        cfg = cfg_of(DIAMOND)
+        n = len(cfg.blocks)
+        gen = [set() for _ in range(n)]
+        kill = [set() for _ in range(n)]
+        solved = solve(
+            cfg,
+            GenKillProblem(
+                Direction.BACKWARD, gen, kill, boundary_fact=frozenset({"X"})
+            ),
+        )
+        exit_block = cfg.block_at(4).id
+        assert "X" in solved.block_out[exit_block]
+        assert "X" in solved.block_in[cfg.entry]
+
+
+class _ReachedProblem(DataflowProblem):
+    """Optimistic forward problem recording which blocks were entered,
+    pruning the fallthrough edge of block *pruned*."""
+
+    optimistic = True
+
+    def __init__(self, cfg, pruned_block, pruned_succ):
+        self.cfg = cfg
+        self.pruned = (pruned_block, pruned_succ)
+
+    def boundary(self):
+        return frozenset({"seen"})
+
+    def bottom(self):
+        return frozenset()
+
+    def join(self, facts):
+        merged = frozenset()
+        for fact in facts:
+            merged |= fact
+        return merged
+
+    def transfer(self, block_id, fact):
+        return fact
+
+    def out_edges(self, block_id, out_fact, succs):
+        return [
+            s for s in succs if (block_id, s) != self.pruned
+        ]
+
+
+class TestOptimisticMode:
+    def test_pruned_edge_leaves_target_at_top(self):
+        cfg = cfg_of(DIAMOND)
+        left = cfg.block_at(1).id
+        solved = solve(cfg, _ReachedProblem(cfg, cfg.entry, left))
+        assert solved.block_in[left] is None
+        assert solved.block_out[left] is None
+        # The other arm and the join still get facts.
+        assert solved.block_in[cfg.block_at(3).id] == frozenset({"seen"})
+        assert solved.block_in[cfg.block_at(4).id] == frozenset({"seen"})
+
+    def test_no_pruning_reaches_everything_reachable(self):
+        cfg = cfg_of(DIAMOND)
+        solved = solve(cfg, _ReachedProblem(cfg, -99, -99))
+        assert all(fact == frozenset({"seen"}) for fact in solved.block_in)
+
+
+class TestDeterminism:
+    def test_solving_twice_gives_identical_results(self):
+        for source in (DIAMOND, LOOP, UNREACHABLE):
+            cfg = cfg_of(source)
+            n = len(cfg.blocks)
+            gen = [{f"g{b}"} for b in range(n)]
+            kill = [set() for _ in range(n)]
+            a = solve(cfg, GenKillProblem(Direction.FORWARD, gen, kill))
+            b = solve(cfg, GenKillProblem(Direction.FORWARD, gen, kill))
+            assert a.block_in == b.block_in
+            assert a.block_out == b.block_out
+
+
+class TestPredsOnlyFlowGraph:
+    """The MiniC lint feeds the solver a statement graph that records only
+    predecessor edges.  The solver must union both edge records, or loop
+    back-edges never re-propagate."""
+
+    def preds_only_cfg(self):
+        from repro.analysis.cfg import BasicBlock, FunctionCFG
+        from repro.isa.program import FunctionSymbol
+
+        # 0 -> 1 -> 2 -> 1 (loop), 1 -> 3 — preds populated, succs empty.
+        preds = [[], [0, 2], [1], [1]]
+        blocks = [
+            BasicBlock(id=i, start=0, end=0, preds=list(p))
+            for i, p in enumerate(preds)
+        ]
+        return FunctionCFG(function=FunctionSymbol("g", 0, 0), blocks=blocks)
+
+    def test_forward_facts_flow_through_loop(self):
+        cfg = self.preds_only_cfg()
+        # gen {"x"} in block 2 (inside the loop); nothing kills it.
+        gen = [set(), set(), {"x"}, set()]
+        kill = [set(), set(), set(), set()]
+        solved = solve(
+            cfg, GenKillProblem(Direction.FORWARD, gen, kill)
+        )
+        # The loop-carried fact must reach the loop header and the exit.
+        assert "x" in solved.block_in[1]
+        assert "x" in solved.block_in[3]
+
+    def test_boundary_fact_reaches_all_blocks(self):
+        cfg = self.preds_only_cfg()
+        empty = [set()] * 4
+        solved = solve(
+            cfg,
+            GenKillProblem(
+                Direction.FORWARD, empty, empty, boundary_fact=frozenset({"b"})
+            ),
+        )
+        assert all("b" in fact for fact in solved.block_out)

@@ -1,0 +1,129 @@
+"""Unit tests for the static ILP estimator and its soundness on real
+benchmark runs."""
+
+from repro.analysis.static import analyze_static
+from repro.analysis.static.ilp import chain_depth, guaranteed_cp
+from repro.analysis.summary import analyze_program
+from repro.asm import assemble
+from repro.bench import SUITE
+from repro.core.analyzer import LimitAnalyzer
+from repro.core.models import MachineModel
+from repro.lang import compile_source
+from repro.vm import VM
+
+
+class TestChainDepth:
+    def test_serial_chain(self):
+        program = assemble(
+            "li $t0, 1\naddi $t0, $t0, 1\naddi $t0, $t0, 1\nhalt"
+        )
+        assert chain_depth(program, 0, 3, frozenset()) == 3
+
+    def test_independent_instructions(self):
+        program = assemble("li $t0, 1\nli $t1, 2\nli $t2, 3\nhalt")
+        assert chain_depth(program, 0, 3, frozenset()) == 1
+
+    def test_removed_write_resets_the_chain(self):
+        program = assemble(
+            "li $t0, 1\naddi $t0, $t0, 1\naddi $t0, $t0, 1\nhalt"
+        )
+        # Removing the middle instruction breaks the chain through $t0.
+        assert chain_depth(program, 0, 3, frozenset({1})) == 1
+
+    def test_zero_register_carries_no_dependence(self):
+        program = assemble(
+            "add $zero, $t0, $t1\nadd $v0, $zero, $zero\nhalt"
+        )
+        assert chain_depth(program, 0, 2, frozenset()) == 1
+
+    def test_empty_range(self):
+        program = assemble("halt")
+        assert chain_depth(program, 0, 0, frozenset()) == 0
+
+
+class TestGuaranteedCp:
+    def test_stops_at_first_call(self):
+        source = """
+__start:
+    li $t0, 1           # 0
+    addi $t0, $t0, 1    # 1
+    jal f               # 2
+    addi $t0, $t0, 1    # 3  (after the call: not guaranteed)
+    halt                # 4
+.func f
+f:
+    jr $ra
+.endfunc
+"""
+        program = assemble(source)
+        analysis = analyze_program(program)
+        cfg = analysis.cfgs[analysis.func_of_pc[program.entry]]
+        assert guaranteed_cp(program, cfg, frozenset(), program.entry) == 2
+
+    def test_walks_single_successor_blocks(self):
+        source = """
+    li $t0, 1           # 0
+    j next              # 1
+next:
+    addi $t0, $t0, 1    # 2
+    addi $t0, $t0, 1    # 3
+    halt                # 4
+"""
+        program = assemble(source)
+        analysis = analyze_program(program)
+        cfg = analysis.cfgs[0]
+        # The chain within the second block alone is 2 deep (1 is removed
+        # as a branch? no: j is counted) — the deepest region chain wins.
+        assert guaranteed_cp(program, cfg, frozenset(), program.entry) >= 2
+
+    def test_stops_at_multiway_branch(self):
+        source = """
+    lw $t1, 0($gp)      # 0
+    beq $t1, $zero, out # 1
+    addi $t0, $t0, 1    # 2
+    addi $t0, $t0, 1    # 3
+out:
+    halt                # 4
+"""
+        program = assemble(source)
+        analysis = analyze_program(program)
+        cfg = analysis.cfgs[0]
+        # Only the first block is guaranteed; its chain depth is small.
+        assert guaranteed_cp(program, cfg, frozenset(), program.entry) <= 2
+
+
+class TestSoundnessOnBenchmarks:
+    """The certified bounds must hold on real halted executions."""
+
+    BENCHES = ["awk", "matrix300"]
+
+    def test_oracle_respects_static_bounds(self):
+        for name in self.BENCHES:
+            spec = SUITE[name]
+            program = compile_source(spec.source(1), name=name)
+            run = VM(program).run(max_steps=1_000_000)
+            assert run.halted, name
+            facts = analyze_static(program)
+            result = LimitAnalyzer(program, facts.analysis).analyze(
+                run.trace, models=[MachineModel.ORACLE]
+            )
+            oracle = result.models[MachineModel.ORACLE]
+            # Whole-program bound: a halted run pays the guaranteed region.
+            assert oracle.parallel_time >= facts.ilp.guaranteed_cp
+            bound = facts.ilp.static_bound(result.counted_instructions)
+            assert oracle.parallelism <= bound
+            # Per-block primitive: every fully-executed block's chain
+            # depth is a lower bound on the oracle's total time.
+            executed = set(run.trace.pcs)
+            for terminator_pc, depth in facts.ilp.block_chains:
+                if terminator_pc in executed:
+                    assert depth <= oracle.parallel_time
+
+    def test_balance_and_totals_consistent(self):
+        program = compile_source(SUITE["awk"].source(1), name="awk")
+        facts = analyze_static(program)
+        total = sum(f.n_counted for f in facts.ilp.functions)
+        assert total == facts.ilp.total_counted
+        for func in facts.ilp.functions:
+            if func.critical_path:
+                assert func.balance == func.n_counted / func.critical_path

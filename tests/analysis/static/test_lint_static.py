@@ -1,0 +1,69 @@
+"""Unit tests for the STA40x static lint pass."""
+
+from repro.analysis.static.lint import lint_static
+from repro.asm import assemble
+from repro.diagnostics import Severity
+
+FLAGSHIP = """
+__start:
+    jal main            # 0
+    halt                # 1
+.func main
+main:
+    li $t0, 5           # 2
+    li $t1, 5           # 3
+    sw $t0, 0($gp)      # 4  dead: overwritten at 5
+    sw $t1, 0($gp)      # 5
+    beq $t0, $t1, taken # 6  always taken
+    li $v0, 99          # 7  unreachable
+taken:
+    lw $v0, 0($gp)      # 8
+    jr $ra              # 9
+.endfunc
+.func orphan
+orphan:
+    jr $ra              # 10
+.endfunc
+"""
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestLintStatic:
+    def test_all_four_notes_fire(self):
+        diagnostics = lint_static(assemble(FLAGSHIP, name="flagship"))
+        assert set(codes(diagnostics)) == {
+            "STA401", "STA402", "STA403", "STA404",
+        }
+
+    def test_everything_is_a_note(self):
+        diagnostics = lint_static(assemble(FLAGSHIP))
+        assert all(d.severity is Severity.NOTE for d in diagnostics)
+
+    def test_locations(self):
+        diagnostics = lint_static(assemble(FLAGSHIP, name="flagship"))
+        by_code = {d.code: d for d in diagnostics}
+        assert by_code["STA401"].pc == 10
+        assert by_code["STA401"].function == "orphan"
+        assert by_code["STA402"].pc == 4
+        assert by_code["STA403"].pc == 6
+        assert by_code["STA404"].pc == 7
+        assert all(d.source == "flagship" for d in diagnostics)
+
+    def test_clean_program_has_no_notes(self):
+        source = """
+    lw $t0, 0($gp)
+    beq $t0, $zero, out
+    addi $t0, $t0, 1
+out:
+    halt
+"""
+        assert lint_static(assemble(source)) == []
+
+    def test_output_is_deterministic(self):
+        program = assemble(FLAGSHIP, name="flagship")
+        first = [d.render() for d in lint_static(program)]
+        second = [d.render() for d in lint_static(program)]
+        assert first == second

@@ -1,0 +1,187 @@
+"""Unit tests for memory classification and dead-store detection."""
+
+from repro.analysis.static.callgraph import build_call_graph
+from repro.analysis.static.constprop import propagate_constants
+from repro.analysis.static.memdep import (
+    MemClass,
+    classify_memory,
+    find_dead_stores,
+    may_alias,
+)
+from repro.asm import assemble
+
+
+def analyze(source):
+    program = assemble(source)
+    constprop = propagate_constants(build_call_graph(program))
+    return program, constprop
+
+
+class TestClassifyMemory:
+    def test_gp_relative_with_data_is_global(self):
+        source = """
+.data
+v: .word 1, 2, 3
+.text
+    lw $v0, 0($gp)
+    halt
+"""
+        program, constprop = analyze(source)
+        refs = classify_memory(constprop)
+        (ref,) = [r for r in refs if r.pc == 0]
+        assert ref.mem_class is MemClass.GLOBAL
+        assert ref.address == program.data_labels["v"]
+
+    def test_sp_relative_is_stack(self):
+        source = """
+    addi $sp, $sp, -4
+    sw $t0, 0($sp)
+    halt
+"""
+        program, constprop = analyze(source)
+        refs = classify_memory(constprop)
+        (ref,) = [r for r in refs if r.is_store]
+        assert ref.mem_class is MemClass.STACK
+        # $sp is a machine-entry constant, so the address is even proven.
+        assert ref.address == (1 << 22) - 4
+
+    def test_arbitrary_pointer_is_unknown(self):
+        source = """
+.data
+p: .word 64
+.text
+    lw $t0, 0($gp)
+    lw $v0, 0($t0)
+    halt
+"""
+        program, constprop = analyze(source)
+        refs = classify_memory(constprop)
+        (ref,) = [r for r in refs if r.pc == 1]
+        assert ref.mem_class is MemClass.UNKNOWN
+        assert ref.address is None
+
+    def test_unreachable_references_are_skipped(self):
+        source = """
+    li $t0, 1
+    bne $t0, $zero, out
+    lw $v0, 0($gp)
+out:
+    halt
+"""
+        program, constprop = analyze(source)
+        assert classify_memory(constprop) == ()
+
+
+class TestMayAlias:
+    def test_distinct_proven_addresses_never_alias(self):
+        source = """
+.data
+v: .word 1, 2
+.text
+    lw $t0, 0($gp)
+    lw $t1, 4($gp)
+    halt
+"""
+        _, constprop = analyze(source)
+        a, b = classify_memory(constprop)
+        assert not may_alias(a, b)
+        assert may_alias(a, a)
+
+    def test_unknown_aliases_everything(self):
+        source = """
+.data
+v: .word 8
+.text
+    lw $t0, 0($gp)
+    lw $t1, 0($t0)
+    halt
+"""
+        _, constprop = analyze(source)
+        a, b = classify_memory(constprop)
+        assert may_alias(a, b)
+
+
+class TestDeadStores:
+    def test_overwrite_in_block_is_dead(self):
+        source = """
+.data
+v: .word 0
+.text
+    li $t0, 1
+    li $t1, 2
+    sw $t0, 0($gp)
+    sw $t1, 0($gp)
+    halt
+"""
+        program, constprop = analyze(source)
+        (dead,) = find_dead_stores(constprop)
+        assert dead.pc == 2
+        assert dead.overwritten_by == 3
+        assert dead.address == program.data_labels["v"]
+
+    def test_intervening_load_keeps_store_alive(self):
+        source = """
+.data
+v: .word 0
+.text
+    li $t0, 1
+    sw $t0, 0($gp)
+    lw $t2, 0($gp)
+    sw $t0, 0($gp)
+    halt
+"""
+        _, constprop = analyze(source)
+        assert find_dead_stores(constprop) == ()
+
+    def test_intervening_call_keeps_store_alive(self):
+        source = """
+__start:
+    jal main
+    halt
+.func main
+main:
+    li $t0, 1
+    sw $t0, 0($gp)
+    jal f
+    sw $t0, 0($gp)
+    jr $ra
+.endfunc
+.func f
+f:
+    jr $ra
+.endfunc
+"""
+        _, constprop = analyze(source)
+        assert find_dead_stores(constprop) == ()
+
+    def test_unknown_address_load_clears_tracking(self):
+        source = """
+.data
+v: .word 64
+.text
+    li $t0, 1
+    sw $t0, 0($gp)
+    lw $t1, 0($gp)
+    lw $t2, 0($t1)
+    sw $t0, 0($gp)
+    halt
+"""
+        _, constprop = analyze(source)
+        # pc 2 loads v (pops it), pc 3 is an unknown load: nothing dead.
+        assert find_dead_stores(constprop) == ()
+
+    def test_branch_boundary_resets_tracking(self):
+        source = """
+.data
+v: .word 0
+.text
+    li $t0, 1
+    sw $t0, 0($gp)
+    bgez $t9, over
+over:
+    sw $t0, 0($gp)
+    halt
+"""
+        _, constprop = analyze(source)
+        # The stores are in different blocks: no intra-block claim.
+        assert find_dead_stores(constprop) == ()

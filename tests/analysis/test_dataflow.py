@@ -95,3 +95,99 @@ class TestLiveRegisters:
         result = live_registers(program, cfg)
         loop_block = cfg.block_at(0).id
         assert R.T0 in result.block_in[loop_block]
+
+
+MULTI = """
+__start:
+    jal main            # 0
+    halt                # 1
+.func main
+main:
+    li $a0, 3           # 2
+    jal rec             # 3
+    jr $ra              # 4
+.endfunc
+.func rec
+rec:
+    addi $a0, $a0, -1   # 5
+    bgtz $a0, again     # 6
+    jr $ra              # 7
+again:
+    jal rec             # 8
+    jr $ra              # 9
+.endfunc
+.func orphan
+orphan:
+    li $t5, 1           # 10
+    jr $ra              # 11
+.endfunc
+"""
+
+
+class TestInterproceduralCorners:
+    """Gen/kill solves over the corners of a whole program: each covering
+    function gets its own independent CFG, so recursion, unreachable
+    functions, and minimal bodies must all solve cleanly."""
+
+    def cfgs(self):
+        program = assemble(MULTI)
+        return program, {c.function.name: c for c in build_cfgs(program)}
+
+    def test_recursive_function_argument_live_at_entry(self):
+        program, cfgs = self.cfgs()
+        result = live_registers(program, cfgs["rec"])
+        entry = cfgs["rec"].block_at(5).id
+        assert R.A0 in result.block_in[entry]
+
+    def test_recursive_call_site_defines_ra(self):
+        program, cfgs = self.cfgs()
+        result = reaching_definitions(program, cfgs["rec"])
+        # After the recursive jal at 8, the block's $ra def is pc 8.
+        tail = cfgs["rec"].block_at(8).id
+        assert 8 in result.block_out[tail]
+
+    def test_unreachable_function_solves_independently(self):
+        program, cfgs = self.cfgs()
+        # orphan is never called, but its CFG is analyzed like any other.
+        result = reaching_definitions(program, cfgs["orphan"])
+        entry = cfgs["orphan"].block_at(10).id
+        assert 10 in result.block_out[entry]
+        live = live_registers(program, cfgs["orphan"])
+        assert R.T5 not in live.block_in[entry]
+
+    def test_minimal_single_instruction_body(self):
+        source = """
+__start:
+    jal main
+    halt
+.func main
+main:
+    jr $ra
+.endfunc
+"""
+        program = assemble(source)
+        cfgs = {c.function.name: c for c in build_cfgs(program)}
+        result = reaching_definitions(program, cfgs["main"])
+        assert result.block_in == [frozenset()]
+        assert result.block_out == [frozenset()]
+        live = live_registers(program, cfgs["main"])
+        assert R.RA in live.block_in[0]
+
+    def test_empty_program_has_no_cfgs(self):
+        assert list(build_cfgs(assemble(""))) == []
+
+    def test_unreachable_block_keeps_gen_as_out(self):
+        # The wrapper contract: blocks unreachable from the CFG entry
+        # still transfer bottom, so OUT = gen (matches the original
+        # round-robin solvers).
+        source = """
+    j end               # 0
+    li $t0, 7           # 1  unreachable definition
+end:
+    halt                # 2
+"""
+        program = assemble(source)
+        (cfg,) = build_cfgs(program)
+        result = reaching_definitions(program, cfg)
+        dead = cfg.block_at(1).id
+        assert result.block_out[dead] == frozenset({1})

@@ -1,6 +1,7 @@
 """Unit tests for the whole-program analysis summary."""
 
 from repro.analysis import analyze_program
+from repro.analysis.summary import ignored_pcs
 from repro.asm import assemble
 
 
@@ -74,3 +75,47 @@ class TestAnalyzeProgram:
         analysis = analyze_program(program)
         assert analysis.n_blocks == 0
         assert analysis.loop_overhead == frozenset()
+
+
+class TestIgnoredPcs:
+    def analysis(self):
+        return analyze_program(assemble(SOURCE))
+
+    def test_both_flags_off_removes_nothing(self):
+        analysis = self.analysis()
+        assert ignored_pcs(
+            analysis, perfect_inlining=False, perfect_unrolling=False
+        ) == frozenset()
+
+    def test_inlining_removes_calls_and_returns(self):
+        analysis = self.analysis()
+        removed = ignored_pcs(analysis, perfect_unrolling=False)
+        assert 0 in removed  # jal main
+        assert 7 in removed  # ret
+        assert not removed & {3, 4, 5, 6}
+
+    def test_unrolling_removes_loop_overhead(self):
+        analysis = self.analysis()
+        removed = ignored_pcs(analysis, perfect_inlining=False)
+        assert removed == analysis.loop_overhead
+
+    def test_default_is_union_of_both(self):
+        analysis = self.analysis()
+        both = ignored_pcs(analysis)
+        assert both == (
+            ignored_pcs(analysis, perfect_unrolling=False)
+            | ignored_pcs(analysis, perfect_inlining=False)
+        )
+
+    def test_inlining_removes_stack_pointer_writes(self):
+        source = """
+    addi $sp, $sp, -8   # 0: frame setup, removed by perfect inlining
+    sw $ra, 0($sp)      # 1: a store, never removed
+    addi $sp, $sp, 8    # 2
+    halt                # 3
+"""
+        analysis = analyze_program(assemble(source))
+        removed = ignored_pcs(analysis, perfect_unrolling=False)
+        assert {0, 2} <= removed
+        assert 1 not in removed
+        assert 3 not in removed

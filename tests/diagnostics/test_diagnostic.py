@@ -79,10 +79,59 @@ class TestDiagnosticError:
 class TestCodeRegistry:
     def test_code_families(self):
         for code in CODES:
-            assert code[:2] in ("MC", "OB", "TR")
+            assert code[:2] in ("MC", "OB", "TR", "ST")
 
     def test_every_code_documented(self):
         """docs/diagnostics.md must cover every registered code."""
         docs = (REPO_ROOT / "docs" / "diagnostics.md").read_text()
         missing = [code for code in CODES if code not in docs]
         assert not missing, f"undocumented diagnostic codes: {missing}"
+
+
+class TestToJson:
+    def test_all_keys_always_present(self):
+        d = Diagnostic(
+            code="MC101", severity=Severity.WARNING, message="m",
+            source="f.c", line=3, col=9,
+        )
+        doc = d.to_json()
+        assert doc == {
+            "code": "MC101", "severity": "warning", "message": "m",
+            "source": "f.c", "line": 3, "col": 9,
+            "pc": None, "function": None,
+        }
+
+    def test_pc_located_diagnostic(self):
+        d = Diagnostic(
+            code="STA401", severity=Severity.NOTE, message="m",
+            source="bench:x", pc=12, function="main",
+        )
+        doc = d.to_json()
+        assert doc["pc"] == 12
+        assert doc["function"] == "main"
+        assert doc["line"] is None
+        assert doc["severity"] == "note"
+
+
+class TestSortTotalOrder:
+    def test_ties_broken_by_every_field(self):
+        import itertools
+
+        a = Diagnostic(code="STA401", severity=Severity.NOTE,
+                       message="a", source="s", pc=5, function="f")
+        b = Diagnostic(code="STA401", severity=Severity.NOTE,
+                       message="b", source="s", pc=5, function="f")
+        c = Diagnostic(code="STA402", severity=Severity.NOTE,
+                       message="a", source="s", pc=5, function="f")
+        expected = [d.render() for d in sort_diagnostics([a, b, c])]
+        # Any input permutation renders identically: a total order.
+        for perm in itertools.permutations([a, b, c]):
+            got = [d.render() for d in sort_diagnostics(list(perm))]
+            assert got == expected
+
+    def test_missing_locations_sort_first(self):
+        located = Diagnostic(code="MC101", severity=Severity.WARNING,
+                             message="m", source="s", line=1)
+        bare = Diagnostic(code="MC101", severity=Severity.WARNING,
+                          message="m", source="s")
+        assert sort_diagnostics([located, bare])[0] is bare

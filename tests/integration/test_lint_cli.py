@@ -82,3 +82,85 @@ def test_bench_selection(capsys):
 def test_unknown_bench_errors():
     with pytest.raises(SystemExit):
         main(["--bench", "no-such-benchmark"])
+
+
+STATIC_NOTES_ASM = """
+.text
+.func main
+main:
+li $t0, 5
+li $t1, 5
+beq $t0, $t1, out
+li $v0, 99
+out:
+halt
+.endfunc
+"""
+
+
+class TestJsonFormat:
+    def test_stable_schema(self, tmp_path, capsys):
+        import json
+
+        path = write(tmp_path, "uninit.c", UNINIT)
+        assert main([path, "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"diagnostics", "checked", "summary", "exit"}
+        assert doc["checked"] == 1
+        assert doc["exit"] == 1
+        assert doc["summary"]["warning"] >= 1
+        for d in doc["diagnostics"]:
+            assert set(d) == {
+                "code", "severity", "message", "source",
+                "line", "col", "pc", "function",
+            }
+
+    def test_exit_field_matches_status(self, tmp_path, capsys):
+        import json
+
+        path = write(tmp_path, "uninit.c", UNINIT)
+        assert main([path, "--format", "json", "--fail-on", "never"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["exit"] == 0
+
+    def test_diagnostics_sorted(self, tmp_path, capsys):
+        import json
+
+        path = write(tmp_path, "prog.s", STATIC_NOTES_ASM)
+        assert main([path, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        keys = [
+            (d["source"], d["line"] or -1, d["col"] or -1,
+             d["pc"] if d["pc"] is not None else -1, d["code"])
+            for d in doc["diagnostics"]
+        ]
+        assert keys == sorted(keys)
+
+
+class TestStaticPassesWired:
+    def test_assembly_gets_static_notes(self, tmp_path, capsys):
+        path = write(tmp_path, "prog.s", STATIC_NOTES_ASM)
+        assert main([path]) == 0  # notes do not fail the default gate
+        out = capsys.readouterr().out
+        assert "STA403" in out  # const-decided branch
+        assert "STA404" in out  # unreachable fallthrough
+
+    def test_trace_runs_the_differential_gate(self, tmp_path, capsys):
+        import json
+
+        path = write(tmp_path, "prog.s", STATIC_NOTES_ASM)
+        assert main([path, "--trace", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        # The gate ran and reported nothing: no STA41x in a clean program.
+        assert doc["summary"]["error"] == 0
+        codes = {d["code"] for d in doc["diagnostics"]}
+        assert "STA403" in codes
+        assert not any(c.startswith("STA41") for c in codes)
+
+    def test_exit_codes_documented_contract(self, tmp_path):
+        # 0: clean; 1: at/above threshold; 2: usage errors.
+        assert main([write(tmp_path, "clean.c", CLEAN)]) == 0
+        assert main([write(tmp_path, "uninit.c", UNINIT)]) == 1
+        with pytest.raises(SystemExit) as exc:
+            main(["--no-such-flag"])
+        assert exc.value.code == 2
