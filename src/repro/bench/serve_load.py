@@ -1,0 +1,238 @@
+"""``repro-serve-load``: concurrency + correctness harness for repro-serve.
+
+Boots an in-process service (:class:`~repro.serve.server.ServerThread`),
+fires N concurrent clients — each its own tenant — at the same small
+benchmark set, and checks the three properties the service promises:
+
+* **Correctness** — every response body is byte-identical to what the
+  batch farm (:func:`repro.jobs.run_requests`) produces for the same
+  request in a *separate* cache.
+* **Coalescing/dedup economy** — with N clients all asking for the same
+  B benchmarks, the farm executes exactly one graph's worth of jobs:
+  ``4 × B`` (compile, trace, profile, analyze each run once; every other
+  request is coalesced or a cache hit).
+* **Latency visibility** — per-request spans feed the same
+  p50/p95/p99 aggregation ``repro-stats --percentiles`` uses, and the
+  harness prints that table.
+
+Exit status 1 on any mismatch, so CI can run this directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro import telemetry
+from repro.jobs import ArtifactCache, FarmReport, Planner, run_requests
+from repro.jobs.requests import AnalysisRequest
+from repro.serve import ServeClient, ServeConfig, ServerThread
+from repro.telemetry.sinks import load_spans, merge_worker_sinks
+from repro.telemetry.stats_cli import (
+    aggregate_percentiles,
+    render_percentile_table,
+)
+
+#: Farm jobs one cold benchmark costs: compile, trace, profile, analyze.
+JOBS_PER_BENCHMARK = 4
+
+DEFAULT_BENCHMARKS = "eqntott,espresso"
+
+
+def expected_bytes(
+    benchmarks: list[str], max_steps: int, cache_dir: Path
+) -> dict[str, bytes]:
+    """Batch-CLI ground truth: result bytes per benchmark, fresh cache."""
+    cache = ArtifactCache(cache_dir)
+    requests = [AnalysisRequest(name, max_steps=max_steps) for name in benchmarks]
+    run_requests(cache, requests, max_steps=max_steps)
+    planner = Planner(cache, FarmReport())
+    expected = {}
+    for request in requests:
+        request_keys = planner.request_keys(request, None, max_steps)
+        expected[request.benchmark] = cache.result_path(
+            request_keys.result
+        ).read_bytes()
+    return expected
+
+
+def _client_worker(
+    base_url: str,
+    tenant: str,
+    benchmarks: list[str],
+    max_steps: int,
+    barrier: threading.Barrier,
+    out: dict,
+) -> None:
+    client = ServeClient(base_url, token=tenant)
+    results: dict[str, bytes | None] = {}
+    errors: list[str] = []
+    barrier.wait()
+    for name in benchmarks:
+        try:
+            doc, payload = client.submit_and_wait(
+                {"benchmark": name, "max_steps": max_steps}
+            )
+            if payload is None:
+                errors.append(f"{name}: job failed: {doc.get('error')}")
+            results[name] = payload
+        except Exception as exc:
+            errors.append(f"{name}: {exc}")
+            results[name] = None
+    out[tenant] = {"results": results, "errors": errors}
+
+
+def run_load(
+    clients: int,
+    benchmarks: list[str],
+    max_steps: int,
+    *,
+    jobs: int = 1,
+    batch_limit: int = 8,
+    queue_limit: int = 256,
+    work_dir: Path | None = None,
+) -> dict:
+    """One full load run; returns the harness report document."""
+    work_dir = Path(tempfile.mkdtemp(prefix="serve-load-")) if work_dir is None else work_dir
+    serve_cache = work_dir / "serve-cache"
+    batch_cache = work_dir / "batch-cache"
+    telemetry_dir = work_dir / "telemetry"
+
+    print(f"computing batch ground truth in {batch_cache} ...", flush=True)
+    truth = expected_bytes(benchmarks, max_steps, batch_cache)
+
+    telemetry.configure(telemetry_dir)
+    config = ServeConfig(
+        cache_dir=str(serve_cache),
+        queue_limit=queue_limit,
+        batch_limit=batch_limit,
+        jobs=jobs,
+        telemetry_dir=str(telemetry_dir),
+    )
+    outcomes: dict[str, dict] = {}
+    barrier = threading.Barrier(clients)
+    started = time.perf_counter()
+    with ServerThread(config) as server:
+        ServeClient(server.base_url).wait_ready()
+        threads = [
+            threading.Thread(
+                target=_client_worker,
+                args=(
+                    server.base_url,
+                    f"tenant-{i:02d}",
+                    benchmarks,
+                    max_steps,
+                    barrier,
+                    outcomes,
+                ),
+            )
+            for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        health = ServeClient(server.base_url).healthz()
+    wall = time.perf_counter() - started
+    telemetry.flush()
+
+    mismatches: list[str] = []
+    for tenant, outcome in sorted(outcomes.items()):
+        mismatches.extend(f"{tenant}/{error}" for error in outcome["errors"])
+        for name, payload in outcome["results"].items():
+            if payload is not None and payload != truth[name]:
+                mismatches.append(
+                    f"{tenant}/{name}: bytes differ from batch output"
+                )
+
+    executed = health["farm"]["executed"]
+    expected_executed = JOBS_PER_BENCHMARK * len(benchmarks)
+    if executed != expected_executed:
+        mismatches.append(
+            f"farm executed {executed} jobs; expected exactly "
+            f"{expected_executed} (one cold graph for {len(benchmarks)} "
+            f"benchmark(s))"
+        )
+
+    merge_worker_sinks(telemetry_dir)
+    spans = [
+        record
+        for record in load_spans(telemetry_dir)
+        if record.get("name") == "serve.request"
+    ]
+    rows = aggregate_percentiles(spans)
+
+    return {
+        "clients": clients,
+        "benchmarks": benchmarks,
+        "responses": sum(len(o["results"]) for o in outcomes.values()),
+        "executed": executed,
+        "expected_executed": expected_executed,
+        "cache_hits": health["farm"]["cache_hits"],
+        "batches": health["farm"]["batches"],
+        "wall_seconds": wall,
+        "mismatches": mismatches,
+        "percentiles": rows,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-load",
+        description="Hammer an in-process repro-serve with concurrent "
+        "tenants and verify byte-identical, fully coalesced results.",
+    )
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--benchmarks", default=DEFAULT_BENCHMARKS,
+                        help="comma-separated suite benchmark names")
+    parser.add_argument("--max-steps", type=int, default=3000)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="farm worker processes inside the service")
+    parser.add_argument("--batch-limit", type=int, default=8)
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
+    args = parser.parse_args(argv)
+    if args.clients < 1:
+        parser.error("--clients must be positive")
+    benchmarks = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+    if not benchmarks:
+        parser.error("--benchmarks is empty")
+
+    report = run_load(
+        args.clients,
+        benchmarks,
+        args.max_steps,
+        jobs=args.jobs,
+        batch_limit=args.batch_limit,
+    )
+
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{report['clients']} clients x {len(benchmarks)} benchmarks: "
+            f"{report['responses']} responses in "
+            f"{report['wall_seconds']:.2f}s; farm executed "
+            f"{report['executed']} job(s) (expected "
+            f"{report['expected_executed']}), {report['cache_hits']} cache "
+            f"hit(s), {report['batches']} batch(es)"
+        )
+        if report["percentiles"]:
+            print()
+            print(render_percentile_table(report["percentiles"]))
+    if report["mismatches"]:
+        print()
+        for mismatch in report["mismatches"]:
+            print(f"MISMATCH: {mismatch}", file=sys.stderr)
+        return 1
+    print("all responses byte-identical to batch output; coalescing held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,15 @@ work is journaled for ``--resume``, and a deterministic fault injector
 """
 
 from repro.jobs.cache import ArtifactCache
-from repro.jobs.engine import ExecutionEngine, Job, JobGraph, Planner, RunJournal
+from repro.jobs.engine import (
+    ExecutionEngine,
+    Job,
+    JobGraph,
+    Planner,
+    RequestKeys,
+    RunJournal,
+    run_requests,
+)
 from repro.jobs.faults import FaultClause, FaultPlan, FaultSpecError, InjectedFault
 from repro.jobs.report import (
     DEAD,
@@ -50,7 +58,9 @@ __all__ = [
     "RESUMED",
     "RUN",
     "Request",
+    "RequestKeys",
     "RetryPolicy",
     "RunJournal",
     "TraceRequest",
+    "run_requests",
 ]

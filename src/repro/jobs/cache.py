@@ -12,10 +12,22 @@ Layout::
 
 Artifacts are immutable: a key fully determines its content (see
 :mod:`repro.jobs.keys`), so writers never need to invalidate — a new
-input produces a new key.  Writes go through a temporary file followed by
-an atomic :func:`os.replace`, so concurrent workers racing to produce the
-same artifact are harmless (last writer wins with identical bytes) and a
-killed worker never leaves a half-written artifact at a live address.
+input produces a new key.
+
+**Concurrency invariant (atomic rename).**  Every write — artifact and
+sidecar alike — lands in a uniquely named temporary sibling first and is
+published with an atomic :func:`os.replace` to its final, content-keyed
+address.  A reader therefore observes either no file or complete bytes,
+never a torn write, and concurrent producers racing to store the same
+key are harmless: keys are content addresses, so the racers carry
+identical bytes and last-writer-wins changes nothing.  This is what lets
+any number of execution engines — pool workers of one farm run, several
+``repro-experiments`` invocations, or a long-lived ``repro-serve``
+process next to ad-hoc batch runs — share one cache directory with no
+locking.  The only cross-process ordering rule is embedded in
+:meth:`ArtifactCache._present`: the artifact is replaced *before* its
+sidecar, and presence requires both, so a reader never trusts an
+artifact whose checksum has not been published yet.
 
 Every artifact carries a sidecar checksum (``<name>.sha256``) written
 from the exact bytes stored.  Loads verify it: a mismatch (torn write,
@@ -24,8 +36,11 @@ into ``corrupt/`` and raises :class:`~repro.vm.trace_io.
 CorruptArtifactError`, whose ``key`` lets the execution engine re-produce
 exactly the damaged artifact instead of crashing the run.  An artifact
 without its sidecar (a crash landed between the two writes) is treated as
-absent, so it is transparently re-produced.  Stores also sweep orphaned
-``.tmp`` siblings left by killed writers.
+absent, so it is transparently re-produced.  Temporary files abandoned by
+killed writers are reclaimed by :meth:`ArtifactCache.sweep_orphans`,
+which ``repro-serve`` runs once at startup; stores themselves never
+delete temp siblings, because a temp file they can see might belong to a
+*live* concurrent writer, not a dead one.
 """
 
 from __future__ import annotations
@@ -51,11 +66,39 @@ CHECKSUM_SUFFIX = ".sha256"
 CORRUPT_DIR = "corrupt"
 
 
+#: Artifact subdirectories swept by :meth:`ArtifactCache.sweep_orphans`.
+ARTIFACT_DIRS = ("asm", "traces", "profiles", "results")
+
+
 class ArtifactCache:
     """On-disk artifact store addressed by content keys."""
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
+
+    def sweep_orphans(self) -> int:
+        """Delete every orphaned ``.tmp`` sibling in the cache; return count.
+
+        Temporary files are dot-prefixed (``.<artifact>.<random>``) and
+        only live between a writer's ``mkstemp`` and its ``os.replace``,
+        so with no writers running, any found by a scan belong to
+        writers that died mid-store.  Long-lived services call this once
+        at startup.  Calling it while another process is actively
+        storing is safe for the *cache* — a racing writer whose temp
+        file vanishes under it treats the publish as lost to an
+        identical-bytes racer (see ``_replace_published``) — but it can
+        waste that writer's work, so don't run it periodically.
+        """
+        removed = 0
+        for kind in ARTIFACT_DIRS:
+            directory = self.root / kind
+            if not directory.is_dir():
+                continue
+            for orphan in directory.glob(".*"):
+                if orphan.is_file():
+                    _discard(orphan)
+                    removed += 1
+        return removed
 
     # -- paths ---------------------------------------------------------
 
@@ -113,14 +156,13 @@ class ArtifactCache:
     def store_trace(self, key: str, trace: Trace) -> None:
         path = self.trace_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        self._sweep_orphans(path)
         tmp = _tmp_sibling(path)
         try:
             # save_trace picks compression from the suffix; keep .gz on
             # the temporary file so the final artifact really is gzipped.
             save_trace(trace, tmp)
             digest = _sha256_file(tmp)
-            os.replace(tmp, path)
+            _replace_published(tmp, path)
         finally:
             _discard(tmp)
         self._write_checksum(path, digest)
@@ -233,11 +275,10 @@ class ArtifactCache:
 
     def _write_bytes(self, path: Path, data: bytes) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
-        self._sweep_orphans(path)
         tmp = _tmp_sibling(path)
         try:
             tmp.write_bytes(data)
-            os.replace(tmp, path)
+            _replace_published(tmp, path)
         finally:
             _discard(tmp)
         self._write_checksum(path, hashlib.sha256(data).hexdigest())
@@ -245,25 +286,12 @@ class ArtifactCache:
     def _write_checksum(self, path: Path, digest: str) -> None:
         """Atomically write *path*'s sidecar (no sidecar-of-sidecar)."""
         sidecar = self.checksum_path(path)
-        self._sweep_orphans(sidecar)
         tmp = _tmp_sibling(sidecar)
         try:
             tmp.write_text(digest + "\n", encoding="utf-8")
-            os.replace(tmp, sidecar)
+            _replace_published(tmp, sidecar)
         finally:
             _discard(tmp)
-
-    @staticmethod
-    def _sweep_orphans(path: Path) -> None:
-        """Remove temp siblings a killed writer left for *path*.
-
-        Temp files are named ``.<artifact-name>.<random>``; any still on
-        disk when a new store begins belong to a dead writer (a live
-        racer would produce identical bytes anyway, and losing its temp
-        file only makes it restart the store).
-        """
-        for orphan in path.parent.glob(f".{path.name}.*"):
-            _discard(orphan)
 
 
 def _sha256_file(path: Path) -> str:
@@ -272,6 +300,22 @@ def _sha256_file(path: Path) -> str:
         for chunk in iter(lambda: stream.read(1 << 20), b""):
             digest.update(chunk)
     return digest.hexdigest()
+
+
+def _replace_published(tmp: Path, path: Path) -> None:
+    """Publish *tmp* at *path*, tolerating a racer that got there first.
+
+    If the temp file vanished out from under this writer (an aggressive
+    :meth:`ArtifactCache.sweep_orphans` on a live cache), the publish is
+    only lost if nobody else published: keys are content addresses, so a
+    racer's bytes at *path* are identical to ours and the store already
+    succeeded from the reader's point of view.
+    """
+    try:
+        os.replace(tmp, path)
+    except FileNotFoundError:
+        if not path.exists():
+            raise
 
 
 def _tmp_sibling(path: Path) -> Path:

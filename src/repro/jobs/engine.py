@@ -103,11 +103,22 @@ class RunJournal:
     JSON line and flushes, so a SIGKILL loses at most the in-flight job.
     ``--resume`` loads the journal and skips journaled jobs whose
     artifacts are still cached and intact.
+
+    A journal is a context manager; :meth:`close` runs on exit whether
+    the engine retired the graph or raised, so long-lived processes that
+    execute many graphs (the ``repro-serve`` scheduler) never leak file
+    handles.
     """
 
     def __init__(self, directory: str | Path, graph: JobGraph):
         self.path = Path(directory) / f"{graph.digest()}.jsonl"
         self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def load(self) -> set[str]:
         """Previously retired job keys (tolerates a torn final line)."""
@@ -151,8 +162,35 @@ class RunJournal:
             self._handle = None
 
 
+@dataclass(frozen=True)
+class RequestKeys:
+    """Content addresses of every artifact one request resolves to.
+
+    ``result`` is ``None`` for a bare :class:`TraceRequest`.  Exposed so
+    callers that need to map a request back to its artifacts after a run
+    (the ``repro-serve`` scheduler, the load harness) share the planner's
+    key derivation instead of re-implementing it.
+    """
+
+    compile: str
+    trace: str
+    profile: str
+    result: str | None = None
+
+    def all(self) -> tuple[str, ...]:
+        keys_ = (self.compile, self.trace, self.profile, self.result)
+        return tuple(k for k in keys_ if k is not None)
+
+
 class Planner:
-    """Expands requests into a job graph against one cache/config."""
+    """Expands requests into a job graph against one cache/config.
+
+    ``adhoc`` maps benchmark names to :class:`~repro.bench.BenchmarkSpec`
+    objects that are not in the static :data:`~repro.bench.SUITE` — the
+    ad-hoc MiniC submissions of ``repro-serve``.  Jobs planned for an
+    ad-hoc spec carry the MiniC source in their payload so process-pool
+    workers (whose ``SUITE`` lacks the spec) can compile it locally.
+    """
 
     def __init__(
         self,
@@ -160,12 +198,19 @@ class Planner:
         report: FarmReport,
         telemetry_dir: str | None = None,
         profile: bool = False,
+        adhoc: dict[str, "BenchmarkSpec"] | None = None,
     ):
         self.cache = cache
         self.report = report
         self.telemetry_dir = str(telemetry_dir) if telemetry_dir is not None else None
         self.profile = profile
+        self.adhoc = adhoc if adhoc is not None else {}
         self._fingerprints: dict[tuple[str, int], str] = {}
+
+    def spec(self, benchmark: str) -> "BenchmarkSpec":
+        """The suite spec for *benchmark*, or its ad-hoc registration."""
+        spec = self.adhoc.get(benchmark)
+        return spec if spec is not None else SUITE[benchmark]
 
     def _telemetry_payload(self) -> tuple[str | None, bool]:
         """Telemetry directory + profile flag to embed in job payloads.
@@ -191,7 +236,7 @@ class Planner:
         memo = self._fingerprints.get((benchmark, scale))
         if memo is not None:
             return memo
-        spec = SUITE[benchmark]
+        spec = self.spec(benchmark)
         source = spec.source(scale)
         compile_key = keys.compile_key(benchmark, scale, source)
         fingerprint = None
@@ -217,6 +262,46 @@ class Planner:
 
     # -- downstream stages ----------------------------------------------
 
+    def _resolve(self, request: Request, default_scale, default_max_steps):
+        spec = self.spec(request.benchmark)
+        scale = default_scale if default_scale is not None else spec.default_scale
+        max_steps = (
+            request.max_steps if request.max_steps is not None else default_max_steps
+        )
+        return scale, max_steps
+
+    def request_keys(
+        self,
+        request: Request,
+        default_scale: int | None,
+        default_max_steps: int,
+    ) -> RequestKeys:
+        """Content addresses of every artifact *request* maps to.
+
+        Derives keys exactly as :meth:`plan` does (including running the
+        in-planner compile stage when the fingerprint is not memoized),
+        without adding any jobs to a graph.
+        """
+        scale, max_steps = self._resolve(request, default_scale, default_max_steps)
+        spec = self.spec(request.benchmark)
+        compile_key = keys.compile_key(
+            request.benchmark, scale, spec.source(scale)
+        )
+        trace_key = keys.trace_key(
+            self.fingerprint(request.benchmark, scale), scale, max_steps
+        )
+        profile_key = keys.profile_key(trace_key)
+        result_key = None
+        if isinstance(request, AnalysisRequest):
+            result_key = keys.result_key(
+                trace_key,
+                request.model_labels,
+                request.perfect_unrolling,
+                request.perfect_inlining,
+                request.collect_misprediction_stats,
+            )
+        return RequestKeys(compile_key, trace_key, profile_key, result_key)
+
     def plan(
         self,
         requests: Iterable[Request],
@@ -226,10 +311,8 @@ class Planner:
         graph = JobGraph()
         telemetry_dir, profile = self._telemetry_payload()
         for request in requests:
-            spec = SUITE[request.benchmark]
-            scale = default_scale if default_scale is not None else spec.default_scale
-            max_steps = (
-                request.max_steps if request.max_steps is not None else default_max_steps
+            scale, max_steps = self._resolve(
+                request, default_scale, default_max_steps
             )
             trace_key, profile_key = self._add_trace_jobs(
                 graph, request.benchmark, scale, max_steps, telemetry_dir, profile
@@ -249,24 +332,35 @@ class Planner:
                         stage="analyze",
                         benchmark=request.benchmark,
                         deps=(trace_key, profile_key),
-                        payload={
-                            "stage": "analyze",
-                            "key": result_key,
-                            "benchmark": request.benchmark,
-                            "scale": scale,
-                            "trace": trace_key,
-                            "profile": profile_key,
-                            "models": list(labels),
-                            "perfect_unrolling": request.perfect_unrolling,
-                            "perfect_inlining": request.perfect_inlining,
-                            "misprediction_stats": request.collect_misprediction_stats,
-                            "cache_dir": str(self.cache.root),
-                            "telemetry": telemetry_dir,
-                            "profiling": profile,
-                        },
+                        payload=self._with_source(
+                            request.benchmark,
+                            scale,
+                            {
+                                "stage": "analyze",
+                                "key": result_key,
+                                "benchmark": request.benchmark,
+                                "scale": scale,
+                                "trace": trace_key,
+                                "profile": profile_key,
+                                "models": list(labels),
+                                "perfect_unrolling": request.perfect_unrolling,
+                                "perfect_inlining": request.perfect_inlining,
+                                "misprediction_stats": request.collect_misprediction_stats,
+                                "cache_dir": str(self.cache.root),
+                                "telemetry": telemetry_dir,
+                                "profiling": profile,
+                            },
+                        ),
                     )
                 )
         return graph
+
+    def _with_source(self, benchmark: str, scale: int, payload: dict) -> dict:
+        """Embed ad-hoc MiniC source so pool workers can compile it."""
+        spec = self.adhoc.get(benchmark)
+        if spec is not None:
+            payload["source"] = spec.source(scale)
+        return payload
 
     def _add_trace_jobs(
         self,
@@ -285,16 +379,20 @@ class Planner:
                 key=trace_key,
                 stage="trace",
                 benchmark=benchmark,
-                payload={
-                    "stage": "trace",
-                    "key": trace_key,
-                    "benchmark": benchmark,
-                    "scale": scale,
-                    "max_steps": max_steps,
-                    "cache_dir": str(self.cache.root),
-                    "telemetry": telemetry_dir,
-                    "profiling": profile,
-                },
+                payload=self._with_source(
+                    benchmark,
+                    scale,
+                    {
+                        "stage": "trace",
+                        "key": trace_key,
+                        "benchmark": benchmark,
+                        "scale": scale,
+                        "max_steps": max_steps,
+                        "cache_dir": str(self.cache.root),
+                        "telemetry": telemetry_dir,
+                        "profiling": profile,
+                    },
+                ),
             )
         )
         graph.add(
@@ -303,19 +401,59 @@ class Planner:
                 stage="profile",
                 benchmark=benchmark,
                 deps=(trace_key,),
-                payload={
-                    "stage": "profile",
-                    "key": profile_key,
-                    "benchmark": benchmark,
-                    "scale": scale,
-                    "trace": trace_key,
-                    "cache_dir": str(self.cache.root),
-                    "telemetry": telemetry_dir,
-                    "profiling": profile,
-                },
+                payload=self._with_source(
+                    benchmark,
+                    scale,
+                    {
+                        "stage": "profile",
+                        "key": profile_key,
+                        "benchmark": benchmark,
+                        "scale": scale,
+                        "trace": trace_key,
+                        "cache_dir": str(self.cache.root),
+                        "telemetry": telemetry_dir,
+                        "profiling": profile,
+                    },
+                ),
             )
         )
         return trace_key, profile_key
+
+
+def run_requests(
+    cache: ArtifactCache,
+    requests: Iterable[Request],
+    *,
+    max_steps: int = 150_000,
+    default_scale: int | None = None,
+    jobs: int = 1,
+    retry: RetryPolicy | None = None,
+    faults: str | FaultPlan | None = None,
+    resume: bool = False,
+    adhoc: dict | None = None,
+    report: FarmReport | None = None,
+) -> FarmReport:
+    """Plan *requests* into a job graph, retire it, and return the report.
+
+    The library entry point onto the farm: everything the
+    ``repro-experiments`` CLI does to produce artifacts — planning,
+    deduplication, cache hits, retries — behind one call, with no table
+    rendering attached.  ``repro-serve`` batches live through here, as
+    does the serve load harness when it computes expected result bytes.
+
+    All artifacts land in *cache*; use
+    :meth:`Planner.request_keys` to locate them afterwards.  Passing an
+    existing *report* accumulates across calls instead of starting fresh.
+    """
+    if report is None:
+        report = FarmReport()
+    planner = Planner(cache, report, adhoc=adhoc)
+    graph = planner.plan(requests, default_scale, max_steps)
+    engine = ExecutionEngine(
+        cache, jobs=jobs, retry=retry, faults=faults, resume=resume
+    )
+    engine.execute(graph, report)
+    return report
 
 
 class _RunState:
@@ -388,22 +526,20 @@ class ExecutionEngine:
         self.resume = resume
 
     def execute(self, graph: JobGraph, report: FarmReport) -> None:
-        journal = RunJournal(self.cache.root / "journal", graph)
-        retired = journal.load() if self.resume else set()
-        done: set[str] = set()
-        pending: dict[str, Job] = {}
-        for job in graph:
-            if self._cached(job):
-                status = RESUMED if job.key in retired else HIT
-                report.record(job.key, job.stage, job.benchmark, status)
-                done.add(job.key)
-            else:
-                pending[job.key] = job
-        if not pending:
-            journal.close()
-            return
-        state = _RunState(graph, pending, done)
-        try:
+        with RunJournal(self.cache.root / "journal", graph) as journal:
+            retired = journal.load() if self.resume else set()
+            done: set[str] = set()
+            pending: dict[str, Job] = {}
+            for job in graph:
+                if self._cached(job):
+                    status = RESUMED if job.key in retired else HIT
+                    report.record(job.key, job.stage, job.benchmark, status)
+                    done.add(job.key)
+                else:
+                    pending[job.key] = job
+            if not pending:
+                return
+            state = _RunState(graph, pending, done)
             with telemetry.span(
                 "farm.execute", jobs=len(pending), workers=self.jobs
             ):
@@ -411,8 +547,6 @@ class ExecutionEngine:
                     self._execute_serial(state, report, journal)
                 else:
                     self._execute_parallel(state, report, journal)
-        finally:
-            journal.close()
         self._merge_telemetry()
 
     @staticmethod

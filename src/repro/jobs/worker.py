@@ -12,6 +12,9 @@ timing record is returned.
 Programs are not shipped either: each worker recompiles the benchmark's
 MiniC source locally (compilation is ~3 orders of magnitude cheaper than
 tracing) and memoizes it per process via the benchmark compile cache.
+Ad-hoc submissions (``repro-serve`` jobs compiled from client-supplied
+MiniC rather than a suite benchmark) carry their source in the payload,
+since the worker process's :data:`~repro.bench.SUITE` cannot know them.
 """
 
 from __future__ import annotations
@@ -88,8 +91,27 @@ def _artifact_path(payload: dict):
     return lookup[payload["stage"]](payload["key"])
 
 
+#: Per-process memo of ad-hoc programs (name embeds the source digest).
+_ADHOC_PROGRAMS: dict = {}
+
+
 def _program(payload: dict):
-    return SUITE[payload["benchmark"]].compile(payload["scale"])
+    spec = SUITE.get(payload["benchmark"])
+    if spec is not None:
+        return spec.compile(payload["scale"])
+    source = payload.get("source")
+    if source is None:
+        raise KeyError(
+            f"unknown benchmark {payload['benchmark']!r} and the payload "
+            f"carries no inline MiniC source"
+        )
+    name = payload["benchmark"]
+    program = _ADHOC_PROGRAMS.get(name)
+    if program is None:
+        from repro.lang import compile_source
+
+        program = _ADHOC_PROGRAMS[name] = compile_source(source, name=name)
+    return program
 
 
 def _trace_job(payload: dict) -> None:

@@ -1,0 +1,53 @@
+"""Analysis-as-a-service front end on the experiment farm.
+
+``repro-serve`` exposes the pipeline — compile, trace, analyze, for
+suite benchmarks or ad-hoc MiniC source — over a small HTTP API backed
+by the :mod:`repro.jobs` farm and its content-addressed artifact cache.
+Stdlib only: the server is raw :mod:`asyncio`, the client raw
+:mod:`http.client`.
+
+Multi-tenant by construction: submissions are admitted through a
+bounded :class:`~repro.serve.queue.FairQueue` (backpressure via HTTP
+429), scheduled round-robin across API tokens, coalesced when identical
+submissions race (:class:`~repro.serve.jobstore.JobStore`), and executed
+in merged batches by the :class:`~repro.serve.scheduler.BatchScheduler`
+so the farm's deduplication and cache do the heavy lifting.  Results are
+served as the raw cache artifact bytes — byte-identical to what the
+batch ``repro-experiments`` CLI produces for the same request.
+
+See ``docs/serve.md`` for the API reference and deployment notes.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.jobstore import JobStore, ServeJob
+from repro.serve.queue import FairQueue, QueueFull
+from repro.serve.scheduler import BatchScheduler, artifact_location
+from repro.serve.server import Request, Response, ServeApp, ServeConfig, ServerThread
+from repro.serve.submission import (
+    SubmissionError,
+    SubmissionSpec,
+    adhoc_name,
+    adhoc_spec,
+    parse_submission,
+)
+
+__all__ = [
+    "BatchScheduler",
+    "FairQueue",
+    "JobStore",
+    "QueueFull",
+    "Request",
+    "Response",
+    "ServeApp",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServeJob",
+    "ServerThread",
+    "SubmissionError",
+    "SubmissionSpec",
+    "adhoc_name",
+    "adhoc_spec",
+    "artifact_location",
+    "parse_submission",
+]

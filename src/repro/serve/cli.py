@@ -1,0 +1,100 @@
+"""``repro-serve``: run the analysis service from the command line.
+
+Boots one :class:`~repro.serve.server.ServeApp` on the foreground event
+loop, wires SIGTERM/SIGINT to a graceful drain, and exits 0 once the
+drain completes.  All state worth keeping lives in the artifact cache
+directory, so stopping and restarting the service loses nothing but
+in-flight job documents.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+
+from repro import telemetry
+from repro.serve.server import ServeApp, ServeConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve compile/trace/analyze jobs over HTTP, backed by "
+        "the experiment farm and its content-addressed artifact cache.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8321,
+                        help="listen port (0 picks a free one)")
+    parser.add_argument("--cache-dir", default=".repro-cache",
+                        help="artifact cache shared with the batch CLI")
+    parser.add_argument("--queue-limit", type=int, default=64,
+                        help="max queued submissions before 429")
+    parser.add_argument("--batch-limit", type=int, default=8,
+                        help="max submissions per farm batch")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="farm worker processes per batch")
+    parser.add_argument("--retain", type=int, default=1024,
+                        help="finished job documents kept for polling")
+    parser.add_argument("--max-steps", type=int, default=150_000,
+                        help="default per-job trace step budget")
+    parser.add_argument("--max-steps-cap", type=int, default=2_000_000,
+                        help="largest max_steps a submission may request")
+    parser.add_argument("--telemetry-dir", default=None,
+                        help="enable telemetry (spans + farm metrics) here")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile farm stages (requires --telemetry-dir)")
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+async def _serve(app: ServeApp, quiet: bool) -> None:
+    await app.start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, app.begin_shutdown)
+        except NotImplementedError:  # non-Unix event loop
+            pass
+    if not quiet:
+        print(
+            f"repro-serve listening on http://{app.config.host}:{app.port} "
+            f"(cache {app.config.cache_dir}, queue limit "
+            f"{app.config.queue_limit}, swept {app.swept} orphan(s))",
+            flush=True,
+        )
+    await app.run_until_drained()
+    if not quiet:
+        print("repro-serve drained, exiting", flush=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.telemetry_dir:
+        telemetry.configure(args.telemetry_dir, profile=args.profile)
+    config = ServeConfig(
+        cache_dir=args.cache_dir,
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        batch_limit=args.batch_limit,
+        jobs=args.jobs,
+        retain=args.retain,
+        max_steps=args.max_steps,
+        max_steps_cap=args.max_steps_cap,
+        telemetry_dir=args.telemetry_dir,
+        profile=args.profile,
+    )
+    app = ServeApp(config)
+    try:
+        asyncio.run(_serve(app, args.quiet))
+    except KeyboardInterrupt:
+        pass
+    if args.telemetry_dir:
+        telemetry.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

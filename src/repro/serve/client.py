@@ -1,0 +1,184 @@
+"""Synchronous client for the repro-serve HTTP API.
+
+A thin :mod:`http.client` wrapper — one connection per call, matching
+the server's ``Connection: close`` discipline — used by the CI smoke
+job, the load harness, and anyone scripting against a running service.
+Also a small CLI (``python -m repro.serve.client``) for ad-hoc pokes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import time
+import urllib.parse
+
+
+class ServeError(RuntimeError):
+    """A non-success response from the service."""
+
+    def __init__(self, status: int, payload: object):
+        self.status = status
+        self.payload = payload
+        super().__init__(f"HTTP {status}: {payload}")
+
+
+class ServeClient:
+    """Talks to one repro-serve instance at *base_url*."""
+
+    def __init__(self, base_url: str, token: str | None = None, timeout: float = 120.0):
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme != "http" or parsed.hostname is None:
+            raise ValueError(f"expected an http:// base URL, got {base_url!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.token = token
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict[str, str], bytes]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Connection": "close"}
+            if self.token:
+                headers["X-Api-Token"] = self.token
+            payload = None
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            return (
+                response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                data,
+            )
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _json(data: bytes) -> dict:
+        try:
+            return json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return {"raw": data.decode("utf-8", "replace")}
+
+    # -- API ------------------------------------------------------------
+
+    def submit(self, submission: dict) -> dict:
+        """POST a submission; returns the job document (HTTP 202)."""
+        status, _, data = self._request("POST", "/v1/jobs", submission)
+        doc = self._json(data)
+        if status != 202:
+            raise ServeError(status, doc)
+        return doc
+
+    def job(self, job_id: str) -> dict:
+        status, _, data = self._request("GET", f"/v1/jobs/{job_id}")
+        doc = self._json(data)
+        if status != 200:
+            raise ServeError(status, doc)
+        return doc
+
+    def result(self, job_id: str) -> bytes:
+        """Raw result artifact bytes; raises unless the job is done."""
+        status, _, data = self._request("GET", f"/v1/jobs/{job_id}/result")
+        if status != 200:
+            raise ServeError(status, self._json(data))
+        return data
+
+    def wait(self, job_id: str, timeout: float = 300.0, poll: float = 0.05) -> dict:
+        """Poll until the job settles; returns its final document."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc["status"] in ("done", "failed"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc['status']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def submit_and_wait(
+        self, submission: dict, timeout: float = 300.0
+    ) -> tuple[dict, bytes | None]:
+        """Submit, wait, and fetch bytes; (final doc, bytes or None)."""
+        job_id = self.submit(submission)["job"]
+        doc = self.wait(job_id, timeout=timeout)
+        if doc["status"] != "done":
+            return doc, None
+        return doc, self.result(job_id)
+
+    def healthz(self) -> dict:
+        status, _, data = self._request("GET", "/healthz")
+        doc = self._json(data)
+        if status != 200:
+            raise ServeError(status, doc)
+        return doc
+
+    def metrics(self) -> str:
+        status, _, data = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(status, self._json(data))
+        return data.decode("utf-8")
+
+    def wait_ready(self, timeout: float = 30.0) -> dict:
+        """Poll /healthz until the service answers (boot handshake)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except (OSError, ServeError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.1)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-client",
+        description="Submit a job to a running repro-serve and print the result.",
+    )
+    parser.add_argument("--url", default="http://127.0.0.1:8321")
+    parser.add_argument("--token", default=None, help="tenant API token")
+    parser.add_argument("--benchmark", help="suite benchmark name")
+    parser.add_argument(
+        "--source", help="path to a MiniC file to submit ad hoc"
+    )
+    parser.add_argument("--stage", default="analyze",
+                        choices=("compile", "trace", "analyze"))
+    parser.add_argument("--max-steps", type=int, default=None)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    args = parser.parse_args(argv)
+
+    if (args.benchmark is None) == (args.source is None):
+        parser.error("provide exactly one of --benchmark or --source")
+    submission: dict = {"stage": args.stage}
+    if args.benchmark:
+        submission["benchmark"] = args.benchmark
+    else:
+        with open(args.source, encoding="utf-8") as handle:
+            submission["source"] = handle.read()
+    if args.max_steps is not None:
+        submission["max_steps"] = args.max_steps
+
+    client = ServeClient(args.url, token=args.token)
+    doc, payload = client.submit_and_wait(submission, timeout=args.timeout)
+    if payload is None:
+        print(json.dumps(doc, indent=2, sort_keys=True), file=sys.stderr)
+        return 1
+    sys.stdout.buffer.write(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

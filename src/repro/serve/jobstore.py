@@ -1,0 +1,178 @@
+"""In-memory job records: what every poll and result fetch reads.
+
+One :class:`ServeJob` per *distinct active submission*.  The store keys
+active jobs by the submission digest, so a second identical submission —
+from the same tenant or another — coalesces onto the in-flight job
+instead of planning a second graph.  Finished jobs leave the coalescing
+index immediately (a repeat of a finished submission is a *new* job,
+which the content-addressed cache then serves without executing
+anything) and are retained for polling until evicted FIFO past the
+retention bound, so a long-lived service holds bounded state no matter
+how much traffic it has absorbed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.serve.submission import SubmissionSpec
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: Statuses a job can end in (and leave the coalescing index with).
+FINISHED = (DONE, FAILED)
+
+
+@dataclass
+class ServeJob:
+    """One accepted submission moving through the service."""
+
+    id: str
+    digest: str
+    tenant: str
+    spec: SubmissionSpec
+    status: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Content address of the artifact the result endpoint serves.
+    result_key: str | None = None
+    content_type: str = "application/json"
+    error: str | None = None
+    #: Failure provenance (FailureRecord fields) for this job's keys.
+    failures: list[dict] = field(default_factory=list)
+    #: Identical submissions folded into this job while it was active.
+    coalesced: int = 0
+    #: Farm jobs executed (vs served from cache) resolving this job.
+    executed: int = 0
+    hits: int = 0
+
+    def to_json(self) -> dict:
+        """The status document ``GET /v1/jobs/<id>`` serves."""
+        doc = {
+            "job": self.id,
+            "status": self.status,
+            "stage": self.spec.stage,
+            "benchmark": self.spec.benchmark,
+            "max_steps": self.spec.max_steps,
+            "tenant": self.tenant,
+            "submitted_at": round(self.submitted_at, 6),
+            "coalesced": self.coalesced,
+        }
+        if self.started_at is not None:
+            doc["started_at"] = round(self.started_at, 6)
+        if self.finished_at is not None:
+            doc["finished_at"] = round(self.finished_at, 6)
+            doc["executed"] = self.executed
+            doc["cache_hits"] = self.hits
+        if self.status == DONE:
+            doc["result"] = f"/v1/jobs/{self.id}/result"
+            doc["result_key"] = self.result_key
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.failures:
+            doc["failures"] = self.failures
+        return doc
+
+
+class JobStore:
+    """All jobs the service knows about, with bounded retention."""
+
+    def __init__(self, retain: int = 1024):
+        if retain < 1:
+            raise ValueError("retain must be positive")
+        self.retain = retain
+        self._jobs: "OrderedDict[str, ServeJob]" = OrderedDict()
+        self._active: dict[str, str] = {}  # submission digest -> job id
+        self._seq = itertools.count(1)
+
+    def submit(
+        self, spec: SubmissionSpec, tenant: str
+    ) -> tuple[ServeJob, bool]:
+        """Create a job for *spec*, or coalesce onto the active one.
+
+        Returns ``(job, created)``; ``created`` is False when an
+        identical submission is already queued or running, in which case
+        the caller must *not* enqueue anything.
+        """
+        digest = spec.digest()
+        active_id = self._active.get(digest)
+        if active_id is not None:
+            job = self._jobs[active_id]
+            job.coalesced += 1
+            return job, False
+        job = ServeJob(
+            id=f"j{next(self._seq):06d}-{digest[:8]}",
+            digest=digest,
+            tenant=tenant,
+            spec=spec,
+        )
+        self._jobs[job.id] = job
+        self._active[digest] = job.id
+        return job, True
+
+    def discard(self, job: ServeJob) -> None:
+        """Forget a job that was never enqueued (backpressure rejection)."""
+        self._active.pop(job.digest, None)
+        self._jobs.pop(job.id, None)
+
+    def get(self, job_id: str) -> ServeJob | None:
+        return self._jobs.get(job_id)
+
+    def mark_running(self, job: ServeJob) -> None:
+        job.status = RUNNING
+        job.started_at = time.time()
+
+    def finish(
+        self,
+        job: ServeJob,
+        status: str,
+        *,
+        result_key: str | None = None,
+        content_type: str | None = None,
+        error: str | None = None,
+        failures: list[dict] | None = None,
+        executed: int = 0,
+        hits: int = 0,
+    ) -> None:
+        """Settle a job and release its coalescing slot."""
+        assert status in FINISHED, status
+        job.status = status
+        job.finished_at = time.time()
+        job.result_key = result_key
+        if content_type is not None:
+            job.content_type = content_type
+        job.error = error
+        job.failures = failures if failures is not None else []
+        job.executed = executed
+        job.hits = hits
+        self._active.pop(job.digest, None)
+        self._evict()
+
+    def _evict(self) -> None:
+        """Drop the oldest *finished* jobs beyond the retention bound."""
+        excess = len(self._jobs) - self.retain
+        if excess <= 0:
+            return
+        for job_id in [
+            jid
+            for jid, job in self._jobs.items()
+            if job.status in FINISHED
+        ][:excess]:
+            del self._jobs[job_id]
+
+    def counts(self) -> dict[str, int]:
+        """Job tally by status (the healthz document)."""
+        tally = {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0}
+        for job in self._jobs.values():
+            tally[job.status] = tally.get(job.status, 0) + 1
+        return tally
+
+    def __len__(self) -> int:
+        return len(self._jobs)

@@ -1,0 +1,91 @@
+"""Bounded multi-tenant admission queue with round-robin fairness.
+
+The queue is the service's backpressure point: total depth is capped
+across all tenants, and a push past capacity raises :class:`QueueFull`,
+which the server maps to HTTP 429 with a ``Retry-After`` hint.  Nothing
+is ever silently dropped — a submission is either queued or refused at
+the door.
+
+Fairness is round-robin over tenants, not FIFO over arrivals: each
+tenant has its own FIFO lane, and :meth:`pop_batch` drains lanes by
+rotating through the tenants that currently have work.  A tenant
+flooding the queue can exhaust *capacity* (new pushes from everyone get
+429) but cannot starve *scheduling* — a lone job from a quiet tenant is
+picked ahead of the flooder's backlog.
+
+Single-threaded by design: every method must be called from the event
+loop thread.  The only coordination primitive is an :class:`asyncio.Event`
+the scheduler waits on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, Iterable
+
+
+class QueueFull(Exception):
+    """The queue is at capacity; the submission was refused."""
+
+
+class FairQueue:
+    """Bounded queue of :class:`~repro.serve.jobstore.ServeJob` entries."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._lanes: dict[str, Deque] = {}
+        #: Tenants with non-empty lanes, in service order.
+        self._rotation: Deque[str] = deque()
+        self._depth = 0
+        self._ready = asyncio.Event()
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def push(self, tenant: str, job) -> None:
+        """Enqueue *job* for *tenant*, or raise :class:`QueueFull`."""
+        if self._depth >= self.capacity:
+            raise QueueFull(
+                f"queue at capacity ({self.capacity} submissions pending)"
+            )
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            lane = self._lanes[tenant] = deque()
+        if not lane:
+            self._rotation.append(tenant)
+        lane.append(job)
+        self._depth += 1
+        self._ready.set()
+
+    def pop_batch(self, limit: int) -> list:
+        """Dequeue up to *limit* jobs, one per tenant per rotation turn."""
+        if limit < 1:
+            raise ValueError("limit must be positive")
+        batch: list = []
+        while self._rotation and len(batch) < limit:
+            tenant = self._rotation.popleft()
+            lane = self._lanes[tenant]
+            batch.append(lane.popleft())
+            self._depth -= 1
+            if lane:
+                self._rotation.append(tenant)
+            else:
+                del self._lanes[tenant]
+        if self._depth == 0:
+            self._ready.clear()
+        return batch
+
+    async def wait(self) -> None:
+        """Block until at least one job is queued."""
+        await self._ready.wait()
+
+    def drain_all(self) -> list:
+        """Dequeue everything (fair order), emptying the queue."""
+        return self.pop_batch(max(self._depth, 1)) if self._depth else []
+
+    def tenants(self) -> Iterable[str]:
+        return tuple(self._rotation)

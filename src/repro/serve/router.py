@@ -1,0 +1,59 @@
+"""Tiny method+path router for the serve front end.
+
+Routes are regex patterns with named groups; resolution returns the
+handler and extracted path parameters, or a structured miss — 404 for an
+unknown path, 405 (with the ``Allow`` set) for a known path asked with
+the wrong method.  Route *names* feed the ``repro_serve_*`` metric
+labels, so metrics stay low-cardinality no matter what job ids appear in
+URLs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Route:
+    method: str
+    pattern: re.Pattern
+    name: str
+    handler: Callable
+
+
+@dataclass(frozen=True)
+class Match:
+    """Outcome of routing one request line."""
+
+    handler: Callable | None
+    params: dict[str, str]
+    name: str
+    #: Methods the path supports when ``handler`` is None because of a
+    #: method mismatch; empty means the path is unknown (404).
+    allow: tuple[str, ...] = ()
+
+
+class Router:
+    def __init__(self):
+        self._routes: list[Route] = []
+
+    def add(self, method: str, pattern: str, name: str, handler: Callable) -> None:
+        """Register *pattern* (anchored regex with named groups)."""
+        self._routes.append(
+            Route(method.upper(), re.compile(f"^{pattern}$"), name, handler)
+        )
+
+    def resolve(self, method: str, path: str) -> Match:
+        allow: list[str] = []
+        for route in self._routes:
+            matched = route.pattern.match(path)
+            if matched is None:
+                continue
+            if route.method == method.upper():
+                return Match(route.handler, matched.groupdict(), route.name)
+            allow.append(route.method)
+        if allow:
+            return Match(None, {}, "method_not_allowed", tuple(dict.fromkeys(allow)))
+        return Match(None, {}, "not_found")

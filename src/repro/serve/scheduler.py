@@ -1,0 +1,281 @@
+"""Batch scheduler: drains the fair queue through the experiment farm.
+
+One scheduler loop owns the service's :class:`~repro.jobs.ExecutionEngine`
+usage.  It waits for queued submissions, pops a fair batch, and runs the
+whole batch as *one* farm invocation on a worker thread — planning every
+submission into a single merged :class:`~repro.jobs.JobGraph` so that
+identical artifacts requested by different tenants in the same batch are
+deduplicated before anything executes, exactly as the batch CLI pools
+its requests.  Store and queue mutations happen only on the event-loop
+thread; the worker thread touches nothing but the planner, the engine,
+and a batch-local :class:`~repro.jobs.FarmReport`.
+
+Per-submission outcomes are recovered from the merged report via
+:meth:`~repro.jobs.engine.Planner.request_keys`: a submission fails iff
+one of its artifact keys retired dead (its
+:class:`~repro.jobs.FailureRecord` provenance rides along on the job
+document), and its executed/hit tallies are the report rows for its own
+keys.
+
+Draining: :meth:`begin_drain` makes the loop exit once the queue is
+empty; everything already accepted still runs to completion, and
+:attr:`drained` fires when the last batch has settled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+
+from repro import telemetry
+from repro.bench import BenchmarkSpec
+from repro.jobs import ArtifactCache, ExecutionEngine, FarmReport, JobGraph, Planner
+from repro.jobs import keys as jobkeys
+from repro.jobs.report import DEAD, HIT, RESUMED, RUN
+from repro.serve import jobstore
+from repro.serve.jobstore import JobStore, ServeJob
+from repro.serve.queue import FairQueue
+
+#: Artifact accessor per pipeline stage: (cache path method, media type).
+STAGE_ARTIFACTS = {
+    "compile": ("asm_path", "text/plain; charset=utf-8"),
+    "trace": ("trace_path", "application/octet-stream"),
+    "analyze": ("result_path", "application/json"),
+}
+
+
+def artifact_location(cache: ArtifactCache, stage: str, key: str):
+    """(path, content type) of the artifact a finished job serves."""
+    method, content_type = STAGE_ARTIFACTS[stage]
+    return getattr(cache, method)(key), content_type
+
+
+class BatchScheduler:
+    """Executes queued submissions in fair batches on the farm."""
+
+    def __init__(
+        self,
+        cache: ArtifactCache,
+        store: JobStore,
+        queue: FairQueue,
+        *,
+        jobs: int = 1,
+        batch_limit: int = 8,
+        retry=None,
+        faults=None,
+        telemetry_dir: str | None = None,
+        profile: bool = False,
+    ):
+        if batch_limit < 1:
+            raise ValueError("batch_limit must be positive")
+        self.cache = cache
+        self.store = store
+        self.queue = queue
+        self.jobs = jobs
+        self.batch_limit = batch_limit
+        self.retry = retry
+        self.faults = faults
+        self.telemetry_dir = telemetry_dir
+        self.profile = profile
+        #: Ad-hoc benchmark registrations, kept for the service lifetime
+        #: so coalesced and repeated submissions re-plan identically.
+        self._adhoc: dict[str, BenchmarkSpec] = {}
+        self._draining = False
+        self._drain_requested = asyncio.Event()
+        self.drained = asyncio.Event()
+        # Service-lifetime farm totals (the healthz document).
+        self.batches_total = 0
+        self.executed_total = 0
+        self.hits_total = 0
+
+    def register_adhoc(self, spec: BenchmarkSpec) -> None:
+        self._adhoc.setdefault(spec.name, spec)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop after the queue empties; already-accepted work completes."""
+        self._draining = True
+        self._drain_requested.set()
+        telemetry.METRICS.gauge("repro_serve_draining").set(1)
+
+    async def run(self) -> None:
+        """The scheduler loop; cancelled only via :meth:`begin_drain`."""
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                if self.queue.depth == 0:
+                    if self._draining:
+                        break
+                    await self._wait_for_work()
+                    continue
+                batch = self.queue.pop_batch(self.batch_limit)
+                telemetry.METRICS.gauge("repro_serve_queue_depth").set(
+                    self.queue.depth
+                )
+                for job in batch:
+                    self.store.mark_running(job)
+                outcomes = await loop.run_in_executor(
+                    None, self._execute_batch, batch
+                )
+                for job, outcome in zip(batch, outcomes):
+                    self._settle(job, outcome)
+        finally:
+            self.drained.set()
+
+    async def _wait_for_work(self) -> None:
+        """Sleep until a submission arrives or a drain is requested."""
+        waiters = (
+            asyncio.ensure_future(self.queue.wait()),
+            asyncio.ensure_future(self._drain_requested.wait()),
+        )
+        try:
+            await asyncio.wait(waiters, return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for waiter in waiters:
+                waiter.cancel()
+
+    # -- worker-thread side ---------------------------------------------
+
+    def _execute_batch(self, batch: list[ServeJob]) -> list[dict]:
+        """Plan and run one batch as a single merged farm invocation."""
+        report = FarmReport()
+        planner = Planner(
+            self.cache,
+            report,
+            telemetry_dir=self.telemetry_dir,
+            profile=self.profile,
+            adhoc=self._adhoc,
+        )
+        merged = JobGraph()
+        plans: list[dict] = []  # per-serve-job planning outcome
+        started = time.time()
+        with telemetry.span("serve.batch", submissions=len(batch)):
+            for job in batch:
+                plans.append(self._plan_one(planner, merged, job))
+            if len(merged):
+                engine = ExecutionEngine(
+                    self.cache,
+                    jobs=self.jobs,
+                    retry=self.retry,
+                    faults=self.faults,
+                )
+                try:
+                    engine.execute(merged, report)
+                except Exception as exc:  # engine-level catastrophe
+                    for plan in plans:
+                        if plan.get("error") is None:
+                            plan["error"] = f"execution failed: {exc}"
+        self.batches_total += 1
+        self.executed_total += report.executed
+        self.hits_total += report.hits
+        telemetry.record_span(
+            "serve.batch.wall", time.time() - started, submissions=len(batch)
+        )
+        return [self._outcome(plan, report) for plan in plans]
+
+    def _plan_one(
+        self, planner: Planner, merged: JobGraph, job: ServeJob
+    ) -> dict:
+        """Plan one submission into *merged*; returns its key set.
+
+        A planning failure (an ad-hoc source that does not compile, a
+        compile-stage fault) is a per-submission error: it never poisons
+        the rest of the batch.
+        """
+        spec = job.spec
+        try:
+            request = spec.to_request()
+            if request is None:  # compile stage: runs inside the planner
+                bench = planner.spec(spec.benchmark)
+                scale = (
+                    spec.scale if spec.scale is not None else bench.default_scale
+                )
+                planner.fingerprint(spec.benchmark, scale)
+                compile_key = jobkeys.compile_key(
+                    spec.benchmark, scale, bench.source(scale)
+                )
+                return {
+                    "stage": "compile",
+                    "keys": (compile_key,),
+                    "result_key": compile_key,
+                    "error": None,
+                }
+            request_keys = planner.request_keys(
+                request, spec.scale, spec.max_steps
+            )
+            graph = planner.plan([request], spec.scale, spec.max_steps)
+            for farm_job in graph:
+                merged.add(farm_job)
+            result_key = (
+                request_keys.result if spec.stage == "analyze"
+                else request_keys.trace
+            )
+            return {
+                "stage": spec.stage,
+                "keys": request_keys.all(),
+                "result_key": result_key,
+                "error": None,
+            }
+        except Exception as exc:
+            return {
+                "stage": spec.stage,
+                "keys": (),
+                "result_key": None,
+                "error": f"planning failed: {exc}",
+            }
+
+    def _outcome(self, plan: dict, report: FarmReport) -> dict:
+        """Per-submission outcome extracted from the merged batch report."""
+        keyset = set(plan["keys"])
+        failures = [
+            dataclasses.asdict(record)
+            for record in report.failures
+            if record.key in keyset
+        ]
+        executed = hits = 0
+        dead = []
+        for key in plan["keys"]:
+            record = report.records.get(key)
+            if record is None:
+                continue
+            if record.status == RUN:
+                executed += 1
+            elif record.status in (HIT, RESUMED):
+                hits += 1
+            elif record.status == DEAD:
+                dead.append(f"{record.stage}:{key[:12]}")
+        error = plan["error"]
+        if error is None and dead:
+            error = f"farm job(s) dead: {', '.join(dead)}"
+        _, content_type = STAGE_ARTIFACTS[plan["stage"]]
+        return {
+            "status": jobstore.FAILED if error else jobstore.DONE,
+            "result_key": None if error else plan["result_key"],
+            "content_type": content_type,
+            "error": error,
+            "failures": failures,
+            "executed": executed,
+            "hits": hits,
+        }
+
+    # -- event-loop side ------------------------------------------------
+
+    def _settle(self, job: ServeJob, outcome: dict) -> None:
+        self.store.finish(
+            job,
+            outcome["status"],
+            result_key=outcome["result_key"],
+            content_type=outcome["content_type"],
+            error=outcome["error"],
+            failures=outcome["failures"],
+            executed=outcome["executed"],
+            hits=outcome["hits"],
+        )
+        label = (
+            "completed" if outcome["status"] == jobstore.DONE else "failed"
+        )
+        telemetry.METRICS.counter("repro_serve_jobs_total").inc(outcome=label)

@@ -1,0 +1,482 @@
+"""The asyncio HTTP front end: repro analysis as a service.
+
+A deliberately small HTTP/1.1 server on :mod:`asyncio` streams — no
+web framework, stdlib only, one request per connection (``Connection:
+close``), JSON in and JSON (or raw artifact bytes) out.  All service
+state — job store, fair queue, scheduler — lives on the event-loop
+thread; the only blocking work is the farm batch, which the scheduler
+runs on a worker thread.
+
+Lifecycle: :class:`ServeApp` binds the socket, optionally starts the
+scheduler loop, and serves until :meth:`begin_shutdown` (wired to
+SIGTERM/SIGINT by the CLI) starts a graceful drain — new submissions get
+503, accepted jobs run to completion, then the socket closes.
+
+:class:`ServerThread` hosts a full app on a background thread with its
+own event loop, for tests and the load harness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro import telemetry
+from repro.jobs import ArtifactCache
+from repro.serve.jobstore import DONE, FAILED, JobStore
+from repro.serve.queue import FairQueue, QueueFull
+from repro.serve.router import Router
+from repro.serve.scheduler import BatchScheduler, artifact_location
+from repro.serve.submission import SubmissionError, parse_submission
+
+#: Largest request body the server will read (bytes).
+MAX_BODY_BYTES = 1_048_576
+#: Per-connection budget for reading + answering one request (seconds).
+REQUEST_TIMEOUT = 60.0
+#: Header naming the tenant; absent requests share the anonymous lane.
+TENANT_HEADER = "x-api-token"
+
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class ServeConfig:
+    """Everything the service needs to boot."""
+
+    cache_dir: str
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: pick a free port, report it via ServeApp.port
+    queue_limit: int = 64
+    batch_limit: int = 8
+    jobs: int = 1
+    retain: int = 1024
+    max_steps: int = 150_000
+    max_steps_cap: int = 2_000_000
+    #: Optional farm knobs, mostly for tests: a RetryPolicy and a fault
+    #: injection spec passed through to the ExecutionEngine.
+    retry: object = None
+    faults: object = None
+    telemetry_dir: str | None = None
+    profile: bool = False
+    retry_after: int = 2  # the 429 Retry-After hint, seconds
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self):
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SubmissionError(f"request body is not valid JSON: {exc}")
+
+    def tenant(self) -> str:
+        return self.headers.get(TENANT_HEADER, "").strip() or "anonymous"
+
+
+@dataclass
+class Response:
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, status: int, payload: dict, **headers: str) -> "Response":
+        body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
+        return cls(status, body, headers=headers)
+
+    @classmethod
+    def error(cls, status: int, message: str, **headers: str) -> "Response":
+        return cls.json(status, {"error": message}, **headers)
+
+    def encode(self) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            "Connection: close",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in self.headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+
+class ServeApp:
+    """One service instance: socket + store + queue + scheduler."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.cache = ArtifactCache(config.cache_dir)
+        self.store = JobStore(retain=config.retain)
+        self.queue = FairQueue(config.queue_limit)
+        self.scheduler = BatchScheduler(
+            self.cache,
+            self.store,
+            self.queue,
+            jobs=config.jobs,
+            batch_limit=config.batch_limit,
+            retry=config.retry,
+            faults=config.faults,
+            telemetry_dir=config.telemetry_dir,
+            profile=config.profile,
+        )
+        self.router = Router()
+        self.router.add("POST", r"/v1/jobs", "submit", self._submit)
+        self.router.add(
+            "GET", r"/v1/jobs/(?P<job_id>[\w-]+)", "job", self._job_status
+        )
+        self.router.add(
+            "GET", r"/v1/jobs/(?P<job_id>[\w-]+)/result", "result", self._result
+        )
+        self.router.add("GET", r"/healthz", "healthz", self._healthz)
+        self.router.add("GET", r"/metrics", "metrics", self._metrics)
+        self._server: asyncio.base_events.Server | None = None
+        self._scheduler_task: asyncio.Task | None = None
+        self._shutdown = asyncio.Event()
+        self.port: int | None = None
+        #: Orphan temp files removed from the cache at startup.
+        self.swept = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self, run_scheduler: bool = True) -> None:
+        """Bind the socket (and start the scheduler loop).
+
+        ``run_scheduler=False`` boots the HTTP surface with nothing
+        consuming the queue — tests use it to fill the queue to capacity
+        deterministically and observe backpressure.
+        """
+        self.swept = self.cache.sweep_orphans()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if run_scheduler:
+            self._scheduler_task = asyncio.create_task(self.scheduler.run())
+
+    def begin_shutdown(self) -> None:
+        """Start a graceful drain (idempotent; signal-handler safe)."""
+        if not self._shutdown.is_set():
+            self.scheduler.begin_drain()
+            self._shutdown.set()
+
+    async def run_until_drained(self) -> None:
+        """Serve until :meth:`begin_shutdown`, then drain and close."""
+        await self._shutdown.wait()
+        if self._scheduler_task is not None:
+            await self.scheduler.drained.wait()
+        await self.close()
+
+    async def close(self) -> None:
+        if self._scheduler_task is not None:
+            self.scheduler.begin_drain()
+            await self.scheduler.drained.wait()
+            self._scheduler_task.cancel()
+            try:
+                await self._scheduler_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    @property
+    def draining(self) -> bool:
+        return self.scheduler.draining or self._shutdown.is_set()
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        started = time.perf_counter()
+        route_name = "unparsed"
+        method = "?"
+        try:
+            request, early = await asyncio.wait_for(
+                self._read_request(reader), REQUEST_TIMEOUT
+            )
+            if early is not None:
+                response, route_name = early, "protocol_error"
+            else:
+                method = request.method
+                response, route_name = self._dispatch(request)
+        except asyncio.TimeoutError:
+            response, route_name = (
+                Response.error(400, "request read timed out"),
+                "timeout",
+            )
+        except ConnectionError:
+            writer.close()
+            return
+        except Exception as exc:  # never leak a traceback to the socket
+            response, route_name = (
+                Response.error(500, f"internal error: {exc}"),
+                "internal_error",
+            )
+        try:
+            writer.write(response.encode())
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+        duration = time.perf_counter() - started
+        telemetry.METRICS.counter("repro_serve_requests_total").inc(
+            method=method, route=route_name, status=response.status
+        )
+        telemetry.METRICS.histogram("repro_serve_request_seconds").observe(
+            duration, route=route_name
+        )
+        telemetry.record_span(
+            "serve.request",
+            duration,
+            route=route_name,
+            status=response.status,
+            method=method,
+        )
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[Request | None, Response | None]:
+        """Parse one HTTP/1.1 request; a Response means 'answer this'."""
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise ConnectionError("empty request")
+        parts = request_line.split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            return None, Response.error(400, "malformed request line")
+        method, target, _ = parts
+        path = target.split("?", 1)[0]
+        headers: dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            return None, Response.error(400, "bad Content-Length")
+        if length > MAX_BODY_BYTES:
+            return None, Response.error(
+                413, f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        body = await reader.readexactly(length) if length else b""
+        return Request(method.upper(), path, headers, body), None
+
+    def _dispatch(self, request: Request) -> tuple[Response, str]:
+        match = self.router.resolve(request.method, request.path)
+        if match.handler is None:
+            if match.allow:
+                response = Response.error(
+                    405,
+                    f"method {request.method} not allowed",
+                    Allow=", ".join(match.allow),
+                )
+            else:
+                response = Response.error(404, f"no such path: {request.path}")
+            return response, match.name
+        try:
+            return match.handler(request, **match.params), match.name
+        except SubmissionError as exc:
+            return Response.error(400, str(exc)), match.name
+
+    # -- handlers -------------------------------------------------------
+
+    def _submit(self, request: Request) -> Response:
+        if self.draining:
+            telemetry.METRICS.counter("repro_serve_jobs_total").inc(
+                outcome="rejected"
+            )
+            return Response.error(
+                503, "service is draining; not accepting new jobs"
+            )
+        spec, adhoc = parse_submission(
+            request.json(),
+            default_max_steps=self.config.max_steps,
+            max_steps_cap=self.config.max_steps_cap,
+        )
+        tenant = request.tenant()
+        job, created = self.store.submit(spec, tenant)
+        if not created:
+            telemetry.METRICS.counter("repro_serve_jobs_total").inc(
+                outcome="coalesced"
+            )
+            doc = job.to_json()
+            doc["created"] = False
+            return Response.json(202, doc)
+        if adhoc is not None:
+            self.scheduler.register_adhoc(adhoc)
+        try:
+            self.queue.push(tenant, job)
+        except QueueFull:
+            self.store.discard(job)
+            telemetry.METRICS.counter("repro_serve_backpressure_total").inc()
+            telemetry.METRICS.counter("repro_serve_jobs_total").inc(
+                outcome="rejected"
+            )
+            return Response.error(
+                429,
+                "queue at capacity; retry later",
+                **{"Retry-After": str(self.config.retry_after)},
+            )
+        telemetry.METRICS.gauge("repro_serve_queue_depth").set(self.queue.depth)
+        telemetry.METRICS.counter("repro_serve_jobs_total").inc(
+            outcome="accepted"
+        )
+        doc = job.to_json()
+        doc["created"] = True
+        return Response.json(202, doc)
+
+    def _job_status(self, request: Request, job_id: str) -> Response:
+        job = self.store.get(job_id)
+        if job is None:
+            return Response.error(404, f"no such job: {job_id}")
+        return Response.json(200, job.to_json())
+
+    def _result(self, request: Request, job_id: str) -> Response:
+        job = self.store.get(job_id)
+        if job is None:
+            return Response.error(404, f"no such job: {job_id}")
+        if job.status == FAILED:
+            return Response.json(
+                409,
+                {
+                    "error": job.error or "job failed",
+                    "failures": job.failures,
+                    "job": job.id,
+                },
+            )
+        if job.status != DONE:
+            return Response.json(
+                202, {"job": job.id, "status": job.status}
+            )
+        path, content_type = artifact_location(
+            self.cache, job.spec.stage, job.result_key
+        )
+        if not path.is_file():
+            return Response.error(
+                404, f"result artifact {job.result_key} is no longer cached"
+            )
+        return Response(200, path.read_bytes(), content_type=content_type)
+
+    def _healthz(self, request: Request) -> Response:
+        return Response.json(
+            200,
+            {
+                "status": "draining" if self.draining else "ok",
+                "jobs": self.store.counts(),
+                "queue_depth": self.queue.depth,
+                "cache_orphans_swept": self.swept,
+                "farm": {
+                    "batches": self.scheduler.batches_total,
+                    "executed": self.scheduler.executed_total,
+                    "cache_hits": self.scheduler.hits_total,
+                },
+            },
+        )
+
+    def _metrics(self, request: Request) -> Response:
+        text = telemetry.METRICS.render_prometheus()
+        return Response(
+            200,
+            text.encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+
+class ServerThread:
+    """A ServeApp on a daemon thread with its own event loop.
+
+    The in-process deployment used by the test suite and the load
+    harness::
+
+        with ServerThread(ServeConfig(cache_dir=...)) as srv:
+            client = ServeClient(srv.base_url)
+            ...
+
+    ``shutdown()`` (or leaving the context) triggers the same graceful
+    drain as SIGTERM on the CLI.
+    """
+
+    def __init__(self, config: ServeConfig, run_scheduler: bool = True):
+        self.config = config
+        self.run_scheduler = run_scheduler
+        self.app: ServeApp | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._boot_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve", daemon=True
+        )
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._boot_error is not None:
+            raise RuntimeError("repro-serve failed to boot") from self._boot_error
+        if self.app is None or self.app.port is None:
+            raise RuntimeError("repro-serve did not come up within 30s")
+        return self
+
+    def _main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve())
+        finally:
+            loop.close()
+
+    async def _serve(self) -> None:
+        try:
+            self.app = ServeApp(self.config)
+            await self.app.start(run_scheduler=self.run_scheduler)
+        except BaseException as exc:
+            self._boot_error = exc
+            self._ready.set()
+            raise
+        self._ready.set()
+        await self.app.run_until_drained()
+
+    @property
+    def base_url(self) -> str:
+        assert self.app is not None and self.app.port is not None
+        return f"http://{self.config.host}:{self.app.port}"
+
+    def shutdown(self, timeout: float = 60.0) -> None:
+        """Drain gracefully and join the server thread."""
+        if self._loop is not None and self.app is not None:
+            self._loop.call_soon_threadsafe(self.app.begin_shutdown)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("repro-serve did not drain in time")
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

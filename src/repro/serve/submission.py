@@ -1,0 +1,233 @@
+"""Validated job submissions: the service's request vocabulary.
+
+A submission names either a suite benchmark or carries raw MiniC source
+(compiled as an *ad-hoc* benchmark whose name embeds the source digest),
+picks a pipeline stage to materialize — ``compile``, ``trace``, or
+``analyze`` (the default, which implies the first two) — and an analyzer
+option set.  Parsing is strict: unknown fields, unknown models, and
+out-of-range budgets are :class:`SubmissionError`\\ s that the server
+maps to HTTP 400 before anything touches the queue.
+
+Canonicalization matters more than convenience here: two submissions
+that request the same artifacts must produce the same :meth:`digest`
+regardless of field order or model-list order, because the digest is the
+coalescing key — concurrent identical submissions from different tenants
+share one job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.bench import SUITE, BenchmarkSpec
+from repro.core.models import MachineModel
+from repro.jobs.requests import AnalysisRequest, Request, TraceRequest
+
+#: Pipeline stages a submission may target.
+STAGES = ("compile", "trace", "analyze")
+
+#: Upper bound on inline MiniC source, in bytes (pre-queue rejection).
+MAX_SOURCE_BYTES = 262_144
+
+#: Fields accepted in a submission body.
+FIELDS = frozenset(
+    {
+        "stage",
+        "benchmark",
+        "source",
+        "scale",
+        "max_steps",
+        "models",
+        "perfect_unrolling",
+        "perfect_inlining",
+        "misprediction_stats",
+    }
+)
+
+
+class SubmissionError(ValueError):
+    """A submission body the service refuses (HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class SubmissionSpec:
+    """One validated, canonical job submission."""
+
+    stage: str
+    benchmark: str
+    source: str | None
+    scale: int | None
+    max_steps: int
+    models: tuple[str, ...] | None  # None: the full model set
+    perfect_unrolling: bool = True
+    perfect_inlining: bool = True
+    misprediction_stats: bool = False
+
+    def canonical(self) -> dict:
+        """The submission as a canonical JSON-able dict (digest input)."""
+        return {
+            "stage": self.stage,
+            "benchmark": self.benchmark,
+            "source": self.source,
+            "scale": self.scale,
+            "max_steps": self.max_steps,
+            "models": sorted(self.models) if self.models is not None else None,
+            "perfect_unrolling": self.perfect_unrolling,
+            "perfect_inlining": self.perfect_inlining,
+            "misprediction_stats": self.misprediction_stats,
+        }
+
+    def digest(self) -> str:
+        """Coalescing key: sha256 of the canonical submission."""
+        material = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def to_request(self) -> Request | None:
+        """The farm request this submission plans as (None for compile)."""
+        if self.stage == "compile":
+            return None
+        if self.stage == "trace":
+            return TraceRequest(self.benchmark, max_steps=self.max_steps)
+        models = None
+        if self.models is not None:
+            models = tuple(MachineModel(label) for label in self.models)
+        return AnalysisRequest(
+            self.benchmark,
+            models=models,
+            perfect_unrolling=self.perfect_unrolling,
+            perfect_inlining=self.perfect_inlining,
+            collect_misprediction_stats=self.misprediction_stats,
+            max_steps=self.max_steps,
+        )
+
+    def describe(self) -> str:
+        return f"{self.stage} {self.benchmark} (max_steps={self.max_steps})"
+
+
+def adhoc_name(source: str) -> str:
+    """Benchmark name of an ad-hoc MiniC submission (digest-addressed)."""
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    return f"adhoc-{digest[:12]}"
+
+
+def adhoc_spec(source: str) -> BenchmarkSpec:
+    """A :class:`BenchmarkSpec` wrapping client-supplied MiniC source.
+
+    The spec's ``source`` callable ignores the workload scale — ad-hoc
+    programs are submitted at a fixed shape — but scale still feeds the
+    cache keys, so the content addresses stay well-formed.
+    """
+    return BenchmarkSpec(
+        name=adhoc_name(source),
+        language="C",
+        description="ad-hoc MiniC submission",
+        numeric=False,
+        source=lambda scale, _text=source: _text,
+    )
+
+
+def _expect(condition: bool, message: str) -> None:
+    if not condition:
+        raise SubmissionError(message)
+
+
+def parse_submission(
+    payload: object,
+    *,
+    default_max_steps: int,
+    max_steps_cap: int,
+) -> tuple[SubmissionSpec, BenchmarkSpec | None]:
+    """Validate a POST body into a spec (plus its ad-hoc spec, if any)."""
+    _expect(isinstance(payload, dict), "submission body must be a JSON object")
+    unknown = sorted(set(payload) - FIELDS)
+    _expect(not unknown, f"unknown submission field(s): {', '.join(unknown)}")
+
+    stage = payload.get("stage", "analyze")
+    _expect(
+        stage in STAGES,
+        f"stage must be one of {', '.join(STAGES)} (got {stage!r})",
+    )
+
+    benchmark = payload.get("benchmark")
+    source = payload.get("source")
+    _expect(
+        (benchmark is None) != (source is None),
+        "provide exactly one of 'benchmark' (a suite name) or 'source' "
+        "(inline MiniC)",
+    )
+    adhoc = None
+    if source is not None:
+        _expect(isinstance(source, str), "'source' must be a string")
+        _expect(
+            len(source.encode("utf-8")) <= MAX_SOURCE_BYTES,
+            f"'source' exceeds {MAX_SOURCE_BYTES} bytes",
+        )
+        _expect(bool(source.strip()), "'source' is empty")
+        adhoc = adhoc_spec(source)
+        benchmark = adhoc.name
+    else:
+        _expect(isinstance(benchmark, str), "'benchmark' must be a string")
+        _expect(
+            benchmark in SUITE,
+            f"unknown benchmark {benchmark!r} (known: {', '.join(SUITE)})",
+        )
+
+    scale = payload.get("scale")
+    if scale is not None:
+        _expect(
+            isinstance(scale, int) and not isinstance(scale, bool) and scale >= 1,
+            "'scale' must be a positive integer",
+        )
+    if source is not None and scale is None:
+        scale = 1  # ad-hoc programs have no suite default scale
+
+    max_steps = payload.get("max_steps", default_max_steps)
+    _expect(
+        isinstance(max_steps, int)
+        and not isinstance(max_steps, bool)
+        and max_steps >= 1,
+        "'max_steps' must be a positive integer",
+    )
+    _expect(
+        max_steps <= max_steps_cap,
+        f"'max_steps' exceeds this server's cap of {max_steps_cap}",
+    )
+
+    models = payload.get("models")
+    if models is not None:
+        _expect(
+            isinstance(models, list) and models,
+            "'models' must be a non-empty list of model labels",
+        )
+        known = {model.value for model in MachineModel}
+        bad = [m for m in models if m not in known]
+        _expect(
+            not bad,
+            f"unknown model label(s): {', '.join(map(str, bad))} "
+            f"(known: {', '.join(sorted(known))})",
+        )
+        models = tuple(dict.fromkeys(models))  # dedupe, keep labels
+
+    flags = {}
+    for field in ("perfect_unrolling", "perfect_inlining", "misprediction_stats"):
+        value = payload.get(field)
+        if value is not None:
+            _expect(isinstance(value, bool), f"'{field}' must be a boolean")
+            flags[field] = value
+
+    spec = SubmissionSpec(
+        stage=stage,
+        benchmark=benchmark,
+        source=source,
+        scale=scale,
+        max_steps=max_steps,
+        models=models,
+        perfect_unrolling=flags.get("perfect_unrolling", True),
+        perfect_inlining=flags.get("perfect_inlining", True),
+        misprediction_stats=flags.get("misprediction_stats", False),
+    )
+    return spec, adhoc

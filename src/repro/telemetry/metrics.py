@@ -411,6 +411,43 @@ STANDARD_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
         "Wall seconds spent in whole-program static analysis, per program",
         ("program",),
     ),
+    (
+        "counter",
+        "repro_serve_requests_total",
+        "HTTP requests handled by repro-serve, per method/route/status",
+        ("method", "route", "status"),
+    ),
+    (
+        "histogram",
+        "repro_serve_request_seconds",
+        "Wall seconds spent handling one repro-serve HTTP request, per route",
+        ("route",),
+    ),
+    (
+        "counter",
+        "repro_serve_jobs_total",
+        "repro-serve job submissions, per outcome (accepted, coalesced, "
+        "rejected, completed, failed)",
+        ("outcome",),
+    ),
+    (
+        "gauge",
+        "repro_serve_queue_depth",
+        "Submissions waiting in the repro-serve fair queue (sampled)",
+        (),
+    ),
+    (
+        "counter",
+        "repro_serve_backpressure_total",
+        "Submissions rejected with 429 because the repro-serve queue was full",
+        (),
+    ),
+    (
+        "gauge",
+        "repro_serve_draining",
+        "1 while repro-serve is draining for graceful shutdown, else 0",
+        (),
+    ),
 )
 
 

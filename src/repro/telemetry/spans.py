@@ -10,9 +10,11 @@ emits a JSON record when it closes::
 Records carry ``name``, ``id``, ``parent`` (the enclosing span's id, or
 None at the root), ``pid``, ``ts`` (wall-clock start, seconds since the
 epoch), ``dur`` (monotonic duration, seconds), and an ``attrs`` object of
-JSON-serializable attributes.  Nesting uses a per-process stack — the
-pipeline is single-threaded within a process, and farm workers each get
-their own process and sink file.
+JSON-serializable attributes.  Nesting uses a per-thread stack: the batch
+pipeline is single-threaded within a process (farm workers each get their
+own process and sink file), while ``repro-serve`` records request spans
+on its event-loop thread concurrently with farm spans from the executor
+thread that retires job graphs — separate stacks keep both consistent.
 
 When telemetry is disabled, :func:`span` returns a shared no-op object
 without allocating, so instrumentation sites cost one call and a bool
@@ -22,14 +24,23 @@ test.
 from __future__ import annotations
 
 import functools
+import itertools
 import os
+import threading
 import time
 from typing import Any, Callable
 
 from repro.telemetry import state
 
-_stack: list["Span"] = []
-_next_id = 0
+_local = threading.local()
+_ids = itertools.count(1)
+
+
+def _stack() -> list["Span"]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
 
 
 class _NullSpan:
@@ -60,27 +71,27 @@ class Span:
     __slots__ = ("name", "attrs", "span_id", "parent_id", "_start", "_ts")
 
     def __init__(self, name: str, attrs: dict[str, Any]):
-        global _next_id
-        _next_id += 1
         self.name = name
         self.attrs = attrs
-        self.span_id = f"{os.getpid():x}-{_next_id:x}"
+        self.span_id = f"{os.getpid():x}-{next(_ids):x}"
         self.parent_id: str | None = None
         self._start = 0.0
         self._ts = 0.0
 
     def __enter__(self) -> "Span":
-        if _stack:
-            self.parent_id = _stack[-1].span_id
-        _stack.append(self)
+        stack = _stack()
+        if stack:
+            self.parent_id = stack[-1].span_id
+        stack.append(self)
         self._ts = time.time()
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         duration = time.perf_counter() - self._start
-        if _stack and _stack[-1] is self:
-            _stack.pop()
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
         if exc_type is not None:
             self.attrs["error"] = exc_type.__name__
         state.STATE.sink.emit(
@@ -139,13 +150,12 @@ def record_span(name: str, duration: float, **attrs: Any) -> None:
     """
     if not state.STATE.sink.enabled:
         return
-    global _next_id
-    _next_id += 1
+    stack = _stack()
     state.STATE.sink.emit(
         {
             "name": name,
-            "id": f"{os.getpid():x}-{_next_id:x}",
-            "parent": _stack[-1].span_id if _stack else None,
+            "id": f"{os.getpid():x}-{next(_ids):x}",
+            "parent": stack[-1].span_id if stack else None,
             "pid": os.getpid(),
             "ts": time.time() - duration,
             "dur": duration,
@@ -155,10 +165,11 @@ def record_span(name: str, duration: float, **attrs: Any) -> None:
 
 
 def current_span() -> Span | _NullSpan:
-    """The innermost open span (the null span when none is open)."""
-    return _stack[-1] if _stack else NULL_SPAN
+    """The innermost open span of this thread (the null span when none)."""
+    stack = _stack()
+    return stack[-1] if stack else NULL_SPAN
 
 
 def reset() -> None:
-    """Drop any open spans (test isolation after an aborted run)."""
-    _stack.clear()
+    """Drop this thread's open spans (test isolation after an abort)."""
+    _stack().clear()

@@ -5,6 +5,7 @@ Usage::
     repro-stats OUT                  # per-stage/per-benchmark span table
     repro-stats OUT --top 15         # longest 15 rows only
     repro-stats OUT --metrics        # also dump every metric sample
+    repro-stats OUT --percentiles    # p50/p95/p99 duration per span name
     repro-stats OUT --json           # machine-readable aggregate
 
 Reads the ``spans.jsonl`` (plus any unmerged ``worker-*.jsonl``) and
@@ -19,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 
@@ -58,6 +60,66 @@ def aggregate_spans(records: list[dict]) -> list[dict]:
         row["mean_s"] = row["total_s"] / row["count"]
     rows.sort(key=lambda r: (-r["total_s"], r["span"], r["benchmark"]))
     return rows
+
+
+#: Percentiles rendered by ``--percentiles`` (and the serve load harness).
+PERCENTILES = (50, 95, 99)
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted *sorted_values* (q in 0..100).
+
+    The nearest-rank definition always returns an observed value, which
+    keeps tiny samples honest (p99 of 4 requests is the slowest request,
+    not an interpolation between two of them).
+    """
+    if not sorted_values:
+        raise ValueError("percentile of an empty sample")
+    if not 0 < q <= 100:
+        raise ValueError("q must be in (0, 100]")
+    rank = math.ceil(q / 100.0 * len(sorted_values))
+    return sorted_values[rank - 1]
+
+
+def aggregate_percentiles(records: list[dict]) -> list[dict]:
+    """Per-span-name duration percentiles, sorted by total time.
+
+    Groups by span name only (not benchmark): percentile tables answer
+    "how slow is this operation across everything it served", which is
+    the latency-report shape the serve load harness emits.
+    """
+    groups: dict[str, list[float]] = {}
+    for record in records:
+        groups.setdefault(str(record.get("name", "?")), []).append(
+            float(record.get("dur", 0.0))
+        )
+    rows = []
+    for name, durations in groups.items():
+        durations.sort()
+        row = {
+            "span": name,
+            "count": len(durations),
+            "total_s": sum(durations),
+            "max_s": durations[-1],
+        }
+        for q in PERCENTILES:
+            row[f"p{q}_s"] = percentile(durations, q)
+        rows.append(row)
+    rows.sort(key=lambda r: (-r["total_s"], r["span"]))
+    return rows
+
+
+def render_percentile_table(rows: list[dict], top: int | None = None) -> str:
+    if top is not None:
+        rows = rows[:top]
+    body = [
+        [row["span"], str(row["count"])]
+        + [f"{row[f'p{q}_s']:.4f}" for q in PERCENTILES]
+        + [f"{row['max_s']:.4f}"]
+        for row in rows
+    ]
+    headers = ["span", "count"] + [f"p{q} s" for q in PERCENTILES] + ["max s"]
+    return _render_table(headers, body)
 
 
 def _render_table(headers: list[str], rows: list[list[str]]) -> str:
@@ -134,6 +196,10 @@ def main(argv: list[str] | None = None) -> int:
         help="also render every registered metric (including empty ones)",
     )
     parser.add_argument(
+        "--percentiles", action="store_true",
+        help="also render p50/p95/p99 span durations per span name",
+    )
+    parser.add_argument(
         "--json", action="store_true",
         help="emit the aggregate as JSON instead of tables",
     )
@@ -169,16 +235,18 @@ def main(argv: list[str] | None = None) -> int:
         return empty_status
 
     if args.json:
-        print(
-            json.dumps(
-                {"spans": rows, "metrics": metrics}, sort_keys=True, indent=1
-            )
-        )
+        document = {"spans": rows, "metrics": metrics}
+        if args.percentiles:
+            document["percentiles"] = aggregate_percentiles(records)
+        print(json.dumps(document, sort_keys=True, indent=1))
         return 0
 
     print(f"telemetry: {directory} ({len(records)} spans)")
     print()
     print(render_span_table(rows, top=args.top))
+    if args.percentiles and records:
+        print()
+        print(render_percentile_table(aggregate_percentiles(records), top=args.top))
     sampled = [m for m in metrics if m.get("samples")]
     if args.metrics or sampled:
         print()

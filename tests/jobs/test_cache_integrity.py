@@ -124,14 +124,19 @@ class TestTornWrites:
         (path.parent / f".{path.name}.orphan").write_text("partial")
         assert not cache.has_asm("a")
 
-    def test_orphaned_tmp_cleaned_by_next_store(self, cache):
+    def test_orphaned_tmp_cleaned_by_sweep_not_by_stores(self, cache):
+        """Stores must NOT delete temp siblings — one they can see might
+        belong to a live concurrent writer, not a dead one.  Reclaiming
+        genuinely dead writers' litter is sweep_orphans' job."""
         path = cache.asm_path("a")
         path.parent.mkdir(parents=True, exist_ok=True)
         orphan = path.parent / f".{path.name}.orphan"
         orphan.write_text("partial")
         cache.store_asm("a", "  halt\n")
-        assert not orphan.exists()
+        assert orphan.exists()  # untouched by the store
         assert cache.load_asm("a") == "  halt\n"
+        assert cache.sweep_orphans() == 1
+        assert not orphan.exists()
         # Only the artifact and its sidecar remain.
         assert sorted(p.name for p in path.parent.iterdir()) == sorted(
             [path.name, cache.checksum_path(path).name]

@@ -1,0 +1,99 @@
+"""Tests for the job store and request coalescing (repro.serve.jobstore)."""
+
+from repro.serve.jobstore import DONE, FAILED, QUEUED, RUNNING, JobStore
+from repro.serve.submission import parse_submission
+
+
+def spec_for(payload):
+    spec, _ = parse_submission(
+        payload, default_max_steps=10_000, max_steps_cap=100_000
+    )
+    return spec
+
+
+class TestCoalescing:
+    def test_identical_active_submissions_share_one_job(self):
+        store = JobStore()
+        spec = spec_for({"benchmark": "awk"})
+        job, created = store.submit(spec, "tenant-a")
+        again, created_again = store.submit(spec_for({"benchmark": "awk"}), "tenant-b")
+        assert created and not created_again
+        assert again is job
+        assert job.coalesced == 1
+
+    def test_distinct_submissions_do_not_coalesce(self):
+        store = JobStore()
+        a, _ = store.submit(spec_for({"benchmark": "awk"}), "t")
+        b, _ = store.submit(spec_for({"benchmark": "eqntott"}), "t")
+        assert a.id != b.id
+
+    def test_finished_jobs_leave_the_coalescing_index(self):
+        store = JobStore()
+        spec = spec_for({"benchmark": "awk"})
+        job, _ = store.submit(spec, "t")
+        store.finish(job, DONE, result_key="k")
+        repeat, created = store.submit(spec, "t")
+        # A repeat after completion is a NEW job (the cache, not the
+        # coalescer, makes it cheap).
+        assert created
+        assert repeat.id != job.id
+
+    def test_coalescing_survives_running_state(self):
+        store = JobStore()
+        spec = spec_for({"benchmark": "awk"})
+        job, _ = store.submit(spec, "t")
+        store.mark_running(job)
+        again, created = store.submit(spec, "t2")
+        assert not created and again is job
+
+
+class TestLifecycle:
+    def test_discard_rolls_back_a_rejected_submission(self):
+        store = JobStore()
+        spec = spec_for({"benchmark": "awk"})
+        job, _ = store.submit(spec, "t")
+        store.discard(job)
+        assert store.get(job.id) is None
+        fresh, created = store.submit(spec, "t")
+        assert created  # digest slot was released
+
+    def test_status_progression_and_document(self):
+        store = JobStore()
+        job, _ = store.submit(spec_for({"benchmark": "awk"}), "t")
+        assert job.status == QUEUED
+        store.mark_running(job)
+        assert job.status == RUNNING
+        store.finish(job, DONE, result_key="k", executed=4, hits=0)
+        doc = job.to_json()
+        assert doc["status"] == DONE
+        assert doc["result"] == f"/v1/jobs/{job.id}/result"
+        assert doc["executed"] == 4
+
+    def test_failed_job_carries_provenance(self):
+        store = JobStore()
+        job, _ = store.submit(spec_for({"benchmark": "awk"}), "t")
+        store.finish(
+            job,
+            FAILED,
+            error="farm job(s) dead",
+            failures=[{"kind": "error", "stage": "trace"}],
+        )
+        doc = job.to_json()
+        assert doc["status"] == FAILED
+        assert doc["error"] == "farm job(s) dead"
+        assert doc["failures"][0]["kind"] == "error"
+        assert "result" not in doc
+
+    def test_retention_evicts_only_finished_jobs(self):
+        store = JobStore(retain=2)
+        finished = []
+        for name in ("awk", "eqntott", "espresso"):
+            job, _ = store.submit(spec_for({"benchmark": name}), "t")
+            finished.append(job)
+        live, _ = store.submit(spec_for({"benchmark": "gcc"}), "t")
+        for job in finished:
+            store.finish(job, DONE, result_key="k")
+        # Oldest finished jobs were evicted; the queued job survives.
+        assert store.get(live.id) is live
+        assert len(store) <= 3
+        assert store.get(finished[-1].id) is not None

@@ -1,0 +1,92 @@
+"""Tests for the bounded fair queue (repro.serve.queue)."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.queue import FairQueue, QueueFull
+
+
+class TestBackpressure:
+    def test_push_past_capacity_raises(self):
+        queue = FairQueue(capacity=2)
+        queue.push("a", "job-1")
+        queue.push("b", "job-2")
+        with pytest.raises(QueueFull):
+            queue.push("c", "job-3")
+        # Nothing was enqueued for the rejected tenant.
+        assert queue.depth == 2
+
+    def test_capacity_is_global_not_per_tenant(self):
+        queue = FairQueue(capacity=3)
+        for i in range(3):
+            queue.push("flooder", f"job-{i}")
+        with pytest.raises(QueueFull):
+            queue.push("quiet", "job-x")
+
+    def test_pop_frees_capacity(self):
+        queue = FairQueue(capacity=1)
+        queue.push("a", "one")
+        with pytest.raises(QueueFull):
+            queue.push("a", "two")
+        assert queue.pop_batch(1) == ["one"]
+        queue.push("a", "two")  # fits again
+        assert queue.depth == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FairQueue(capacity=0)
+
+
+class TestFairness:
+    def test_round_robin_across_tenants(self):
+        queue = FairQueue(capacity=16)
+        for i in range(4):
+            queue.push("flooder", f"f{i}")
+        queue.push("quiet", "q0")
+        queue.push("other", "o0")
+        # One job per tenant per rotation turn: the flooder cannot starve
+        # the quiet tenants even though it arrived first and queued more.
+        assert queue.pop_batch(6) == ["f0", "q0", "o0", "f1", "f2", "f3"]
+
+    def test_single_tenant_is_fifo(self):
+        queue = FairQueue(capacity=8)
+        for i in range(4):
+            queue.push("only", f"j{i}")
+        assert queue.pop_batch(10) == ["j0", "j1", "j2", "j3"]
+        assert queue.depth == 0
+
+    def test_pop_batch_respects_limit(self):
+        queue = FairQueue(capacity=8)
+        for i in range(5):
+            queue.push("t", f"j{i}")
+        assert queue.pop_batch(2) == ["j0", "j1"]
+        assert queue.depth == 3
+
+    def test_drain_all_empties_queue(self):
+        queue = FairQueue(capacity=8)
+        queue.push("a", "a0")
+        queue.push("b", "b0")
+        queue.push("a", "a1")
+        assert queue.drain_all() == ["a0", "b0", "a1"]
+        assert queue.depth == 0
+        assert queue.drain_all() == []
+
+
+class TestWait:
+    def test_wait_wakes_on_push_and_blocks_when_empty(self):
+        async def scenario():
+            queue = FairQueue(capacity=4)
+            waiter = asyncio.ensure_future(queue.wait())
+            await asyncio.sleep(0)  # waiter is parked: queue is empty
+            assert not waiter.done()
+            queue.push("t", "job")
+            await asyncio.wait_for(waiter, timeout=1)
+            # Draining the queue re-arms the wait.
+            queue.pop_batch(1)
+            waiter = asyncio.ensure_future(queue.wait())
+            await asyncio.sleep(0)
+            assert not waiter.done()
+            waiter.cancel()
+
+        asyncio.run(scenario())

@@ -1,0 +1,128 @@
+"""Tests for the batch scheduler (repro.serve.scheduler)."""
+
+import asyncio
+
+from repro.jobs import ArtifactCache, RetryPolicy
+from repro.serve.jobstore import DONE, FAILED, JobStore
+from repro.serve.queue import FairQueue
+from repro.serve.scheduler import BatchScheduler
+from repro.serve.submission import parse_submission
+
+SRC = """
+int main() {
+    int total;
+    total = 0;
+    for (int i = 0; i < 20; i++) { total = total + i; }
+    return total;
+}
+"""
+
+BAD_SRC = "int main( { this does not parse }"
+
+
+def submit(store, queue, scheduler, payload, tenant="t"):
+    spec, adhoc = parse_submission(
+        payload, default_max_steps=5_000, max_steps_cap=50_000
+    )
+    job, created = store.submit(spec, tenant)
+    assert created
+    if adhoc is not None:
+        scheduler.register_adhoc(adhoc)
+    queue.push(tenant, job)
+    return job
+
+
+def make_service(tmp_path, **kwargs):
+    cache = ArtifactCache(tmp_path / "cache")
+    store = JobStore()
+    queue = FairQueue(capacity=16)
+    scheduler = BatchScheduler(cache, store, queue, **kwargs)
+    return cache, store, queue, scheduler
+
+
+def drain(scheduler):
+    """Run the scheduler until a drain completes."""
+
+    async def run():
+        task = asyncio.create_task(scheduler.run())
+        scheduler.begin_drain()
+        await asyncio.wait_for(task, timeout=120)
+
+    asyncio.run(run())
+
+
+class TestExecution:
+    def test_drain_completes_accepted_work(self, tmp_path):
+        cache, store, queue, scheduler = make_service(tmp_path)
+        job = submit(store, queue, scheduler, {"source": SRC, "max_steps": 2000})
+        # Drain is requested BEFORE the scheduler ever runs: the already
+        # accepted job must still be executed, not dropped.
+        drain(scheduler)
+        assert job.status == DONE
+        assert job.executed == 4  # compile, trace, profile, analyze
+        assert cache.has_result(job.result_key)
+        assert scheduler.batches_total == 1
+
+    def test_batch_merges_identical_artifacts_across_tenants(self, tmp_path):
+        cache, store, queue, scheduler = make_service(tmp_path)
+        a = submit(
+            store, queue, scheduler,
+            {"benchmark": "eqntott", "max_steps": 2000}, tenant="a",
+        )
+        b = submit(
+            store, queue, scheduler,
+            {"benchmark": "eqntott", "stage": "trace", "max_steps": 2000},
+            tenant="b",
+        )
+        drain(scheduler)
+        assert a.status == DONE and b.status == DONE
+        # One merged graph: the trace/profile artifacts were planned once,
+        # so the whole batch is one benchmark's worth of executed jobs.
+        assert scheduler.executed_total == 4
+        assert scheduler.batches_total == 1
+
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        cache, store, queue, scheduler = make_service(tmp_path)
+        first = submit(store, queue, scheduler, {"source": SRC, "max_steps": 2000})
+        drain(scheduler)
+        assert first.executed == 4
+
+        # New scheduler over the same cache: nothing executes.
+        store2 = JobStore()
+        queue2 = FairQueue(capacity=16)
+        scheduler2 = BatchScheduler(cache, store2, queue2)
+        repeat = submit(store2, queue2, scheduler2, {"source": SRC, "max_steps": 2000})
+        drain(scheduler2)
+        assert repeat.status == DONE
+        assert repeat.executed == 0
+        assert repeat.hits == 4
+        assert repeat.result_key == first.result_key
+
+
+class TestFailure:
+    def test_planning_failure_is_per_submission(self, tmp_path):
+        cache, store, queue, scheduler = make_service(tmp_path)
+        bad = submit(store, queue, scheduler, {"source": BAD_SRC}, tenant="a")
+        good = submit(
+            store, queue, scheduler, {"source": SRC, "max_steps": 2000}, tenant="b"
+        )
+        drain(scheduler)
+        assert bad.status == FAILED
+        assert "planning failed" in bad.error
+        assert good.status == DONE  # the bad source never poisoned the batch
+
+    def test_dead_farm_job_fails_with_provenance(self, tmp_path):
+        cache, store, queue, scheduler = make_service(
+            tmp_path,
+            retry=RetryPolicy(max_attempts=1, backoff_base=0.0),
+            faults="stage=trace,mode=raise,times=0",
+        )
+        job = submit(store, queue, scheduler, {"source": SRC, "max_steps": 2000})
+        drain(scheduler)
+        assert job.status == FAILED
+        assert "dead" in job.error
+        kinds = {failure["kind"] for failure in job.failures}
+        assert "error" in kinds  # the injected trace failure
+        assert "dependency" in kinds  # its killed dependents
+        stages = {failure["stage"] for failure in job.failures}
+        assert "trace" in stages

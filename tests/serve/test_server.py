@@ -1,0 +1,190 @@
+"""HTTP integration tests for repro-serve (repro.serve.server).
+
+These boot the real server — socket, parser, router, scheduler — via
+:class:`ServerThread` and talk to it with the real client, so they cover
+the wire format end to end.
+"""
+
+import json
+
+import pytest
+
+from repro.jobs import AnalysisRequest, ArtifactCache, run_requests
+from repro.jobs.engine import FarmReport, Planner
+from repro.serve import ServeClient, ServeConfig, ServeError, ServerThread
+
+SRC = """
+int main() {
+    int total;
+    total = 0;
+    for (int i = 0; i < 30; i++) {
+        if (i % 2 == 0) total = total + i;
+    }
+    return total;
+}
+"""
+
+MAX_STEPS = 2_000
+
+
+def config(tmp_path, **overrides):
+    options = {
+        "cache_dir": str(tmp_path / "serve-cache"),
+        "queue_limit": 8,
+        "max_steps": MAX_STEPS,
+        "max_steps_cap": 50_000,
+    }
+    options.update(overrides)
+    return ServeConfig(**options)
+
+
+class TestEndToEnd:
+    def test_submit_poll_fetch_and_cache_reuse(self, tmp_path):
+        with ServerThread(config(tmp_path)) as server:
+            client = ServeClient(server.base_url, token="alice")
+            client.wait_ready()
+            doc, payload = client.submit_and_wait(
+                {"source": SRC, "max_steps": MAX_STEPS}
+            )
+            assert doc["status"] == "done"
+            assert doc["executed"] == 4
+            result = json.loads(payload)
+            assert result  # a real analysis document
+
+            # Identical resubmission after completion: new job, zero
+            # executed farm jobs — served entirely from the cache.
+            doc2, payload2 = client.submit_and_wait(
+                {"source": SRC, "max_steps": MAX_STEPS}
+            )
+            assert doc2["job"] != doc["job"]
+            assert doc2["executed"] == 0
+            assert payload2 == payload
+
+            health = client.healthz()
+            assert health["farm"]["executed"] == 4
+
+    def test_result_bytes_identical_to_batch_farm(self, tmp_path):
+        # Ground truth: the same request through the batch library entry
+        # point, in a completely separate cache.
+        batch_cache = ArtifactCache(tmp_path / "batch-cache")
+        request = AnalysisRequest("eqntott", max_steps=MAX_STEPS)
+        run_requests(batch_cache, [request], max_steps=MAX_STEPS)
+        planner = Planner(batch_cache, FarmReport())
+        key = planner.request_keys(request, None, MAX_STEPS).result
+        expected = batch_cache.result_path(key).read_bytes()
+
+        with ServerThread(config(tmp_path)) as server:
+            client = ServeClient(server.base_url)
+            client.wait_ready()
+            doc, payload = client.submit_and_wait(
+                {"benchmark": "eqntott", "max_steps": MAX_STEPS}
+            )
+        assert doc["status"] == "done"
+        assert doc["result_key"] == key
+        assert payload == expected
+
+    def test_metrics_endpoint_exposes_serve_counters(self, tmp_path):
+        with ServerThread(config(tmp_path)) as server:
+            client = ServeClient(server.base_url)
+            client.wait_ready()
+            client.submit_and_wait({"source": SRC, "max_steps": MAX_STEPS})
+            text = client.metrics()
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_jobs_total" in text
+
+
+class TestErrors:
+    def test_bad_submissions_get_400(self, tmp_path):
+        with ServerThread(config(tmp_path)) as server:
+            client = ServeClient(server.base_url)
+            client.wait_ready()
+            for payload in (
+                {"benchmark": "no-such-benchmark"},
+                {"benchmark": "awk", "bogus": 1},
+                {},
+            ):
+                with pytest.raises(ServeError) as excinfo:
+                    client.submit(payload)
+                assert excinfo.value.status == 400
+
+    def test_unknown_job_and_path_get_404(self, tmp_path):
+        with ServerThread(config(tmp_path)) as server:
+            client = ServeClient(server.base_url)
+            client.wait_ready()
+            with pytest.raises(ServeError) as excinfo:
+                client.job("j999999-deadbeef")
+            assert excinfo.value.status == 404
+            status, _, _ = client._request("GET", "/v1/nothing/here")
+            assert status == 404
+
+    def test_wrong_method_gets_405(self, tmp_path):
+        with ServerThread(config(tmp_path)) as server:
+            client = ServeClient(server.base_url)
+            client.wait_ready()
+            status, headers, _ = client._request("GET", "/v1/jobs")
+            assert status == 405
+            assert "POST" in headers["allow"]
+
+
+class TestBackpressure:
+    def test_queue_full_gets_429_with_retry_after(self, tmp_path):
+        # No scheduler: the queue can only fill, so rejection is
+        # deterministic at queue_limit + 1 distinct submissions.
+        with ServerThread(
+            config(tmp_path, queue_limit=1), run_scheduler=False
+        ) as server:
+            client = ServeClient(server.base_url)
+            client.wait_ready()
+            accepted = client.submit({"benchmark": "awk"})
+            assert accepted["created"] is True
+            status, headers, body = client._request(
+                "POST", "/v1/jobs", {"benchmark": "eqntott"}
+            )
+            assert status == 429
+            assert int(headers["retry-after"]) >= 1
+            assert "capacity" in json.loads(body)["error"]
+            # The rejected submission left no residue: its digest slot
+            # is free, so retrying it later is accepted.
+            queue_depth = client.healthz()["queue_depth"]
+            assert queue_depth == 1
+
+    def test_concurrent_identical_submissions_coalesce(self, tmp_path):
+        with ServerThread(
+            config(tmp_path, queue_limit=4), run_scheduler=False
+        ) as server:
+            client = ServeClient(server.base_url)
+            client.wait_ready()
+            first = client.submit({"benchmark": "awk"})
+            second = ServeClient(server.base_url, token="other").submit(
+                {"benchmark": "awk"}
+            )
+            assert first["created"] is True
+            assert second["created"] is False
+            assert second["job"] == first["job"]
+            assert second["coalesced"] == 1
+            # Only one queue slot is held for the shared job.
+            assert client.healthz()["queue_depth"] == 1
+
+
+class TestDrain:
+    def test_graceful_drain_finishes_accepted_jobs(self, tmp_path):
+        server = ServerThread(config(tmp_path)).start()
+        client = ServeClient(server.base_url)
+        client.wait_ready()
+        accepted = client.submit({"source": SRC, "max_steps": MAX_STEPS})
+        server.shutdown()  # graceful: must run the accepted job first
+        job = server.app.store.get(accepted["job"])
+        assert job.status == "done"
+        assert server.app.cache.has_result(job.result_key)
+
+    def test_draining_service_rejects_new_submissions(self, tmp_path):
+        with ServerThread(config(tmp_path), run_scheduler=False) as server:
+            client = ServeClient(server.base_url)
+            client.wait_ready()
+            server.app.scheduler.begin_drain()
+            status, _, body = client._request(
+                "POST", "/v1/jobs", {"benchmark": "awk"}
+            )
+            assert status == 503
+            assert "draining" in json.loads(body)["error"]
+            assert client.healthz()["status"] == "draining"

@@ -1,0 +1,92 @@
+"""Tests for submission parsing and canonicalization (repro.serve.submission)."""
+
+import pytest
+
+from repro.jobs.requests import AnalysisRequest, TraceRequest
+from repro.serve.submission import (
+    MAX_SOURCE_BYTES,
+    SubmissionError,
+    adhoc_name,
+    parse_submission,
+)
+
+SRC = "int main() { return 7; }"
+
+
+def parse(payload, default_max_steps=10_000, max_steps_cap=100_000):
+    return parse_submission(
+        payload,
+        default_max_steps=default_max_steps,
+        max_steps_cap=max_steps_cap,
+    )
+
+
+class TestValidation:
+    def test_minimal_benchmark_submission(self):
+        spec, adhoc = parse({"benchmark": "awk"})
+        assert adhoc is None
+        assert spec.stage == "analyze"
+        assert spec.benchmark == "awk"
+        assert spec.max_steps == 10_000  # server default applied
+        assert isinstance(spec.to_request(), AnalysisRequest)
+
+    def test_adhoc_source_submission(self):
+        spec, adhoc = parse({"source": SRC, "stage": "trace"})
+        assert adhoc is not None
+        assert adhoc.name == adhoc_name(SRC) == spec.benchmark
+        assert spec.scale == 1  # ad-hoc default
+        assert isinstance(spec.to_request(), TraceRequest)
+
+    def test_compile_stage_has_no_farm_request(self):
+        spec, _ = parse({"benchmark": "awk", "stage": "compile"})
+        assert spec.to_request() is None
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not a dict",
+            {"benchmark": "awk", "bogus": 1},
+            {"benchmark": "awk", "stage": "link"},
+            {},  # neither benchmark nor source
+            {"benchmark": "awk", "source": SRC},  # both
+            {"benchmark": "no-such-benchmark"},
+            {"source": "   "},
+            {"source": "x" * (MAX_SOURCE_BYTES + 1)},
+            {"benchmark": "awk", "scale": 0},
+            {"benchmark": "awk", "scale": True},
+            {"benchmark": "awk", "max_steps": 0},
+            {"benchmark": "awk", "max_steps": True},
+            {"benchmark": "awk", "max_steps": 100_001},  # above cap
+            {"benchmark": "awk", "models": []},
+            {"benchmark": "awk", "models": ["WARP"]},
+            {"benchmark": "awk", "perfect_unrolling": "yes"},
+        ],
+    )
+    def test_rejected_payloads(self, payload):
+        with pytest.raises(SubmissionError):
+            parse(payload)
+
+    def test_models_deduped_and_converted(self):
+        spec, _ = parse({"benchmark": "awk", "models": ["BASE", "CD", "BASE"]})
+        assert spec.models == ("BASE", "CD")
+        request = spec.to_request()
+        assert [m.value for m in request.models] == ["BASE", "CD"]
+
+
+class TestCanonicalization:
+    def test_digest_ignores_model_order(self):
+        a, _ = parse({"benchmark": "awk", "models": ["CD", "BASE"]})
+        b, _ = parse({"benchmark": "awk", "models": ["BASE", "CD"]})
+        assert a.digest() == b.digest()
+
+    def test_digest_separates_distinct_submissions(self):
+        a, _ = parse({"benchmark": "awk"})
+        b, _ = parse({"benchmark": "awk", "max_steps": 5000})
+        c, _ = parse({"benchmark": "awk", "stage": "trace"})
+        assert len({a.digest(), b.digest(), c.digest()}) == 3
+
+    def test_same_source_same_adhoc_name(self):
+        a, _ = parse({"source": SRC})
+        b, _ = parse({"source": SRC})
+        assert a.benchmark == b.benchmark
+        assert a.digest() == b.digest()

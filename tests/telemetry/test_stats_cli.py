@@ -129,3 +129,73 @@ class TestRendering:
         assert lines[0].startswith("span")
         assert set(lines[1]) == {"-"}
         assert lines[2].startswith("x")
+
+
+class TestPercentiles:
+    def test_nearest_rank_values(self):
+        from repro.telemetry.stats_cli import percentile
+
+        values = sorted(float(v) for v in range(1, 101))  # 1.0 .. 100.0
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 95) == 95.0
+        assert percentile(values, 99) == 99.0
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_percentile_rejects_bad_input(self):
+        import pytest
+
+        from repro.telemetry.stats_cli import percentile
+
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_aggregate_groups_by_span_name_only(self):
+        from repro.telemetry.stats_cli import aggregate_percentiles
+
+        rows = aggregate_percentiles(
+            [
+                span_record("s", 1.0, benchmark="awk"),
+                span_record("s", 3.0, benchmark="grep"),
+                span_record("t", 2.0),
+            ]
+        )
+        by_name = {row["span"]: row for row in rows}
+        assert by_name["s"]["count"] == 2
+        assert by_name["s"]["p50_s"] == 1.0  # nearest rank of 2 values
+        assert by_name["s"]["p99_s"] == 3.0
+        assert by_name["t"]["count"] == 1
+
+    def test_percentile_table_rendering(self):
+        from repro.telemetry.stats_cli import (
+            aggregate_percentiles,
+            render_percentile_table,
+        )
+
+        rows = aggregate_percentiles(
+            [span_record("serve.request", d / 10) for d in range(1, 11)]
+        )
+        text = render_percentile_table(rows)
+        assert text.splitlines()[0].startswith("span")
+        assert "p50 s" in text and "p95 s" in text and "p99 s" in text
+        assert "serve.request" in text
+
+    def test_cli_percentiles_flag(self, tmp_path, capsys):
+        write_fixture(tmp_path)
+        assert main([str(tmp_path), "--percentiles"]) == 0
+        out = capsys.readouterr().out
+        assert "p50 s" in out
+        assert "p99 s" in out
+
+    def test_json_includes_percentiles(self, tmp_path, capsys):
+        write_fixture(tmp_path)
+        assert main([str(tmp_path), "--json", "--percentiles"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        row = next(r for r in doc["percentiles"] if r["span"] == "trace.save")
+        assert row["count"] == 2
+        assert row["p50_s"] == 0.5
+        assert row["p99_s"] == 1.5
