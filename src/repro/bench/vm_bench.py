@@ -1,0 +1,217 @@
+"""Microbenchmark: specialized (generated-dispatch) VM vs. the legacy interpreter.
+
+Runs each benchmark at the same trace budget under both VMs and reports
+the speedup.  Every pair of runs is first checked for *identical*
+results — trace columns, branch profile, output, exit value, steps,
+halted flag — so a timing report for a divergent VM is impossible; this
+doubles as a coarse differential test (the fine-grained one, including
+byte-identical RTRC files, lives in ``tests/vm/test_fastvm_differential.py``).
+
+Usage::
+
+    repro-vm-bench                          # all benchmarks, default budget
+    repro-vm-bench --max-steps 200000       # CI budget
+    repro-vm-bench --min-speedup 3.0        # fail below 3x
+    repro-vm-bench espresso gcc --repeats 5
+    repro-vm-bench --stream-check --max-steps 10000000 --rss-limit-mb 200
+
+``--stream-check`` switches to the bounded-memory gate: one benchmark is
+traced with the specialized VM *streaming* into a v2 RTRC writer (no
+in-memory trace), then read back chunk-wise, and the process's peak RSS
+(``resource.getrusage``) must stay under ``--rss-limit-mb`` — a ceiling
+far below what materialized whole-trace columns would cost at the same
+budget.  Run it in a fresh process (as the CI job does): ``ru_maxrss``
+is a process-lifetime high-water mark.
+
+Timing uses ``time.process_time`` (CPU time) with the VMs interleaved
+and the best of ``--repeats`` kept per VM, the same discipline as
+``repro-analyzer-bench``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import resource
+import sys
+import tempfile
+import time
+
+from repro.bench.suite import SUITE
+from repro.vm.fastvm import FastVM
+from repro.vm.machine import VM, RunResult
+from repro.vm.trace_io import TraceReader, TraceWriter
+
+
+def _equivalent(a: RunResult, b: RunResult) -> bool:
+    return (
+        a.steps == b.steps
+        and a.halted == b.halted
+        and a.exit_value == b.exit_value
+        and a.output == b.output
+        and a.branch_profile == b.branch_profile
+        and list(a.trace.pcs) == list(b.trace.pcs)
+        and list(a.trace.addrs) == list(b.trace.addrs)
+        and list(a.trace.takens) == list(b.trace.takens)
+    )
+
+
+def bench_one(
+    name: str, max_steps: int, repeats: int, scale: int | None = None
+) -> tuple[float, float]:
+    """Best-of-*repeats* CPU seconds for (fast, legacy) on one benchmark.
+
+    Raises :class:`AssertionError` if the two VMs diverge in any
+    observable way.
+    """
+    program = SUITE[name].compile(scale)
+    fast_vm = FastVM(program)
+    legacy_vm = VM(program)
+    # Warm-up runs: compile the handler table and check equivalence
+    # before timing anything.
+    fast = fast_vm.run(max_steps=max_steps)
+    legacy = legacy_vm.run(max_steps=max_steps)
+    assert _equivalent(fast, legacy), f"{name}: fast and legacy VMs diverge"
+    best_fast = best_legacy = float("inf")
+    for _ in range(repeats):
+        fast_vm.reset()
+        started = time.process_time()
+        fast_vm.run(max_steps=max_steps)
+        best_fast = min(best_fast, time.process_time() - started)
+        legacy_vm.reset()
+        started = time.process_time()
+        legacy_vm.run(max_steps=max_steps)
+        best_legacy = min(best_legacy, time.process_time() - started)
+    return best_fast, best_legacy
+
+
+def stream_check(
+    name: str, max_steps: int, rss_limit_mb: int, scale: int | None = None
+) -> int:
+    """Trace *name* at *max_steps* streaming to disk; gate on peak RSS."""
+    program = SUITE[name].compile(scale)
+    started = time.process_time()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "stream.rtrc.gz")
+        with TraceWriter(path, program) as writer:
+            result = FastVM(program).run(max_steps=max_steps, sink=writer)
+            records = writer.total
+        size_mb = os.path.getsize(path) / (1 << 20)
+        # Read the stream back chunk-wise (consumer side of the bound).
+        read_back = 0
+        for chunk in TraceReader(path, program).chunks():
+            read_back += len(chunk.pcs)
+    elapsed = time.process_time() - started
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes there, KB on Linux
+        peak_kb //= 1024
+    peak_mb = peak_kb / 1024
+    print(
+        f"stream-check {name}: {result.steps} steps, {records} records "
+        f"written and {read_back} read back, {size_mb:.1f} MiB on disk, "
+        f"peak RSS {peak_mb:.0f} MiB, {elapsed:.1f}s CPU"
+    )
+    if records != result.steps or read_back != records:
+        print(
+            f"FAIL: record counts diverge (steps {result.steps}, "
+            f"written {records}, read {read_back})",
+            file=sys.stderr,
+        )
+        return 1
+    if peak_mb > rss_limit_mb:
+        print(
+            f"FAIL: peak RSS {peak_mb:.0f} MiB exceeds the "
+            f"{rss_limit_mb} MiB ceiling — the trace path is not streaming",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-vm-bench",
+        description="Benchmark the specialized VM against the legacy interpreter.",
+    )
+    parser.add_argument(
+        "benchmarks",
+        nargs="*",
+        metavar="BENCHMARK",
+        help="benchmarks to run (default: the whole suite)",
+    )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=200_000,
+        help="dynamic trace budget per benchmark (default 200000)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed repetitions per VM; the best is kept (default 3)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit nonzero unless every benchmark's speedup is >= X",
+    )
+    parser.add_argument(
+        "--stream-check",
+        action="store_true",
+        help="bounded-memory gate: stream one benchmark's trace to disk "
+        "and fail if peak RSS exceeds --rss-limit-mb",
+    )
+    parser.add_argument(
+        "--rss-limit-mb",
+        type=int,
+        default=200,
+        metavar="MB",
+        help="peak-RSS ceiling for --stream-check (default 200)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=None,
+        help="workload scale passed to the benchmark compiler (default: "
+        "the suite's native scale); raise it so long budgets actually "
+        "execute that many steps",
+    )
+    args = parser.parse_args(argv)
+    names = args.benchmarks or sorted(SUITE)
+    unknown = [n for n in names if n not in SUITE]
+    if unknown:
+        parser.error(f"unknown benchmark(s): {', '.join(unknown)}")
+    if args.repeats < 1:
+        parser.error("--repeats must be positive")
+
+    if args.stream_check:
+        if len(names) != len(SUITE) and len(names) != 1:
+            parser.error("--stream-check takes exactly one benchmark")
+        name = names[0] if len(names) == 1 else "espresso"
+        return stream_check(name, args.max_steps, args.rss_limit_mb, args.scale)
+
+    print(f"{'benchmark':<12} {'fast':>9} {'legacy':>9} {'speedup':>8}")
+    ratios: list[float] = []
+    for name in names:
+        fast_s, legacy_s = bench_one(name, args.max_steps, args.repeats, args.scale)
+        ratio = legacy_s / fast_s if fast_s else float("inf")
+        ratios.append(ratio)
+        print(f"{name:<12} {fast_s:>8.3f}s {legacy_s:>8.3f}s {ratio:>7.2f}x")
+    mean = sum(ratios) / len(ratios)
+    worst = min(ratios)
+    print(f"{'':12} {'':>9} {'':>9}  min {worst:.2f}x / mean {mean:.2f}x")
+    if args.min_speedup is not None and worst < args.min_speedup:
+        print(
+            f"FAIL: minimum speedup {worst:.2f}x below the "
+            f"{args.min_speedup:.2f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -75,9 +75,14 @@ from repro.core.models import ALL_MODELS, MachineModel
 from repro.core.results import AnalysisResult, ModelResult
 from repro.core.stats import MispredictionStats
 from repro.isa import OpKind, Program, registers
-from repro.prediction.base import BranchPredictor, misprediction_flags
+from repro.prediction.base import (
+    BranchPredictor,
+    chunk_misprediction_flags,
+    misprediction_flags,
+)
 from repro.prediction.profile import ProfilePredictor
 from repro.vm.trace import Trace
+from repro.vm.trace_io import TraceReader, iter_trace_chunks, trace_source_program
 
 #: The analyzer's execution engines (see module docstring).
 ENGINES = ("fused", "legacy")
@@ -255,7 +260,7 @@ class LimitAnalyzer:
 
     def analyze(
         self,
-        trace: Trace,
+        trace: Trace | TraceReader,
         models: Sequence[MachineModel] = ALL_MODELS,
         predictor: BranchPredictor | None = None,
         perfect_inlining: bool = True,
@@ -288,8 +293,15 @@ class LimitAnalyzer:
         ``engine`` selects the fused single-pass engine (default) or the
         legacy one-sweep-per-model path kept as a differential-testing
         oracle; both produce byte-identical results.
+
+        ``trace`` may be an in-memory :class:`Trace` or a streaming
+        :class:`~repro.vm.trace_io.TraceReader`.  The fused engine
+        consumes a reader chunk by chunk — misprediction flags included —
+        so memory stays bounded at any trace budget; the legacy oracle is
+        a one-sweep-*per-model* path and materializes the reader first.
         """
-        if trace.program is not self.program:
+        source = trace
+        if trace_source_program(source) is not self.program:
             raise ValueError("trace was produced by a different program")
         if window is not None and window < 1:
             raise ValueError("window must be a positive instruction count")
@@ -301,6 +313,11 @@ class LimitAnalyzer:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         models = _dedupe_models(models)
 
+        streaming = isinstance(source, TraceReader)
+        if streaming and engine == "legacy":
+            source = source.to_trace()
+            streaming = False
+
         key = (perfect_inlining, perfect_unrolling, _freeze_latencies(latencies))
         tables = self._table_cache.get(key)
         if tables is None:
@@ -310,19 +327,22 @@ class LimitAnalyzer:
             self._table_cache[key] = tables
 
         needs_prediction = any(model.uses_speculation for model in models)
+        if needs_prediction and predictor is None:
+            predictor = ProfilePredictor.from_source(source)
         mp_flags: list[bool] | None = None
-        if needs_prediction:
-            if predictor is None:
-                predictor = ProfilePredictor.from_trace(trace)
-            mp_flags = misprediction_flags(trace, predictor)
+        if needs_prediction and engine == "legacy":
+            mp_flags = misprediction_flags(source, predictor)
 
         stats = (
             MispredictionStats()
             if collect_misprediction_stats and MachineModel.SP in models
             else None
         )
+        known_records = source.total if streaming else len(source)
         result = AnalysisResult(
-            program_name=self.program.name, trace_length=len(trace), engine=engine
+            program_name=self.program.name,
+            trace_length=known_records or 0,
+            engine=engine,
         )
         flow_peaks: dict[MachineModel, int] = {}
 
@@ -333,11 +353,12 @@ class LimitAnalyzer:
             program=self.program.name,
             engine=engine,
             models=[model.label for model in models],
-            trace_records=len(trace),
+            trace_records=known_records,
         ) as sp:
             if engine == "legacy":
                 counted = 0
                 seq_time = 0
+                total = len(source)
                 for model in models:
                     model_stats = stats if model is MachineModel.SP else None
                     with telemetry.span(
@@ -346,7 +367,7 @@ class LimitAnalyzer:
                         model=model.label,
                     ) as msp:
                         seq_time, parallel_time, counted, flow_peak = _run_model(
-                            model, trace, tables, mp_flags, window, model_stats,
+                            model, source, tables, mp_flags, window, model_stats,
                             flow_limit=flow_limit,
                         )
                         msp.set(cycles=parallel_time)
@@ -357,8 +378,11 @@ class LimitAnalyzer:
                     )
                     flow_peaks[model] = flow_peak
             else:
-                counted, seq_time, makespans, peaks, kernel_tele = _run_fused(
-                    models, trace, tables, mp_flags, window, stats, flow_limit,
+                chunks = _chunk_feed(
+                    source, predictor, needs_prediction, self.program
+                )
+                counted, seq_time, total, makespans, peaks, kernel_tele = _run_fused(
+                    models, chunks, tables, window, stats, flow_limit,
                     latencies, telemetry_on=tele_on,
                 )
                 for model, makespan, peak in zip(models, makespans, peaks):
@@ -369,8 +393,9 @@ class LimitAnalyzer:
                 if kernel_tele is not None:
                     self._record_kernel_telemetry(kernel_tele, sp)
 
+            result.trace_length = total
             result.counted_instructions = counted
-            result.removed_instructions = len(trace) - counted
+            result.removed_instructions = total - counted
             if stats is not None:
                 result.misprediction_stats = stats
             self.last_flow_peaks = flow_peaks if flow_limit is not None else {}
@@ -395,12 +420,13 @@ class LimitAnalyzer:
                     telemetry.METRICS.gauge(
                         "repro_analyzer_instructions_per_second"
                     ).set(
-                        len(trace) / elapsed,
+                        total / elapsed,
                         program=self.program.name,
                         engine=engine,
                     )
                 sp.set(
                     counted=counted,
+                    trace_records=total,
                     cycles={
                         model.label: model_result.parallel_time
                         for model, model_result in result.models.items()
@@ -546,45 +572,73 @@ def _kernel_spec(
     )
 
 
+def _chunk_feed(
+    source,
+    predictor: BranchPredictor | None,
+    needs_prediction: bool,
+    program: Program,
+):
+    """Yield ``(pcs, addrs, mp)`` triples for the fused kernel.
+
+    The streaming front end of the fused engine: each trace chunk is
+    paired with its misprediction flags, computed incrementally — the
+    predictor is reset once, then trained across chunk boundaries in
+    trace order, so the flags (and therefore every model's schedule) are
+    identical to a whole-trace pass no matter how the trace is framed.
+    An in-memory :class:`Trace` flows through the same path as a
+    :class:`~repro.vm.trace_io.TraceReader`; only the chunk origin
+    differs.
+    """
+    is_computed_jump: list[bool] | None = None
+    if needs_prediction:
+        assert predictor is not None
+        predictor.reset()
+        is_computed_jump = [
+            instr.is_computed_jump for instr in program.instructions
+        ]
+    for pcs, addrs, takens in iter_trace_chunks(source):
+        mp = (
+            chunk_misprediction_flags(pcs, addrs, takens, predictor, is_computed_jump)
+            if needs_prediction
+            else None
+        )
+        yield pcs, addrs, mp
+
+
 def _run_fused(
     models: tuple[MachineModel, ...],
-    trace: Trace,
+    chunks,
     tables: _StaticTables,
-    mp_flags: list[bool] | None,
     window: int | None,
     stats: MispredictionStats | None,
     flow_limit: int | None,
     latencies: dict[OpKind, int] | None,
     telemetry_on: bool = False,
-) -> tuple[int, int, tuple[int, ...], tuple[int, ...], dict | None]:
-    """One fused sweep over *trace* for every model in *models*.
+) -> tuple[int, int, int, tuple[int, ...], tuple[int, ...], dict | None]:
+    """One fused sweep over *chunks* for every model in *models*.
 
-    Returns ``(counted, sequential_time, makespans, flow_peaks,
-    kernel_telemetry)`` with the per-model tuples in request order.
-    ``kernel_telemetry`` is None unless the telemetry kernel variant ran;
-    the variant adds only end-of-sweep sampling (value-state map sizes)
-    plus one integer increment on the CD ancestor-scan *miss* path — no
-    per-instruction Python calls — and is compiled and cached separately,
-    so the disabled kernels are byte-identical to the uninstrumented ones.
+    *chunks* is an iterable of ``(pcs, addrs, mp)`` column triples (see
+    :func:`_chunk_feed`); the kernel carries every model's state across
+    chunk boundaries, so the sweep is identical to a whole-trace pass
+    while holding only one chunk in memory at a time.
+
+    Returns ``(counted, sequential_time, total_records, makespans,
+    flow_peaks, kernel_telemetry)`` with the per-model tuples in request
+    order.  ``kernel_telemetry`` is None unless the telemetry kernel
+    variant ran; the variant adds only end-of-sweep sampling (value-state
+    map sizes) plus one integer increment on the CD ancestor-scan *miss*
+    path — no per-instruction Python calls — and is compiled and cached
+    separately, so the disabled kernels are byte-identical to the
+    uninstrumented ones.
     """
-    if any(model.uses_speculation for model in models) and mp_flags is None:
-        raise ValueError("speculative models need misprediction flags")
     kernel = _kernel_for(
         _kernel_spec(models, window, flow_limit, stats, latencies, telemetry_on)
     )
-    out = kernel(
-        _as_list(trace.pcs),
-        _as_list(trace.addrs),
-        tables,
-        mp_flags,
-        window,
-        flow_limit,
-        stats,
-    )
+    out = kernel(chunks, tables, window, flow_limit, stats)
     if telemetry_on:
         return out
-    counted, seq_time, makespans, peaks = out
-    return counted, seq_time, makespans, peaks, None
+    counted, seq_time, total, makespans, peaks = out
+    return counted, seq_time, total, makespans, peaks, None
 
 
 def _kernel_for(spec: tuple):
@@ -695,7 +749,7 @@ def _emit_kernel(spec: tuple) -> str:
         emit(f"{indent}        del cb{m}[k_]")
 
     # -- prologue: hoist tables, initialize per-model state ----------------
-    emit("def _kernel(pcs, addrs, tables, mp, window, flow_limit, sp_stats):")
+    emit("def _kernel(chunks, tables, window, flow_limit, sp_stats):")
     emit("    flags = tables.flags.tolist()")
     emit("    lat = tables.lat.tolist()")
     emit("    roff = tables.reads_off.tolist()")
@@ -707,15 +761,14 @@ def _emit_kernel(spec: tuple) -> str:
         emit("    cflat = tables.cd_flat.tolist()")
         emit("    cgid = tables.cd_gid.tolist()")
     # Counted-instruction and sequential-time totals are plain per-pc sums
-    # over the trace; fold them at C speed up front instead of per
+    # over the trace; fold them at C speed per chunk instead of per
     # iteration in the Python loop.
     emit("    ignx = [1 if f & 2 else 0 for f in flags]")
-    emit("    counted = len(pcs) - sum(map(ignx.__getitem__, pcs))")
-    if unit_lat:
-        emit("    seq_time = counted")
-    else:
+    emit("    counted = 0")
+    emit("    total = 0")
+    if not unit_lat:
         emit("    latx = [0 if f & 2 else l for f, l in zip(flags, lat)]")
-        emit("    seq_time = sum(map(latx.__getitem__, pcs))")
+        emit("    seq_time = 0")
     if any_cd:
         emit("    seq = 0")
         emit("    bseq = {}")
@@ -756,6 +809,16 @@ def _emit_kernel(spec: tuple) -> str:
             emit("    scadd = seg_cycles.add")
             emit("    spadd = sp_stats.add")
 
+    # -- chunk loop: every model's state lives outside it, so sweeping N
+    # chunks is *identical* to sweeping their concatenation — only peak
+    # memory changes.  The per-instruction loop below is emitted exactly
+    # as for a whole-trace pass and re-indented one level at the end.
+    emit("    for pcs, addrs, mp in chunks:")
+    emit("        total += len(pcs)")
+    emit("        counted += len(pcs) - sum(map(ignx.__getitem__, pcs))")
+    if not unit_lat:
+        emit("        seq_time += sum(map(latx.__getitem__, pcs))")
+    loop_start = len(out)
     emit("    for i in range(len(pcs)):")
     emit("        pc = pcs[i]")
     emit("        fl = flags[pc]")
@@ -958,6 +1021,12 @@ def _emit_kernel(spec: tuple) -> str:
         emit("            seg_len = 0")
         emit("            seg_cycles.clear()")
 
+    # Nest the per-instruction loop inside the chunk loop.
+    for idx in range(loop_start, len(out)):
+        out[idx] = "    " + out[idx]
+
+    if unit_lat:
+        emit("    seq_time = counted")
     if sp_m is not None:
         emit("    # flush the segment trailing the last misprediction")
         emit("    if seg_len:")
@@ -972,15 +1041,18 @@ def _emit_kernel(spec: tuple) -> str:
         emit("    tele = {'mem_entries': len(mem)}")
         if any_cd:
             emit("    tele['cd_scans'] = cdsc")
-            emit("    tele['cd_lookups'] = len(pcs)")
+            emit("    tele['cd_lookups'] = total")
             for m in cd:
                 emit(f"    tele['bt_{models[m].value}'] = len(bt{m})")
         emit(
-            f"    return counted, seq_time, ({makespans}{comma}), "
+            f"    return counted, seq_time, total, ({makespans}{comma}), "
             f"({peaks}{comma}), tele"
         )
     else:
-        emit(f"    return counted, seq_time, ({makespans}{comma}), ({peaks}{comma})")
+        emit(
+            f"    return counted, seq_time, total, "
+            f"({makespans}{comma}), ({peaks}{comma})"
+        )
     emit("")
     return "\n".join(out)
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.bench import SUITE
 from repro.experiments.runner import SuiteRunner, TextTable
 from repro.isa import OpKind
+from repro.vm import iter_trace_chunks
 
 #: Reported classes, in column order.
 CLASSES = ("alu", "fpu", "load", "store", "branch", "jump", "call/ret", "other")
@@ -64,14 +65,19 @@ def run(runner: SuiteRunner) -> InstructionMix:
     rows: dict[str, dict[str, float]] = {}
     for name in SUITE:
         bench_run = runner.run(name)
-        program = bench_run.trace.program
+        program = bench_run.analyzer.program
         class_of_pc = [
             _classify(instr.kind, instr.is_return)
             for instr in program.instructions
         ]
         counts = {c: 0 for c in CLASSES}
-        for pc in bench_run.trace.pcs:
-            counts[class_of_pc[pc]] += 1
-        total = max(1, len(bench_run.trace))
+        total = 0
+        # Chunk-wise so cached traces stream from disk instead of
+        # materializing (the mix is a pure per-record histogram).
+        for pcs, _addrs, _takens in iter_trace_chunks(bench_run.trace_source()):
+            total += len(pcs)
+            for pc in pcs:
+                counts[class_of_pc[pc]] += 1
+        total = max(1, total)
         rows[name] = {c: 100.0 * counts[c] / total for c in CLASSES}
     return InstructionMix(rows)

@@ -29,7 +29,7 @@ from repro.jobs import (
     RetryPolicy,
 )
 from repro.jobs import keys as jobkeys
-from repro.vm import VM, CorruptArtifactError, Trace
+from repro.vm import CorruptArtifactError, FastVM, Trace
 
 
 @dataclass(frozen=True)
@@ -88,19 +88,63 @@ class RunConfig:
     inject_faults: str | None = None
 
 
-@dataclass
 class BenchmarkRun:
-    """One benchmark's trace plus everything derived from it."""
+    """One benchmark's trace plus everything derived from it.
 
-    spec: BenchmarkSpec
-    trace: Trace
-    analyzer: LimitAnalyzer
-    predictor: ProfilePredictor
-    stats: BranchStats
+    The trace is held either in memory (``trace=``, the no-cache path) or
+    in the content-addressed cache behind an ``opener`` producing fresh
+    streaming readers.  :attr:`trace` materializes lazily for consumers
+    that genuinely need whole-trace columns (the verifier, ablations);
+    chunk-wise consumers call :meth:`trace_source` and never pay the
+    memory.  :attr:`stats` (Table 2) is likewise computed on first use,
+    chunk-wise.
+    """
+
+    def __init__(
+        self,
+        spec: BenchmarkSpec,
+        analyzer: LimitAnalyzer,
+        predictor: ProfilePredictor,
+        trace: Trace | None = None,
+        opener=None,
+    ):
+        if trace is None and opener is None:
+            raise ValueError("BenchmarkRun needs a trace or an opener")
+        self.spec = spec
+        self.analyzer = analyzer
+        self.predictor = predictor
+        self._trace = trace
+        self._opener = opener
+        self._stats: BranchStats | None = None
 
     @property
     def name(self) -> str:
         return self.spec.name
+
+    @property
+    def trace(self) -> Trace:
+        """The whole trace in memory (materialized from the cache lazily)."""
+        if self._trace is None:
+            self._trace = self._opener().to_trace()
+        return self._trace
+
+    def trace_source(self):
+        """The cheapest full-trace source for chunk-wise consumers.
+
+        A fresh streaming :class:`~repro.vm.trace_io.TraceReader` when
+        the trace lives in the artifact cache (bounded memory at any
+        budget), else the in-memory :class:`Trace`.
+        """
+        if self._trace is not None:
+            return self._trace
+        return self._opener()
+
+    @property
+    def stats(self) -> BranchStats:
+        """Branch statistics under the run's predictor (computed lazily)."""
+        if self._stats is None:
+            self._stats = branch_stats(self.trace_source(), self.predictor)
+        return self._stats
 
 
 class SuiteRunner:
@@ -170,54 +214,71 @@ class SuiteRunner:
         with telemetry.span("runner.run", benchmark=name):
             if self._cache is None:
                 program = spec.compile(self.config.scale)
-                trace = VM(program).run(max_steps=self.config.max_steps).trace
+                trace = FastVM(program).run(max_steps=self.config.max_steps).trace
                 predictor = ProfilePredictor.from_trace(trace)
+                run = BenchmarkRun(
+                    spec=spec,
+                    analyzer=LimitAnalyzer(program),
+                    predictor=predictor,
+                    trace=trace,
+                )
             else:
-                program, trace, predictor = self._materialize(spec)
-            run = BenchmarkRun(
-                spec=spec,
-                trace=trace,
-                analyzer=LimitAnalyzer(program),
-                predictor=predictor,
-                stats=branch_stats(trace, predictor),
-            )
+                program, opener, predictor = self._materialize(spec)
+                run = BenchmarkRun(
+                    spec=spec,
+                    analyzer=LimitAnalyzer(program),
+                    predictor=predictor,
+                    opener=opener,
+                )
             if self.config.verify:
                 self._verify(run)
         self._runs[name] = run
         return run
 
     def _materialize(self, spec: BenchmarkSpec):
-        """Load (or produce and store) one benchmark's trace and profile.
+        """Produce (or find) one benchmark's trace and profile in the cache.
 
-        A cached artifact that fails integrity verification has already
-        been quarantined by the cache; it is transparently re-produced
-        (and re-stored) here instead of crashing the run.
+        The trace is produced by the specialized VM streaming straight
+        into the cache — it never materializes in this process — and is
+        consumed through streaming readers, so a 100M-step budget costs
+        the runner no resident memory.  A cached artifact that fails
+        integrity verification has already been quarantined by the cache;
+        it is transparently re-produced (and re-stored) here instead of
+        crashing the run.
         """
         scale = self._scale_for(spec)
         trace_key = self._trace_key(spec.name)
         program = spec.compile(scale)
-        trace = None
-        if self._cache.has_trace(trace_key):
+        cache = self._cache
+
+        def opener():
+            return cache.open_trace_reader(trace_key, program)
+
+        have_trace = False
+        if cache.has_trace(trace_key):
             try:
-                trace = self._cache.load_trace(trace_key, program)
+                cache.open_trace_reader(trace_key, program)
+                have_trace = True
                 self.farm_report.record(trace_key, "trace", spec.name, HIT)
             except CorruptArtifactError as exc:
                 self.farm_report.record_failure(
                     trace_key, "trace", spec.name, "corrupt", 1, str(exc),
                     retried=True,
                 )
-        if trace is None:
+        if not have_trace:
             started = time.time()
-            trace = VM(program).run(max_steps=self.config.max_steps).trace
-            self._cache.store_trace(trace_key, trace)
+            with cache.store_trace_stream(trace_key, program) as writer:
+                FastVM(program).run(
+                    max_steps=self.config.max_steps, sink=writer
+                )
             self.farm_report.record(
                 trace_key, "trace", spec.name, RUN, time.time() - started
             )
         profile_key = jobkeys.profile_key(trace_key)
         predictor = None
-        if self._cache.has_profile(profile_key):
+        if cache.has_profile(profile_key):
             try:
-                predictor = self._cache.load_profile(profile_key)
+                predictor = cache.load_profile(profile_key)
                 self.farm_report.record(profile_key, "profile", spec.name, HIT)
             except CorruptArtifactError as exc:
                 self.farm_report.record_failure(
@@ -226,12 +287,12 @@ class SuiteRunner:
                 )
         if predictor is None:
             started = time.time()
-            predictor = ProfilePredictor.from_trace(trace)
-            self._cache.store_profile(profile_key, predictor)
+            predictor = ProfilePredictor.from_source(opener())
+            cache.store_profile(profile_key, predictor)
             self.farm_report.record(
                 profile_key, "profile", spec.name, RUN, time.time() - started
             )
-        return program, trace, predictor
+        return program, opener, predictor
 
     def _trace_key(self, name: str) -> str:
         spec = SUITE[name]
@@ -280,7 +341,7 @@ class SuiteRunner:
         if predictor is not None:
             run = self.run(name)
             return run.analyzer.analyze(
-                run.trace,
+                run.trace_source(),
                 models=models,
                 predictor=predictor,
                 perfect_unrolling=perfect_unrolling,
@@ -330,7 +391,7 @@ class SuiteRunner:
             "runner.analyze", benchmark=name, engine=self.config.engine
         ):
             cached = run.analyzer.analyze(
-                run.trace,
+                run.trace_source(),
                 models=models,
                 predictor=run.predictor,
                 perfect_unrolling=perfect_unrolling,

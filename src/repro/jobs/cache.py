@@ -50,6 +50,7 @@ import hashlib
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro import telemetry
@@ -57,7 +58,15 @@ from repro.core.results import AnalysisResult
 from repro.isa import Program
 from repro.prediction.profile import ProfilePredictor
 from repro.vm.trace import Trace
-from repro.vm.trace_io import CorruptArtifactError, load_trace, save_trace
+from repro.vm.trace_io import (
+    DEFAULT_CHUNK_RECORDS,
+    CorruptArtifactError,
+    TraceFormatError,
+    TraceReader,
+    TraceWriter,
+    load_trace,
+    save_trace,
+)
 
 #: Sidecar suffix appended to every artifact file name.
 CHECKSUM_SUFFIX = ".sha256"
@@ -172,10 +181,59 @@ class ArtifactCache:
         self._verified_bytes(path, key)
         try:
             return load_trace(path, program)
-        except (CorruptArtifactError, EOFError, gzip.BadGzipFile) as exc:
+        except (TraceFormatError, EOFError, gzip.BadGzipFile) as exc:
             # Checksum-consistent but unparseable: the artifact was
             # *stored* damaged (e.g. a fault-injected torn write that
             # also rewrote the sidecar).  Quarantine it all the same.
+            raise self._quarantine(path, key, f"unreadable trace: {exc}") from exc
+
+    @contextmanager
+    def store_trace_stream(
+        self,
+        key: str,
+        program: Program,
+        chunk_size: int = DEFAULT_CHUNK_RECORDS,
+    ):
+        """Stream a trace artifact into the cache with bounded memory.
+
+        Yields a :class:`TraceWriter` bound to a temporary sibling; a VM
+        run feeds it chunk by chunk (``FastVM(...).run(sink=writer)``),
+        so the trace never materializes in the producer.  On clean exit
+        the finished file is checksummed and atomically published
+        exactly like :meth:`store_trace`; on error nothing is published
+        and the temp file is discarded.
+        """
+        path = self.trace_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = _tmp_sibling(path)
+        digest: str | None = None
+        try:
+            writer = TraceWriter(tmp, program, chunk_size=chunk_size)
+            try:
+                yield writer
+            except BaseException:
+                writer.abort()
+                raise
+            writer.close()
+            digest = _sha256_file(tmp)
+            _replace_published(tmp, path)
+        finally:
+            _discard(tmp)
+        self._write_checksum(path, digest)
+
+    def open_trace_reader(self, key: str, program: Program) -> TraceReader:
+        """Open a streaming reader on a cached trace (bounded memory).
+
+        Integrity is verified by hashing the file in fixed-size buffers —
+        never holding the artifact in memory — and any parse failure,
+        including one surfacing mid-stream from :meth:`TraceReader.chunks`,
+        quarantines the artifact exactly like :meth:`load_trace`.
+        """
+        path = self.trace_path(key)
+        self._verified_file(path, key)
+        try:
+            return _QuarantiningTraceReader(path, program, self, key)
+        except (TraceFormatError, EOFError, gzip.BadGzipFile) as exc:
             raise self._quarantine(path, key, f"unreadable trace: {exc}") from exc
 
     # -- profile stage -------------------------------------------------
@@ -231,6 +289,26 @@ class ArtifactCache:
                 path, key, f"checksum mismatch ({actual[:12]} != {expected[:12]})"
             )
         return data
+
+    def _verified_file(self, path: Path, key: str) -> None:
+        """Checksum-verify *path* without reading it into memory.
+
+        The streaming sibling of :meth:`_verified_bytes`: same sidecar
+        contract and quarantine behaviour, but the artifact is hashed in
+        1 MiB buffers, so a 100M-record trace costs no resident memory.
+        """
+        if not path.is_file():
+            raise self._quarantine(path, key, "artifact file is missing")
+        sidecar = self.checksum_path(path)
+        try:
+            expected = sidecar.read_text(encoding="utf-8").strip()
+        except FileNotFoundError:
+            raise self._quarantine(path, key, "checksum sidecar is missing")
+        actual = _sha256_file(path)
+        if actual != expected:
+            raise self._quarantine(
+                path, key, f"checksum mismatch ({actual[:12]} != {expected[:12]})"
+            )
 
     def _verified_json(self, path: Path, key: str) -> dict:
         data = self._verified_bytes(path, key)
@@ -292,6 +370,32 @@ class ArtifactCache:
             _replace_published(tmp, sidecar)
         finally:
             _discard(tmp)
+
+
+class _QuarantiningTraceReader(TraceReader):
+    """A :class:`TraceReader` whose mid-stream failures quarantine.
+
+    Checksum verification happens before the reader is handed out, but a
+    checksum-consistent artifact can still be unparseable (stored damaged
+    under fault injection).  Construction and the lazy :meth:`chunks` /
+    :meth:`to_trace` paths translate those failures into the cache's
+    quarantine-and-raise protocol so the farm can re-produce the trace.
+    """
+
+    def __init__(self, path: Path, program: Program, cache: ArtifactCache, key: str):
+        self._cache = cache
+        self._key = key
+        super().__init__(path, program)
+
+    def chunks(self):
+        # ``to_trace`` funnels through here too, so one override covers
+        # both the streaming and materializing consumers.
+        try:
+            yield from super().chunks()
+        except (TraceFormatError, EOFError, gzip.BadGzipFile) as exc:
+            raise self._cache._quarantine(
+                Path(self.path), self._key, f"unreadable trace: {exc}"
+            ) from exc
 
 
 def _sha256_file(path: Path) -> str:

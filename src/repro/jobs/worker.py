@@ -27,7 +27,7 @@ from repro.core import LimitAnalyzer, MachineModel
 from repro.jobs import faults
 from repro.jobs.cache import ArtifactCache
 from repro.prediction import ProfilePredictor
-from repro.vm import VM
+from repro.vm import FastVM
 
 
 def execute_job(payload: dict) -> dict:
@@ -115,25 +115,27 @@ def _program(payload: dict):
 
 
 def _trace_job(payload: dict) -> None:
+    # Specialized VM, streamed straight into the cache: the trace never
+    # materializes in worker memory, so the budget is disk-bound only.
     cache = ArtifactCache(payload["cache_dir"])
     program = _program(payload)
-    result = VM(program).run(max_steps=payload["max_steps"])
-    cache.store_trace(payload["key"], result.trace)
+    with cache.store_trace_stream(payload["key"], program) as writer:
+        FastVM(program).run(max_steps=payload["max_steps"], sink=writer)
 
 
 def _profile_job(payload: dict) -> None:
     cache = ArtifactCache(payload["cache_dir"])
-    trace = cache.load_trace(payload["trace"], _program(payload))
-    cache.store_profile(payload["key"], ProfilePredictor.from_trace(trace))
+    reader = cache.open_trace_reader(payload["trace"], _program(payload))
+    cache.store_profile(payload["key"], ProfilePredictor.from_source(reader))
 
 
 def _analysis_job(payload: dict) -> None:
     cache = ArtifactCache(payload["cache_dir"])
     program = _program(payload)
-    trace = cache.load_trace(payload["trace"], program)
+    reader = cache.open_trace_reader(payload["trace"], program)
     predictor = cache.load_profile(payload["profile"])
     result = LimitAnalyzer(program).analyze(
-        trace,
+        reader,
         models=[MachineModel(label) for label in payload["models"]],
         predictor=predictor,
         perfect_unrolling=payload["perfect_unrolling"],

@@ -44,11 +44,31 @@ def misprediction_flags(trace: Trace, predictor: BranchPredictor) -> list[bool]:
     """
     predictor.reset()
     program = trace.program
-    flags = [False] * len(trace)
     is_computed_jump = [instr.is_computed_jump for instr in program.instructions]
+    return chunk_misprediction_flags(
+        trace.pcs, trace.addrs, trace.takens, predictor, is_computed_jump
+    )
+
+
+def chunk_misprediction_flags(
+    pcs,
+    addrs,
+    takens,
+    predictor: BranchPredictor,
+    is_computed_jump: list[bool],
+) -> list[bool]:
+    """Misprediction flags for one chunk of an already-reset predictor.
+
+    The streaming building block behind :func:`misprediction_flags`: the
+    caller resets the predictor once, then feeds consecutive chunks in
+    trace order so dynamic predictors train across chunk boundaries
+    exactly as they would over the whole trace.  ``addrs`` is accepted
+    (and ignored) so chunk triples can be passed through positionally.
+    """
+    flags = [False] * len(pcs)
     lookup = predictor.lookup
     update = predictor.update
-    for i, (pc, taken) in enumerate(zip(trace.pcs, trace.takens)):
+    for i, (pc, taken) in enumerate(zip(pcs, takens)):
         if taken != NOT_BRANCH:
             outcome = taken == 1
             flags[i] = lookup(pc) != outcome

@@ -48,19 +48,34 @@ class ProfilePredictor(BranchPredictor):
     @classmethod
     def from_trace(cls, trace: Trace, default_taken: bool = True) -> "ProfilePredictor":
         """Build by profiling an existing trace (same-input upper bound)."""
-        with telemetry.span(
-            "prediction.profile", program=trace.program.name
-        ) as sp:
+        return cls.from_source(trace, default_taken=default_taken)
+
+    @classmethod
+    def from_source(cls, source, default_taken: bool = True) -> "ProfilePredictor":
+        """Build by profiling a trace source chunk by chunk.
+
+        *source* is a :class:`Trace` or a streaming
+        :class:`~repro.vm.trace_io.TraceReader`; either way the profile
+        is accumulated one chunk at a time, so a 100M-record on-disk
+        trace never materializes in memory.
+        """
+        from repro.vm.trace_io import iter_trace_chunks, trace_source_program
+
+        program = trace_source_program(source)
+        with telemetry.span("prediction.profile", program=program.name) as sp:
             counts: dict[int, list[int]] = {}
             branches = 0
-            for pc, taken in trace.branch_outcomes():
-                entry = counts.setdefault(pc, [0, 0])
-                entry[1 if taken else 0] += 1
-                branches += 1
+            for pcs, _addrs, takens in iter_trace_chunks(source):
+                for pc, taken in zip(pcs, takens):
+                    if taken < 0:  # NOT_BRANCH
+                        continue
+                    entry = counts.setdefault(pc, [0, 0])
+                    entry[taken] += 1
+                    branches += 1
             sp.set(branches=branches, static_sites=len(counts))
         if telemetry.enabled():
             telemetry.METRICS.counter("repro_profile_branches_total").inc(
-                branches, program=trace.program.name
+                branches, program=program.name
             )
         return cls.from_counts(counts, default_taken=default_taken)
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.prediction.base import BranchPredictor
-from repro.vm.trace import NOT_BRANCH, Trace
+from repro.vm.trace import NOT_BRANCH
 
 
 @dataclass(frozen=True)
@@ -37,27 +37,34 @@ class BranchStats:
         return self.dynamic_instructions / self.conditional_branches
 
 
-def branch_stats(trace: Trace, predictor: BranchPredictor) -> BranchStats:
+def branch_stats(trace, predictor: BranchPredictor) -> BranchStats:
     """Compute Table 2's statistics for *trace* under *predictor*.
 
-    The predictor is reset and trained in trace order (relevant only for
-    dynamic predictors).
+    *trace* is a :class:`Trace` or a streaming
+    :class:`~repro.vm.trace_io.TraceReader`; the walk is chunk-wise
+    either way.  The predictor is reset and trained in trace order
+    (relevant only for dynamic predictors).
     """
+    from repro.vm.trace_io import iter_trace_chunks
+
     predictor.reset()
     lookup = predictor.lookup
     update = predictor.update
+    records = 0
     branches = 0
     mispredictions = 0
-    for pc, taken in zip(trace.pcs, trace.takens):
-        if taken == NOT_BRANCH:
-            continue
-        outcome = taken == 1
-        branches += 1
-        if lookup(pc) != outcome:
-            mispredictions += 1
-        update(pc, outcome)
+    for pcs, _addrs, takens in iter_trace_chunks(trace):
+        records += len(pcs)
+        for pc, taken in zip(pcs, takens):
+            if taken == NOT_BRANCH:
+                continue
+            outcome = taken == 1
+            branches += 1
+            if lookup(pc) != outcome:
+                mispredictions += 1
+            update(pc, outcome)
     return BranchStats(
-        dynamic_instructions=len(trace),
+        dynamic_instructions=records,
         conditional_branches=branches,
         mispredictions=mispredictions,
     )

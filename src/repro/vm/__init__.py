@@ -1,5 +1,6 @@
 """Tracing interpreter for the repro ISA (the study's ``pixie`` equivalent)."""
 
+from repro.vm.fastvm import FastVM, fastvm_source, run_program_fast
 from repro.vm.machine import RETURN_SENTINEL, VM, RunResult, VMError, run_program
 from repro.vm.sanitize import sanitize_trace
 from repro.vm.trace import (
@@ -12,13 +13,18 @@ from repro.vm.trace import (
 )
 from repro.vm.trace_io import (
     CorruptArtifactError,
+    TraceChunk,
     TraceFormatError,
+    TraceReader,
+    TraceWriter,
+    iter_trace_chunks,
     load_trace,
     save_trace,
 )
 
 __all__ = [
     "CorruptArtifactError",
+    "FastVM",
     "NO_ADDR",
     "NOT_BRANCH",
     "NOT_TAKEN",
@@ -26,12 +32,18 @@ __all__ = [
     "RunResult",
     "TAKEN",
     "Trace",
+    "TraceChunk",
     "TraceFormatError",
+    "TraceReader",
     "TraceRecord",
+    "TraceWriter",
     "VM",
     "VMError",
+    "fastvm_source",
+    "iter_trace_chunks",
     "load_trace",
     "run_program",
+    "run_program_fast",
     "sanitize_trace",
     "save_trace",
 ]

@@ -321,7 +321,14 @@ class VM:
             elif op is Opcode.FPRINT:
                 self.output.append(float(regs[instr.rs]))
             elif op is Opcode.PUTC:
-                self.output.append(chr(regs[instr.rs] & 0x10FFFF))
+                # Masking to the Unicode range can still land on a lone
+                # surrogate (U+D800-U+DFFF), which chr() happily builds but
+                # any UTF-8 write of output_text later rejects.  Substitute
+                # U+FFFD, the designated replacement character.
+                point = regs[instr.rs] & 0x10FFFF
+                if 0xD800 <= point <= 0xDFFF:
+                    point = 0xFFFD
+                self.output.append(chr(point))
             else:  # pragma: no cover - all opcodes handled above
                 raise VMError(f"unimplemented opcode {op}")
 

@@ -1,20 +1,45 @@
-"""Trace serialization.
+"""Trace serialization (RTRC, versions 1 and 2).
 
 The original study materialized pixie traces as files and post-processed
 them; this module provides the equivalent: a compact binary format so
 traces can be captured once and re-analyzed many times (or shipped between
 machines).  Paths ending in ``.gz`` are transparently compressed.
 
-Format (little-endian)::
+Version 2 (the write format) is *chunked* so producers and consumers never
+hold a whole trace in memory::
 
     magic   4 bytes  b"RTRC"
-    version u32      currently 1
-    n       u64      record count
+    version u32      currently 2
+    chunk   u32      nominal records per frame (framing granularity)
     namelen u16      program-name byte length
     name    bytes    UTF-8 program name (for sanity checks only)
-    pcs     n * u32
-    addrs   n * i64  (NO_ADDR = -1 for non-memory instructions)
-    takens  n * i8   (NOT_BRANCH = -1 for non-branches)
+    -- then zero or more frames --
+    count   u32      records in this frame (> 0)
+    pcs     count * u32
+    addrs   count * i64  (NO_ADDR = -1 for non-memory instructions)
+    takens  count * i8   (NOT_BRANCH = -1 for non-branches)
+    -- then the end marker --
+    count   u32      0
+    total   u64      sum of all frame counts (consistency check)
+
+The explicit end marker (rather than a record count up front) is what
+makes single-pass streaming writes possible: a gzip stream cannot seek
+back to patch a header, and a producer does not know the record count
+until the run finishes.  A file that ends without the marker was written
+by a producer that died mid-store and reads as corrupt.
+
+Version 1 — a single header followed by three whole-file columns — is
+still readable everywhere a v2 file is; its compatibility path
+materializes the columns (it cannot be memory-bounded) and then serves
+them as chunk views.
+
+:class:`TraceWriter` and :class:`TraceReader` are the streaming APIs;
+:func:`save_trace` / :func:`load_trace` remain the whole-trace
+conveniences built on top of them.  Writers re-frame whatever batch sizes
+the caller supplies into exact ``chunk_size`` frames, so the bytes on
+disk are a pure function of (records, chunk size) — producers that batch
+differently still store byte-identical artifacts under the same
+content-addressed key.
 """
 
 from __future__ import annotations
@@ -24,13 +49,24 @@ import struct
 import sys
 from array import array
 from pathlib import Path
+from typing import Iterator, NamedTuple
 
 from repro import telemetry
 from repro.isa import Program
-from repro.vm.trace import Trace
+from repro.vm.trace import NO_ADDR, Trace
 
 MAGIC = b"RTRC"
-VERSION = 1
+VERSION = 2
+
+#: Versions :func:`load_trace` / :class:`TraceReader` accept.
+READABLE_VERSIONS = (1, 2)
+
+#: Default records per v2 frame: 64Ki records is ~832 KiB of column data,
+#: small enough that a streaming producer/consumer pair stays bounded at
+#: any trace budget and large enough that per-frame overhead is noise.
+DEFAULT_CHUNK_RECORDS = 1 << 16
+
+_U32_MAX = 0xFFFFFFFF
 
 
 class TraceFormatError(Exception):
@@ -61,9 +97,33 @@ class CorruptArtifactError(TraceFormatError):
         return str(self.args[0]) if self.args else ""
 
 
+class TraceChunk(NamedTuple):
+    """One frame of trace columns, hoisted to plain lists.
+
+    Lists rather than arrays because every consumer (the fused analyzer
+    kernel, predictor training, branch statistics) iterates Python-level;
+    ``array.tolist()`` does the unboxing once at C speed.
+    """
+
+    pcs: list
+    addrs: list
+    takens: list
+
+
 def _open(path: str | Path, mode: str):
     path = str(path)
     if path.endswith(".gz"):
+        if "w" in mode:
+            # Deterministic gzip output: no mtime, no embedded filename.
+            # Content-addressed cache keys assume racing producers store
+            # identical bytes; gzip.open would stamp wall-clock time and
+            # the (random, temp-sibling) file name into the header.
+            raw = open(path, "wb")
+            # filename="" keeps the FNAME field out of the header too —
+            # GzipFile would otherwise embed raw.name's basename.
+            stream = gzip.GzipFile(fileobj=raw, mode="wb", mtime=0, filename="")
+            stream.myfileobj = raw  # GzipFile closes myfileobj on close()
+            return stream
         return gzip.open(path, mode)
     return open(path, mode)
 
@@ -100,79 +160,407 @@ def _read_exact(stream, count: int) -> bytes:
 
 
 def _payload_bytes(count: int, name_length: int) -> int:
-    """Uncompressed RTRC byte size: header + name + three columns."""
+    """Approximate uncompressed RTRC byte size (telemetry only)."""
     return 4 + 14 + name_length + count * (4 + 8 + 1)
 
 
-def save_trace(trace: Trace, path: str | Path) -> None:
-    """Write *trace* to *path* in the binary trace format."""
-    name_bytes = trace.program.name.encode("utf-8")
-    if len(name_bytes) > 0xFFFF:
-        raise TraceFormatError("program name exceeds 65535 UTF-8 bytes")
-    with telemetry.span(
-        "trace.save",
-        program=trace.program.name,
-        records=len(trace),
-        bytes=_payload_bytes(len(trace), len(name_bytes)),
-    ):
-        with _open(path, "wb") as stream:
-            stream.write(MAGIC)
-            stream.write(struct.pack("<IQH", VERSION, len(trace), len(name_bytes)))
-            stream.write(name_bytes)
-            stream.write(_le_bytes(array("I", trace.pcs)))
-            stream.write(_le_bytes(array("q", trace.addrs)))
-            stream.write(_le_bytes(array("b", trace.takens)))
-    if telemetry.enabled():
-        telemetry.METRICS.counter("repro_trace_bytes_written_total").inc(
-            _payload_bytes(len(trace), len(name_bytes))
+# -- column validation -------------------------------------------------------
+#
+# The fast path converts whole columns through array() constructors and
+# C-speed min/max; only when something is out of range does a Python-level
+# scan run to name the offending record.  These checks are what keep a
+# hand-built trace (or garbled-but-well-framed bytes) from flowing into
+# the analyzer as silent nonsense:
+#
+# * pcs must fit u32 on write (a bare OverflowError otherwise leaked from
+#   array("I", ...)) and lie inside the program on read;
+# * takens outside {-1, 0, 1} and addrs below NO_ADDR are rejected on
+#   both sides.
+
+
+def _pc_column(pcs, base: int) -> array:
+    try:
+        return array("I", pcs)
+    except (OverflowError, ValueError, TypeError):
+        for index, value in enumerate(pcs):
+            if not isinstance(value, int) or not 0 <= value <= _U32_MAX:
+                raise TraceFormatError(
+                    f"trace pc {value!r} at record {base + index} "
+                    f"does not fit in u32"
+                ) from None
+        raise  # pragma: no cover - conversion failed but every value fits
+
+
+def _addr_column(addrs, base: int) -> array:
+    try:
+        column = array("q", addrs)
+    except (OverflowError, ValueError, TypeError):
+        for index, value in enumerate(addrs):
+            if not isinstance(value, int) or not -(1 << 63) <= value < (1 << 63):
+                raise TraceFormatError(
+                    f"trace addr {value!r} at record {base + index} "
+                    f"does not fit in i64"
+                ) from None
+        raise  # pragma: no cover
+    if column and min(column) < NO_ADDR:
+        index, value = next(
+            (i, v) for i, v in enumerate(column) if v < NO_ADDR
+        )
+        raise TraceFormatError(
+            f"trace addr {value} at record {base + index} "
+            f"below NO_ADDR ({NO_ADDR})"
+        )
+    return column
+
+
+def _taken_column(takens, base: int) -> array:
+    try:
+        column = array("b", takens)
+    except (OverflowError, ValueError, TypeError):
+        column = None
+    if column is None or (column and not -1 <= min(column) <= max(column) <= 1):
+        for index, value in enumerate(takens):
+            if not isinstance(value, int) or not -1 <= value <= 1:
+                raise TraceFormatError(
+                    f"trace taken {value!r} at record {base + index} "
+                    f"outside {{-1, 0, 1}}"
+                ) from None
+        raise AssertionError("unreachable")  # pragma: no cover
+    return column
+
+
+def _check_chunk_pcs(pcs: array, n_code: int, base: int) -> None:
+    if pcs and max(pcs) >= n_code:
+        index, value = next((i, v) for i, v in enumerate(pcs) if v >= n_code)
+        raise TraceFormatError(
+            f"trace pc {value} outside program code [0, {n_code})"
+            f" at record {base + index}"
         )
 
 
-def load_trace(path: str | Path, program: Program) -> Trace:
-    """Read a trace from *path*, attaching it to *program*.
+class TraceWriter:
+    """Streaming RTRC v2 writer with bounded memory.
 
-    The program is identified by name only (the format does not embed
-    code); a pc outside the program's code range raises
-    :class:`TraceFormatError`, which catches most mismatches.
+    Accepts record batches of any size via :meth:`write` and re-frames
+    them into exact ``chunk_size`` frames (the tail frame may be short),
+    so on-disk bytes do not depend on how the producer batched.  Must be
+    closed (or used as a context manager) for the end marker to land; a
+    file without it reads as corrupt, which is exactly right for a
+    producer that died mid-store.
     """
-    with telemetry.span("trace.load", program=program.name) as sp, \
-            _open(path, "rb") as stream:
+
+    def __init__(
+        self,
+        path: str | Path,
+        program: Program,
+        chunk_size: int = DEFAULT_CHUNK_RECORDS,
+    ):
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be a positive record count")
+        name_bytes = program.name.encode("utf-8")
+        if len(name_bytes) > 0xFFFF:
+            raise TraceFormatError("program name exceeds 65535 UTF-8 bytes")
+        self.program = program
+        self.chunk_size = chunk_size
+        self.total = 0
+        self._name_length = len(name_bytes)
+        self._pcs = array("I")
+        self._addrs = array("q")
+        self._takens = array("b")
+        self._closed = False
+        self._stream = _open(path, "wb")
+        try:
+            self._stream.write(MAGIC)
+            self._stream.write(
+                struct.pack("<IIH", VERSION, chunk_size, len(name_bytes))
+            )
+            self._stream.write(name_bytes)
+        except BaseException:
+            self._stream.close()
+            raise
+
+    def write(self, pcs, addrs, takens) -> None:
+        """Append one batch of parallel columns (any equal lengths)."""
+        if self._closed:
+            raise ValueError("write to a closed TraceWriter")
+        if not len(pcs) == len(addrs) == len(takens):
+            raise TraceFormatError(
+                f"column lengths differ: {len(pcs)} pcs, "
+                f"{len(addrs)} addrs, {len(takens)} takens"
+            )
+        if not len(pcs):
+            return
+        base = self.total
+        self._pcs.extend(_pc_column(pcs, base))
+        self._addrs.extend(_addr_column(addrs, base))
+        self._takens.extend(_taken_column(takens, base))
+        self.total += len(pcs)
+        while len(self._pcs) >= self.chunk_size:
+            self._emit(self.chunk_size)
+
+    def _emit(self, count: int) -> None:
+        stream = self._stream
+        stream.write(struct.pack("<I", count))
+        stream.write(_le_bytes(self._pcs[:count]))
+        stream.write(_le_bytes(self._addrs[:count]))
+        stream.write(_le_bytes(self._takens[:count]))
+        del self._pcs[:count]
+        del self._addrs[:count]
+        del self._takens[:count]
+
+    def close(self) -> None:
+        """Flush buffered records, write the end marker, close the file."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._pcs:
+                self._emit(len(self._pcs))
+            self._stream.write(struct.pack("<IQ", 0, self.total))
+        finally:
+            self._stream.close()
+        if telemetry.enabled():
+            telemetry.METRICS.counter("repro_trace_bytes_written_total").inc(
+                _payload_bytes(self.total, self._name_length)
+            )
+
+    def abort(self) -> None:
+        """Close the underlying file *without* the end marker.
+
+        Used on error paths: the partial file stays structurally invalid
+        (it reads as truncated), which is what a consumer should see for
+        an abandoned store.
+        """
+        if not self._closed:
+            self._closed = True
+            self._stream.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+
+class TraceReader:
+    """Re-iterable streaming reader for RTRC files (v1 and v2).
+
+    Construction parses and validates the header (magic, version, program
+    name) so mismatches fail fast; each :meth:`chunks` call then re-opens
+    the file and streams validated :class:`TraceChunk` frames.  Being
+    re-iterable is what lets one reader serve the multiple passes an
+    analysis needs (predictor training, then the fused sweep) without
+    ever materializing the columns.
+
+    v2 files are read with bounded memory (one frame at a time).  The v1
+    compatibility path must materialize the columns once per pass — the
+    v1 layout stores each column as one whole-file run, which cannot be
+    streamed in record order.
+    """
+
+    def __init__(self, path: str | Path, program: Program):
+        self.path = str(path)
+        self.program = program
+        #: Record count; known up front for v1, set after a full
+        #: :meth:`chunks` pass (or footer read) for v2.
+        self.total: int | None = None
+        with _open(self.path, "rb") as stream:
+            self.version, self._v1_count, self._name_length = (
+                self._read_header(stream)
+            )
+
+    def _read_header(self, stream) -> tuple[int, int, int]:
         magic = stream.read(4)
         if magic != MAGIC:
             raise TraceFormatError(f"bad magic {magic!r}; not a trace file")
-        version, count, name_length = struct.unpack("<IQH", _read_exact(stream, 14))
-        if version != VERSION:
+        (version,) = struct.unpack("<I", _read_exact(stream, 4))
+        if version not in READABLE_VERSIONS:
             raise TraceFormatError(f"unsupported trace version {version}")
-        sp.set(records=count, bytes=_payload_bytes(count, name_length))
-        name = _read_exact(stream, name_length).decode("utf-8") if name_length else ""
-        if name != program.name:
-            raise TraceFormatError(
-                f"trace was recorded for program {name!r}, got {program.name!r}"
+        if version == 1:
+            count, name_length = struct.unpack("<QH", _read_exact(stream, 10))
+            self.total = count
+        else:
+            self.chunk_size, name_length = struct.unpack(
+                "<IH", _read_exact(stream, 6)
             )
+            count = 0
+        name = (
+            _read_exact(stream, name_length).decode("utf-8")
+            if name_length
+            else ""
+        )
+        if name != self.program.name:
+            raise TraceFormatError(
+                f"trace was recorded for program {name!r}, "
+                f"got {self.program.name!r}"
+            )
+        return version, count, name_length
+
+    def chunks(self) -> Iterator[TraceChunk]:
+        """Stream the trace as validated :class:`TraceChunk` frames."""
+        with _open(self.path, "rb") as stream:
+            self._read_header(stream)  # skip (already validated)
+            if self.version == 1:
+                yield from self._v1_chunks(stream)
+            else:
+                yield from self._v2_chunks(stream)
+
+    def _v1_chunks(self, stream) -> Iterator[TraceChunk]:
+        count = self._v1_count
+        n_code = len(self.program)
         pcs = array("I")
         pcs.frombytes(_read_exact(stream, 4 * count))
         addrs = array("q")
         addrs.frombytes(_read_exact(stream, 8 * count))
         takens = array("b")
         takens.frombytes(_read_exact(stream, count))
-    if telemetry.enabled():
-        telemetry.METRICS.counter("repro_trace_bytes_read_total").inc(
-            _payload_bytes(count, name_length)
+        if sys.byteorder == "big":
+            pcs.byteswap()
+            addrs.byteswap()
+            takens.byteswap()
+        self._validate(pcs, addrs, takens, n_code, 0)
+        if telemetry.enabled():
+            telemetry.METRICS.counter("repro_trace_bytes_read_total").inc(
+                _payload_bytes(count, self._name_length)
+            )
+        size = DEFAULT_CHUNK_RECORDS
+        for start in range(0, count, size):
+            yield TraceChunk(
+                pcs[start : start + size].tolist(),
+                addrs[start : start + size].tolist(),
+                takens[start : start + size].tolist(),
+            )
+
+    def _v2_chunks(self, stream) -> Iterator[TraceChunk]:
+        n_code = len(self.program)
+        tele = telemetry.enabled()
+        streamed = 0
+        while True:
+            (count,) = struct.unpack("<I", _read_exact(stream, 4))
+            if count == 0:
+                (total,) = struct.unpack("<Q", _read_exact(stream, 8))
+                if total != streamed:
+                    raise CorruptArtifactError(
+                        f"trace end marker records {total} != "
+                        f"streamed records {streamed}"
+                    )
+                self.total = total
+                return
+            pcs = array("I")
+            pcs.frombytes(_read_exact(stream, 4 * count))
+            addrs = array("q")
+            addrs.frombytes(_read_exact(stream, 8 * count))
+            takens = array("b")
+            takens.frombytes(_read_exact(stream, count))
+            if sys.byteorder == "big":
+                pcs.byteswap()
+                addrs.byteswap()
+                takens.byteswap()
+            self._validate(pcs, addrs, takens, n_code, streamed)
+            if tele:
+                telemetry.METRICS.counter("repro_trace_bytes_read_total").inc(
+                    count * (4 + 8 + 1)
+                )
+            streamed += count
+            yield TraceChunk(pcs.tolist(), addrs.tolist(), takens.tolist())
+
+    @staticmethod
+    def _validate(
+        pcs: array, addrs: array, takens: array, n_code: int, base: int
+    ) -> None:
+        _check_chunk_pcs(pcs, n_code, base)
+        # Re-run the shared column validators: u32/i64 fit is guaranteed
+        # by the on-disk types, so only the range checks can fire here
+        # (garbled-but-well-framed bytes).
+        _addr_column(addrs, base)
+        _taken_column(takens, base)
+
+    def to_trace(self) -> Trace:
+        """Materialize the whole file as an in-memory :class:`Trace`.
+
+        The convenience (and v1-equivalent) path: memory is O(trace), so
+        prefer :meth:`chunks` at large budgets.
+        """
+        pcs = array("q")
+        addrs = array("q")
+        takens = array("q")
+        for chunk in self.chunks():
+            pcs.extend(chunk.pcs)
+            addrs.extend(chunk.addrs)
+            takens.extend(chunk.takens)
+        return Trace(program=self.program, pcs=pcs, addrs=addrs, takens=takens)
+
+
+def iter_trace_chunks(source) -> Iterator[TraceChunk]:
+    """Stream *source* — a :class:`Trace` or :class:`TraceReader` — as
+    :class:`TraceChunk` frames.
+
+    The shared adapter for chunk-wise consumers (the fused analyzer,
+    predictor training, branch statistics, the instruction-mix table): an
+    in-memory trace is served as ``DEFAULT_CHUNK_RECORDS``-sized views,
+    a reader streams straight from disk.
+    """
+    if isinstance(source, Trace):
+        size = DEFAULT_CHUNK_RECORDS
+        pcs, addrs, takens = source.pcs, source.addrs, source.takens
+        for start in range(0, len(source), size):
+            yield TraceChunk(
+                pcs[start : start + size].tolist(),
+                addrs[start : start + size].tolist(),
+                takens[start : start + size].tolist(),
+            )
+        return
+    yield from source.chunks()
+
+
+def trace_source_program(source) -> Program:
+    """The program a :class:`Trace` or :class:`TraceReader` belongs to."""
+    return source.program
+
+
+def save_trace(
+    trace: Trace,
+    path: str | Path,
+    chunk_size: int = DEFAULT_CHUNK_RECORDS,
+) -> None:
+    """Write *trace* to *path* in the (v2) binary trace format.
+
+    Out-of-range columns — a pc that does not fit u32, a taken outside
+    {-1, 0, 1}, an addr below ``NO_ADDR`` — raise
+    :class:`TraceFormatError` naming the offending record, instead of
+    leaking a bare ``OverflowError`` from the array layer.
+    """
+    name_bytes_len = len(trace.program.name.encode("utf-8"))
+    with telemetry.span(
+        "trace.save",
+        program=trace.program.name,
+        records=len(trace),
+        bytes=_payload_bytes(len(trace), name_bytes_len),
+    ):
+        with TraceWriter(path, trace.program, chunk_size=chunk_size) as writer:
+            pcs, addrs, takens = trace.pcs, trace.addrs, trace.takens
+            for start in range(0, len(trace), chunk_size):
+                end = start + chunk_size
+                writer.write(pcs[start:end], addrs[start:end], takens[start:end])
+
+
+def load_trace(path: str | Path, program: Program) -> Trace:
+    """Read a trace (v1 or v2) from *path*, attaching it to *program*.
+
+    The program is identified by name only (the format does not embed
+    code); a pc outside the program's code range, a taken outside
+    {-1, 0, 1}, or an addr below ``NO_ADDR`` raises
+    :class:`TraceFormatError`, which catches most mismatches and all
+    garbled-but-well-framed files.
+    """
+    with telemetry.span("trace.load", program=program.name) as sp:
+        reader = TraceReader(path, program)
+        trace = reader.to_trace()
+        sp.set(
+            records=len(trace),
+            bytes=_payload_bytes(len(trace), len(program.name.encode("utf-8"))),
         )
-    if sys.byteorder == "big":
-        pcs.byteswap()
-        addrs.byteswap()
-        takens.byteswap()
-    n_code = len(program)
-    if count and max(pcs) >= n_code:
-        bad = max(pcs)
-        raise TraceFormatError(
-            f"trace pc {bad} outside program code [0, {n_code})"
-        )
-    # Trace normalizes the narrower on-disk column types to array('q').
-    return Trace(
-        program=program,
-        pcs=pcs,
-        addrs=addrs,
-        takens=takens,
-    )
+    return trace

@@ -1,0 +1,131 @@
+"""Streaming analysis: a TraceReader source must yield the same results
+as the materialized Trace it serializes.
+
+The fused kernel consumes chunk frames incrementally; these tests pin the
+invariants that make that safe: result equality with the in-memory path,
+independence from the on-disk framing (chunk-boundary invariance — the
+predictor trains across frame boundaries), and the legacy engine's
+materialize-first fallback.
+"""
+
+import pytest
+
+from repro.bench import SUITE
+from repro.core import LimitAnalyzer, MachineModel
+from repro.prediction import ProfilePredictor, branch_stats
+from repro.vm import VM, TraceReader, save_trace
+
+MAX_STEPS = 12_000
+
+BENCHES = ("eqntott", "tomcatv")
+
+
+@pytest.fixture(scope="module")
+def runs(tmp_path_factory):
+    cache = {}
+    root = tmp_path_factory.mktemp("streams")
+
+    def get(name):
+        if name not in cache:
+            program = SUITE[name].compile()
+            trace = VM(program).run(max_steps=MAX_STEPS).trace
+            path = root / f"{name}.rtrc.gz"
+            save_trace(trace, path, chunk_size=1000)
+            cache[name] = (LimitAnalyzer(program), trace, path, program)
+        return cache[name]
+
+    return get
+
+
+@pytest.mark.parametrize("name", BENCHES)
+def test_reader_matches_trace_fused(runs, name):
+    analyzer, trace, path, program = runs(name)
+    predictor = ProfilePredictor.from_trace(trace)
+    from_trace = analyzer.analyze(trace, predictor=predictor)
+    from_reader = analyzer.analyze(
+        TraceReader(path, program), predictor=predictor
+    )
+    assert from_trace == from_reader
+
+
+@pytest.mark.parametrize("name", BENCHES)
+def test_reader_matches_trace_with_options(runs, name):
+    analyzer, trace, path, program = runs(name)
+    predictor = ProfilePredictor.from_trace(trace)
+    for kwargs in (
+        dict(collect_misprediction_stats=True),
+        dict(window=32),
+        dict(flow_limit=2),
+        dict(models=[MachineModel.BASE, MachineModel.ORACLE]),
+    ):
+        from_trace = analyzer.analyze(trace, predictor=predictor, **kwargs)
+        from_reader = analyzer.analyze(
+            TraceReader(path, program), predictor=predictor, **kwargs
+        )
+        assert from_trace == from_reader, kwargs
+
+
+@pytest.mark.parametrize("name", BENCHES)
+def test_chunk_boundary_invariance(runs, name, tmp_path):
+    # The same records framed three different ways must analyze
+    # identically: predictor state and model state carry across frame
+    # boundaries, so framing is invisible to the results.
+    analyzer, trace, _, program = runs(name)
+    predictor = ProfilePredictor.from_trace(trace)
+    results = []
+    for chunk_size in (1, 97, 1_000_000):
+        path = tmp_path / f"c{chunk_size}.rtrc"
+        save_trace(trace, path, chunk_size=chunk_size)
+        results.append(
+            analyzer.analyze(TraceReader(path, program), predictor=predictor)
+        )
+    assert results[0] == results[1] == results[2]
+
+
+@pytest.mark.parametrize("name", BENCHES)
+def test_legacy_engine_accepts_reader(runs, name):
+    analyzer, trace, path, program = runs(name)
+    predictor = ProfilePredictor.from_trace(trace)
+    from_trace = analyzer.analyze(trace, predictor=predictor, engine="legacy")
+    from_reader = analyzer.analyze(
+        TraceReader(path, program), predictor=predictor, engine="legacy"
+    )
+    assert from_trace == from_reader
+
+
+def test_default_predictor_trains_from_reader(runs):
+    # No explicit predictor: the analyzer must train its profile
+    # predictor from the reader (a full streaming pass) and still match
+    # the in-memory default path.
+    analyzer, trace, path, program = runs("eqntott")
+    assert analyzer.analyze(trace) == analyzer.analyze(
+        TraceReader(path, program)
+    )
+
+
+def test_trace_length_set_from_stream(runs):
+    analyzer, trace, path, program = runs("eqntott")
+    result = analyzer.analyze(TraceReader(path, program))
+    assert result.trace_length == len(trace)
+
+
+def test_wrong_program_rejected(runs):
+    analyzer, _, _, _ = runs("eqntott")
+    _, other_trace, _, _ = runs("tomcatv")
+    with pytest.raises(ValueError, match="different program"):
+        analyzer.analyze(other_trace)
+
+
+def test_profile_predictor_from_source_reader(runs):
+    _, trace, path, program = runs("eqntott")
+    from_trace = ProfilePredictor.from_trace(trace)
+    from_reader = ProfilePredictor.from_source(TraceReader(path, program))
+    assert from_trace.direction_map() == from_reader.direction_map()
+
+
+def test_branch_stats_accept_reader(runs):
+    _, trace, path, program = runs("eqntott")
+    predictor = ProfilePredictor.from_trace(trace)
+    assert branch_stats(trace, predictor) == branch_stats(
+        TraceReader(path, program), predictor
+    )

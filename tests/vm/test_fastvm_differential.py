@@ -1,0 +1,175 @@
+"""Differential oracle: the specialized VM against the legacy interpreter.
+
+The specialized (generated-dispatch) VM is only admissible because every
+observable it produces is *identical* to the legacy interpreter's: the
+RTRC file bytes, the branch profile, the exit value, the program output,
+and the halted/steps pair.  These tests pin that equivalence across the
+whole benchmark suite and through the trace sanitizer's fault-injection
+corpus (a FastVM trace must be sanitizer-clean, and injected faults must
+still be caught — the fast path earns no blind spots).
+"""
+
+import pytest
+
+from repro.bench.suite import SUITE
+from repro.vm import (
+    NO_ADDR,
+    NOT_BRANCH,
+    VM,
+    FastVM,
+    Trace,
+    TraceWriter,
+    sanitize_trace,
+    save_trace,
+)
+
+#: Budget small enough to keep the suite fast, large enough that every
+#: benchmark executes loops, calls, memory traffic, and branches.
+BUDGET = 40_000
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    """(name -> (fast RunResult, legacy RunResult)) across the suite."""
+    out = {}
+    for name, spec in SUITE.items():
+        program = spec.compile()
+        out[name] = (
+            FastVM(program).run(max_steps=BUDGET),
+            VM(program).run(max_steps=BUDGET),
+        )
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+class TestSuiteEquivalence:
+    def test_run_results_identical(self, pairs, name):
+        fast, legacy = pairs[name]
+        assert fast.steps == legacy.steps
+        assert fast.halted == legacy.halted
+        assert fast.exit_value == legacy.exit_value
+        assert fast.output == legacy.output
+
+    def test_branch_profiles_identical(self, pairs, name):
+        fast, legacy = pairs[name]
+        assert fast.branch_profile == legacy.branch_profile
+
+    def test_trace_columns_identical(self, pairs, name):
+        fast, legacy = pairs[name]
+        assert fast.trace.pcs == legacy.trace.pcs
+        assert fast.trace.addrs == legacy.trace.addrs
+        assert fast.trace.takens == legacy.trace.takens
+
+    def test_rtrc_files_byte_identical(self, pairs, name, tmp_path):
+        fast, legacy = pairs[name]
+        fast_path = tmp_path / "fast.rtrc.gz"
+        legacy_path = tmp_path / "legacy.rtrc.gz"
+        save_trace(fast.trace, fast_path)
+        save_trace(legacy.trace, legacy_path)
+        assert fast_path.read_bytes() == legacy_path.read_bytes()
+
+    def test_streamed_rtrc_matches_save_trace(self, pairs, name, tmp_path):
+        # The sink path (no in-memory trace) must store the same bytes
+        # as materialize-then-save — the cache key's contract.
+        _, legacy = pairs[name]
+        program = legacy.trace.program
+        streamed = tmp_path / "stream.rtrc.gz"
+        with TraceWriter(streamed, program, chunk_size=4096) as writer:
+            result = FastVM(program).run(max_steps=BUDGET, sink=writer)
+        assert len(result.trace) == 0  # nothing materialized
+        saved = tmp_path / "saved.rtrc.gz"
+        save_trace(legacy.trace, saved, chunk_size=4096)
+        assert streamed.read_bytes() == saved.read_bytes()
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_fastvm_traces_are_sanitizer_clean(pairs, name):
+    fast, _ = pairs[name]
+    assert sanitize_trace(fast.trace) == []
+
+
+class TestSanitizerCorpus:
+    """Fault-injection corpus over a FastVM-produced trace.
+
+    The sanitizer's checks must fire on a specialized-VM trace exactly
+    as they do on a legacy one — corruption detection cannot depend on
+    which engine produced the columns.
+    """
+
+    @pytest.fixture(scope="class")
+    def traced(self):
+        program = SUITE["eqntott"].compile()
+        return program, FastVM(program).run(max_steps=BUDGET).trace
+
+    def _copy(self, trace):
+        return Trace(
+            program=trace.program,
+            pcs=list(trace.pcs),
+            addrs=list(trace.addrs),
+            takens=list(trace.takens),
+        )
+
+    def _codes(self, trace):
+        return [d.code for d in sanitize_trace(trace)]
+
+    def test_corrupted_successor_detected(self, traced):
+        _, trace = traced
+        bad = self._copy(trace)
+        bad.pcs[10] = bad.pcs[10] + 7
+        assert "TR301" in self._codes(bad)
+
+    def test_flipped_branch_outcome_detected(self, traced):
+        _, trace = traced
+        bad = self._copy(trace)
+        index = next(
+            i for i, taken in enumerate(bad.takens)
+            if taken != NOT_BRANCH and i + 1 < len(bad.pcs)
+        )
+        bad.takens[index] = 1 - bad.takens[index]
+        assert "TR301" in self._codes(bad)
+
+    def test_branch_outcome_on_non_branch_detected(self, traced):
+        _, trace = traced
+        bad = self._copy(trace)
+        index = next(i for i, t in enumerate(bad.takens) if t == NOT_BRANCH)
+        bad.takens[index] = 1
+        assert "TR304" in self._codes(bad)
+
+    def test_missing_address_on_memory_op_detected(self, traced):
+        _, trace = traced
+        bad = self._copy(trace)
+        index = next(i for i, a in enumerate(bad.addrs) if a != NO_ADDR)
+        bad.addrs[index] = NO_ADDR
+        assert "TR305" in self._codes(bad)
+
+    def test_out_of_range_pc_detected(self, traced):
+        program, trace = traced
+        bad = self._copy(trace)
+        bad.pcs[5] = len(program.instructions) + 3
+        assert "TR306" in self._codes(bad)
+
+
+class TestLongRunEquivalence:
+    def test_natural_halt_is_identical(self):
+        # Past the budget cliff: let one benchmark run to its own halt
+        # so block-boundary bookkeeping (not just the step cap) is
+        # exercised on both engines.
+        program = SUITE["matrix300"].compile()
+        fast = FastVM(program).run(max_steps=2_000_000)
+        legacy = VM(program).run(max_steps=2_000_000)
+        assert fast.halted and legacy.halted
+        assert fast.steps == legacy.steps
+        assert fast.exit_value == legacy.exit_value
+        assert fast.trace.pcs == legacy.trace.pcs
+        assert fast.trace.addrs == legacy.trace.addrs
+        assert fast.trace.takens == legacy.trace.takens
+        assert fast.branch_profile == legacy.branch_profile
+
+    def test_untraced_runs_identical(self):
+        program = SUITE["espresso"].compile()
+        fast = FastVM(program).run(max_steps=BUDGET, trace=False)
+        legacy = VM(program).run(max_steps=BUDGET, trace=False)
+        assert fast.steps == legacy.steps
+        assert fast.exit_value == legacy.exit_value
+        assert fast.branch_profile == legacy.branch_profile
+        assert len(fast.trace) == len(legacy.trace) == 0

@@ -1,10 +1,23 @@
 """Tests for trace serialization."""
 
+import struct
+
 import pytest
 
 from repro.asm import assemble
 from repro.core import ALL_MODELS, LimitAnalyzer
-from repro.vm import VM, TraceFormatError, load_trace, save_trace
+from repro.vm import (
+    NO_ADDR,
+    VM,
+    CorruptArtifactError,
+    Trace,
+    TraceFormatError,
+    TraceReader,
+    TraceWriter,
+    iter_trace_chunks,
+    load_trace,
+    save_trace,
+)
 
 SOURCE = """
     li $t0, 6
@@ -94,6 +107,242 @@ class TestRoundTrip:
         trace = VM(program).run(max_steps=0).trace
         with pytest.raises(TraceFormatError, match="65535"):
             save_trace(trace, tmp_path / "long.rtrc")
+
+
+class TestV2Streaming:
+    def test_writer_reader_roundtrip(self, traced, tmp_path):
+        program, trace = traced
+        path = tmp_path / "s.rtrc.gz"
+        with TraceWriter(path, program, chunk_size=7) as writer:
+            writer.write(list(trace.pcs), list(trace.addrs), list(trace.takens))
+        reader = TraceReader(path, program)
+        assert reader.version == 2
+        assert reader.chunk_size == 7
+        loaded = reader.to_trace()
+        assert loaded.pcs == trace.pcs
+        assert loaded.addrs == trace.addrs
+        assert loaded.takens == trace.takens
+        assert reader.total == len(trace)
+
+    def test_chunks_bounded_by_chunk_size(self, traced, tmp_path):
+        program, trace = traced
+        path = tmp_path / "s.rtrc"
+        save_trace(trace, path, chunk_size=5)
+        sizes = [len(c.pcs) for c in TraceReader(path, program).chunks()]
+        assert all(s == 5 for s in sizes[:-1])
+        assert 0 < sizes[-1] <= 5
+        assert sum(sizes) == len(trace)
+
+    def test_reader_is_reiterable(self, traced, tmp_path):
+        program, trace = traced
+        path = tmp_path / "s.rtrc"
+        save_trace(trace, path, chunk_size=4)
+        reader = TraceReader(path, program)
+        first = [c.pcs for c in reader.chunks()]
+        second = [c.pcs for c in reader.chunks()]
+        assert first == second
+
+    def test_batch_framing_is_byte_deterministic(self, traced, tmp_path):
+        # However the producer batches its writes, the bytes on disk are
+        # a pure function of (records, chunk_size) — a requirement of
+        # the content-addressed cache, where racing producers must store
+        # identical artifacts.
+        program, trace = traced
+        pcs = list(trace.pcs)
+        addrs = list(trace.addrs)
+        takens = list(trace.takens)
+        one = tmp_path / "one.rtrc"
+        with TraceWriter(one, program, chunk_size=8) as writer:
+            writer.write(pcs, addrs, takens)
+        drip = tmp_path / "drip.rtrc"
+        with TraceWriter(drip, program, chunk_size=8) as writer:
+            for i in range(len(pcs)):
+                writer.write(pcs[i : i + 1], addrs[i : i + 1], takens[i : i + 1])
+        assert one.read_bytes() == drip.read_bytes()
+
+    def test_save_trace_matches_streamed_bytes(self, traced, tmp_path):
+        program, trace = traced
+        saved = tmp_path / "a.rtrc"
+        save_trace(trace, saved, chunk_size=16)
+        streamed = tmp_path / "b.rtrc"
+        with TraceWriter(streamed, program, chunk_size=16) as writer:
+            for chunk in iter_trace_chunks(trace):
+                writer.write(chunk.pcs, chunk.addrs, chunk.takens)
+        assert saved.read_bytes() == streamed.read_bytes()
+
+    def test_abort_leaves_unreadable_file(self, traced, tmp_path):
+        program, trace = traced
+        path = tmp_path / "dead.rtrc"
+        writer = TraceWriter(path, program)
+        writer.write(list(trace.pcs), list(trace.addrs), list(trace.takens))
+        writer.abort()
+        with pytest.raises(CorruptArtifactError, match="truncated"):
+            load_trace(path, program)
+
+    def test_mismatched_column_lengths_rejected(self, traced, tmp_path):
+        program, _ = traced
+        with TraceWriter(tmp_path / "m.rtrc", program) as writer:
+            with pytest.raises(TraceFormatError, match="lengths differ"):
+                writer.write([0, 1], [NO_ADDR], [-1, -1])
+            writer.write([], [], [])  # empty batches are fine
+
+    def test_footer_total_mismatch(self, traced, tmp_path):
+        program, trace = traced
+        path = tmp_path / "f.rtrc"
+        save_trace(trace, path)
+        data = bytearray(path.read_bytes())
+        # The trailing u64 is the end-marker total; corrupt it.
+        data[-8:] = struct.pack("<Q", len(trace) + 3)
+        path.write_bytes(bytes(data))
+        with pytest.raises(CorruptArtifactError, match="end marker"):
+            load_trace(path, program)
+
+
+def _v1_bytes(name: str, pcs, addrs, takens) -> bytes:
+    """Hand-build a version-1 RTRC file (single header, whole columns)."""
+    from array import array
+
+    name_bytes = name.encode("utf-8")
+    out = b"RTRC" + struct.pack("<IQH", 1, len(pcs), len(name_bytes))
+    out += name_bytes
+    out += array("I", pcs).tobytes()
+    out += array("q", addrs).tobytes()
+    out += array("b", takens).tobytes()
+    return out
+
+
+class TestV1Compat:
+    def test_v1_file_still_loads(self, traced, tmp_path):
+        program, trace = traced
+        path = tmp_path / "v1.rtrc"
+        path.write_bytes(
+            _v1_bytes(
+                program.name,
+                list(trace.pcs),
+                list(trace.addrs),
+                list(trace.takens),
+            )
+        )
+        loaded = load_trace(path, program)
+        assert loaded.pcs == trace.pcs
+        assert loaded.addrs == trace.addrs
+        assert loaded.takens == trace.takens
+
+    def test_v1_reader_knows_total_up_front(self, traced, tmp_path):
+        program, trace = traced
+        path = tmp_path / "v1.rtrc"
+        path.write_bytes(
+            _v1_bytes(
+                program.name,
+                list(trace.pcs),
+                list(trace.addrs),
+                list(trace.takens),
+            )
+        )
+        reader = TraceReader(path, program)
+        assert reader.version == 1
+        assert reader.total == len(trace)
+        assert [c.pcs for c in reader.chunks()] == [list(trace.pcs)]
+
+    def test_v1_garbled_taken_rejected(self, traced, tmp_path):
+        program, trace = traced
+        takens = list(trace.takens)
+        takens[2] = 5
+        path = tmp_path / "v1bad.rtrc"
+        path.write_bytes(
+            _v1_bytes(program.name, list(trace.pcs), list(trace.addrs), takens)
+        )
+        with pytest.raises(TraceFormatError, match=r"outside \{-1, 0, 1\}"):
+            load_trace(path, program)
+
+    def test_unsupported_version_rejected(self, traced, tmp_path):
+        program, _ = traced
+        path = tmp_path / "v9.rtrc"
+        path.write_bytes(b"RTRC" + struct.pack("<I", 9) + b"\x00" * 16)
+        with pytest.raises(TraceFormatError, match="unsupported trace version"):
+            load_trace(path, program)
+
+
+class TestColumnValidation:
+    """save_trace/load_trace reject out-of-range columns by name.
+
+    Regression: a pc above u32 used to leak a bare ``OverflowError``
+    from the array layer; garbled-but-well-framed takens/addrs used to
+    flow straight into the analyzer.
+    """
+
+    def test_save_pc_overflow_names_record(self, traced, tmp_path):
+        program, trace = traced
+        bad = Trace(
+            program,
+            pcs=list(trace.pcs[:3]) + [1 << 40],
+            addrs=list(trace.addrs[:4]),
+            takens=list(trace.takens[:4]),
+        )
+        with pytest.raises(TraceFormatError) as err:
+            save_trace(bad, tmp_path / "o.rtrc")
+        assert "record 3" in str(err.value)
+        assert str(1 << 40) in str(err.value)
+
+    def test_save_negative_pc_rejected(self, traced, tmp_path):
+        program, trace = traced
+        bad = Trace(program, pcs=[-1], addrs=[NO_ADDR], takens=[-1])
+        with pytest.raises(TraceFormatError, match="does not fit in u32"):
+            save_trace(bad, tmp_path / "n.rtrc")
+
+    def test_save_taken_out_of_range_rejected(self, traced, tmp_path):
+        program, _ = traced
+        bad = Trace(program, pcs=[0], addrs=[NO_ADDR], takens=[2])
+        with pytest.raises(TraceFormatError, match="record 0"):
+            save_trace(bad, tmp_path / "t.rtrc")
+
+    def test_save_addr_below_no_addr_rejected(self, traced, tmp_path):
+        program, _ = traced
+        bad = Trace(program, pcs=[0], addrs=[-7], takens=[-1])
+        with pytest.raises(TraceFormatError, match="below NO_ADDR"):
+            save_trace(bad, tmp_path / "a.rtrc")
+
+    def test_load_garbled_taken_rejected(self, traced, tmp_path):
+        # Garble a taken byte *on disk* (well-framed, wrong value): the
+        # reader must reject it rather than hand the analyzer nonsense.
+        program, trace = traced
+        path = tmp_path / "g.rtrc"
+        save_trace(trace, path)
+        data = bytearray(path.read_bytes())
+        count = len(trace)
+        # Last frame layout: ... pcs | addrs | takens | end marker (12B).
+        takens_start = len(data) - 12 - count
+        assert data[takens_start:takens_start + count] == bytes(
+            b & 0xFF for b in trace.takens
+        )
+        data[takens_start] = 7
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match=r"outside \{-1, 0, 1\}"):
+            load_trace(path, program)
+
+    def test_load_garbled_addr_rejected(self, traced, tmp_path):
+        program, trace = traced
+        path = tmp_path / "ga.rtrc"
+        save_trace(trace, path)
+        data = bytearray(path.read_bytes())
+        count = len(trace)
+        addrs_start = len(data) - 12 - count - 8 * count
+        data[addrs_start : addrs_start + 8] = struct.pack("<q", -999)
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="below NO_ADDR"):
+            load_trace(path, program)
+
+    def test_load_garbled_pc_rejected(self, traced, tmp_path):
+        program, trace = traced
+        path = tmp_path / "gp.rtrc"
+        save_trace(trace, path)
+        data = bytearray(path.read_bytes())
+        count = len(trace)
+        pcs_start = len(data) - 12 - count - 8 * count - 4 * count
+        data[pcs_start : pcs_start + 4] = struct.pack("<I", 100_000)
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="outside program code"):
+            load_trace(path, program)
 
 
 class TestErrors:
