@@ -26,6 +26,7 @@ import argparse
 import sys
 import time
 
+from repro.bench import history as bench_history
 from repro.bench.suite import SUITE
 from repro.core.analyzer import LimitAnalyzer
 from repro.prediction.profile import ProfilePredictor
@@ -90,6 +91,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="X",
         help="exit nonzero unless every benchmark's speedup is >= X",
     )
+    parser.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="append this run to a JSONL benchmark history "
+        "(see repro-bench-diff)",
+    )
     args = parser.parse_args(argv)
     names = args.benchmarks or sorted(SUITE)
     unknown = [n for n in names if n not in SUITE]
@@ -100,11 +108,20 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"{'benchmark':<12} {'fused':>9} {'legacy':>9} {'speedup':>8}")
     ratios: list[float] = []
+    entries: dict[str, dict] = {}
     for name in names:
         fused_s, legacy_s = bench_one(name, args.max_steps, args.repeats)
         ratio = legacy_s / fused_s if fused_s else float("inf")
         ratios.append(ratio)
+        entries[f"{name}.fused_s"] = bench_history.entry(
+            fused_s, "s", bench_history.LOWER
+        )
+        entries[f"{name}.speedup"] = bench_history.entry(
+            ratio, "x", bench_history.HIGHER
+        )
         print(f"{name:<12} {fused_s:>8.3f}s {legacy_s:>8.3f}s {ratio:>7.2f}x")
+    if args.history:
+        bench_history.append(args.history, "analyzer-bench", entries)
     mean = sum(ratios) / len(ratios)
     worst = min(ratios)
     print(f"{'':12} {'':>9} {'':>9}  min {worst:.2f}x / mean {mean:.2f}x")

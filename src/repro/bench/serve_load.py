@@ -196,6 +196,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--batch-limit", type=int, default=8)
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON")
+    parser.add_argument("--history", default=None, metavar="PATH",
+                        help="append this run to a JSONL benchmark history "
+                        "(see repro-bench-diff)")
     args = parser.parse_args(argv)
     if args.clients < 1:
         parser.error("--clients must be positive")
@@ -210,6 +213,23 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         batch_limit=args.batch_limit,
     )
+
+    if args.history:
+        from repro.bench import history as bench_history
+
+        entries = {
+            "serve.wall_s": bench_history.entry(
+                report["wall_seconds"], "s", bench_history.LOWER
+            ),
+        }
+        for row in report["percentiles"]:
+            if row["span"] != "serve.request":
+                continue
+            for q in (50, 95):
+                entries[f"serve.request.p{q}_s"] = bench_history.entry(
+                    row[f"p{q}_s"], "s", bench_history.LOWER
+                )
+        bench_history.append(args.history, "serve-load", entries)
 
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))

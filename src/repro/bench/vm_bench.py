@@ -37,6 +37,7 @@ import sys
 import tempfile
 import time
 
+from repro.bench import history as bench_history
 from repro.bench.suite import SUITE
 from repro.vm.fastvm import FastVM
 from repro.vm.machine import VM, RunResult
@@ -86,7 +87,11 @@ def bench_one(
 
 
 def stream_check(
-    name: str, max_steps: int, rss_limit_mb: int, scale: int | None = None
+    name: str,
+    max_steps: int,
+    rss_limit_mb: int,
+    scale: int | None = None,
+    history: str | None = None,
 ) -> int:
     """Trace *name* at *max_steps* streaming to disk; gate on peak RSS."""
     program = SUITE[name].compile(scale)
@@ -111,6 +116,19 @@ def stream_check(
         f"written and {read_back} read back, {size_mb:.1f} MiB on disk, "
         f"peak RSS {peak_mb:.0f} MiB, {elapsed:.1f}s CPU"
     )
+    if history:
+        bench_history.append(
+            history,
+            "vm-bench",
+            {
+                f"stream.{name}.peak_rss_mb": bench_history.entry(
+                    peak_mb, "MiB", bench_history.LOWER
+                ),
+                f"stream.{name}.cpu_s": bench_history.entry(
+                    elapsed, "s", bench_history.LOWER
+                ),
+            },
+        )
     if records != result.steps or read_back != records:
         print(
             f"FAIL: record counts diverge (steps {result.steps}, "
@@ -179,6 +197,13 @@ def main(argv: list[str] | None = None) -> int:
         "the suite's native scale); raise it so long budgets actually "
         "execute that many steps",
     )
+    parser.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="append this run to a JSONL benchmark history "
+        "(see repro-bench-diff)",
+    )
     args = parser.parse_args(argv)
     names = args.benchmarks or sorted(SUITE)
     unknown = [n for n in names if n not in SUITE]
@@ -191,15 +216,27 @@ def main(argv: list[str] | None = None) -> int:
         if len(names) != len(SUITE) and len(names) != 1:
             parser.error("--stream-check takes exactly one benchmark")
         name = names[0] if len(names) == 1 else "espresso"
-        return stream_check(name, args.max_steps, args.rss_limit_mb, args.scale)
+        return stream_check(
+            name, args.max_steps, args.rss_limit_mb, args.scale,
+            history=args.history,
+        )
 
     print(f"{'benchmark':<12} {'fast':>9} {'legacy':>9} {'speedup':>8}")
     ratios: list[float] = []
+    entries: dict[str, dict] = {}
     for name in names:
         fast_s, legacy_s = bench_one(name, args.max_steps, args.repeats, args.scale)
         ratio = legacy_s / fast_s if fast_s else float("inf")
         ratios.append(ratio)
+        entries[f"{name}.fast_s"] = bench_history.entry(
+            fast_s, "s", bench_history.LOWER
+        )
+        entries[f"{name}.speedup"] = bench_history.entry(
+            ratio, "x", bench_history.HIGHER
+        )
         print(f"{name:<12} {fast_s:>8.3f}s {legacy_s:>8.3f}s {ratio:>7.2f}x")
+    if args.history:
+        bench_history.append(args.history, "vm-bench", entries)
     mean = sum(ratios) / len(ratios)
     worst = min(ratios)
     print(f"{'':12} {'':>9} {'':>9}  min {worst:.2f}x / mean {mean:.2f}x")

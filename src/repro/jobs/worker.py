@@ -44,6 +44,12 @@ def execute_job(payload: dict) -> dict:
     post-store faults (truncate/garbage) damage the artifact the stage
     just wrote — always keyed by (seed, job key, attempt), so a chaotic
     run replays identically.
+
+    A ``trace_ctx`` payload entry carries the submitting process's
+    :class:`~repro.telemetry.context.TraceContext`: the ``job.<stage>``
+    span (and everything nested under it) is stitched into that trace,
+    so ``repro-trace`` reassembles one waterfall across the coordinator
+    and every ``worker-<pid>.jsonl`` sink.
     """
     telemetry_dir = payload.get("telemetry")
     if telemetry_dir and not telemetry.enabled():
@@ -58,9 +64,14 @@ def execute_job(payload: dict) -> dict:
         clause = plan.match(stage, payload["key"], payload.get("attempt", 1))
     if clause is not None and clause.mode in ("raise", "hang", "exit"):
         faults.trigger_before(clause, payload)
+    trace_ctx = payload.get("trace_ctx")
     with telemetry.span(
         f"job.{stage}", benchmark=payload["benchmark"], key=payload["key"]
-    ), telemetry.profiled(f"job-{stage}-{payload['benchmark']}"):
+    ) as job_span, telemetry.profiled(f"job-{stage}-{payload['benchmark']}"):
+        if trace_ctx:
+            job_span.link(
+                trace_ctx.get("trace_id"), trace_ctx.get("parent_id")
+            )
         if stage == "trace":
             _trace_job(payload)
         elif stage == "profile":

@@ -40,7 +40,11 @@ class ServeClient:
     # -- transport ------------------------------------------------------
 
     def _request(
-        self, method: str, path: str, body: dict | None = None
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        extra_headers: dict[str, str] | None = None,
     ) -> tuple[int, dict[str, str], bytes]:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
@@ -49,6 +53,8 @@ class ServeClient:
             headers = {"Connection": "close"}
             if self.token:
                 headers["X-Api-Token"] = self.token
+            if extra_headers:
+                headers.update(extra_headers)
             payload = None
             if body is not None:
                 payload = json.dumps(body).encode("utf-8")
@@ -73,9 +79,18 @@ class ServeClient:
 
     # -- API ------------------------------------------------------------
 
-    def submit(self, submission: dict) -> dict:
-        """POST a submission; returns the job document (HTTP 202)."""
-        status, _, data = self._request("POST", "/v1/jobs", submission)
+    def submit(self, submission: dict, traceparent: str | None = None) -> dict:
+        """POST a submission; returns the job document (HTTP 202).
+
+        ``traceparent`` joins the submission to an existing distributed
+        trace (``00-<trace_id>-<parent span id>-01``); the service echoes
+        its own context back in the response's ``Traceparent`` header and
+        the job document's ``trace_id``.
+        """
+        extra = {"Traceparent": traceparent} if traceparent else None
+        status, _, data = self._request(
+            "POST", "/v1/jobs", submission, extra_headers=extra
+        )
         doc = self._json(data)
         if status != 202:
             raise ServeError(status, doc)
@@ -109,10 +124,13 @@ class ServeClient:
             time.sleep(poll)
 
     def submit_and_wait(
-        self, submission: dict, timeout: float = 300.0
+        self,
+        submission: dict,
+        timeout: float = 300.0,
+        traceparent: str | None = None,
     ) -> tuple[dict, bytes | None]:
         """Submit, wait, and fetch bytes; (final doc, bytes or None)."""
-        job_id = self.submit(submission)["job"]
+        job_id = self.submit(submission, traceparent=traceparent)["job"]
         doc = self.wait(job_id, timeout=timeout)
         if doc["status"] != "done":
             return doc, None
@@ -130,6 +148,14 @@ class ServeClient:
         if status != 200:
             raise ServeError(status, self._json(data))
         return data.decode("utf-8")
+
+    def stats(self) -> dict:
+        """The live introspection document (``GET /v1/stats``)."""
+        status, _, data = self._request("GET", "/v1/stats")
+        doc = self._json(data)
+        if status != 200:
+            raise ServeError(status, doc)
+        return doc
 
     def wait_ready(self, timeout: float = 30.0) -> dict:
         """Poll /healthz until the service answers (boot handshake)."""

@@ -52,6 +52,9 @@ class ServeJob:
     #: Farm jobs executed (vs served from cache) resolving this job.
     executed: int = 0
     hits: int = 0
+    #: Distributed-trace context of the submitting request
+    #: (:class:`~repro.telemetry.context.TraceContext`), or None.
+    trace: object = None
 
     def to_json(self) -> dict:
         """The status document ``GET /v1/jobs/<id>`` serves."""
@@ -65,6 +68,8 @@ class ServeJob:
             "submitted_at": round(self.submitted_at, 6),
             "coalesced": self.coalesced,
         }
+        if self.trace is not None:
+            doc["trace_id"] = self.trace.trace_id
         if self.started_at is not None:
             doc["started_at"] = round(self.started_at, 6)
         if self.finished_at is not None:
@@ -173,6 +178,18 @@ class JobStore:
         for job in self._jobs.values():
             tally[job.status] = tally.get(job.status, 0) + 1
         return tally
+
+    def tenants(self) -> dict[str, dict[str, int]]:
+        """Per-tenant in-flight/served tallies over retained jobs
+        (the /v1/stats document)."""
+        per: dict[str, dict[str, int]] = {}
+        for job in self._jobs.values():
+            row = per.setdefault(job.tenant, {"in_flight": 0, "served": 0})
+            if job.status in FINISHED:
+                row["served"] += 1
+            else:
+                row["in_flight"] += 1
+        return per
 
     def __len__(self) -> int:
         return len(self._jobs)

@@ -185,8 +185,36 @@ class BatchScheduler:
         A planning failure (an ad-hoc source that does not compile, a
         compile-stage fault) is a per-submission error: it never poisons
         the rest of the batch.
+
+        Each submission gets a ``serve.schedule`` span linked into its
+        request's trace (not the batch span's — the batch interleaves
+        many traces), and every farm job it plans carries a ``trace_ctx``
+        payload parenting worker-side spans under that schedule span.
+        Jobs deduplicated across submissions keep the *first* planner's
+        context (:meth:`JobGraph.add` is first-wins), matching who
+        actually caused the work.
         """
+        with telemetry.span(
+            "serve.schedule",
+            tenant=job.tenant,
+            benchmark=job.spec.benchmark,
+            stage=job.spec.stage,
+        ) as schedule_span:
+            ctx = job.trace
+            if ctx is not None:
+                schedule_span.link(ctx.trace_id, ctx.parent_id)
+            plan = self._plan_into(planner, merged, job, schedule_span)
+        return plan
+
+    def _plan_into(
+        self, planner: Planner, merged: JobGraph, job: ServeJob, schedule_span
+    ) -> dict:
         spec = job.spec
+        ctx = job.trace
+        schedule_id = getattr(schedule_span, "span_id", None)
+        trace_ctx = None
+        if ctx is not None and schedule_id is not None:
+            trace_ctx = {"trace_id": ctx.trace_id, "parent_id": schedule_id}
         try:
             request = spec.to_request()
             if request is None:  # compile stage: runs inside the planner
@@ -209,6 +237,8 @@ class BatchScheduler:
             )
             graph = planner.plan([request], spec.scale, spec.max_steps)
             for farm_job in graph:
+                if trace_ctx is not None:
+                    farm_job.payload.setdefault("trace_ctx", trace_ctx)
                 merged.add(farm_job)
             result_key = (
                 request_keys.result if spec.stage == "analyze"

@@ -22,6 +22,7 @@ import asyncio
 import json
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro import telemetry
@@ -31,6 +32,13 @@ from repro.serve.queue import FairQueue, QueueFull
 from repro.serve.router import Router
 from repro.serve.scheduler import BatchScheduler, artifact_location
 from repro.serve.submission import SubmissionError, parse_submission
+from repro.telemetry.context import (
+    TraceContext,
+    format_traceparent,
+    new_trace_id,
+    parse_traceparent,
+)
+from repro.telemetry.stats_cli import PERCENTILES, percentile
 
 #: Largest request body the server will read (bytes).
 MAX_BODY_BYTES = 1_048_576
@@ -38,6 +46,10 @@ MAX_BODY_BYTES = 1_048_576
 REQUEST_TIMEOUT = 60.0
 #: Header naming the tenant; absent requests share the anonymous lane.
 TENANT_HEADER = "x-api-token"
+#: Header carrying the W3C-style distributed trace context.
+TRACEPARENT_HEADER = "traceparent"
+#: Request latencies retained per route for the /v1/stats percentiles.
+LATENCY_WINDOW = 1024
 
 REASONS = {
     200: "OK",
@@ -81,6 +93,10 @@ class Request:
     path: str
     headers: dict[str, str]
     body: bytes
+    #: Trace context for work this request spawns: the request's trace
+    #: id with the (pre-minted) request span as parent.  Set by the
+    #: connection handler before dispatch.
+    trace: TraceContext | None = None
 
     def json(self):
         try:
@@ -150,12 +166,16 @@ class ServeApp:
         )
         self.router.add("GET", r"/healthz", "healthz", self._healthz)
         self.router.add("GET", r"/metrics", "metrics", self._metrics)
+        self.router.add("GET", r"/v1/stats", "stats", self._stats)
         self._server: asyncio.base_events.Server | None = None
         self._scheduler_task: asyncio.Task | None = None
         self._shutdown = asyncio.Event()
         self.port: int | None = None
         #: Orphan temp files removed from the cache at startup.
         self.swept = 0
+        #: Per-route request-latency rings feeding /v1/stats percentiles
+        #: (bounded, event-loop-thread only).
+        self._latency: dict[str, deque] = {}
 
     # -- lifecycle ------------------------------------------------------
 
@@ -212,6 +232,7 @@ class ServeApp:
         started = time.perf_counter()
         route_name = "unparsed"
         method = "?"
+        span_id = remote_parent = trace_id = None
         try:
             request, early = await asyncio.wait_for(
                 self._read_request(reader), REQUEST_TIMEOUT
@@ -220,6 +241,19 @@ class ServeApp:
                 response, route_name = early, "protocol_error"
             else:
                 method = request.method
+                # Continue the caller's trace (traceparent header) or
+                # start a fresh one; the request span's id is minted up
+                # front so work scheduled on other threads can parent to
+                # it before the span itself is emitted below.
+                incoming = parse_traceparent(
+                    request.headers.get(TRACEPARENT_HEADER)
+                )
+                trace_id = (
+                    incoming.trace_id if incoming is not None else new_trace_id()
+                )
+                remote_parent = incoming.parent_id if incoming is not None else None
+                span_id = telemetry.mint_span_id()
+                request.trace = TraceContext(trace_id, span_id)
                 response, route_name = self._dispatch(request)
         except asyncio.TimeoutError:
             response, route_name = (
@@ -234,6 +268,11 @@ class ServeApp:
                 Response.error(500, f"internal error: {exc}"),
                 "internal_error",
             )
+        if trace_id is not None:
+            response.headers.setdefault(
+                "Traceparent",
+                format_traceparent(TraceContext(trace_id, span_id)),
+            )
         try:
             writer.write(response.encode())
             await writer.drain()
@@ -242,6 +281,10 @@ class ServeApp:
         finally:
             writer.close()
         duration = time.perf_counter() - started
+        ring = self._latency.get(route_name)
+        if ring is None:
+            ring = self._latency[route_name] = deque(maxlen=LATENCY_WINDOW)
+        ring.append(duration)
         telemetry.METRICS.counter("repro_serve_requests_total").inc(
             method=method, route=route_name, status=response.status
         )
@@ -251,6 +294,9 @@ class ServeApp:
         telemetry.record_span(
             "serve.request",
             duration,
+            span_id=span_id,
+            parent_id=remote_parent,
+            trace_id=trace_id,
             route=route_name,
             status=response.status,
             method=method,
@@ -307,6 +353,10 @@ class ServeApp:
     # -- handlers -------------------------------------------------------
 
     def _submit(self, request: Request) -> Response:
+        tenant = request.tenant()
+        telemetry.METRICS.counter("repro_serve_tenant_submissions_total").inc(
+            tenant=tenant
+        )
         if self.draining:
             telemetry.METRICS.counter("repro_serve_jobs_total").inc(
                 outcome="rejected"
@@ -319,8 +369,11 @@ class ServeApp:
             default_max_steps=self.config.max_steps,
             max_steps_cap=self.config.max_steps_cap,
         )
-        tenant = request.tenant()
         job, created = self.store.submit(spec, tenant)
+        if created:
+            # The job joins the submitting request's trace: scheduler and
+            # farm-worker spans for it all parent under the request span.
+            job.trace = request.trace
         if not created:
             telemetry.METRICS.counter("repro_serve_jobs_total").inc(
                 outcome="coalesced"
@@ -405,6 +458,49 @@ class ServeApp:
             200,
             text.encode("utf-8"),
             content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _stats(self, request: Request) -> Response:
+        """Live introspection: queue, tenants, coalescing, latencies."""
+        tenants = self.store.tenants()
+        submissions = telemetry.METRICS.counter(
+            "repro_serve_tenant_submissions_total"
+        )
+        for labels, value in submissions.samples():
+            row = tenants.setdefault(
+                labels["tenant"], {"in_flight": 0, "served": 0}
+            )
+            row["submitted"] = int(value)
+        jobs_total = telemetry.METRICS.counter("repro_serve_jobs_total")
+        latency = {}
+        for route, ring in sorted(self._latency.items()):
+            values = sorted(ring)
+            row = {"count": len(values), "max_ms": values[-1] * 1000.0}
+            for q in PERCENTILES:
+                row[f"p{q}_ms"] = percentile(values, q) * 1000.0
+            latency[route] = {
+                key: round(value, 3) if key != "count" else value
+                for key, value in row.items()
+            }
+        return Response.json(
+            200,
+            {
+                "draining": self.draining,
+                "queue": {
+                    "depth": self.queue.depth,
+                    "capacity": self.config.queue_limit,
+                },
+                "jobs": self.store.counts(),
+                "tenants": tenants,
+                "coalesced": int(jobs_total.value(outcome="coalesced")),
+                "rejected": int(jobs_total.value(outcome="rejected")),
+                "farm": {
+                    "batches": self.scheduler.batches_total,
+                    "executed": self.scheduler.executed_total,
+                    "cache_hits": self.scheduler.hits_total,
+                },
+                "latency": latency,
+            },
         )
 
 

@@ -37,9 +37,20 @@ def _escape_label_value(text: str) -> str:
 
 
 def _format_value(value: float) -> str:
-    if isinstance(value, float) and value.is_integer():
-        return str(int(value))
-    return repr(value) if isinstance(value, float) else str(value)
+    if isinstance(value, float):
+        # The Prometheus exposition format spells non-finite values
+        # +Inf / -Inf / NaN; Python's repr ("inf", "nan") is rejected by
+        # conforming parsers.
+        if value != value:
+            return "NaN"
+        if value == float("inf"):
+            return "+Inf"
+        if value == float("-inf"):
+            return "-Inf"
+        if value.is_integer():
+            return str(int(value))
+        return repr(value)
+    return str(value)
 
 
 def _label_key(labelnames: tuple[str, ...], labels: dict) -> tuple:
@@ -446,6 +457,38 @@ STANDARD_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
         "gauge",
         "repro_serve_draining",
         "1 while repro-serve is draining for graceful shutdown, else 0",
+        (),
+    ),
+    (
+        "counter",
+        "repro_serve_tenant_submissions_total",
+        "Job submissions received by repro-serve, per tenant",
+        ("tenant",),
+    ),
+    (
+        "counter",
+        "repro_vm_blocks_compiled_total",
+        "Basic blocks compiled into specialized VM dispatch handlers, "
+        "per program",
+        ("program",),
+    ),
+    (
+        "counter",
+        "repro_vm_legacy_tail_total",
+        "FastVM runs that handed off to the legacy interpreter tail, "
+        "per program",
+        ("program",),
+    ),
+    (
+        "counter",
+        "repro_trace_chunks_written_total",
+        "RTRC v2 frames written by TraceWriter",
+        (),
+    ),
+    (
+        "counter",
+        "repro_trace_chunks_read_total",
+        "RTRC v2 frames read by TraceReader",
         (),
     ),
 )

@@ -8,13 +8,21 @@ emits a JSON record when it closes::
         sp.set(counted=result.counted_instructions)
 
 Records carry ``name``, ``id``, ``parent`` (the enclosing span's id, or
-None at the root), ``pid``, ``ts`` (wall-clock start, seconds since the
+None at the root), ``trace`` (the distributed trace id the span belongs
+to, or None), ``pid``, ``ts`` (wall-clock start, seconds since the
 epoch), ``dur`` (monotonic duration, seconds), and an ``attrs`` object of
 JSON-serializable attributes.  Nesting uses a per-thread stack: the batch
 pipeline is single-threaded within a process (farm workers each get their
 own process and sink file), while ``repro-serve`` records request spans
 on its event-loop thread concurrently with farm spans from the executor
 thread that retires job graphs — separate stacks keep both consistent.
+
+A *root* span (empty stack) consults :mod:`repro.telemetry.context` for
+an active :class:`~repro.telemetry.context.TraceContext`: when one is
+set, the root span adopts its ``trace_id`` and parents to its remote
+``parent_id``, which is how spans emitted in a pool worker process
+stitch under the coordinator's span that dispatched the job.  Nested
+spans inherit ``trace`` from the enclosing span.
 
 When telemetry is disabled, :func:`span` returns a shared no-op object
 without allocating, so instrumentation sites cost one call and a bool
@@ -30,10 +38,21 @@ import threading
 import time
 from typing import Any, Callable
 
-from repro.telemetry import state
+from repro.telemetry import context, state
 
 _local = threading.local()
 _ids = itertools.count(1)
+
+
+def mint_span_id() -> str:
+    """A fresh span id (``<pid hex>-<counter hex>``).
+
+    Exposed for callers that must know a span's id *before* the span
+    record is emitted — e.g. ``repro-serve`` mints the request span's id
+    up front so child work scheduled on other threads can parent to it,
+    then emits the request span via :func:`record_span` at the end.
+    """
+    return f"{os.getpid():x}-{next(_ids):x}"
 
 
 def _stack() -> list["Span"]:
@@ -57,6 +76,9 @@ class _NullSpan:
     def set(self, **attrs: Any) -> None:
         pass
 
+    def link(self, trace_id: str | None, parent_id: str | None) -> None:
+        pass
+
     @property
     def elapsed(self) -> float:
         return 0.0
@@ -68,13 +90,16 @@ NULL_SPAN = _NullSpan()
 class Span:
     """One live timed region; emitted to the sink when it exits."""
 
-    __slots__ = ("name", "attrs", "span_id", "parent_id", "_start", "_ts")
+    __slots__ = (
+        "name", "attrs", "span_id", "parent_id", "trace_id", "_start", "_ts"
+    )
 
     def __init__(self, name: str, attrs: dict[str, Any]):
         self.name = name
         self.attrs = attrs
-        self.span_id = f"{os.getpid():x}-{next(_ids):x}"
+        self.span_id = mint_span_id()
         self.parent_id: str | None = None
+        self.trace_id: str | None = None
         self._start = 0.0
         self._ts = 0.0
 
@@ -82,6 +107,12 @@ class Span:
         stack = _stack()
         if stack:
             self.parent_id = stack[-1].span_id
+            self.trace_id = stack[-1].trace_id
+        else:
+            ctx = context.current()
+            if ctx is not None:
+                self.parent_id = ctx.parent_id
+                self.trace_id = ctx.trace_id
         stack.append(self)
         self._ts = time.time()
         self._start = time.perf_counter()
@@ -99,6 +130,7 @@ class Span:
                 "name": self.name,
                 "id": self.span_id,
                 "parent": self.parent_id,
+                "trace": self.trace_id,
                 "pid": os.getpid(),
                 "ts": self._ts,
                 "dur": duration,
@@ -109,6 +141,17 @@ class Span:
     def set(self, **attrs: Any) -> None:
         """Attach (or overwrite) attributes on the open span."""
         self.attrs.update(attrs)
+
+    def link(self, trace_id: str | None, parent_id: str | None) -> None:
+        """Explicitly re-parent this span into a distributed trace.
+
+        Overrides whatever linkage ``__enter__`` derived from the stack
+        or the ambient context; spans nested *inside* this one inherit
+        the new ``trace_id`` as usual.  Used by farm workers whose job
+        payload carries a ``trace_ctx`` from the submitting process.
+        """
+        self.trace_id = trace_id
+        self.parent_id = parent_id
 
     @property
     def elapsed(self) -> float:
@@ -141,21 +184,44 @@ def traced(name: str | None = None, **attrs: Any) -> Callable:
     return decorate
 
 
-def record_span(name: str, duration: float, **attrs: Any) -> None:
+def record_span(
+    name: str,
+    duration: float,
+    *,
+    span_id: str | None = None,
+    parent_id: str | None = None,
+    trace_id: str | None = None,
+    **attrs: Any,
+) -> None:
     """Emit a completed span with an externally measured duration.
 
     For hot regions that time themselves with a plain ``perf_counter``
     pair instead of entering a context manager (e.g. the VM interpreter
-    loop).  The record is parented to the innermost open span.
+    loop).  By default the record is parented to the innermost open span
+    (inheriting its trace), falling back to the ambient
+    :class:`~repro.telemetry.context.TraceContext` when the stack is
+    empty.  ``span_id``/``parent_id``/``trace_id`` override the linkage
+    explicitly — ``repro-serve`` pre-mints the request span's id so work
+    scheduled on other threads can parent to it before it is emitted.
     """
     if not state.STATE.sink.enabled:
         return
-    stack = _stack()
+    if parent_id is None or trace_id is None:
+        stack = _stack()
+        if stack:
+            parent_id = stack[-1].span_id if parent_id is None else parent_id
+            trace_id = stack[-1].trace_id if trace_id is None else trace_id
+        else:
+            ctx = context.current()
+            if ctx is not None:
+                parent_id = ctx.parent_id if parent_id is None else parent_id
+                trace_id = ctx.trace_id if trace_id is None else trace_id
     state.STATE.sink.emit(
         {
             "name": name,
-            "id": f"{os.getpid():x}-{next(_ids):x}",
-            "parent": stack[-1].span_id if stack else None,
+            "id": span_id if span_id is not None else mint_span_id(),
+            "parent": parent_id,
+            "trace": trace_id,
             "pid": os.getpid(),
             "ts": time.time() - duration,
             "dur": duration,

@@ -9,8 +9,10 @@ measurable anywhere in the pipeline.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
+from repro.telemetry import context
 from repro.telemetry.sinks import (
     NULL_SINK,
     SPANS_FILENAME,
@@ -68,6 +70,7 @@ def shutdown() -> None:
     STATE.sink = NULL_SINK
     STATE.directory = None
     STATE.profile = False
+    context.clear()
 
 
 def enabled() -> bool:
@@ -88,3 +91,38 @@ def flush() -> None:
 def telemetry_dir() -> Path | None:
     """The configured telemetry directory, or None when disabled."""
     return STATE.directory
+
+
+# -- fork safety -----------------------------------------------------------
+#
+# With the default fork start method, a process-pool worker inherits the
+# coordinator's *open* sink: both processes would then append through one
+# shared file description, interleaving lines, and the worker's spans
+# would never reach a worker-<pid>.jsonl file for repro-trace to stitch.
+# Flushing before the fork keeps the inherited buffer empty; reopening in
+# the child swaps the inherited sink for the child's own worker sink.
+# (subprocess does not run these hooks — only os.fork paths, i.e. the
+# multiprocessing machinery underneath ProcessPoolExecutor.)
+
+
+def _flush_before_fork() -> None:
+    STATE.sink.flush()
+
+
+def _reopen_in_child() -> None:
+    if not isinstance(STATE.sink, JsonlSink):
+        return
+    directory, profile = STATE.directory, STATE.profile
+    # The inherited sink was flushed pre-fork and its fd belongs to the
+    # parent; drop it without closing (a close would be harmless, but a
+    # late GC flush of stale inherited state would not).
+    STATE.sink = NULL_SINK
+    from repro.telemetry import spans  # circular at module load
+
+    spans.reset()
+    configure(directory, worker=True, profile=profile)
+
+
+os.register_at_fork(
+    before=_flush_before_fork, after_in_child=_reopen_in_child
+)

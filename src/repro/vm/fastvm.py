@@ -397,11 +397,14 @@ def _emit_factory(program: Program, traced: bool) -> str:
 class _Decoded:
     """Per-program compiled artifacts, shared across FastVM instances."""
 
-    __slots__ = ("program_ref", "max_block", "_factories", "_sources")
+    __slots__ = (
+        "program_ref", "max_block", "n_blocks", "_factories", "_sources"
+    )
 
     def __init__(self, program: Program):
         self.program_ref = weakref.ref(program)
         leaders = _leaders(program)
+        self.n_blocks = len(leaders)
         n = len(program.instructions)
         max_block = 1
         for leader in leaders:
@@ -434,6 +437,10 @@ class _Decoded:
             cached = namespace["_bind"]
             self._factories[traced] = cached
             self._sources[traced] = source
+            if telemetry.enabled():
+                telemetry.METRICS.counter(
+                    "repro_vm_blocks_compiled_total"
+                ).inc(self.n_blocks, program=program.name)
         return cached
 
     def source(self, traced: bool) -> str:
@@ -552,6 +559,10 @@ class FastVM:
                 # jump: the legacy interpreter finishes the run over the
                 # same architectural state, reproducing its exact edge
                 # semantics (halt flags, VMError messages) step for step.
+                if tele_on:
+                    telemetry.METRICS.counter(
+                        "repro_vm_legacy_tail_total"
+                    ).inc(program=program.name)
                 tail_steps, halted, pc = self._run_tail(
                     pc, remaining, trace, profile, cpcs, caddrs, ctakens
                 )

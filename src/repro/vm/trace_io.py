@@ -307,6 +307,10 @@ class TraceWriter:
         del self._pcs[:count]
         del self._addrs[:count]
         del self._takens[:count]
+        if telemetry.enabled():
+            telemetry.METRICS.counter(
+                "repro_trace_chunks_written_total"
+            ).inc()
 
     def close(self) -> None:
         """Flush buffered records, write the end marker, close the file."""
@@ -426,6 +430,7 @@ class TraceReader:
             telemetry.METRICS.counter("repro_trace_bytes_read_total").inc(
                 _payload_bytes(count, self._name_length)
             )
+            telemetry.METRICS.counter("repro_trace_chunks_read_total").inc()
         size = DEFAULT_CHUNK_RECORDS
         for start in range(0, count, size):
             yield TraceChunk(
@@ -464,6 +469,9 @@ class TraceReader:
                 telemetry.METRICS.counter("repro_trace_bytes_read_total").inc(
                     count * (4 + 8 + 1)
                 )
+                telemetry.METRICS.counter(
+                    "repro_trace_chunks_read_total"
+                ).inc()
             streamed += count
             yield TraceChunk(pcs.tolist(), addrs.tolist(), takens.tolist())
 

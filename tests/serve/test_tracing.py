@@ -1,0 +1,221 @@
+"""End-to-end distributed tracing through repro-serve.
+
+One traced submission must yield spans in the coordinator's
+``spans.jsonl`` *and* the pool workers' ``worker-<pid>.jsonl`` files all
+sharing one trace id, with parent links request → schedule → job stage,
+so ``repro-trace`` reconstructs a single cross-process waterfall.  These
+tests boot the real server with a two-process farm pool to cover the
+fork boundary.
+"""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.serve import ServeClient, ServeConfig, ServerThread
+from repro.telemetry import spans
+from repro.telemetry.context import format_traceparent, parse_traceparent
+from repro.telemetry.sinks import load_spans
+from repro.telemetry.trace_cli import build_forest, group_by_trace
+
+MAX_STEPS = 2_000
+
+TRACE_ID = "f0" * 16
+PARENT = "00000000deadbeef"
+TRACEPARENT = f"00-{TRACE_ID}-{PARENT}-01"
+
+
+@pytest.fixture
+def telemetry_dir(tmp_path):
+    directory = tmp_path / "telemetry"
+    telemetry.configure(directory)
+    yield directory
+    telemetry.shutdown()
+    telemetry.METRICS.reset()
+    spans.reset()
+
+
+def config(tmp_path, telemetry_dir, **overrides):
+    options = {
+        "cache_dir": str(tmp_path / "serve-cache"),
+        "queue_limit": 8,
+        "max_steps": MAX_STEPS,
+        "max_steps_cap": 50_000,
+        "jobs": 2,
+        "telemetry_dir": str(telemetry_dir),
+    }
+    options.update(overrides)
+    return ServeConfig(**options)
+
+
+def by_name(records, name):
+    return [r for r in records if r.get("name") == name]
+
+
+class TestCrossProcessTrace:
+    def test_one_trace_spans_http_scheduler_and_workers(
+        self, tmp_path, telemetry_dir
+    ):
+        with ServerThread(config(tmp_path, telemetry_dir)) as server:
+            client = ServeClient(server.base_url, token="alice")
+            client.wait_ready()
+            doc = client.submit(
+                {"benchmark": "eqntott", "max_steps": MAX_STEPS},
+                traceparent=TRACEPARENT,
+            )
+            assert doc["trace_id"] == TRACE_ID
+            final = client.wait(doc["job"])
+            assert final["status"] == "done"
+            assert final["trace_id"] == TRACE_ID
+        telemetry.flush()
+
+        # Worker processes wrote their own sink files (fork safety): the
+        # scheduler merges them after each batch, so spans.jsonl holds
+        # records from more than one pid by the time the service drains.
+        records = load_spans(telemetry_dir)
+        traced = [r for r in records if r.get("trace") == TRACE_ID]
+        assert {r["pid"] for r in traced} != set(), "no traced spans"
+        assert len({r["pid"] for r in traced}) >= 2, (
+            "expected coordinator and worker pids in one trace"
+        )
+
+        # Parent links: request <- schedule <- job.<stage>.
+        [request] = by_name(traced, "serve.request")
+        assert request["parent"] == PARENT
+        [schedule] = by_name(traced, "serve.schedule")
+        assert schedule["parent"] == request["id"]
+        job_spans = [
+            r for r in traced if str(r.get("name", "")).startswith("job.")
+        ]
+        assert {r["name"] for r in job_spans} >= {"job.trace", "job.analyze"}
+        for record in job_spans:
+            assert record["parent"] == schedule["id"]
+
+        # repro-trace reassembles the whole thing as ONE tree rooted at
+        # the request span (an orphan root here: its remote parent lives
+        # in the *caller's* tracing system, not our span files).
+        [root] = build_forest(group_by_trace(records)[TRACE_ID])
+        assert root.name == "serve.request"
+        assert root.orphan
+        seen = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            seen.add(node.record["id"])
+            stack.extend(node.children)
+        for record in traced:
+            assert record["id"] in seen
+
+    def test_fresh_trace_minted_without_header(self, tmp_path, telemetry_dir):
+        with ServerThread(config(tmp_path, telemetry_dir, jobs=1)) as server:
+            client = ServeClient(server.base_url)
+            client.wait_ready()
+            doc = client.submit(
+                {"benchmark": "eqntott", "max_steps": MAX_STEPS}
+            )
+            trace_id = doc["trace_id"]
+            assert len(trace_id) == 32
+            assert trace_id != TRACE_ID
+            client.wait(doc["job"])
+        telemetry.flush()
+        records = load_spans(telemetry_dir)
+        [request] = by_name(
+            [r for r in records if r.get("trace") == trace_id],
+            "serve.request",
+        )
+        assert request["parent"] is None  # no remote parent
+
+    def test_traceparent_echoed_in_response_header(
+        self, tmp_path, telemetry_dir
+    ):
+        with ServerThread(config(tmp_path, telemetry_dir, jobs=1)) as server:
+            client = ServeClient(server.base_url)
+            client.wait_ready()
+            status, headers, data = client._request(
+                "POST",
+                "/v1/jobs",
+                {"benchmark": "eqntott", "max_steps": MAX_STEPS},
+                extra_headers={"Traceparent": TRACEPARENT},
+            )
+            assert status == 202
+            echoed = parse_traceparent(headers["traceparent"])
+            assert echoed.trace_id == TRACE_ID
+            # The echoed parent is the service's own request span id,
+            # not ours reflected back.
+            assert echoed.parent_id is not None
+            assert echoed.parent_id != PARENT
+            job_id = json.loads(data)["job"]
+            client.wait(job_id)
+
+    def test_disabled_telemetry_still_serves_trace_surface(self, tmp_path):
+        # The HTTP trace surface (header echo, trace_id in the job doc)
+        # stays up without telemetry; only span *recording* and payload
+        # trace_ctx embedding are gated, so disabled runs produce
+        # byte-identical artifacts (pinned against the batch farm in
+        # test_server.py) and write no telemetry files.
+        with ServerThread(
+            ServeConfig(
+                cache_dir=str(tmp_path / "serve-cache"),
+                max_steps=MAX_STEPS,
+                max_steps_cap=50_000,
+            )
+        ) as server:
+            client = ServeClient(server.base_url)
+            client.wait_ready()
+            doc = client.submit(
+                {"benchmark": "eqntott", "max_steps": MAX_STEPS},
+                traceparent=TRACEPARENT,
+            )
+            assert doc["trace_id"] == TRACE_ID
+            final = client.wait(doc["job"])
+            assert final["status"] == "done"
+        assert not telemetry.enabled()
+        assert not list(tmp_path.glob("**/spans.jsonl"))
+        assert not list(tmp_path.glob("**/worker-*.jsonl"))
+
+
+class TestStatsEndpoint:
+    def test_stats_document_shape(self, tmp_path, telemetry_dir):
+        with ServerThread(config(tmp_path, telemetry_dir, jobs=1)) as server:
+            client = ServeClient(server.base_url, token="alice")
+            client.wait_ready()
+            doc = client.submit(
+                {"benchmark": "eqntott", "max_steps": MAX_STEPS}
+            )
+            client.wait(doc["job"])
+            stats = client.stats()
+
+        assert stats["draining"] is False
+        assert stats["queue"]["depth"] == 0
+        assert stats["queue"]["capacity"] == 8
+        assert stats["jobs"]["done"] == 1
+        alice = stats["tenants"]["alice"]
+        assert alice["served"] == 1
+        assert alice["in_flight"] == 0
+        assert alice["submitted"] == 1
+        assert stats["farm"]["executed"] == 4
+        # Latency percentiles cover every route that served a request.
+        submit_latency = stats["latency"]["submit"]
+        assert submit_latency["count"] == 1
+        assert submit_latency["p50_ms"] > 0
+        assert submit_latency["p99_ms"] >= submit_latency["p50_ms"]
+        assert "job" in stats["latency"]
+
+    def test_coalesced_count_surfaces(self, tmp_path, telemetry_dir):
+        with ServerThread(
+            config(tmp_path, telemetry_dir, jobs=1), run_scheduler=False
+        ) as server:
+            client = ServeClient(server.base_url, token="bob")
+            client.wait_ready()
+            first = client.submit(
+                {"benchmark": "eqntott", "max_steps": MAX_STEPS}
+            )
+            second = client.submit(
+                {"benchmark": "eqntott", "max_steps": MAX_STEPS}
+            )
+            assert second["job"] == first["job"]
+            stats = client.stats()
+            assert stats["coalesced"] == 1
+            assert stats["tenants"]["bob"]["submitted"] == 2
+            assert stats["tenants"]["bob"]["in_flight"] == 1

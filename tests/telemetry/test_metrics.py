@@ -79,6 +79,56 @@ class TestPrometheusRendering:
         assert "lat_seconds_count 3" in text
         assert "lat_seconds_sum 5.55" in text
 
+    def test_histogram_buckets_are_cumulative_and_capped_by_inf(self):
+        # Prometheus histograms are cumulative: each le bucket counts
+        # every observation <= le, monotonically nondecreasing, and the
+        # +Inf bucket equals _count exactly.
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "h_seconds", "", buckets=(0.01, 0.1, 1.0, 10.0)
+        )
+        for value in (0.005, 0.005, 0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        text = registry.render_prometheus()
+        counts = []
+        for line in text.splitlines():
+            if line.startswith("h_seconds_bucket"):
+                counts.append(int(line.rsplit(" ", 1)[1]))
+        assert counts == sorted(counts)
+        assert 'h_seconds_bucket{le="+Inf"} 6' in text
+        assert "h_seconds_count 6" in text
+
+    def test_nonfinite_values_use_prometheus_spellings(self):
+        # The exposition format spells non-finite values +Inf/-Inf/NaN;
+        # Python's repr ('inf', 'nan') is not parseable by scrapers.
+        registry = MetricsRegistry()
+        registry.gauge("g_pos").set(float("inf"))
+        registry.gauge("g_neg").set(float("-inf"))
+        registry.gauge("g_nan").set(float("nan"))
+        text = registry.render_prometheus()
+        assert "g_pos +Inf" in text
+        assert "g_neg -Inf" in text
+        assert "g_nan NaN" in text
+        assert "inf\n" not in text  # no bare repr leaks
+
+    def test_integral_floats_render_without_fraction(self):
+        registry = MetricsRegistry()
+        registry.gauge("g_int").set(3.0)
+        registry.gauge("g_frac").set(3.25)
+        text = registry.render_prometheus()
+        assert "g_int 3\n" in text
+        assert "g_frac 3.25" in text
+
+    def test_label_escaping_round_trips_every_special(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("s_total", "", ("v",))
+        counter.inc(1, v='a"b\\c\nd')
+        line = next(
+            l for l in registry.render_prometheus().splitlines()
+            if l.startswith("s_total{")
+        )
+        assert line == 's_total{v="a\\"b\\\\c\\nd"} 1'
+
 
 class TestExports:
     def test_json_round_trip(self):

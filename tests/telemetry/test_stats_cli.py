@@ -142,6 +142,26 @@ class TestPercentiles:
         assert percentile([7.0], 50) == 7.0
         assert percentile([7.0], 99) == 7.0
 
+    def test_single_sample_is_every_percentile(self):
+        from repro.telemetry.stats_cli import PERCENTILES, percentile
+
+        for q in PERCENTILES:
+            assert percentile([0.42], q) == 0.42
+
+    def test_all_equal_samples(self):
+        from repro.telemetry.stats_cli import percentile
+
+        values = [2.5] * 17
+        for q in (1, 50, 95, 99, 100):
+            assert percentile(values, q) == 2.5
+
+    def test_two_samples_split_at_p50(self):
+        from repro.telemetry.stats_cli import percentile
+
+        assert percentile([1.0, 9.0], 50) == 1.0
+        assert percentile([1.0, 9.0], 51) == 9.0
+        assert percentile([1.0, 9.0], 100) == 9.0
+
     def test_percentile_rejects_bad_input(self):
         import pytest
 
