@@ -1,0 +1,124 @@
+"""The executor-backend protocol the farm engine dispatches through.
+
+The :class:`~repro.jobs.engine.ExecutionEngine` owns everything about a
+run that must be *policy* — retry accounting, backoff, corrupt-input
+healing, dead-job quarantine, journaling, the farm report.  A backend
+owns only *mechanism*: given a ready job payload, run it somewhere and
+eventually hand back a :class:`Completion`.  The engine drives every
+backend through the same loop::
+
+    while pending or backend.in_flight:
+        submit ready jobs while backend.can_accept()
+        for completion in backend.poll(budget):
+            retire / retry / requeue
+        if backend.broken:
+            replace the backend (rebuild, or degrade to serial)
+
+Three backends ship: in-process serial execution
+(:class:`~repro.jobs.backends.serial.SerialBackend`), a local process
+pool (:class:`~repro.jobs.backends.pool.PoolBackend`), and socket-
+connected remote workers
+(:class:`~repro.jobs.backends.remote.RemoteBackend`).  A new backend
+implements this interface and passes the conformance suite in
+``tests/jobs/test_backend_conformance.py``; nothing else in the farm
+needs to change.
+
+**Failure vocabulary.**  A completion either carries a timing ``record``
+(the job retired) or an ``error``.  ``charged=False`` marks an innocent
+victim — a job whose attempt never really ran because its executor was
+condemned (a pool-mate hung, a remote connection died) — which the
+engine requeues without spending one of its retry attempts.  Backends
+that cannot tell victims apart from culprits charge everyone; that is
+deterministic, which matters more than fairness here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.jobs.graph import Job  # re-exported for backend authors
+
+
+class WorkerLost(Exception):
+    """An executor (pool worker, remote connection) died under its jobs."""
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can and cannot do, declared up front.
+
+    ``supports_timeouts``
+        The backend enforces per-attempt wall-clock budgets itself
+        (preemptively, like the serial backend's ``SIGALRM``, or by
+        condemning the executor, like the pool and remote backends).
+        When False the engine runs attempts unbounded.
+    ``supports_cancellation``
+        Work not yet started can be revoked on shutdown (a queued pool
+        future can be cancelled; a job already shipped to a remote
+        worker cannot).
+    """
+
+    name: str
+    supports_timeouts: bool
+    supports_cancellation: bool
+
+
+@dataclass
+class Completion:
+    """One settled job attempt, as reported by a backend."""
+
+    job: Job
+    attempt: int
+    #: Timing record from the worker (``execute_job``'s return) on success.
+    record: dict | None = None
+    #: The failure on error; classified by the engine's retry machinery.
+    error: BaseException | None = None
+    #: False: an innocent victim of executor loss — requeue uncharged.
+    charged: bool = True
+    #: Which executor ran the job (display/metrics only).
+    worker: str = ""
+
+
+@runtime_checkable
+class ExecutorBackend(Protocol):
+    """Protocol every execution backend implements."""
+
+    capabilities: BackendCapabilities
+
+    @property
+    def in_flight(self) -> int:
+        """Number of submitted jobs not yet returned by :meth:`poll`."""
+
+    @property
+    def broken(self) -> bool:
+        """True when the backend can no longer accept or finish work."""
+
+    def can_accept(self) -> bool:
+        """May the engine submit another job right now?"""
+
+    def submit(self, job: Job, payload: dict, attempt: int,
+               timeout: float | None) -> None:
+        """Start one job attempt.  Raises :class:`WorkerLost` if the
+        backend discovered mid-submit that it is broken; the engine
+        unwinds the attempt and replaces the backend."""
+
+    def poll(self, timeout: float) -> list[Completion]:
+        """Settled attempts, blocking up to *timeout* seconds for the
+        first one.  Also where condemnation happens: a backend noticing
+        an expired deadline or a dead executor settles every affected
+        in-flight job (culprits charged, victims not) before returning."""
+
+    def shutdown(self) -> None:
+        """Release executors.  Idempotent; never blocks on hung work."""
+
+
+@dataclass
+class _InFlight:
+    """Bookkeeping every backend keeps per submitted job."""
+
+    job: Job
+    attempt: int
+    deadline: float | None
+    worker: str = ""
+    extra: dict = field(default_factory=dict)

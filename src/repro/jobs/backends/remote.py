@@ -1,0 +1,424 @@
+"""Socket-connected remote worker backend (``--backend remote``).
+
+The coordinator side of the distributed experiment farm: shards the
+deduplicated job graph across ``repro-worker`` daemons over the
+length-prefixed JSON protocol of :mod:`repro.jobs.protocol`.  Artifacts
+move through the content-addressed cache on both ends — workers ``fetch``
+inputs they are missing and ``push`` what they produce, each transfer
+verified against its sha256 integrity sidecar — so a distributed run
+retires the same graph to the same bytes as a local one.
+
+Placement is *home-hashed with stealing*: every job key hashes to a home
+worker (stable across runs, so warm worker caches keep paying off), but
+a job whose home is saturated ships to any worker with a free slot
+instead of idling.  Each worker runs one job at a time per connection
+and holds at most ``per_worker`` in flight, which pipelines artifact
+transfer against compute without letting one connection absorb the
+whole ready set.
+
+Failure semantics mirror the pool backend's condemnation: an expired
+deadline condemns only the hung worker's connection — the expired job
+is charged a timeout, that worker's other in-flight jobs are requeued
+as uncharged victims — and a dead connection charges its in-flight jobs
+a :class:`~repro.jobs.backends.base.WorkerLost` crash, which the
+engine's ordinary retry/quarantine machinery then absorbs.  The backend
+is ``broken`` only when the last worker is gone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import queue
+import socket
+import threading
+import time
+
+from repro import telemetry
+from repro.jobs import protocol
+from repro.jobs.backends.base import (
+    BackendCapabilities,
+    Completion,
+    WorkerLost,
+    _InFlight,
+)
+from repro.jobs.cache import ArtifactCache
+from repro.jobs.graph import Job
+from repro.jobs.retry import JobTimeout
+from repro.vm.trace_io import CorruptArtifactError
+
+#: Seconds allowed for connect + hello before a worker is unreachable.
+CONNECT_TIMEOUT = 10.0
+
+
+class _WorkerConn:
+    """One live connection to a ``repro-worker`` daemon."""
+
+    def __init__(self, address: str, events: "queue.Queue", cache: ArtifactCache):
+        self.address = address
+        self.cache = cache
+        self._events = events
+        self.send_lock = threading.Lock()
+        self.dead = False
+        #: Keys currently shipped to this worker.
+        self.keys: set[str] = set()
+        #: Push transfers that arrived damaged, surfaced at ``done``.
+        self.push_errors: dict[str, Exception] = {}
+        host, port = protocol.parse_worker_address(address)
+        self.sock = socket.create_connection((host, port), timeout=CONNECT_TIMEOUT)
+        try:
+            protocol.send_frame(
+                self.sock,
+                {"type": "hello", "version": protocol.PROTOCOL_VERSION},
+            )
+            reply, _ = protocol.recv_frame(self.sock)
+            if (
+                reply.get("type") != "hello"
+                or reply.get("version") != protocol.PROTOCOL_VERSION
+            ):
+                raise ConnectionError(
+                    f"worker {address} speaks protocol "
+                    f"{reply.get('version')!r}, not {protocol.PROTOCOL_VERSION}"
+                )
+        except Exception:
+            self.sock.close()
+            raise
+        self.sock.settimeout(None)
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"repro-remote-{address}", daemon=True
+        )
+        self._reader.start()
+
+    def send(self, message: dict, blob: bytes = b"") -> None:
+        with self.send_lock:
+            protocol.send_frame(self.sock, message, blob)
+
+    def close(self) -> None:
+        self.dead = True
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    # -- reader thread ---------------------------------------------------
+
+    def _read_loop(self) -> None:
+        """Serve fetch/push inline; queue done/fail/lost for the poller."""
+        try:
+            while True:
+                message, blob = protocol.recv_frame(self.sock)
+                kind = message.get("type")
+                if kind == "fetch":
+                    self._serve_fetch(message)
+                elif kind == "push":
+                    self._accept_push(message, blob)
+                elif kind in ("done", "fail"):
+                    self._events.put((kind, self, message))
+                # anything else is a stray frame; ignore
+        except (ConnectionError, OSError) as exc:
+            if not self.dead:
+                self._events.put(("lost", self, exc))
+
+    def _serve_fetch(self, message: dict) -> None:
+        kind, key = message["kind"], message["key"]
+        try:
+            data, sha256 = self.cache.load_artifact_bytes(kind, key)
+        except (CorruptArtifactError, FileNotFoundError, ValueError):
+            self.send(
+                {"type": "artifact", "kind": kind, "key": key,
+                 "sha256": None, "found": False}
+            )
+            return
+        if telemetry.enabled():
+            telemetry.METRICS.counter("repro_remote_bytes_pulled_total").inc(
+                len(data), kind=kind
+            )
+        self.send(
+            {"type": "artifact", "kind": kind, "key": key,
+             "sha256": sha256, "found": True},
+            blob=data,
+        )
+
+    def _accept_push(self, message: dict, blob: bytes) -> None:
+        kind, key = message["kind"], message["key"]
+        try:
+            self.cache.store_artifact_bytes(kind, key, blob, message["sha256"])
+        except CorruptArtifactError as exc:
+            # Refuse the damaged transfer; the worker's imminent `done`
+            # for this key becomes a corrupt failure instead of a retire.
+            self.push_errors[key] = exc
+            return
+        if telemetry.enabled():
+            telemetry.METRICS.counter("repro_remote_bytes_pushed_total").inc(
+                len(blob), kind=kind
+            )
+
+
+class RemoteBackend:
+    """Ships jobs to ``repro-worker`` daemons over TCP.
+
+    Raises :class:`RuntimeError` from the constructor when *no* worker
+    address is reachable — a distributed run with zero workers is a
+    configuration error, not something to silently degrade from.
+    """
+
+    capabilities = BackendCapabilities(
+        name="remote",
+        supports_timeouts=True,   # by condemning the hung worker
+        supports_cancellation=False,  # a shipped job cannot be recalled
+    )
+
+    def __init__(
+        self,
+        cache: ArtifactCache,
+        workers: list[str],
+        per_worker: int = 2,
+    ):
+        if not workers:
+            raise RuntimeError("remote backend needs at least one worker")
+        self.cache = cache
+        self.per_worker = max(1, per_worker)
+        #: The full configured address list; home hashing indexes this so
+        #: placement is stable even as individual workers die.
+        self.addresses = list(workers)
+        self._events: queue.Queue = queue.Queue()
+        self._conns: dict[str, _WorkerConn] = {}
+        self._inflight: dict[str, _InFlight] = {}
+        self._pending: list[Completion] = []
+        self._notes: list[str] = []
+        failures: list[str] = []
+        for address in self.addresses:
+            try:
+                self._conns[address] = _WorkerConn(
+                    address, self._events, cache
+                )
+            except (OSError, ConnectionError, ValueError) as exc:
+                failures.append(f"{address} ({exc})")
+        if not self._conns:
+            raise RuntimeError(
+                "no remote worker is reachable: " + "; ".join(failures)
+            )
+        for failure in failures:
+            self._notes.append(f"remote worker {failure} unreachable; skipped")
+
+    # -- protocol surface ------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._inflight) + len(self._pending)
+
+    @property
+    def broken(self) -> bool:
+        return not self._conns
+
+    def can_accept(self) -> bool:
+        return any(
+            len(conn.keys) < self.per_worker for conn in self._conns.values()
+        )
+
+    def take_notes(self) -> list[str]:
+        """Operator-facing notes (worker losses) accumulated since last call."""
+        notes, self._notes = self._notes, []
+        return notes
+
+    def submit(self, job: Job, payload: dict, attempt: int,
+               timeout: float | None) -> None:
+        deadline = time.monotonic() + timeout if timeout else None
+        while True:
+            conn, stolen = self._place(job.key)
+            if conn is None:
+                raise WorkerLost("all remote workers are lost")
+            try:
+                conn.send({"type": "job", "payload": payload})
+            except (ConnectionError, OSError) as exc:
+                self._condemn(conn, f"send failed: {exc}")
+                continue  # re-place on a surviving worker
+            if telemetry.enabled():
+                telemetry.METRICS.counter(
+                    "repro_remote_jobs_shipped_total"
+                ).inc(worker=conn.address)
+                if stolen:
+                    telemetry.METRICS.counter(
+                        "repro_remote_jobs_stolen_total"
+                    ).inc(worker=conn.address)
+            conn.keys.add(job.key)
+            self._inflight[job.key] = _InFlight(
+                job, attempt, deadline, worker=conn.address,
+                extra={"timeout": timeout},
+            )
+            return
+
+    def poll(self, timeout: float) -> list[Completion]:
+        completions, self._pending = self._pending, []
+        block = not completions
+        budget = self._wait_budget(timeout)
+        while True:
+            try:
+                event = self._events.get(
+                    timeout=budget if block and self._inflight else 0.0
+                )
+            except queue.Empty:
+                break
+            block = False
+            kind, conn, detail = event
+            if kind == "lost":
+                self._condemn(conn, str(detail) or "connection lost")
+                completions.extend(self._take_pending())
+            else:
+                completion = self._settle(kind, conn, detail)
+                if completion is not None:
+                    completions.append(completion)
+        completions.extend(self._reap_timeouts())
+        return completions
+
+    def shutdown(self) -> None:
+        for conn in list(self._conns.values()):
+            try:
+                conn.send({"type": "shutdown"})
+            except (ConnectionError, OSError):
+                pass
+            conn.close()
+        self._conns.clear()
+
+    # -- internals -------------------------------------------------------
+
+    def _take_pending(self) -> list[Completion]:
+        taken, self._pending = self._pending, []
+        return taken
+
+    def _home(self, key: str) -> str:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return self.addresses[int(digest[:8], 16) % len(self.addresses)]
+
+    def _place(self, key: str) -> tuple[_WorkerConn | None, bool]:
+        """The home worker if it has a free slot, else steal to any."""
+        home = self._home(key)
+        conn = self._conns.get(home)
+        stolen = False
+        if conn is None or len(conn.keys) >= self.per_worker:
+            if not self._conns:
+                return None, False
+            # can_accept() may race a loss; fall back to the
+            # least-loaded survivor even if every slot is full.
+            conn = min(
+                self._conns.values(),
+                key=lambda c: (len(c.keys), c.address),
+            )
+            stolen = conn.address != home
+        return conn, stolen
+
+    def _wait_budget(self, timeout: float) -> float:
+        now = time.monotonic()
+        deadlines = [
+            e.deadline for e in self._inflight.values() if e.deadline is not None
+        ]
+        if deadlines:
+            timeout = min(timeout, max(0.01, min(deadlines) - now))
+        return timeout
+
+    def _settle(
+        self, kind: str, conn: _WorkerConn, message: dict
+    ) -> Completion | None:
+        key = message.get("key")
+        entry = self._inflight.pop(key, None)
+        conn.keys.discard(key)
+        self._write_spans(conn, message.get("spans") or [])
+        if entry is None:
+            return None  # already condemned (timeout beat the reply)
+        push_error = conn.push_errors.pop(key, None)
+        if push_error is not None:
+            return Completion(
+                entry.job, entry.attempt, error=push_error, worker=conn.address
+            )
+        if kind == "done":
+            return Completion(
+                entry.job, entry.attempt, record=message["record"],
+                worker=conn.address,
+            )
+        message_text = message.get("message") or "remote job failed"
+        if message.get("kind") == "corrupt":
+            error: Exception = CorruptArtifactError(
+                message_text, key=message.get("artifact_key")
+            )
+        else:
+            error = RuntimeError(message_text)
+        return Completion(
+            entry.job, entry.attempt, error=error, worker=conn.address
+        )
+
+    def _reap_timeouts(self) -> list[Completion]:
+        """Condemn every worker holding an expired job."""
+        now = time.monotonic()
+        expired_workers = {
+            entry.worker
+            for entry in self._inflight.values()
+            if entry.deadline is not None and now > entry.deadline
+        }
+        for address in expired_workers:
+            conn = self._conns.get(address)
+            if conn is not None:
+                self._condemn(conn, "job deadline expired", timed_out=True)
+        return self._take_pending()
+
+    def _condemn(
+        self, conn: _WorkerConn, reason: str, timed_out: bool = False
+    ) -> None:
+        """Drop one worker and settle everything in flight on it.
+
+        With ``timed_out``, expired jobs are charged a timeout and the
+        worker's other in-flight jobs (queued behind the hung one, never
+        started) are requeued uncharged; a plain connection loss charges
+        everyone a :class:`WorkerLost` crash — the culprit cannot be
+        told apart, which stays deterministic.
+        """
+        if self._conns.get(conn.address) is not conn:
+            return  # already condemned
+        del self._conns[conn.address]
+        conn.close()
+        self._notes.append(f"remote worker {conn.address} lost ({reason})")
+        if telemetry.enabled():
+            telemetry.METRICS.counter("repro_remote_worker_losses_total").inc(
+                worker=conn.address
+            )
+        now = time.monotonic()
+        for key in sorted(conn.keys):
+            entry = self._inflight.pop(key, None)
+            if entry is None:
+                continue
+            if (
+                timed_out
+                and entry.deadline is not None
+                and now > entry.deadline
+            ):
+                timeout = entry.extra.get("timeout")
+                error: Exception = JobTimeout(
+                    f"job exceeded its {timeout:.1f}s wall-clock budget "
+                    f"on worker {conn.address}"
+                    if timeout
+                    else f"job timed out on worker {conn.address}"
+                )
+                charged = True
+            else:
+                error = WorkerLost(
+                    f"remote worker {conn.address} lost ({reason})"
+                )
+                charged = not timed_out
+            self._pending.append(
+                Completion(
+                    entry.job, entry.attempt, error=error,
+                    charged=charged, worker=conn.address,
+                )
+            )
+        conn.keys.clear()
+
+    def _write_spans(self, conn: _WorkerConn, spans: list[dict]) -> None:
+        """Land worker spans where ``merge_worker_sinks`` will fold them."""
+        if not spans:
+            return
+        directory = telemetry.telemetry_dir()
+        if directory is None:
+            return
+        name = "worker-remote-" + conn.address.replace(":", "-") + ".jsonl"
+        with open(directory / name, "a", encoding="utf-8") as sink:
+            for span in spans:
+                sink.write(json.dumps(span, sort_keys=True) + "\n")

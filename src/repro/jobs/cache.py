@@ -126,6 +126,54 @@ class ArtifactCache:
     def checksum_path(self, path: Path) -> Path:
         return path.parent / (path.name + CHECKSUM_SUFFIX)
 
+    #: Artifact kind → path method, the vocabulary of the remote
+    #: push/pull protocol (:mod:`repro.jobs.protocol`).
+    KINDS = ("asm", "trace", "profile", "result")
+
+    def artifact_path(self, kind: str, key: str) -> Path:
+        """Path of the *kind* artifact for *key* (protocol plumbing)."""
+        lookup = {
+            "asm": self.asm_path,
+            "trace": self.trace_path,
+            "profile": self.profile_path,
+            "result": self.result_path,
+        }
+        try:
+            return lookup[kind](key)
+        except KeyError:
+            raise ValueError(f"unknown artifact kind {kind!r}") from None
+
+    def has_artifact(self, kind: str, key: str) -> bool:
+        return self._present(self.artifact_path(kind, key))
+
+    def load_artifact_bytes(self, kind: str, key: str) -> tuple[bytes, str]:
+        """Verified raw bytes + sha256 of one artifact, for shipping.
+
+        The returned digest is the sidecar's (re-verified against the
+        bytes read), so a receiver can store bytes and checksum without
+        trusting the wire.
+        """
+        data = self._verified_bytes(self.artifact_path(kind, key), key)
+        return data, hashlib.sha256(data).hexdigest()
+
+    def store_artifact_bytes(
+        self, kind: str, key: str, data: bytes, sha256: str
+    ) -> None:
+        """Store shipped artifact bytes, verifying the sender's digest.
+
+        Raises :class:`CorruptArtifactError` (without touching the
+        cache) when the bytes do not hash to *sha256* — a transfer that
+        damaged an artifact must not publish it.
+        """
+        actual = hashlib.sha256(data).hexdigest()
+        if actual != sha256:
+            raise CorruptArtifactError(
+                f"shipped {kind} artifact {key[:12]} arrived damaged "
+                f"({actual[:12]} != {sha256[:12]})",
+                key=key,
+            )
+        self._write_bytes(self.artifact_path(kind, key), data)
+
     def corrupt_dir(self) -> Path:
         return self.root / CORRUPT_DIR
 

@@ -14,12 +14,15 @@ cached disassembly listing instead.
 
 The :class:`ExecutionEngine` then retires the graph.  Jobs whose artifact
 already exists in the cache are recorded as hits and skipped; the rest
-run either in-process (``jobs=1``, the default — also what the test suite
-exercises) or across a :class:`~concurrent.futures.ProcessPoolExecutor`,
-dispatching each job as soon as its dependencies have retired.  Workers
-exchange artifacts exclusively through the content-addressed cache (see
-:mod:`repro.jobs.worker`), so results are byte-identical regardless of
-worker count or scheduling order.
+are dispatched through a pluggable :class:`~repro.jobs.backends.base.
+ExecutorBackend` — in-process serial execution (``--backend serial``,
+the default at ``jobs=1`` and what the test suite exercises), a local
+:class:`~concurrent.futures.ProcessPoolExecutor`
+(``--backend pool``), or socket-connected ``repro-worker`` daemons
+(``--backend remote``) — each job as soon as its dependencies have
+retired.  Workers exchange artifacts exclusively through the
+content-addressed cache (see :mod:`repro.jobs.worker`), so results are
+byte-identical regardless of backend, worker count, or scheduling order.
 
 The engine treats partial failure the way a speculative machine treats
 misspeculation — detect, discard, re-execute:
@@ -34,19 +37,18 @@ misspeculation — detect, discard, re-execute:
   re-enqueues the *producer* of the damaged (and now quarantined)
   artifact, then the consumer, so corruption heals instead of crashing;
 * a broken process pool (crashed worker) is rebuilt; if pools keep
-  dying, the engine degrades to serial in-process execution;
+  dying — or every remote worker is lost — the engine degrades to
+  serial in-process execution;
 * every retired job is journaled so ``--resume`` can skip work an
   interrupted invocation already finished.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
@@ -54,45 +56,24 @@ from repro import telemetry
 from repro.asm.disassembler import disassemble
 from repro.bench import SUITE
 from repro.jobs import keys
+from repro.jobs.backends import BACKEND_NAMES, Completion, WorkerLost
 from repro.jobs.cache import ArtifactCache
 from repro.jobs.faults import FaultPlan
+from repro.jobs.graph import Job, JobGraph
 from repro.jobs.report import DEAD, HIT, RESUMED, RUN, FarmReport
 from repro.jobs.requests import AnalysisRequest, Request, TraceRequest
-from repro.jobs.retry import JobTimeout, RetryPolicy, call_with_timeout
-from repro.jobs.worker import execute_job
+from repro.jobs.retry import JobTimeout, RetryPolicy
 from repro.vm.trace_io import CorruptArtifactError
 
-
-@dataclass(frozen=True)
-class Job:
-    """One schedulable unit of work, addressed by its artifact key."""
-
-    key: str
-    stage: str  # "trace" | "profile" | "analyze"
-    benchmark: str
-    payload: dict
-    deps: tuple[str, ...] = ()
-
-
-@dataclass
-class JobGraph:
-    """Deduplicated DAG of jobs, keyed by artifact address."""
-
-    jobs: dict[str, Job] = field(default_factory=dict)
-
-    def add(self, job: Job) -> None:
-        self.jobs.setdefault(job.key, job)
-
-    def __len__(self) -> int:
-        return len(self.jobs)
-
-    def __iter__(self):
-        return iter(self.jobs.values())
-
-    def digest(self) -> str:
-        """Stable identity of this graph (the sorted job-key set)."""
-        material = "\n".join(sorted(self.jobs))
-        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+__all__ = [
+    "Job",
+    "JobGraph",
+    "RunJournal",
+    "RequestKeys",
+    "Planner",
+    "run_requests",
+    "ExecutionEngine",
+]
 
 
 class RunJournal:
@@ -432,6 +413,8 @@ def run_requests(
     resume: bool = False,
     adhoc: dict | None = None,
     report: FarmReport | None = None,
+    backend: str | None = None,
+    workers: list[str] | str | None = None,
 ) -> FarmReport:
     """Plan *requests* into a job graph, retire it, and return the report.
 
@@ -450,7 +433,8 @@ def run_requests(
     planner = Planner(cache, report, adhoc=adhoc)
     graph = planner.plan(requests, default_scale, max_steps)
     engine = ExecutionEngine(
-        cache, jobs=jobs, retry=retry, faults=faults, resume=resume
+        cache, jobs=jobs, retry=retry, faults=faults, resume=resume,
+        backend=backend, workers=workers,
     )
     engine.execute(graph, report)
     return report
@@ -499,12 +483,19 @@ class _RunState:
 
 
 class ExecutionEngine:
-    """Retires a job graph serially or across a process pool.
+    """Retires a job graph through a pluggable executor backend.
 
     ``retry`` bounds attempts, backoff, and per-attempt timeouts;
     ``faults`` arms the deterministic fault injector (a spec string or a
     :class:`~repro.jobs.faults.FaultPlan`); ``resume`` skips jobs the
     run journal shows a previous identical invocation already retired.
+
+    ``backend`` picks the executor: ``"serial"`` (in-process),
+    ``"pool"`` (local process pool of ``jobs`` workers), or ``"remote"``
+    (``repro-worker`` daemons at the ``workers`` addresses, each holding
+    up to ``jobs`` jobs in flight).  Left ``None``, it is inferred the
+    way the farm always behaved: remote when worker addresses are given,
+    else pool when ``jobs > 1``, else serial.
     """
 
     def __init__(
@@ -514,6 +505,8 @@ class ExecutionEngine:
         retry: RetryPolicy | None = None,
         faults: str | FaultPlan | None = None,
         resume: bool = False,
+        backend: str | None = None,
+        workers: list[str] | str | None = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be a positive worker count")
@@ -524,6 +517,23 @@ class ExecutionEngine:
             faults = FaultPlan.from_spec(faults)
         self.faults = faults
         self.resume = resume
+        if isinstance(workers, str):
+            workers = [w.strip() for w in workers.split(",") if w.strip()]
+        self.workers: list[str] = list(workers) if workers else []
+        if backend is None:
+            backend = (
+                "remote" if self.workers else ("pool" if jobs > 1 else "serial")
+            )
+        if backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {backend!r} (choose from "
+                f"{', '.join(BACKEND_NAMES)})"
+            )
+        if backend == "remote" and not self.workers:
+            raise ValueError(
+                "remote backend needs worker addresses (host:port,...)"
+            )
+        self.backend_name = backend
 
     def execute(self, graph: JobGraph, report: FarmReport) -> None:
         with RunJournal(self.cache.root / "journal", graph) as journal:
@@ -543,10 +553,7 @@ class ExecutionEngine:
             with telemetry.span(
                 "farm.execute", jobs=len(pending), workers=self.jobs
             ):
-                if self.jobs == 1:
-                    self._execute_serial(state, report, journal)
-                else:
-                    self._execute_parallel(state, report, journal)
+                self._execute(state, report, journal)
         self._merge_telemetry()
 
     @staticmethod
@@ -621,7 +628,7 @@ class ExecutionEngine:
             return "timeout"
         if isinstance(exc, CorruptArtifactError):
             return "corrupt"
-        if isinstance(exc, BrokenProcessPool):
+        if isinstance(exc, (BrokenProcessPool, WorkerLost)):
             return "crash"
         return "error"
 
@@ -732,212 +739,159 @@ class ExecutionEngine:
         state.done.add(job.key)
         journal.append(job, record["seconds"])
 
-    # -- serial execution ----------------------------------------------
+    # -- the backend dispatch loop ---------------------------------------
 
-    def _execute_serial(
-        self, state: _RunState, report: FarmReport, journal: RunJournal
-    ) -> None:
-        while state.pending:
-            self._note_queue_depth(len(state.pending))
-            now = time.monotonic()
-            ready = state.runnable(now)
-            if not ready:
-                wake_at = state.earliest_backoff()
-                if wake_at is not None:
-                    time.sleep(max(0.0, wake_at - now))
-                    continue
-                raise RuntimeError("job graph has a dependency cycle")
-            for job in ready:
-                if job.key not in state.pending:
-                    continue  # requeued/killed by an earlier job this sweep
-                del state.pending[job.key]
-                attempt = state.next_attempt(job.key)
-                payload = self._payload(job, attempt, in_process=True)
-                try:
-                    record = call_with_timeout(
-                        execute_job, payload, self.retry.job_timeout
-                    )
-                except Exception as exc:
-                    self._handle_failure(state, report, job, attempt, exc)
-                else:
-                    self._retire(state, report, journal, job, record)
+    def _make_backend(self, report: FarmReport, name: str):
+        """Instantiate one backend, degrading pool→serial if no pool fits."""
+        if name == "serial":
+            from repro.jobs.backends.serial import SerialBackend
 
-    # -- parallel execution --------------------------------------------
+            return SerialBackend()
+        if name == "pool":
+            from repro.jobs.backends.pool import PoolBackend
+            from repro.jobs.backends.serial import SerialBackend
 
-    def _new_pool(self) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(max_workers=self.jobs)
-
-    @staticmethod
-    def _destroy_pool(pool: ProcessPoolExecutor) -> None:
-        """Tear a pool down without waiting on hung or dead workers."""
-        processes = []
-        try:
-            processes = list((pool._processes or {}).values())
-        except AttributeError:  # pragma: no cover - CPython internal moved
-            pass
-        pool.shutdown(wait=False, cancel_futures=True)
-        for process in processes:
             try:
-                process.terminate()
-            except Exception:  # pragma: no cover - already gone
-                pass
+                return PoolBackend(self.jobs)
+            except (BrokenProcessPool, OSError) as exc:
+                report.note(
+                    f"process pool unavailable ({exc}); running serially"
+                )
+                return SerialBackend()
+        from repro.jobs.backends.remote import RemoteBackend
 
-    def _execute_parallel(
+        return RemoteBackend(self.cache, self.workers, per_worker=self.jobs)
+
+    def _replace_backend(
+        self, backend, rebuilds: int, report: FarmReport
+    ) -> tuple[object, int]:
+        """A broken backend's successor, per the degradation policy."""
+        from repro.jobs.backends.serial import SerialBackend
+
+        name = backend.capabilities.name
+        if name == "pool":
+            rebuilds += 1
+            if rebuilds > self.retry.max_pool_rebuilds:
+                report.note(
+                    f"process pool died {rebuilds} times; degrading "
+                    f"to serial in-process execution"
+                )
+                return SerialBackend(), rebuilds
+            report.note(
+                f"process pool died (rebuild {rebuilds}/"
+                f"{self.retry.max_pool_rebuilds}); rebuilding"
+            )
+            return self._make_backend(report, "pool"), rebuilds
+        if name == "remote":
+            report.note(
+                "all remote workers lost; degrading to serial "
+                "in-process execution"
+            )
+            return SerialBackend(), rebuilds
+        raise RuntimeError(
+            f"{name} backend broke, and there is nothing to degrade to"
+        )
+
+    def _execute(
         self, state: _RunState, report: FarmReport, journal: RunJournal
     ) -> None:
-        try:
-            pool = self._new_pool()
-        except (BrokenProcessPool, OSError) as exc:
-            report.note(f"process pool unavailable ({exc}); running serially")
-            self._execute_serial(state, report, journal)
-            return
+        backend = self._make_backend(report, self.backend_name)
         rebuilds = 0
-        running: dict = {}  # future -> (job, attempt, deadline | None)
         try:
-            while state.pending or running:
+            while state.pending or backend.in_flight:
                 now = time.monotonic()
-                pool_broken = False
+                dispatched = False
                 for job in state.runnable(now):
+                    if not backend.can_accept():
+                        break
+                    if job.key not in state.pending:
+                        continue  # requeued/killed earlier this sweep
                     attempt = state.next_attempt(job.key)
-                    payload = self._payload(job, attempt, in_process=False)
-                    deadline = (
-                        now + self.retry.job_timeout
-                        if self.retry.job_timeout
-                        else None
+                    payload = self._payload(
+                        job,
+                        attempt,
+                        in_process=backend.capabilities.name == "serial",
                     )
                     try:
-                        future = pool.submit(execute_job, payload)
-                    except (BrokenProcessPool, RuntimeError):
+                        backend.submit(
+                            job, payload, attempt, self.retry.job_timeout
+                        )
+                    except WorkerLost:
                         state.unwind_attempt(job.key)
-                        pool_broken = True
                         break
-                    running[future] = (job, attempt, deadline)
                     del state.pending[job.key]
-                if not running and not pool_broken:
+                    dispatched = True
+                self._note_queue_depth(len(state.pending) + backend.in_flight)
+                if backend.in_flight:
+                    for completion in backend.poll(self._poll_budget(state)):
+                        self._settle(state, report, journal, completion)
+                elif not dispatched and not backend.broken:
                     wake_at = state.earliest_backoff()
                     if wake_at is not None:
-                        time.sleep(max(0.0, wake_at - now))
+                        time.sleep(max(0.0, wake_at - time.monotonic()))
                         continue
                     if state.pending:
                         raise RuntimeError("job graph has a dependency cycle")
-                    break
-                self._note_queue_depth(len(state.pending) + len(running))
-                if running:
-                    finished, _ = wait(
-                        running,
-                        timeout=self._wait_budget(state, running),
-                        return_when=FIRST_COMPLETED,
+                self._drain_notes(backend, report)
+                if backend.broken:
+                    backend.shutdown()
+                    backend, rebuilds = self._replace_backend(
+                        backend, rebuilds, report
                     )
-                    for future in finished:
-                        job, attempt, _ = running.pop(future)
-                        try:
-                            record = future.result()
-                        except BrokenProcessPool as exc:
-                            pool_broken = True
-                            self._handle_failure(state, report, job, attempt, exc)
-                        except Exception as exc:
-                            self._handle_failure(state, report, job, attempt, exc)
-                        else:
-                            self._retire(state, report, journal, job, record)
-                    pool_broken |= self._reap_timeouts(state, report, running)
-                if pool_broken:
-                    self._drain_broken(state, report, journal, running)
-                    self._destroy_pool(pool)
-                    rebuilds += 1
-                    if rebuilds > self.retry.max_pool_rebuilds:
-                        report.note(
-                            f"process pool died {rebuilds} times; degrading "
-                            f"to serial in-process execution"
-                        )
-                        self._execute_serial(state, report, journal)
-                        return
-                    report.note(
-                        f"process pool died (rebuild {rebuilds}/"
-                        f"{self.retry.max_pool_rebuilds}); rebuilding"
-                    )
-                    pool = self._new_pool()
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            self._drain_notes(backend, report)
+            backend.shutdown()
 
-    def _wait_budget(self, state: _RunState, running: dict) -> float:
-        """How long the dispatcher may block in ``wait``.
-
-        Short enough to notice job deadlines and backoff expiries,
-        bounded so an idle dispatcher still polls for timed-out hangs.
-        """
-        now = time.monotonic()
-        horizon = 0.5
-        deadlines = [dl for (_, _, dl) in running.values() if dl is not None]
-        if deadlines:
-            horizon = min(horizon, max(0.01, min(deadlines) - now))
-        wake_at = state.earliest_backoff()
-        if wake_at is not None:
-            horizon = min(horizon, max(0.01, wake_at - now))
-        return horizon
-
-    def _reap_timeouts(
-        self, state: _RunState, report: FarmReport, running: dict
-    ) -> bool:
-        """Fail attempts whose deadline passed; True if the pool must die.
-
-        A hung worker cannot be cancelled through the executor API, so
-        any expired deadline condemns the whole pool: expired jobs are
-        charged a timeout attempt, innocent in-flight jobs are requeued
-        uncharged, and the caller rebuilds.
-        """
-        now = time.monotonic()
-        expired = [
-            future
-            for future, (_, _, deadline) in running.items()
-            if deadline is not None and now > deadline
-        ]
-        if not expired:
-            return False
-        for future in expired:
-            job, attempt, _ = running.pop(future)
-            self._handle_failure(
-                state,
-                report,
-                job,
-                attempt,
-                JobTimeout(
-                    f"job exceeded its {self.retry.job_timeout:.1f}s "
-                    f"wall-clock budget"
-                ),
-            )
-        for future, (job, attempt, _) in running.items():
-            state.pending[job.key] = job
-            state.unwind_attempt(job.key)
-        running.clear()
-        return True
-
-    def _drain_broken(
+    def _settle(
         self,
         state: _RunState,
         report: FarmReport,
         journal: RunJournal,
-        running: dict,
+        completion: Completion,
     ) -> None:
-        """Settle every in-flight future of a condemned pool.
-
-        Completed jobs retire normally; everything else is charged a
-        crash attempt — the culprit cannot be told apart from its
-        pool-mates, so all are charged, which stays deterministic.
-        """
-        for future, (job, attempt, _) in list(running.items()):
-            if future.done() and not future.cancelled():
-                try:
-                    record = future.result()
-                except Exception as exc:
-                    self._handle_failure(state, report, job, attempt, exc)
-                else:
-                    self._retire(state, report, journal, job, record)
+        """Fold one backend completion into the run state."""
+        job, attempt = completion.job, completion.attempt
+        if completion.record is not None:
+            self._retire(state, report, journal, job, completion.record)
+            return
+        if not completion.charged:
+            # Innocent victim of executor loss: requeue without spending
+            # an attempt — unless its artifact actually landed (the job
+            # finished but its acknowledgement was lost), in which case
+            # it must retire, never execute twice.
+            state.unwind_attempt(job.key)
+            if self._cached(job):
+                self._retire(state, report, journal, job, {"seconds": 0.0})
             else:
-                self._handle_failure(
-                    state,
-                    report,
-                    job,
-                    attempt,
-                    BrokenProcessPool("worker process died unexpectedly"),
-                )
-        running.clear()
+                state.pending[job.key] = job
+            return
+        if isinstance(
+            completion.error, (BrokenProcessPool, WorkerLost)
+        ) and self._cached(job):
+            # The executor died *after* the job published its artifact:
+            # retiring from the cache is the only outcome that cannot
+            # run the job a second time.
+            self._retire(state, report, journal, job, {"seconds": 0.0})
+            return
+        self._handle_failure(state, report, job, attempt, completion.error)
+
+    def _poll_budget(self, state: _RunState) -> float:
+        """How long a backend may block in :meth:`poll`.
+
+        Short enough to notice backoff expiries; backends shorten it
+        further to their nearest in-flight deadline.
+        """
+        horizon = 0.5
+        wake_at = state.earliest_backoff()
+        if wake_at is not None:
+            horizon = min(horizon, max(0.01, wake_at - time.monotonic()))
+        return horizon
+
+    @staticmethod
+    def _drain_notes(backend, report: FarmReport) -> None:
+        """Surface backend operator notes (e.g. worker losses)."""
+        take = getattr(backend, "take_notes", None)
+        if take is None:
+            return
+        for note in take():
+            report.note(note)

@@ -1,0 +1,143 @@
+"""Length-prefixed JSON-over-TCP protocol between coordinator and workers.
+
+Stdlib-only wire format shared by the remote executor backend
+(:mod:`repro.jobs.backends.remote`) and the ``repro-worker`` daemon
+(:mod:`repro.jobs.worker_daemon`).  Every message is one *frame*::
+
+    u32 json_len | json bytes (UTF-8)  | u32 blob_len | blob bytes
+
+both lengths big-endian.  The JSON object always carries a ``"type"``
+key; the blob carries raw artifact bytes for ``artifact`` and ``push``
+messages and is empty (``blob_len == 0``) otherwise.  Keeping the
+artifact bytes out of the JSON means a 100M-record gzipped trace crosses
+the socket once, verbatim, with no base64 inflation — and its sha256
+(the PR 5 integrity sidecar) rides in the JSON header so the receiving
+side verifies *exactly* the bytes the cache will trust.
+
+Message types
+=============
+
+Coordinator → worker:
+
+``hello``     opens a session: ``{"type": "hello", "version": N}``
+``job``       one farm job: ``{"type": "job", "payload": {...}}``
+``artifact``  reply to ``fetch``: ``{..., "key", "kind", "sha256",
+              "found"}`` + blob (empty when not found)
+``shutdown``  the coordinator is done with this connection
+
+Worker → coordinator:
+
+``hello``     session accept: ``{"type": "hello", "version": N, "pid"}``
+``fetch``     the worker is missing an input artifact:
+              ``{"type": "fetch", "kind", "key"}``
+``push``      a produced artifact: ``{"type": "push", "kind", "key",
+              "sha256"}`` + blob
+``done``      job retired: ``{"type": "done", "key", "record",
+              "spans": [...]}``
+``fail``      job attempt failed: ``{"type": "fail", "key", "kind",
+              "message", "artifact_key", "spans": [...]}``
+
+``fail.kind`` reuses the farm's failure vocabulary (``error`` /
+``corrupt``); ``artifact_key`` names the producer of a corrupt input so
+the engine's heal machinery can re-enqueue it.  ``spans`` carries the
+worker's telemetry span records for the job, letting ``repro-trace``
+stitch coordinator and worker into one waterfall without shared disks.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+#: Protocol version; bumped on any frame or message change.
+PROTOCOL_VERSION = 1
+
+#: Refuse frames larger than this (a garbled length prefix otherwise
+#: asks for gigabytes); traces are chunk-streamed files well under it.
+MAX_FRAME_BYTES = 1 << 31
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(ConnectionError):
+    """The peer sent bytes that are not a valid protocol frame."""
+
+
+def send_frame(sock: socket.socket, message: dict, blob: bytes = b"") -> None:
+    """Serialize and send one frame (atomic under a caller-held lock)."""
+    body = json.dumps(message, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+    if len(body) > MAX_FRAME_BYTES or len(blob) > MAX_FRAME_BYTES:
+        raise ProtocolError("frame exceeds MAX_FRAME_BYTES")
+    sock.sendall(
+        _LENGTH.pack(len(body)) + body + _LENGTH.pack(len(blob)) + blob
+    )
+
+
+def recv_frame(sock: socket.socket) -> tuple[dict, bytes]:
+    """Receive one frame; raises :class:`ConnectionError` on EOF/garbage."""
+    body = _recv_exact(sock, _recv_length(sock))
+    blob = _recv_exact(sock, _recv_length(sock))
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"unparseable frame body: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("frame body is not a typed message object")
+    return message, blob
+
+
+def _recv_length(sock: socket.socket) -> int:
+    length = _LENGTH.unpack(_recv_exact(sock, _LENGTH.size))[0]
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds MAX_FRAME_BYTES")
+    return length
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError(
+                f"connection closed mid-frame ({remaining} of {count} "
+                f"bytes outstanding)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def parse_worker_address(text: str) -> tuple[str, int]:
+    """``host:port`` → ``(host, port)``, with a helpful error."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"worker address {text!r} is not of the form host:port"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"worker address {text!r} has a non-numeric port")
+    if not 0 < port < 65536:
+        raise ValueError(f"worker address {text!r} has an out-of-range port")
+    return host, port
+
+
+#: Input artifact kinds each job stage must have locally before running,
+#: as (payload key, artifact kind) pairs.
+STAGE_INPUTS: dict[str, tuple[tuple[str, str], ...]] = {
+    "trace": (),
+    "profile": (("trace", "trace"),),
+    "analyze": (("trace", "trace"), ("profile", "profile")),
+}
+
+#: Artifact kind each job stage produces under its own payload key.
+STAGE_OUTPUT: dict[str, str] = {
+    "trace": "trace",
+    "profile": "profile",
+    "analyze": "result",
+}

@@ -1,0 +1,317 @@
+"""``repro-worker``: a remote execution daemon for the experiment farm.
+
+Listens on a TCP port and serves farm jobs shipped by a coordinator (a
+``repro-experiments --backend remote`` or ``repro-serve`` process on any
+host) over the length-prefixed JSON protocol of
+:mod:`repro.jobs.protocol`.  Each daemon owns a *local* content-addressed
+:class:`~repro.jobs.cache.ArtifactCache`: job payloads arrive with their
+``cache_dir`` rewritten to it, missing input artifacts are pulled from
+the coordinator on demand (``fetch``), and produced artifacts are pushed
+back (``push``) — always verified against their sha256 integrity
+digests, so a transfer that damages bytes is refused exactly like a torn
+local write.
+
+The daemon is deliberately boring: no scheduling, no retries, no
+quarantine — all policy stays on the coordinator, where the
+:class:`~repro.jobs.engine.ExecutionEngine`'s retry/heal/resume
+machinery treats a remote failure like any local one.  One thread per
+coordinator connection executes that connection's jobs in arrival order;
+the coordinator's per-worker in-flight bound is what pipelines transfer
+against compute.
+
+Telemetry: spans recorded while a job runs are harvested from the
+daemon's local sink and shipped back inside the ``done``/``fail``
+message, so ``repro-trace`` on the coordinator stitches one waterfall
+across hosts without a shared filesystem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import tempfile
+import threading
+from collections import deque
+from pathlib import Path
+
+from repro import telemetry
+from repro.jobs import protocol
+from repro.jobs.cache import ArtifactCache
+from repro.jobs.worker import execute_job
+from repro.telemetry.sinks import worker_sink_name
+from repro.vm.trace_io import CorruptArtifactError
+
+#: Default location of a worker daemon's local artifact cache.
+DEFAULT_CACHE_DIR = ".repro-worker-cache"
+
+
+class WorkerDaemon:
+    """Accepts coordinator connections and executes their jobs."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir: str | Path = DEFAULT_CACHE_DIR,
+        telemetry_dir: str | Path | None = None,
+        quiet: bool = False,
+    ):
+        self.cache_dir = Path(cache_dir)
+        self.cache = ArtifactCache(self.cache_dir)
+        self.telemetry_dir = (
+            Path(telemetry_dir) if telemetry_dir is not None else None
+        )
+        self.quiet = quiet
+        self._telemetry_lock = threading.Lock()
+        self._span_offset = 0
+        self._listener = socket.create_server(
+            (host, port), reuse_port=False
+        )
+        self.host, self.port = self._listener.getsockname()[:2]
+
+    def serve_forever(self) -> None:  # pragma: no cover - process entry
+        if not self.quiet:
+            print(
+                f"repro-worker listening on {self.host}:{self.port} "
+                f"(cache {self.cache_dir}, pid {os.getpid()})",
+                flush=True,
+            )
+        while True:
+            try:
+                conn, peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn, f"{peer[0]}:{peer[1]}"),
+                daemon=True,
+            )
+            thread.start()
+
+    def close(self) -> None:
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    # -- one coordinator connection --------------------------------------
+
+    def _serve_connection(self, conn: socket.socket, peer: str) -> None:
+        """Handshake, then execute this connection's jobs until EOF."""
+        jobs: deque[dict] = deque()
+        try:
+            message, _ = protocol.recv_frame(conn)
+            if (
+                message.get("type") != "hello"
+                or message.get("version") != protocol.PROTOCOL_VERSION
+            ):
+                protocol.send_frame(
+                    conn,
+                    {
+                        "type": "error",
+                        "message": "protocol version mismatch "
+                        f"(worker speaks {protocol.PROTOCOL_VERSION})",
+                    },
+                )
+                return
+            protocol.send_frame(
+                conn,
+                {
+                    "type": "hello",
+                    "version": protocol.PROTOCOL_VERSION,
+                    "pid": os.getpid(),
+                },
+            )
+            while True:
+                if jobs:
+                    self._run_job(conn, jobs.popleft(), jobs)
+                    continue
+                message, _ = protocol.recv_frame(conn)
+                kind = message.get("type")
+                if kind == "job":
+                    jobs.append(message["payload"])
+                elif kind == "shutdown":
+                    return
+                # anything else between jobs is a stray reply; ignore
+        except (ConnectionError, OSError):
+            return  # coordinator went away; nothing to clean up
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _run_job(
+        self, conn: socket.socket, payload: dict, jobs: deque
+    ) -> None:
+        """Execute one job against the local cache; report the outcome."""
+        payload = dict(payload)
+        payload["cache_dir"] = str(self.cache_dir)
+        self._localize_telemetry(payload)
+        key = payload["key"]
+        try:
+            self._pull_inputs(conn, payload, jobs)
+            record = execute_job(payload)
+            kind = protocol.STAGE_OUTPUT[payload["stage"]]
+            data, sha256 = self.cache.load_artifact_bytes(kind, key)
+            protocol.send_frame(
+                conn,
+                {"type": "push", "kind": kind, "key": key, "sha256": sha256},
+                blob=data,
+            )
+        except Exception as exc:
+            failure_kind = (
+                "corrupt" if isinstance(exc, CorruptArtifactError) else "error"
+            )
+            protocol.send_frame(
+                conn,
+                {
+                    "type": "fail",
+                    "key": key,
+                    "kind": failure_kind,
+                    "message": str(exc) or type(exc).__name__,
+                    "artifact_key": getattr(exc, "key", None),
+                    "spans": self._harvest_spans(),
+                },
+            )
+            return
+        protocol.send_frame(
+            conn,
+            {
+                "type": "done",
+                "key": key,
+                "record": record,
+                "spans": self._harvest_spans(),
+            },
+        )
+
+    def _pull_inputs(
+        self, conn: socket.socket, payload: dict, jobs: deque
+    ) -> None:
+        """Fetch every input artifact the local cache is missing."""
+        for payload_key, kind in protocol.STAGE_INPUTS[payload["stage"]]:
+            key = payload[payload_key]
+            if self.cache.has_artifact(kind, key):
+                continue
+            protocol.send_frame(
+                conn, {"type": "fetch", "kind": kind, "key": key}
+            )
+            reply, blob = self._await_artifact(conn, jobs)
+            if not reply.get("found"):
+                # The coordinator cannot serve the input (missing or
+                # quarantined there): name its producer so the engine's
+                # corrupt-input heal re-enqueues it.
+                raise CorruptArtifactError(
+                    f"input {kind} artifact {key[:12]} unavailable at "
+                    f"the coordinator",
+                    key=key,
+                )
+            self.cache.store_artifact_bytes(
+                reply["kind"], reply["key"], blob, reply["sha256"]
+            )
+
+    @staticmethod
+    def _await_artifact(
+        conn: socket.socket, jobs: deque
+    ) -> tuple[dict, bytes]:
+        """Next ``artifact`` reply; queues ``job`` frames arriving first."""
+        while True:
+            message, blob = protocol.recv_frame(conn)
+            kind = message.get("type")
+            if kind == "artifact":
+                return message, blob
+            if kind == "job":
+                jobs.append(message["payload"])
+            elif kind == "shutdown":
+                raise ConnectionError("coordinator shut the session down")
+
+    # -- telemetry --------------------------------------------------------
+
+    def _localize_telemetry(self, payload: dict) -> None:
+        """Point the job at this daemon's telemetry sink (if any is wanted).
+
+        The coordinator's telemetry directory means nothing on this
+        host; when either side wants spans, the daemon lazily creates
+        its own directory and rewrites the payload, and the recorded
+        spans travel back inside the job's ``done``/``fail`` message.
+        """
+        wants = bool(payload.get("telemetry")) or self.telemetry_dir is not None
+        if not wants:
+            payload["telemetry"] = None
+            return
+        with self._telemetry_lock:
+            if self.telemetry_dir is None:
+                self.telemetry_dir = Path(
+                    tempfile.mkdtemp(prefix="repro-worker-tele-")
+                )
+        payload["telemetry"] = str(self.telemetry_dir)
+
+    def _harvest_spans(self) -> list[dict]:
+        """Span records this daemon wrote since the last harvest."""
+        if self.telemetry_dir is None or not telemetry.enabled():
+            return []
+        telemetry.flush()
+        sink = self.telemetry_dir / worker_sink_name()
+        spans: list[dict] = []
+        with self._telemetry_lock:
+            try:
+                with open(sink, "r", encoding="utf-8") as stream:
+                    stream.seek(self._span_offset)
+                    text = stream.read()
+                    self._span_offset = stream.tell()
+            except FileNotFoundError:
+                return []
+        import json
+
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spans.append(json.loads(line))
+            except json.JSONDecodeError:  # torn concurrent line
+                continue
+        return spans
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="Serve experiment-farm jobs to remote coordinators "
+        "over TCP (see docs/distributed.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to listen on (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="listen port (0 picks a free one; the chosen "
+                        "port is printed on startup)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="this worker's local artifact cache "
+                        f"(default {DEFAULT_CACHE_DIR}/)")
+    parser.add_argument("--telemetry-dir", default=None,
+                        help="record this worker's spans here (spans are "
+                        "also shipped back to coordinators per job)")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    if args.telemetry_dir:
+        telemetry.configure(args.telemetry_dir, worker=True)
+    daemon = WorkerDaemon(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        telemetry_dir=args.telemetry_dir,
+        quiet=args.quiet,
+    )
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -15,6 +15,8 @@ import signal
 import sys
 
 from repro import telemetry
+from repro.jobs import BACKEND_NAMES
+from repro.jobs.protocol import parse_worker_address
 from repro.serve.server import ServeApp, ServeConfig
 
 
@@ -34,7 +36,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batch-limit", type=int, default=8,
                         help="max submissions per farm batch")
     parser.add_argument("--jobs", type=int, default=1,
-                        help="farm worker processes per batch")
+                        help="farm worker processes per batch (with "
+                        "--backend remote: per-worker in-flight bound)")
+    parser.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                        help="farm executor backend (default: inferred "
+                        "from --jobs/--workers)")
+    parser.add_argument("--workers", metavar="HOST:PORT,...", default=None,
+                        help="comma-separated repro-worker addresses for "
+                        "the remote backend (see docs/distributed.md)")
     parser.add_argument("--retain", type=int, default=1024,
                         help="finished job documents kept for polling")
     parser.add_argument("--max-steps", type=int, default=150_000,
@@ -70,7 +79,26 @@ async def _serve(app: ServeApp, quiet: bool) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    workers: tuple[str, ...] = ()
+    if args.workers is not None:
+        workers = tuple(
+            w.strip() for w in args.workers.split(",") if w.strip()
+        )
+        if not workers:
+            parser.error("--workers needs at least one host:port address")
+        for address in workers:
+            try:
+                parse_worker_address(address)
+            except ValueError as exc:
+                parser.error(f"--workers: {exc}")
+    if args.backend == "remote" and not workers:
+        parser.error("--backend remote requires --workers host:port,...")
+    if workers and args.backend not in (None, "remote"):
+        parser.error(
+            f"--workers only applies to --backend remote, not {args.backend}"
+        )
     if args.telemetry_dir:
         telemetry.configure(args.telemetry_dir, profile=args.profile)
     config = ServeConfig(
@@ -85,6 +113,8 @@ def main(argv: list[str] | None = None) -> int:
         max_steps_cap=args.max_steps_cap,
         telemetry_dir=args.telemetry_dir,
         profile=args.profile,
+        backend=args.backend,
+        workers=workers,
     )
     app = ServeApp(config)
     try:

@@ -66,6 +66,8 @@ class BatchScheduler:
         faults=None,
         telemetry_dir: str | None = None,
         profile: bool = False,
+        backend: str | None = None,
+        workers: tuple[str, ...] = (),
     ):
         if batch_limit < 1:
             raise ValueError("batch_limit must be positive")
@@ -78,6 +80,8 @@ class BatchScheduler:
         self.faults = faults
         self.telemetry_dir = telemetry_dir
         self.profile = profile
+        self.backend = backend
+        self.workers = tuple(workers)
         #: Ad-hoc benchmark registrations, kept for the service lifetime
         #: so coalesced and repeated submissions re-plan identically.
         self._adhoc: dict[str, BenchmarkSpec] = {}
@@ -162,6 +166,8 @@ class BatchScheduler:
                     jobs=self.jobs,
                     retry=self.retry,
                     faults=self.faults,
+                    backend=self.backend,
+                    workers=list(self.workers),
                 )
                 try:
                     engine.execute(merged, report)

@@ -85,6 +85,10 @@ class ServeConfig:
     telemetry_dir: str | None = None
     profile: bool = False
     retry_after: int = 2  # the 429 Retry-After hint, seconds
+    #: Farm executor backend ("serial" | "pool" | "remote"; None infers
+    #: from jobs/workers) and repro-worker addresses for "remote".
+    backend: str | None = None
+    workers: tuple[str, ...] = ()
 
 
 @dataclass
@@ -155,6 +159,8 @@ class ServeApp:
             faults=config.faults,
             telemetry_dir=config.telemetry_dir,
             profile=config.profile,
+            backend=config.backend,
+            workers=config.workers,
         )
         self.router = Router()
         self.router.add("POST", r"/v1/jobs", "submit", self._submit)

@@ -491,6 +491,36 @@ STANDARD_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
         "RTRC v2 frames read by TraceReader",
         (),
     ),
+    (
+        "counter",
+        "repro_remote_jobs_shipped_total",
+        "Farm jobs shipped to remote repro-worker daemons, per worker",
+        ("worker",),
+    ),
+    (
+        "counter",
+        "repro_remote_jobs_stolen_total",
+        "Farm jobs stolen from a busy home worker by an idle one, per worker",
+        ("worker",),
+    ),
+    (
+        "counter",
+        "repro_remote_bytes_pulled_total",
+        "Input artifact bytes served to remote workers, per artifact kind",
+        ("kind",),
+    ),
+    (
+        "counter",
+        "repro_remote_bytes_pushed_total",
+        "Produced artifact bytes received from remote workers, per kind",
+        ("kind",),
+    ),
+    (
+        "counter",
+        "repro_remote_worker_losses_total",
+        "Remote worker connections condemned mid-run, per worker",
+        ("worker",),
+    ),
 )
 
 

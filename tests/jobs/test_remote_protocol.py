@@ -1,0 +1,124 @@
+"""Tests for the coordinator↔worker wire protocol (repro.jobs.protocol)."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.jobs import ArtifactCache
+from repro.jobs.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    parse_worker_address,
+    recv_frame,
+    send_frame,
+)
+from repro.vm.trace_io import CorruptArtifactError
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFraming:
+    def test_round_trip_without_blob(self, pair):
+        left, right = pair
+        send_frame(left, {"type": "hello", "version": 1})
+        message, blob = recv_frame(right)
+        assert message == {"type": "hello", "version": 1}
+        assert blob == b""
+
+    def test_round_trip_with_blob(self, pair):
+        # Small enough to fit the socketpair buffer: nothing reads
+        # concurrently here, so an oversized blob would block sendall.
+        left, right = pair
+        payload = bytes(range(256)) * 64
+        send_frame(
+            left, {"type": "push", "kind": "trace", "key": "k"}, blob=payload
+        )
+        message, blob = recv_frame(right)
+        assert message["kind"] == "trace"
+        assert blob == payload
+
+    def test_messages_preserve_order(self, pair):
+        left, right = pair
+        for index in range(5):
+            send_frame(left, {"type": "job", "index": index})
+        received = [recv_frame(right)[0]["index"] for _ in range(5)]
+        assert received == list(range(5))
+
+    def test_eof_mid_frame_raises_connection_error(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", 100) + b"partial")
+        left.close()
+        with pytest.raises(ConnectionError):
+            recv_frame(right)
+
+    def test_oversized_length_prefix_is_refused(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError, match="MAX_FRAME_BYTES"):
+            recv_frame(right)
+
+    def test_non_json_body_is_refused(self, pair):
+        left, right = pair
+        body = b"\xff\xfenot json"
+        left.sendall(
+            struct.pack(">I", len(body)) + body + struct.pack(">I", 0)
+        )
+        with pytest.raises(ProtocolError, match="unparseable"):
+            recv_frame(right)
+
+    def test_untyped_body_is_refused(self, pair):
+        left, right = pair
+        body = b'{"no_type": 1}'
+        left.sendall(
+            struct.pack(">I", len(body)) + body + struct.pack(">I", 0)
+        )
+        with pytest.raises(ProtocolError, match="typed"):
+            recv_frame(right)
+
+
+class TestWorkerAddresses:
+    def test_parses_host_and_port(self):
+        assert parse_worker_address("farm-03:9001") == ("farm-03", 9001)
+
+    @pytest.mark.parametrize(
+        "bad", ["localhost", ":9001", "host:", "host:abc", "host:0", "host:70000"]
+    )
+    def test_rejects_malformed_addresses(self, bad):
+        with pytest.raises(ValueError):
+            parse_worker_address(bad)
+
+
+class TestArtifactByteTransfers:
+    """The cache accessors the fetch/push flow is built on."""
+
+    def test_store_then_load_round_trips(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        import hashlib
+
+        data = b"some trace bytes"
+        sha = hashlib.sha256(data).hexdigest()
+        cache.store_artifact_bytes("trace", "k" * 16, data, sha)
+        loaded, loaded_sha = cache.load_artifact_bytes("trace", "k" * 16)
+        assert loaded == data
+        assert loaded_sha == sha
+        assert cache.has_artifact("trace", "k" * 16)
+
+    def test_damaged_transfer_is_refused(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with pytest.raises(CorruptArtifactError, match="arrived damaged"):
+            cache.store_artifact_bytes(
+                "trace", "k" * 16, b"tampered bytes", "0" * 64
+            )
+        assert not cache.has_artifact("trace", "k" * 16)
+
+    def test_unknown_kind_is_an_error(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with pytest.raises(ValueError, match="kind"):
+            cache.artifact_path("nonsense", "k" * 16)
